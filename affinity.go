@@ -1,0 +1,273 @@
+// Package affinity is the public API of the AFFINITY framework for
+// efficiently querying statistical measures on time-series data, a
+// reproduction of:
+//
+//	Saket Sathe and Karl Aberer.
+//	"AFFINITY: Efficiently Querying Statistical Measures on Time-Series Data."
+//	ICDE 2013.
+//
+// AFFINITY answers three kinds of statistical queries over a collection of n
+// time series with m samples each:
+//
+//   - measure computation (MEC): the value of a measure for a requested set
+//     of series (a mean vector, a covariance or correlation matrix, ...);
+//   - measure threshold (MET): all series or series pairs whose measure is
+//     above or below a threshold τ;
+//   - measure range (MER): all series or series pairs whose measure lies in
+//     [τl, τu].
+//
+// Instead of computing a pairwise measure for all n(n−1)/2 pairs from the
+// raw data, AFFINITY clusters the series (AFCLST), computes one affine
+// relationship per pair against a nearly linear number of pivot pairs
+// (SYMEX+), and transfers measures through those relationships in closed
+// form.  The SCAPE index orders the affine relationships by their scalar
+// projection so that threshold and range queries over every supported
+// measure are answered from the same index.
+//
+// # Quick start
+//
+//	data, _ := affinity.GenerateStockData(affinity.StockDataConfig{NumSeries: 100, NumSamples: 390})
+//	eng, _ := affinity.New(data, affinity.Options{Clusters: 6})
+//
+//	// All pairs of stocks whose intra-day correlation exceeds 0.9:
+//	res, _ := eng.Threshold(affinity.Correlation, 0.9, affinity.Above, affinity.Index)
+//	for _, pair := range res.Pairs {
+//		fmt.Println(data.Name(pair.U), data.Name(pair.V))
+//	}
+//
+// The three execution methods mirror the paper's evaluation: Naive recomputes
+// from raw data (W_N), Affine uses the affine relationships (W_A), and Index
+// uses the SCAPE index.  Results from Affine and Index are identical; they
+// approximate Naive with the small errors reported in EXPERIMENTS.md.
+package affinity
+
+import (
+	"io"
+
+	"affinity/internal/core"
+	"affinity/internal/dataset"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// Dataset is a collection of equally long time series (the paper's data
+// matrix S).
+type Dataset = timeseries.DataMatrix
+
+// SeriesID identifies a single series within a Dataset (zero-based).
+type SeriesID = timeseries.SeriesID
+
+// Pair is an unordered pair of series identifiers (a sequence pair).
+type Pair = timeseries.Pair
+
+// Measure identifies a statistical measure.
+type Measure = stats.Measure
+
+// Supported measures, grouped the way the paper groups them.
+const (
+	// L-measures (location).
+	Mean   = stats.Mean
+	Median = stats.Median
+	Mode   = stats.Mode
+
+	// T-measures (dispersion).
+	Covariance = stats.Covariance
+	DotProduct = stats.DotProduct
+
+	// D-measures (derived).
+	Correlation  = stats.Correlation
+	Cosine       = stats.Cosine
+	Jaccard      = stats.Jaccard
+	Dice         = stats.Dice
+	HarmonicMean = stats.HarmonicMean
+)
+
+// Method selects how queries are executed.
+type Method = core.Method
+
+// Execution methods.
+const (
+	// Naive computes measures from the raw series for every query (W_N).
+	Naive = core.MethodNaive
+	// Affine computes measures through affine relationships (W_A).
+	Affine = core.MethodAffine
+	// Index answers threshold and range queries from the SCAPE index.
+	Index = core.MethodIndex
+)
+
+// ThresholdOp selects the comparison direction of a threshold query.
+type ThresholdOp = scape.ThresholdOp
+
+// Threshold directions.
+const (
+	// Above selects entries with measure value strictly greater than τ.
+	Above = scape.Above
+	// Below selects entries with measure value strictly less than τ.
+	Below = scape.Below
+)
+
+// Result is the answer to a threshold or range query: Series for L-measures,
+// Pairs for T- and D-measures.
+type Result = core.ThresholdResult
+
+// BuildInfo describes what Engine construction produced.
+type BuildInfo = core.BuildInfo
+
+// NewDataset builds a dataset from unnamed series of equal length.
+func NewDataset(series [][]float64) (*Dataset, error) {
+	return timeseries.NewDataMatrix(series)
+}
+
+// NewNamedDataset builds a dataset from named series of equal length.
+func NewNamedDataset(names []string, series [][]float64) (*Dataset, error) {
+	return timeseries.NewNamedDataMatrix(names, series)
+}
+
+// ReadCSV parses a dataset from column-per-series CSV (an optional header row
+// provides series names).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	return timeseries.ReadCSV(r)
+}
+
+// SensorDataConfig configures the synthetic sensor dataset generator (the
+// stand-in for the paper's sensor-data; see DESIGN.md for the substitution).
+type SensorDataConfig = dataset.SensorConfig
+
+// StockDataConfig configures the synthetic stock dataset generator (the
+// stand-in for the paper's stock-data).
+type StockDataConfig = dataset.StockConfig
+
+// GenerateSensorData synthesizes a sensor-data style dataset: groups of
+// strongly correlated diurnal series with measurement noise.
+func GenerateSensorData(cfg SensorDataConfig) (*Dataset, error) {
+	return dataset.GenerateSensor(cfg)
+}
+
+// GenerateStockData synthesizes a stock-data style dataset: factor-driven
+// intra-day price series with sector co-movement.
+func GenerateStockData(cfg StockDataConfig) (*Dataset, error) {
+	return dataset.GenerateStock(cfg)
+}
+
+// Options configures Engine construction.
+type Options struct {
+	// Clusters is the number of affine clusters k for AFCLST (default 6).
+	Clusters int
+	// MaxIterations is the AFCLST iteration limit γ_max (default 10).
+	MaxIterations int
+	// MinChanges is the AFCLST convergence threshold δ_min (default 10).
+	MinChanges int
+	// Seed makes clustering (and therefore the whole build) reproducible.
+	Seed int64
+	// DisablePseudoInverseCache selects plain SYMEX instead of SYMEX+
+	// (slower build, identical results); exposed mainly for benchmarking.
+	DisablePseudoInverseCache bool
+	// SkipIndex skips the SCAPE index when only MEC queries are needed.
+	SkipIndex bool
+	// Parallelism is the number of goroutines used to fit affine
+	// relationships during the build (0 or 1 = sequential; results are
+	// identical at any level).
+	Parallelism int
+	// MaxLSFD, when positive, prunes low-quality affine relationships whose
+	// LSFD exceeds the bound.  Queries on pruned pairs transparently fall
+	// back to the naive method; index queries do not report pruned pairs.
+	MaxLSFD float64
+}
+
+// Engine is a built AFFINITY instance over one dataset.
+type Engine struct {
+	inner *core.Engine
+}
+
+// New builds an AFFINITY engine: it clusters the series with AFCLST, computes
+// affine relationships with SYMEX+, precomputes the pivot summaries and
+// builds the SCAPE index.
+func New(d *Dataset, opts Options) (*Engine, error) {
+	eng, err := core.Build(d, core.Config{
+		Clusters:                  opts.Clusters,
+		MaxIterations:             opts.MaxIterations,
+		MinChanges:                opts.MinChanges,
+		Seed:                      opts.Seed,
+		DisablePseudoInverseCache: opts.DisablePseudoInverseCache,
+		SkipIndex:                 opts.SkipIndex,
+		Parallelism:               opts.Parallelism,
+		MaxLSFD:                   opts.MaxLSFD,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: eng}, nil
+}
+
+// Info returns build statistics: the number of pivot pairs and affine
+// relationships, cache counters and per-stage durations.
+func (e *Engine) Info() BuildInfo { return e.inner.Info() }
+
+// Data returns the engine's dataset.
+func (e *Engine) Data() *Dataset { return e.inner.Data() }
+
+// ComputeLocation answers a MEC query for an L-measure (mean, median, mode)
+// over the requested series.
+func (e *Engine) ComputeLocation(m Measure, ids []SeriesID, method Method) ([]float64, error) {
+	return e.inner.ComputeLocation(m, ids, method)
+}
+
+// ComputePairwise answers a MEC query for a T- or D-measure over the
+// requested series: the symmetric |ids|-by-|ids| matrix of pairwise values in
+// the order given.  Entries whose derived measure is undefined (for example
+// the correlation against a constant series) are NaN.
+func (e *Engine) ComputePairwise(m Measure, ids []SeriesID, method Method) ([][]float64, error) {
+	return e.inner.ComputePairwise(m, ids, method)
+}
+
+// PairValue computes a single pairwise measure.
+func (e *Engine) PairValue(m Measure, pair Pair, method Method) (float64, error) {
+	return e.inner.PairValue(m, pair, method)
+}
+
+// Threshold answers a MET query: all series (for L-measures) or sequence
+// pairs (for T- and D-measures) whose measure is above or below tau.
+func (e *Engine) Threshold(m Measure, tau float64, op ThresholdOp, method Method) (Result, error) {
+	return e.inner.Threshold(m, tau, op, method)
+}
+
+// Range answers a MER query: all series or sequence pairs whose measure lies
+// in [lo, hi].
+func (e *Engine) Range(m Measure, lo, hi float64, method Method) (Result, error) {
+	return e.inner.Range(m, lo, hi, method)
+}
+
+// WriteSnapshot persists the engine's clustering and affine relationships so
+// a later process can rebuild the engine with NewFromSnapshot without paying
+// the SYMEX+ cost again.  The snapshot does not contain the raw samples; the
+// same dataset must be supplied at load time.
+func (e *Engine) WriteSnapshot(w io.Writer) error { return e.inner.WriteSnapshot(w) }
+
+// NewFromSnapshot rebuilds an engine from a snapshot written by WriteSnapshot
+// and the dataset it was built on.  Clustering-related options are ignored
+// (they are part of the snapshot); SkipIndex is honoured.
+func NewFromSnapshot(d *Dataset, r io.Reader, opts Options) (*Engine, error) {
+	eng, err := core.BuildFromSnapshot(d, r, core.Config{SkipIndex: opts.SkipIndex})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: eng}, nil
+}
+
+// CorrelationMatrix is a convenience wrapper computing the full correlation
+// matrix over the given series (Problem 1 of the paper) with the Affine
+// method.
+func (e *Engine) CorrelationMatrix(ids []SeriesID) ([][]float64, error) {
+	return e.inner.ComputePairwise(stats.Correlation, ids, core.MethodAffine)
+}
+
+// CorrelatedPairs is a convenience wrapper returning all sequence pairs with
+// correlation above tau, answered from the SCAPE index.
+func (e *Engine) CorrelatedPairs(tau float64) ([]Pair, error) {
+	res, err := e.inner.Threshold(stats.Correlation, tau, scape.Above, core.MethodIndex)
+	if err != nil {
+		return nil, err
+	}
+	return res.Pairs, nil
+}

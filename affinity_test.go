@@ -1,0 +1,154 @@
+package affinity
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildPublicEngine(t testing.TB) (*Engine, *Dataset) {
+	t.Helper()
+	data, err := GenerateSensorData(SensorDataConfig{
+		NumSeries:  20,
+		NumSamples: 100,
+		NumGroups:  4,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(data, Options{Clusters: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, data
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	eng, data := buildPublicEngine(t)
+
+	info := eng.Info()
+	if info.NumSeries != 20 || info.NumRelationships != data.NumPairs() {
+		t.Fatalf("build info %+v", info)
+	}
+	if eng.Data() != data {
+		t.Fatal("Data() should return the original dataset")
+	}
+
+	// MEC: mean vector and correlation matrix.
+	means, err := eng.ComputeLocation(Mean, data.IDs(), Affine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(means) != 20 {
+		t.Fatalf("means length %d", len(means))
+	}
+	corr, err := eng.CorrelationMatrix(data.IDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corr) != 20 || math.Abs(corr[3][3]-1) > 1e-9 {
+		t.Fatalf("correlation matrix shape/diagonal wrong")
+	}
+
+	// MET via index and convenience wrapper.
+	res, err := eng.Threshold(Correlation, 0.9, Above, Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := eng.CorrelatedPairs(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(res.Pairs) {
+		t.Fatalf("CorrelatedPairs %d vs Threshold %d", len(pairs), len(res.Pairs))
+	}
+	if len(pairs) == 0 {
+		t.Fatal("clustered data should contain highly correlated pairs")
+	}
+
+	// MER.
+	ranged, err := eng.Range(Covariance, 0, math.Inf(1), Affine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranged.Size() == 0 {
+		t.Fatal("non-negative covariance range should match pairs")
+	}
+
+	// PairValue across methods.
+	p := Pair{U: 0, V: 4}
+	exact, err := eng.PairValue(Correlation, p, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := eng.PairValue(Correlation, p, Affine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-approx) > 0.05 {
+		t.Fatalf("correlation %v vs %v", exact, approx)
+	}
+}
+
+func TestPublicDatasetHelpers(t *testing.T) {
+	d, err := NewNamedDataset([]string{"INTC", "AMD"}, [][]float64{
+		{15.1, 15.3, 15.2, 15.5},
+		{6.4, 6.5, 6.4, 6.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name(0) != "INTC" {
+		t.Fatalf("name = %q", d.Name(0))
+	}
+	unnamed, err := NewDataset([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unnamed.NumSeries() != 2 {
+		t.Fatal("NewDataset shape wrong")
+	}
+	csv, err := ReadCSV(strings.NewReader("a,b\n1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv.NumSamples() != 2 {
+		t.Fatal("ReadCSV shape wrong")
+	}
+
+	stock, err := GenerateStockData(StockDataConfig{NumSeries: 10, NumSamples: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stock.NumSeries() != 10 {
+		t.Fatal("GenerateStockData shape wrong")
+	}
+}
+
+func TestPublicOptionsVariants(t *testing.T) {
+	data, err := GenerateSensorData(SensorDataConfig{NumSeries: 12, NumSamples: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIndex, err := New(data, Options{Clusters: 3, SkipIndex: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noIndex.Info().IndexBuilt {
+		t.Fatal("SkipIndex should not build the index")
+	}
+	if _, err := noIndex.Threshold(Covariance, 0, Above, Index); err == nil {
+		t.Fatal("index query without index should error")
+	}
+	plain, err := New(data, Options{Clusters: 3, DisablePseudoInverseCache: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Info().PseudoInverseHits != 0 {
+		t.Fatal("plain SYMEX should have no cache hits")
+	}
+	if _, err := New(&Dataset{}, Options{}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}

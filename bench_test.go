@@ -1,0 +1,312 @@
+package affinity
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 6), plus the ablations called out in DESIGN.md and a
+// few micro-benchmarks of the core building blocks.
+//
+// The figure/table benchmarks run the corresponding experiment driver from
+// internal/experiments at a reduced dataset scale (DefaultBenchScale) so a
+// full `go test -bench=. -benchmem` finishes in minutes; pass
+// `-affinity.full` to run at the paper's dataset scale.  Key comparative
+// quantities (speedups, RMSE) are attached to the benchmark output through
+// b.ReportMetric, and cmd/affinity-bench prints the same rows as text tables.
+
+import (
+	"flag"
+	"testing"
+
+	"affinity/internal/core"
+	"affinity/internal/experiments"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+)
+
+var fullScaleFlag = flag.Bool("affinity.full", false,
+	"run the figure/table benchmarks at the paper's full dataset scale (slow)")
+
+func benchScale() experiments.Scale {
+	if *fullScaleFlag {
+		return experiments.FullScale
+	}
+	return experiments.DefaultBenchScale
+}
+
+// reportTradeoff attaches the average speedup and worst-case RMSE of a
+// trade-off run to the benchmark output.
+func reportTradeoff(b *testing.B, rows []experiments.TradeoffRow) {
+	b.Helper()
+	if len(rows) == 0 {
+		return
+	}
+	var speedupSum, worstRMSE float64
+	for _, r := range rows {
+		speedupSum += r.Speedup
+		if r.RMSEPct > worstRMSE {
+			worstRMSE = r.RMSEPct
+		}
+	}
+	b.ReportMetric(speedupSum/float64(len(rows)), "avg-speedup")
+	b.ReportMetric(worstRMSE, "worst-rmse-%")
+}
+
+// BenchmarkTable3Datasets regenerates Table 3 (dataset characteristics).
+func BenchmarkTable3Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9TradeoffSensor reproduces Fig. 9: the efficiency/accuracy
+// trade-off of W_A vs W_N on sensor-data across the cluster sweep.
+func BenchmarkFig9TradeoffSensor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTradeoff(b, rows)
+	}
+}
+
+// BenchmarkFig10TradeoffStock reproduces Fig. 10 (stock-data trade-off).
+func BenchmarkFig10TradeoffStock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTradeoff(b, rows)
+	}
+}
+
+// BenchmarkFig11AbsoluteTimeStock reproduces Fig. 11 (absolute W_N / W_A
+// times on stock-data; same driver as Fig. 10, different presentation).
+func BenchmarkFig11AbsoluteTimeStock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(benchScale(), []int{6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTradeoff(b, rows)
+	}
+}
+
+// BenchmarkFig12OnlineWorkload reproduces Fig. 12: MEC workloads in an online
+// environment, W_N vs W_A (including the SYMEX+ build).
+func BenchmarkFig12OnlineWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) > 0 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.Speedup, "final-speedup")
+		}
+	}
+}
+
+// BenchmarkFig13SymexScalability reproduces Fig. 13: SYMEX vs SYMEX+ as the
+// number of affine relationships grows.
+func BenchmarkFig13SymexScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) > 0 {
+			var sum float64
+			for _, r := range rows {
+				sum += r.CacheSpeedup
+			}
+			b.ReportMetric(sum/float64(len(rows)), "avg-cache-factor")
+		}
+	}
+}
+
+// BenchmarkFig14IndexConstruction reproduces Fig. 14: SCAPE index
+// construction time vs the number of indexed affine relationships.
+func BenchmarkFig14IndexConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14(benchScale(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15ThresholdQueries reproduces Fig. 15: MET queries over
+// correlation, covariance, median and dot product with W_N, W_A, W_F and the
+// SCAPE index.
+func BenchmarkFig15ThresholdQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportQueryRows(b, rows)
+	}
+}
+
+// BenchmarkFig16RangeQueries reproduces Fig. 16: MER queries over correlation
+// and covariance.
+func BenchmarkFig16RangeQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig16(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportQueryRows(b, rows)
+	}
+}
+
+func reportQueryRows(b *testing.B, rows []experiments.QueryRow) {
+	b.Helper()
+	if len(rows) == 0 {
+		return
+	}
+	var scapeVsNaive float64
+	for _, r := range rows {
+		if r.ScapeTime > 0 {
+			scapeVsNaive += float64(r.NaiveTime) / float64(r.ScapeTime)
+		}
+	}
+	b.ReportMetric(scapeVsNaive/float64(len(rows)), "avg-scape-speedup-vs-WN")
+}
+
+// BenchmarkTable4Speedups reproduces Table 4: the SCAPE speedups over W_N,
+// W_A and W_F at the maximum result size.
+func BenchmarkTable4Speedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var vsNaive float64
+		for _, r := range rows {
+			vsNaive += r.SpeedupVsNaive
+		}
+		if len(rows) > 0 {
+			b.ReportMetric(vsNaive/float64(len(rows)), "avg-speedup-vs-WN")
+		}
+	}
+}
+
+// BenchmarkAblationPinvCache measures the SYMEX+ pseudo-inverse cache
+// ablation (paper: a 3.5–4x factor).
+func BenchmarkAblationPinvCache(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.AblationPinvCache("sensor-data", sensor, 6, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.Factor, "cache-factor")
+	}
+}
+
+// BenchmarkAblationScapePruning measures the D-measure pruning ablation of
+// the SCAPE index (Section 5.3).
+func BenchmarkAblationScapePruning(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationScapePruning(sensor, 6, 42, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.PruningSpeedup
+		}
+		if len(rows) > 0 {
+			b.ReportMetric(sum/float64(len(rows)), "pruning-speedup")
+		}
+	}
+}
+
+// --- micro-benchmarks of the core building blocks -------------------------
+
+func benchmarkEngine(b *testing.B) *core.Engine {
+	b.Helper()
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.Build(sensor, core.Config{Clusters: 6, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return engine
+}
+
+// BenchmarkEngineBuild measures the full build: AFCLST + SYMEX+ + summaries +
+// SCAPE index.
+func BenchmarkEngineBuild(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(sensor, core.Config{Clusters: 6, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScapeCorrelationThreshold measures a single correlation MET query
+// against the SCAPE index.
+func BenchmarkScapeCorrelationThreshold(b *testing.B) {
+	engine := benchmarkEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Threshold(stats.Correlation, 0.9, scape.Above, core.MethodIndex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNaiveCorrelationThreshold measures the same query with the naive
+// method, for comparison with BenchmarkScapeCorrelationThreshold.
+func BenchmarkNaiveCorrelationThreshold(b *testing.B) {
+	engine := benchmarkEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Threshold(stats.Correlation, 0.9, scape.Above, core.MethodNaive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAffineCovarianceSweep measures the W_A full-pairwise covariance
+// computation (the inner loop of the Fig. 9–11 experiments).
+func BenchmarkAffineCovarianceSweep(b *testing.B) {
+	engine := benchmarkEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.PairwiseSweepAffine(stats.Covariance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNaiveCovarianceSweep measures the W_N full-pairwise covariance
+// computation.
+func BenchmarkNaiveCovarianceSweep(b *testing.B) {
+	engine := benchmarkEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.PairwiseSweepNaive(stats.Covariance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

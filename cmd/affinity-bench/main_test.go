@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchSingleExperiments(t *testing.T) {
+	// A very small scale keeps this smoke test fast while exercising the
+	// printing path of several experiment kinds.
+	for _, exp := range []string{"table3", "fig14", "ablation-pruning"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-experiment", exp, "-series-div", "40", "-sample-div", "10",
+		}, &out)
+		if err != nil {
+			t.Fatalf("experiment %s: %v\n%s", exp, err, out.String())
+		}
+		if !strings.Contains(out.String(), "=== "+exp+" ===") {
+			t.Fatalf("experiment %s: missing header in output:\n%s", exp, out.String())
+		}
+	}
+}
+
+func TestBenchTradeoffAndTable4(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig9", "-series-div", "40", "-sample-div", "10"}, &out); err != nil {
+		t.Fatalf("fig9: %v", err)
+	}
+	if !strings.Contains(out.String(), "speedup") {
+		t.Fatalf("fig9 output missing speedup column:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-experiment", "table4", "-series-div", "40", "-sample-div", "10"}, &out); err != nil {
+		t.Fatalf("table4: %v", err)
+	}
+	if !strings.Contains(out.String(), "speedup vs WN") {
+		t.Fatalf("table4 output missing speedups:\n%s", out.String())
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "bogus"}, &out); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

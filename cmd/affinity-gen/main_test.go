@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"affinity/internal/store"
+)
+
+func TestGenToStoreAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{
+		"-dataset", "sensor", "-series", "10", "-samples", "40",
+		"-out", dir, "-name", "tiny",
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := st.ReadDataset("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSeries() != 10 || d.NumSamples() != 40 {
+		t.Fatalf("stored shape %dx%d", d.NumSamples(), d.NumSeries())
+	}
+
+	csvPath := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{
+		"-dataset", "stock", "-series", "6", "-samples", "30", "-csv", csvPath,
+	}); err != nil {
+		t.Fatalf("run csv: %v", err)
+	}
+	if fi, err := os.Stat(csvPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "bogus", "-out", t.TempDir()}); err == nil {
+		t.Fatal("unknown dataset kind should error")
+	}
+	if err := run([]string{"-dataset", "sensor", "-series", "5", "-samples", "20"}); err == nil {
+		t.Fatal("missing output destination should error")
+	}
+}

@@ -1,0 +1,222 @@
+// Command affinity-query runs statistical queries against a stored or CSV
+// dataset using the Affinity engine.
+//
+// Examples:
+//
+//	# all pairs of stocks whose correlation exceeds 0.95, answered by SCAPE
+//	affinity-query -store ./data -dataset stock -query met -measure correlation -threshold 0.95 -method scape
+//
+//	# the covariance matrix of three series, computed through affine relationships
+//	affinity-query -csv prices.csv -query mec -measure covariance -series 0,3,7 -method wa
+//
+//	# all series whose median lies in [20, 25]
+//	affinity-query -store ./data -dataset sensor -query mer -measure median -lo 20 -hi 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"affinity/internal/core"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/store"
+	"affinity/internal/timeseries"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "affinity-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("affinity-query", flag.ContinueOnError)
+	var (
+		storeDir  = fs.String("store", "", "store directory holding the dataset")
+		dsName    = fs.String("dataset", "", "dataset name inside the store")
+		csvPath   = fs.String("csv", "", "CSV file to load instead of the store")
+		queryKind = fs.String("query", "mec", "query type: mec, met or mer")
+		measure   = fs.String("measure", "correlation", "statistical measure (mean, median, mode, covariance, dot-product, correlation, cosine, jaccard, dice, harmonic-mean)")
+		methodStr = fs.String("method", "wa", "execution method: wn (naive), wa (affine) or scape (index)")
+		seriesArg = fs.String("series", "", "comma-separated series identifiers for MEC queries (empty = all)")
+		threshold = fs.Float64("threshold", 0.9, "MET threshold")
+		below     = fs.Bool("below", false, "MET: select values below the threshold instead of above")
+		lo        = fs.Float64("lo", 0, "MER lower bound")
+		hi        = fs.Float64("hi", 1, "MER upper bound")
+		clusters  = fs.Int("k", 6, "number of affine clusters")
+		seed      = fs.Int64("seed", 42, "clustering seed")
+		limit     = fs.Int("limit", 25, "maximum result entries to print (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := loadDataset(*storeDir, *dsName, *csvPath)
+	if err != nil {
+		return err
+	}
+	m, err := stats.ParseMeasure(*measure)
+	if err != nil {
+		return err
+	}
+	method, err := parseMethod(*methodStr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "dataset: %d series x %d samples; building engine (k=%d)...\n",
+		d.NumSeries(), d.NumSamples(), *clusters)
+	engine, err := core.Build(d, core.Config{Clusters: *clusters, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	info := engine.Info()
+	fmt.Fprintf(out, "built %s: %d pivot pairs, %d affine relationships in %v\n",
+		info.UsedPseudoInverseTag, info.NumPivots, info.NumRelationships, info.TotalDuration)
+
+	switch *queryKind {
+	case "mec":
+		ids, err := parseSeries(*seriesArg, d)
+		if err != nil {
+			return err
+		}
+		return runMEC(out, engine, d, m, ids, method, *limit)
+	case "met":
+		op := scape.Above
+		if *below {
+			op = scape.Below
+		}
+		res, err := engine.Threshold(m, *threshold, op, method)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "MET %v %s %v via %v: %d results\n", m, op, *threshold, method, res.Size())
+		printResult(out, d, res, *limit)
+		return nil
+	case "mer":
+		res, err := engine.Range(m, *lo, *hi, method)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "MER %v in [%v, %v] via %v: %d results\n", m, *lo, *hi, method, res.Size())
+		printResult(out, d, res, *limit)
+		return nil
+	default:
+		return fmt.Errorf("unknown query type %q (want mec, met or mer)", *queryKind)
+	}
+}
+
+func loadDataset(storeDir, name, csvPath string) (*timeseries.DataMatrix, error) {
+	switch {
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return timeseries.ReadCSV(f)
+	case storeDir != "" && name != "":
+		st, err := store.Open(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		return st.ReadDataset(name)
+	default:
+		return nil, fmt.Errorf("either -csv or both -store and -dataset must be given")
+	}
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch strings.ToLower(s) {
+	case "wn", "naive":
+		return core.MethodNaive, nil
+	case "wa", "affine":
+		return core.MethodAffine, nil
+	case "scape", "index":
+		return core.MethodIndex, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (want wn, wa or scape)", s)
+	}
+}
+
+func parseSeries(arg string, d *timeseries.DataMatrix) ([]timeseries.SeriesID, error) {
+	if strings.TrimSpace(arg) == "" {
+		return d.IDs(), nil
+	}
+	parts := strings.Split(arg, ",")
+	ids := make([]timeseries.SeriesID, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid series identifier %q: %v", p, err)
+		}
+		ids = append(ids, timeseries.SeriesID(v))
+	}
+	return ids, nil
+}
+
+func runMEC(out io.Writer, engine *core.Engine, d *timeseries.DataMatrix,
+	m stats.Measure, ids []timeseries.SeriesID, method core.Method, limit int) error {
+	if m.Class() == stats.LocationClass {
+		values, err := engine.ComputeLocation(m, ids, method)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "MEC %v via %v over %d series:\n", m, method, len(ids))
+		for i, id := range ids {
+			if limit > 0 && i >= limit {
+				fmt.Fprintf(out, "  ... (%d more)\n", len(ids)-limit)
+				break
+			}
+			fmt.Fprintf(out, "  %-24s %v\n", d.Name(id), values[i])
+		}
+		return nil
+	}
+	matrix, err := engine.ComputePairwise(m, ids, method)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "MEC %v via %v over %d series (showing up to %d rows):\n", m, method, len(ids), limit)
+	for i := range matrix {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(out, "  ... (%d more rows)\n", len(matrix)-limit)
+			break
+		}
+		fmt.Fprintf(out, "  %-24s", d.Name(ids[i]))
+		for j := range matrix[i] {
+			if limit > 0 && j >= limit {
+				fmt.Fprint(out, " ...")
+				break
+			}
+			fmt.Fprintf(out, " %8.4f", matrix[i][j])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func printResult(out io.Writer, d *timeseries.DataMatrix, res core.ThresholdResult, limit int) {
+	shown := 0
+	for _, id := range res.Series {
+		if limit > 0 && shown >= limit {
+			fmt.Fprintf(out, "  ... (%d more)\n", res.Size()-shown)
+			return
+		}
+		fmt.Fprintf(out, "  %s\n", d.Name(id))
+		shown++
+	}
+	for _, p := range res.Pairs {
+		if limit > 0 && shown >= limit {
+			fmt.Fprintf(out, "  ... (%d more)\n", res.Size()-shown)
+			return
+		}
+		fmt.Fprintf(out, "  %s -- %s\n", d.Name(p.U), d.Name(p.V))
+		shown++
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"affinity/internal/dataset"
+	"affinity/internal/store"
+)
+
+// writeTestStore generates a tiny dataset and persists it into a temp store.
+func writeTestStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.GenerateSensor(dataset.SensorConfig{NumSeries: 12, NumSamples: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteDataset("demo", d); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestQueryMETFromStore(t *testing.T) {
+	dir := writeTestStore(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-store", dir, "-dataset", "demo",
+		"-query", "met", "-measure", "correlation", "-threshold", "0.9",
+		"-method", "scape", "-k", "3", "-limit", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MET correlation > 0.9") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestQueryMECFromCSV(t *testing.T) {
+	d, err := dataset.GenerateStock(dataset.StockConfig{NumSeries: 8, NumSamples: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stocks.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-csv", path, "-query", "mec", "-measure", "covariance",
+		"-series", "0,2,4", "-method", "wa", "-k", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MEC covariance") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+
+	// MER on an L-measure via the same CSV.
+	out.Reset()
+	err = run([]string{
+		"-csv", path, "-query", "mer", "-measure", "median",
+		"-lo", "-1000", "-hi", "1000", "-method", "wn", "-k", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MER median") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestQueryArgumentErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-query", "met"}, &out); err == nil {
+		t.Fatal("missing dataset source should error")
+	}
+	dir := writeTestStore(t)
+	if err := run([]string{"-store", dir, "-dataset", "demo", "-measure", "bogus"}, &out); err == nil {
+		t.Fatal("unknown measure should error")
+	}
+	if err := run([]string{"-store", dir, "-dataset", "demo", "-method", "bogus"}, &out); err == nil {
+		t.Fatal("unknown method should error")
+	}
+	if err := run([]string{"-store", dir, "-dataset", "demo", "-query", "bogus", "-k", "3"}, &out); err == nil {
+		t.Fatal("unknown query type should error")
+	}
+	if err := run([]string{"-store", dir, "-dataset", "demo", "-query", "mec", "-series", "a,b", "-k", "3"}, &out); err == nil {
+		t.Fatal("bad series list should error")
+	}
+}

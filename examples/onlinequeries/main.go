@@ -1,0 +1,89 @@
+// Online queries: simulate the online environment of Section 6.2 — a stream
+// of measure computation (MEC) queries whose measure is picked uniformly at
+// random and whose series follow a power-law popularity — and compare the
+// naive method (W_N) against the affine method (W_A), including the one-time
+// SYMEX+ cost in the affine total exactly as the paper does.
+//
+// Run with:
+//
+//	go run ./examples/onlinequeries
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"affinity"
+	"affinity/internal/stats"
+	"affinity/internal/workload"
+)
+
+func main() {
+	data, err := affinity.GenerateStockData(affinity.StockDataConfig{
+		NumSeries:  120,
+		NumSamples: 390,
+		NumSectors: 10,
+		Seed:       5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen, err := workload.NewGenerator(workload.Config{
+		NumSeries:      data.NumSeries(),
+		SeriesPerQuery: 10,
+		Seed:           99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("online MEC workload over %d stocks; |psi| = 10 series per query\n", data.NumSeries())
+	fmt.Println("queries   WN total      WA total (incl. build)   speedup")
+
+	for _, count := range []int{500, 1000, 2000, 4000} {
+		queries := gen.Batch(count)
+
+		// W_N: build nothing, answer every query from the raw series.
+		naiveEngine, err := affinity.New(data, affinity.Options{Clusters: 6, Seed: 1, SkipIndex: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		naiveStart := time.Now()
+		if err := runBatch(naiveEngine, queries, affinity.Naive); err != nil {
+			log.Fatal(err)
+		}
+		naiveTotal := time.Since(naiveStart)
+
+		// W_A: the build (AFCLST + SYMEX+) happens inside the timed section.
+		affineStart := time.Now()
+		affineEngine, err := affinity.New(data, affinity.Options{Clusters: 6, Seed: 1, SkipIndex: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runBatch(affineEngine, queries, affinity.Affine); err != nil {
+			log.Fatal(err)
+		}
+		affineTotal := time.Since(affineStart)
+
+		fmt.Printf("%7d   %-12v  %-24v  %.1fx\n",
+			count, naiveTotal.Round(time.Millisecond), affineTotal.Round(time.Millisecond),
+			float64(naiveTotal)/float64(affineTotal))
+	}
+}
+
+func runBatch(engine *affinity.Engine, queries []workload.MECQuery, method affinity.Method) error {
+	for _, q := range queries {
+		if q.Measure.Class() == stats.LocationClass {
+			if _, err := engine.ComputeLocation(q.Measure, q.Series, method); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := engine.ComputePairwise(q.Measure, q.Series, method); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package affine implements affine transformations between pair matrices and
+// the measure propagation rules of Section 2.3 of the paper.
+//
+// An affine transformation (A, b) maps a source pair matrix X ∈ R^{m×2} to a
+// target pair matrix Y ∈ R^{m×2} through
+//
+//	Y = X·A + 1_m·bᵀ            (Eq. 4)
+//
+// An affine relationship (Definition 3) is an affine transformation whose
+// source is a pivot pair matrix O_p and whose target is a sequence pair
+// matrix S_e; it is computed with the least-squares method from the
+// pseudo-inverse of the design matrix [O_p, 1_m].
+//
+// The propagation rules allow statistical measures of Y to be computed from
+// measures of X and (A, b) without touching the raw series:
+//
+//	L(Y)ᵀ = L(X)ᵀ·A + bᵀ                          (Eq. 5)
+//	Σ(Y)  = Aᵀ·Σ(X)·A                             (Eq. 6)
+//	Π12(Y) = a1ᵀ·Π(X)·a2 + b2·a1ᵀh + b1·a2ᵀh + m·b1·b2
+//	ρ12(Y) = Σ12(Y) / U12                         (Eq. 8)
+//
+// The dot-product rule above is the exact expansion of (X·a1 + b1·1)ᵀ(X·a2 +
+// b2·1); the paper's Eq. 7 prints a compressed form of the same identity.
+package affine
+
+import (
+	"errors"
+	"fmt"
+
+	"affinity/internal/mat"
+	"affinity/internal/stats"
+)
+
+// ErrBadShape indicates inputs whose dimensions do not match an m-by-2 pair
+// matrix or a 2-by-2 transformation.
+var ErrBadShape = errors.New("affine: bad shape")
+
+// Transform is an affine transformation (A, b) between two pair matrices.
+type Transform struct {
+	// A is the 2-by-2 transformation matrix.
+	A *mat.Matrix
+	// B is the translation vector (b1, b2).
+	B [2]float64
+}
+
+// Columns returns the two columns a1 and a2 of the transformation matrix.
+func (t *Transform) Columns() (a1, a2 [2]float64) {
+	a1 = [2]float64{t.A.At(0, 0), t.A.At(1, 0)}
+	a2 = [2]float64{t.A.At(0, 1), t.A.At(1, 1)}
+	return a1, a2
+}
+
+// Clone returns a deep copy of the transform.
+func (t *Transform) Clone() *Transform {
+	return &Transform{A: t.A.Clone(), B: t.B}
+}
+
+// String renders the transform compactly.
+func (t *Transform) String() string {
+	return fmt.Sprintf("A=[[%.4g %.4g][%.4g %.4g]] b=[%.4g %.4g]",
+		t.A.At(0, 0), t.A.At(0, 1), t.A.At(1, 0), t.A.At(1, 1), t.B[0], t.B[1])
+}
+
+// DesignMatrix returns the m-by-3 matrix [X, 1_m] used to solve for an affine
+// transformation by least squares.
+func DesignMatrix(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != 2 || x.Rows() < 2 {
+		return nil, fmt.Errorf("%w: source must be m-by-2 with m >= 2, got %dx%d",
+			ErrBadShape, x.Rows(), x.Cols())
+	}
+	return x.HConcat(mat.Ones(x.Rows(), 1))
+}
+
+// Fit computes the least-squares affine transformation (A, b) that maps the
+// source pair matrix X to the target pair matrix Y, i.e. minimizes
+// ‖X·A + 1·bᵀ − Y‖_F.  This is the LeastSquares routine of Algorithm 2.
+func Fit(source, target *mat.Matrix) (*Transform, error) {
+	design, err := DesignMatrix(source)
+	if err != nil {
+		return nil, err
+	}
+	pinv, err := mat.PseudoInverse(design)
+	if err != nil {
+		return nil, err
+	}
+	return FitWithPseudoInverse(pinv, target)
+}
+
+// FitWithPseudoInverse computes the affine transformation using a
+// pre-computed pseudo-inverse of the design matrix [X, 1_m].  SYMEX+ caches
+// this pseudo-inverse per pivot pair (Section 4, "Pseudo-inverse cache").
+func FitWithPseudoInverse(designPinv, target *mat.Matrix) (*Transform, error) {
+	if target.Cols() != 2 {
+		return nil, fmt.Errorf("%w: target must be m-by-2, got %dx%d",
+			ErrBadShape, target.Rows(), target.Cols())
+	}
+	if designPinv.Rows() != 3 || designPinv.Cols() != target.Rows() {
+		return nil, fmt.Errorf("%w: pseudo-inverse is %dx%d, want 3x%d",
+			ErrBadShape, designPinv.Rows(), designPinv.Cols(), target.Rows())
+	}
+	// solution is 3-by-2: the first two rows form A, the last row is bᵀ.
+	sol, err := designPinv.Mul(target)
+	if err != nil {
+		return nil, err
+	}
+	a, err := sol.Slice(0, 2, 0, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &Transform{A: a, B: [2]float64{sol.At(2, 0), sol.At(2, 1)}}, nil
+}
+
+// Apply returns X·A + 1_m·bᵀ for an m-by-2 input X.
+func (t *Transform) Apply(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != 2 {
+		return nil, fmt.Errorf("%w: input must be m-by-2, got %dx%d", ErrBadShape, x.Rows(), x.Cols())
+	}
+	xa, err := x.Mul(t.A)
+	if err != nil {
+		return nil, err
+	}
+	out := xa.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		out.Add(i, 0, t.B[0])
+		out.Add(i, 1, t.B[1])
+	}
+	return out, nil
+}
+
+// ResidualNorm returns ‖X·A + 1·bᵀ − Y‖_F, the Frobenius norm of the fit
+// residual, used as a direct quality diagnostic for an affine relationship.
+func (t *Transform) ResidualNorm(source, target *mat.Matrix) (float64, error) {
+	approx, err := t.Apply(source)
+	if err != nil {
+		return 0, err
+	}
+	diff, err := approx.SubMat(target)
+	if err != nil {
+		return 0, err
+	}
+	return diff.FrobeniusNorm(), nil
+}
+
+// PropagateLocation applies Eq. 5: given the L-measure vector (l1, l2) of the
+// source pair matrix, it returns the propagated L-measure vector of the
+// target pair matrix, L(Y)ᵀ = L(X)ᵀ·A + bᵀ.
+func (t *Transform) PropagateLocation(sourceLocation [2]float64) [2]float64 {
+	a := t.A
+	return [2]float64{
+		sourceLocation[0]*a.At(0, 0) + sourceLocation[1]*a.At(1, 0) + t.B[0],
+		sourceLocation[0]*a.At(0, 1) + sourceLocation[1]*a.At(1, 1) + t.B[1],
+	}
+}
+
+// PropagateCovarianceMatrix applies Eq. 6: Σ(Y) = Aᵀ·Σ(X)·A, returning the
+// full 2-by-2 covariance matrix of the target.
+func (t *Transform) PropagateCovarianceMatrix(sourceCov *mat.Matrix) (*mat.Matrix, error) {
+	if sourceCov.Rows() != 2 || sourceCov.Cols() != 2 {
+		return nil, fmt.Errorf("%w: covariance must be 2x2, got %dx%d",
+			ErrBadShape, sourceCov.Rows(), sourceCov.Cols())
+	}
+	at := t.A.T()
+	tmp, err := at.Mul(sourceCov)
+	if err != nil {
+		return nil, err
+	}
+	return tmp.Mul(t.A)
+}
+
+// PropagateCovariance applies the off-diagonal part of Eq. 6:
+// Σ12(Y) = a1ᵀ·Σ(X)·a2, the covariance between the two target series.
+func (t *Transform) PropagateCovariance(sourceCov *mat.Matrix) (float64, error) {
+	if sourceCov.Rows() != 2 || sourceCov.Cols() != 2 {
+		return 0, fmt.Errorf("%w: covariance must be 2x2, got %dx%d",
+			ErrBadShape, sourceCov.Rows(), sourceCov.Cols())
+	}
+	a1, a2 := t.Columns()
+	return quadraticForm(a1, sourceCov, a2), nil
+}
+
+// PropagateVariances returns the two diagonal entries of Aᵀ·Σ(X)·A: the
+// variances of the two target series, used to build separable normalizers
+// without touching the raw target series.
+func (t *Transform) PropagateVariances(sourceCov *mat.Matrix) ([2]float64, error) {
+	full, err := t.PropagateCovarianceMatrix(sourceCov)
+	if err != nil {
+		return [2]float64{}, err
+	}
+	return [2]float64{full.At(0, 0), full.At(1, 1)}, nil
+}
+
+// PropagateDotProduct computes the dot product between the two target series
+// from source-side quantities only (Eq. 7 in exact form):
+//
+//	Π12(Y) = a1ᵀ·Π(X)·a2 + b2·(a1ᵀh) + b1·(a2ᵀh) + m·b1·b2
+//
+// where Π(X) is the 2-by-2 Gram matrix of the source, h = (h1(X), h2(X)) are
+// the column sums of the source and m is the number of samples.
+func (t *Transform) PropagateDotProduct(sourceDot *mat.Matrix, sourceColumnSums [2]float64, m int) (float64, error) {
+	if sourceDot.Rows() != 2 || sourceDot.Cols() != 2 {
+		return 0, fmt.Errorf("%w: dot product matrix must be 2x2, got %dx%d",
+			ErrBadShape, sourceDot.Rows(), sourceDot.Cols())
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("%w: non-positive sample count %d", ErrBadShape, m)
+	}
+	a1, a2 := t.Columns()
+	quad := quadraticForm(a1, sourceDot, a2)
+	a1h := a1[0]*sourceColumnSums[0] + a1[1]*sourceColumnSums[1]
+	a2h := a2[0]*sourceColumnSums[0] + a2[1]*sourceColumnSums[1]
+	return quad + t.B[1]*a1h + t.B[0]*a2h + float64(m)*t.B[0]*t.B[1], nil
+}
+
+// PropagateDotProductMatrix returns the full 2-by-2 Gram matrix of the target
+// computed from source-side quantities, by applying the exact expansion to
+// every (i, j) combination of target columns.
+func (t *Transform) PropagateDotProductMatrix(sourceDot *mat.Matrix, sourceColumnSums [2]float64, m int) (*mat.Matrix, error) {
+	if sourceDot.Rows() != 2 || sourceDot.Cols() != 2 {
+		return nil, fmt.Errorf("%w: dot product matrix must be 2x2, got %dx%d",
+			ErrBadShape, sourceDot.Rows(), sourceDot.Cols())
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: non-positive sample count %d", ErrBadShape, m)
+	}
+	cols := [2][2]float64{}
+	cols[0], cols[1] = t.Columns()
+	h := sourceColumnSums
+	out := mat.New(2, 2)
+	for i := 0; i < 2; i++ {
+		for j := i; j < 2; j++ {
+			ai, aj := cols[i], cols[j]
+			quad := quadraticForm(ai, sourceDot, aj)
+			aih := ai[0]*h[0] + ai[1]*h[1]
+			ajh := aj[0]*h[0] + aj[1]*h[1]
+			v := quad + t.B[j]*aih + t.B[i]*ajh + float64(m)*t.B[i]*t.B[j]
+			out.Set(i, j, v)
+			out.Set(j, i, v)
+		}
+	}
+	return out, nil
+}
+
+// PropagateDerived computes a D-measure of the target pair by propagating its
+// base T-measure and dividing by the supplied normalizer (Eq. 8).  The
+// normalizer is the separable quantity U_e that the framework pre-computes
+// and stores per sequence pair.
+func (t *Transform) PropagateDerived(measure stats.Measure, sourceBase *mat.Matrix,
+	sourceColumnSums [2]float64, m int, normalizer float64) (float64, error) {
+	if measure.Class() != stats.DerivedClass {
+		return 0, fmt.Errorf("affine: %v is not a derived measure: %w", measure, stats.ErrUnknownMeasure)
+	}
+	if normalizer == 0 {
+		return 0, stats.ErrZeroNormalizer
+	}
+	var base float64
+	var err error
+	switch measure.Base() {
+	case stats.Covariance:
+		base, err = t.PropagateCovariance(sourceBase)
+	case stats.DotProduct:
+		base, err = t.PropagateDotProduct(sourceBase, sourceColumnSums, m)
+	default:
+		return 0, fmt.Errorf("affine: unsupported base measure %v: %w", measure.Base(), stats.ErrUnknownMeasure)
+	}
+	if err != nil {
+		return 0, err
+	}
+	value := base / normalizer
+	if measure == stats.Correlation {
+		if value > 1 {
+			value = 1
+		} else if value < -1 {
+			value = -1
+		}
+	}
+	return value, nil
+}
+
+// quadraticForm computes xᵀ·M·y for 2-vectors and a 2-by-2 matrix.
+func quadraticForm(x [2]float64, m *mat.Matrix, y [2]float64) float64 {
+	return x[0]*(m.At(0, 0)*y[0]+m.At(0, 1)*y[1]) +
+		x[1]*(m.At(1, 0)*y[0]+m.At(1, 1)*y[1])
+}

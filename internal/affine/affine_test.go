@@ -1,0 +1,402 @@
+package affine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affinity/internal/mat"
+	"affinity/internal/stats"
+)
+
+func randomPairMatrix(rng *rand.Rand, m int) *mat.Matrix {
+	a := mat.New(m, 2)
+	for i := 0; i < m; i++ {
+		a.Set(i, 0, rng.NormFloat64()*3+1)
+		a.Set(i, 1, rng.NormFloat64()*2-1)
+	}
+	return a
+}
+
+func randomTransform(rng *rand.Rand) *Transform {
+	for {
+		a, _ := mat.NewFromRows([][]float64{
+			{rng.NormFloat64(), rng.NormFloat64()},
+			{rng.NormFloat64(), rng.NormFloat64()},
+		})
+		if d, _ := mat.Det2x2(a); math.Abs(d) > 0.1 {
+			return &Transform{A: a, B: [2]float64{rng.NormFloat64(), rng.NormFloat64()}}
+		}
+	}
+}
+
+func TestFitRecoversExactTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		x := randomPairMatrix(rng, 40)
+		truth := randomTransform(rng)
+		y, err := truth.Apply(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitted, err := Fit(x, y)
+		if err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		if !fitted.A.Equal(truth.A, 1e-7) {
+			t.Fatalf("trial %d: A mismatch\nfitted %v\ntruth %v", trial, fitted.A, truth.A)
+		}
+		if math.Abs(fitted.B[0]-truth.B[0]) > 1e-7 || math.Abs(fitted.B[1]-truth.B[1]) > 1e-7 {
+			t.Fatalf("trial %d: b mismatch %v vs %v", trial, fitted.B, truth.B)
+		}
+		resid, err := fitted.ResidualNorm(x, y)
+		if err != nil || resid > 1e-7 {
+			t.Fatalf("trial %d: residual %v, %v", trial, resid, err)
+		}
+	}
+}
+
+func TestFitWithPseudoInverseMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomPairMatrix(rng, 30)
+	y := randomPairMatrix(rng, 30)
+	direct, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := DesignMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinv, err := mat.PseudoInverse(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := FitWithPseudoInverse(pinv, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.A.Equal(cached.A, 1e-10) ||
+		math.Abs(direct.B[0]-cached.B[0]) > 1e-10 ||
+		math.Abs(direct.B[1]-cached.B[1]) > 1e-10 {
+		t.Fatal("cached pseudo-inverse fit differs from direct fit")
+	}
+}
+
+func TestFitCommonSeriesGivesCanonicalFirstColumn(t *testing.T) {
+	// When the source and target share their first column (the common series
+	// of a pivot pair), the least-squares fit reproduces that column exactly:
+	// a1 = (1, 0)ᵀ and b1 = 0.  The SCAPE index relies on this structure.
+	rng := rand.New(rand.NewSource(3))
+	common := make([]float64, 50)
+	other := make([]float64, 50)
+	center := make([]float64, 50)
+	for i := range common {
+		common[i] = rng.NormFloat64()
+		center[i] = rng.NormFloat64()
+		other[i] = 0.7*center[i] + 0.1*rng.NormFloat64()
+	}
+	source, _ := mat.NewFromColumns(common, center)
+	target, _ := mat.NewFromColumns(common, other)
+	tr, err := Fit(source, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.A.At(0, 0)-1) > 1e-8 || math.Abs(tr.A.At(1, 0)) > 1e-8 || math.Abs(tr.B[0]) > 1e-8 {
+		t.Fatalf("first column not canonical: a1=(%v,%v) b1=%v",
+			tr.A.At(0, 0), tr.A.At(1, 0), tr.B[0])
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	good := mat.New(10, 2)
+	bad := mat.New(10, 3)
+	short := mat.New(1, 2)
+	if _, err := DesignMatrix(bad); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("DesignMatrix err = %v", err)
+	}
+	if _, err := DesignMatrix(short); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("DesignMatrix short err = %v", err)
+	}
+	if _, err := Fit(bad, good); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("Fit err = %v", err)
+	}
+	if _, err := Fit(good, bad); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("Fit target err = %v", err)
+	}
+	tr := &Transform{A: mat.Identity(2)}
+	if _, err := tr.Apply(bad); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("Apply err = %v", err)
+	}
+	if _, err := tr.PropagateCovariance(mat.New(3, 3)); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("PropagateCovariance err = %v", err)
+	}
+	if _, err := tr.PropagateCovarianceMatrix(mat.New(3, 3)); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("PropagateCovarianceMatrix err = %v", err)
+	}
+	if _, err := tr.PropagateVariances(mat.New(1, 1)); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("PropagateVariances err = %v", err)
+	}
+	if _, err := tr.PropagateDotProduct(mat.New(3, 3), [2]float64{}, 5); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("PropagateDotProduct err = %v", err)
+	}
+	if _, err := tr.PropagateDotProduct(mat.Identity(2), [2]float64{}, 0); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("PropagateDotProduct m=0 err = %v", err)
+	}
+	if _, err := tr.PropagateDotProductMatrix(mat.New(3, 3), [2]float64{}, 5); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("PropagateDotProductMatrix err = %v", err)
+	}
+	if _, err := tr.PropagateDotProductMatrix(mat.Identity(2), [2]float64{}, -1); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("PropagateDotProductMatrix m<0 err = %v", err)
+	}
+	pinv := mat.New(2, 2)
+	if _, err := FitWithPseudoInverse(pinv, good); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("FitWithPseudoInverse err = %v", err)
+	}
+	if _, err := FitWithPseudoInverse(mat.New(3, 10), bad); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("FitWithPseudoInverse target err = %v", err)
+	}
+}
+
+// Property (Eq. 5): the mean propagates exactly through an exact affine
+// transformation.
+func TestPropagateLocationMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(60)
+		x := randomPairMatrix(rng, m)
+		tr := randomTransform(rng)
+		y, err := tr.Apply(x)
+		if err != nil {
+			return false
+		}
+		lx, err := stats.PairMatrixLocation(stats.Mean, x)
+		if err != nil {
+			return false
+		}
+		got := tr.PropagateLocation([2]float64{lx[0], lx[1]})
+		want, err := stats.PairMatrixLocation(stats.Mean, y)
+		if err != nil {
+			return false
+		}
+		tol := 1e-8 * (1 + math.Abs(want[0]) + math.Abs(want[1]))
+		return math.Abs(got[0]-want[0]) <= tol && math.Abs(got[1]-want[1]) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Eq. 6): the covariance propagates exactly through an exact affine
+// transformation.
+func TestPropagateCovarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(60)
+		x := randomPairMatrix(rng, m)
+		tr := randomTransform(rng)
+		y, err := tr.Apply(x)
+		if err != nil {
+			return false
+		}
+		covX, err := stats.PairMatrixCovariance(x)
+		if err != nil {
+			return false
+		}
+		covYWant, err := stats.PairMatrixCovariance(y)
+		if err != nil {
+			return false
+		}
+		covYGot, err := tr.PropagateCovarianceMatrix(covX)
+		if err != nil {
+			return false
+		}
+		scale := 1 + covYWant.MaxAbs()
+		if !covYGot.Equal(covYWant, 1e-8*scale) {
+			return false
+		}
+		offDiag, err := tr.PropagateCovariance(covX)
+		if err != nil {
+			return false
+		}
+		return math.Abs(offDiag-covYWant.At(0, 1)) <= 1e-8*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Eq. 7, exact form): the dot product propagates exactly through an
+// exact affine transformation.
+func TestPropagateDotProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(60)
+		x := randomPairMatrix(rng, m)
+		tr := randomTransform(rng)
+		y, err := tr.Apply(x)
+		if err != nil {
+			return false
+		}
+		dotX, err := stats.PairMatrixDotProduct(x)
+		if err != nil {
+			return false
+		}
+		sums, err := stats.ColumnSums(x)
+		if err != nil {
+			return false
+		}
+		got, err := tr.PropagateDotProduct(dotX, [2]float64{sums[0], sums[1]}, m)
+		if err != nil {
+			return false
+		}
+		want, err := stats.DotProductOf(y.Col(0), y.Col(1))
+		if err != nil {
+			return false
+		}
+		if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+			return false
+		}
+		fullGot, err := tr.PropagateDotProductMatrix(dotX, [2]float64{sums[0], sums[1]}, m)
+		if err != nil {
+			return false
+		}
+		fullWant, err := stats.PairMatrixDotProduct(y)
+		if err != nil {
+			return false
+		}
+		return fullGot.Equal(fullWant, 1e-7*(1+fullWant.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Lemma 1): when the source and target share a column and the
+// transformation is fitted by least squares, the dot product between the two
+// target series is preserved exactly even though the fit itself has error.
+func TestLemma1DotProductPreservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 10 + rng.Intn(50)
+		common := make([]float64, m)
+		center := make([]float64, m)
+		target := make([]float64, m)
+		for i := 0; i < m; i++ {
+			common[i] = rng.NormFloat64()
+			center[i] = rng.NormFloat64()
+			// The target is NOT an exact combination: it has noise outside
+			// the span of {common, center}.
+			target[i] = 0.4*common[i] - 1.3*center[i] + rng.NormFloat64()
+		}
+		source, _ := mat.NewFromColumns(common, center)
+		targetPair, _ := mat.NewFromColumns(common, target)
+		tr, err := Fit(source, targetPair)
+		if err != nil {
+			return false
+		}
+		dotX, _ := stats.PairMatrixDotProduct(source)
+		sums, _ := stats.ColumnSums(source)
+		got, err := tr.PropagateDotProduct(dotX, [2]float64{sums[0], sums[1]}, m)
+		if err != nil {
+			return false
+		}
+		want, _ := stats.DotProductOf(common, target)
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagateDerived(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := 60
+	x := randomPairMatrix(rng, m)
+	tr := randomTransform(rng)
+	y, err := tr.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Correlation via covariance base.
+	covX, _ := stats.PairMatrixCovariance(x)
+	normCorr, err := stats.NormalizerOf(stats.Correlation, y.Col(0), y.Col(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCorr, err := tr.PropagateDerived(stats.Correlation, covX, [2]float64{}, m, normCorr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCorr, err := stats.CorrelationOf(y.Col(0), y.Col(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotCorr-wantCorr) > 1e-8 {
+		t.Fatalf("correlation: got %v, want %v", gotCorr, wantCorr)
+	}
+
+	// Cosine via dot product base.
+	dotX, _ := stats.PairMatrixDotProduct(x)
+	sums, _ := stats.ColumnSums(x)
+	normCos, err := stats.NormalizerOf(stats.Cosine, y.Col(0), y.Col(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCos, err := tr.PropagateDerived(stats.Cosine, dotX, [2]float64{sums[0], sums[1]}, m, normCos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCos, err := stats.CosineOf(y.Col(0), y.Col(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotCos-wantCos) > 1e-8 {
+		t.Fatalf("cosine: got %v, want %v", gotCos, wantCos)
+	}
+
+	// Error paths.
+	if _, err := tr.PropagateDerived(stats.Mean, covX, [2]float64{}, m, 1); err == nil {
+		t.Fatal("non-derived measure should error")
+	}
+	if _, err := tr.PropagateDerived(stats.Correlation, covX, [2]float64{}, m, 0); !errors.Is(err, stats.ErrZeroNormalizer) {
+		t.Fatalf("zero normalizer err = %v", err)
+	}
+}
+
+func TestPropagateVariances(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := randomPairMatrix(rng, 40)
+	tr := randomTransform(rng)
+	y, _ := tr.Apply(x)
+	covX, _ := stats.PairMatrixCovariance(x)
+	vars, err := tr.PropagateVariances(covX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := stats.VarianceOf(y.Col(0))
+	v1, _ := stats.VarianceOf(y.Col(1))
+	if math.Abs(vars[0]-v0) > 1e-8*(1+v0) || math.Abs(vars[1]-v1) > 1e-8*(1+v1) {
+		t.Fatalf("propagated variances %v, want (%v, %v)", vars, v0, v1)
+	}
+}
+
+func TestCloneAndString(t *testing.T) {
+	tr := &Transform{A: mat.Identity(2), B: [2]float64{1, 2}}
+	cp := tr.Clone()
+	cp.A.Set(0, 0, 99)
+	cp.B[0] = 99
+	if tr.A.At(0, 0) != 1 || tr.B[0] != 1 {
+		t.Fatal("Clone must not share state")
+	}
+	if tr.String() == "" {
+		t.Fatal("String should render")
+	}
+	a1, a2 := tr.Columns()
+	if a1 != [2]float64{1, 0} || a2 != [2]float64{0, 1} {
+		t.Fatalf("Columns = %v, %v", a1, a2)
+	}
+}

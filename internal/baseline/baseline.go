@@ -1,0 +1,327 @@
+// Package baseline implements the two reference methods the paper compares
+// against:
+//
+//   - W_N — the naive method that computes every statistical measure from
+//     scratch by scanning the raw series for each query;
+//   - W_F — the DFT method of refs [1–3] (StatStream-style) that approximates
+//     the Pearson correlation coefficient from the largest DFT coefficients
+//     of the normalized series.
+//
+// The Affinity methods (W_A and the SCAPE index) live in internal/symex,
+// internal/scape and internal/core; keeping the baselines in their own
+// package makes the experiment harness explicit about which code path is
+// being measured.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"affinity/internal/dft"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// ErrNotPrecomputed is returned when a W_F query is issued before Precompute.
+var ErrNotPrecomputed = errors.New("baseline: DFT coefficients not precomputed")
+
+// Naive is the W_N method: it holds only a reference to the data matrix and
+// recomputes every requested measure from the raw series.
+type Naive struct {
+	data *timeseries.DataMatrix
+}
+
+// NewNaive returns a W_N baseline over the data matrix.
+func NewNaive(d *timeseries.DataMatrix) *Naive { return &Naive{data: d} }
+
+// Location computes an L-measure for the requested series from scratch.
+func (n *Naive) Location(m stats.Measure, ids []timeseries.SeriesID) ([]float64, error) {
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		s, err := n.data.Series(id)
+		if err != nil {
+			return nil, err
+		}
+		v, err := stats.ComputeLocation(m, s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Pairwise computes a T- or D-measure for every pair among the requested
+// series from scratch, returned as a symmetric |ids|-by-|ids| matrix in the
+// order given.  Pairs with an undefined derived value are reported as NaN.
+func (n *Naive) Pairwise(m stats.Measure, ids []timeseries.SeriesID) ([][]float64, error) {
+	out := make([][]float64, len(ids))
+	for i := range out {
+		out[i] = make([]float64, len(ids))
+	}
+	for i, u := range ids {
+		su, err := n.data.Series(u)
+		if err != nil {
+			return nil, err
+		}
+		for j := i; j < len(ids); j++ {
+			sv, err := n.data.Series(ids[j])
+			if err != nil {
+				return nil, err
+			}
+			v, err := stats.ComputePair(m, su, sv)
+			if err != nil {
+				if errors.Is(err, stats.ErrZeroNormalizer) {
+					v = math.NaN()
+				} else {
+					return nil, err
+				}
+			}
+			out[i][j] = v
+			out[j][i] = v
+		}
+	}
+	return out, nil
+}
+
+// PairValue computes a single pairwise measure from scratch.
+func (n *Naive) PairValue(m stats.Measure, e timeseries.Pair) (float64, error) {
+	return stats.PairMeasure(m, n.data, e)
+}
+
+// PairThreshold evaluates a MET query by computing the measure from scratch
+// for every sequence pair and filtering.
+func (n *Naive) PairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
+	var out []timeseries.Pair
+	for _, e := range n.data.AllPairs() {
+		v, err := stats.PairMeasure(m, n.data, e)
+		if err != nil {
+			if errors.Is(err, stats.ErrZeroNormalizer) {
+				continue
+			}
+			return nil, err
+		}
+		if (above && v > tau) || (!above && v < tau) {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// PairRange evaluates a MER query by computing the measure from scratch for
+// every sequence pair and filtering against [lo, hi].
+func (n *Naive) PairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("baseline: empty range [%v, %v]", lo, hi)
+	}
+	var out []timeseries.Pair
+	for _, e := range n.data.AllPairs() {
+		v, err := stats.PairMeasure(m, n.data, e)
+		if err != nil {
+			if errors.Is(err, stats.ErrZeroNormalizer) {
+				continue
+			}
+			return nil, err
+		}
+		if v >= lo && v <= hi {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// SeriesThreshold evaluates a MET query over an L-measure from scratch.
+func (n *Naive) SeriesThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.SeriesID, error) {
+	var out []timeseries.SeriesID
+	for _, id := range n.data.IDs() {
+		s, err := n.data.Series(id)
+		if err != nil {
+			return nil, err
+		}
+		v, err := stats.ComputeLocation(m, s)
+		if err != nil {
+			return nil, err
+		}
+		if (above && v > tau) || (!above && v < tau) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// SeriesRange evaluates a MER query over an L-measure from scratch.
+func (n *Naive) SeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.SeriesID, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("baseline: empty range [%v, %v]", lo, hi)
+	}
+	var out []timeseries.SeriesID
+	for _, id := range n.data.IDs() {
+		s, err := n.data.Series(id)
+		if err != nil {
+			return nil, err
+		}
+		v, err := stats.ComputeLocation(m, s)
+		if err != nil {
+			return nil, err
+		}
+		if v >= lo && v <= hi {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// DefaultDFTCoefficients is the number of retained DFT coefficients used by
+// the paper's W_F baseline ("the five largest DFT coefficients").
+const DefaultDFTCoefficients = 5
+
+// DFT is the W_F baseline: the Pearson correlation coefficient approximated
+// from the largest DFT coefficients of the normalized series.  It only
+// supports the correlation coefficient, which is exactly the limitation the
+// paper points out when comparing against it.
+type DFT struct {
+	data      *timeseries.DataMatrix
+	numCoeffs int
+	// coeffs[v] maps frequency index -> coefficient of the normalized series v.
+	coeffs []map[int]complex128
+	// degenerate[v] marks constant series whose correlation is undefined.
+	degenerate []bool
+}
+
+// NewDFT returns a W_F baseline retaining numCoeffs coefficients per series
+// (<= 0 selects DefaultDFTCoefficients).
+func NewDFT(d *timeseries.DataMatrix, numCoeffs int) *DFT {
+	if numCoeffs <= 0 {
+		numCoeffs = DefaultDFTCoefficients
+	}
+	return &DFT{data: d, numCoeffs: numCoeffs}
+}
+
+// Precompute transforms every series: it normalizes the series to zero mean
+// and unit energy, computes its DFT and retains the numCoeffs largest
+// coefficients.  This is the W_F method's one-time cost.
+func (w *DFT) Precompute() error {
+	n := w.data.NumSeries()
+	w.coeffs = make([]map[int]complex128, n)
+	w.degenerate = make([]bool, n)
+	for _, id := range w.data.IDs() {
+		s, err := w.data.Series(id)
+		if err != nil {
+			return err
+		}
+		normalized, ok := normalizeSeries(s)
+		if !ok {
+			w.degenerate[id] = true
+			w.coeffs[id] = map[int]complex128{}
+			continue
+		}
+		top, err := dft.TopCoefficients(normalized, w.numCoeffs)
+		if err != nil {
+			return err
+		}
+		m := make(map[int]complex128, len(top))
+		for _, c := range top {
+			m[c.Index] = c.Value
+		}
+		w.coeffs[id] = m
+	}
+	return nil
+}
+
+// normalizeSeries returns (x - mean) / (std * sqrt(m-1)) so that the inner
+// product of two normalized series equals their Pearson correlation.  The
+// second return value is false for constant series.
+func normalizeSeries(x []float64) ([]float64, bool) {
+	mean, err := stats.MeanOf(x)
+	if err != nil {
+		return nil, false
+	}
+	variance, err := stats.VarianceOf(x)
+	if err != nil || variance == 0 {
+		return nil, false
+	}
+	scale := math.Sqrt(variance * float64(len(x)-1))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v - mean) / scale
+	}
+	return out, true
+}
+
+// ApproxCorrelation approximates the Pearson correlation coefficient of a
+// pair of series from the retained DFT coefficients: by Parseval's theorem
+// the correlation equals (1/m)·Re(Σ_k X_k·conj(Y_k)) for the normalized
+// series, and the sum is truncated to the retained coefficients.
+func (w *DFT) ApproxCorrelation(e timeseries.Pair) (float64, error) {
+	if w.coeffs == nil {
+		return 0, ErrNotPrecomputed
+	}
+	if int(e.V) >= len(w.coeffs) || e.U < 0 || !e.Valid() {
+		return 0, fmt.Errorf("%w: %v", timeseries.ErrInvalidPair, e)
+	}
+	if w.degenerate[e.U] || w.degenerate[e.V] {
+		return 0, stats.ErrZeroNormalizer
+	}
+	cu := w.coeffs[e.U]
+	cv := w.coeffs[e.V]
+	var sum float64
+	for k, xu := range cu {
+		if xv, ok := cv[k]; ok {
+			sum += real(xu)*real(xv) + imag(xu)*imag(xv)
+		}
+	}
+	corr := sum / float64(w.data.NumSamples())
+	if corr > 1 {
+		corr = 1
+	} else if corr < -1 {
+		corr = -1
+	}
+	return corr, nil
+}
+
+// PairThreshold evaluates a correlation MET query with the W_F method: the
+// approximate correlation is computed for every pair and filtered.
+func (w *DFT) PairThreshold(tau float64, above bool) ([]timeseries.Pair, error) {
+	if w.coeffs == nil {
+		return nil, ErrNotPrecomputed
+	}
+	var out []timeseries.Pair
+	for _, e := range w.data.AllPairs() {
+		v, err := w.ApproxCorrelation(e)
+		if err != nil {
+			if errors.Is(err, stats.ErrZeroNormalizer) {
+				continue
+			}
+			return nil, err
+		}
+		if (above && v > tau) || (!above && v < tau) {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// PairRange evaluates a correlation MER query with the W_F method.
+func (w *DFT) PairRange(lo, hi float64) ([]timeseries.Pair, error) {
+	if w.coeffs == nil {
+		return nil, ErrNotPrecomputed
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("baseline: empty range [%v, %v]", lo, hi)
+	}
+	var out []timeseries.Pair
+	for _, e := range w.data.AllPairs() {
+		v, err := w.ApproxCorrelation(e)
+		if err != nil {
+			if errors.Is(err, stats.ErrZeroNormalizer) {
+				continue
+			}
+			return nil, err
+		}
+		if v >= lo && v <= hi {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

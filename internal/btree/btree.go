@@ -1,0 +1,251 @@
+// Package btree provides an in-memory B+-tree keyed by float64 with support
+// for duplicate keys and ordered range scans.
+//
+// The SCAPE index (Section 5 of the paper) stores, per pivot pair, a "sorted
+// container, like a B-tree" of sequence nodes keyed by their scalar
+// projection ξ.  Threshold and range queries then translate into key-range
+// scans over these containers.  This package is that sorted container: leaf
+// nodes are linked so an in-order scan touches only the leaves inside the
+// requested key range plus O(log n) descent nodes.
+package btree
+
+import "sort"
+
+// defaultOrder is the maximum number of keys per node.  32 keeps nodes within
+// a cache line or two while giving a branching factor high enough that trees
+// over hundreds of thousands of relationships stay shallow.
+const defaultOrder = 32
+
+// Tree is a B+-tree mapping float64 keys to values of type V.  Duplicate keys
+// are allowed; values with equal keys are returned in insertion order during
+// scans.  The zero value is not usable; call New.
+type Tree[V any] struct {
+	root  node[V]
+	first *leaf[V] // leftmost leaf, head of the leaf chain
+	size  int
+	order int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	lf := &leaf[V]{}
+	return &Tree[V]{root: lf, first: lf, order: defaultOrder}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+type node[V any] interface {
+	// insert adds the entry and reports a split: when split is true, right is
+	// the newly created sibling and sepKey separates the receiver (left) from
+	// it.
+	insert(key float64, value V, order int) (sepKey float64, right node[V], split bool)
+	// firstLeafGE returns the leaf that may contain the first key >= key and
+	// the index of that key within the leaf.
+	firstLeafGE(key float64) (*leaf[V], int)
+	minKey() float64
+}
+
+type leaf[V any] struct {
+	keys   []float64
+	values []V
+	next   *leaf[V]
+}
+
+type internal[V any] struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     []float64
+	children []node[V]
+}
+
+// Insert adds an entry to the tree.
+func (t *Tree[V]) Insert(key float64, value V) {
+	sep, right, split := t.root.insert(key, value, t.order)
+	if split {
+		newRoot := &internal[V]{
+			keys:     []float64{sep},
+			children: []node[V]{t.root, right},
+		}
+		t.root = newRoot
+	}
+	t.size++
+}
+
+func (l *leaf[V]) minKey() float64 {
+	if len(l.keys) == 0 {
+		return 0
+	}
+	return l.keys[0]
+}
+
+func (n *internal[V]) minKey() float64 { return n.children[0].minKey() }
+
+func (l *leaf[V]) insert(key float64, value V, order int) (float64, node[V], bool) {
+	// Position after any existing equal keys to keep insertion order stable.
+	pos := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] > key })
+	l.keys = append(l.keys, 0)
+	copy(l.keys[pos+1:], l.keys[pos:])
+	l.keys[pos] = key
+	var zero V
+	l.values = append(l.values, zero)
+	copy(l.values[pos+1:], l.values[pos:])
+	l.values[pos] = value
+
+	if len(l.keys) <= order {
+		return 0, nil, false
+	}
+	// Split in half; the right sibling takes the upper half.
+	mid := len(l.keys) / 2
+	right := &leaf[V]{
+		keys:   append([]float64(nil), l.keys[mid:]...),
+		values: append([]V(nil), l.values[mid:]...),
+		next:   l.next,
+	}
+	l.keys = l.keys[:mid:mid]
+	l.values = l.values[:mid:mid]
+	l.next = right
+	return right.keys[0], right, true
+}
+
+func (n *internal[V]) insert(key float64, value V, order int) (float64, node[V], bool) {
+	idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	sep, right, split := n.children[idx].insert(key, value, order)
+	if !split {
+		return 0, nil, false
+	}
+	// Insert the separator and the new child after position idx.
+	n.keys = append(n.keys, 0)
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = right
+
+	if len(n.keys) <= order {
+		return 0, nil, false
+	}
+	// Split the internal node; the middle key is promoted.
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	sibling := &internal[V]{
+		keys:     append([]float64(nil), n.keys[mid+1:]...),
+		children: append([]node[V](nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return promoted, sibling, true
+}
+
+func (l *leaf[V]) firstLeafGE(key float64) (*leaf[V], int) {
+	pos := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	return l, pos
+}
+
+func (n *internal[V]) firstLeafGE(key float64) (*leaf[V], int) {
+	// Descend into the child immediately left of the first separator >= key:
+	// duplicates equal to a separator may live in the left sibling after a
+	// split, and the leaf chain continues rightwards from there.
+	idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	return n.children[idx].firstLeafGE(key)
+}
+
+// Ascend visits every entry in non-decreasing key order until fn returns
+// false.
+func (t *Tree[V]) Ascend(fn func(key float64, value V) bool) {
+	for l := t.first; l != nil; l = l.next {
+		for i := range l.keys {
+			if !fn(l.keys[i], l.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendGreaterOrEqual visits entries with key >= pivot in non-decreasing key
+// order until fn returns false.
+func (t *Tree[V]) AscendGreaterOrEqual(pivot float64, fn func(key float64, value V) bool) {
+	l, pos := t.root.firstLeafGE(pivot)
+	for ; l != nil; l, pos = l.next, 0 {
+		for i := pos; i < len(l.keys); i++ {
+			if !fn(l.keys[i], l.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange visits entries with min <= key <= max in non-decreasing key
+// order until fn returns false.
+func (t *Tree[V]) AscendRange(min, max float64, fn func(key float64, value V) bool) {
+	if min > max {
+		return
+	}
+	t.AscendGreaterOrEqual(min, func(key float64, value V) bool {
+		if key > max {
+			return false
+		}
+		return fn(key, value)
+	})
+}
+
+// AscendLessThan visits entries with key < pivot in non-decreasing key order
+// until fn returns false.
+func (t *Tree[V]) AscendLessThan(pivot float64, fn func(key float64, value V) bool) {
+	t.Ascend(func(key float64, value V) bool {
+		if key >= pivot {
+			return false
+		}
+		return fn(key, value)
+	})
+}
+
+// CountRange returns the number of entries with min <= key <= max.
+func (t *Tree[V]) CountRange(min, max float64) int {
+	count := 0
+	t.AscendRange(min, max, func(float64, V) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// MinKey returns the smallest key and false when the tree is empty.
+func (t *Tree[V]) MinKey() (float64, bool) {
+	for l := t.first; l != nil; l = l.next {
+		if len(l.keys) > 0 {
+			return l.keys[0], true
+		}
+	}
+	return 0, false
+}
+
+// MaxKey returns the largest key and false when the tree is empty.
+func (t *Tree[V]) MaxKey() (float64, bool) {
+	if t.size == 0 {
+		return 0, false
+	}
+	var last float64
+	found := false
+	for l := t.first; l != nil; l = l.next {
+		if len(l.keys) > 0 {
+			last = l.keys[len(l.keys)-1]
+			found = true
+		}
+	}
+	return last, found
+}
+
+// Height returns the number of levels in the tree (1 for a single leaf),
+// useful in tests and diagnostics.
+func (t *Tree[V]) Height() int {
+	h := 1
+	n := t.root
+	for {
+		in, ok := n.(*internal[V])
+		if !ok {
+			return h
+		}
+		h++
+		n = in.children[0]
+	}
+}

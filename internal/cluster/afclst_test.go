@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"affinity/internal/mat"
+	"affinity/internal/timeseries"
+)
+
+// clusteredData builds n series drawn from k latent directions plus noise, so
+// a correct clustering can recover the group structure.
+func clusteredData(t *testing.T, rng *rand.Rand, k, perCluster, m int, noise float64) (*timeseries.DataMatrix, []int) {
+	t.Helper()
+	bases := make([][]float64, k)
+	for c := range bases {
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = math.Sin(float64(i)*0.05*float64(c+1)) + rng.NormFloat64()*0.05
+		}
+		bases[c] = b
+	}
+	var series [][]float64
+	var truth []int
+	for c := 0; c < k; c++ {
+		for j := 0; j < perCluster; j++ {
+			scale := 0.5 + rng.Float64()*2
+			s := make([]float64, m)
+			for i := range s {
+				s[i] = scale*bases[c][i] + rng.NormFloat64()*noise
+			}
+			series = append(series, s)
+			truth = append(truth, c)
+		}
+	}
+	d, err := timeseries.NewDataMatrix(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, truth
+}
+
+func TestRunBasicProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := clusteredData(t, rng, 3, 12, 80, 0.02)
+	res, err := Run(d, Config{K: 3, MaxIterations: 20, MinChanges: 0, Seed: 7})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.K() != 3 {
+		t.Fatalf("K() = %d", res.K())
+	}
+	if len(res.Assignment) != d.NumSeries() {
+		t.Fatalf("assignment length %d", len(res.Assignment))
+	}
+	for v, c := range res.Assignment {
+		if c < 0 || c >= 3 {
+			t.Fatalf("series %d assigned to invalid cluster %d", v, c)
+		}
+	}
+	for _, center := range res.Centers {
+		if len(center) != d.NumSamples() {
+			t.Fatalf("center length %d, want %d", len(center), d.NumSamples())
+		}
+		if math.Abs(mat.Norm(center)-1) > 1e-9 {
+			t.Fatalf("center not unit length: %v", mat.Norm(center))
+		}
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+	sizes := res.Sizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != d.NumSeries() {
+		t.Fatalf("cluster sizes sum to %d, want %d", total, d.NumSeries())
+	}
+}
+
+func TestRunRecoversPlantedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, truth := clusteredData(t, rng, 3, 15, 100, 0.01)
+	res, err := Run(d, Config{K: 3, MaxIterations: 30, MinChanges: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series from the same planted cluster should mostly land in the same
+	// AFCLST cluster.  Compute purity: for each planted group take the
+	// majority assignment and count matches.
+	groups := map[int][]int{}
+	for v, g := range truth {
+		groups[g] = append(groups[g], res.Assignment[v])
+	}
+	matches, total := 0, 0
+	for _, assigned := range groups {
+		counts := map[int]int{}
+		for _, a := range assigned {
+			counts[a]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		matches += best
+		total += len(assigned)
+	}
+	purity := float64(matches) / float64(total)
+	if purity < 0.9 {
+		t.Fatalf("cluster purity %.2f, want >= 0.9", purity)
+	}
+}
+
+func TestRunLowProjectionErrorForCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Exact multiples of two base directions: projection error should be ~0.
+	d, _ := clusteredData(t, rng, 2, 10, 60, 0)
+	res, err := Run(d, Config{K: 2, MaxIterations: 25, MinChanges: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, e := range res.ProjectionErrors {
+		s, _ := d.Series(timeseries.SeriesID(v))
+		if e > 1e-6*(1+mat.Norm(s)) {
+			t.Fatalf("series %d projection error %v, want ~0", v, e)
+		}
+	}
+	if res.TotalProjectionError() > 1e-9 {
+		t.Fatalf("total projection error %v", res.TotalProjectionError())
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, _ := clusteredData(t, rng, 3, 8, 50, 0.05)
+	a, err := Run(d, Config{K: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d, Config{K: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Assignment {
+		if a.Assignment[v] != b.Assignment[v] {
+			t.Fatal("same seed should give identical assignments")
+		}
+	}
+}
+
+func TestRunConvergenceFlag(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, _ := clusteredData(t, rng, 2, 10, 40, 0.01)
+	// A very permissive δ_min converges after the first assignment round.
+	res, err := Run(d, Config{K: 2, MaxIterations: 50, MinChanges: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 1 {
+		t.Fatalf("expected immediate convergence, got converged=%v iterations=%d",
+			res.Converged, res.Iterations)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d, _ := clusteredData(t, rng, 2, 3, 20, 0.01)
+	if _, err := Run(d, Config{K: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("K=0 err = %v", err)
+	}
+	if _, err := Run(d, Config{K: 100}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("K>n err = %v", err)
+	}
+	if _, err := Run(d, Config{K: 2, MaxIterations: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative iterations err = %v", err)
+	}
+	empty := &timeseries.DataMatrix{}
+	if _, err := Run(empty, Config{K: 1}); err == nil {
+		t.Fatal("empty data should error")
+	}
+}
+
+func TestRunHandlesConstantAndZeroSeries(t *testing.T) {
+	series := [][]float64{
+		{0, 0, 0, 0, 0},
+		{1, 1, 1, 1, 1},
+		{1, 2, 3, 4, 5},
+		{2, 4, 6, 8, 10},
+	}
+	d, err := timeseries.NewDataMatrix(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(d, Config{K: 2, MaxIterations: 10, MinChanges: 0, Seed: 9})
+	if err != nil {
+		t.Fatalf("Run with degenerate series: %v", err)
+	}
+	for _, c := range res.Centers {
+		if mat.HasNaN(c) {
+			t.Fatal("center contains NaN")
+		}
+		if math.Abs(mat.Norm(c)-1) > 1e-9 {
+			t.Fatalf("center norm %v", mat.Norm(c))
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, _ := clusteredData(t, rng, 2, 5, 30, 0.01)
+	res, err := Run(d, Config{K: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	omega, err := res.Omega(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, err := res.Center(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(center, res.Centers[omega], 0) {
+		t.Fatal("Center(0) should return the assigned cluster's center")
+	}
+	if _, err := res.Omega(timeseries.SeriesID(99)); err == nil {
+		t.Fatal("out-of-range Omega should error")
+	}
+	if _, err := res.Center(timeseries.SeriesID(-1)); err == nil {
+		t.Fatal("out-of-range Center should error")
+	}
+	members := res.Members(omega)
+	found := false
+	for _, m := range members {
+		if m == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Members should include series 0 in its assigned cluster")
+	}
+}
+
+func TestRunKEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d, _ := clusteredData(t, rng, 2, 3, 25, 0.05)
+	res, err := Run(d, Config{K: d.NumSeries(), MaxIterations: 5, MinChanges: 0, Seed: 2})
+	if err != nil {
+		t.Fatalf("K=n should be allowed: %v", err)
+	}
+	if res.K() != d.NumSeries() {
+		t.Fatalf("K() = %d", res.K())
+	}
+}

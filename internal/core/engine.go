@@ -1,0 +1,431 @@
+// Package core contains the Affinity engine: the component that wires
+// together AFCLST clustering, SYMEX+ affine-relationship computation, the
+// per-pivot measure summaries and the SCAPE index, and that answers the three
+// query types of Section 2.2 (measure computation, measure threshold and
+// measure range) with a selectable execution method:
+//
+//   - MethodNaive  (W_N): compute from the raw series for every request;
+//   - MethodAffine (W_A): compute through affine relationships and the
+//     pre-computed pivot summaries;
+//   - MethodIndex  (SCAPE): answer threshold/range queries from the index.
+//
+// The public package affinity (repository root) is a thin facade over this
+// engine.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"affinity/internal/baseline"
+	"affinity/internal/cluster"
+	"affinity/internal/mat"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// Method selects how a query is executed.
+type Method int
+
+const (
+	// MethodNaive computes measures from scratch (the paper's W_N).
+	MethodNaive Method = iota
+	// MethodAffine computes measures through affine relationships (W_A).
+	MethodAffine
+	// MethodIndex answers threshold/range queries from the SCAPE index.
+	MethodIndex
+)
+
+// String names the method the way the paper does.
+func (m Method) String() string {
+	switch m {
+	case MethodNaive:
+		return "WN"
+	case MethodAffine:
+		return "WA"
+	case MethodIndex:
+		return "SCAPE"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ErrBadMethod is returned when a query requests an unsupported method.
+var ErrBadMethod = errors.New("core: unsupported method for this query")
+
+// ErrNoIndex is returned when an index query is issued against an engine that
+// was built without the SCAPE index.
+var ErrNoIndex = errors.New("core: engine was built without the SCAPE index")
+
+// Config parameterizes engine construction.
+type Config struct {
+	// Clusters is the AFCLST k (default 6, the value the paper finds
+	// sufficient for high accuracy).
+	Clusters int
+	// MaxIterations is the AFCLST γ_max (default 10).
+	MaxIterations int
+	// MinChanges is the AFCLST δ_min (default 10).
+	MinChanges int
+	// Seed drives the AFCLST initialization.
+	Seed int64
+	// DisablePseudoInverseCache selects plain SYMEX instead of SYMEX+.
+	DisablePseudoInverseCache bool
+	// SkipIndex skips building the SCAPE index (MEC-only deployments).
+	SkipIndex bool
+	// Index holds SCAPE build options.
+	Index scape.Options
+	// MaxRelationships limits SYMEX to the first g relationships (0 = all);
+	// used by the scalability experiments.
+	MaxRelationships int
+	// Parallelism is the number of goroutines used to fit affine
+	// relationships (0 or 1 = sequential).  Results are identical at any
+	// level.
+	Parallelism int
+	// MaxLSFD prunes affine relationships whose LSFD exceeds the bound; the
+	// affine method falls back to the naive computation for pruned pairs and
+	// the SCAPE index simply does not contain them.  Zero disables pruning.
+	MaxLSFD float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clusters <= 0 {
+		c.Clusters = 6
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = cluster.DefaultMaxIterations
+	}
+	if c.MinChanges <= 0 {
+		c.MinChanges = cluster.DefaultMinChanges
+	}
+	return c
+}
+
+// BuildInfo reports what the build produced and how long each stage took.
+type BuildInfo struct {
+	NumSeries            int
+	NumSamples           int
+	NumPairs             int
+	NumPivots            int
+	NumRelationships     int
+	ClusterIterations    int
+	PseudoInverseCount   int
+	PseudoInverseHits    int
+	ClusteringDuration   time.Duration
+	SymexDuration        time.Duration
+	SummaryDuration      time.Duration
+	IndexDuration        time.Duration
+	TotalDuration        time.Duration
+	IndexSequenceNodes   int
+	IndexPivotNodes      int
+	IndexBuilt           bool
+	UsedPseudoInverseTag string
+}
+
+// pivotSummary caches the pivot-side quantities every propagation needs: the
+// 2-by-2 covariance and Gram matrices of O_p, its column sums and its
+// per-column L-measures.
+type pivotSummary struct {
+	cov       *mat.Matrix
+	dot       *mat.Matrix
+	colSums   [2]float64
+	locations map[stats.Measure][2]float64
+}
+
+// Engine is the built Affinity framework instance over one data matrix.
+type Engine struct {
+	cfg  Config
+	data *timeseries.DataMatrix
+
+	naive *baseline.Naive
+	rel   *symex.Result
+	index *scape.Index
+
+	summaries map[symex.Pivot]*pivotSummary
+	// Per-series statistics for separable normalizers.
+	seriesVariance []float64
+	seriesSqNorm   []float64
+	// Per-series 1-D affine calibration against the series' cluster center:
+	// s_v ≈ calibA[v]·r_ω(v) + calibB[v]·1.  Location measures of a series
+	// are estimated as calibA·L(r_ω(v)) + calibB (Eq. 5 restricted to the
+	// cluster-center column), so a W_A location query only has to reduce the
+	// k cluster centers instead of all n series.
+	calibA []float64
+	calibB []float64
+	// Cached location measures of the k cluster centers, keyed by measure.
+	centerLocation map[stats.Measure][]float64
+	// Affine-estimated per-series location measures (the W_A path for
+	// L-measures); keyed by measure.
+	seriesLocation map[stats.Measure][]float64
+
+	info BuildInfo
+}
+
+// Build constructs the engine: AFCLST → SYMEX(+) → pivot summaries → SCAPE.
+func Build(d *timeseries.DataMatrix, cfg Config) (*Engine, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	e := &Engine{
+		cfg:   cfg,
+		data:  d,
+		naive: baseline.NewNaive(d),
+	}
+
+	// Stage 1+2: clustering and affine relationships (SYMEX internally runs
+	// AFCLST; timing for the two stages is reported together as SymexDuration
+	// with ClusteringDuration covering the explicit pre-clustering run).
+	clusterStart := time.Now()
+	clustering, err := cluster.Run(d, cluster.Config{
+		K:             cfg.Clusters,
+		MaxIterations: cfg.MaxIterations,
+		MinChanges:    cfg.MinChanges,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	e.info.ClusteringDuration = time.Since(clusterStart)
+	e.info.ClusterIterations = clustering.Iterations
+
+	symexStart := time.Now()
+	rel, err := symex.Compute(d, symex.Options{
+		Clustering:         clustering,
+		CachePseudoInverse: !cfg.DisablePseudoInverseCache,
+		MaxRelationships:   cfg.MaxRelationships,
+		Parallelism:        cfg.Parallelism,
+		MaxLSFD:            cfg.MaxLSFD,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: symex: %w", err)
+	}
+	e.rel = rel
+	e.info.SymexDuration = time.Since(symexStart)
+
+	// Stage 3: pre-processing — fill the pivot summaries (the paper's
+	// "fill the values in the empty hash map pivotHash") and the per-series
+	// statistics used by separable normalizers and location estimates.
+	summaryStart := time.Now()
+	if err := e.buildSummaries(); err != nil {
+		return nil, err
+	}
+	e.info.SummaryDuration = time.Since(summaryStart)
+
+	// Stage 4: the SCAPE index.
+	if !cfg.SkipIndex {
+		indexStart := time.Now()
+		idx, err := scape.Build(d, rel, cfg.Index)
+		if err != nil {
+			return nil, fmt.Errorf("core: building SCAPE index: %w", err)
+		}
+		e.index = idx
+		e.info.IndexDuration = time.Since(indexStart)
+		e.info.IndexBuilt = true
+		e.info.IndexSequenceNodes = idx.Stats().SequenceNodes
+		e.info.IndexPivotNodes = idx.Stats().Pivots
+	}
+
+	e.info.NumSeries = d.NumSeries()
+	e.info.NumSamples = d.NumSamples()
+	e.info.NumPairs = d.NumPairs()
+	e.info.NumPivots = rel.Stats.NumPivots
+	e.info.NumRelationships = rel.Stats.NumRelationships
+	e.info.PseudoInverseCount = rel.Stats.PseudoInverseComputations
+	e.info.PseudoInverseHits = rel.Stats.PseudoInverseCacheHits
+	if cfg.DisablePseudoInverseCache {
+		e.info.UsedPseudoInverseTag = "SYMEX"
+	} else {
+		e.info.UsedPseudoInverseTag = "SYMEX+"
+	}
+	e.info.TotalDuration = time.Since(start)
+	return e, nil
+}
+
+// Info returns build statistics.
+func (e *Engine) Info() BuildInfo { return e.info }
+
+// Data returns the underlying data matrix.
+func (e *Engine) Data() *timeseries.DataMatrix { return e.data }
+
+// Relationships exposes the SYMEX result (for diagnostics and experiments).
+func (e *Engine) Relationships() *symex.Result { return e.rel }
+
+// Index exposes the SCAPE index, or nil when SkipIndex was set.
+func (e *Engine) Index() *scape.Index { return e.index }
+
+// Naive exposes the W_N baseline bound to the engine's data.
+func (e *Engine) Naive() *baseline.Naive { return e.naive }
+
+// buildSummaries fills the pivot summaries, the per-series statistics and the
+// affine-estimated per-series locations.
+func (e *Engine) buildSummaries() error {
+	e.summaries = make(map[symex.Pivot]*pivotSummary, len(e.rel.Pivots))
+	for pivot := range e.rel.Pivots {
+		op, err := e.rel.PivotMatrix(e.data, pivot)
+		if err != nil {
+			return err
+		}
+		cov, err := stats.PairMatrixCovariance(op)
+		if err != nil {
+			return err
+		}
+		dot, err := stats.PairMatrixDotProduct(op)
+		if err != nil {
+			return err
+		}
+		sums, err := stats.ColumnSums(op)
+		if err != nil {
+			return err
+		}
+		summary := &pivotSummary{
+			cov:       cov,
+			dot:       dot,
+			colSums:   [2]float64{sums[0], sums[1]},
+			locations: make(map[stats.Measure][2]float64, 3),
+		}
+		for _, m := range stats.LMeasures() {
+			loc, err := stats.PairMatrixLocation(m, op)
+			if err != nil {
+				return err
+			}
+			summary.locations[m] = [2]float64{loc[0], loc[1]}
+		}
+		e.summaries[pivot] = summary
+	}
+
+	// Per-series statistics.
+	n := e.data.NumSeries()
+	e.seriesVariance = make([]float64, n)
+	e.seriesSqNorm = make([]float64, n)
+	for _, id := range e.data.IDs() {
+		s, err := e.data.Series(id)
+		if err != nil {
+			return err
+		}
+		v, err := stats.VarianceOf(s)
+		if err != nil {
+			return err
+		}
+		sq, err := stats.DotProductOf(s, s)
+		if err != nil {
+			return err
+		}
+		e.seriesVariance[id] = v
+		e.seriesSqNorm[id] = sq
+	}
+
+	// Per-series 1-D affine calibration against the cluster center: the
+	// least-squares fit of s_v onto [r_ω(v), 1].  Because the design contains
+	// the constant column, the residual has zero mean, so location estimates
+	// propagated through (a, b) are exact for the mean and approximate for
+	// the median and the mode (which is exactly the error pattern the paper
+	// reports in Figs. 9–10).
+	clustering := e.rel.Clustering
+	e.calibA = make([]float64, n)
+	e.calibB = make([]float64, n)
+	for _, id := range e.data.IDs() {
+		s, err := e.data.Series(id)
+		if err != nil {
+			return err
+		}
+		center, err := clustering.Center(id)
+		if err != nil {
+			return err
+		}
+		a, b := fitLine(center, s)
+		e.calibA[id] = a
+		e.calibB[id] = b
+	}
+
+	// Location measures of the cluster centers, then the per-series
+	// estimates.
+	e.centerLocation = make(map[stats.Measure][]float64, 3)
+	e.seriesLocation = make(map[stats.Measure][]float64, 3)
+	for _, m := range stats.LMeasures() {
+		centers := make([]float64, clustering.K())
+		for l, r := range clustering.Centers {
+			v, err := stats.ComputeLocation(m, r)
+			if err != nil {
+				return err
+			}
+			centers[l] = v
+		}
+		e.centerLocation[m] = centers
+
+		values := make([]float64, n)
+		for _, id := range e.data.IDs() {
+			omega, err := clustering.Omega(id)
+			if err != nil {
+				return err
+			}
+			values[id] = e.calibA[id]*centers[omega] + e.calibB[id]
+		}
+		e.seriesLocation[m] = values
+	}
+	return nil
+}
+
+// fitLine returns the least-squares coefficients (a, b) of y ≈ a·x + b·1.
+// A constant x degenerates to a = 0, b = mean(y).
+func fitLine(x, y []float64) (a, b float64) {
+	m := float64(len(x))
+	if m == 0 {
+		return 0, 0
+	}
+	var sumX, sumY, sumXX, sumXY float64
+	for i := range x {
+		sumX += x[i]
+		sumY += y[i]
+		sumXX += x[i] * x[i]
+		sumXY += x[i] * y[i]
+	}
+	denom := m*sumXX - sumX*sumX
+	if denom == 0 {
+		return 0, sumY / m
+	}
+	a = (m*sumXY - sumX*sumY) / denom
+	b = (sumY - a*sumX) / m
+	return a, b
+}
+
+// normalizer returns the separable normalizer U_e of a derived measure for a
+// pair, computed from the cached per-series statistics.
+func (e *Engine) normalizer(m stats.Measure, pair timeseries.Pair) (float64, error) {
+	switch m {
+	case stats.Correlation:
+		return sqrt(e.seriesVariance[pair.U] * e.seriesVariance[pair.V]), nil
+	case stats.Cosine:
+		return sqrt(e.seriesSqNorm[pair.U] * e.seriesSqNorm[pair.V]), nil
+	case stats.Dice:
+		return (e.seriesSqNorm[pair.U] + e.seriesSqNorm[pair.V]) / 2, nil
+	case stats.HarmonicMean:
+		sum := e.seriesSqNorm[pair.U] + e.seriesSqNorm[pair.V]
+		if sum == 0 {
+			return 0, nil
+		}
+		return e.seriesSqNorm[pair.U] * e.seriesSqNorm[pair.V] / sum, nil
+	case stats.Jaccard:
+		// The Jaccard normalizer needs the dot product itself; it is derived
+		// from the affine estimate of the dot product at call time.
+		dot, err := e.affinePairBase(stats.DotProduct, pair)
+		if err != nil {
+			return 0, err
+		}
+		return e.seriesSqNorm[pair.U] + e.seriesSqNorm[pair.V] - dot, nil
+	default:
+		return 0, fmt.Errorf("core: %v is not a derived measure: %w", m, stats.ErrUnknownMeasure)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"affinity/internal/dataset"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+func buildTestEngine(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	d, err := dataset.GenerateSensor(dataset.SensorConfig{
+		NumSeries:  24,
+		NumSamples: 120,
+		NumGroups:  4,
+		Noise:      0.02,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBuildInfo(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2})
+	info := e.Info()
+	if info.NumSeries != 24 || info.NumSamples != 120 {
+		t.Fatalf("info shape %+v", info)
+	}
+	if info.NumPairs != 24*23/2 {
+		t.Fatalf("NumPairs = %d", info.NumPairs)
+	}
+	if info.NumRelationships != info.NumPairs {
+		t.Fatalf("relationships %d != pairs %d", info.NumRelationships, info.NumPairs)
+	}
+	if info.NumPivots == 0 || info.NumPivots > 24*4 {
+		t.Fatalf("NumPivots = %d", info.NumPivots)
+	}
+	if !info.IndexBuilt || info.IndexPivotNodes != info.NumPivots {
+		t.Fatalf("index info %+v", info)
+	}
+	if info.UsedPseudoInverseTag != "SYMEX+" {
+		t.Fatalf("tag = %q", info.UsedPseudoInverseTag)
+	}
+	if info.TotalDuration <= 0 {
+		t.Fatal("durations should be recorded")
+	}
+	if e.Data() == nil || e.Relationships() == nil || e.Index() == nil || e.Naive() == nil {
+		t.Fatal("accessors should be populated")
+	}
+}
+
+func TestBuildWithoutIndex(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2, SkipIndex: true})
+	if e.Index() != nil || e.Info().IndexBuilt {
+		t.Fatal("index should not be built")
+	}
+	if _, err := e.Threshold(stats.Covariance, 0, scape.Above, MethodIndex); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("index query err = %v", err)
+	}
+	if _, err := e.Range(stats.Covariance, 0, 1, MethodIndex); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("index range err = %v", err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	empty := &timeseries.DataMatrix{}
+	if _, err := Build(empty, Config{}); err == nil {
+		t.Fatal("empty data should error")
+	}
+	single, _ := timeseries.NewDataMatrix([][]float64{{1, 2, 3}})
+	if _, err := Build(single, Config{Clusters: 1}); err == nil {
+		t.Fatal("single series should error (no pairs)")
+	}
+}
+
+func TestPlainSymexBuild(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2, DisablePseudoInverseCache: true})
+	info := e.Info()
+	if info.UsedPseudoInverseTag != "SYMEX" {
+		t.Fatalf("tag = %q", info.UsedPseudoInverseTag)
+	}
+	if info.PseudoInverseHits != 0 {
+		t.Fatalf("plain SYMEX should have no cache hits, got %d", info.PseudoInverseHits)
+	}
+	if info.PseudoInverseCount != info.NumRelationships {
+		t.Fatalf("pseudo-inverse count %d != relationships %d", info.PseudoInverseCount, info.NumRelationships)
+	}
+}
+
+func TestComputeLocationAccuracy(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 3})
+	ids := e.Data().IDs()
+
+	for _, m := range []stats.Measure{stats.Mean, stats.Median} {
+		truth, err := e.ComputeLocation(m, ids, MethodNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := e.ComputeLocation(m, ids, MethodAffine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmse, err := stats.RMSE(truth, approx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := 1.0 // percent
+		if m == stats.Median {
+			limit = 6.0
+		}
+		if rmse > limit {
+			t.Fatalf("%v RMSE %.3f%% exceeds %v%%", m, rmse, limit)
+		}
+	}
+
+	if _, err := e.ComputeLocation(stats.Covariance, ids, MethodNaive); err == nil {
+		t.Fatal("T-measure should be rejected")
+	}
+	if _, err := e.ComputeLocation(stats.Mean, ids, MethodIndex); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("index MEC err = %v", err)
+	}
+	if _, err := e.ComputeLocation(stats.Mean, []timeseries.SeriesID{999}, MethodAffine); err == nil {
+		t.Fatal("invalid id should error")
+	}
+}
+
+func TestComputePairwiseAccuracy(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 4})
+	ids := e.Data().IDs()
+
+	for _, m := range []stats.Measure{stats.Covariance, stats.DotProduct, stats.Correlation, stats.Cosine} {
+		truth, err := e.ComputePairwise(m, ids, MethodNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := e.ComputePairwise(m, ids, MethodAffine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flatTruth, flatApprox []float64
+		for i := range truth {
+			for j := i + 1; j < len(truth); j++ {
+				if math.IsNaN(truth[i][j]) || math.IsNaN(approx[i][j]) {
+					continue
+				}
+				flatTruth = append(flatTruth, truth[i][j])
+				flatApprox = append(flatApprox, approx[i][j])
+			}
+		}
+		rmse, err := stats.RMSE(flatTruth, flatApprox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmse > 3 {
+			t.Fatalf("%v RMSE %.3f%% too high", m, rmse)
+		}
+		// Symmetry of the affine response.
+		for i := range approx {
+			for j := range approx {
+				a, b := approx[i][j], approx[j][i]
+				if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+					t.Fatalf("%v response not symmetric at (%d,%d)", m, i, j)
+				}
+			}
+		}
+	}
+
+	if _, err := e.ComputePairwise(stats.Mean, ids, MethodNaive); err == nil {
+		t.Fatal("L-measure should be rejected")
+	}
+	if _, err := e.ComputePairwise(stats.Covariance, ids, MethodIndex); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("index pairwise MEC err = %v", err)
+	}
+}
+
+func TestPairwiseDiagonal(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 5})
+	ids := []timeseries.SeriesID{0, 1, 2}
+	for _, m := range []stats.Measure{stats.Covariance, stats.Correlation, stats.DotProduct, stats.Cosine, stats.HarmonicMean} {
+		approx, err := e.ComputePairwise(m, ids, MethodAffine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := e.ComputePairwise(m, ids, MethodNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ids {
+			if math.Abs(approx[i][i]-truth[i][i]) > 1e-6*(1+math.Abs(truth[i][i])) {
+				t.Fatalf("%v diagonal [%d] = %v, want %v", m, i, approx[i][i], truth[i][i])
+			}
+		}
+	}
+}
+
+func TestPairValueMethods(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 6})
+	pair := timeseries.Pair{U: 0, V: 5}
+	truth, err := e.PairValue(stats.Correlation, pair, MethodNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := e.PairValue(stats.Correlation, pair, MethodAffine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(truth-approx) > 0.05 {
+		t.Fatalf("correlation estimate %v vs truth %v", approx, truth)
+	}
+	// Non-canonical pair input is canonicalized by the affine path.
+	swapped, err := e.affinePairValue(stats.Correlation, timeseries.Pair{U: 5, V: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped != approx {
+		t.Fatalf("non-canonical pair gave %v, want %v", swapped, approx)
+	}
+	if _, err := e.PairValue(stats.Mean, pair, MethodNaive); err == nil {
+		t.Fatal("L-measure PairValue should error")
+	}
+	if _, err := e.PairValue(stats.Covariance, pair, MethodIndex); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("index PairValue err = %v", err)
+	}
+	// Jaccard goes through the dot-product-dependent normalizer path.
+	jac, err := e.PairValue(stats.Jaccard, pair, MethodAffine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jacTruth, err := e.PairValue(stats.Jaccard, pair, MethodNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(jac-jacTruth) > 0.05*(1+math.Abs(jacTruth)) {
+		t.Fatalf("jaccard estimate %v vs truth %v", jac, jacTruth)
+	}
+}
+
+func TestThresholdMethodsAgree(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 7})
+
+	for _, m := range []stats.Measure{stats.Covariance, stats.Correlation} {
+		// Pick a threshold from the naive value distribution.
+		naive, err := e.Threshold(m, 0, scape.Above, MethodNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if naive.Size() == 0 {
+			t.Fatalf("%v: empty naive result; bad test threshold", m)
+		}
+		affine, err := e.Threshold(m, 0, scape.Above, MethodAffine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed, err := e.Threshold(m, 0, scape.Above, MethodIndex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The affine and index methods share the same estimates, so their
+		// result sets must be identical.
+		if !samePairSet(affine.Pairs, indexed.Pairs) {
+			t.Fatalf("%v: affine and index results differ (%d vs %d)", m, len(affine.Pairs), len(indexed.Pairs))
+		}
+		// The affine result should closely track the exact result: allow a
+		// small symmetric difference caused by approximation at the boundary.
+		if diff := symmetricDiff(naive.Pairs, affine.Pairs); float64(diff) > 0.1*float64(len(naive.Pairs))+3 {
+			t.Fatalf("%v: affine result differs from naive by %d of %d pairs", m, diff, len(naive.Pairs))
+		}
+	}
+}
+
+func TestRangeMethodsAgree(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 8})
+	lo, hi := 0.2, 0.9
+	naive, err := e.Range(stats.Correlation, lo, hi, MethodNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affine, err := e.Range(stats.Correlation, lo, hi, MethodAffine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := e.Range(stats.Correlation, lo, hi, MethodIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePairSet(affine.Pairs, indexed.Pairs) {
+		t.Fatalf("affine and index range results differ (%d vs %d)", len(affine.Pairs), len(indexed.Pairs))
+	}
+	if diff := symmetricDiff(naive.Pairs, affine.Pairs); float64(diff) > 0.15*float64(len(naive.Pairs))+3 {
+		t.Fatalf("affine range result differs from naive by %d of %d pairs", diff, len(naive.Pairs))
+	}
+	if _, err := e.Range(stats.Correlation, 1, 0, MethodNaive); err == nil {
+		t.Fatal("inverted range should error")
+	}
+}
+
+func TestLocationThresholdAndRange(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 9})
+	means, err := e.ComputeLocation(stats.Mean, e.Data().IDs(), MethodNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tau float64
+	for _, v := range means {
+		tau += v
+	}
+	tau /= float64(len(means))
+
+	for _, method := range []Method{MethodNaive, MethodAffine, MethodIndex} {
+		res, err := e.Threshold(stats.Mean, tau, scape.Above, method)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if len(res.Pairs) != 0 {
+			t.Fatalf("%v: location query should return series, not pairs", method)
+		}
+		for _, id := range res.Series {
+			if means[id] <= tau-1e-6*(1+math.Abs(tau)) {
+				t.Fatalf("%v: series %d mean %v not above %v", method, id, means[id], tau)
+			}
+		}
+
+		ranged, err := e.Range(stats.Mean, tau-1, tau+1, method)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		for _, id := range ranged.Series {
+			if means[id] < tau-1-1e-6 || means[id] > tau+1+1e-6 {
+				t.Fatalf("%v: series %d mean %v outside range", method, id, means[id])
+			}
+		}
+	}
+	if _, err := e.Threshold(stats.Mean, tau, scape.Above, Method(9)); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("bad method err = %v", err)
+	}
+	if _, err := e.Range(stats.Mean, 0, 1, Method(9)); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("bad method err = %v", err)
+	}
+	if _, err := e.Threshold(stats.Covariance, 0, scape.Above, Method(9)); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("bad method err = %v", err)
+	}
+	if _, err := e.Range(stats.Covariance, 0, 1, Method(9)); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("bad method err = %v", err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodNaive.String() != "WN" || MethodAffine.String() != "WA" || MethodIndex.String() != "SCAPE" {
+		t.Fatal("method names are wrong")
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method should still render")
+	}
+}
+
+func samePairSet(a, b []timeseries.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[timeseries.Pair]bool, len(a))
+	for _, p := range a {
+		set[p] = true
+	}
+	for _, p := range b {
+		if !set[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func symmetricDiff(a, b []timeseries.Pair) int {
+	setA := make(map[timeseries.Pair]bool, len(a))
+	for _, p := range a {
+		setA[p] = true
+	}
+	setB := make(map[timeseries.Pair]bool, len(b))
+	for _, p := range b {
+		setB[p] = true
+	}
+	diff := 0
+	for p := range setA {
+		if !setB[p] {
+			diff++
+		}
+	}
+	for p := range setB {
+		if !setA[p] {
+			diff++
+		}
+	}
+	return diff
+}

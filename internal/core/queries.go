@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// ThresholdResult is the answer to a measure threshold (MET) query: series
+// identifiers for L-measures, sequence pairs for T- and D-measures.
+type ThresholdResult struct {
+	Series []timeseries.SeriesID
+	Pairs  []timeseries.Pair
+}
+
+// Size returns the number of entries in the result set.
+func (r ThresholdResult) Size() int { return len(r.Series) + len(r.Pairs) }
+
+// ComputeLocation answers a MEC query for an L-measure over the requested
+// series, using the selected method (Query 1 with an L-measure).
+func (e *Engine) ComputeLocation(m stats.Measure, ids []timeseries.SeriesID, method Method) ([]float64, error) {
+	if m.Class() != stats.LocationClass {
+		return nil, fmt.Errorf("core: %v is not an L-measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	switch method {
+	case MethodNaive:
+		return e.naive.Location(m, ids)
+	case MethodAffine:
+		estimates, ok := e.seriesLocation[m]
+		if !ok {
+			return nil, fmt.Errorf("core: no location estimates for %v", m)
+		}
+		out := make([]float64, len(ids))
+		for i, id := range ids {
+			if int(id) < 0 || int(id) >= len(estimates) {
+				return nil, fmt.Errorf("%w: %d", timeseries.ErrInvalidSeries, id)
+			}
+			out[i] = estimates[id]
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: %v for location MEC", ErrBadMethod, method)
+	}
+}
+
+// ComputePairwise answers a MEC query for a T- or D-measure over the
+// requested series: the |ψ|-by-|ψ| matrix of pairwise values in the order
+// given.  Undefined derived values (zero normalizer) are reported as NaN.
+func (e *Engine) ComputePairwise(m stats.Measure, ids []timeseries.SeriesID, method Method) ([][]float64, error) {
+	if !m.Pairwise() {
+		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	switch method {
+	case MethodNaive:
+		return e.naive.Pairwise(m, ids)
+	case MethodAffine:
+		out := make([][]float64, len(ids))
+		for i := range out {
+			out[i] = make([]float64, len(ids))
+		}
+		for i, u := range ids {
+			for j := i; j < len(ids); j++ {
+				v := ids[j]
+				var value float64
+				var err error
+				if u == v {
+					value, err = e.selfPairValue(m, u)
+				} else {
+					pair, perr := timeseries.NewPair(u, v)
+					if perr != nil {
+						return nil, perr
+					}
+					value, err = e.affinePairValue(m, pair)
+				}
+				if err != nil {
+					if errors.Is(err, stats.ErrZeroNormalizer) {
+						value = math.NaN()
+					} else {
+						return nil, err
+					}
+				}
+				out[i][j] = value
+				out[j][i] = value
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: %v for pairwise MEC", ErrBadMethod, method)
+	}
+}
+
+// PairValue computes a single pairwise measure with the selected method.
+func (e *Engine) PairValue(m stats.Measure, pair timeseries.Pair, method Method) (float64, error) {
+	if !m.Pairwise() {
+		return 0, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	switch method {
+	case MethodNaive:
+		return e.naive.PairValue(m, pair)
+	case MethodAffine:
+		return e.affinePairValue(m, pair)
+	default:
+		return 0, fmt.Errorf("%w: %v for PairValue", ErrBadMethod, method)
+	}
+}
+
+// Threshold answers a MET query (Query 2): entries whose measure is above
+// (or below) tau, computed with the selected method.
+func (e *Engine) Threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (ThresholdResult, error) {
+	above := op == scape.Above
+	if m.Class() == stats.LocationClass {
+		switch method {
+		case MethodNaive:
+			ids, err := e.naive.SeriesThreshold(m, tau, above)
+			return ThresholdResult{Series: ids}, err
+		case MethodAffine:
+			ids, err := e.affineSeriesThreshold(m, tau, above)
+			return ThresholdResult{Series: ids}, err
+		case MethodIndex:
+			if e.index == nil {
+				return ThresholdResult{}, ErrNoIndex
+			}
+			ids, err := e.index.SeriesThreshold(m, tau, op)
+			return ThresholdResult{Series: ids}, err
+		default:
+			return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
+		}
+	}
+	switch method {
+	case MethodNaive:
+		pairs, err := e.naive.PairThreshold(m, tau, above)
+		return ThresholdResult{Pairs: pairs}, err
+	case MethodAffine:
+		pairs, err := e.affinePairThreshold(m, tau, above)
+		return ThresholdResult{Pairs: pairs}, err
+	case MethodIndex:
+		if e.index == nil {
+			return ThresholdResult{}, ErrNoIndex
+		}
+		pairs, err := e.index.PairThreshold(m, tau, op)
+		return ThresholdResult{Pairs: pairs}, err
+	default:
+		return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
+	}
+}
+
+// Range answers a MER query (Query 3): entries whose measure lies in
+// [lo, hi], computed with the selected method.
+func (e *Engine) Range(m stats.Measure, lo, hi float64, method Method) (ThresholdResult, error) {
+	if lo > hi {
+		return ThresholdResult{}, fmt.Errorf("core: empty range [%v, %v]", lo, hi)
+	}
+	if m.Class() == stats.LocationClass {
+		switch method {
+		case MethodNaive:
+			ids, err := e.naive.SeriesRange(m, lo, hi)
+			return ThresholdResult{Series: ids}, err
+		case MethodAffine:
+			ids, err := e.affineSeriesRange(m, lo, hi)
+			return ThresholdResult{Series: ids}, err
+		case MethodIndex:
+			if e.index == nil {
+				return ThresholdResult{}, ErrNoIndex
+			}
+			ids, err := e.index.SeriesRange(m, lo, hi)
+			return ThresholdResult{Series: ids}, err
+		default:
+			return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
+		}
+	}
+	switch method {
+	case MethodNaive:
+		pairs, err := e.naive.PairRange(m, lo, hi)
+		return ThresholdResult{Pairs: pairs}, err
+	case MethodAffine:
+		pairs, err := e.affinePairRange(m, lo, hi)
+		return ThresholdResult{Pairs: pairs}, err
+	case MethodIndex:
+		if e.index == nil {
+			return ThresholdResult{}, ErrNoIndex
+		}
+		pairs, err := e.index.PairRange(m, lo, hi)
+		return ThresholdResult{Pairs: pairs}, err
+	default:
+		return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
+	}
+}
+
+// affinePairBase computes the base T-measure of a pair through its affine
+// relationship and the cached pivot summary (Eq. 6 / Eq. 7).  Pairs whose
+// relationship was pruned (Config.MaxLSFD) fall back to the naive
+// computation, preserving correctness at the cost of a raw-series scan.
+func (e *Engine) affinePairBase(m stats.Measure, pair timeseries.Pair) (float64, error) {
+	rel, ok := e.rel.Relationship(pair)
+	if !ok {
+		return e.naive.PairValue(m, pair)
+	}
+	summary, ok := e.summaries[rel.Pivot]
+	if !ok {
+		return 0, fmt.Errorf("core: no summary for pivot %v", rel.Pivot)
+	}
+	switch m {
+	case stats.Covariance:
+		return rel.Transform.PropagateCovariance(summary.cov)
+	case stats.DotProduct:
+		return rel.Transform.PropagateDotProduct(summary.dot, summary.colSums, e.data.NumSamples())
+	default:
+		return 0, fmt.Errorf("core: %v is not a T-measure: %w", m, stats.ErrUnknownMeasure)
+	}
+}
+
+// affinePairValue computes a pairwise T- or D-measure through affine
+// relationships (the W_A method).
+func (e *Engine) affinePairValue(m stats.Measure, pair timeseries.Pair) (float64, error) {
+	if !pair.Valid() {
+		canonical, err := timeseries.NewPair(pair.U, pair.V)
+		if err != nil {
+			return 0, err
+		}
+		pair = canonical
+	}
+	base, err := e.affinePairBase(m.Base(), pair)
+	if err != nil {
+		return 0, err
+	}
+	if m.Class() == stats.DispersionClass {
+		return base, nil
+	}
+	norm, err := e.normalizer(m, pair)
+	if err != nil {
+		return 0, err
+	}
+	if norm == 0 {
+		return 0, stats.ErrZeroNormalizer
+	}
+	value := base / norm
+	if m == stats.Correlation {
+		value = clamp(value, -1, 1)
+	}
+	return value, nil
+}
+
+// selfPairValue returns the diagonal entry of a pairwise MEC response: the
+// measure of a series with itself, computed from cached per-series
+// statistics.
+func (e *Engine) selfPairValue(m stats.Measure, id timeseries.SeriesID) (float64, error) {
+	if int(id) < 0 || int(id) >= len(e.seriesVariance) {
+		return 0, fmt.Errorf("%w: %d", timeseries.ErrInvalidSeries, id)
+	}
+	switch m {
+	case stats.Covariance:
+		return e.seriesVariance[id], nil
+	case stats.DotProduct:
+		return e.seriesSqNorm[id], nil
+	case stats.Correlation, stats.Cosine, stats.Jaccard, stats.Dice:
+		if m == stats.Correlation && e.seriesVariance[id] == 0 {
+			return 0, stats.ErrZeroNormalizer
+		}
+		if m != stats.Correlation && e.seriesSqNorm[id] == 0 {
+			return 0, stats.ErrZeroNormalizer
+		}
+		return 1, nil
+	case stats.HarmonicMean:
+		if e.seriesSqNorm[id] == 0 {
+			return 0, stats.ErrZeroNormalizer
+		}
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	}
+}
+
+// affinePairThreshold evaluates a pairwise MET query with the W_A method:
+// every pair's value is estimated through its affine relationship (or the
+// naive fallback for pruned pairs) and then filtered.
+func (e *Engine) affinePairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
+	var out []timeseries.Pair
+	for _, pair := range e.data.AllPairs() {
+		v, err := e.affinePairValue(m, pair)
+		if err != nil {
+			if errors.Is(err, stats.ErrZeroNormalizer) {
+				continue
+			}
+			return nil, err
+		}
+		if (above && v > tau) || (!above && v < tau) {
+			out = append(out, pair)
+		}
+	}
+	return out, nil
+}
+
+// affinePairRange evaluates a pairwise MER query with the W_A method.
+func (e *Engine) affinePairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
+	var out []timeseries.Pair
+	for _, pair := range e.data.AllPairs() {
+		v, err := e.affinePairValue(m, pair)
+		if err != nil {
+			if errors.Is(err, stats.ErrZeroNormalizer) {
+				continue
+			}
+			return nil, err
+		}
+		if v >= lo && v <= hi {
+			out = append(out, pair)
+		}
+	}
+	return out, nil
+}
+
+// affineSeriesThreshold evaluates an L-measure MET query over the
+// affine-estimated per-series values.
+func (e *Engine) affineSeriesThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.SeriesID, error) {
+	estimates, ok := e.seriesLocation[m]
+	if !ok {
+		return nil, fmt.Errorf("core: no location estimates for %v", m)
+	}
+	var out []timeseries.SeriesID
+	for id, v := range estimates {
+		if (above && v > tau) || (!above && v < tau) {
+			out = append(out, timeseries.SeriesID(id))
+		}
+	}
+	return out, nil
+}
+
+// affineSeriesRange evaluates an L-measure MER query over the
+// affine-estimated per-series values.
+func (e *Engine) affineSeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.SeriesID, error) {
+	estimates, ok := e.seriesLocation[m]
+	if !ok {
+		return nil, fmt.Errorf("core: no location estimates for %v", m)
+	}
+	var out []timeseries.SeriesID
+	for id, v := range estimates {
+		if v >= lo && v <= hi {
+			out = append(out, timeseries.SeriesID(id))
+		}
+	}
+	return out, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

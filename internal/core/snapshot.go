@@ -1,0 +1,305 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"affinity/internal/affine"
+	"affinity/internal/baseline"
+	"affinity/internal/cluster"
+	"affinity/internal/mat"
+	"affinity/internal/scape"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// The snapshot format persists the expensive part of an engine build — the
+// AFCLST clustering and the SYMEX+ affine relationships — so that a process
+// restart (or a different process reading the same dataset from the column
+// store) can rebuild the engine without re-running the least-squares fits.
+// Pivot summaries, per-series statistics and the SCAPE index are cheap to
+// recompute and are rebuilt at load time, which also keeps the snapshot
+// independent of index configuration.
+//
+// Layout (little endian):
+//
+//	magic    uint32  "AFSN"
+//	version  uint32
+//	n        uint32  number of series
+//	m        uint32  samples per series
+//	k        uint32  number of cluster centers
+//	k × (m float64)          cluster centers
+//	n × uint32               cluster assignment ω(v)
+//	g        uint32  number of affine relationships
+//	g × relationship records:
+//	    pairU, pairV  uint32
+//	    pivotCommon   uint32
+//	    pivotCluster  uint32
+//	    flipped       uint8
+//	    A row-major   4 float64
+//	    b             2 float64
+const (
+	snapshotMagic   = uint32(0x4146534e) // "AFSN"
+	snapshotVersion = uint32(1)
+)
+
+// ErrBadSnapshot is returned when a snapshot cannot be decoded or does not
+// match the dataset it is loaded against.
+var ErrBadSnapshot = errors.New("core: bad snapshot")
+
+// WriteSnapshot persists the engine's clustering and affine relationships.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	clustering := e.rel.Clustering
+
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeF64 := func(v float64) error {
+		return binary.Write(bw, binary.LittleEndian, math.Float64bits(v))
+	}
+
+	header := []uint32{
+		snapshotMagic, snapshotVersion,
+		uint32(e.data.NumSeries()), uint32(e.data.NumSamples()), uint32(clustering.K()),
+	}
+	for _, h := range header {
+		if err := writeU32(h); err != nil {
+			return err
+		}
+	}
+	for _, center := range clustering.Centers {
+		if len(center) != e.data.NumSamples() {
+			return fmt.Errorf("%w: center length %d != m %d", ErrBadSnapshot, len(center), e.data.NumSamples())
+		}
+		for _, v := range center {
+			if err := writeF64(v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, omega := range clustering.Assignment {
+		if err := writeU32(uint32(omega)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(len(e.rel.Relationships))); err != nil {
+		return err
+	}
+	// Iterate pairs in a deterministic order so identical engines produce
+	// byte-identical snapshots.
+	for _, pair := range e.data.AllPairs() {
+		rel, ok := e.rel.Relationships[pair]
+		if !ok {
+			continue
+		}
+		fields := []uint32{uint32(rel.Pair.U), uint32(rel.Pair.V),
+			uint32(rel.Pivot.Common), uint32(rel.Pivot.Cluster)}
+		for _, f := range fields {
+			if err := writeU32(f); err != nil {
+				return err
+			}
+		}
+		flipped := byte(0)
+		if rel.Flipped {
+			flipped = 1
+		}
+		if err := bw.WriteByte(flipped); err != nil {
+			return err
+		}
+		a := rel.Transform.A
+		for _, v := range []float64{a.At(0, 0), a.At(0, 1), a.At(1, 0), a.At(1, 1),
+			rel.Transform.B[0], rel.Transform.B[1]} {
+			if err := writeF64(v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// BuildFromSnapshot rebuilds an engine from a snapshot previously written
+// with WriteSnapshot and the dataset it was built on.  The clustering and the
+// affine relationships are taken from the snapshot; pivot summaries,
+// per-series statistics and (unless cfg.SkipIndex) the SCAPE index are
+// recomputed.
+func BuildFromSnapshot(d *timeseries.DataMatrix, r io.Reader, cfg Config) (*Engine, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	br := bufio.NewReader(r)
+
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readF64 := func() (float64, error) {
+		var bits uint64
+		err := binary.Read(br, binary.LittleEndian, &bits)
+		return math.Float64frombits(bits), err
+	}
+
+	var header [5]uint32
+	for i := range header {
+		v, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated header (%v)", ErrBadSnapshot, err)
+		}
+		header[i] = v
+	}
+	if header[0] != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic 0x%08x", ErrBadSnapshot, header[0])
+	}
+	if header[1] != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, header[1])
+	}
+	n, m, k := int(header[2]), int(header[3]), int(header[4])
+	if n != d.NumSeries() || m != d.NumSamples() {
+		return nil, fmt.Errorf("%w: snapshot is for a %dx%d dataset, got %dx%d",
+			ErrBadSnapshot, m, n, d.NumSamples(), d.NumSeries())
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("%w: implausible cluster count %d", ErrBadSnapshot, k)
+	}
+
+	centers := make([][]float64, k)
+	for i := range centers {
+		center := make([]float64, m)
+		for j := range center {
+			v, err := readF64()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated centers (%v)", ErrBadSnapshot, err)
+			}
+			center[j] = v
+		}
+		centers[i] = center
+	}
+	assignment := make([]int, n)
+	for i := range assignment {
+		v, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated assignment (%v)", ErrBadSnapshot, err)
+		}
+		if int(v) >= k {
+			return nil, fmt.Errorf("%w: series %d assigned to cluster %d of %d", ErrBadSnapshot, i, v, k)
+		}
+		assignment[i] = int(v)
+	}
+	clustering := &cluster.Result{
+		Centers:          centers,
+		Assignment:       assignment,
+		ProjectionErrors: make([]float64, n),
+		Converged:        true,
+	}
+
+	count, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated relationship count (%v)", ErrBadSnapshot, err)
+	}
+	maxPairs := n * (n - 1) / 2
+	if int(count) > maxPairs {
+		return nil, fmt.Errorf("%w: %d relationships for %d pairs", ErrBadSnapshot, count, maxPairs)
+	}
+
+	rel := &symex.Result{
+		Relationships: make(map[timeseries.Pair]*symex.Relationship, count),
+		Pivots:        make(map[symex.Pivot][]timeseries.Pair),
+		Clustering:    clustering,
+	}
+	for i := 0; i < int(count); i++ {
+		var fields [4]uint32
+		for j := range fields {
+			v, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated relationship %d (%v)", ErrBadSnapshot, i, err)
+			}
+			fields[j] = v
+		}
+		flippedByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated relationship %d (%v)", ErrBadSnapshot, i, err)
+		}
+		var values [6]float64
+		for j := range values {
+			v, err := readF64()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated relationship %d (%v)", ErrBadSnapshot, i, err)
+			}
+			values[j] = v
+		}
+		pair := timeseries.Pair{U: timeseries.SeriesID(fields[0]), V: timeseries.SeriesID(fields[1])}
+		if !pair.Valid() || int(pair.V) >= n {
+			return nil, fmt.Errorf("%w: invalid pair %v", ErrBadSnapshot, pair)
+		}
+		pivot := symex.Pivot{Common: timeseries.SeriesID(fields[2]), Cluster: int(fields[3])}
+		if !pair.Contains(pivot.Common) || pivot.Cluster < 0 || pivot.Cluster >= k {
+			return nil, fmt.Errorf("%w: invalid pivot %v for pair %v", ErrBadSnapshot, pivot, pair)
+		}
+		a := mat.New(2, 2)
+		a.Set(0, 0, values[0])
+		a.Set(0, 1, values[1])
+		a.Set(1, 0, values[2])
+		a.Set(1, 1, values[3])
+		relationship := &symex.Relationship{
+			Pair:      pair,
+			Pivot:     pivot,
+			Transform: &affine.Transform{A: a, B: [2]float64{values[4], values[5]}},
+			Flipped:   flippedByte == 1,
+		}
+		if _, dup := rel.Relationships[pair]; dup {
+			return nil, fmt.Errorf("%w: duplicate relationship for pair %v", ErrBadSnapshot, pair)
+		}
+		rel.Relationships[pair] = relationship
+		rel.Pivots[pivot] = append(rel.Pivots[pivot], pair)
+	}
+	rel.Stats.NumRelationships = len(rel.Relationships)
+	rel.Stats.NumPivots = len(rel.Pivots)
+
+	return buildFromRelationships(d, cfg, rel)
+}
+
+// buildFromRelationships assembles an engine from pre-existing affine
+// relationships (the load path of a snapshot): it recomputes the pivot
+// summaries, per-series statistics and the SCAPE index, skipping the AFCLST
+// and SYMEX stages entirely.
+func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Result) (*Engine, error) {
+	start := time.Now()
+	e := &Engine{
+		cfg:   cfg,
+		data:  d,
+		naive: baseline.NewNaive(d),
+		rel:   rel,
+	}
+	summaryStart := time.Now()
+	if err := e.buildSummaries(); err != nil {
+		return nil, err
+	}
+	e.info.SummaryDuration = time.Since(summaryStart)
+
+	if !cfg.SkipIndex {
+		indexStart := time.Now()
+		idx, err := scape.Build(d, rel, cfg.Index)
+		if err != nil {
+			return nil, fmt.Errorf("core: building SCAPE index from snapshot: %w", err)
+		}
+		e.index = idx
+		e.info.IndexDuration = time.Since(indexStart)
+		e.info.IndexBuilt = true
+		e.info.IndexSequenceNodes = idx.Stats().SequenceNodes
+		e.info.IndexPivotNodes = idx.Stats().Pivots
+	}
+
+	e.info.NumSeries = d.NumSeries()
+	e.info.NumSamples = d.NumSamples()
+	e.info.NumPairs = d.NumPairs()
+	e.info.NumPivots = rel.Stats.NumPivots
+	e.info.NumRelationships = rel.Stats.NumRelationships
+	e.info.UsedPseudoInverseTag = "snapshot"
+	e.info.TotalDuration = time.Since(start)
+	return e, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"affinity/internal/dataset"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 31})
+
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty snapshot")
+	}
+
+	restored, err := BuildFromSnapshot(e.Data(), bytes.NewReader(buf.Bytes()), Config{Clusters: 4})
+	if err != nil {
+		t.Fatalf("BuildFromSnapshot: %v", err)
+	}
+	if restored.Info().NumRelationships != e.Info().NumRelationships {
+		t.Fatalf("relationships %d != %d", restored.Info().NumRelationships, e.Info().NumRelationships)
+	}
+	if restored.Info().NumPivots != e.Info().NumPivots {
+		t.Fatalf("pivots %d != %d", restored.Info().NumPivots, e.Info().NumPivots)
+	}
+	if restored.Info().UsedPseudoInverseTag != "snapshot" {
+		t.Fatalf("tag = %q", restored.Info().UsedPseudoInverseTag)
+	}
+	if !restored.Info().IndexBuilt {
+		t.Fatal("index should be rebuilt from the snapshot")
+	}
+
+	// Every affine estimate must be identical to the original engine's.
+	for _, pair := range e.Data().AllPairs() {
+		for _, m := range []stats.Measure{stats.Covariance, stats.Correlation, stats.DotProduct} {
+			want, errWant := e.PairValue(m, pair, MethodAffine)
+			got, errGot := restored.PairValue(m, pair, MethodAffine)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("pair %v %v: error mismatch %v vs %v", pair, m, errWant, errGot)
+			}
+			if errWant == nil && math.Abs(want-got) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("pair %v %v: %v != %v", pair, m, got, want)
+			}
+		}
+	}
+
+	// Index queries give the same results.
+	orig, err := e.Threshold(stats.Correlation, 0.9, scape.Above, MethodIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := restored.Threshold(stats.Correlation, 0.9, scape.Above, MethodIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePairSet(orig.Pairs, loaded.Pairs) {
+		t.Fatal("index results differ after snapshot round trip")
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 32})
+	var a, b bytes.Buffer
+	if err := e.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshots of the same engine should be byte-identical")
+	}
+}
+
+func TestSnapshotSkipIndex(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 33})
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := BuildFromSnapshot(e.Data(), &buf, Config{SkipIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Index() != nil {
+		t.Fatal("SkipIndex should leave the index unbuilt")
+	}
+	if _, err := restored.Threshold(stats.Covariance, 0, scape.Above, MethodIndex); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("index query err = %v", err)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 34})
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Wrong dataset shape.
+	other, err := dataset.GenerateSensor(dataset.SensorConfig{NumSeries: 10, NumSamples: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFromSnapshot(other, bytes.NewReader(raw), Config{}); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("shape mismatch err = %v", err)
+	}
+
+	// Corrupted magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := BuildFromSnapshot(e.Data(), bytes.NewReader(bad), Config{}); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad magic err = %v", err)
+	}
+
+	// Truncated payload.
+	if _, err := BuildFromSnapshot(e.Data(), bytes.NewReader(raw[:len(raw)/2]), Config{}); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("truncation err = %v", err)
+	}
+
+	// Empty reader.
+	if _, err := BuildFromSnapshot(e.Data(), bytes.NewReader(nil), Config{}); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("empty snapshot err = %v", err)
+	}
+
+	// Invalid dataset.
+	if _, err := BuildFromSnapshot(&timeseries.DataMatrix{}, bytes.NewReader(raw), Config{}); err == nil {
+		t.Fatal("invalid dataset should error")
+	}
+}

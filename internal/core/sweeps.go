@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// This file contains the "sweep" entry points used by the experiment harness
+// and the benchmarks: full-dataset MEC computations of one measure with the
+// naive (W_N) and the affine (W_A) methods, exposing exactly the work the
+// paper times in its efficiency/accuracy trade-off experiments (Figs. 9–11).
+//
+// The affine sweeps deliberately re-derive the per-measure pivot-side
+// quantities from the raw pivot matrices instead of using the engine's cached
+// summaries: the paper's W_A timing includes that one-time O(n·k) cost, and
+// excluding it would overstate the speedup.
+
+// PairSweepResult holds a full-dataset pairwise MEC result: one value per
+// sequence pair, aligned with Pairs.
+type PairSweepResult struct {
+	Pairs  []timeseries.Pair
+	Values []float64
+}
+
+// LocationSweepResult holds a full-dataset location MEC result: one value per
+// series, indexed by series identifier.
+type LocationSweepResult struct {
+	Values []float64
+}
+
+// PairwiseSweepNaive computes a T- or D-measure for every sequence pair from
+// the raw series (W_N).  Pairs with an undefined derived value carry NaN.
+func (e *Engine) PairwiseSweepNaive(m stats.Measure) (*PairSweepResult, error) {
+	if !m.Pairwise() {
+		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	pairs := e.data.AllPairs()
+	values := make([]float64, len(pairs))
+	for i, pair := range pairs {
+		v, err := e.naive.PairValue(m, pair)
+		if err != nil {
+			if errors.Is(err, stats.ErrZeroNormalizer) {
+				values[i] = math.NaN()
+				continue
+			}
+			return nil, err
+		}
+		values[i] = v
+	}
+	return &PairSweepResult{Pairs: pairs, Values: values}, nil
+}
+
+// PairwiseSweepAffine computes a T- or D-measure for every sequence pair with
+// the W_A method: it reduces the pivot pair matrices for the measure's base
+// T-measure (the O(n·k) one-time cost) and then propagates the value to every
+// pair through its affine relationship (O(1) per pair).
+func (e *Engine) PairwiseSweepAffine(m stats.Measure) (*PairSweepResult, error) {
+	if !m.Pairwise() {
+		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	base := m.Base()
+
+	// One-time cost: per-pivot base summaries (the paper's O(n·k) step),
+	// computed directly from the common series and the cluster center so the
+	// cost per pivot is a handful of passes over m samples with no
+	// allocations.
+	type pivotBase struct {
+		cov     [3]float64 // (Σ11, Σ12, Σ22)
+		dot     [3]float64 // (Π11, Π12, Π22)
+		colSums [2]float64
+	}
+	clustering := e.rel.Clustering
+	bases := make(map[symex.Pivot]pivotBase, len(e.rel.Pivots))
+	for pivot := range e.rel.Pivots {
+		common, err := e.data.Series(pivot.Common)
+		if err != nil {
+			return nil, err
+		}
+		if pivot.Cluster < 0 || pivot.Cluster >= clustering.K() {
+			return nil, fmt.Errorf("core: pivot %v references unknown cluster", pivot)
+		}
+		center := clustering.Centers[pivot.Cluster]
+		var pb pivotBase
+		switch base {
+		case stats.Covariance:
+			v0, err := stats.VarianceOf(common)
+			if err != nil {
+				return nil, err
+			}
+			v1, err := stats.VarianceOf(center)
+			if err != nil {
+				return nil, err
+			}
+			c01, err := stats.CovarianceOf(common, center)
+			if err != nil {
+				return nil, err
+			}
+			pb.cov = [3]float64{v0, c01, v1}
+		case stats.DotProduct:
+			d00, err := stats.DotProductOf(common, common)
+			if err != nil {
+				return nil, err
+			}
+			d01, err := stats.DotProductOf(common, center)
+			if err != nil {
+				return nil, err
+			}
+			d11, err := stats.DotProductOf(center, center)
+			if err != nil {
+				return nil, err
+			}
+			pb.dot = [3]float64{d00, d01, d11}
+			pb.colSums = [2]float64{stats.SumOf(common), stats.SumOf(center)}
+		}
+		bases[pivot] = pb
+	}
+
+	pairs := e.data.AllPairs()
+	values := make([]float64, len(pairs))
+	numSamples := e.data.NumSamples()
+	for i, pair := range pairs {
+		rel, ok := e.rel.Relationship(pair)
+		if !ok {
+			return nil, fmt.Errorf("core: no affine relationship for pair %v", pair)
+		}
+		pb := bases[rel.Pivot]
+		a1, a2 := rel.Transform.Columns()
+		var value float64
+		switch base {
+		case stats.Covariance:
+			value = quadForm3(a1, pb.cov, a2)
+		case stats.DotProduct:
+			value = quadForm3(a1, pb.dot, a2) +
+				rel.Transform.B[1]*(a1[0]*pb.colSums[0]+a1[1]*pb.colSums[1]) +
+				rel.Transform.B[0]*(a2[0]*pb.colSums[0]+a2[1]*pb.colSums[1]) +
+				float64(numSamples)*rel.Transform.B[0]*rel.Transform.B[1]
+		}
+		if m.Class() == stats.DerivedClass {
+			norm, err := e.normalizer(m, pair)
+			if err != nil {
+				return nil, err
+			}
+			if norm == 0 {
+				values[i] = math.NaN()
+				continue
+			}
+			value /= norm
+			if m == stats.Correlation {
+				value = clamp(value, -1, 1)
+			}
+		}
+		values[i] = value
+	}
+	return &PairSweepResult{Pairs: pairs, Values: values}, nil
+}
+
+// quadForm3 computes xᵀ·M·y for a symmetric 2-by-2 matrix stored as
+// (m11, m12, m22).
+func quadForm3(x [2]float64, m [3]float64, y [2]float64) float64 {
+	return x[0]*(m[0]*y[0]+m[1]*y[1]) + x[1]*(m[1]*y[0]+m[2]*y[1])
+}
+
+// LocationSweepNaive computes an L-measure for every series from the raw data
+// (W_N).
+func (e *Engine) LocationSweepNaive(m stats.Measure) (*LocationSweepResult, error) {
+	values, err := stats.LocationVector(m, e.data)
+	if err != nil {
+		return nil, err
+	}
+	return &LocationSweepResult{Values: values}, nil
+}
+
+// LocationSweepAffine computes an L-measure for every series with the W_A
+// method: the measure is computed exactly for the k cluster centers only and
+// propagated to every series through its 1-D affine calibration, making the
+// per-series cost O(1) instead of O(m).
+func (e *Engine) LocationSweepAffine(m stats.Measure) (*LocationSweepResult, error) {
+	if m.Class() != stats.LocationClass {
+		return nil, fmt.Errorf("core: %v is not an L-measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	clustering := e.rel.Clustering
+	centers := make([]float64, clustering.K())
+	for l, r := range clustering.Centers {
+		v, err := stats.ComputeLocation(m, r)
+		if err != nil {
+			return nil, err
+		}
+		centers[l] = v
+	}
+	values := make([]float64, e.data.NumSeries())
+	for _, id := range e.data.IDs() {
+		omega, err := clustering.Omega(id)
+		if err != nil {
+			return nil, err
+		}
+		values[id] = e.calibA[id]*centers[omega] + e.calibB[id]
+	}
+	return &LocationSweepResult{Values: values}, nil
+}
+
+// SweepRMSE computes the paper's percentage RMSE (Eq. 16) between a naive
+// sweep and an affine sweep of the same measure, ignoring entries that are
+// undefined (NaN) in either.
+func SweepRMSE(truth, approx []float64) (float64, error) {
+	if len(truth) != len(approx) {
+		return 0, fmt.Errorf("core: sweep length mismatch %d vs %d", len(truth), len(approx))
+	}
+	cleanTruth := make([]float64, 0, len(truth))
+	cleanApprox := make([]float64, 0, len(approx))
+	for i := range truth {
+		if math.IsNaN(truth[i]) || math.IsNaN(approx[i]) {
+			continue
+		}
+		cleanTruth = append(cleanTruth, truth[i])
+		cleanApprox = append(cleanApprox, approx[i])
+	}
+	return stats.RMSE(cleanTruth, cleanApprox)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"affinity/internal/stats"
+)
+
+func TestPairwiseSweepAccuracy(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 21})
+	for _, m := range []stats.Measure{stats.Covariance, stats.DotProduct, stats.Correlation, stats.Cosine, stats.Dice} {
+		truth, err := e.PairwiseSweepNaive(m)
+		if err != nil {
+			t.Fatalf("%v naive sweep: %v", m, err)
+		}
+		approx, err := e.PairwiseSweepAffine(m)
+		if err != nil {
+			t.Fatalf("%v affine sweep: %v", m, err)
+		}
+		if len(truth.Values) != len(approx.Values) || len(truth.Pairs) != len(approx.Pairs) {
+			t.Fatalf("%v sweep sizes differ", m)
+		}
+		for i := range truth.Pairs {
+			if truth.Pairs[i] != approx.Pairs[i] {
+				t.Fatalf("%v sweep pair order differs at %d", m, i)
+			}
+		}
+		rmse, err := SweepRMSE(truth.Values, approx.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmse > 3 {
+			t.Fatalf("%v sweep RMSE %.3f%% too high", m, rmse)
+		}
+	}
+	if _, err := e.PairwiseSweepNaive(stats.Mean); err == nil {
+		t.Fatal("L-measure naive pair sweep should error")
+	}
+	if _, err := e.PairwiseSweepAffine(stats.Mean); err == nil {
+		t.Fatal("L-measure affine pair sweep should error")
+	}
+}
+
+func TestPairwiseSweepMatchesEngineEstimates(t *testing.T) {
+	// The sweep path recomputes pivot summaries from scratch; it must agree
+	// with the cached-summary path used by ComputePairwise/PairValue.
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 22})
+	sweep, err := e.PairwiseSweepAffine(stats.Covariance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range sweep.Pairs {
+		cached, err := e.PairValue(stats.Covariance, pair, MethodAffine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cached-sweep.Values[i]) > 1e-9*(1+math.Abs(cached)) {
+			t.Fatalf("pair %v: sweep %v vs cached %v", pair, sweep.Values[i], cached)
+		}
+	}
+}
+
+func TestLocationSweepAccuracy(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 23})
+
+	// Mean propagates exactly through the 1-D calibration.
+	truthMean, err := e.LocationSweepNaive(stats.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxMean, err := e.LocationSweepAffine(stats.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truthMean.Values {
+		if math.Abs(truthMean.Values[i]-approxMean.Values[i]) > 1e-7*(1+math.Abs(truthMean.Values[i])) {
+			t.Fatalf("mean estimate for series %d: %v vs %v", i, approxMean.Values[i], truthMean.Values[i])
+		}
+	}
+
+	// Median and mode are approximate but must stay within a few percent.
+	for _, m := range []stats.Measure{stats.Median, stats.Mode} {
+		truth, err := e.LocationSweepNaive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := e.LocationSweepAffine(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmse, err := SweepRMSE(truth.Values, approx.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmse > 12 {
+			t.Fatalf("%v sweep RMSE %.2f%% too high", m, rmse)
+		}
+	}
+
+	if _, err := e.LocationSweepAffine(stats.Covariance); err == nil {
+		t.Fatal("T-measure location sweep should error")
+	}
+	if _, err := e.LocationSweepNaive(stats.Covariance); err == nil {
+		t.Fatal("T-measure naive location sweep should error")
+	}
+}
+
+func TestLocationSweepMatchesCachedEstimates(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 24})
+	sweep, err := e.LocationSweepAffine(stats.Median)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := e.ComputeLocation(stats.Median, e.Data().IDs(), MethodAffine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cached {
+		if math.Abs(cached[i]-sweep.Values[i]) > 1e-9*(1+math.Abs(cached[i])) {
+			t.Fatalf("series %d: sweep %v vs cached %v", i, sweep.Values[i], cached[i])
+		}
+	}
+}
+
+func TestSweepRMSE(t *testing.T) {
+	if _, err := SweepRMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	r, err := SweepRMSE([]float64{1, math.NaN(), 3}, []float64{1, 5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("NaN entries should be skipped, RMSE = %v", r)
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	a, b := fitLine(x, y)
+	if math.Abs(a-2) > 1e-12 || math.Abs(b-1) > 1e-12 {
+		t.Fatalf("fitLine = (%v, %v), want (2, 1)", a, b)
+	}
+	// Constant x: slope 0, intercept mean(y).
+	a, b = fitLine([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if a != 0 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("degenerate fitLine = (%v, %v)", a, b)
+	}
+	a, b = fitLine(nil, nil)
+	if a != 0 || b != 0 {
+		t.Fatalf("empty fitLine = (%v, %v)", a, b)
+	}
+}

@@ -1,0 +1,252 @@
+// Package dataset generates the synthetic stand-ins for the two real-world
+// datasets used in the paper's evaluation (Section 6, Table 3):
+//
+//   - sensor-data: 670 daily series from 134 sensors monitoring environmental
+//     parameters on a university campus, sampled every 2 minutes (m = 720);
+//   - stock-data: 996 weekly intra-day quote series of S&P 500 stocks and
+//     ETFs, sampled every minute (m = 1950).
+//
+// The raw datasets are not redistributable, so this package synthesizes data
+// with the properties the Affinity algorithms actually depend on: groups of
+// strongly correlated series related by approximately affine transformations
+// (scaled and shifted shared signals), realistic smooth trends (diurnal
+// cycles for sensors, factor-driven random walks for stocks) and small
+// idiosyncratic noise.  Generation is fully deterministic given a seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"affinity/internal/timeseries"
+)
+
+// Default dataset shapes from Table 3 of the paper.
+const (
+	SensorDefaultSeries  = 670
+	SensorDefaultSamples = 720
+	SensorSamplingMins   = 2.0
+
+	StockDefaultSeries  = 996
+	StockDefaultSamples = 1950
+	StockSamplingMins   = 1.0
+)
+
+// SensorConfig parameterizes the synthetic sensor-data generator.
+type SensorConfig struct {
+	// NumSeries is n (default 670).
+	NumSeries int
+	// NumSamples is m (default 720: one day at 2-minute sampling).
+	NumSamples int
+	// NumGroups is the number of latent environmental signals (temperature,
+	// humidity, light, ...); series in the same group are approximately
+	// affine images of each other.  Default 8.
+	NumGroups int
+	// Noise is the standard deviation of the additive AR(1) measurement
+	// noise relative to the signal amplitude.  Default 0.03.
+	Noise float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c SensorConfig) withDefaults() SensorConfig {
+	if c.NumSeries <= 0 {
+		c.NumSeries = SensorDefaultSeries
+	}
+	if c.NumSamples <= 0 {
+		c.NumSamples = SensorDefaultSamples
+	}
+	if c.NumGroups <= 0 {
+		c.NumGroups = 8
+	}
+	if c.Noise <= 0 {
+		c.Noise = 0.03
+	}
+	return c
+}
+
+// GenerateSensor synthesizes the sensor-data stand-in.
+func GenerateSensor(cfg SensorConfig) (*timeseries.DataMatrix, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumSamples < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 samples, got %d", cfg.NumSamples)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Latent signals: a diurnal cycle with a group-specific phase and
+	// harmonic mix, plus a slow drift.
+	groups := make([][]float64, cfg.NumGroups)
+	for g := range groups {
+		phase := rng.Float64() * 2 * math.Pi
+		harmonic := 1 + rng.Intn(3)
+		drift := rng.NormFloat64() * 0.2
+		sig := make([]float64, cfg.NumSamples)
+		for i := range sig {
+			tDay := float64(i) / float64(cfg.NumSamples) // fraction of the day
+			sig[i] = math.Sin(2*math.Pi*tDay+phase) +
+				0.35*math.Sin(2*math.Pi*float64(harmonic+1)*tDay+phase/2) +
+				drift*tDay
+		}
+		groups[g] = sig
+	}
+
+	names := make([]string, cfg.NumSeries)
+	series := make([][]float64, cfg.NumSeries)
+	for s := 0; s < cfg.NumSeries; s++ {
+		g := s % cfg.NumGroups
+		// Per-sensor affine calibration of the latent signal.
+		scale := 0.5 + rng.Float64()*4
+		offset := rng.NormFloat64() * 10
+		col := make([]float64, cfg.NumSamples)
+		// AR(1) measurement noise.
+		ar := 0.0
+		phi := 0.7
+		for i := range col {
+			ar = phi*ar + rng.NormFloat64()*cfg.Noise
+			col[i] = scale*groups[g][i] + offset + ar*scale
+		}
+		series[s] = col
+		names[s] = fmt.Sprintf("sensor-%03d-day-%d", s%(cfg.NumSeries/5+1), s/(cfg.NumSeries/5+1))
+	}
+	return timeseries.NewNamedDataMatrix(names, series)
+}
+
+// StockConfig parameterizes the synthetic stock-data generator.
+type StockConfig struct {
+	// NumSeries is n (default 996).
+	NumSeries int
+	// NumSamples is m (default 1950: one trading week at 1-minute sampling).
+	NumSamples int
+	// NumSectors is the number of sector factors (default 10).
+	NumSectors int
+	// Volatility scales the per-minute return volatility (default 0.0008).
+	Volatility float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c StockConfig) withDefaults() StockConfig {
+	if c.NumSeries <= 0 {
+		c.NumSeries = StockDefaultSeries
+	}
+	if c.NumSamples <= 0 {
+		c.NumSamples = StockDefaultSamples
+	}
+	if c.NumSectors <= 0 {
+		c.NumSectors = 10
+	}
+	if c.Volatility <= 0 {
+		c.Volatility = 0.0008
+	}
+	return c
+}
+
+// GenerateStock synthesizes the stock-data stand-in: prices follow a factor
+// model where every stock's return is a mix of a market factor, its sector
+// factor and idiosyncratic noise, accumulated into a price path.  Stocks in
+// the same sector therefore co-move and exhibit the near-affine relationships
+// the paper observes in intra-day quotes.
+func GenerateStock(cfg StockConfig) (*timeseries.DataMatrix, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumSamples < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 samples, got %d", cfg.NumSamples)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Factor return paths.
+	market := make([]float64, cfg.NumSamples)
+	sectors := make([][]float64, cfg.NumSectors)
+	for i := 1; i < cfg.NumSamples; i++ {
+		market[i] = rng.NormFloat64() * cfg.Volatility
+	}
+	for s := range sectors {
+		path := make([]float64, cfg.NumSamples)
+		for i := 1; i < cfg.NumSamples; i++ {
+			path[i] = rng.NormFloat64() * cfg.Volatility * 0.7
+		}
+		sectors[s] = path
+	}
+
+	names := make([]string, cfg.NumSeries)
+	series := make([][]float64, cfg.NumSeries)
+	for s := 0; s < cfg.NumSeries; s++ {
+		sector := s % cfg.NumSectors
+		beta := 0.6 + rng.Float64()*0.9       // market loading
+		sectorBeta := 0.4 + rng.Float64()*0.8 // sector loading
+		idio := cfg.Volatility * (0.2 + rng.Float64()*0.3)
+		price := 10 + rng.Float64()*190 // initial price in USD
+		col := make([]float64, cfg.NumSamples)
+		col[0] = price
+		for i := 1; i < cfg.NumSamples; i++ {
+			r := beta*market[i] + sectorBeta*sectors[sector][i] + rng.NormFloat64()*idio
+			price *= 1 + r
+			col[i] = price
+		}
+		series[s] = col
+		names[s] = fmt.Sprintf("stock-%03d-sector-%02d", s, sector)
+	}
+	return timeseries.NewNamedDataMatrix(names, series)
+}
+
+// Characteristics summarizes a dataset the way Table 3 of the paper does.
+type Characteristics struct {
+	Name                   string
+	SamplingIntervalMins   float64
+	NumSeries              int
+	SamplesPerSeries       int
+	MaxAffineRelationships int
+}
+
+// Describe computes the Table 3 characteristics of a data matrix.
+func Describe(name string, d *timeseries.DataMatrix, samplingIntervalMins float64) Characteristics {
+	n := d.NumSeries()
+	return Characteristics{
+		Name:                   name,
+		SamplingIntervalMins:   samplingIntervalMins,
+		NumSeries:              n,
+		SamplesPerSeries:       d.NumSamples(),
+		MaxAffineRelationships: n * (n - 1) / 2,
+	}
+}
+
+// ScaleConfig shrinks the default dataset shapes by an integer factor while
+// preserving the group structure; the experiment harness uses it so the full
+// paper-scale run and quick laptop-scale runs share one code path.
+type ScaleConfig struct {
+	// SeriesDivisor divides the default number of series (minimum result: 8).
+	SeriesDivisor int
+	// SampleDivisor divides the default number of samples (minimum result: 32).
+	SampleDivisor int
+}
+
+// Apply scales a sensor configuration.
+func (s ScaleConfig) ApplySensor(cfg SensorConfig) SensorConfig {
+	cfg = cfg.withDefaults()
+	if s.SeriesDivisor > 1 {
+		cfg.NumSeries = maxInt(8, cfg.NumSeries/s.SeriesDivisor)
+	}
+	if s.SampleDivisor > 1 {
+		cfg.NumSamples = maxInt(32, cfg.NumSamples/s.SampleDivisor)
+	}
+	return cfg
+}
+
+// Apply scales a stock configuration.
+func (s ScaleConfig) ApplyStock(cfg StockConfig) StockConfig {
+	cfg = cfg.withDefaults()
+	if s.SeriesDivisor > 1 {
+		cfg.NumSeries = maxInt(8, cfg.NumSeries/s.SeriesDivisor)
+	}
+	if s.SampleDivisor > 1 {
+		cfg.NumSamples = maxInt(32, cfg.NumSamples/s.SampleDivisor)
+	}
+	return cfg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+// Package dft implements the discrete Fourier transform used by the W_F
+// baseline (StatStream-style correlation approximation from the largest DFT
+// coefficients, refs [1–3] of the paper).
+//
+// The forward transform uses an iterative radix-2 FFT when the input length
+// is a power of two and Bluestein's algorithm (chirp-z transform) otherwise,
+// so series of arbitrary length m — the paper's datasets have m = 720 and
+// m = 1950 — are handled in O(m log m).
+package dft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ErrEmptyInput is returned for empty inputs.
+var ErrEmptyInput = errors.New("dft: empty input")
+
+// Transform returns the DFT of the real-valued input:
+//
+//	X[k] = Σ_{t=0}^{m-1} x[t]·exp(-2πi·k·t/m)
+func Transform(x []float64) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmptyInput
+	}
+	in := make([]complex128, len(x))
+	for i, v := range x {
+		in[i] = complex(v, 0)
+	}
+	return transformComplex(in, false), nil
+}
+
+// Inverse returns the inverse DFT of the input, as a real slice (imaginary
+// parts, which should be numerically zero for transforms of real data, are
+// discarded).
+func Inverse(x []complex128) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, ErrEmptyInput
+	}
+	in := make([]complex128, len(x))
+	copy(in, x)
+	out := transformComplex(in, true)
+	real := make([]float64, len(out))
+	scale := 1 / float64(len(out))
+	for i, v := range out {
+		real[i] = real0(v) * scale
+	}
+	return real, nil
+}
+
+func real0(c complex128) float64 { return real(c) }
+
+// transformComplex dispatches between radix-2 and Bluestein.
+func transformComplex(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		radix2(out, inverse)
+		return out
+	}
+	return bluestein(x, inverse)
+}
+
+// radix2 performs an in-place iterative Cooley–Tukey FFT; len(x) must be a
+// power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		angle := sign * 2 * math.Pi / float64(length)
+		wLen := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[start+j]
+				v := x[start+j+length/2] * w
+				x[start+j] = u + v
+				x[start+j+length/2] = u - v
+				w *= wLen
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, which is
+// evaluated with power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w[k] = exp(sign*pi*i*k^2/n).
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n avoids precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+
+	// Convolution length: the smallest power of two >= 2n-1.
+	convLen := 1
+	for convLen < 2*n-1 {
+		convLen <<= 1
+	}
+	a := make([]complex128, convLen)
+	b := make([]complex128, convLen)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[convLen-k] = cmplx.Conj(w[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invScale := complex(1/float64(convLen), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invScale * w[k]
+	}
+	return out
+}
+
+// Coefficient pairs a DFT coefficient with its frequency index.
+type Coefficient struct {
+	Index int
+	Value complex128
+}
+
+// Magnitude returns |Value|.
+func (c Coefficient) Magnitude() float64 { return cmplx.Abs(c.Value) }
+
+// TopCoefficients returns the k coefficients with the largest magnitudes
+// among indices 1..m-1 (the DC component at index 0 is excluded: the W_F
+// baseline normalizes series to zero mean, making it irrelevant), ordered by
+// decreasing magnitude.  Ties are broken by the smaller index.
+func TopCoefficients(x []float64, k int) ([]Coefficient, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("dft: non-positive coefficient count %d", k)
+	}
+	coeffs, err := Transform(x)
+	if err != nil {
+		return nil, err
+	}
+	candidates := make([]Coefficient, 0, len(coeffs)-1)
+	for i := 1; i < len(coeffs); i++ {
+		candidates = append(candidates, Coefficient{Index: i, Value: coeffs[i]})
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		mi, mj := candidates[i].Magnitude(), candidates[j].Magnitude()
+		if mi != mj {
+			return mi > mj
+		}
+		return candidates[i].Index < candidates[j].Index
+	})
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	return candidates[:k], nil
+}

@@ -1,0 +1,205 @@
+package dft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(m²) reference used to validate the FFT paths.
+func naiveDFT(x []float64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += complex(x[t], 0) * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func complexSlicesEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTransformMatchesNaivePowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, err := Transform(x)
+		if err != nil {
+			t.Fatalf("Transform(%d): %v", n, err)
+		}
+		want := naiveDFT(x)
+		if !complexSlicesEqual(got, want, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: FFT disagrees with naive DFT", n)
+		}
+	}
+}
+
+func TestTransformMatchesNaiveArbitraryLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Includes the paper's dataset lengths scaled down and awkward primes.
+	for _, n := range []int{3, 5, 7, 12, 45, 97, 180, 195} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, err := Transform(x)
+		if err != nil {
+			t.Fatalf("Transform(%d): %v", n, err)
+		}
+		want := naiveDFT(x)
+		if !complexSlicesEqual(got, want, 1e-7*float64(n)) {
+			t.Fatalf("n=%d: Bluestein disagrees with naive DFT", n)
+		}
+	}
+}
+
+func TestTransformKnownValues(t *testing.T) {
+	// DFT of an impulse is flat.
+	got, err := Transform([]float64{1, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse DFT[%d] = %v", k, v)
+		}
+	}
+	// DFT of a constant has all energy in the DC bin.
+	got, err = Transform([]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(got[0]-8) > 1e-12 {
+		t.Fatalf("DC bin = %v, want 8", got[0])
+	}
+	for k := 1; k < 4; k++ {
+		if cmplx.Abs(got[k]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", k, got[k])
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 10, 37, 128} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		fwd, err := Transform(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(fwd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-8 {
+				t.Fatalf("n=%d: round trip [%d] = %v, want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Transform(nil); err == nil {
+		t.Fatal("empty Transform should error")
+	}
+	if _, err := Inverse(nil); err == nil {
+		t.Fatal("empty Inverse should error")
+	}
+	if _, err := TopCoefficients(nil, 3); err == nil {
+		t.Fatal("empty TopCoefficients should error")
+	}
+	if _, err := TopCoefficients([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+// Property: Parseval's theorem — the signal energy equals the spectrum energy
+// divided by m.  This is the identity the W_F correlation approximation
+// relies on.
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		x := make([]float64, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			timeEnergy += x[i] * x[i]
+		}
+		coeffs, err := Transform(x)
+		if err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, c := range coeffs {
+			freqEnergy += real(c)*real(c) + imag(c)*imag(c)
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) <= 1e-7*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopCoefficients(t *testing.T) {
+	// A pure sinusoid at frequency 3 concentrates its energy in bins 3 and
+	// m-3.
+	const m = 64
+	x := make([]float64, m)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 3 * float64(i) / m)
+	}
+	top, err := TopCoefficients(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("got %d coefficients", len(top))
+	}
+	indices := map[int]bool{top[0].Index: true, top[1].Index: true}
+	if !indices[3] || !indices[m-3] {
+		t.Fatalf("top coefficient indices = %v, want {3, %d}", indices, m-3)
+	}
+	// Magnitudes are sorted descending.
+	if top[0].Magnitude() < top[1].Magnitude() {
+		t.Fatal("coefficients not sorted by magnitude")
+	}
+	// Requesting more coefficients than available clips.
+	all, err := TopCoefficients([]float64{1, 2, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("clipped top coefficients = %d, want 2", len(all))
+	}
+	// The DC bin is never returned.
+	for _, c := range all {
+		if c.Index == 0 {
+			t.Fatal("DC bin must be excluded")
+		}
+	}
+}

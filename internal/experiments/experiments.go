@@ -1,0 +1,124 @@
+// Package experiments contains the harness that regenerates every table and
+// figure of the paper's evaluation (Section 6).  Each experiment has one
+// driver function returning plain row structs; the cmd/affinity-bench binary
+// prints them as text tables and the repository benchmarks
+// (bench_test.go) wrap them in testing.B loops.
+//
+// All drivers accept a Scale: the full paper-scale datasets (670×720 and
+// 996×1950 series) take minutes end-to-end, so benchmarks and tests use a
+// reduced scale by default while cmd/affinity-bench exposes flags to run the
+// full configuration.  The comparisons (who wins, by what factor, where the
+// curves cross) are scale-stable; absolute times obviously are not.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"affinity/internal/dataset"
+	"affinity/internal/timeseries"
+)
+
+// Scale controls how much the paper-scale datasets are shrunk.
+type Scale struct {
+	// SeriesDivisor divides the number of series (default 1 = full scale).
+	SeriesDivisor int
+	// SampleDivisor divides the number of samples per series.
+	SampleDivisor int
+	// Seed drives dataset generation and clustering.
+	Seed int64
+}
+
+// DefaultBenchScale is the scale used by `go test -bench` and the package's
+// own tests: small enough to keep a full benchmark run in the tens of
+// seconds.
+var DefaultBenchScale = Scale{SeriesDivisor: 16, SampleDivisor: 6, Seed: 42}
+
+// FullScale reproduces the paper's dataset shapes exactly.
+var FullScale = Scale{SeriesDivisor: 1, SampleDivisor: 1, Seed: 42}
+
+func (s Scale) scaleConfig() dataset.ScaleConfig {
+	return dataset.ScaleConfig{SeriesDivisor: s.SeriesDivisor, SampleDivisor: s.SampleDivisor}
+}
+
+// Datasets bundles the two evaluation datasets.
+type Datasets struct {
+	Sensor *timeseries.DataMatrix
+	Stock  *timeseries.DataMatrix
+}
+
+// GenerateDatasets builds the sensor-data and stock-data stand-ins at the
+// requested scale.
+func GenerateDatasets(s Scale) (*Datasets, error) {
+	sensorCfg := s.scaleConfig().ApplySensor(dataset.SensorConfig{Seed: s.Seed})
+	stockCfg := s.scaleConfig().ApplyStock(dataset.StockConfig{Seed: s.Seed + 1})
+	sensor, err := dataset.GenerateSensor(sensorCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating sensor-data: %w", err)
+	}
+	stock, err := dataset.GenerateStock(stockCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating stock-data: %w", err)
+	}
+	return &Datasets{Sensor: sensor, Stock: stock}, nil
+}
+
+// GenerateSensorOnly builds just the sensor-data stand-in (several
+// experiments run on sensor-data only, matching the paper).
+func GenerateSensorOnly(s Scale) (*timeseries.DataMatrix, error) {
+	cfg := s.scaleConfig().ApplySensor(dataset.SensorConfig{Seed: s.Seed})
+	return dataset.GenerateSensor(cfg)
+}
+
+// Table3Row is one row of the dataset characteristics table.
+type Table3Row = dataset.Characteristics
+
+// Table3 reproduces Table 3: the characteristics of both datasets at the
+// requested scale (at FullScale the numbers match the paper exactly).
+func Table3(s Scale) ([]Table3Row, error) {
+	ds, err := GenerateDatasets(s)
+	if err != nil {
+		return nil, err
+	}
+	return []Table3Row{
+		dataset.Describe("sensor-data", ds.Sensor, dataset.SensorSamplingMins),
+		dataset.Describe("stock-data", ds.Stock, dataset.StockSamplingMins),
+	}, nil
+}
+
+// timeOnce measures a single execution of fn, returning its duration and
+// propagating its error.
+func timeOnce(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// timeRepeated measures fn by running it enough times to accumulate at least
+// minTotal of wall-clock time (at least once, at most maxReps), returning the
+// average duration per execution.  Fast index queries need this to be
+// measured meaningfully.
+func timeRepeated(minTotal time.Duration, maxReps int, fn func() error) (time.Duration, error) {
+	if maxReps < 1 {
+		maxReps = 1
+	}
+	var total time.Duration
+	reps := 0
+	for reps < maxReps && (reps == 0 || total < minTotal) {
+		d, err := timeOnce(fn)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+		reps++
+	}
+	return total / time.Duration(reps), nil
+}
+
+// speedup returns slow/fast as a factor, guarding against a zero denominator.
+func speedup(slow, fast time.Duration) float64 {
+	if fast <= 0 {
+		return 0
+	}
+	return float64(slow) / float64(fast)
+}

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"affinity/internal/baseline"
+	"affinity/internal/core"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// ThresholdMeasures are the four measures of Fig. 15: (a) correlation
+// coefficient, (b) covariance, (c) median and (d) dot product.
+var ThresholdMeasures = []stats.Measure{
+	stats.Correlation, stats.Covariance, stats.Median, stats.DotProduct,
+}
+
+// RangeMeasures are the two measures of Fig. 16: (a) correlation coefficient
+// and (b) covariance.
+var RangeMeasures = []stats.Measure{stats.Correlation, stats.Covariance}
+
+// DefaultResultSizeQuantiles sweep the threshold so that the result size
+// grows from (nearly) empty to the full pair/series set, mirroring the
+// x-axes of Figs. 15–16.
+var DefaultResultSizeQuantiles = []float64{0.999, 0.8, 0.6, 0.4, 0.2, 0.001}
+
+// DefaultRangeWidths sweep the width of the range query.
+var DefaultRangeWidths = []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0}
+
+// QueryRow is one measured MET or MER query: the result size (x-axis of
+// Figs. 15–16) and the per-query processing time of each method.  DFTTime is
+// zero for measures the W_F baseline does not support (everything except the
+// correlation coefficient).
+type QueryRow struct {
+	QueryType  string // "MET" or "MER"
+	Measure    stats.Measure
+	Threshold  float64
+	Low, High  float64
+	ResultSize int
+	NaiveTime  time.Duration
+	AffineTime time.Duration
+	DFTTime    time.Duration
+	ScapeTime  time.Duration
+}
+
+// queryEnvironment bundles everything the MET/MER experiments need.
+type queryEnvironment struct {
+	data   *timeseries.DataMatrix
+	engine *core.Engine
+	dft    *baseline.DFT
+}
+
+// newQueryEnvironment builds the engine (with the SCAPE index over all the
+// affine relationships, as in Section 6.4) and precomputes the W_F
+// coefficients.
+func newQueryEnvironment(d *timeseries.DataMatrix, k int, seed int64) (*queryEnvironment, error) {
+	if k <= 0 {
+		k = 6
+	}
+	engine, err := core.Build(d, core.Config{Clusters: k, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building engine: %w", err)
+	}
+	wf := baseline.NewDFT(d, baseline.DefaultDFTCoefficients)
+	if err := wf.Precompute(); err != nil {
+		return nil, fmt.Errorf("experiments: precomputing DFT coefficients: %w", err)
+	}
+	return &queryEnvironment{data: d, engine: engine, dft: wf}, nil
+}
+
+// measureValues returns the sorted naive values of a measure over all pairs
+// (or all series for L-measures), used to derive thresholds that hit target
+// result sizes.
+func (env *queryEnvironment) measureValues(m stats.Measure) ([]float64, error) {
+	if m.Class() == stats.LocationClass {
+		sweep, err := env.engine.LocationSweepNaive(m)
+		if err != nil {
+			return nil, err
+		}
+		values := append([]float64(nil), sweep.Values...)
+		sort.Float64s(values)
+		return values, nil
+	}
+	sweep, err := env.engine.PairwiseSweepNaive(m)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, 0, len(sweep.Values))
+	for _, v := range sweep.Values {
+		if !math.IsNaN(v) {
+			values = append(values, v)
+		}
+	}
+	sort.Float64s(values)
+	return values, nil
+}
+
+const (
+	queryTimingFloor = 2 * time.Millisecond
+	queryTimingReps  = 25
+)
+
+// ThresholdQueries reproduces Fig. 15: MET queries over the given measures
+// with thresholds swept to produce growing result sizes; each query is timed
+// for W_N, W_A, W_F (correlation only) and the SCAPE index.
+func ThresholdQueries(d *timeseries.DataMatrix, measures []stats.Measure, quantiles []float64, k int, seed int64) ([]QueryRow, error) {
+	env, err := newQueryEnvironment(d, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(measures) == 0 {
+		measures = ThresholdMeasures
+	}
+	if len(quantiles) == 0 {
+		quantiles = DefaultResultSizeQuantiles
+	}
+	var rows []QueryRow
+	for _, m := range measures {
+		values, err := env.measureValues(m)
+		if err != nil {
+			return nil, err
+		}
+		if len(values) == 0 {
+			continue
+		}
+		for _, q := range quantiles {
+			idx := int(q * float64(len(values)-1))
+			tau := values[idx]
+			row, err := env.thresholdPoint(m, tau)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func (env *queryEnvironment) thresholdPoint(m stats.Measure, tau float64) (QueryRow, error) {
+	row := QueryRow{QueryType: "MET", Measure: m, Threshold: tau}
+
+	var result core.ThresholdResult
+	naiveTime, err := timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+		var innerErr error
+		result, innerErr = env.engine.Threshold(m, tau, scape.Above, core.MethodNaive)
+		return innerErr
+	})
+	if err != nil {
+		return row, err
+	}
+	row.ResultSize = result.Size()
+	row.NaiveTime = naiveTime
+
+	row.AffineTime, err = timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+		_, innerErr := env.engine.Threshold(m, tau, scape.Above, core.MethodAffine)
+		return innerErr
+	})
+	if err != nil {
+		return row, err
+	}
+
+	row.ScapeTime, err = timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+		_, innerErr := env.engine.Threshold(m, tau, scape.Above, core.MethodIndex)
+		return innerErr
+	})
+	if err != nil {
+		return row, err
+	}
+
+	if m == stats.Correlation {
+		row.DFTTime, err = timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+			_, innerErr := env.dft.PairThreshold(tau, true)
+			return innerErr
+		})
+		if err != nil {
+			return row, err
+		}
+	}
+	return row, nil
+}
+
+// RangeQueries reproduces Fig. 16: MER queries over the given measures with
+// ranges of growing width.
+func RangeQueries(d *timeseries.DataMatrix, measures []stats.Measure, widths []float64, k int, seed int64) ([]QueryRow, error) {
+	env, err := newQueryEnvironment(d, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(measures) == 0 {
+		measures = RangeMeasures
+	}
+	if len(widths) == 0 {
+		widths = DefaultRangeWidths
+	}
+	var rows []QueryRow
+	for _, m := range measures {
+		values, err := env.measureValues(m)
+		if err != nil {
+			return nil, err
+		}
+		if len(values) == 0 {
+			continue
+		}
+		n := len(values)
+		for _, w := range widths {
+			loIdx := int((0.5 - w/2) * float64(n-1))
+			hiIdx := int((0.5 + w/2) * float64(n-1))
+			if loIdx < 0 {
+				loIdx = 0
+			}
+			if hiIdx > n-1 {
+				hiIdx = n - 1
+			}
+			row, err := env.rangePoint(m, values[loIdx], values[hiIdx])
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func (env *queryEnvironment) rangePoint(m stats.Measure, lo, hi float64) (QueryRow, error) {
+	row := QueryRow{QueryType: "MER", Measure: m, Low: lo, High: hi}
+
+	var result core.ThresholdResult
+	naiveTime, err := timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+		var innerErr error
+		result, innerErr = env.engine.Range(m, lo, hi, core.MethodNaive)
+		return innerErr
+	})
+	if err != nil {
+		return row, err
+	}
+	row.ResultSize = result.Size()
+	row.NaiveTime = naiveTime
+
+	row.AffineTime, err = timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+		_, innerErr := env.engine.Range(m, lo, hi, core.MethodAffine)
+		return innerErr
+	})
+	if err != nil {
+		return row, err
+	}
+
+	row.ScapeTime, err = timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+		_, innerErr := env.engine.Range(m, lo, hi, core.MethodIndex)
+		return innerErr
+	})
+	if err != nil {
+		return row, err
+	}
+
+	if m == stats.Correlation {
+		row.DFTTime, err = timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+			_, innerErr := env.dft.PairRange(lo, hi)
+			return innerErr
+		})
+		if err != nil {
+			return row, err
+		}
+	}
+	return row, nil
+}
+
+// Fig15 reproduces Fig. 15 (MET queries on sensor-data).
+func Fig15(s Scale) ([]QueryRow, error) {
+	sensor, err := GenerateSensorOnly(s)
+	if err != nil {
+		return nil, err
+	}
+	return ThresholdQueries(sensor, nil, nil, 6, s.Seed)
+}
+
+// Fig16 reproduces Fig. 16 (MER queries on sensor-data).
+func Fig16(s Scale) ([]QueryRow, error) {
+	sensor, err := GenerateSensorOnly(s)
+	if err != nil {
+		return nil, err
+	}
+	return RangeQueries(sensor, nil, nil, 6, s.Seed)
+}
+
+// SpeedupRow is one row of Table 4: the SCAPE index's speedup over W_N, W_A
+// and (for the correlation coefficient) W_F when the query returns the
+// maximum-size result set.
+type SpeedupRow struct {
+	QueryType       string
+	Measure         stats.Measure
+	ResultSize      int
+	SpeedupVsNaive  float64
+	SpeedupVsAffine float64
+	SpeedupVsDFT    float64 // 0 when W_F does not support the measure
+}
+
+// Table4 reproduces Table 4 on sensor-data: maximum-result-size MET queries
+// over {correlation, covariance, dot product, median} and MER queries over
+// {correlation, covariance}.
+func Table4(s Scale) ([]SpeedupRow, error) {
+	sensor, err := GenerateSensorOnly(s)
+	if err != nil {
+		return nil, err
+	}
+
+	metMeasures := []stats.Measure{stats.Correlation, stats.Covariance, stats.DotProduct, stats.Median}
+	metRows, err := ThresholdQueries(sensor, metMeasures, []float64{0.001}, 6, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	merRows, err := RangeQueries(sensor, RangeMeasures, []float64{1.0}, 6, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []SpeedupRow
+	for _, r := range append(metRows, merRows...) {
+		row := SpeedupRow{
+			QueryType:       r.QueryType,
+			Measure:         r.Measure,
+			ResultSize:      r.ResultSize,
+			SpeedupVsNaive:  speedup(r.NaiveTime, r.ScapeTime),
+			SpeedupVsAffine: speedup(r.AffineTime, r.ScapeTime),
+		}
+		if r.DFTTime > 0 {
+			row.SpeedupVsDFT = speedup(r.DFTTime, r.ScapeTime)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package lsfd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affinity/internal/mat"
+)
+
+func randomPairMatrix(rng *rand.Rand, m int) *mat.Matrix {
+	a := mat.New(m, 2)
+	for i := 0; i < m; i++ {
+		a.Set(i, 0, rng.NormFloat64())
+		a.Set(i, 1, rng.NormFloat64())
+	}
+	return a
+}
+
+// affineTransform returns X*A + 1*b' for random non-singular A.
+func affineTransform(rng *rand.Rand, x *mat.Matrix) *mat.Matrix {
+	m := x.Rows()
+	var a *mat.Matrix
+	for {
+		a, _ = mat.NewFromRows([][]float64{
+			{rng.NormFloat64(), rng.NormFloat64()},
+			{rng.NormFloat64(), rng.NormFloat64()},
+		})
+		if d, _ := mat.Det2x2(a); math.Abs(d) > 0.1 {
+			break
+		}
+	}
+	b := []float64{rng.NormFloat64(), rng.NormFloat64()}
+	xa, _ := x.Mul(a)
+	out := mat.New(m, 2)
+	for i := 0; i < m; i++ {
+		out.Set(i, 0, xa.At(i, 0)+b[0])
+		out.Set(i, 1, xa.At(i, 1)+b[1])
+	}
+	return out
+}
+
+func TestDistanceZeroForAffineTransforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		x := randomPairMatrix(rng, 30)
+		y := affineTransform(rng, x)
+		d, err := Distance(x, y)
+		if err != nil {
+			t.Fatalf("Distance: %v", err)
+		}
+		if d > 1e-8 {
+			t.Fatalf("trial %d: LSFD of affine transform = %v, want ~0", trial, d)
+		}
+		dep, err := IsAffinelyDependent(x, y, 1e-6)
+		if err != nil || !dep {
+			t.Fatalf("IsAffinelyDependent = %v, %v", dep, err)
+		}
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomPairMatrix(rng, 20)
+	d, err := Distance(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-10 {
+		t.Fatalf("D(X,X) = %v, want 0", d)
+	}
+}
+
+func TestDistancePositiveForIndependentData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomPairMatrix(rng, 50)
+	y := randomPairMatrix(rng, 50)
+	d, err := Distance(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1e-3 {
+		t.Fatalf("LSFD of independent Gaussian data = %v, expected clearly positive", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		x := randomPairMatrix(rng, 25)
+		y := randomPairMatrix(rng, 25)
+		dxy, err1 := Distance(x, y)
+		dyx, err2 := Distance(y, x)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v %v", err1, err2)
+		}
+		if math.Abs(dxy-dyx) > 1e-9*(1+dxy) {
+			t.Fatalf("LSFD not symmetric: %v vs %v", dxy, dyx)
+		}
+	}
+}
+
+// Property: triangle inequality D(X,Y) <= D(X,Z) + D(Z,Y) (Theorem 1).
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 6 + rng.Intn(40)
+		x := randomPairMatrix(rng, m)
+		y := randomPairMatrix(rng, m)
+		z := randomPairMatrix(rng, m)
+		dxy, err1 := Distance(x, y)
+		dxz, err2 := Distance(x, z)
+		dzy, err3 := Distance(z, y)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return dxy <= dxz+dzy+1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: invariance under translation of either argument (the metric works
+// on zero-mean counterparts).
+func TestTranslationInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(30)
+		x := randomPairMatrix(rng, m)
+		y := randomPairMatrix(rng, m)
+		shift0 := rng.NormFloat64() * 100
+		shift1 := rng.NormFloat64() * 100
+		yShift := y.Clone()
+		for i := 0; i < m; i++ {
+			yShift.Set(i, 0, y.At(i, 0)+shift0)
+			yShift.Set(i, 1, y.At(i, 1)+shift1)
+		}
+		d1, err1 := Distance(x, y)
+		d2, err2 := Distance(x, yShift)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(d1-d2) <= 1e-7*(1+d1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceToCenter(t *testing.T) {
+	common := []float64{1, 2, 3, 4, 5}
+	other := []float64{2, 4, 6, 8, 10}   // exactly 2*common
+	center := []float64{1, 2, 3, 4, 5.5} // close but not exact
+
+	dExact, err := DistanceToCenter(common, other, common)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dExact > 1e-9 {
+		t.Fatalf("distance to a center spanning the same line = %v, want 0", dExact)
+	}
+
+	dNear, err := DistanceToCenter(common, other, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dNear < 0 {
+		t.Fatalf("negative distance %v", dNear)
+	}
+	if _, err := DistanceToCenter(common, other, []float64{1}); err == nil {
+		t.Fatal("mismatched center length should error")
+	}
+}
+
+func TestBadShapes(t *testing.T) {
+	good := mat.New(5, 2)
+	for _, tc := range []struct {
+		x, y *mat.Matrix
+	}{
+		{nil, good},
+		{good, nil},
+		{mat.New(5, 3), good},
+		{good, mat.New(5, 3)},
+		{mat.New(4, 2), good},
+		{mat.New(1, 2), mat.New(1, 2)},
+	} {
+		if _, err := Distance(tc.x, tc.y); !errors.Is(err, ErrBadShape) {
+			t.Fatalf("Distance(%v,%v) err = %v, want ErrBadShape", tc.x, tc.y, err)
+		}
+	}
+}
+
+func TestSquaredDistanceMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randomPairMatrix(rng, 15)
+	y := randomPairMatrix(rng, 15)
+	d, _ := Distance(x, y)
+	d2, _ := SquaredDistance(x, y)
+	if math.Abs(d*d-d2) > 1e-9*(1+d2) {
+		t.Fatalf("Distance² = %v, SquaredDistance = %v", d*d, d2)
+	}
+}

@@ -1,0 +1,281 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U * diag(S) * Vᵀ where A
+// is m-by-n, U is m-by-p, V is n-by-p and p = min(m, n).  Singular values are
+// returned in non-increasing order.
+type SVD struct {
+	U *Matrix   // m-by-p left singular vectors
+	S []float64 // p singular values, descending
+	V *Matrix   // n-by-p right singular vectors
+}
+
+// jacobiMaxSweeps bounds the number of one-sided Jacobi sweeps.  Convergence
+// for the small, well-conditioned matrices used by Affinity is typically
+// reached in fewer than 10 sweeps.
+const jacobiMaxSweeps = 60
+
+// svdTol is the relative off-diagonal tolerance for Jacobi convergence.
+const svdTol = 1e-14
+
+// ComputeSVD computes the thin SVD of a using the one-sided Jacobi method.
+//
+// The one-sided Jacobi algorithm orthogonalizes the columns of a working copy
+// of A by repeated plane rotations; on convergence the column norms are the
+// singular values, the normalized columns are U, and the accumulated
+// rotations are V.  It is simple, numerically robust and more than fast
+// enough for the tall-and-skinny (m-by-2 .. m-by-4) and small square matrices
+// Affinity needs.
+func ComputeSVD(a *Matrix) (*SVD, error) {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("mat: cannot compute SVD of empty %dx%d matrix: %w", m, n, ErrDimensionMismatch)
+	}
+	if m < n {
+		// Work on the transpose and swap U and V afterwards.
+		svdT, err := ComputeSVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: svdT.V, S: svdT.S, V: svdT.U}, nil
+	}
+
+	// Working copy whose columns are rotated in place.
+	w := a.Clone()
+	v := Identity(n)
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		converged := true
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					wp := w.data[i*n+p]
+					wq := w.data[i*n+q]
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if alpha == 0 || beta == 0 {
+					continue
+				}
+				if math.Abs(gamma) > svdTol*math.Sqrt(alpha*beta) {
+					converged = false
+					// Compute the Jacobi rotation that annihilates gamma.
+					zeta := (beta - alpha) / (2 * gamma)
+					var t float64
+					if zeta > 0 {
+						t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+					} else {
+						t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+					}
+					c := 1 / math.Sqrt(1+t*t)
+					s := c * t
+					for i := 0; i < m; i++ {
+						wp := w.data[i*n+p]
+						wq := w.data[i*n+q]
+						w.data[i*n+p] = c*wp - s*wq
+						w.data[i*n+q] = s*wp + c*wq
+					}
+					for i := 0; i < n; i++ {
+						vp := v.data[i*n+p]
+						vq := v.data[i*n+q]
+						v.data[i*n+p] = c*vp - s*vq
+						v.data[i*n+q] = s*vp + c*vq
+					}
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+
+	// Extract singular values (column norms) and normalize columns to form U.
+	sigma := make([]float64, n)
+	u := New(m, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += w.data[i*n+j] * w.data[i*n+j]
+		}
+		norm = math.Sqrt(norm)
+		sigma[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.data[i*n+j] = w.data[i*n+j] / norm
+			}
+		}
+	}
+
+	// Sort singular values in descending order, permuting U and V columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return sigma[idx[i]] > sigma[idx[j]] })
+
+	sortedS := make([]float64, n)
+	sortedU := New(m, n)
+	sortedV := New(n, n)
+	for newJ, oldJ := range idx {
+		sortedS[newJ] = sigma[oldJ]
+		for i := 0; i < m; i++ {
+			sortedU.data[i*n+newJ] = u.data[i*n+oldJ]
+		}
+		for i := 0; i < n; i++ {
+			sortedV.data[i*n+newJ] = v.data[i*n+oldJ]
+		}
+	}
+	return &SVD{U: sortedU, S: sortedS, V: sortedV}, nil
+}
+
+// SingularValues returns the singular values of a in non-increasing order.
+func SingularValues(a *Matrix) ([]float64, error) {
+	svd, err := ComputeSVD(a)
+	if err != nil {
+		return nil, err
+	}
+	return svd.S, nil
+}
+
+// Rank returns the numerical rank of a: the number of singular values larger
+// than tol * max(sigma).  If tol <= 0 a default based on machine epsilon and
+// the matrix size is used.
+func Rank(a *Matrix, tol float64) (int, error) {
+	svd, err := ComputeSVD(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(svd.S) == 0 || svd.S[0] == 0 {
+		return 0, nil
+	}
+	if tol <= 0 {
+		m, n := a.Dims()
+		tol = float64(max(m, n)) * 2.220446049250313e-16
+	}
+	threshold := tol * svd.S[0]
+	rank := 0
+	for _, s := range svd.S {
+		if s > threshold {
+			rank++
+		}
+	}
+	return rank, nil
+}
+
+// Reconstruct returns U * diag(S) * Vᵀ, primarily used by tests to validate
+// the decomposition.
+func (s *SVD) Reconstruct() (*Matrix, error) {
+	m, p := s.U.Dims()
+	n, p2 := s.V.Dims()
+	if p != p2 || p != len(s.S) {
+		return nil, fmt.Errorf("mat: inconsistent SVD shapes U=%dx%d V=%dx%d S=%d: %w",
+			m, p, n, p2, len(s.S), ErrDimensionMismatch)
+	}
+	us := s.U.Clone()
+	for j := 0; j < p; j++ {
+		for i := 0; i < m; i++ {
+			us.data[i*p+j] *= s.S[j]
+		}
+	}
+	return us.Mul(s.V.T())
+}
+
+// DominantLeftSingularVector returns the left singular vector associated with
+// the largest singular value of a, computed without forming the full SVD.
+//
+// It uses power iteration on the small Gram matrix AᵀA (n-by-n, where n is
+// the number of columns) and then maps the dominant right singular vector
+// back through A, which is far cheaper than a full decomposition when A is a
+// tall m-by-c matrix with c << m (the AFCLST cluster update).  The returned
+// vector has unit length.  For a matrix with a single column the normalized
+// column is returned directly.
+func DominantLeftSingularVector(a *Matrix) ([]float64, error) {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("mat: empty %dx%d matrix: %w", m, n, ErrDimensionMismatch)
+	}
+	if n == 1 {
+		return Normalize(a.Col(0)), nil
+	}
+
+	// Gram matrix G = AᵀA (n-by-n).
+	g := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var sum float64
+			for r := 0; r < m; r++ {
+				sum += a.data[r*n+i] * a.data[r*n+j]
+			}
+			g.data[i*n+j] = sum
+			g.data[j*n+i] = sum
+		}
+	}
+
+	// Power iteration for the dominant eigenvector of G.
+	v := make([]float64, n)
+	for i := range v {
+		// Deterministic non-degenerate start vector.
+		v[i] = 1 / math.Sqrt(float64(n)+float64(i))
+	}
+	v = Normalize(v)
+	const maxIter = 500
+	const tol = 1e-13
+	for iter := 0; iter < maxIter; iter++ {
+		next, err := g.MulVec(v)
+		if err != nil {
+			return nil, err
+		}
+		norm := Norm(next)
+		if norm == 0 {
+			// A is the zero matrix; any unit vector is a valid answer.
+			out := make([]float64, m)
+			out[0] = 1
+			return out, nil
+		}
+		for i := range next {
+			next[i] /= norm
+		}
+		// Convergence on direction (sign-insensitive).
+		var diff float64
+		for i := range next {
+			d := math.Abs(math.Abs(next[i]) - math.Abs(v[i]))
+			if d > diff {
+				diff = d
+			}
+		}
+		v = next
+		if diff < tol {
+			break
+		}
+	}
+
+	// Map back: u = A v / ||A v||.
+	av, err := a.MulVec(v)
+	if err != nil {
+		return nil, err
+	}
+	norm := Norm(av)
+	if norm == 0 {
+		out := make([]float64, m)
+		out[0] = 1
+		return out, nil
+	}
+	for i := range av {
+		av[i] /= norm
+	}
+	return av, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,482 @@
+// Package scape implements the SCAPE (SCAlar ProjEction) index of Section 5
+// of the paper: a measure-agnostic index over affine relationships that
+// answers measure threshold (MET) and measure range (MER) queries without
+// recomputing the measure for every query.
+//
+// # Structure
+//
+// For every pivot pair p_q produced by SYMEX+ the index keeps a pivot node
+// with, per indexed measure, the vector α_q and its norm ‖α_q‖; the sequence
+// pairs assigned to the pivot are stored in sorted containers (B-trees) keyed
+// by the scalar projection ξ_qd = α_qᵀβ_qd / ‖α_q‖, where β_qd = (a12, a22,
+// b2) is derived purely from the affine relationship (A, b)_e.  Because all
+// affine relationships are built with the common series as the first column,
+// the measure value of a sequence pair factors exactly as α_qᵀβ_qd = ‖α_q‖·ξ_qd
+// (Observation 1 and Table 2):
+//
+//	covariance:  α = (Σ11(O_p), Σ12(O_p), 0)
+//	dot product: α = (Π11(O_p), Π12(O_p), h1(O_p))
+//	location:    α = (L1(O_p), L2(O_p), 1)
+//
+// The scalar projection depends on α and therefore on the measure; the index
+// stores one sorted container per (pivot, measure) sharing the sequence-node
+// payloads, which keeps the paper's single-index query algorithms intact
+// while remaining exactly correct for every measure.  β is computed once per
+// relationship and never changes.
+//
+// D-measures are indexed through their base T-measure: each sequence node
+// additionally stores the separable normalizer U_e of every indexed
+// D-measure, and each pivot node stores the minimum and maximum normalizer
+// among its sequence nodes (U^min_q, U^max_q), which drive the index pruning
+// of Section 5.3.
+//
+// Location (L-) measures apply to single series rather than pairs; the index
+// maintains one global B-tree per L-measure keyed by the series' measure
+// value estimated through an affine relationship (falling back to a direct
+// computation for series that only ever appear as the common member).
+package scape
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"affinity/internal/btree"
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// ErrMeasureNotIndexed is returned when a query references a measure the
+// index was not built for (or that SCAPE cannot index, such as a D-measure
+// with a non-separable normalizer).
+var ErrMeasureNotIndexed = errors.New("scape: measure not indexed")
+
+// ErrBadQuery is returned for malformed query parameters.
+var ErrBadQuery = errors.New("scape: bad query")
+
+// Options configures the index build.
+//
+// For the measure lists, a nil slice selects the default set while an
+// explicitly empty (non-nil) slice selects none of that kind; the latter is
+// used by experiments that index a single measure class in isolation.
+type Options struct {
+	// PairMeasures lists the T-measures to index.  D-measures are answered
+	// through their base T-measure and do not need to be listed.  Nil selects
+	// all T-measures (covariance and dot product).
+	PairMeasures []stats.Measure
+	// DerivedMeasures lists the D-measures for which normalizers and pruning
+	// bounds should be maintained.  Nil selects every D-measure with a
+	// separable normalizer (correlation, cosine, Dice, harmonic mean).
+	DerivedMeasures []stats.Measure
+	// LocationMeasures lists the L-measures to index over individual series.
+	// Nil selects mean, median and mode.
+	LocationMeasures []stats.Measure
+	// DisableDerivedPruning turns off the U^min/U^max pruning of Section 5.3
+	// (every candidate's exact derived value is evaluated instead).  Used by
+	// the ablation benchmark; queries return identical results either way.
+	DisableDerivedPruning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PairMeasures == nil {
+		o.PairMeasures = stats.TMeasures()
+	}
+	if o.DerivedMeasures == nil {
+		o.DerivedMeasures = SeparableDerivedMeasures()
+	}
+	if o.LocationMeasures == nil {
+		o.LocationMeasures = stats.LMeasures()
+	}
+	return o
+}
+
+// SeparableDerivedMeasures returns the D-measures whose normalizer is
+// separable per series and therefore indexable by SCAPE (Section 5.1,
+// "Indexing D-Measures").  The generalized Jaccard coefficient is excluded:
+// its normalizer depends on the dot product itself.
+func SeparableDerivedMeasures() []stats.Measure {
+	return []stats.Measure{stats.Correlation, stats.Cosine, stats.Dice, stats.HarmonicMean}
+}
+
+// sequenceNode is the per-relationship payload shared by all per-measure
+// trees of a pivot node.
+type sequenceNode struct {
+	pair timeseries.Pair
+	beta [3]float64
+	// normalizers[U] for every indexed D-measure, keyed by measure.
+	normalizers map[stats.Measure]float64
+}
+
+// pivotMeasure is the per-(pivot, measure) state: α, ‖α‖ and the sorted
+// container of sequence nodes keyed by scalar projection.
+type pivotMeasure struct {
+	alpha     [3]float64
+	alphaNorm float64
+	tree      *btree.Tree[*sequenceNode]
+}
+
+// pivotNode groups everything the index stores for one pivot pair.
+type pivotNode struct {
+	pivot    symex.Pivot
+	measures map[stats.Measure]*pivotMeasure
+	// normBounds[measure] = (U^min_q, U^max_q) across the pivot's sequence
+	// nodes, for every indexed D-measure.
+	normBounds map[stats.Measure][2]float64
+	pairs      int
+}
+
+// seriesEntry is the payload of the global location trees.
+type seriesEntry struct {
+	id    timeseries.SeriesID
+	value float64
+}
+
+// BuildStats summarizes the index contents.
+type BuildStats struct {
+	Pivots             int
+	SequenceNodes      int
+	IndexedTMeasures   int
+	IndexedDMeasures   int
+	IndexedLMeasures   int
+	LocationEstimated  int // series whose L-value came from an affine relationship
+	LocationComputed   int // series whose L-value was computed directly (fallback)
+	DerivedPruningOn   bool
+	TotalTreeInsertion int
+}
+
+// Index is the SCAPE index.
+type Index struct {
+	opts    Options
+	pivots  []*pivotNode
+	byPivot map[symex.Pivot]*pivotNode
+	// location[measure] holds the global per-series tree for an L-measure.
+	location map[stats.Measure]*btree.Tree[seriesEntry]
+	// pairMeasures / derivedSet for quick membership checks.
+	pairMeasures map[stats.Measure]bool
+	derivedSet   map[stats.Measure]bool
+	locationSet  map[stats.Measure]bool
+	numSamples   int
+	stats        BuildStats
+}
+
+// Stats returns build statistics.
+func (idx *Index) Stats() BuildStats { return idx.stats }
+
+// NumPivots returns the number of pivot nodes.
+func (idx *Index) NumPivots() int { return len(idx.pivots) }
+
+// Build constructs a SCAPE index from the affine relationships produced by
+// SYMEX/SYMEX+ over the given data matrix.
+func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if rel == nil || len(rel.Relationships) == 0 {
+		return nil, fmt.Errorf("scape: no affine relationships to index")
+	}
+	opts = opts.withDefaults()
+	for _, m := range opts.PairMeasures {
+		if m.Class() != stats.DispersionClass {
+			return nil, fmt.Errorf("%w: %v is not a T-measure", ErrBadQuery, m)
+		}
+	}
+	for _, m := range opts.DerivedMeasures {
+		if m.Class() != stats.DerivedClass {
+			return nil, fmt.Errorf("%w: %v is not a D-measure", ErrBadQuery, m)
+		}
+		if !isSeparable(m) {
+			return nil, fmt.Errorf("%w: %v has a non-separable normalizer", ErrMeasureNotIndexed, m)
+		}
+	}
+	for _, m := range opts.LocationMeasures {
+		if m.Class() != stats.LocationClass {
+			return nil, fmt.Errorf("%w: %v is not an L-measure", ErrBadQuery, m)
+		}
+	}
+
+	idx := &Index{
+		opts:         opts,
+		byPivot:      make(map[symex.Pivot]*pivotNode),
+		location:     make(map[stats.Measure]*btree.Tree[seriesEntry]),
+		pairMeasures: make(map[stats.Measure]bool),
+		derivedSet:   make(map[stats.Measure]bool),
+		locationSet:  make(map[stats.Measure]bool),
+		numSamples:   d.NumSamples(),
+	}
+	for _, m := range opts.PairMeasures {
+		idx.pairMeasures[m] = true
+	}
+	for _, m := range opts.DerivedMeasures {
+		idx.derivedSet[m] = true
+		// A derived measure needs its base T-measure to be indexed.
+		idx.pairMeasures[m.Base()] = true
+	}
+	for _, m := range opts.LocationMeasures {
+		idx.locationSet[m] = true
+	}
+
+	// Per-series quantities for separable normalizers (variance and squared
+	// norm), computed once in O(n·m).
+	perSeries, err := computeSeriesStats(d)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build pivot nodes.
+	for pivot, pairs := range rel.Pivots {
+		node, err := idx.buildPivotNode(d, rel, pivot, pairs, perSeries)
+		if err != nil {
+			return nil, err
+		}
+		idx.pivots = append(idx.pivots, node)
+		idx.byPivot[pivot] = node
+	}
+
+	// Build global location trees.
+	if len(opts.LocationMeasures) > 0 {
+		if err := idx.buildLocationTrees(d, rel); err != nil {
+			return nil, err
+		}
+	}
+
+	idx.stats.Pivots = len(idx.pivots)
+	idx.stats.SequenceNodes = len(rel.Relationships)
+	idx.stats.IndexedTMeasures = len(idx.pairMeasures)
+	idx.stats.IndexedDMeasures = len(idx.derivedSet)
+	idx.stats.IndexedLMeasures = len(idx.locationSet)
+	idx.stats.DerivedPruningOn = !opts.DisableDerivedPruning
+	return idx, nil
+}
+
+// seriesStats caches per-series variance and squared norm.
+type seriesStats struct {
+	variance []float64
+	sqNorm   []float64
+}
+
+func computeSeriesStats(d *timeseries.DataMatrix) (*seriesStats, error) {
+	n := d.NumSeries()
+	out := &seriesStats{variance: make([]float64, n), sqNorm: make([]float64, n)}
+	for _, id := range d.IDs() {
+		s, err := d.Series(id)
+		if err != nil {
+			return nil, err
+		}
+		v, err := stats.VarianceOf(s)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := stats.DotProductOf(s, s)
+		if err != nil {
+			return nil, err
+		}
+		out.variance[id] = v
+		out.sqNorm[id] = sq
+	}
+	return out, nil
+}
+
+// buildPivotNode computes α per indexed measure for one pivot and inserts
+// every assigned sequence pair into the per-measure trees.
+func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
+	pivot symex.Pivot, pairs []timeseries.Pair, perSeries *seriesStats) (*pivotNode, error) {
+
+	op, err := rel.PivotMatrix(d, pivot)
+	if err != nil {
+		return nil, err
+	}
+	covOp, err := stats.PairMatrixCovariance(op)
+	if err != nil {
+		return nil, err
+	}
+	dotOp, err := stats.PairMatrixDotProduct(op)
+	if err != nil {
+		return nil, err
+	}
+	sums, err := stats.ColumnSums(op)
+	if err != nil {
+		return nil, err
+	}
+
+	node := &pivotNode{
+		pivot:      pivot,
+		measures:   make(map[stats.Measure]*pivotMeasure),
+		normBounds: make(map[stats.Measure][2]float64),
+		pairs:      len(pairs),
+	}
+
+	for m := range idx.pairMeasures {
+		var alpha [3]float64
+		switch m {
+		case stats.Covariance:
+			alpha = [3]float64{covOp.At(0, 0), covOp.At(0, 1), 0}
+		case stats.DotProduct:
+			alpha = [3]float64{dotOp.At(0, 0), dotOp.At(0, 1), sums[0]}
+		default:
+			return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+		}
+		node.measures[m] = &pivotMeasure{
+			alpha:     alpha,
+			alphaNorm: vec3Norm(alpha),
+			tree:      btree.New[*sequenceNode](),
+		}
+	}
+
+	// Normalizer bounds start empty; they are extended as sequence nodes are
+	// inserted.
+	for m := range idx.derivedSet {
+		node.normBounds[m] = [2]float64{math.Inf(1), math.Inf(-1)}
+	}
+
+	for _, e := range pairs {
+		r, ok := rel.Relationships[e]
+		if !ok {
+			return nil, fmt.Errorf("scape: pivot %v references unknown pair %v", pivot, e)
+		}
+		sn := &sequenceNode{
+			pair: e,
+			beta: [3]float64{r.Transform.A.At(0, 1), r.Transform.A.At(1, 1), r.Transform.B[1]},
+		}
+		if len(idx.derivedSet) > 0 {
+			sn.normalizers = make(map[stats.Measure]float64, len(idx.derivedSet))
+			for m := range idx.derivedSet {
+				u := separableNormalizer(m, perSeries, e)
+				sn.normalizers[m] = u
+				bounds := node.normBounds[m]
+				if u < bounds[0] {
+					bounds[0] = u
+				}
+				if u > bounds[1] {
+					bounds[1] = u
+				}
+				node.normBounds[m] = bounds
+			}
+		}
+		for _, pm := range node.measures {
+			xi := scalarProjection(pm, sn.beta)
+			pm.tree.Insert(xi, sn)
+			idx.stats.TotalTreeInsertion++
+		}
+	}
+	return node, nil
+}
+
+// buildLocationTrees estimates every series' L-measures (through an affine
+// relationship when the series appears as the non-common member of one,
+// directly otherwise) and inserts them into the global location trees.
+func (idx *Index) buildLocationTrees(d *timeseries.DataMatrix, rel *symex.Result) error {
+	// Pick, for every series, one relationship in which it is the "other"
+	// (non-common) member.
+	chosen := make(map[timeseries.SeriesID]*symex.Relationship, d.NumSeries())
+	for _, r := range rel.Relationships {
+		other := r.Other()
+		if _, ok := chosen[other]; !ok {
+			chosen[other] = r
+		}
+	}
+
+	for m := range idx.locationSet {
+		idx.location[m] = btree.New[seriesEntry]()
+	}
+
+	// Cache the pivot-side L-measures per (pivot, measure) so each pivot
+	// matrix is only reduced once.
+	type pivotLoc struct {
+		values [2]float64
+	}
+	pivotCache := make(map[symex.Pivot]map[stats.Measure]pivotLoc)
+
+	for _, id := range d.IDs() {
+		r := chosen[id]
+		for m := range idx.locationSet {
+			var value float64
+			if r != nil {
+				cache, ok := pivotCache[r.Pivot]
+				if !ok {
+					cache = make(map[stats.Measure]pivotLoc)
+					pivotCache[r.Pivot] = cache
+				}
+				pl, ok := cache[m]
+				if !ok {
+					op, err := rel.PivotMatrix(d, r.Pivot)
+					if err != nil {
+						return err
+					}
+					vals, err := stats.PairMatrixLocation(m, op)
+					if err != nil {
+						return err
+					}
+					pl = pivotLoc{values: [2]float64{vals[0], vals[1]}}
+					cache[m] = pl
+				}
+				// L(other) = L(O_p)ᵀ·a2 + b2  (second component of Eq. 5).
+				propagated := r.Transform.PropagateLocation(pl.values)
+				value = propagated[1]
+				idx.stats.LocationEstimated++
+			} else {
+				s, err := d.Series(id)
+				if err != nil {
+					return err
+				}
+				v, err := stats.ComputeLocation(m, s)
+				if err != nil {
+					return err
+				}
+				value = v
+				idx.stats.LocationComputed++
+			}
+			idx.location[m].Insert(value, seriesEntry{id: id, value: value})
+			idx.stats.TotalTreeInsertion++
+		}
+	}
+	return nil
+}
+
+// separableNormalizer computes the per-pair normalizer U_e of a separable
+// D-measure from per-series statistics only.
+func separableNormalizer(m stats.Measure, perSeries *seriesStats, e timeseries.Pair) float64 {
+	switch m {
+	case stats.Correlation:
+		return math.Sqrt(perSeries.variance[e.U] * perSeries.variance[e.V])
+	case stats.Cosine:
+		return math.Sqrt(perSeries.sqNorm[e.U] * perSeries.sqNorm[e.V])
+	case stats.Dice:
+		return (perSeries.sqNorm[e.U] + perSeries.sqNorm[e.V]) / 2
+	case stats.HarmonicMean:
+		sum := perSeries.sqNorm[e.U] + perSeries.sqNorm[e.V]
+		if sum == 0 {
+			return 0
+		}
+		return perSeries.sqNorm[e.U] * perSeries.sqNorm[e.V] / sum
+	default:
+		return 0
+	}
+}
+
+func isSeparable(m stats.Measure) bool {
+	for _, s := range SeparableDerivedMeasures() {
+		if s == m {
+			return true
+		}
+	}
+	return false
+}
+
+// scalarProjection returns ξ = αᵀβ / ‖α‖ for a sequence node under a given
+// pivot measure.  A zero ‖α‖ (degenerate pivot) yields ξ = 0, keeping the
+// identity value = ‖α‖·ξ = 0 consistent.
+func scalarProjection(pm *pivotMeasure, beta [3]float64) float64 {
+	if pm.alphaNorm == 0 {
+		return 0
+	}
+	return vec3Dot(pm.alpha, beta) / pm.alphaNorm
+}
+
+func vec3Dot(a, b [3]float64) float64 {
+	return a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+}
+
+func vec3Norm(a [3]float64) float64 {
+	return math.Sqrt(a[0]*a[0] + a[1]*a[1] + a[2]*a[2])
+}

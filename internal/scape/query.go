@@ -1,0 +1,414 @@
+package scape
+
+import (
+	"fmt"
+	"math"
+
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// ThresholdOp selects the comparison direction of a measure threshold (MET)
+// query: Query 2 asks for entries whose measure is "greater or lesser than"
+// a user-defined threshold τ.
+type ThresholdOp int
+
+const (
+	// Above selects entries with measure value strictly greater than τ.
+	Above ThresholdOp = iota
+	// Below selects entries with measure value strictly less than τ.
+	Below
+)
+
+// String renders the operator.
+func (op ThresholdOp) String() string {
+	if op == Below {
+		return "<"
+	}
+	return ">"
+}
+
+// PairThreshold answers a MET query over a pairwise (T- or D-) measure: it
+// returns every sequence pair whose measure value, as represented by the
+// index, is above (or below) the threshold tau.
+func (idx *Index) PairThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.Pair, error) {
+	if op != Above && op != Below {
+		return nil, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(op))
+	}
+	switch m.Class() {
+	case stats.DispersionClass:
+		return idx.baseThreshold(m, tau, op)
+	case stats.DerivedClass:
+		return idx.derivedThreshold(m, tau, op)
+	default:
+		return nil, fmt.Errorf("%w: %v is not a pairwise measure", ErrBadQuery, m)
+	}
+}
+
+// PairRange answers a MER query over a pairwise measure: every sequence pair
+// whose measure value lies in [lo, hi].
+func (idx *Index) PairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, lo, hi)
+	}
+	switch m.Class() {
+	case stats.DispersionClass:
+		return idx.baseRange(m, lo, hi)
+	case stats.DerivedClass:
+		return idx.derivedRange(m, lo, hi)
+	default:
+		return nil, fmt.Errorf("%w: %v is not a pairwise measure", ErrBadQuery, m)
+	}
+}
+
+// SeriesThreshold answers a MET query over an L-measure: the series whose
+// measure value is above (or below) tau.
+func (idx *Index) SeriesThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.SeriesID, error) {
+	tree, ok := idx.location[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+	var out []timeseries.SeriesID
+	switch op {
+	case Above:
+		tree.AscendGreaterOrEqual(tau, func(key float64, e seriesEntry) bool {
+			if key > tau {
+				out = append(out, e.id)
+			}
+			return true
+		})
+	case Below:
+		tree.AscendLessThan(tau, func(_ float64, e seriesEntry) bool {
+			out = append(out, e.id)
+			return true
+		})
+	default:
+		return nil, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(op))
+	}
+	return out, nil
+}
+
+// SeriesRange answers a MER query over an L-measure: the series whose measure
+// value lies in [lo, hi].
+func (idx *Index) SeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.SeriesID, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, lo, hi)
+	}
+	tree, ok := idx.location[m]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+	var out []timeseries.SeriesID
+	tree.AscendRange(lo, hi, func(_ float64, e seriesEntry) bool {
+		out = append(out, e.id)
+		return true
+	})
+	return out, nil
+}
+
+// PairValue returns the index's representation of a pairwise measure for a
+// single sequence pair (the value ‖α‖·ξ, divided by the stored normalizer for
+// D-measures).  It is mainly useful for diagnostics and tests; bulk
+// computation should go through the engine.
+func (idx *Index) PairValue(m stats.Measure, e timeseries.Pair) (float64, error) {
+	base := m.Base()
+	for _, node := range idx.pivots {
+		pm, ok := node.measures[base]
+		if !ok {
+			continue
+		}
+		var found *sequenceNode
+		var foundXi float64
+		pm.tree.Ascend(func(key float64, sn *sequenceNode) bool {
+			if sn.pair == e {
+				found = sn
+				foundXi = key
+				return false
+			}
+			return true
+		})
+		if found == nil {
+			continue
+		}
+		value := pm.alphaNorm * foundXi
+		if m.Class() == stats.DerivedClass {
+			u, ok := found.normalizers[m]
+			if !ok {
+				return 0, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+			}
+			if u == 0 {
+				return 0, stats.ErrZeroNormalizer
+			}
+			value /= u
+			if m == stats.Correlation {
+				value = clamp(value, -1, 1)
+			}
+		}
+		return value, nil
+	}
+	return 0, fmt.Errorf("scape: pair %v not present in the index", e)
+}
+
+// baseThreshold processes MET queries for T- and L-indexed pair measures by
+// converting the threshold into the scalar projection domain: τ' = τ/‖α_q‖
+// per pivot node, followed by an ordered scan of the B-tree (Section 5.2).
+func (idx *Index) baseThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.Pair, error) {
+	var out []timeseries.Pair
+	for _, node := range idx.pivots {
+		pm, ok := node.measures[m]
+		if !ok {
+			return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+		}
+		if pm.alphaNorm == 0 {
+			// Degenerate pivot: every value it represents is 0.
+			if (op == Above && 0 > tau) || (op == Below && 0 < tau) {
+				pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
+					out = append(out, sn.pair)
+					return true
+				})
+			}
+			continue
+		}
+		modified := tau / pm.alphaNorm
+		switch op {
+		case Above:
+			pm.tree.AscendGreaterOrEqual(modified, func(key float64, sn *sequenceNode) bool {
+				if key > modified {
+					out = append(out, sn.pair)
+				}
+				return true
+			})
+		case Below:
+			pm.tree.AscendLessThan(modified, func(_ float64, sn *sequenceNode) bool {
+				out = append(out, sn.pair)
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// baseRange processes MER queries for T-measures with modified bounds
+// τ'l = τl/‖α_q‖ and τ'u = τu/‖α_q‖ per pivot node.
+func (idx *Index) baseRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
+	var out []timeseries.Pair
+	for _, node := range idx.pivots {
+		pm, ok := node.measures[m]
+		if !ok {
+			return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+		}
+		if pm.alphaNorm == 0 {
+			if lo <= 0 && 0 <= hi {
+				pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
+					out = append(out, sn.pair)
+					return true
+				})
+			}
+			continue
+		}
+		modLo := lo / pm.alphaNorm
+		modHi := hi / pm.alphaNorm
+		pm.tree.AscendRange(modLo, modHi, func(_ float64, sn *sequenceNode) bool {
+			out = append(out, sn.pair)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// derivedThreshold processes MET queries for D-measures using the pruning of
+// Section 5.3: per pivot node the normalizer bounds U^min_q / U^max_q yield
+// modified thresholds; sequence nodes whose scalar projection lies beyond the
+// "definitely in" bound are accepted without further work, nodes beyond the
+// "definitely out" bound are never visited, and only the narrow band in
+// between needs the per-node exact value ‖α‖ξ / U_e.
+func (idx *Index) derivedThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.Pair, error) {
+	if !idx.derivedSet[m] {
+		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+	base := m.Base()
+	var out []timeseries.Pair
+	for _, node := range idx.pivots {
+		pm, ok := node.measures[base]
+		if !ok {
+			return nil, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+		}
+		bounds := node.normBounds[m]
+		uMin, uMax := bounds[0], bounds[1]
+		if node.pairs == 0 {
+			continue
+		}
+		include := func(sn *sequenceNode, xi float64) {
+			if accepted := idx.derivedCompare(pm, sn, m, xi, tau, op); accepted {
+				out = append(out, sn.pair)
+			}
+		}
+		if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
+			// No pruning possible (or disabled): evaluate every node.
+			pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
+				include(sn, xi)
+				return true
+			})
+			continue
+		}
+		switch op {
+		case Above:
+			// Start the scan at the smallest ξ that could still qualify.
+			scanStart := pruneLowerBound(tau, uMin, uMax, pm.alphaNorm)
+			definite := pruneDefiniteAbove(tau, uMin, uMax, pm.alphaNorm)
+			pm.tree.AscendGreaterOrEqual(scanStart, func(xi float64, sn *sequenceNode) bool {
+				if xi > definite {
+					// ξ beyond τ'max: in the result for every possible U.
+					out = append(out, sn.pair)
+					return true
+				}
+				include(sn, xi)
+				return true
+			})
+		case Below:
+			// Mirror image: scan from the bottom up to the largest ξ that
+			// could still qualify.
+			scanEnd := pruneUpperBound(tau, uMin, uMax, pm.alphaNorm)
+			definite := pruneDefiniteBelow(tau, uMin, uMax, pm.alphaNorm)
+			pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
+				if xi > scanEnd {
+					return false
+				}
+				if xi < definite {
+					out = append(out, sn.pair)
+					return true
+				}
+				include(sn, xi)
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// derivedRange processes MER queries for D-measures: the scan range in ξ is
+// restricted with the normalizer bounds, candidates inside the band where
+// membership cannot be decided from the bounds alone are resolved exactly.
+func (idx *Index) derivedRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
+	if !idx.derivedSet[m] {
+		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+	base := m.Base()
+	var out []timeseries.Pair
+	for _, node := range idx.pivots {
+		pm, ok := node.measures[base]
+		if !ok {
+			return nil, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+		}
+		if node.pairs == 0 {
+			continue
+		}
+		bounds := node.normBounds[m]
+		uMin, uMax := bounds[0], bounds[1]
+		evaluate := func(xi float64, sn *sequenceNode) {
+			v, ok := idx.derivedValue(pm, sn, m, xi)
+			if ok && v >= lo && v <= hi {
+				out = append(out, sn.pair)
+			}
+		}
+		if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
+			pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
+				evaluate(xi, sn)
+				return true
+			})
+			continue
+		}
+		scanStart := pruneLowerBound(lo, uMin, uMax, pm.alphaNorm)
+		scanEnd := pruneUpperBound(hi, uMin, uMax, pm.alphaNorm)
+		// Inside [definiteLo, definiteHi] the value is within [lo, hi] for
+		// every possible normalizer (case I of Fig. 8(b)); such nodes are
+		// accepted without evaluating the exact value.
+		definiteLo := pruneDefiniteAbove(lo, uMin, uMax, pm.alphaNorm)
+		definiteHi := pruneDefiniteBelow(hi, uMin, uMax, pm.alphaNorm)
+		pm.tree.AscendRange(scanStart, scanEnd, func(xi float64, sn *sequenceNode) bool {
+			if xi > definiteLo && xi < definiteHi {
+				out = append(out, sn.pair)
+				return true
+			}
+			evaluate(xi, sn)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// derivedValue computes the exact derived measure of a sequence node from
+// index-resident quantities: ‖α‖·ξ divided by the stored normalizer.
+func (idx *Index) derivedValue(pm *pivotMeasure, sn *sequenceNode, m stats.Measure, xi float64) (float64, bool) {
+	u, ok := sn.normalizers[m]
+	if !ok || u == 0 {
+		return 0, false
+	}
+	v := pm.alphaNorm * xi / u
+	if m == stats.Correlation {
+		v = clamp(v, -1, 1)
+	}
+	return v, true
+}
+
+// derivedCompare evaluates the exact derived value of a candidate node and
+// compares it against the threshold.
+func (idx *Index) derivedCompare(pm *pivotMeasure, sn *sequenceNode, m stats.Measure,
+	xi, tau float64, op ThresholdOp) bool {
+	v, ok := idx.derivedValue(pm, sn, m, xi)
+	if !ok {
+		return false
+	}
+	if op == Above {
+		return v > tau
+	}
+	return v < tau
+}
+
+// pruneLowerBound returns the smallest scalar projection that could still
+// satisfy "value > tau" (or contribute to a range starting at tau) given that
+// the normalizer lies in [uMin, uMax]: below this ξ the value is below tau
+// for every possible normalizer.
+func pruneLowerBound(tau, uMin, uMax, alphaNorm float64) float64 {
+	if tau >= 0 {
+		return tau * uMin / alphaNorm
+	}
+	return tau * uMax / alphaNorm
+}
+
+// pruneUpperBound returns the largest scalar projection that could still
+// satisfy "value < tau" (or contribute to a range ending at tau).
+func pruneUpperBound(tau, uMin, uMax, alphaNorm float64) float64 {
+	if tau >= 0 {
+		return tau * uMax / alphaNorm
+	}
+	return tau * uMin / alphaNorm
+}
+
+// pruneDefiniteAbove returns the scalar projection beyond which the value is
+// greater than tau for every possible normalizer (τ'max in Eq. 19).
+func pruneDefiniteAbove(tau, uMin, uMax, alphaNorm float64) float64 {
+	if tau >= 0 {
+		return tau * uMax / alphaNorm
+	}
+	return tau * uMin / alphaNorm
+}
+
+// pruneDefiniteBelow returns the scalar projection below which the value is
+// smaller than tau for every possible normalizer.
+func pruneDefiniteBelow(tau, uMin, uMax, alphaNorm float64) float64 {
+	if tau >= 0 {
+		return tau * uMin / alphaNorm
+	}
+	return tau * uMax / alphaNorm
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

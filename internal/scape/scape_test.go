@@ -1,0 +1,529 @@
+package scape
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"affinity/internal/cluster"
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// testDataset builds a correlated dataset plus its SYMEX+ relationships.
+func testDataset(t testing.TB, seed int64, n, m int) (*timeseries.DataMatrix, *symex.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const groups = 3
+	bases := make([][]float64, groups)
+	for g := range bases {
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = math.Sin(float64(i)*0.03*float64(g+1)) + 0.4*math.Cos(float64(i)*0.011*float64(g+2))
+		}
+		bases[g] = b
+	}
+	series := make([][]float64, n)
+	for s := range series {
+		g := s % groups
+		scale := 0.5 + rng.Float64()*2
+		offset := rng.NormFloat64() * 0.5
+		col := make([]float64, m)
+		for i := range col {
+			col[i] = scale*bases[g][i] + offset + rng.NormFloat64()*0.02
+		}
+		series[s] = col
+	}
+	d, err := timeseries.NewDataMatrix(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := symex.Compute(d, symex.Options{
+		Cluster:            cluster.Config{K: groups, MaxIterations: 10, MinChanges: 0, Seed: 1},
+		CachePseudoInverse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, rel
+}
+
+// affineEstimates computes, for every pair, the measure value as represented
+// by the affine relationships (the W_A estimate), which is what the SCAPE
+// index stores.  Pairs with an undefined derived value are omitted.
+func affineEstimates(t testing.TB, d *timeseries.DataMatrix, rel *symex.Result, m stats.Measure) map[timeseries.Pair]float64 {
+	t.Helper()
+	out := make(map[timeseries.Pair]float64, len(rel.Relationships))
+	for e, r := range rel.Relationships {
+		op, err := rel.PivotMatrix(d, r.Pivot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base float64
+		switch m.Base() {
+		case stats.Covariance:
+			cov, err := stats.PairMatrixCovariance(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err = r.Transform.PropagateCovariance(cov)
+			if err != nil {
+				t.Fatal(err)
+			}
+		case stats.DotProduct:
+			dot, err := stats.PairMatrixDotProduct(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums, err := stats.ColumnSums(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err = r.Transform.PropagateDotProduct(dot, [2]float64{sums[0], sums[1]}, d.NumSamples())
+			if err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unsupported measure %v", m)
+		}
+		if m.Class() == stats.DerivedClass {
+			su, _ := d.Series(e.U)
+			sv, _ := d.Series(e.V)
+			u, err := stats.NormalizerOf(m, su, sv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u == 0 {
+				continue
+			}
+			base /= u
+			if m == stats.Correlation && base > 1 {
+				base = 1
+			}
+			if m == stats.Correlation && base < -1 {
+				base = -1
+			}
+		}
+		out[e] = base
+	}
+	return out
+}
+
+func pairSet(pairs []timeseries.Pair) map[timeseries.Pair]bool {
+	out := make(map[timeseries.Pair]bool, len(pairs))
+	for _, p := range pairs {
+		out[p] = true
+	}
+	return out
+}
+
+func TestBuildBasics(t *testing.T) {
+	d, rel := testDataset(t, 1, 15, 80)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	st := idx.Stats()
+	if st.Pivots != rel.Stats.NumPivots {
+		t.Fatalf("pivots = %d, want %d", st.Pivots, rel.Stats.NumPivots)
+	}
+	if st.SequenceNodes != len(rel.Relationships) {
+		t.Fatalf("sequence nodes = %d, want %d", st.SequenceNodes, len(rel.Relationships))
+	}
+	if idx.NumPivots() != st.Pivots {
+		t.Fatal("NumPivots mismatch")
+	}
+	if st.IndexedLMeasures != 3 || st.IndexedTMeasures != 2 || st.IndexedDMeasures != 4 {
+		t.Fatalf("measure counts L=%d T=%d D=%d", st.IndexedLMeasures, st.IndexedTMeasures, st.IndexedDMeasures)
+	}
+	if !st.DerivedPruningOn {
+		t.Fatal("pruning should be on by default")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	d, rel := testDataset(t, 2, 8, 40)
+	if _, err := Build(d, nil, Options{}); err == nil {
+		t.Fatal("nil relationships should error")
+	}
+	if _, err := Build(d, &symex.Result{}, Options{}); err == nil {
+		t.Fatal("empty relationships should error")
+	}
+	if _, err := Build(d, rel, Options{PairMeasures: []stats.Measure{stats.Mean}}); err == nil {
+		t.Fatal("L-measure as pair measure should error")
+	}
+	if _, err := Build(d, rel, Options{DerivedMeasures: []stats.Measure{stats.Covariance}}); err == nil {
+		t.Fatal("T-measure as derived measure should error")
+	}
+	if _, err := Build(d, rel, Options{DerivedMeasures: []stats.Measure{stats.Jaccard}}); !errors.Is(err, ErrMeasureNotIndexed) {
+		t.Fatalf("non-separable D-measure err = %v", err)
+	}
+	if _, err := Build(d, rel, Options{LocationMeasures: []stats.Measure{stats.Covariance}}); err == nil {
+		t.Fatal("T-measure as location measure should error")
+	}
+	empty := &timeseries.DataMatrix{}
+	if _, err := Build(empty, rel, Options{}); err == nil {
+		t.Fatal("empty data matrix should error")
+	}
+}
+
+func TestPairThresholdMatchesAffineEstimates(t *testing.T) {
+	d, rel := testDataset(t, 3, 16, 90)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []stats.Measure{stats.Covariance, stats.DotProduct, stats.Correlation, stats.Cosine} {
+		estimates := affineEstimates(t, d, rel, m)
+		// Pick thresholds spanning the value distribution.
+		values := make([]float64, 0, len(estimates))
+		for _, v := range estimates {
+			values = append(values, v)
+		}
+		sort.Float64s(values)
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			tau := values[int(q*float64(len(values)-1))]
+
+			want := map[timeseries.Pair]bool{}
+			for e, v := range estimates {
+				if v > tau {
+					want[e] = true
+				}
+			}
+			got, err := idx.PairThreshold(m, tau, Above)
+			if err != nil {
+				t.Fatalf("%v threshold: %v", m, err)
+			}
+			gotSet := pairSet(got)
+			if len(gotSet) != len(got) {
+				t.Fatalf("%v: duplicate pairs in result", m)
+			}
+			if !setsAlmostEqual(gotSet, want, estimates, tau) {
+				t.Fatalf("%v Above %v: result mismatch (got %d want %d)", m, tau, len(gotSet), len(want))
+			}
+
+			// Below variant.
+			wantBelow := map[timeseries.Pair]bool{}
+			for e, v := range estimates {
+				if v < tau {
+					wantBelow[e] = true
+				}
+			}
+			gotBelow, err := idx.PairThreshold(m, tau, Below)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !setsAlmostEqual(pairSet(gotBelow), wantBelow, estimates, tau) {
+				t.Fatalf("%v Below %v: result mismatch", m, tau)
+			}
+		}
+	}
+}
+
+// setsAlmostEqual compares two result sets, tolerating disagreement only for
+// pairs whose estimate is within floating-point distance of the threshold.
+func setsAlmostEqual(got, want map[timeseries.Pair]bool, estimates map[timeseries.Pair]float64, tau float64) bool {
+	const tol = 1e-9
+	for e := range got {
+		if !want[e] && math.Abs(estimates[e]-tau) > tol*(1+math.Abs(tau)) {
+			return false
+		}
+	}
+	for e := range want {
+		if !got[e] && math.Abs(estimates[e]-tau) > tol*(1+math.Abs(tau)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPairRangeMatchesAffineEstimates(t *testing.T) {
+	d, rel := testDataset(t, 4, 14, 70)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []stats.Measure{stats.Covariance, stats.Correlation} {
+		estimates := affineEstimates(t, d, rel, m)
+		values := make([]float64, 0, len(estimates))
+		for _, v := range estimates {
+			values = append(values, v)
+		}
+		sort.Float64s(values)
+		lo := values[len(values)/4]
+		hi := values[3*len(values)/4]
+
+		want := map[timeseries.Pair]bool{}
+		for e, v := range estimates {
+			if v >= lo && v <= hi {
+				want[e] = true
+			}
+		}
+		got, err := idx.PairRange(m, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := pairSet(got)
+		ok := true
+		for e := range gotSet {
+			if !want[e] && math.Abs(estimates[e]-lo) > 1e-9 && math.Abs(estimates[e]-hi) > 1e-9 {
+				ok = false
+			}
+		}
+		for e := range want {
+			if !gotSet[e] && math.Abs(estimates[e]-lo) > 1e-9 && math.Abs(estimates[e]-hi) > 1e-9 {
+				ok = false
+			}
+		}
+		if !ok {
+			t.Fatalf("%v range [%v, %v] mismatch: got %d want %d", m, lo, hi, len(gotSet), len(want))
+		}
+	}
+}
+
+func TestDerivedPruningAblationIdenticalResults(t *testing.T) {
+	d, rel := testDataset(t, 5, 15, 80)
+	pruned, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned, err := Build(d, rel, Options{DisableDerivedPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{-0.5, 0, 0.3, 0.8, 0.99} {
+		a, err := pruned.PairThreshold(stats.Correlation, tau, Above)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := unpruned.PairThreshold(stats.Correlation, tau, Above)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("tau=%v: pruned %d vs unpruned %d results", tau, len(a), len(b))
+		}
+		sa, sb := pairSet(a), pairSet(b)
+		for e := range sa {
+			if !sb[e] {
+				t.Fatalf("tau=%v: pair %v only in pruned result", tau, e)
+			}
+		}
+	}
+	for _, r := range [][2]float64{{-0.2, 0.4}, {0.5, 0.99}, {-1, 1}} {
+		a, err := pruned.PairRange(stats.Correlation, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := unpruned.PairRange(stats.Correlation, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("range %v: pruned %d vs unpruned %d", r, len(a), len(b))
+		}
+	}
+}
+
+func TestCorrelationThresholdAgainstGroundTruth(t *testing.T) {
+	// On strongly clustered data, pairs within a group have correlation close
+	// to 1 and cross-group pairs are clearly lower, so a threshold query at
+	// 0.95 must recover (almost exactly) the within-group pairs.
+	d, rel := testDataset(t, 6, 18, 150)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idx.PairThreshold(stats.Correlation, 0.95, Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSet := pairSet(got)
+
+	truthCount := 0
+	misses := 0
+	for _, e := range d.AllPairs() {
+		want, err := stats.PairMeasure(stats.Correlation, d, e)
+		if err != nil {
+			continue
+		}
+		if want > 0.95 {
+			truthCount++
+			if !gotSet[e] {
+				misses++
+			}
+		}
+	}
+	if truthCount == 0 {
+		t.Fatal("test data should contain highly correlated pairs")
+	}
+	if float64(misses) > 0.05*float64(truthCount) {
+		t.Fatalf("missed %d of %d truly correlated pairs", misses, truthCount)
+	}
+}
+
+func TestSeriesThresholdAndRange(t *testing.T) {
+	d, rel := testDataset(t, 7, 12, 60)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means, err := stats.LocationVector(stats.Mean, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), means...)
+	sort.Float64s(sorted)
+	tau := sorted[len(sorted)/2]
+
+	got, err := idx.SeriesThreshold(stats.Mean, tau, Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSet := map[timeseries.SeriesID]bool{}
+	for _, id := range got {
+		gotSet[id] = true
+	}
+	for id, v := range means {
+		if v > tau+1e-9 && !gotSet[timeseries.SeriesID(id)] {
+			t.Fatalf("series %d with mean %v missing from > %v result", id, v, tau)
+		}
+		if v < tau-1e-9 && gotSet[timeseries.SeriesID(id)] {
+			t.Fatalf("series %d with mean %v wrongly in > %v result", id, v, tau)
+		}
+	}
+
+	below, err := idx.SeriesThreshold(stats.Mean, tau, Below)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(below)+len(got) > d.NumSeries() {
+		t.Fatal("above and below results overlap")
+	}
+
+	lo, hi := sorted[2], sorted[len(sorted)-3]
+	ranged, err := idx.SeriesRange(stats.Mean, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ranged {
+		v := means[id]
+		if v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("series %d mean %v outside [%v, %v]", id, v, lo, hi)
+		}
+	}
+}
+
+func TestPairValue(t *testing.T) {
+	d, rel := testDataset(t, 8, 10, 60)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimates := affineEstimates(t, d, rel, stats.Covariance)
+	for e, want := range estimates {
+		got, err := idx.PairValue(stats.Covariance, e)
+		if err != nil {
+			t.Fatalf("PairValue(%v): %v", e, err)
+		}
+		if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+			t.Fatalf("PairValue(%v) = %v, want %v", e, got, want)
+		}
+	}
+	// Correlation values must be within [-1, 1].
+	for e := range estimates {
+		v, err := idx.PairValue(stats.Correlation, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < -1 || v > 1 {
+			t.Fatalf("correlation estimate %v out of range", v)
+		}
+	}
+	if _, err := idx.PairValue(stats.Covariance, timeseries.Pair{U: 0, V: 99}); err == nil {
+		t.Fatal("unknown pair should error")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	d, rel := testDataset(t, 9, 8, 40)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.PairThreshold(stats.Mean, 0, Above); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("L-measure pair threshold err = %v", err)
+	}
+	if _, err := idx.PairThreshold(stats.Jaccard, 0, Above); !errors.Is(err, ErrMeasureNotIndexed) {
+		t.Fatalf("Jaccard threshold err = %v", err)
+	}
+	if _, err := idx.PairThreshold(stats.Covariance, 0, ThresholdOp(9)); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("bad op err = %v", err)
+	}
+	if _, err := idx.PairRange(stats.Covariance, 2, 1); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("inverted range err = %v", err)
+	}
+	if _, err := idx.PairRange(stats.Mean, 0, 1); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("L-measure range err = %v", err)
+	}
+	if _, err := idx.PairRange(stats.Jaccard, 0, 1); !errors.Is(err, ErrMeasureNotIndexed) {
+		t.Fatalf("Jaccard range err = %v", err)
+	}
+	if _, err := idx.SeriesThreshold(stats.Covariance, 0, Above); !errors.Is(err, ErrMeasureNotIndexed) {
+		t.Fatalf("series threshold on T-measure err = %v", err)
+	}
+	if _, err := idx.SeriesThreshold(stats.Mean, 0, ThresholdOp(7)); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("series threshold bad op err = %v", err)
+	}
+	if _, err := idx.SeriesRange(stats.Covariance, 0, 1); !errors.Is(err, ErrMeasureNotIndexed) {
+		t.Fatalf("series range on T-measure err = %v", err)
+	}
+	if _, err := idx.SeriesRange(stats.Mean, 1, 0); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("series inverted range err = %v", err)
+	}
+	if Above.String() != ">" || Below.String() != "<" {
+		t.Fatal("ThresholdOp.String is wrong")
+	}
+}
+
+func TestConstantSeriesDoesNotBreakIndex(t *testing.T) {
+	series := [][]float64{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{2, 4, 6, 8, 10, 12, 14, 16},
+		{5, 5, 5, 5, 5, 5, 5, 5}, // constant: zero variance
+		{8, 6, 4, 2, 0, -2, -4, -6},
+	}
+	d, err := timeseries.NewDataMatrix(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := symex.Compute(d, symex.Options{
+		Cluster:            cluster.Config{K: 2, MaxIterations: 10, Seed: 1, MinChanges: 0},
+		CachePseudoInverse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatalf("Build with constant series: %v", err)
+	}
+	// Queries must not blow up; pairs involving the constant series are
+	// simply absent from correlation results.
+	res, err := idx.PairThreshold(stats.Correlation, 0.5, Above)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res {
+		if e.Contains(2) {
+			t.Fatalf("pair %v with a constant series should not appear in correlation results", e)
+		}
+	}
+	if _, err := idx.PairThreshold(stats.Covariance, 0, Above); err != nil {
+		t.Fatal(err)
+	}
+}

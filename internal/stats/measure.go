@@ -1,0 +1,173 @@
+// Package stats implements the statistical measures supported by the
+// Affinity framework and their naive (from scratch) computation.
+//
+// Following Section 2.1 of the paper, measures are grouped into three
+// classes:
+//
+//   - L-measures (location): mean, median, mode — defined per series;
+//   - T-measures (dispersion): covariance, dot product — defined per pair of
+//     series;
+//   - D-measures (derived): a T-measure divided by a separable normalizer —
+//     correlation coefficient (covariance / sqrt(var·var)), and the dot
+//     product derived family (cosine, Jaccard, Dice, harmonic mean).
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Measure identifies one of the statistical measures supported by Affinity.
+type Measure int
+
+// The supported measures.
+const (
+	// L-measures.
+	Mean Measure = iota
+	Median
+	Mode
+
+	// T-measures.
+	Covariance
+	DotProduct
+
+	// D-measures.
+	Correlation
+	Cosine
+	Jaccard
+	Dice
+	HarmonicMean
+
+	numMeasures // sentinel, keep last
+)
+
+// Class describes the family a measure belongs to.
+type Class int
+
+// The three classes of measures from Section 2.1.
+const (
+	LocationClass   Class = iota // L-measures: per-series central tendency
+	DispersionClass              // T-measures: pairwise variability
+	DerivedClass                 // D-measures: normalized T-measures
+)
+
+// ErrUnknownMeasure is returned when a Measure value is out of range.
+var ErrUnknownMeasure = errors.New("stats: unknown measure")
+
+// ErrEmptyInput is returned when a computation receives no samples.
+var ErrEmptyInput = errors.New("stats: empty input")
+
+// ErrLengthMismatch is returned when a pairwise measure receives series of
+// different lengths.
+var ErrLengthMismatch = errors.New("stats: length mismatch")
+
+// ErrZeroNormalizer is returned when a derived measure would divide by a zero
+// normalizer (e.g. correlation of a constant series).
+var ErrZeroNormalizer = errors.New("stats: zero normalizer")
+
+// String returns the measure's name.
+func (m Measure) String() string {
+	switch m {
+	case Mean:
+		return "mean"
+	case Median:
+		return "median"
+	case Mode:
+		return "mode"
+	case Covariance:
+		return "covariance"
+	case DotProduct:
+		return "dot-product"
+	case Correlation:
+		return "correlation"
+	case Cosine:
+		return "cosine"
+	case Jaccard:
+		return "jaccard"
+	case Dice:
+		return "dice"
+	case HarmonicMean:
+		return "harmonic-mean"
+	default:
+		return fmt.Sprintf("measure(%d)", int(m))
+	}
+}
+
+// ParseMeasure converts a measure name (as produced by String) back to a
+// Measure value.
+func ParseMeasure(name string) (Measure, error) {
+	for m := Measure(0); m < numMeasures; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownMeasure, name)
+}
+
+// Valid reports whether m is one of the defined measures.
+func (m Measure) Valid() bool { return m >= 0 && m < numMeasures }
+
+// Class returns the measure's class (L, T or D).
+func (m Measure) Class() Class {
+	switch m {
+	case Mean, Median, Mode:
+		return LocationClass
+	case Covariance, DotProduct:
+		return DispersionClass
+	default:
+		return DerivedClass
+	}
+}
+
+// Pairwise reports whether the measure is defined on a pair of series
+// (T- and D-measures) rather than a single series (L-measures).
+func (m Measure) Pairwise() bool { return m.Class() != LocationClass }
+
+// Base returns, for a D-measure, the underlying T-measure that is normalized
+// to obtain it (Section 2.1: "derived by normalizing a dispersion measure").
+// For L- and T-measures it returns the measure itself.
+func (m Measure) Base() Measure {
+	switch m {
+	case Correlation:
+		return Covariance
+	case Cosine, Jaccard, Dice, HarmonicMean:
+		return DotProduct
+	default:
+		return m
+	}
+}
+
+// AllMeasures returns every supported measure, useful for exhaustive tests
+// and for workload generators.
+func AllMeasures() []Measure {
+	out := make([]Measure, 0, int(numMeasures))
+	for m := Measure(0); m < numMeasures; m++ {
+		out = append(out, m)
+	}
+	return out
+}
+
+// LMeasures returns the supported location measures.
+func LMeasures() []Measure { return []Measure{Mean, Median, Mode} }
+
+// TMeasures returns the supported dispersion measures.
+func TMeasures() []Measure { return []Measure{Covariance, DotProduct} }
+
+// DMeasures returns the supported derived measures.
+func DMeasures() []Measure {
+	return []Measure{Correlation, Cosine, Jaccard, Dice, HarmonicMean}
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case LocationClass:
+		return "L"
+	case DispersionClass:
+		return "T"
+	case DerivedClass:
+		return "D"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}

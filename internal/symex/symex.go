@@ -1,0 +1,530 @@
+// Package symex implements the SYMEX and SYMEX+ algorithms of Section 4
+// (Algorithm 2) of the paper: the systematic exploration of the sequence pair
+// set P that associates every sequence pair e = (u, v) with a pivot pair
+// p and computes the least-squares affine relationship (A, b)_e between the
+// pivot pair matrix O_p and the sequence pair matrix S_e.
+//
+// A pivot pair replaces one member of a sequence pair by the AFCLST cluster
+// center of that member (Definition 2): the pivot for e = (u, v) is either
+// (u, ω(v)) with matrix [s_u, r_ω(v)] or (ω(u), v) with matrix [s_v, r_ω(u)]
+// — in both cases one series of the pair is kept as the "common" series and
+// the other is approximated by its cluster center.  Keeping a common series
+// guarantees exact propagation of the dot product (Lemma 1) and lets the
+// SCAPE index assume a canonical first transformation column a1 = (1, 0)ᵀ.
+//
+// SYMEX+ differs from SYMEX only by caching the pseudo-inverse of the design
+// matrix [O_p, 1_m] per pivot pair, avoiding its recomputation for the many
+// sequence pairs that share a pivot; the paper measures a 3.5–4x speedup.
+package symex
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"affinity/internal/affine"
+	"affinity/internal/cluster"
+	"affinity/internal/lsfd"
+	"affinity/internal/mat"
+	"affinity/internal/timeseries"
+)
+
+// ErrTooFewSeries indicates a data matrix with fewer than two series, for
+// which no sequence pairs exist.
+var ErrTooFewSeries = errors.New("symex: need at least two series")
+
+// Pivot identifies a pivot pair p: the kept ("common") series and the AFCLST
+// cluster whose center replaces the other member of the sequence pair.  The
+// pivot pair matrix is O_p = [s_Common, r_Cluster].
+type Pivot struct {
+	Common  timeseries.SeriesID
+	Cluster int
+}
+
+// String renders the pivot as "(u, ω=c)".
+func (p Pivot) String() string { return fmt.Sprintf("(%d, ω=%d)", p.Common, p.Cluster) }
+
+// Relationship is an affine relationship (Definition 3): the affine
+// transformation from the pivot pair matrix O_p to the sequence pair matrix
+// S_e, together with bookkeeping about which member of the pair is the
+// common series.
+type Relationship struct {
+	// Pair is the sequence pair e in canonical (U < V) order.
+	Pair timeseries.Pair
+	// Pivot is the pivot pair p assigned to e.
+	Pivot Pivot
+	// Transform maps [s_common, r_cluster] to [s_common, s_other].
+	Transform *affine.Transform
+	// Flipped reports that the common series is Pair.V (so the target pair
+	// matrix the transform produces is [s_V, s_U] rather than [s_U, s_V]).
+	// Pairwise measures are symmetric, so this only matters when per-column
+	// (location) results must be reported in canonical order.
+	Flipped bool
+}
+
+// Common returns the identifier of the common series of the relationship.
+func (r *Relationship) Common() timeseries.SeriesID {
+	if r.Flipped {
+		return r.Pair.V
+	}
+	return r.Pair.U
+}
+
+// Other returns the identifier of the non-common series of the relationship.
+func (r *Relationship) Other() timeseries.SeriesID {
+	if r.Flipped {
+		return r.Pair.U
+	}
+	return r.Pair.V
+}
+
+// Options configures Compute.
+type Options struct {
+	// Cluster holds the AFCLST parameters.
+	Cluster cluster.Config
+	// CachePseudoInverse selects the SYMEX+ variant: the pseudo-inverse of
+	// [O_p, 1_m] is computed once per pivot pair and reused.
+	CachePseudoInverse bool
+	// MaxRelationships, when positive, stops the exploration after this many
+	// affine relationships have been produced.  It is used by the scalability
+	// experiments that sweep the number of relationships.
+	MaxRelationships int
+	// Clustering, when non-nil, reuses an existing AFCLST result instead of
+	// re-running the clustering (used when several SYMEX configurations are
+	// compared on identical clusters).
+	Clustering *cluster.Result
+	// Parallelism sets the number of worker goroutines used to fit affine
+	// relationships.  Zero or one selects the sequential algorithm; the
+	// result is identical either way (fits are independent), only the
+	// exploration-order bookkeeping differs internally.
+	Parallelism int
+	// MaxLSFD, when positive, prunes affine relationships whose LSFD between
+	// the pivot pair matrix and the sequence pair matrix exceeds the bound
+	// (Section 4: "we can, if required, prune the unnecessary affine
+	// relationships").  Pruned pairs are absent from Relationships and the
+	// engine falls back to the naive method for them.
+	MaxLSFD float64
+}
+
+// Stats reports work counters of a Compute run.
+type Stats struct {
+	// NumRelationships is the number of affine relationships produced (g).
+	NumRelationships int
+	// NumPivots is the number of distinct pivot pairs generated (≤ n·k).
+	NumPivots int
+	// PseudoInverseComputations counts how many design-matrix pseudo-inverses
+	// were actually computed.
+	PseudoInverseComputations int
+	// PseudoInverseCacheHits counts how many times a cached pseudo-inverse
+	// was reused (always zero for plain SYMEX).
+	PseudoInverseCacheHits int
+	// PrunedRelationships counts relationships dropped by the MaxLSFD bound.
+	PrunedRelationships int
+}
+
+// Result is the output of SYMEX/SYMEX+: the affine relationship hash map
+// (affHash), the pivot pair map (pivotHash) and the clustering they are based
+// on.
+type Result struct {
+	// Relationships maps every covered sequence pair to its affine
+	// relationship (the paper's affHash).
+	Relationships map[timeseries.Pair]*Relationship
+	// Pivots maps every generated pivot pair to the sequence pairs assigned
+	// to it (the paper's pivotHash, with the assignment lists that the SCAPE
+	// index needs).
+	Pivots map[Pivot][]timeseries.Pair
+	// Clustering is the AFCLST result used to build pivot pairs.
+	Clustering *cluster.Result
+	// Stats holds work counters.
+	Stats Stats
+}
+
+// Relationship returns the affine relationship for a sequence pair.
+func (r *Result) Relationship(e timeseries.Pair) (*Relationship, bool) {
+	rel, ok := r.Relationships[e]
+	return rel, ok
+}
+
+// PivotMatrix rebuilds the pivot pair matrix O_p = [s_common, r_cluster] for
+// a pivot generated by this result.
+func (r *Result) PivotMatrix(d *timeseries.DataMatrix, p Pivot) (*mat.Matrix, error) {
+	if p.Cluster < 0 || p.Cluster >= r.Clustering.K() {
+		return nil, fmt.Errorf("symex: pivot %v references unknown cluster", p)
+	}
+	return d.ColumnsMatrix(p.Common, r.Clustering.Centers[p.Cluster])
+}
+
+// Compute runs SYMEX (or SYMEX+ when opts.CachePseudoInverse is set) over the
+// data matrix: it clusters the series with AFCLST, systematically explores
+// the sequence pair set to assign a pivot pair to every sequence pair, and
+// fits one least-squares affine relationship per assignment.
+//
+// The exploration (Algorithm 2) is inherently sequential and cheap; the
+// least-squares fits dominate the cost and are independent of each other, so
+// they are optionally fanned out over opts.Parallelism goroutines.  The
+// result is identical for any parallelism level.
+func Compute(d *timeseries.DataMatrix, opts Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.NumSeries()
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooFewSeries, n)
+	}
+
+	clustering := opts.Clustering
+	if clustering == nil {
+		var err error
+		clustering, err = cluster.Run(d, opts.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("symex: clustering: %w", err)
+		}
+	}
+
+	// Phase 1: systematic exploration of P (Algorithm 2).  Two anchor pairs
+	// march toward each other from the extremes and the middle of the pair
+	// grid; each anchor scans one row and one column, assigning a pivot to
+	// every not-yet-covered pair.
+	ex := &explorer{
+		data:       d,
+		clustering: clustering,
+		limit:      opts.MaxRelationships,
+		assigned:   make(map[timeseries.Pair]bool),
+	}
+	ee := timeseries.Pair{U: 0, V: timeseries.SeriesID(n - 1)}
+	mid := timeseries.SeriesID((n - 1) / 2)
+	ew := timeseries.Pair{U: mid, V: mid + 1}
+	if int(ew.V) >= n {
+		ew = ee
+	}
+	flip := false
+	for steps := 0; steps < n && !ex.done(); steps++ {
+		if !flip {
+			if err := ex.createPivots(ee); err != nil {
+				return nil, err
+			}
+			ee = timeseries.Pair{U: ee.U + 1, V: ee.V - 1}
+			flip = true
+		} else {
+			if err := ex.createPivots(ew); err != nil {
+				return nil, err
+			}
+			ew = timeseries.Pair{U: ew.U - 1, V: ew.V + 1}
+			flip = false
+		}
+		if !ee.Valid() || !ew.Valid() || int(ew.V) >= n {
+			break
+		}
+		if ee == ew {
+			if err := ex.createPivots(ee); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	// Safety sweep: the marching covers all of P when it runs to completion,
+	// but an early stop (relationship limit, tiny n) can leave pairs
+	// unassigned; cover them with the canonical pivot (u, ω(v)).
+	for u := 0; u < n-1 && !ex.done(); u++ {
+		for v := u + 1; v < n && !ex.done(); v++ {
+			e := timeseries.Pair{U: timeseries.SeriesID(u), V: timeseries.SeriesID(v)}
+			if err := ex.assign(e, e.U); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Phase 2: fit the affine relationships.
+	f := &fitter{
+		data:       d,
+		clustering: clustering,
+		useCache:   opts.CachePseudoInverse,
+		maxLSFD:    opts.MaxLSFD,
+	}
+	fitted, err := f.fitAll(ex.assignments, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Relationships: make(map[timeseries.Pair]*Relationship, len(fitted)),
+		Pivots:        make(map[Pivot][]timeseries.Pair),
+		Clustering:    clustering,
+	}
+	pruned := 0
+	for _, fr := range fitted {
+		if opts.MaxLSFD > 0 && fr.lsfd > opts.MaxLSFD {
+			pruned++
+			continue
+		}
+		res.Relationships[fr.rel.Pair] = fr.rel
+		res.Pivots[fr.rel.Pivot] = append(res.Pivots[fr.rel.Pivot], fr.rel.Pair)
+	}
+
+	res.Stats.NumRelationships = len(res.Relationships)
+	res.Stats.NumPivots = len(res.Pivots)
+	res.Stats.PrunedRelationships = pruned
+	if opts.CachePseudoInverse {
+		res.Stats.PseudoInverseComputations = len(f.distinctPivots)
+		res.Stats.PseudoInverseCacheHits = len(ex.assignments) - len(f.distinctPivots)
+	} else {
+		res.Stats.PseudoInverseComputations = len(ex.assignments)
+	}
+	return res, nil
+}
+
+// assignment records the pivot assignment of one sequence pair produced by
+// the exploration phase, before any fitting happens.
+type assignment struct {
+	pair   timeseries.Pair
+	pivot  Pivot
+	common timeseries.SeriesID
+}
+
+// explorer carries the state of the exploration phase.
+type explorer struct {
+	data        *timeseries.DataMatrix
+	clustering  *cluster.Result
+	limit       int
+	assigned    map[timeseries.Pair]bool
+	assignments []assignment
+}
+
+// done reports whether the relationship limit has been reached.
+func (ex *explorer) done() bool {
+	return ex.limit > 0 && len(ex.assignments) >= ex.limit
+}
+
+// createPivots implements the CreatePivots function of Algorithm 2: scan the
+// row and the column of the pair grid anchored at ez.  Pairs in the scanned
+// row keep the anchor's first component as the common series; pairs in the
+// scanned column keep the anchor's second component.
+func (ex *explorer) createPivots(ez timeseries.Pair) error {
+	n := timeseries.SeriesID(ex.data.NumSeries())
+	if ez.U < 0 || ez.V >= n || !ez.Valid() {
+		return nil
+	}
+	for v := ez.U + 1; v < n && !ex.done(); v++ {
+		if err := ex.assign(timeseries.Pair{U: ez.U, V: v}, ez.U); err != nil {
+			return err
+		}
+	}
+	for u := timeseries.SeriesID(0); u < ez.V && !ex.done(); u++ {
+		if err := ex.assign(timeseries.Pair{U: u, V: ez.V}, ez.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assign records the pivot assignment of a sequence pair (the bookkeeping
+// half of SolveInsert), skipping pairs that already have one.
+func (ex *explorer) assign(e timeseries.Pair, common timeseries.SeriesID) error {
+	if ex.assigned[e] {
+		return nil
+	}
+	other, err := e.Other(common)
+	if err != nil {
+		return err
+	}
+	omega, err := ex.clustering.Omega(other)
+	if err != nil {
+		return err
+	}
+	ex.assigned[e] = true
+	ex.assignments = append(ex.assignments, assignment{
+		pair:   e,
+		pivot:  Pivot{Common: common, Cluster: omega},
+		common: common,
+	})
+	return nil
+}
+
+// fittedRelationship is the output of fitting one assignment.
+type fittedRelationship struct {
+	rel  *Relationship
+	lsfd float64 // only populated when LSFD pruning is requested
+}
+
+// fitter carries the state of the fitting phase.
+type fitter struct {
+	data           *timeseries.DataMatrix
+	clustering     *cluster.Result
+	useCache       bool
+	maxLSFD        float64
+	distinctPivots map[Pivot]*mat.Matrix // pivot -> cached pseudo-inverse
+}
+
+// fitAll fits every assignment, sequentially or with the requested number of
+// worker goroutines.
+func (f *fitter) fitAll(assignments []assignment, parallelism int) ([]fittedRelationship, error) {
+	// With the SYMEX+ cache, the pseudo-inverse of [O_p, 1_m] is computed
+	// once per distinct pivot.  Doing this up front (also in parallel) keeps
+	// the per-assignment work read-only.
+	f.distinctPivots = make(map[Pivot]*mat.Matrix)
+	if f.useCache {
+		var pivots []Pivot
+		seen := make(map[Pivot]bool)
+		for _, a := range assignments {
+			if !seen[a.pivot] {
+				seen[a.pivot] = true
+				pivots = append(pivots, a.pivot)
+			}
+		}
+		pinvs := make([]*mat.Matrix, len(pivots))
+		err := runParallel(len(pivots), parallelism, func(i int) error {
+			pinv, err := f.designPseudoInverse(pivots[i])
+			if err != nil {
+				return err
+			}
+			pinvs[i] = pinv
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range pivots {
+			f.distinctPivots[p] = pinvs[i]
+		}
+	}
+
+	out := make([]fittedRelationship, len(assignments))
+	err := runParallel(len(assignments), parallelism, func(i int) error {
+		fr, err := f.fitOne(assignments[i])
+		if err != nil {
+			return err
+		}
+		out[i] = fr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fitOne solves the least-squares affine relationship for one assignment.
+func (f *fitter) fitOne(a assignment) (fittedRelationship, error) {
+	other, err := a.pair.Other(a.common)
+	if err != nil {
+		return fittedRelationship{}, err
+	}
+	commonSeries, err := f.data.Series(a.common)
+	if err != nil {
+		return fittedRelationship{}, err
+	}
+	otherSeries, err := f.data.Series(other)
+	if err != nil {
+		return fittedRelationship{}, err
+	}
+	target, err := mat.NewFromColumns(commonSeries, otherSeries)
+	if err != nil {
+		return fittedRelationship{}, err
+	}
+
+	pinv := f.distinctPivots[a.pivot]
+	if pinv == nil {
+		pinv, err = f.designPseudoInverse(a.pivot)
+		if err != nil {
+			return fittedRelationship{}, err
+		}
+	}
+	transform, err := affine.FitWithPseudoInverse(pinv, target)
+	if err != nil {
+		return fittedRelationship{}, fmt.Errorf("symex: fitting %v against pivot %v: %w", a.pair, a.pivot, err)
+	}
+	fr := fittedRelationship{rel: &Relationship{
+		Pair:      a.pair,
+		Pivot:     a.pivot,
+		Transform: transform,
+		Flipped:   a.common == a.pair.V,
+	}}
+	if f.maxLSFD > 0 {
+		if a.pivot.Cluster < 0 || a.pivot.Cluster >= len(f.clustering.Centers) {
+			return fittedRelationship{}, fmt.Errorf("symex: pivot %v references unknown cluster (k=%d)",
+				a.pivot, len(f.clustering.Centers))
+		}
+		op, err := f.data.ColumnsMatrix(a.pivot.Common, f.clustering.Centers[a.pivot.Cluster])
+		if err != nil {
+			return fittedRelationship{}, err
+		}
+		distance, err := lsfd.Distance(op, target)
+		if err != nil {
+			return fittedRelationship{}, err
+		}
+		fr.lsfd = distance
+	}
+	return fr, nil
+}
+
+// designPseudoInverse builds the pivot pair matrix O_p, its design matrix
+// [O_p, 1_m] and the pseudo-inverse of the latter.
+func (f *fitter) designPseudoInverse(p Pivot) (*mat.Matrix, error) {
+	if p.Cluster < 0 || p.Cluster >= len(f.clustering.Centers) {
+		return nil, fmt.Errorf("symex: pivot %v references unknown cluster (k=%d)", p, len(f.clustering.Centers))
+	}
+	op, err := f.data.ColumnsMatrix(p.Common, f.clustering.Centers[p.Cluster])
+	if err != nil {
+		return nil, err
+	}
+	design, err := affine.DesignMatrix(op)
+	if err != nil {
+		return nil, err
+	}
+	return mat.PseudoInverse(design)
+}
+
+// runParallel executes fn(i) for i in [0, count) with up to `parallelism`
+// goroutines (sequentially when parallelism <= 1), returning the first error
+// encountered.
+func runParallel(count, parallelism int, fn func(i int) error) error {
+	if count == 0 {
+		return nil
+	}
+	if parallelism <= 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if parallelism > count {
+		parallelism = count
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	errCh := make(chan error, parallelism)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			// Keep draining the channel after a failure so the producer never
+			// blocks; remaining work is skipped.
+			for i := range next {
+				if failed {
+					continue
+				}
+				if err := fn(i); err != nil {
+					failed = true
+					select {
+					case errCh <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < count; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,310 @@
+package symex
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"affinity/internal/cluster"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// correlatedData generates n series in `groups` correlated groups with m
+// samples, mimicking the structure AFCLST exploits.
+func correlatedData(t testing.TB, seed int64, groups, n, m int, noise float64) *timeseries.DataMatrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bases := make([][]float64, groups)
+	for g := range bases {
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = math.Sin(float64(i)*0.02*float64(g+1)) + 0.3*math.Cos(float64(i)*0.07*float64(g+1))
+		}
+		bases[g] = b
+	}
+	series := make([][]float64, n)
+	for s := range series {
+		g := s % groups
+		scale := 0.5 + rng.Float64()*2
+		offset := rng.NormFloat64()
+		col := make([]float64, m)
+		for i := range col {
+			col[i] = scale*bases[g][i] + offset + rng.NormFloat64()*noise
+		}
+		series[s] = col
+	}
+	d, err := timeseries.NewDataMatrix(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func defaultOptions() Options {
+	return Options{
+		Cluster:            cluster.Config{K: 3, MaxIterations: 10, MinChanges: 0, Seed: 1},
+		CachePseudoInverse: true,
+	}
+}
+
+func TestComputeCoversAllPairs(t *testing.T) {
+	d := correlatedData(t, 1, 3, 14, 60, 0.01)
+	res, err := Compute(d, defaultOptions())
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	wantPairs := d.NumPairs()
+	if len(res.Relationships) != wantPairs {
+		t.Fatalf("relationships = %d, want %d", len(res.Relationships), wantPairs)
+	}
+	if res.Stats.NumRelationships != wantPairs {
+		t.Fatalf("stats relationships = %d, want %d", res.Stats.NumRelationships, wantPairs)
+	}
+	// Every pair appears exactly once and is canonical.
+	for e, rel := range res.Relationships {
+		if !e.Valid() {
+			t.Fatalf("non-canonical pair %v", e)
+		}
+		if rel.Pair != e {
+			t.Fatalf("relationship pair %v stored under key %v", rel.Pair, e)
+		}
+		if rel.Transform == nil {
+			t.Fatalf("nil transform for %v", e)
+		}
+		if !e.Contains(rel.Common()) || !e.Contains(rel.Other()) || rel.Common() == rel.Other() {
+			t.Fatalf("common/other bookkeeping broken for %v: common=%d other=%d", e, rel.Common(), rel.Other())
+		}
+		if rel.Pivot.Common != rel.Common() {
+			t.Fatalf("pivot common %d != relationship common %d", rel.Pivot.Common, rel.Common())
+		}
+	}
+}
+
+func TestComputePivotCountBound(t *testing.T) {
+	d := correlatedData(t, 2, 4, 20, 50, 0.02)
+	k := 4
+	opts := defaultOptions()
+	opts.Cluster.K = k
+	res, err := Compute(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The number of pivot pairs is bounded by n*k (Section 4).
+	if res.Stats.NumPivots > d.NumSeries()*k {
+		t.Fatalf("pivots = %d exceeds n*k = %d", res.Stats.NumPivots, d.NumSeries()*k)
+	}
+	if res.Stats.NumPivots == 0 {
+		t.Fatal("no pivots generated")
+	}
+	// Pivot assignment lists must partition the pair set.
+	seen := map[timeseries.Pair]bool{}
+	total := 0
+	for _, pairs := range res.Pivots {
+		for _, e := range pairs {
+			if seen[e] {
+				t.Fatalf("pair %v assigned to two pivots", e)
+			}
+			seen[e] = true
+			total++
+		}
+	}
+	if total != len(res.Relationships) {
+		t.Fatalf("pivot assignment covers %d pairs, want %d", total, len(res.Relationships))
+	}
+}
+
+func TestCacheStatsDifferBetweenSymexAndSymexPlus(t *testing.T) {
+	d := correlatedData(t, 3, 3, 16, 40, 0.02)
+
+	plain := defaultOptions()
+	plain.CachePseudoInverse = false
+	resPlain, err := Compute(d, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPlain.Stats.PseudoInverseCacheHits != 0 {
+		t.Fatalf("plain SYMEX should have no cache hits, got %d", resPlain.Stats.PseudoInverseCacheHits)
+	}
+	if resPlain.Stats.PseudoInverseComputations != resPlain.Stats.NumRelationships {
+		t.Fatalf("plain SYMEX should compute one pseudo-inverse per relationship: %d vs %d",
+			resPlain.Stats.PseudoInverseComputations, resPlain.Stats.NumRelationships)
+	}
+
+	cached := defaultOptions()
+	resCached, err := Compute(d, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCached.Stats.PseudoInverseComputations != resCached.Stats.NumPivots {
+		t.Fatalf("SYMEX+ should compute one pseudo-inverse per pivot: %d vs %d",
+			resCached.Stats.PseudoInverseComputations, resCached.Stats.NumPivots)
+	}
+	if resCached.Stats.PseudoInverseCacheHits !=
+		resCached.Stats.NumRelationships-resCached.Stats.NumPivots {
+		t.Fatalf("cache hits = %d, want %d", resCached.Stats.PseudoInverseCacheHits,
+			resCached.Stats.NumRelationships-resCached.Stats.NumPivots)
+	}
+	if resCached.Stats.PseudoInverseComputations >= resPlain.Stats.PseudoInverseComputations {
+		t.Fatal("SYMEX+ should compute strictly fewer pseudo-inverses than SYMEX")
+	}
+
+	// Both variants must produce identical relationships (same clustering
+	// seed, same exploration order).
+	if len(resPlain.Relationships) != len(resCached.Relationships) {
+		t.Fatal("SYMEX and SYMEX+ disagree on the number of relationships")
+	}
+	for e, a := range resPlain.Relationships {
+		b, ok := resCached.Relationships[e]
+		if !ok {
+			t.Fatalf("pair %v missing from SYMEX+ result", e)
+		}
+		if a.Pivot != b.Pivot || a.Flipped != b.Flipped {
+			t.Fatalf("pair %v: pivot/orientation mismatch", e)
+		}
+		if !a.Transform.A.Equal(b.Transform.A, 1e-9) {
+			t.Fatalf("pair %v: transforms differ", e)
+		}
+	}
+}
+
+func TestMaxRelationshipsLimit(t *testing.T) {
+	d := correlatedData(t, 4, 3, 20, 40, 0.02)
+	opts := defaultOptions()
+	opts.MaxRelationships = 25
+	res, err := Compute(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Relationships) != 25 {
+		t.Fatalf("limited run produced %d relationships, want 25", len(res.Relationships))
+	}
+}
+
+func TestRelationshipAccuracyOnCorrelatedData(t *testing.T) {
+	// With tightly correlated groups the affine relationships must estimate
+	// the covariance of every pair with small relative RMSE (this mirrors the
+	// Fig. 9/10 accuracy claims at a small scale).
+	d := correlatedData(t, 5, 3, 18, 120, 0.01)
+	res, err := Compute(d, defaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var truth, approx []float64
+	for e, rel := range res.Relationships {
+		op, err := res.PivotMatrix(d, rel.Pivot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covOp, err := stats.PairMatrixCovariance(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := rel.Transform.PropagateCovariance(covOp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := stats.PairMeasure(stats.Covariance, d, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth = append(truth, want)
+		approx = append(approx, est)
+	}
+	rmse, err := stats.RMSE(truth, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 5 {
+		t.Fatalf("covariance RMSE %.2f%% too high for strongly correlated data", rmse)
+	}
+}
+
+func TestComputeReusesProvidedClustering(t *testing.T) {
+	d := correlatedData(t, 6, 2, 10, 30, 0.02)
+	clustering, err := cluster.Run(d, cluster.Config{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Clustering: clustering, CachePseudoInverse: true}
+	res, err := Compute(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clustering != clustering {
+		t.Fatal("provided clustering should be reused")
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	single, _ := timeseries.NewDataMatrix([][]float64{{1, 2, 3}})
+	if _, err := Compute(single, defaultOptions()); !errors.Is(err, ErrTooFewSeries) {
+		t.Fatalf("single series err = %v", err)
+	}
+	empty := &timeseries.DataMatrix{}
+	if _, err := Compute(empty, defaultOptions()); err == nil {
+		t.Fatal("empty data should error")
+	}
+	d := correlatedData(t, 7, 2, 6, 20, 0.02)
+	bad := Options{Cluster: cluster.Config{K: 0}}
+	if _, err := Compute(d, bad); err == nil {
+		t.Fatal("invalid cluster config should error")
+	}
+}
+
+func TestComputeSmallestValidInput(t *testing.T) {
+	d := correlatedData(t, 8, 1, 2, 15, 0.01)
+	opts := Options{Cluster: cluster.Config{K: 1, Seed: 1}, CachePseudoInverse: true}
+	res, err := Compute(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Relationships) != 1 {
+		t.Fatalf("n=2 should yield exactly one relationship, got %d", len(res.Relationships))
+	}
+}
+
+func TestPivotMatrixErrors(t *testing.T) {
+	d := correlatedData(t, 9, 2, 8, 25, 0.02)
+	res, err := Compute(d, defaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.PivotMatrix(d, Pivot{Common: 0, Cluster: 99}); err == nil {
+		t.Fatal("unknown cluster should error")
+	}
+	if _, err := res.PivotMatrix(d, Pivot{Common: 99, Cluster: 0}); err == nil {
+		t.Fatal("unknown series should error")
+	}
+	var anyPivot Pivot
+	for p := range res.Pivots {
+		anyPivot = p
+		break
+	}
+	op, err := res.PivotMatrix(d, anyPivot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Rows() != d.NumSamples() || op.Cols() != 2 {
+		t.Fatalf("pivot matrix dims %dx%d", op.Rows(), op.Cols())
+	}
+	if anyPivot.String() == "" {
+		t.Fatal("Pivot.String should render")
+	}
+}
+
+func TestRelationshipLookup(t *testing.T) {
+	d := correlatedData(t, 10, 2, 8, 25, 0.02)
+	res, err := Compute(d, defaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Relationship(timeseries.Pair{U: 0, V: 1}); !ok {
+		t.Fatal("existing pair should be found")
+	}
+	if _, ok := res.Relationship(timeseries.Pair{U: 0, V: 99}); ok {
+		t.Fatal("missing pair should not be found")
+	}
+}

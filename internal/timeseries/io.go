@@ -1,0 +1,218 @@
+package timeseries
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CSV layout: one column per series, one row per sample.  The first line may
+// be a header with series names; it is detected by attempting to parse the
+// first field as a number.
+
+// WriteCSV writes the data matrix in column-per-series CSV form, including a
+// header row with the series names.
+func (d *DataMatrix) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// Header.
+	for j, name := range d.names {
+		if j > 0 {
+			if _, err := bw.WriteString(","); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(escapeCSV(name)); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n"); err != nil {
+		return err
+	}
+	// Rows.
+	for i := 0; i < d.m; i++ {
+		for j := range d.series {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(d.series[j][i], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func escapeCSV(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// ReadCSV parses a column-per-series CSV document.  A header row of series
+// names is optional; it is detected when the first field of the first row is
+// not parseable as a float.
+func ReadCSV(r io.Reader) (*DataMatrix, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	var names []string
+	var columns [][]float64
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		fields := splitCSVLine(text)
+		if columns == nil {
+			// First non-empty line: header or data?
+			if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+				names = fields
+				columns = make([][]float64, len(fields))
+				continue
+			}
+			columns = make([][]float64, len(fields))
+			names = make([]string, len(fields))
+			for i := range names {
+				names[i] = fmt.Sprintf("series-%d", i)
+			}
+		}
+		if len(fields) != len(columns) {
+			return nil, fmt.Errorf("timeseries: line %d has %d fields, want %d: %w",
+				line, len(fields), len(columns), ErrShapeMismatch)
+		}
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("timeseries: line %d field %d: %v", line, j+1, err)
+			}
+			columns[j] = append(columns[j], v)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(columns) == 0 || len(columns[0]) == 0 {
+		return nil, fmt.Errorf("timeseries: empty CSV input: %w", ErrShapeMismatch)
+	}
+	return NewNamedDataMatrix(names, columns)
+}
+
+// splitCSVLine splits a CSV line handling double-quoted fields.
+func splitCSVLine(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuotes && i+1 < len(line) && line[i+1] == '"' {
+				cur.WriteByte('"')
+				i++
+			} else {
+				inQuotes = !inQuotes
+			}
+		case c == ',' && !inQuotes:
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	fields = append(fields, cur.String())
+	return fields
+}
+
+// Binary format: a compact little-endian layout used by the embedded column
+// store and for snapshotting generated datasets.
+//
+//	magic   uint32  ("AFTS")
+//	version uint32
+//	n       uint32  number of series
+//	m       uint32  samples per series
+//	for each series: nameLen uint32, name bytes, m float64 samples
+const (
+	binaryMagic   = 0x41465453 // "AFTS"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the data matrix in the package's binary format.
+func (d *DataMatrix) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := []uint32{binaryMagic, binaryVersion, uint32(d.NumSeries()), uint32(d.m)}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for i, s := range d.series {
+		name := []byte(d.names[i])
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		for _, v := range s {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a data matrix previously written with WriteBinary.
+func ReadBinary(r io.Reader) (*DataMatrix, error) {
+	br := bufio.NewReader(r)
+	var magic, version, n, m uint32
+	for _, p := range []*uint32{&magic, &version, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("timeseries: reading binary header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("timeseries: bad magic 0x%08x", magic)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("timeseries: unsupported binary version %d", version)
+	}
+	d := &DataMatrix{}
+	for i := uint32(0); i < n; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("timeseries: reading series %d name length: %w", i, err)
+		}
+		if nameLen > 1<<20 {
+			return nil, fmt.Errorf("timeseries: series %d name length %d is implausible", i, nameLen)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, fmt.Errorf("timeseries: reading series %d name: %w", i, err)
+		}
+		values := make([]float64, m)
+		for j := range values {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("timeseries: reading series %d sample %d: %w", i, j, err)
+			}
+			values[j] = math.Float64frombits(bits)
+		}
+		if err := d.Append(string(nameBytes), values); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

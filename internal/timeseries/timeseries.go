@@ -1,0 +1,303 @@
+// Package timeseries defines the data model of the Affinity framework: the
+// data matrix S of n time series with m samples each, series identifiers,
+// sequence pairs, and pair matrices.
+//
+// Terminology follows Section 2 of the paper:
+//
+//   - the data matrix S = [s1, s2, ..., sn] ∈ R^{m×n} column-wise concatenates
+//     the n time series;
+//   - the series identifier set I = {1, ..., n} identifies individual series;
+//   - the sequence pair set P = {(u,v) | u < v} identifies unordered pairs;
+//   - the sequence pair matrix S_e = [s_u, s_v] ∈ R^{m×2} concatenates the two
+//     series of a pair e = (u, v).
+//
+// Series identifiers in this package are zero-based (0 ... n-1) rather than
+// the paper's one-based convention; the conversion is purely notational.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+
+	"affinity/internal/mat"
+)
+
+// ErrInvalidSeries indicates an out-of-range or malformed series identifier.
+var ErrInvalidSeries = errors.New("timeseries: invalid series identifier")
+
+// ErrInvalidPair indicates a malformed sequence pair.
+var ErrInvalidPair = errors.New("timeseries: invalid sequence pair")
+
+// ErrShapeMismatch indicates series of inconsistent length.
+var ErrShapeMismatch = errors.New("timeseries: inconsistent series lengths")
+
+// SeriesID identifies a single time series inside a DataMatrix (zero-based).
+type SeriesID int
+
+// Pair is an unordered pair of series identifiers with U < V, the paper's
+// "sequence pair" e = (u, v).
+type Pair struct {
+	U SeriesID
+	V SeriesID
+}
+
+// NewPair returns the canonical (ordered) pair for two distinct identifiers.
+func NewPair(a, b SeriesID) (Pair, error) {
+	if a == b {
+		return Pair{}, fmt.Errorf("%w: identical identifiers %d", ErrInvalidPair, a)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{U: a, V: b}, nil
+}
+
+// String renders the pair as "(u,v)".
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.U, p.V) }
+
+// Valid reports whether the pair is canonical (U < V) and non-negative.
+func (p Pair) Valid() bool { return p.U >= 0 && p.U < p.V }
+
+// Contains reports whether the pair contains the given series identifier.
+func (p Pair) Contains(id SeriesID) bool { return p.U == id || p.V == id }
+
+// Other returns the member of the pair that is not id.  It returns an error
+// if id is not a member of the pair.
+func (p Pair) Other(id SeriesID) (SeriesID, error) {
+	switch id {
+	case p.U:
+		return p.V, nil
+	case p.V:
+		return p.U, nil
+	default:
+		return 0, fmt.Errorf("%w: series %d not in pair %v", ErrInvalidPair, id, p)
+	}
+}
+
+// DataMatrix is the data matrix S: n time series with m samples each.
+//
+// Storage is column-major (one contiguous slice per series) because every
+// Affinity algorithm accesses whole series at a time.
+type DataMatrix struct {
+	names  []string    // optional per-series names, len n (may be empty strings)
+	series [][]float64 // n slices of length m
+	m      int         // samples per series
+}
+
+// NewDataMatrix builds a data matrix from n series of equal length.  The
+// series slices are copied.
+func NewDataMatrix(series [][]float64) (*DataMatrix, error) {
+	d := &DataMatrix{}
+	for i, s := range series {
+		if err := d.Append(fmt.Sprintf("series-%d", i), s); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// NewNamedDataMatrix builds a data matrix from named series of equal length.
+func NewNamedDataMatrix(names []string, series [][]float64) (*DataMatrix, error) {
+	if len(names) != len(series) {
+		return nil, fmt.Errorf("%w: %d names for %d series", ErrShapeMismatch, len(names), len(series))
+	}
+	d := &DataMatrix{}
+	for i, s := range series {
+		if err := d.Append(names[i], s); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Append adds one more series to the data matrix.  All series must have the
+// same number of samples; the first appended series fixes m.
+func (d *DataMatrix) Append(name string, values []float64) error {
+	if len(d.series) == 0 {
+		if len(values) == 0 {
+			return fmt.Errorf("%w: empty series", ErrShapeMismatch)
+		}
+		d.m = len(values)
+	} else if len(values) != d.m {
+		return fmt.Errorf("%w: series %q has %d samples, want %d",
+			ErrShapeMismatch, name, len(values), d.m)
+	}
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	d.series = append(d.series, cp)
+	d.names = append(d.names, name)
+	return nil
+}
+
+// NumSeries returns n, the number of time series.
+func (d *DataMatrix) NumSeries() int { return len(d.series) }
+
+// NumSamples returns m, the number of samples per series.
+func (d *DataMatrix) NumSamples() int { return d.m }
+
+// Name returns the name of series id (empty when unnamed).
+func (d *DataMatrix) Name(id SeriesID) string {
+	if err := d.checkID(id); err != nil {
+		return ""
+	}
+	return d.names[id]
+}
+
+// Series returns the samples of series id.  The returned slice is the
+// internal storage and must not be modified by callers; use SeriesCopy for a
+// mutable copy.
+func (d *DataMatrix) Series(id SeriesID) ([]float64, error) {
+	if err := d.checkID(id); err != nil {
+		return nil, err
+	}
+	return d.series[id], nil
+}
+
+// SeriesCopy returns a copy of the samples of series id.
+func (d *DataMatrix) SeriesCopy(id SeriesID) ([]float64, error) {
+	s, err := d.Series(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(s))
+	copy(out, s)
+	return out, nil
+}
+
+func (d *DataMatrix) checkID(id SeriesID) error {
+	if id < 0 || int(id) >= len(d.series) {
+		return fmt.Errorf("%w: %d (n=%d)", ErrInvalidSeries, id, len(d.series))
+	}
+	return nil
+}
+
+// IDs returns the full series identifier set I = {0, ..., n-1}.
+func (d *DataMatrix) IDs() []SeriesID {
+	ids := make([]SeriesID, d.NumSeries())
+	for i := range ids {
+		ids[i] = SeriesID(i)
+	}
+	return ids
+}
+
+// AllPairs returns the sequence pair set P = {(u,v) | u < v} in lexicographic
+// order.  The number of pairs is n(n-1)/2.
+func (d *DataMatrix) AllPairs() []Pair {
+	n := d.NumSeries()
+	pairs := make([]Pair, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, Pair{U: SeriesID(u), V: SeriesID(v)})
+		}
+	}
+	return pairs
+}
+
+// NumPairs returns |P| = n(n-1)/2.
+func (d *DataMatrix) NumPairs() int {
+	n := d.NumSeries()
+	return n * (n - 1) / 2
+}
+
+// PairMatrix returns the sequence pair matrix S_e = [s_u, s_v] ∈ R^{m×2}.
+func (d *DataMatrix) PairMatrix(e Pair) (*mat.Matrix, error) {
+	if !e.Valid() {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidPair, e)
+	}
+	su, err := d.Series(e.U)
+	if err != nil {
+		return nil, err
+	}
+	sv, err := d.Series(e.V)
+	if err != nil {
+		return nil, err
+	}
+	return mat.NewFromColumns(su, sv)
+}
+
+// ColumnsMatrix returns the m-by-2 matrix [a, b] where a and b are two
+// arbitrary columns, one of which may be an external vector such as a cluster
+// center (the pivot pair matrix O_p = [s_u, r_ω(v)]).
+func (d *DataMatrix) ColumnsMatrix(u SeriesID, other []float64) (*mat.Matrix, error) {
+	su, err := d.Series(u)
+	if err != nil {
+		return nil, err
+	}
+	if len(other) != d.m {
+		return nil, fmt.Errorf("%w: external column has %d samples, want %d",
+			ErrShapeMismatch, len(other), d.m)
+	}
+	return mat.NewFromColumns(su, other)
+}
+
+// SubMatrix returns the data matrix restricted to the requested identifiers,
+// in the order given.  Names are preserved.
+func (d *DataMatrix) SubMatrix(ids []SeriesID) (*DataMatrix, error) {
+	out := &DataMatrix{}
+	for _, id := range ids {
+		s, err := d.SeriesCopy(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Append(d.Name(id), s); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Window returns a new data matrix containing only samples [start, end) of
+// every series, used for windowed statistical queries.
+func (d *DataMatrix) Window(start, end int) (*DataMatrix, error) {
+	if start < 0 || end > d.m || start >= end {
+		return nil, fmt.Errorf("%w: window [%d,%d) of %d samples", ErrShapeMismatch, start, end, d.m)
+	}
+	out := &DataMatrix{}
+	for i, s := range d.series {
+		if err := out.Append(d.names[i], s[start:end]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Matrix returns the full m-by-n data matrix S as a dense matrix.  This is
+// primarily used by naive baselines and tests; the Affinity algorithms work
+// on individual series to avoid materializing S.
+func (d *DataMatrix) Matrix() (*mat.Matrix, error) {
+	if len(d.series) == 0 {
+		return mat.New(0, 0), nil
+	}
+	return mat.NewFromColumns(d.series...)
+}
+
+// Clone returns a deep copy of the data matrix.
+func (d *DataMatrix) Clone() *DataMatrix {
+	out := &DataMatrix{m: d.m}
+	out.names = append([]string(nil), d.names...)
+	out.series = make([][]float64, len(d.series))
+	for i, s := range d.series {
+		cp := make([]float64, len(s))
+		copy(cp, s)
+		out.series[i] = cp
+	}
+	return out
+}
+
+// Validate checks structural invariants: at least one series, equal lengths,
+// and no NaN/Inf samples.  It returns a descriptive error for the first
+// violation found.
+func (d *DataMatrix) Validate() error {
+	if len(d.series) == 0 {
+		return fmt.Errorf("%w: data matrix has no series", ErrShapeMismatch)
+	}
+	for i, s := range d.series {
+		if len(s) != d.m {
+			return fmt.Errorf("%w: series %d has %d samples, want %d", ErrShapeMismatch, i, len(s), d.m)
+		}
+		if mat.HasNaN(s) {
+			return fmt.Errorf("timeseries: series %d (%q) contains NaN or Inf", i, d.names[i])
+		}
+	}
+	return nil
+}

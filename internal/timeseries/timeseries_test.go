@@ -1,0 +1,400 @@
+package timeseries
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample3x4() *DataMatrix {
+	d, err := NewNamedDataMatrix(
+		[]string{"a", "b", "c"},
+		[][]float64{
+			{1, 2, 3, 4},
+			{2, 4, 6, 8},
+			{5, 5, 5, 5},
+		})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestNewDataMatrixBasics(t *testing.T) {
+	d := sample3x4()
+	if d.NumSeries() != 3 {
+		t.Fatalf("NumSeries = %d", d.NumSeries())
+	}
+	if d.NumSamples() != 4 {
+		t.Fatalf("NumSamples = %d", d.NumSamples())
+	}
+	if d.Name(1) != "b" {
+		t.Fatalf("Name(1) = %q", d.Name(1))
+	}
+	if d.Name(99) != "" {
+		t.Fatalf("Name of invalid id should be empty")
+	}
+	s, err := d.Series(2)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if s[0] != 5 {
+		t.Fatalf("Series(2)[0] = %v", s[0])
+	}
+	if _, err := d.Series(-1); !errors.Is(err, ErrInvalidSeries) {
+		t.Fatalf("Series(-1) error = %v", err)
+	}
+	if _, err := d.Series(3); !errors.Is(err, ErrInvalidSeries) {
+		t.Fatalf("Series(3) error = %v", err)
+	}
+}
+
+func TestAppendShapeErrors(t *testing.T) {
+	d := &DataMatrix{}
+	if err := d.Append("x", nil); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("empty first series error = %v", err)
+	}
+	if err := d.Append("x", []float64{1, 2}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := d.Append("y", []float64{1}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("mismatched length error = %v", err)
+	}
+}
+
+func TestNewNamedDataMatrixMismatch(t *testing.T) {
+	_, err := NewNamedDataMatrix([]string{"a"}, [][]float64{{1}, {2}})
+	if !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestSeriesCopyIsolation(t *testing.T) {
+	d := sample3x4()
+	c, err := d.SeriesCopy(0)
+	if err != nil {
+		t.Fatalf("SeriesCopy: %v", err)
+	}
+	c[0] = 100
+	s, _ := d.Series(0)
+	if s[0] != 1 {
+		t.Fatal("SeriesCopy must not share storage")
+	}
+}
+
+func TestAppendCopiesInput(t *testing.T) {
+	src := []float64{1, 2, 3}
+	d := &DataMatrix{}
+	if err := d.Append("x", src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	s, _ := d.Series(0)
+	if s[0] != 1 {
+		t.Fatal("Append must copy the input slice")
+	}
+}
+
+func TestPairs(t *testing.T) {
+	p, err := NewPair(3, 1)
+	if err != nil {
+		t.Fatalf("NewPair: %v", err)
+	}
+	if p.U != 1 || p.V != 3 {
+		t.Fatalf("NewPair should canonicalize: %v", p)
+	}
+	if _, err := NewPair(2, 2); !errors.Is(err, ErrInvalidPair) {
+		t.Fatalf("identical ids error = %v", err)
+	}
+	if !p.Valid() {
+		t.Fatal("canonical pair should be valid")
+	}
+	if (Pair{U: 2, V: 1}).Valid() {
+		t.Fatal("non-canonical pair should be invalid")
+	}
+	if !p.Contains(3) || p.Contains(0) {
+		t.Fatal("Contains is wrong")
+	}
+	o, err := p.Other(1)
+	if err != nil || o != 3 {
+		t.Fatalf("Other(1) = %v, %v", o, err)
+	}
+	if _, err := p.Other(9); !errors.Is(err, ErrInvalidPair) {
+		t.Fatalf("Other(9) error = %v", err)
+	}
+	if p.String() != "(1,3)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	d := sample3x4()
+	pairs := d.AllPairs()
+	if len(pairs) != 3 || d.NumPairs() != 3 {
+		t.Fatalf("n=3 should have 3 pairs, got %d", len(pairs))
+	}
+	want := []Pair{{0, 1}, {0, 2}, {1, 2}}
+	for i, p := range pairs {
+		if p != want[i] {
+			t.Fatalf("pairs[%d] = %v, want %v", i, p, want[i])
+		}
+	}
+}
+
+func TestPairMatrixAndColumnsMatrix(t *testing.T) {
+	d := sample3x4()
+	pm, err := d.PairMatrix(Pair{U: 0, V: 1})
+	if err != nil {
+		t.Fatalf("PairMatrix: %v", err)
+	}
+	if r, c := pm.Dims(); r != 4 || c != 2 {
+		t.Fatalf("PairMatrix dims (%d,%d)", r, c)
+	}
+	if pm.At(3, 1) != 8 {
+		t.Fatalf("PairMatrix[3,1] = %v", pm.At(3, 1))
+	}
+	if _, err := d.PairMatrix(Pair{U: 1, V: 1}); err == nil {
+		t.Fatal("invalid pair should error")
+	}
+	if _, err := d.PairMatrix(Pair{U: 0, V: 9}); err == nil {
+		t.Fatal("out-of-range pair should error")
+	}
+
+	cm, err := d.ColumnsMatrix(0, []float64{9, 9, 9, 9})
+	if err != nil {
+		t.Fatalf("ColumnsMatrix: %v", err)
+	}
+	if cm.At(0, 1) != 9 {
+		t.Fatalf("ColumnsMatrix[0,1] = %v", cm.At(0, 1))
+	}
+	if _, err := d.ColumnsMatrix(0, []float64{9}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("short external column error = %v", err)
+	}
+	if _, err := d.ColumnsMatrix(42, []float64{9, 9, 9, 9}); !errors.Is(err, ErrInvalidSeries) {
+		t.Fatalf("invalid series error = %v", err)
+	}
+}
+
+func TestSubMatrixAndWindow(t *testing.T) {
+	d := sample3x4()
+	sub, err := d.SubMatrix([]SeriesID{2, 0})
+	if err != nil {
+		t.Fatalf("SubMatrix: %v", err)
+	}
+	if sub.NumSeries() != 2 || sub.Name(0) != "c" || sub.Name(1) != "a" {
+		t.Fatalf("SubMatrix wrong: %d series, names %q %q", sub.NumSeries(), sub.Name(0), sub.Name(1))
+	}
+	if _, err := d.SubMatrix([]SeriesID{7}); err == nil {
+		t.Fatal("invalid id should error")
+	}
+
+	w, err := d.Window(1, 3)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if w.NumSamples() != 2 {
+		t.Fatalf("window samples = %d", w.NumSamples())
+	}
+	s, _ := w.Series(0)
+	if s[0] != 2 || s[1] != 3 {
+		t.Fatalf("window series = %v", s)
+	}
+	if _, err := d.Window(2, 2); err == nil {
+		t.Fatal("empty window should error")
+	}
+	if _, err := d.Window(-1, 2); err == nil {
+		t.Fatal("negative start should error")
+	}
+	if _, err := d.Window(0, 9); err == nil {
+		t.Fatal("end beyond m should error")
+	}
+}
+
+func TestMatrixAndIDs(t *testing.T) {
+	d := sample3x4()
+	m, err := d.Matrix()
+	if err != nil {
+		t.Fatalf("Matrix: %v", err)
+	}
+	if r, c := m.Dims(); r != 4 || c != 3 {
+		t.Fatalf("Matrix dims (%d,%d)", r, c)
+	}
+	ids := d.IDs()
+	if len(ids) != 3 || ids[2] != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	empty := &DataMatrix{}
+	em, err := empty.Matrix()
+	if err != nil {
+		t.Fatalf("empty Matrix: %v", err)
+	}
+	if r, c := em.Dims(); r != 0 || c != 0 {
+		t.Fatalf("empty Matrix dims (%d,%d)", r, c)
+	}
+}
+
+func TestCloneAndValidate(t *testing.T) {
+	d := sample3x4()
+	c := d.Clone()
+	s, _ := c.Series(0)
+	s[0] = 42 // mutating the clone's internal storage
+	orig, _ := d.Series(0)
+	if orig[0] != 1 {
+		t.Fatal("Clone must deep-copy series")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	empty := &DataMatrix{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty matrix should fail validation")
+	}
+
+	bad, _ := NewDataMatrix([][]float64{{1, math.NaN()}})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NaN should fail validation")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample3x4()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.NumSeries() != 3 || back.NumSamples() != 4 {
+		t.Fatalf("round trip shape %dx%d", back.NumSamples(), back.NumSeries())
+	}
+	if back.Name(1) != "b" {
+		t.Fatalf("round trip name = %q", back.Name(1))
+	}
+	s, _ := back.Series(1)
+	if s[3] != 8 {
+		t.Fatalf("round trip value = %v", s[3])
+	}
+}
+
+func TestReadCSVHeaderless(t *testing.T) {
+	in := "1,10\n2,20\n3,30\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if d.NumSeries() != 2 || d.NumSamples() != 3 {
+		t.Fatalf("shape %dx%d", d.NumSamples(), d.NumSeries())
+	}
+	if d.Name(0) != "series-0" {
+		t.Fatalf("default name = %q", d.Name(0))
+	}
+}
+
+func TestReadCSVQuotedNamesAndBlankLines(t *testing.T) {
+	in := "\"price, usd\",other\n\n1,2\n3,4\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if d.Name(0) != "price, usd" {
+		t.Fatalf("quoted name = %q", d.Name(0))
+	}
+	if d.NumSamples() != 2 {
+		t.Fatalf("samples = %d", d.NumSamples())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("ragged row should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,x\n")); err == nil {
+		t.Fatal("non-numeric field should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("header-only input should error")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	d, _ := NewNamedDataMatrix([]string{`weird"name`, "pla,in"}, [][]float64{{1, 2}, {3, 4}})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Name(0) != `weird"name` || back.Name(1) != "pla,in" {
+		t.Fatalf("names = %q, %q", back.Name(0), back.Name(1))
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d := sample3x4()
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if back.NumSeries() != d.NumSeries() || back.NumSamples() != d.NumSamples() {
+		t.Fatal("binary round trip shape mismatch")
+	}
+	for i := 0; i < d.NumSeries(); i++ {
+		a, _ := d.Series(SeriesID(i))
+		b, _ := back.Series(SeriesID(i))
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("series %d sample %d: %v != %v", i, j, a[j], b[j])
+			}
+		}
+		if back.Name(SeriesID(i)) != d.Name(SeriesID(i)) {
+			t.Fatalf("name %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryCorruption(t *testing.T) {
+	d := sample3x4()
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic should error")
+	}
+
+	// Truncated payload.
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated input should error")
+	}
+
+	// Bad version.
+	bad = append([]byte(nil), raw...)
+	bad[4] = 0xee
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version should error")
+	}
+
+	// Empty input.
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
