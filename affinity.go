@@ -39,6 +39,22 @@
 // from raw data (W_N), Affine uses the affine relationships (W_A), and Index
 // uses the SCAPE index.  Results from Affine and Index are identical; they
 // approximate Naive with the small errors reported in EXPERIMENTS.md.
+//
+// # Streaming
+//
+// The engine can run as a sliding window over a live stream: Append buffers
+// newly arrived ticks and Advance slides the window forward, incrementally
+// re-fitting only the affine relationships whose drift exceeds
+// StreamOptions.DriftBound and rebuilding the SCAPE index for the new epoch.
+// Queries may be issued from any number of goroutines concurrently with
+// Append/Advance; they are never blocked by an update and always observe a
+// complete, consistent epoch.
+//
+//	eng, _ := affinity.New(data, affinity.Options{Clusters: 6})
+//	for tick := range feed {       // one new sample per series
+//		eng.Append(tick)
+//	}
+//	eng.Advance()                  // slide the window, refit, reindex
 package affinity
 
 import (
@@ -150,6 +166,37 @@ func GenerateStockData(cfg StockDataConfig) (*Dataset, error) {
 	return dataset.GenerateStock(cfg)
 }
 
+// StreamOptions configures the engine's streaming update path.
+//
+// The engine treats its dataset as a sliding window over an unbounded
+// stream: Append buffers newly arrived ticks (one sample per series) and
+// Advance folds them into a new epoch, sliding the window forward while
+// keeping its length fixed.  Queries are safe to issue concurrently with
+// Append/Advance: they serve the epoch current when they started and are
+// never blocked by an update.
+type StreamOptions struct {
+	// DriftBound controls selective relationship refitting after a window
+	// slide: a relationship is re-fitted only when the relative discrepancy
+	// between its transform-predicted variance of the non-common series and
+	// the series' true windowed variance exceeds the bound.  Zero (the
+	// default) refits every relationship on every Advance, which keeps the
+	// engine exactly equivalent to a cold rebuild on the slid window (with
+	// the frozen clustering); a small positive value (e.g. 0.05) skips
+	// refits on quiet streams at the cost of a bounded extra approximation
+	// error.
+	DriftBound float64
+	// AutoAdvance, when positive, makes Append run Advance automatically
+	// once this many ticks are buffered.
+	AutoAdvance int
+	// StatsRefreshEvery recomputes the incremental per-series statistics
+	// from the raw window every this many epochs (default 64), bounding
+	// floating-point drift of the running sums.
+	StatsRefreshEvery int
+}
+
+// AdvanceInfo describes one streaming epoch transition.
+type AdvanceInfo = core.AdvanceInfo
+
 // Options configures Engine construction.
 type Options struct {
 	// Clusters is the number of affine clusters k for AFCLST (default 6).
@@ -173,6 +220,8 @@ type Options struct {
 	// LSFD exceeds the bound.  Queries on pruned pairs transparently fall
 	// back to the naive method; index queries do not report pruned pairs.
 	MaxLSFD float64
+	// Stream configures the streaming update path (Append/Advance).
+	Stream StreamOptions
 }
 
 // Engine is a built AFFINITY instance over one dataset.
@@ -193,6 +242,11 @@ func New(d *Dataset, opts Options) (*Engine, error) {
 		SkipIndex:                 opts.SkipIndex,
 		Parallelism:               opts.Parallelism,
 		MaxLSFD:                   opts.MaxLSFD,
+		Stream: core.StreamConfig{
+			DriftBound:        opts.Stream.DriftBound,
+			AutoAdvance:       opts.Stream.AutoAdvance,
+			StatsRefreshEvery: opts.Stream.StatsRefreshEvery,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -238,6 +292,25 @@ func (e *Engine) Range(m Measure, lo, hi float64, method Method) (Result, error)
 	return e.inner.Range(m, lo, hi, method)
 }
 
+// Append buffers one newly arrived tick — one sample per series, in series
+// order — for the next Advance.  With StreamOptions.AutoAdvance set, Append
+// advances the window automatically at the configured buffer size.  Append
+// never blocks concurrent queries.
+func (e *Engine) Append(tick []float64) error { return e.inner.Append(tick) }
+
+// Advance folds every buffered tick into a new epoch: the window slides
+// forward by the buffered count, stale affine relationships are re-fitted
+// and the SCAPE index is rebuilt, all without blocking in-flight queries —
+// the new epoch is swapped in atomically when complete.
+func (e *Engine) Advance() (AdvanceInfo, error) { return e.inner.Advance() }
+
+// PendingSamples returns the number of buffered ticks not yet folded into
+// the window.
+func (e *Engine) PendingSamples() int { return e.inner.PendingSamples() }
+
+// Epoch returns the number of Advance transitions applied so far.
+func (e *Engine) Epoch() int { return e.inner.Epoch() }
+
 // WriteSnapshot persists the engine's clustering and affine relationships so
 // a later process can rebuild the engine with NewFromSnapshot without paying
 // the SYMEX+ cost again.  The snapshot does not contain the raw samples; the
@@ -246,9 +319,20 @@ func (e *Engine) WriteSnapshot(w io.Writer) error { return e.inner.WriteSnapshot
 
 // NewFromSnapshot rebuilds an engine from a snapshot written by WriteSnapshot
 // and the dataset it was built on.  Clustering-related options are ignored
-// (they are part of the snapshot); SkipIndex is honoured.
+// (they are part of the snapshot); SkipIndex, Parallelism, MaxLSFD and
+// Stream are honoured, so a snapshot-loaded engine streams exactly like an
+// identically configured New engine.
 func NewFromSnapshot(d *Dataset, r io.Reader, opts Options) (*Engine, error) {
-	eng, err := core.BuildFromSnapshot(d, r, core.Config{SkipIndex: opts.SkipIndex})
+	eng, err := core.BuildFromSnapshot(d, r, core.Config{
+		SkipIndex:   opts.SkipIndex,
+		Parallelism: opts.Parallelism,
+		MaxLSFD:     opts.MaxLSFD,
+		Stream: core.StreamConfig{
+			DriftBound:        opts.Stream.DriftBound,
+			AutoAdvance:       opts.Stream.AutoAdvance,
+			StatsRefreshEvery: opts.Stream.StatsRefreshEvery,
+		},
+	})
 	if err != nil {
 		return nil, err
 	}

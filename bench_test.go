@@ -19,6 +19,7 @@ import (
 	"affinity/internal/experiments"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
+	"affinity/internal/timeseries"
 )
 
 var fullScaleFlag = flag.Bool("affinity.full", false,
@@ -309,4 +310,145 @@ func BenchmarkNaiveCovarianceSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- streaming benchmarks -------------------------------------------------
+
+// streamBenchSetup builds a streaming engine and a supply of future ticks.
+func streamBenchSetup(b *testing.B, driftBound float64) (*core.Engine, [][]float64) {
+	b.Helper()
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.Build(sensor, core.Config{
+		Clusters: 6, Seed: 42,
+		Stream: core.StreamConfig{DriftBound: driftBound},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Synthesize ticks by replaying the window cyclically with a small
+	// deterministic perturbation — enough to keep every epoch's fits honest
+	// without the cost of re-generating data inside the timing loop.
+	n := sensor.NumSeries()
+	m := sensor.NumSamples()
+	ticks := make([][]float64, m)
+	for t := range ticks {
+		tick := make([]float64, n)
+		for v := 0; v < n; v++ {
+			s, err := sensor.Series(timeseries.SeriesID(v))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tick[v] = s[t] * (1 + 1e-3*float64(v%7))
+		}
+		ticks[t] = tick
+	}
+	return engine, ticks
+}
+
+// BenchmarkStreamAppend measures the pure buffering cost of one tick.
+func BenchmarkStreamAppend(b *testing.B) {
+	engine, ticks := streamBenchSetup(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := engine.Append(ticks[i%len(ticks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkAdvance measures one Advance folding `slide` ticks, under the
+// given refit policy.
+func benchmarkAdvance(b *testing.B, driftBound float64, slide int) {
+	engine, ticks := streamBenchSetup(b, driftBound)
+	b.ResetTimer()
+	var refit, reused int
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < slide; s++ {
+			if err := engine.Append(ticks[(i*slide+s)%len(ticks)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		info, err := engine.Advance()
+		if err != nil {
+			b.Fatal(err)
+		}
+		refit += info.RefitRelationships
+		reused += info.ReusedRelationships
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(refit)/float64(b.N), "refit/epoch")
+		b.ReportMetric(float64(reused)/float64(b.N), "reused/epoch")
+	}
+}
+
+// BenchmarkStreamAdvanceExact measures an epoch with refit-all maintenance
+// (DriftBound 0): the streaming upper bound, still much cheaper than a cold
+// Build because clustering and exploration are reused.
+func BenchmarkStreamAdvanceExact(b *testing.B) { benchmarkAdvance(b, 0, 8) }
+
+// BenchmarkStreamAdvanceDriftBounded measures an epoch with selective
+// refitting (DriftBound 0.05) on a quiet stream.
+func BenchmarkStreamAdvanceDriftBounded(b *testing.B) { benchmarkAdvance(b, 0.05, 8) }
+
+// BenchmarkColdRebuild measures the alternative the streaming path replaces:
+// a full Build (AFCLST + SYMEX+ + summaries + SCAPE) on the slid window.
+func BenchmarkColdRebuild(b *testing.B) {
+	engine, ticks := streamBenchSetup(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for s := 0; s < 8; s++ {
+			if err := engine.Append(ticks[(i*8+s)%len(ticks)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := engine.Advance(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := core.Build(engine.Data(), core.Config{Clusters: 6, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamQueryDuringAdvance measures index threshold query latency
+// while a writer goroutine continuously advances the window, demonstrating
+// the non-blocking read path.
+func BenchmarkStreamQueryDuringAdvance(b *testing.B) {
+	engine, ticks := streamBenchSetup(b, 0)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := engine.Append(ticks[i%len(ticks)]); err != nil {
+				return
+			}
+			i++
+			if i%8 == 0 {
+				if _, err := engine.Advance(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Threshold(stats.Correlation, 0.9, scape.Above, core.MethodIndex); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
 }

@@ -1,0 +1,3 @@
+module affinity
+
+go 1.24

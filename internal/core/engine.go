@@ -9,6 +9,12 @@
 //     pre-computed pivot summaries;
 //   - MethodIndex  (SCAPE): answer threshold/range queries from the index.
 //
+// The engine is streaming-capable: all built artifacts (window data, affine
+// relationships, pivot summaries, SCAPE index) live in an immutable
+// engineState that queries read through an atomic pointer, while
+// Append/Advance build the next epoch's state on the side and swap it in
+// (see stream.go).  In-flight queries keep serving the epoch they started on.
+//
 // The public package affinity (repository root) is a thin facade over this
 // engine.
 package core
@@ -17,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"affinity/internal/baseline"
@@ -61,6 +69,31 @@ var ErrBadMethod = errors.New("core: unsupported method for this query")
 // was built without the SCAPE index.
 var ErrNoIndex = errors.New("core: engine was built without the SCAPE index")
 
+// DefaultStatsRefreshEvery is the default number of Advance epochs between
+// from-scratch refreshes of the running per-series statistics, bounding the
+// rounding drift of the incremental sufficient sums.
+const DefaultStatsRefreshEvery = 64
+
+// StreamConfig parameterizes the incremental maintenance path (stream.go).
+type StreamConfig struct {
+	// DriftBound is the staleness threshold for affine relationships: after a
+	// window slide, a relationship is re-fitted only when the relative
+	// discrepancy between the variance of its non-common series predicted by
+	// the stored transform (through the fresh pivot summary, Eq. 6) and the
+	// series' true variance (known from the running statistics) exceeds this
+	// bound — an O(1)-per-pair surrogate for the relationship's LSFD drift.
+	// Zero or negative refits every relationship on every Advance — the
+	// exact-maintenance default.
+	DriftBound float64
+	// AutoAdvance, when positive, makes Append trigger an Advance
+	// automatically once this many samples are buffered.
+	AutoAdvance int
+	// StatsRefreshEvery recomputes the running per-series statistics from the
+	// raw window every this many epochs (0 selects
+	// DefaultStatsRefreshEvery), bounding incremental rounding drift.
+	StatsRefreshEvery int
+}
+
 // Config parameterizes engine construction.
 type Config struct {
 	// Clusters is the AFCLST k (default 6, the value the paper finds
@@ -72,6 +105,10 @@ type Config struct {
 	MinChanges int
 	// Seed drives the AFCLST initialization.
 	Seed int64
+	// Clustering, when non-nil, bypasses AFCLST and builds on the provided
+	// clustering (used by streaming equivalence tests and by rebuilds that
+	// deliberately freeze the cluster structure).
+	Clustering *cluster.Result
 	// DisablePseudoInverseCache selects plain SYMEX instead of SYMEX+.
 	DisablePseudoInverseCache bool
 	// SkipIndex skips building the SCAPE index (MEC-only deployments).
@@ -89,6 +126,8 @@ type Config struct {
 	// affine method falls back to the naive computation for pruned pairs and
 	// the SCAPE index simply does not contain them.  Zero disables pruning.
 	MaxLSFD float64
+	// Stream configures the incremental maintenance path.
+	Stream StreamConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -101,10 +140,15 @@ func (c Config) withDefaults() Config {
 	if c.MinChanges <= 0 {
 		c.MinChanges = cluster.DefaultMinChanges
 	}
+	if c.Stream.StatsRefreshEvery <= 0 {
+		c.Stream.StatsRefreshEvery = DefaultStatsRefreshEvery
+	}
 	return c
 }
 
 // BuildInfo reports what the build produced and how long each stage took.
+// For a streaming engine the per-epoch fields (Epoch, RefitRelationships,
+// ReusedRelationships, AdvanceDuration) describe the most recent Advance.
 type BuildInfo struct {
 	NumSeries            int
 	NumSamples           int
@@ -123,6 +167,12 @@ type BuildInfo struct {
 	IndexPivotNodes      int
 	IndexBuilt           bool
 	UsedPseudoInverseTag string
+
+	// Streaming epoch counters.
+	Epoch               int
+	RefitRelationships  int
+	ReusedRelationships int
+	AdvanceDuration     time.Duration
 }
 
 // pivotSummary caches the pivot-side quantities every propagation needs: the
@@ -135,9 +185,11 @@ type pivotSummary struct {
 	locations map[stats.Measure][2]float64
 }
 
-// Engine is the built Affinity framework instance over one data matrix.
-type Engine struct {
-	cfg  Config
+// engineState is one immutable epoch of the engine: the data window and every
+// artifact derived from it.  Queries load the current state once and never
+// observe a partially updated epoch; Advance builds a full replacement state
+// and swaps the pointer.
+type engineState struct {
 	data *timeseries.DataMatrix
 
 	naive *baseline.Naive
@@ -145,7 +197,11 @@ type Engine struct {
 	index *scape.Index
 
 	summaries map[symex.Pivot]*pivotSummary
-	// Per-series statistics for separable normalizers.
+	// Per-series incremental sufficient statistics (Σx, Σx²), carried across
+	// epochs with O(slide) updates and periodically refreshed from the raw
+	// window.
+	running []stats.Running
+	// Per-series statistics for separable normalizers, derived from running.
 	seriesVariance []float64
 	seriesSqNorm   []float64
 	// Per-series 1-D affine calibration against the series' cluster center:
@@ -161,19 +217,43 @@ type Engine struct {
 	// L-measures); keyed by measure.
 	seriesLocation map[stats.Measure][]float64
 
-	info BuildInfo
+	epoch int
+	info  BuildInfo
+}
+
+// Engine is the Affinity framework instance over one (possibly streaming)
+// data window.  All query methods are safe for concurrent use with each other
+// and with Append/Advance; writers are serialized internally.
+type Engine struct {
+	cfg Config
+	cur atomic.Pointer[engineState]
+
+	// streamMu serializes Append/Advance and guards pending.
+	streamMu sync.Mutex
+	// pending buffers appended ticks (each of length n) until Advance folds
+	// them into the next epoch.
+	pending [][]float64
 }
 
 // Build constructs the engine: AFCLST → SYMEX(+) → pivot summaries → SCAPE.
 func Build(d *timeseries.DataMatrix, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	st, err := buildState(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg}
+	e.cur.Store(st)
+	return e, nil
+}
+
+func buildState(d *timeseries.DataMatrix, cfg Config) (*engineState, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults()
 
-	e := &Engine{
-		cfg:   cfg,
+	st := &engineState{
 		data:  d,
 		naive: baseline.NewNaive(d),
 	}
@@ -181,18 +261,22 @@ func Build(d *timeseries.DataMatrix, cfg Config) (*Engine, error) {
 	// Stage 1+2: clustering and affine relationships (SYMEX internally runs
 	// AFCLST; timing for the two stages is reported together as SymexDuration
 	// with ClusteringDuration covering the explicit pre-clustering run).
-	clusterStart := time.Now()
-	clustering, err := cluster.Run(d, cluster.Config{
-		K:             cfg.Clusters,
-		MaxIterations: cfg.MaxIterations,
-		MinChanges:    cfg.MinChanges,
-		Seed:          cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: clustering: %w", err)
+	clustering := cfg.Clustering
+	if clustering == nil {
+		clusterStart := time.Now()
+		var err error
+		clustering, err = cluster.Run(d, cluster.Config{
+			K:             cfg.Clusters,
+			MaxIterations: cfg.MaxIterations,
+			MinChanges:    cfg.MinChanges,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering: %w", err)
+		}
+		st.info.ClusteringDuration = time.Since(clusterStart)
+		st.info.ClusterIterations = clustering.Iterations
 	}
-	e.info.ClusteringDuration = time.Since(clusterStart)
-	e.info.ClusterIterations = clustering.Iterations
 
 	symexStart := time.Now()
 	rel, err := symex.Compute(d, symex.Options{
@@ -205,17 +289,17 @@ func Build(d *timeseries.DataMatrix, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: symex: %w", err)
 	}
-	e.rel = rel
-	e.info.SymexDuration = time.Since(symexStart)
+	st.rel = rel
+	st.info.SymexDuration = time.Since(symexStart)
 
 	// Stage 3: pre-processing — fill the pivot summaries (the paper's
 	// "fill the values in the empty hash map pivotHash") and the per-series
 	// statistics used by separable normalizers and location estimates.
 	summaryStart := time.Now()
-	if err := e.buildSummaries(); err != nil {
+	if err := st.buildDerived(nil); err != nil {
 		return nil, err
 	}
-	e.info.SummaryDuration = time.Since(summaryStart)
+	st.info.SummaryDuration = time.Since(summaryStart)
 
 	// Stage 4: the SCAPE index.
 	if !cfg.SkipIndex {
@@ -224,100 +308,129 @@ func Build(d *timeseries.DataMatrix, cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: building SCAPE index: %w", err)
 		}
-		e.index = idx
-		e.info.IndexDuration = time.Since(indexStart)
-		e.info.IndexBuilt = true
-		e.info.IndexSequenceNodes = idx.Stats().SequenceNodes
-		e.info.IndexPivotNodes = idx.Stats().Pivots
+		st.index = idx
+		st.info.IndexDuration = time.Since(indexStart)
+		st.info.IndexBuilt = true
+		st.info.IndexSequenceNodes = idx.Stats().SequenceNodes
+		st.info.IndexPivotNodes = idx.Stats().Pivots
 	}
 
-	e.info.NumSeries = d.NumSeries()
-	e.info.NumSamples = d.NumSamples()
-	e.info.NumPairs = d.NumPairs()
-	e.info.NumPivots = rel.Stats.NumPivots
-	e.info.NumRelationships = rel.Stats.NumRelationships
-	e.info.PseudoInverseCount = rel.Stats.PseudoInverseComputations
-	e.info.PseudoInverseHits = rel.Stats.PseudoInverseCacheHits
+	st.info.NumSeries = d.NumSeries()
+	st.info.NumSamples = d.NumSamples()
+	st.info.NumPairs = d.NumPairs()
+	st.info.NumPivots = rel.Stats.NumPivots
+	st.info.NumRelationships = rel.Stats.NumRelationships
+	st.info.PseudoInverseCount = rel.Stats.PseudoInverseComputations
+	st.info.PseudoInverseHits = rel.Stats.PseudoInverseCacheHits
 	if cfg.DisablePseudoInverseCache {
-		e.info.UsedPseudoInverseTag = "SYMEX"
+		st.info.UsedPseudoInverseTag = "SYMEX"
 	} else {
-		e.info.UsedPseudoInverseTag = "SYMEX+"
+		st.info.UsedPseudoInverseTag = "SYMEX+"
 	}
-	e.info.TotalDuration = time.Since(start)
-	return e, nil
+	st.info.TotalDuration = time.Since(start)
+	return st, nil
 }
 
-// Info returns build statistics.
-func (e *Engine) Info() BuildInfo { return e.info }
+// state returns the current epoch.  Every query method loads it exactly once
+// so a concurrent Advance cannot tear a single query across epochs.
+func (e *Engine) state() *engineState { return e.cur.Load() }
 
-// Data returns the underlying data matrix.
-func (e *Engine) Data() *timeseries.DataMatrix { return e.data }
+// Info returns build statistics for the current epoch.
+func (e *Engine) Info() BuildInfo { return e.state().info }
 
-// Relationships exposes the SYMEX result (for diagnostics and experiments).
-func (e *Engine) Relationships() *symex.Result { return e.rel }
+// Data returns the underlying data matrix of the current epoch.  Callers
+// must treat it as read-only.
+func (e *Engine) Data() *timeseries.DataMatrix { return e.state().data }
 
-// Index exposes the SCAPE index, or nil when SkipIndex was set.
-func (e *Engine) Index() *scape.Index { return e.index }
+// Relationships exposes the current epoch's SYMEX result (for diagnostics
+// and experiments).
+func (e *Engine) Relationships() *symex.Result { return e.state().rel }
 
-// Naive exposes the W_N baseline bound to the engine's data.
-func (e *Engine) Naive() *baseline.Naive { return e.naive }
+// Index exposes the current epoch's SCAPE index, or nil when SkipIndex was
+// set.
+func (e *Engine) Index() *scape.Index { return e.state().index }
 
-// buildSummaries fills the pivot summaries, the per-series statistics and the
-// affine-estimated per-series locations.
-func (e *Engine) buildSummaries() error {
-	e.summaries = make(map[symex.Pivot]*pivotSummary, len(e.rel.Pivots))
-	for pivot := range e.rel.Pivots {
-		op, err := e.rel.PivotMatrix(e.data, pivot)
+// Naive exposes the W_N baseline bound to the current epoch's data.
+func (e *Engine) Naive() *baseline.Naive { return e.state().naive }
+
+// Epoch returns the number of Advance calls applied so far (0 for a freshly
+// built engine).
+func (e *Engine) Epoch() int { return e.state().epoch }
+
+// buildDerived fills the pivot summaries, the per-series statistics, the
+// calibration/drift quantities and the affine-estimated per-series locations
+// for the state's window.  prev, when non-nil, is the previous epoch:
+// quantities that cannot change between epochs (the cluster-center location
+// measures) are reused from it, and st.running is assumed to have been
+// carried over and slid by the caller; with prev == nil everything is
+// computed from scratch.
+func (st *engineState) buildDerived(prev *engineState) error {
+	clustering := st.rel.Clustering
+	n := st.data.NumSeries()
+
+	// Pivot summaries from joint sufficient statistics of [s_common, r].
+	// The summary set covers every assigned pivot (not just pivots with a
+	// surviving relationship) so that a streaming refit can revive a
+	// previously pruned pair without missing its summary.
+	pivotSet := make(map[symex.Pivot]bool, len(st.rel.Pivots))
+	for pivot := range st.rel.Pivots {
+		pivotSet[pivot] = true
+	}
+	for _, a := range st.rel.Assignments {
+		pivotSet[a.Pivot] = true
+	}
+	st.summaries = make(map[symex.Pivot]*pivotSummary, len(pivotSet))
+	for pivot := range pivotSet {
+		if pivot.Cluster < 0 || pivot.Cluster >= clustering.K() {
+			return fmt.Errorf("core: pivot %v references unknown cluster", pivot)
+		}
+		common, err := st.data.Series(pivot.Common)
 		if err != nil {
 			return err
 		}
-		cov, err := stats.PairMatrixCovariance(op)
-		if err != nil {
-			return err
-		}
-		dot, err := stats.PairMatrixDotProduct(op)
-		if err != nil {
-			return err
-		}
-		sums, err := stats.ColumnSums(op)
+		center := clustering.Centers[pivot.Cluster]
+		rp, err := stats.NewRunningPairFrom(common, center)
 		if err != nil {
 			return err
 		}
 		summary := &pivotSummary{
-			cov:       cov,
-			dot:       dot,
-			colSums:   [2]float64{sums[0], sums[1]},
+			cov:       rp.CovarianceMatrix(),
+			dot:       rp.GramMatrix(),
+			colSums:   rp.Sums(),
 			locations: make(map[stats.Measure][2]float64, 3),
 		}
 		for _, m := range stats.LMeasures() {
-			loc, err := stats.PairMatrixLocation(m, op)
+			lc, err := stats.ComputeLocation(m, common)
 			if err != nil {
 				return err
 			}
-			summary.locations[m] = [2]float64{loc[0], loc[1]}
+			lr, err := stats.ComputeLocation(m, center)
+			if err != nil {
+				return err
+			}
+			summary.locations[m] = [2]float64{lc, lr}
 		}
-		e.summaries[pivot] = summary
+		st.summaries[pivot] = summary
 	}
 
-	// Per-series statistics.
-	n := e.data.NumSeries()
-	e.seriesVariance = make([]float64, n)
-	e.seriesSqNorm = make([]float64, n)
-	for _, id := range e.data.IDs() {
-		s, err := e.data.Series(id)
-		if err != nil {
-			return err
+	// Per-series statistics from the running sufficient sums.  On the build
+	// path the sums are seeded here; on the advance path the caller already
+	// slid them.
+	if prev == nil || st.running == nil {
+		st.running = make([]stats.Running, n)
+		for _, id := range st.data.IDs() {
+			s, err := st.data.Series(id)
+			if err != nil {
+				return err
+			}
+			st.running[id] = stats.NewRunningFrom(s)
 		}
-		v, err := stats.VarianceOf(s)
-		if err != nil {
-			return err
-		}
-		sq, err := stats.DotProductOf(s, s)
-		if err != nil {
-			return err
-		}
-		e.seriesVariance[id] = v
-		e.seriesSqNorm[id] = sq
+	}
+	st.seriesVariance = make([]float64, n)
+	st.seriesSqNorm = make([]float64, n)
+	for i := range st.running {
+		st.seriesVariance[i] = st.running[i].Variance()
+		st.seriesSqNorm[i] = st.running[i].SqNorm()
 	}
 
 	// Per-series 1-D affine calibration against the cluster center: the
@@ -326,11 +439,55 @@ func (e *Engine) buildSummaries() error {
 	// propagated through (a, b) are exact for the mean and approximate for
 	// the median and the mode (which is exactly the error pattern the paper
 	// reports in Figs. 9–10).
-	clustering := e.rel.Clustering
-	e.calibA = make([]float64, n)
-	e.calibB = make([]float64, n)
-	for _, id := range e.data.IDs() {
-		s, err := e.data.Series(id)
+	if st.calibA == nil {
+		if err := st.calibrate(); err != nil {
+			return err
+		}
+	}
+
+	// Location measures of the cluster centers (invariant across epochs while
+	// the clustering is frozen), then the per-series estimates.
+	if prev != nil && prev.centerLocation != nil && prev.rel.Clustering == clustering {
+		st.centerLocation = prev.centerLocation
+	} else {
+		st.centerLocation = make(map[stats.Measure][]float64, 3)
+		for _, m := range stats.LMeasures() {
+			centers := make([]float64, clustering.K())
+			for l, r := range clustering.Centers {
+				v, err := stats.ComputeLocation(m, r)
+				if err != nil {
+					return err
+				}
+				centers[l] = v
+			}
+			st.centerLocation[m] = centers
+		}
+	}
+	st.seriesLocation = make(map[stats.Measure][]float64, 3)
+	for _, m := range stats.LMeasures() {
+		centers := st.centerLocation[m]
+		values := make([]float64, n)
+		for _, id := range st.data.IDs() {
+			omega, err := clustering.Omega(id)
+			if err != nil {
+				return err
+			}
+			values[id] = st.calibA[id]*centers[omega] + st.calibB[id]
+		}
+		st.seriesLocation[m] = values
+	}
+	return nil
+}
+
+// calibrate fills calibA and calibB from one joint-sufficient-statistics
+// pass per series against its cluster center.
+func (st *engineState) calibrate() error {
+	clustering := st.rel.Clustering
+	n := st.data.NumSeries()
+	st.calibA = make([]float64, n)
+	st.calibB = make([]float64, n)
+	for _, id := range st.data.IDs() {
+		s, err := st.data.Series(id)
 		if err != nil {
 			return err
 		}
@@ -338,65 +495,20 @@ func (e *Engine) buildSummaries() error {
 		if err != nil {
 			return err
 		}
-		a, b := fitLine(center, s)
-		e.calibA[id] = a
-		e.calibB[id] = b
-	}
-
-	// Location measures of the cluster centers, then the per-series
-	// estimates.
-	e.centerLocation = make(map[stats.Measure][]float64, 3)
-	e.seriesLocation = make(map[stats.Measure][]float64, 3)
-	for _, m := range stats.LMeasures() {
-		centers := make([]float64, clustering.K())
-		for l, r := range clustering.Centers {
-			v, err := stats.ComputeLocation(m, r)
-			if err != nil {
-				return err
-			}
-			centers[l] = v
+		rp, err := stats.NewRunningPairFrom(center, s)
+		if err != nil {
+			return err
 		}
-		e.centerLocation[m] = centers
-
-		values := make([]float64, n)
-		for _, id := range e.data.IDs() {
-			omega, err := clustering.Omega(id)
-			if err != nil {
-				return err
-			}
-			values[id] = e.calibA[id]*centers[omega] + e.calibB[id]
-		}
-		e.seriesLocation[m] = values
+		a, b, _ := rp.LineFit()
+		st.calibA[id] = a
+		st.calibB[id] = b
 	}
 	return nil
 }
 
-// fitLine returns the least-squares coefficients (a, b) of y ≈ a·x + b·1.
-// A constant x degenerates to a = 0, b = mean(y).
-func fitLine(x, y []float64) (a, b float64) {
-	m := float64(len(x))
-	if m == 0 {
-		return 0, 0
-	}
-	var sumX, sumY, sumXX, sumXY float64
-	for i := range x {
-		sumX += x[i]
-		sumY += y[i]
-		sumXX += x[i] * x[i]
-		sumXY += x[i] * y[i]
-	}
-	denom := m*sumXX - sumX*sumX
-	if denom == 0 {
-		return 0, sumY / m
-	}
-	a = (m*sumXY - sumX*sumY) / denom
-	b = (sumY - a*sumX) / m
-	return a, b
-}
-
 // normalizer returns the separable normalizer U_e of a derived measure for a
 // pair, computed from the cached per-series statistics.
-func (e *Engine) normalizer(m stats.Measure, pair timeseries.Pair) (float64, error) {
+func (e *engineState) normalizer(m stats.Measure, pair timeseries.Pair) (float64, error) {
 	switch m {
 	case stats.Correlation:
 		return sqrt(e.seriesVariance[pair.U] * e.seriesVariance[pair.V]), nil

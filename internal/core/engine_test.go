@@ -218,7 +218,7 @@ func TestPairValueMethods(t *testing.T) {
 		t.Fatalf("correlation estimate %v vs truth %v", approx, truth)
 	}
 	// Non-canonical pair input is canonicalized by the affine path.
-	swapped, err := e.affinePairValue(stats.Correlation, timeseries.Pair{U: 5, V: 0})
+	swapped, err := e.state().affinePairValue(stats.Correlation, timeseries.Pair{U: 5, V: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,9 +20,43 @@ type ThresholdResult struct {
 // Size returns the number of entries in the result set.
 func (r ThresholdResult) Size() int { return len(r.Series) + len(r.Pairs) }
 
+// The public query methods load the current epoch state exactly once and
+// answer the whole query from it, so they are safe to call concurrently with
+// Append/Advance: a query started before an epoch swap keeps serving the old
+// epoch's window, relationships and index.
+
 // ComputeLocation answers a MEC query for an L-measure over the requested
 // series, using the selected method (Query 1 with an L-measure).
 func (e *Engine) ComputeLocation(m stats.Measure, ids []timeseries.SeriesID, method Method) ([]float64, error) {
+	return e.state().computeLocation(m, ids, method)
+}
+
+// ComputePairwise answers a MEC query for a T- or D-measure over the
+// requested series: the |ψ|-by-|ψ| matrix of pairwise values in the order
+// given.  Undefined derived values (zero normalizer) are reported as NaN.
+func (e *Engine) ComputePairwise(m stats.Measure, ids []timeseries.SeriesID, method Method) ([][]float64, error) {
+	return e.state().computePairwise(m, ids, method)
+}
+
+// PairValue computes a single pairwise measure with the selected method.
+func (e *Engine) PairValue(m stats.Measure, pair timeseries.Pair, method Method) (float64, error) {
+	return e.state().pairValue(m, pair, method)
+}
+
+// Threshold answers a MET query (Query 2): entries whose measure is above
+// (or below) tau, computed with the selected method.
+func (e *Engine) Threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (ThresholdResult, error) {
+	return e.state().threshold(m, tau, op, method)
+}
+
+// Range answers a MER query (Query 3): entries whose measure lies in
+// [lo, hi], computed with the selected method.
+func (e *Engine) Range(m stats.Measure, lo, hi float64, method Method) (ThresholdResult, error) {
+	return e.state().rangeQuery(m, lo, hi, method)
+}
+
+// computeLocation implements ComputeLocation for one epoch.
+func (e *engineState) computeLocation(m stats.Measure, ids []timeseries.SeriesID, method Method) ([]float64, error) {
 	if m.Class() != stats.LocationClass {
 		return nil, fmt.Errorf("core: %v is not an L-measure: %w", m, stats.ErrUnknownMeasure)
 	}
@@ -47,10 +81,8 @@ func (e *Engine) ComputeLocation(m stats.Measure, ids []timeseries.SeriesID, met
 	}
 }
 
-// ComputePairwise answers a MEC query for a T- or D-measure over the
-// requested series: the |ψ|-by-|ψ| matrix of pairwise values in the order
-// given.  Undefined derived values (zero normalizer) are reported as NaN.
-func (e *Engine) ComputePairwise(m stats.Measure, ids []timeseries.SeriesID, method Method) ([][]float64, error) {
+// computePairwise implements ComputePairwise for one epoch.
+func (e *engineState) computePairwise(m stats.Measure, ids []timeseries.SeriesID, method Method) ([][]float64, error) {
 	if !m.Pairwise() {
 		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
 	}
@@ -93,8 +125,8 @@ func (e *Engine) ComputePairwise(m stats.Measure, ids []timeseries.SeriesID, met
 	}
 }
 
-// PairValue computes a single pairwise measure with the selected method.
-func (e *Engine) PairValue(m stats.Measure, pair timeseries.Pair, method Method) (float64, error) {
+// pairValue implements PairValue for one epoch.
+func (e *engineState) pairValue(m stats.Measure, pair timeseries.Pair, method Method) (float64, error) {
 	if !m.Pairwise() {
 		return 0, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
 	}
@@ -108,9 +140,8 @@ func (e *Engine) PairValue(m stats.Measure, pair timeseries.Pair, method Method)
 	}
 }
 
-// Threshold answers a MET query (Query 2): entries whose measure is above
-// (or below) tau, computed with the selected method.
-func (e *Engine) Threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (ThresholdResult, error) {
+// threshold implements Threshold for one epoch.
+func (e *engineState) threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (ThresholdResult, error) {
 	above := op == scape.Above
 	if m.Class() == stats.LocationClass {
 		switch method {
@@ -148,9 +179,8 @@ func (e *Engine) Threshold(m stats.Measure, tau float64, op scape.ThresholdOp, m
 	}
 }
 
-// Range answers a MER query (Query 3): entries whose measure lies in
-// [lo, hi], computed with the selected method.
-func (e *Engine) Range(m stats.Measure, lo, hi float64, method Method) (ThresholdResult, error) {
+// rangeQuery implements Range for one epoch.
+func (e *engineState) rangeQuery(m stats.Measure, lo, hi float64, method Method) (ThresholdResult, error) {
 	if lo > hi {
 		return ThresholdResult{}, fmt.Errorf("core: empty range [%v, %v]", lo, hi)
 	}
@@ -194,7 +224,7 @@ func (e *Engine) Range(m stats.Measure, lo, hi float64, method Method) (Threshol
 // relationship and the cached pivot summary (Eq. 6 / Eq. 7).  Pairs whose
 // relationship was pruned (Config.MaxLSFD) fall back to the naive
 // computation, preserving correctness at the cost of a raw-series scan.
-func (e *Engine) affinePairBase(m stats.Measure, pair timeseries.Pair) (float64, error) {
+func (e *engineState) affinePairBase(m stats.Measure, pair timeseries.Pair) (float64, error) {
 	rel, ok := e.rel.Relationship(pair)
 	if !ok {
 		return e.naive.PairValue(m, pair)
@@ -215,7 +245,7 @@ func (e *Engine) affinePairBase(m stats.Measure, pair timeseries.Pair) (float64,
 
 // affinePairValue computes a pairwise T- or D-measure through affine
 // relationships (the W_A method).
-func (e *Engine) affinePairValue(m stats.Measure, pair timeseries.Pair) (float64, error) {
+func (e *engineState) affinePairValue(m stats.Measure, pair timeseries.Pair) (float64, error) {
 	if !pair.Valid() {
 		canonical, err := timeseries.NewPair(pair.U, pair.V)
 		if err != nil {
@@ -247,7 +277,7 @@ func (e *Engine) affinePairValue(m stats.Measure, pair timeseries.Pair) (float64
 // selfPairValue returns the diagonal entry of a pairwise MEC response: the
 // measure of a series with itself, computed from cached per-series
 // statistics.
-func (e *Engine) selfPairValue(m stats.Measure, id timeseries.SeriesID) (float64, error) {
+func (e *engineState) selfPairValue(m stats.Measure, id timeseries.SeriesID) (float64, error) {
 	if int(id) < 0 || int(id) >= len(e.seriesVariance) {
 		return 0, fmt.Errorf("%w: %d", timeseries.ErrInvalidSeries, id)
 	}
@@ -277,7 +307,7 @@ func (e *Engine) selfPairValue(m stats.Measure, id timeseries.SeriesID) (float64
 // affinePairThreshold evaluates a pairwise MET query with the W_A method:
 // every pair's value is estimated through its affine relationship (or the
 // naive fallback for pruned pairs) and then filtered.
-func (e *Engine) affinePairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
+func (e *engineState) affinePairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
 	var out []timeseries.Pair
 	for _, pair := range e.data.AllPairs() {
 		v, err := e.affinePairValue(m, pair)
@@ -295,7 +325,7 @@ func (e *Engine) affinePairThreshold(m stats.Measure, tau float64, above bool) (
 }
 
 // affinePairRange evaluates a pairwise MER query with the W_A method.
-func (e *Engine) affinePairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
+func (e *engineState) affinePairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
 	var out []timeseries.Pair
 	for _, pair := range e.data.AllPairs() {
 		v, err := e.affinePairValue(m, pair)
@@ -314,7 +344,7 @@ func (e *Engine) affinePairRange(m stats.Measure, lo, hi float64) ([]timeseries.
 
 // affineSeriesThreshold evaluates an L-measure MET query over the
 // affine-estimated per-series values.
-func (e *Engine) affineSeriesThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.SeriesID, error) {
+func (e *engineState) affineSeriesThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.SeriesID, error) {
 	estimates, ok := e.seriesLocation[m]
 	if !ok {
 		return nil, fmt.Errorf("core: no location estimates for %v", m)
@@ -330,7 +360,7 @@ func (e *Engine) affineSeriesThreshold(m stats.Measure, tau float64, above bool)
 
 // affineSeriesRange evaluates an L-measure MER query over the
 // affine-estimated per-series values.
-func (e *Engine) affineSeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.SeriesID, error) {
+func (e *engineState) affineSeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.SeriesID, error) {
 	estimates, ok := e.seriesLocation[m]
 	if !ok {
 		return nil, fmt.Errorf("core: no location estimates for %v", m)

@@ -52,8 +52,13 @@ const (
 // match the dataset it is loaded against.
 var ErrBadSnapshot = errors.New("core: bad snapshot")
 
-// WriteSnapshot persists the engine's clustering and affine relationships.
+// WriteSnapshot persists the engine's clustering and affine relationships
+// (of the current epoch, for a streaming engine).
 func (e *Engine) WriteSnapshot(w io.Writer) error {
+	return e.state().writeSnapshot(w)
+}
+
+func (e *engineState) writeSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	clustering := e.rel.Clustering
 
@@ -269,17 +274,16 @@ func BuildFromSnapshot(d *timeseries.DataMatrix, r io.Reader, cfg Config) (*Engi
 // and SYMEX stages entirely.
 func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Result) (*Engine, error) {
 	start := time.Now()
-	e := &Engine{
-		cfg:   cfg,
+	st := &engineState{
 		data:  d,
 		naive: baseline.NewNaive(d),
 		rel:   rel,
 	}
 	summaryStart := time.Now()
-	if err := e.buildSummaries(); err != nil {
+	if err := st.buildDerived(nil); err != nil {
 		return nil, err
 	}
-	e.info.SummaryDuration = time.Since(summaryStart)
+	st.info.SummaryDuration = time.Since(summaryStart)
 
 	if !cfg.SkipIndex {
 		indexStart := time.Now()
@@ -287,19 +291,21 @@ func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Res
 		if err != nil {
 			return nil, fmt.Errorf("core: building SCAPE index from snapshot: %w", err)
 		}
-		e.index = idx
-		e.info.IndexDuration = time.Since(indexStart)
-		e.info.IndexBuilt = true
-		e.info.IndexSequenceNodes = idx.Stats().SequenceNodes
-		e.info.IndexPivotNodes = idx.Stats().Pivots
+		st.index = idx
+		st.info.IndexDuration = time.Since(indexStart)
+		st.info.IndexBuilt = true
+		st.info.IndexSequenceNodes = idx.Stats().SequenceNodes
+		st.info.IndexPivotNodes = idx.Stats().Pivots
 	}
 
-	e.info.NumSeries = d.NumSeries()
-	e.info.NumSamples = d.NumSamples()
-	e.info.NumPairs = d.NumPairs()
-	e.info.NumPivots = rel.Stats.NumPivots
-	e.info.NumRelationships = rel.Stats.NumRelationships
-	e.info.UsedPseudoInverseTag = "snapshot"
-	e.info.TotalDuration = time.Since(start)
+	st.info.NumSeries = d.NumSeries()
+	st.info.NumSamples = d.NumSamples()
+	st.info.NumPairs = d.NumPairs()
+	st.info.NumPivots = rel.Stats.NumPivots
+	st.info.NumRelationships = rel.Stats.NumRelationships
+	st.info.UsedPseudoInverseTag = "snapshot"
+	st.info.TotalDuration = time.Since(start)
+	e := &Engine{cfg: cfg}
+	e.cur.Store(st)
 	return e, nil
 }

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"affinity/internal/baseline"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// This file implements the streaming update path of the engine: buffering
+// newly arrived samples (Append) and folding them into a new epoch (Advance).
+//
+// The window length is fixed at build time: every Advance appends the
+// buffered samples to the right edge of the window and evicts the same number
+// of samples from the left edge.  The cluster structure (assignment ω and
+// centers r_l) is frozen across epochs — the paper's AFCLST centers are
+// unit-length directions that drift slowly relative to the window — so the
+// pair→pivot assignment from the original SYMEX exploration stays valid and
+// an epoch only has to
+//
+//  1. slide the per-series running sufficient statistics (O(n·slide)),
+//  2. recompute the pivot summaries on the new window (O(|pivots|·m)),
+//  3. re-fit the affine relationships whose LSFD-drift proxy moved more than
+//     StreamConfig.DriftBound since their last fit (per stale pivot one
+//     pseudo-inverse, per stale pair one O(m) least-squares solve),
+//  4. rebuild the SCAPE index over the (partly reused) relationships.
+//
+// With DriftBound <= 0 every relationship is re-fitted, which makes an epoch
+// exactly equivalent to a cold Build on the slid window with the frozen
+// clustering — the property the streaming equivalence tests pin down.  A
+// positive bound trades a controlled amount of approximation error for
+// skipping most of the least-squares work on quiet windows.
+//
+// Queries never block on an Advance: the next epoch is assembled on the
+// side and swapped in with one atomic store (see engineState).
+
+// ErrStreamShape is returned when an appended tick does not match the
+// engine's series count.
+var ErrStreamShape = errors.New("core: tick length does not match series count")
+
+// AdvanceInfo describes one epoch transition.
+type AdvanceInfo struct {
+	// Epoch is the epoch number after the transition.
+	Epoch int
+	// Slide is the number of samples folded into (and evicted from) the
+	// window.  Zero means Advance was a no-op (nothing buffered).
+	Slide int
+	// RefitRelationships is the number of affine relationships re-fitted.
+	RefitRelationships int
+	// ReusedRelationships is the number carried over unchanged.
+	ReusedRelationships int
+	// RefitPivots is the number of pivot pseudo-inverses recomputed.
+	RefitPivots int
+	// Duration is the wall time of the epoch build.
+	Duration time.Duration
+}
+
+// Append buffers one tick — one new sample per series, in series order — for
+// the next Advance.  When StreamConfig.AutoAdvance is positive, Append
+// triggers the Advance automatically once that many ticks are buffered.
+//
+// Append never blocks queries; it only contends with other writers.
+func (e *Engine) Append(tick []float64) error {
+	st := e.state()
+	if len(tick) != st.data.NumSeries() {
+		return fmt.Errorf("%w: got %d, want %d", ErrStreamShape, len(tick), st.data.NumSeries())
+	}
+	for i, v := range tick {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: tick value for series %d is NaN or Inf", i)
+		}
+	}
+	cp := make([]float64, len(tick))
+	copy(cp, tick)
+
+	e.streamMu.Lock()
+	defer e.streamMu.Unlock()
+	e.pending = append(e.pending, cp)
+	if e.cfg.Stream.AutoAdvance > 0 && len(e.pending) >= e.cfg.Stream.AutoAdvance {
+		_, err := e.advanceLocked()
+		return err
+	}
+	return nil
+}
+
+// PendingSamples returns the number of buffered ticks not yet folded into
+// the window.
+func (e *Engine) PendingSamples() int {
+	e.streamMu.Lock()
+	defer e.streamMu.Unlock()
+	return len(e.pending)
+}
+
+// Advance folds every buffered tick into a new epoch: the window slides
+// forward by the buffered count, stale affine relationships are re-fitted,
+// summaries and the SCAPE index are rebuilt, and the new epoch is swapped in
+// atomically.  Queries issued concurrently keep serving the previous epoch
+// until the swap and the next epoch afterwards.  With an empty buffer
+// Advance is a no-op.
+func (e *Engine) Advance() (AdvanceInfo, error) {
+	e.streamMu.Lock()
+	defer e.streamMu.Unlock()
+	return e.advanceLocked()
+}
+
+func (e *Engine) advanceLocked() (AdvanceInfo, error) {
+	old := e.state()
+	slide := len(e.pending)
+	if slide == 0 {
+		return AdvanceInfo{Epoch: old.epoch}, nil
+	}
+	start := time.Now()
+	n := old.data.NumSeries()
+	m := old.data.NumSamples()
+
+	// Transpose the buffered ticks into per-series batches.
+	batch := make([][]float64, n)
+	for v := range batch {
+		b := make([]float64, slide)
+		for t, tick := range e.pending {
+			b[t] = tick[v]
+		}
+		batch[v] = b
+	}
+
+	newData, err := old.data.SlideCopy(batch)
+	if err != nil {
+		return AdvanceInfo{}, err
+	}
+
+	st := &engineState{
+		data:  newData,
+		naive: baseline.NewNaive(newData),
+		epoch: old.epoch + 1,
+	}
+
+	// Slide the running per-series sufficient statistics: O(n·slide) instead
+	// of an O(n·m) rescan.  A full refresh happens when the whole window was
+	// replaced or on the periodic schedule that bounds rounding drift.
+	refresh := slide >= m || st.epoch%e.cfg.Stream.StatsRefreshEvery == 0
+	if !refresh {
+		st.running = make([]stats.Running, n)
+		copy(st.running, old.running)
+		for v := 0; v < n; v++ {
+			evicted, err := old.data.Series(timeseries.SeriesID(v))
+			if err != nil {
+				return AdvanceInfo{}, err
+			}
+			st.running[v].Add(batch[v]...)
+			st.running[v].Evict(evicted[:slide]...)
+		}
+	}
+
+	if err := st.relAndDerived(old, e.cfg, slide, refresh); err != nil {
+		return AdvanceInfo{}, err
+	}
+
+	if !e.cfg.SkipIndex {
+		idx, err := scape.Build(newData, st.rel, e.cfg.Index)
+		if err != nil {
+			return AdvanceInfo{}, fmt.Errorf("core: rebuilding SCAPE index: %w", err)
+		}
+		st.index = idx
+		st.info.IndexBuilt = true
+		st.info.IndexSequenceNodes = idx.Stats().SequenceNodes
+		st.info.IndexPivotNodes = idx.Stats().Pivots
+	}
+
+	st.info.AdvanceDuration = time.Since(start)
+	info := AdvanceInfo{
+		Epoch:               st.epoch,
+		Slide:               slide,
+		RefitRelationships:  st.info.RefitRelationships,
+		ReusedRelationships: st.info.ReusedRelationships,
+		RefitPivots:         st.info.PseudoInverseCount,
+		Duration:            st.info.AdvanceDuration,
+	}
+	e.cur.Store(st)
+	e.pending = nil
+	return info, nil
+}
+
+// relAndDerived performs the epoch's relationship maintenance: it rebuilds
+// the window-derived quantities (pivot summaries, per-series statistics,
+// calibration), measures each old relationship's drift on the new window,
+// re-fits the stale ones and installs the resulting relationship set.
+// refresh marks the periodic full-refresh epochs, on which previously pruned
+// pairs also get a refit attempt.
+func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, refresh bool) error {
+	// The pivot assignment is frozen, so every summary and per-series
+	// quantity can be rebuilt before the refit decision: none of them depend
+	// on the transforms.
+	st.rel = old.rel
+	if err := st.buildDerived(old); err != nil {
+		return err
+	}
+
+	// Select stale relationships by measuring each stale-candidate transform
+	// against the new window: the transform predicts the variance of the
+	// pair's non-common series from the new pivot summary (Eq. 6 restricted
+	// to the diagonal), and the true variance is known from the running
+	// statistics.  A relative discrepancy above DriftBound marks the
+	// relationship stale.  This is the O(1)-per-pair surrogate for the LSFD
+	// drift: a transform whose propagated second column no longer matches
+	// the observed series cannot have a small LSFD to the current sequence
+	// pair matrix.
+	//
+	// DriftBound <= 0 refits everything; a slide of at least the window
+	// length invalidates everything too, since no old fit saw any current
+	// sample.
+	var stale map[timeseries.Pair]bool
+	bound := cfg.Stream.DriftBound
+	if bound > 0 && slide < st.data.NumSamples() {
+		stale = make(map[timeseries.Pair]bool)
+		for _, a := range old.rel.AssignmentList() {
+			rel, ok := old.rel.Relationships[a.Pair]
+			if !ok {
+				// Previously pruned: no transform exists to measure drift
+				// against, so retry it only on the periodic refresh epochs —
+				// a permanently poorly-fit pair must not force an O(m) refit
+				// on every Advance.
+				if refresh {
+					stale[a.Pair] = true
+				}
+				continue
+			}
+			other, err := a.Pair.Other(a.Pivot.Common)
+			if err != nil {
+				return err
+			}
+			summary, ok := st.summaries[a.Pivot]
+			if !ok {
+				return fmt.Errorf("core: no summary for pivot %v", a.Pivot)
+			}
+			if relationshipDrift(rel, summary, st.seriesVariance[other]) > bound {
+				stale[a.Pair] = true
+			}
+		}
+	}
+
+	rel, rs, err := symex.Refit(st.data, old.rel, symex.RefitOptions{
+		Stale:       stale,
+		Parallelism: cfg.Parallelism,
+		MaxLSFD:     cfg.MaxLSFD,
+	})
+	if err != nil {
+		return fmt.Errorf("core: refitting relationships: %w", err)
+	}
+	st.rel = rel
+
+	// Epoch bookkeeping on top of the carried-over structural counters.
+	st.info = old.info
+	st.info.NumSamples = st.data.NumSamples()
+	st.info.NumRelationships = rel.Stats.NumRelationships
+	st.info.NumPivots = rel.Stats.NumPivots
+	st.info.Epoch = st.epoch
+	st.info.RefitRelationships = rs.Refit
+	st.info.ReusedRelationships = rs.Reused
+	st.info.PseudoInverseCount = rs.PivotInverses
+	st.info.PseudoInverseHits = rel.Stats.PseudoInverseCacheHits
+	return nil
+}
+
+// relationshipDrift returns the relative discrepancy between the variance of
+// the relationship's non-common series as predicted by its (possibly stale)
+// transform on the current pivot summary, and the series' true variance from
+// the running statistics.  A fresh fit has a small discrepancy (only the fit
+// residual); a transform invalidated by window movement drifts away from the
+// observed variance.
+func relationshipDrift(rel *symex.Relationship, summary *pivotSummary, trueVar float64) float64 {
+	vars, err := rel.Transform.PropagateVariances(summary.cov)
+	if err != nil {
+		return math.Inf(1)
+	}
+	denom := trueVar
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return math.Abs(vars[1]-trueVar) / denom
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// TestConcurrentQueriesDuringAdvance hammers the read path (Threshold,
+// ComputePairwise, PairValue, ComputeLocation, sweeps) from many goroutines
+// while the write path appends ticks and advances the window.  Run with
+// -race (CI does): the epoch-swap design must never let a query observe a
+// partially built state.
+func TestConcurrentQueriesDuringAdvance(t *testing.T) {
+	const n, window, slide, rounds = 16, 80, 5, 12
+	fx := makeStreamFixture(t, n, window, slide*rounds, 41)
+	e, err := Build(fx.window, Config{Clusters: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := fx.window.IDs()
+	pair := timeseries.Pair{U: 0, V: 1}
+
+	var stop atomic.Bool
+	var queries atomic.Int64
+	errCh := make(chan error, 64)
+	report := func(err error) {
+		if err != nil {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	reader := func(body func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				report(body())
+				queries.Add(1)
+			}
+		}()
+	}
+
+	for i := 0; i < 3; i++ {
+		reader(func() error {
+			res, err := e.Threshold(stats.Correlation, 0.8, scape.Above, MethodIndex)
+			if err != nil {
+				return err
+			}
+			// Result must be internally consistent: every pair canonical.
+			for _, p := range res.Pairs {
+				if !p.Valid() {
+					t.Errorf("invalid pair %v from index threshold", p)
+				}
+			}
+			return nil
+		})
+	}
+	reader(func() error {
+		_, err := e.ComputePairwise(stats.Covariance, ids, MethodAffine)
+		return err
+	})
+	reader(func() error {
+		_, err := e.ComputePairwise(stats.Correlation, ids[:6], MethodNaive)
+		return err
+	})
+	reader(func() error {
+		_, err := e.PairValue(stats.Correlation, pair, MethodAffine)
+		return err
+	})
+	reader(func() error {
+		_, err := e.ComputeLocation(stats.Mean, ids, MethodAffine)
+		return err
+	})
+	reader(func() error {
+		_, err := e.Range(stats.Covariance, -0.5, 0.5, MethodIndex)
+		return err
+	})
+	reader(func() error {
+		_, err := e.PairwiseSweepAffine(stats.Correlation)
+		return err
+	})
+	reader(func() error {
+		// Mixed-epoch metadata reads.
+		_ = e.Info()
+		_ = e.Epoch()
+		_ = e.Data().NumSamples()
+		return nil
+	})
+
+	// Writer: stream all ticks, advancing after every `slide` appends.
+	for round := 0; round < rounds; round++ {
+		for _, tick := range fx.ticks[round*slide : (round+1)*slide] {
+			if err := e.Append(tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent query failed: %v", err)
+	}
+	if e.Epoch() != rounds {
+		t.Fatalf("epoch = %d, want %d", e.Epoch(), rounds)
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries executed concurrently")
+	}
+}
+
+// TestConcurrentAppenders checks that concurrent writers are serialized
+// correctly and no tick is lost.
+func TestConcurrentAppenders(t *testing.T) {
+	const n, window, total = 12, 60, 40
+	fx := makeStreamFixture(t, n, window, total, 43)
+	e, err := Build(fx.window, Config{Clusters: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += 4 {
+				if err := e.Append(fx.ticks[i]); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.PendingSamples() != total {
+		t.Fatalf("pending = %d, want %d", e.PendingSamples(), total)
+	}
+	info, err := e.Advance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Slide != total {
+		t.Fatalf("slide = %d, want %d", info.Slide, total)
+	}
+}

@@ -36,6 +36,33 @@ type LocationSweepResult struct {
 // PairwiseSweepNaive computes a T- or D-measure for every sequence pair from
 // the raw series (W_N).  Pairs with an undefined derived value carry NaN.
 func (e *Engine) PairwiseSweepNaive(m stats.Measure) (*PairSweepResult, error) {
+	return e.state().pairwiseSweepNaive(m)
+}
+
+// PairwiseSweepAffine computes a T- or D-measure for every sequence pair with
+// the W_A method: it reduces the pivot pair matrices for the measure's base
+// T-measure (the O(n·k) one-time cost) and then propagates the value to every
+// pair through its affine relationship (O(1) per pair).
+func (e *Engine) PairwiseSweepAffine(m stats.Measure) (*PairSweepResult, error) {
+	return e.state().pairwiseSweepAffine(m)
+}
+
+// LocationSweepNaive computes an L-measure for every series from the raw data
+// (W_N).
+func (e *Engine) LocationSweepNaive(m stats.Measure) (*LocationSweepResult, error) {
+	return e.state().locationSweepNaive(m)
+}
+
+// LocationSweepAffine computes an L-measure for every series with the W_A
+// method: the measure is computed exactly for the k cluster centers only and
+// propagated to every series through its 1-D affine calibration, making the
+// per-series cost O(1) instead of O(m).
+func (e *Engine) LocationSweepAffine(m stats.Measure) (*LocationSweepResult, error) {
+	return e.state().locationSweepAffine(m)
+}
+
+// pairwiseSweepNaive implements PairwiseSweepNaive for one epoch.
+func (e *engineState) pairwiseSweepNaive(m stats.Measure) (*PairSweepResult, error) {
 	if !m.Pairwise() {
 		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
 	}
@@ -55,11 +82,8 @@ func (e *Engine) PairwiseSweepNaive(m stats.Measure) (*PairSweepResult, error) {
 	return &PairSweepResult{Pairs: pairs, Values: values}, nil
 }
 
-// PairwiseSweepAffine computes a T- or D-measure for every sequence pair with
-// the W_A method: it reduces the pivot pair matrices for the measure's base
-// T-measure (the O(n·k) one-time cost) and then propagates the value to every
-// pair through its affine relationship (O(1) per pair).
-func (e *Engine) PairwiseSweepAffine(m stats.Measure) (*PairSweepResult, error) {
+// pairwiseSweepAffine implements PairwiseSweepAffine for one epoch.
+func (e *engineState) pairwiseSweepAffine(m stats.Measure) (*PairSweepResult, error) {
 	if !m.Pairwise() {
 		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
 	}
@@ -165,9 +189,8 @@ func quadForm3(x [2]float64, m [3]float64, y [2]float64) float64 {
 	return x[0]*(m[0]*y[0]+m[1]*y[1]) + x[1]*(m[1]*y[0]+m[2]*y[1])
 }
 
-// LocationSweepNaive computes an L-measure for every series from the raw data
-// (W_N).
-func (e *Engine) LocationSweepNaive(m stats.Measure) (*LocationSweepResult, error) {
+// locationSweepNaive implements LocationSweepNaive for one epoch.
+func (e *engineState) locationSweepNaive(m stats.Measure) (*LocationSweepResult, error) {
 	values, err := stats.LocationVector(m, e.data)
 	if err != nil {
 		return nil, err
@@ -175,11 +198,8 @@ func (e *Engine) LocationSweepNaive(m stats.Measure) (*LocationSweepResult, erro
 	return &LocationSweepResult{Values: values}, nil
 }
 
-// LocationSweepAffine computes an L-measure for every series with the W_A
-// method: the measure is computed exactly for the k cluster centers only and
-// propagated to every series through its 1-D affine calibration, making the
-// per-series cost O(1) instead of O(m).
-func (e *Engine) LocationSweepAffine(m stats.Measure) (*LocationSweepResult, error) {
+// locationSweepAffine implements LocationSweepAffine for one epoch.
+func (e *engineState) locationSweepAffine(m stats.Measure) (*LocationSweepResult, error) {
 	if m.Class() != stats.LocationClass {
 		return nil, fmt.Errorf("core: %v is not an L-measure: %w", m, stats.ErrUnknownMeasure)
 	}

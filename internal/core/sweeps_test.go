@@ -135,21 +135,3 @@ func TestSweepRMSE(t *testing.T) {
 		t.Fatalf("NaN entries should be skipped, RMSE = %v", r)
 	}
 }
-
-func TestFitLine(t *testing.T) {
-	x := []float64{1, 2, 3, 4}
-	y := []float64{3, 5, 7, 9} // y = 2x + 1
-	a, b := fitLine(x, y)
-	if math.Abs(a-2) > 1e-12 || math.Abs(b-1) > 1e-12 {
-		t.Fatalf("fitLine = (%v, %v), want (2, 1)", a, b)
-	}
-	// Constant x: slope 0, intercept mean(y).
-	a, b = fitLine([]float64{5, 5, 5}, []float64{1, 2, 3})
-	if a != 0 || math.Abs(b-2) > 1e-12 {
-		t.Fatalf("degenerate fitLine = (%v, %v)", a, b)
-	}
-	a, b = fitLine(nil, nil)
-	if a != 0 || b != 0 {
-		t.Fatalf("empty fitLine = (%v, %v)", a, b)
-	}
-}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const runningTol = 1e-9
+
+func relClose(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}
+
+func randomSeries(rng *rand.Rand, m int) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = 10*rng.NormFloat64() + 3
+	}
+	return out
+}
+
+func TestRunningMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randomSeries(rng, 257)
+	r := NewRunningFrom(x)
+
+	if r.Count() != len(x) {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	wantMean, _ := MeanOf(x)
+	if !relClose(r.Mean(), wantMean, runningTol) {
+		t.Fatalf("Mean = %v, want %v", r.Mean(), wantMean)
+	}
+	wantVar, _ := VarianceOf(x)
+	if !relClose(r.Variance(), wantVar, runningTol) {
+		t.Fatalf("Variance = %v, want %v", r.Variance(), wantVar)
+	}
+	wantSq, _ := DotProductOf(x, x)
+	if !relClose(r.SqNorm(), wantSq, runningTol) {
+		t.Fatalf("SqNorm = %v, want %v", r.SqNorm(), wantSq)
+	}
+	if !relClose(r.Sum(), SumOf(x), runningTol) {
+		t.Fatalf("Sum = %v, want %v", r.Sum(), SumOf(x))
+	}
+}
+
+// TestRunningSlidingWindow drives many add/evict cycles and checks the
+// running statistics stay in agreement with a from-scratch computation over
+// the current window.
+func TestRunningSlidingWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const window = 64
+	stream := randomSeries(rng, 2048)
+
+	r := NewRunningFrom(stream[:window])
+	for i := window; i < len(stream); i++ {
+		r.Add(stream[i])
+		r.Evict(stream[i-window])
+		if i%97 == 0 {
+			cur := stream[i-window+1 : i+1]
+			wantVar, _ := VarianceOf(cur)
+			if !relClose(r.Variance(), wantVar, runningTol) {
+				t.Fatalf("step %d: Variance = %v, want %v", i, r.Variance(), wantVar)
+			}
+			wantMean, _ := MeanOf(cur)
+			if !relClose(r.Mean(), wantMean, runningTol) {
+				t.Fatalf("step %d: Mean = %v, want %v", i, r.Mean(), wantMean)
+			}
+		}
+	}
+	if r.Count() != window {
+		t.Fatalf("Count after sliding = %d", r.Count())
+	}
+}
+
+func TestRunningDegenerate(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 {
+		t.Fatal("empty running stats should be zero")
+	}
+	r.Add(5)
+	if r.Variance() != 0 {
+		t.Fatalf("single-sample variance = %v", r.Variance())
+	}
+}
+
+func TestRunningPairMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := randomSeries(rng, 191)
+	y := randomSeries(rng, 191)
+	r, err := NewRunningPairFrom(x, y)
+	if err != nil {
+		t.Fatalf("NewRunningPairFrom: %v", err)
+	}
+
+	wantCov, _ := CovarianceOf(x, y)
+	if !relClose(r.Covariance(), wantCov, runningTol) {
+		t.Fatalf("Covariance = %v, want %v", r.Covariance(), wantCov)
+	}
+	wantDot, _ := DotProductOf(x, y)
+	if !relClose(r.DotProduct(), wantDot, runningTol) {
+		t.Fatalf("DotProduct = %v, want %v", r.DotProduct(), wantDot)
+	}
+	wantCorr, _ := CorrelationOf(x, y)
+	gotCorr, err := r.Correlation()
+	if err != nil {
+		t.Fatalf("Correlation: %v", err)
+	}
+	if !relClose(gotCorr, wantCorr, 1e-8) {
+		t.Fatalf("Correlation = %v, want %v", gotCorr, wantCorr)
+	}
+	sums := r.Sums()
+	if !relClose(sums[0], SumOf(x), runningTol) || !relClose(sums[1], SumOf(y), runningTol) {
+		t.Fatalf("Sums = %v", sums)
+	}
+
+	cov := r.CovarianceMatrix()
+	vx, _ := VarianceOf(x)
+	vy, _ := VarianceOf(y)
+	if !relClose(cov.At(0, 0), vx, runningTol) || !relClose(cov.At(1, 1), vy, runningTol) ||
+		!relClose(cov.At(0, 1), wantCov, runningTol) {
+		t.Fatalf("CovarianceMatrix = %v", cov)
+	}
+	gram := r.GramMatrix()
+	sqx, _ := DotProductOf(x, x)
+	if !relClose(gram.At(0, 0), sqx, runningTol) || !relClose(gram.At(0, 1), wantDot, runningTol) {
+		t.Fatalf("GramMatrix = %v", gram)
+	}
+}
+
+func TestRunningPairLengthMismatch(t *testing.T) {
+	if _, err := NewRunningPairFrom([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestRunningPairCorrelationZeroNormalizer(t *testing.T) {
+	r, err := NewRunningPairFrom([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("NewRunningPairFrom: %v", err)
+	}
+	if _, err := r.Correlation(); err != ErrZeroNormalizer {
+		t.Fatalf("constant series correlation error = %v", err)
+	}
+}
+
+func TestRunningPairLineFit(t *testing.T) {
+	// y = 3x − 2 exactly: zero residual fraction.
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3*x[i] - 2
+	}
+	r, _ := NewRunningPairFrom(x, y)
+	a, b, q := r.LineFit()
+	if !relClose(a, 3, runningTol) || !relClose(b, -2, runningTol) {
+		t.Fatalf("LineFit = (%v, %v)", a, b)
+	}
+	if q > runningTol {
+		t.Fatalf("exact fit residual fraction = %v", q)
+	}
+
+	// A constant x degenerates to a = 0, b = mean(y).
+	cx := []float64{4, 4, 4}
+	cy := []float64{1, 2, 6}
+	rc, _ := NewRunningPairFrom(cx, cy)
+	a, b, q = rc.LineFit()
+	if a != 0 || !relClose(b, 3, runningTol) || q != 0 {
+		t.Fatalf("degenerate LineFit = (%v, %v, %v)", a, b, q)
+	}
+
+	// Uncorrelated noise against x: residual fraction close to 1.
+	rng := rand.New(rand.NewSource(3))
+	nx := randomSeries(rng, 512)
+	ny := randomSeries(rng, 512)
+	rn, _ := NewRunningPairFrom(nx, ny)
+	_, _, q = rn.LineFit()
+	if q < 0.5 || q > 1 {
+		t.Fatalf("noise residual fraction = %v", q)
+	}
+}
+
+// TestRunningPairSlidingWindow checks joint statistics across add/evict
+// cycles against from-scratch computation.
+func TestRunningPairSlidingWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const window = 48
+	xs := randomSeries(rng, 1024)
+	ys := randomSeries(rng, 1024)
+
+	r, _ := NewRunningPairFrom(xs[:window], ys[:window])
+	for i := window; i < len(xs); i++ {
+		r.Add(xs[i], ys[i])
+		r.Evict(xs[i-window], ys[i-window])
+		if i%131 == 0 {
+			cx := xs[i-window+1 : i+1]
+			cy := ys[i-window+1 : i+1]
+			wantCov, _ := CovarianceOf(cx, cy)
+			if !relClose(r.Covariance(), wantCov, runningTol) {
+				t.Fatalf("step %d: Covariance = %v, want %v", i, r.Covariance(), wantCov)
+			}
+			wantDot, _ := DotProductOf(cx, cy)
+			if !relClose(r.DotProduct(), wantDot, runningTol) {
+				t.Fatalf("step %d: DotProduct = %v, want %v", i, r.DotProduct(), wantDot)
+			}
+		}
+	}
+}

@@ -122,6 +122,18 @@ type Stats struct {
 	PrunedRelationships int
 }
 
+// Assignment records the pivot assigned to one sequence pair by the
+// exploration phase, independent of whether the fitted relationship survived
+// LSFD pruning.  The list of assignments is what a streaming refit needs to
+// re-fit relationships on a slid window without re-running the exploration.
+type Assignment struct {
+	// Pair is the sequence pair e in canonical (U < V) order.
+	Pair timeseries.Pair
+	// Pivot is the pivot pair assigned to e; Pivot.Common identifies which
+	// member of the pair is kept as the common series.
+	Pivot Pivot
+}
+
 // Result is the output of SYMEX/SYMEX+: the affine relationship hash map
 // (affHash), the pivot pair map (pivotHash) and the clustering they are based
 // on.
@@ -133,6 +145,11 @@ type Result struct {
 	// to it (the paper's pivotHash, with the assignment lists that the SCAPE
 	// index needs).
 	Pivots map[Pivot][]timeseries.Pair
+	// Assignments is the full pair→pivot assignment produced by the
+	// exploration, including pairs whose relationship was pruned by the
+	// MaxLSFD bound.  Refit uses it to rebuild relationships on new window
+	// contents without re-exploring.
+	Assignments []Assignment
 	// Clustering is the AFCLST result used to build pivot pairs.
 	Clustering *cluster.Result
 	// Stats holds work counters.
@@ -249,7 +266,11 @@ func Compute(d *timeseries.DataMatrix, opts Options) (*Result, error) {
 	res := &Result{
 		Relationships: make(map[timeseries.Pair]*Relationship, len(fitted)),
 		Pivots:        make(map[Pivot][]timeseries.Pair),
+		Assignments:   make([]Assignment, 0, len(ex.assignments)),
 		Clustering:    clustering,
+	}
+	for _, a := range ex.assignments {
+		res.Assignments = append(res.Assignments, Assignment{Pair: a.pair, Pivot: a.pivot})
 	}
 	pruned := 0
 	for _, fr := range fitted {

@@ -78,10 +78,17 @@ func (p Pair) Other(id SeriesID) (SeriesID, error) {
 //
 // Storage is column-major (one contiguous slice per series) because every
 // Affinity algorithm accesses whole series at a time.
+//
+// A data matrix can act as a sliding window over an unbounded stream:
+// AppendSamples adds new samples to the right edge of every series and
+// SlideWindow evicts the oldest samples from the left edge.  The start index
+// records how many samples have been evicted over the matrix's lifetime, so
+// sample i of the current window is logical stream position start+i.
 type DataMatrix struct {
 	names  []string    // optional per-series names, len n (may be empty strings)
 	series [][]float64 // n slices of length m
 	m      int         // samples per series
+	start  int         // logical stream index of the first retained sample
 }
 
 // NewDataMatrix builds a data matrix from n series of equal length.  The
@@ -134,6 +141,107 @@ func (d *DataMatrix) NumSeries() int { return len(d.series) }
 
 // NumSamples returns m, the number of samples per series.
 func (d *DataMatrix) NumSamples() int { return d.m }
+
+// StartIndex returns the logical stream position of the first retained
+// sample: the total number of samples evicted by SlideWindow (and SlideCopy)
+// over the matrix's lifetime.  A matrix that never slid has start index 0.
+func (d *DataMatrix) StartIndex() int { return d.start }
+
+// AppendSamples extends every series by the given batch of new samples:
+// batch[v] holds the samples to append to series v, and all batches must have
+// the same length.  An empty batch length is a no-op.  The samples are copied.
+func (d *DataMatrix) AppendSamples(batch [][]float64) error {
+	if len(batch) != len(d.series) {
+		return fmt.Errorf("%w: batch for %d series, matrix has %d",
+			ErrShapeMismatch, len(batch), len(d.series))
+	}
+	if len(d.series) == 0 {
+		return fmt.Errorf("%w: cannot append samples to an empty matrix", ErrShapeMismatch)
+	}
+	grow := len(batch[0])
+	for v, b := range batch {
+		if len(b) != grow {
+			return fmt.Errorf("%w: batch for series %d has %d samples, want %d",
+				ErrShapeMismatch, v, len(b), grow)
+		}
+		if mat.HasNaN(b) {
+			return fmt.Errorf("timeseries: batch for series %d contains NaN or Inf", v)
+		}
+	}
+	if grow == 0 {
+		return nil
+	}
+	for v := range d.series {
+		d.series[v] = append(d.series[v], batch[v]...)
+	}
+	d.m += grow
+	return nil
+}
+
+// SlideWindow evicts the oldest count samples from every series, advancing
+// the window's start index.  At least one sample must remain.  The eviction
+// reslices in place; backing memory is reclaimed on the next SlideCopy or
+// Clone.
+func (d *DataMatrix) SlideWindow(count int) error {
+	if count < 0 || count >= d.m {
+		return fmt.Errorf("%w: cannot evict %d of %d samples", ErrShapeMismatch, count, d.m)
+	}
+	if count == 0 {
+		return nil
+	}
+	for v := range d.series {
+		d.series[v] = d.series[v][count:]
+	}
+	d.m -= count
+	d.start += count
+	return nil
+}
+
+// SlideCopy returns a new data matrix whose window holds the most recent
+// NumSamples() samples of every series after appending the batch: the window
+// length stays fixed, the oldest len(batch[v]) samples are evicted, and the
+// start index advances accordingly.  The receiver is not modified, so query
+// paths holding a reference to it keep observing the old window — this is the
+// copy-on-write primitive behind the engine's epoch swap.
+//
+// A batch longer than the window replaces the window entirely (only its most
+// recent NumSamples() entries are retained).
+func (d *DataMatrix) SlideCopy(batch [][]float64) (*DataMatrix, error) {
+	if len(batch) != len(d.series) {
+		return nil, fmt.Errorf("%w: batch for %d series, matrix has %d",
+			ErrShapeMismatch, len(batch), len(d.series))
+	}
+	if len(d.series) == 0 {
+		return nil, fmt.Errorf("%w: cannot slide an empty matrix", ErrShapeMismatch)
+	}
+	slide := len(batch[0])
+	for v, b := range batch {
+		if len(b) != slide {
+			return nil, fmt.Errorf("%w: batch for series %d has %d samples, want %d",
+				ErrShapeMismatch, v, len(b), slide)
+		}
+		if mat.HasNaN(b) {
+			return nil, fmt.Errorf("timeseries: batch for series %d contains NaN or Inf", v)
+		}
+	}
+	out := &DataMatrix{
+		names:  append([]string(nil), d.names...),
+		series: make([][]float64, len(d.series)),
+		m:      d.m,
+		start:  d.start + slide,
+	}
+	for v, s := range d.series {
+		w := make([]float64, d.m)
+		if slide >= d.m {
+			copy(w, batch[v][slide-d.m:])
+		} else {
+			copy(w, s[slide:])
+			copy(w[d.m-slide:], batch[v])
+		}
+		out.series[v] = w
+	}
+	return out, nil
+}
 
 // Name returns the name of series id (empty when unnamed).
 func (d *DataMatrix) Name(id SeriesID) string {
@@ -258,6 +366,7 @@ func (d *DataMatrix) Window(start, end int) (*DataMatrix, error) {
 			return nil, err
 		}
 	}
+	out.start = d.start + start
 	return out, nil
 }
 
@@ -271,9 +380,10 @@ func (d *DataMatrix) Matrix() (*mat.Matrix, error) {
 	return mat.NewFromColumns(d.series...)
 }
 
-// Clone returns a deep copy of the data matrix.
+// Clone returns a deep copy of the data matrix (compacting any backing
+// memory retained by a previous in-place SlideWindow).
 func (d *DataMatrix) Clone() *DataMatrix {
-	out := &DataMatrix{m: d.m}
+	out := &DataMatrix{m: d.m, start: d.start}
 	out.names = append([]string(nil), d.names...)
 	out.series = make([][]float64, len(d.series))
 	for i, s := range d.series {

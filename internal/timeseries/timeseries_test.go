@@ -398,3 +398,141 @@ func TestBinaryCorruption(t *testing.T) {
 		t.Fatal("empty input should error")
 	}
 }
+
+func TestAppendSamplesAndSlideWindow(t *testing.T) {
+	d := sample3x4()
+	if d.StartIndex() != 0 {
+		t.Fatalf("fresh StartIndex = %d", d.StartIndex())
+	}
+	if err := d.AppendSamples([][]float64{{10, 11}, {20, 22}, {5, 5}}); err != nil {
+		t.Fatalf("AppendSamples: %v", err)
+	}
+	if d.NumSamples() != 6 {
+		t.Fatalf("NumSamples after append = %d", d.NumSamples())
+	}
+	s, _ := d.Series(0)
+	want := []float64{1, 2, 3, 4, 10, 11}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("series 0 after append = %v, want %v", s, want)
+		}
+	}
+	if err := d.SlideWindow(2); err != nil {
+		t.Fatalf("SlideWindow: %v", err)
+	}
+	if d.NumSamples() != 4 || d.StartIndex() != 2 {
+		t.Fatalf("after slide: m=%d start=%d", d.NumSamples(), d.StartIndex())
+	}
+	s, _ = d.Series(0)
+	want = []float64{3, 4, 10, 11}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("series 0 after slide = %v, want %v", s, want)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after slide: %v", err)
+	}
+}
+
+func TestAppendSamplesErrors(t *testing.T) {
+	d := sample3x4()
+	if err := d.AppendSamples([][]float64{{1}, {2}}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("wrong batch width error = %v", err)
+	}
+	if err := d.AppendSamples([][]float64{{1}, {2, 3}, {4}}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("ragged batch error = %v", err)
+	}
+	if err := d.AppendSamples([][]float64{{1}, {math.NaN()}, {4}}); err == nil {
+		t.Fatal("NaN batch should be rejected")
+	}
+	if err := d.AppendSamples([][]float64{{}, {}, {}}); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+	if d.NumSamples() != 4 {
+		t.Fatalf("NumSamples after failed appends = %d", d.NumSamples())
+	}
+}
+
+func TestSlideWindowErrors(t *testing.T) {
+	d := sample3x4()
+	if err := d.SlideWindow(4); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("evicting the whole window should fail, got %v", err)
+	}
+	if err := d.SlideWindow(-1); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("negative eviction error = %v", err)
+	}
+	if err := d.SlideWindow(0); err != nil {
+		t.Fatalf("zero eviction should be a no-op, got %v", err)
+	}
+}
+
+func TestSlideCopy(t *testing.T) {
+	d := sample3x4()
+	next, err := d.SlideCopy([][]float64{{10, 11}, {20, 22}, {6, 7}})
+	if err != nil {
+		t.Fatalf("SlideCopy: %v", err)
+	}
+	// Receiver unchanged (copy-on-write).
+	if d.NumSamples() != 4 || d.StartIndex() != 0 {
+		t.Fatalf("receiver modified: m=%d start=%d", d.NumSamples(), d.StartIndex())
+	}
+	old, _ := d.Series(0)
+	if old[0] != 1 {
+		t.Fatalf("receiver samples modified: %v", old)
+	}
+	if next.NumSamples() != 4 || next.StartIndex() != 2 {
+		t.Fatalf("next window: m=%d start=%d", next.NumSamples(), next.StartIndex())
+	}
+	s, _ := next.Series(0)
+	want := []float64{3, 4, 10, 11}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("next series 0 = %v, want %v", s, want)
+		}
+	}
+	if next.Name(2) != "c" {
+		t.Fatalf("names not preserved: %q", next.Name(2))
+	}
+}
+
+func TestSlideCopyBatchLongerThanWindow(t *testing.T) {
+	d := sample3x4()
+	batch := [][]float64{
+		{10, 11, 12, 13, 14, 15},
+		{20, 21, 22, 23, 24, 25},
+		{30, 31, 32, 33, 34, 35},
+	}
+	next, err := d.SlideCopy(batch)
+	if err != nil {
+		t.Fatalf("SlideCopy: %v", err)
+	}
+	if next.NumSamples() != 4 || next.StartIndex() != 6 {
+		t.Fatalf("next window: m=%d start=%d", next.NumSamples(), next.StartIndex())
+	}
+	s, _ := next.Series(1)
+	want := []float64{22, 23, 24, 25}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("next series 1 = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestWindowAndCloneTrackStartIndex(t *testing.T) {
+	d := sample3x4()
+	if err := d.SlideWindow(1); err != nil {
+		t.Fatalf("SlideWindow: %v", err)
+	}
+	c := d.Clone()
+	if c.StartIndex() != 1 {
+		t.Fatalf("Clone StartIndex = %d", c.StartIndex())
+	}
+	w, err := d.Window(1, 3)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if w.StartIndex() != 2 {
+		t.Fatalf("Window StartIndex = %d", w.StartIndex())
+	}
+}
