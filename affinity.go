@@ -127,6 +127,19 @@ const (
 // Pairs for T- and D-measures.
 type Result = core.ThresholdResult
 
+// ThresholdQuery describes one MET query of a ThresholdBatch.
+type ThresholdQuery = core.ThresholdQuery
+
+// RangeQuery describes one MER query of a RangeBatch.
+type RangeQuery = core.RangeQuery
+
+// ComputeQuery describes one MEC query of a ComputeBatch.
+type ComputeQuery = core.ComputeQuery
+
+// ComputeResult is the answer to one ComputeQuery: Location for L-measures,
+// Pairwise for T- and D-measures.
+type ComputeResult = core.ComputeResult
+
 // BuildInfo describes what Engine construction produced.
 type BuildInfo = core.BuildInfo
 
@@ -192,6 +205,10 @@ type StreamOptions struct {
 	// from the raw window every this many epochs (default 64), bounding
 	// floating-point drift of the running sums.
 	StatsRefreshEvery int
+	// Parallelism overrides Options.Parallelism for Advance-time work
+	// (drift scoring, refits, summary and index rebuilds).  Zero inherits
+	// Options.Parallelism.  Results are identical at any level.
+	Parallelism int
 }
 
 // AdvanceInfo describes one streaming epoch transition.
@@ -212,9 +229,11 @@ type Options struct {
 	DisablePseudoInverseCache bool
 	// SkipIndex skips the SCAPE index when only MEC queries are needed.
 	SkipIndex bool
-	// Parallelism is the number of goroutines used to fit affine
-	// relationships during the build (0 or 1 = sequential; results are
-	// identical at any level).
+	// Parallelism is the number of worker goroutines used across the whole
+	// hot path: clustering, relationship fitting, pivot summaries, SCAPE
+	// index construction, Advance maintenance and sharded/batched query
+	// scans (0 or 1 = sequential).  Every parallel stage merges its shards
+	// in a deterministic order, so results are identical at any level.
 	Parallelism int
 	// MaxLSFD, when positive, prunes low-quality affine relationships whose
 	// LSFD exceeds the bound.  Queries on pruned pairs transparently fall
@@ -246,6 +265,7 @@ func New(d *Dataset, opts Options) (*Engine, error) {
 			DriftBound:        opts.Stream.DriftBound,
 			AutoAdvance:       opts.Stream.AutoAdvance,
 			StatsRefreshEvery: opts.Stream.StatsRefreshEvery,
+			Parallelism:       opts.Stream.Parallelism,
 		},
 	})
 	if err != nil {
@@ -292,6 +312,28 @@ func (e *Engine) Range(m Measure, lo, hi float64, method Method) (Result, error)
 	return e.inner.Range(m, lo, hi, method)
 }
 
+// ThresholdBatch answers k MET queries in one pass: the whole batch is served
+// from a single epoch (a concurrent Advance cannot split it), queries on the
+// same measure share one sweep with the per-pair values and normalizers
+// computed once, and index queries share the pivot-node traversal.  out[i]
+// equals the result of the corresponding single Threshold call, in the same
+// order.
+func (e *Engine) ThresholdBatch(qs []ThresholdQuery, method Method) ([]Result, error) {
+	return e.inner.ThresholdBatch(qs, method)
+}
+
+// RangeBatch answers k MER queries in one pass, with the same sharing and
+// equivalence guarantees as ThresholdBatch.
+func (e *Engine) RangeBatch(qs []RangeQuery, method Method) ([]Result, error) {
+	return e.inner.RangeBatch(qs, method)
+}
+
+// ComputeBatch answers k MEC queries against a single epoch; out[i] equals
+// the corresponding ComputeLocation/ComputePairwise result.
+func (e *Engine) ComputeBatch(qs []ComputeQuery, method Method) ([]ComputeResult, error) {
+	return e.inner.ComputeBatch(qs, method)
+}
+
 // Append buffers one newly arrived tick — one sample per series, in series
 // order — for the next Advance.  With StreamOptions.AutoAdvance set, Append
 // advances the window automatically at the configured buffer size.  Append
@@ -331,6 +373,7 @@ func NewFromSnapshot(d *Dataset, r io.Reader, opts Options) (*Engine, error) {
 			DriftBound:        opts.Stream.DriftBound,
 			AutoAdvance:       opts.Stream.AutoAdvance,
 			StatsRefreshEvery: opts.Stream.StatsRefreshEvery,
+			Parallelism:       opts.Stream.Parallelism,
 		},
 	})
 	if err != nil {

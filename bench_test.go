@@ -13,6 +13,7 @@ package affinity
 
 import (
 	"flag"
+	"fmt"
 	"testing"
 
 	"affinity/internal/core"
@@ -451,4 +452,120 @@ func BenchmarkStreamQueryDuringAdvance(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-done
+}
+
+// --- parallel engine benchmarks -------------------------------------------
+
+// BenchmarkParallelBuild measures the cold build at several worker counts;
+// per-phase timings are attached as metrics.  On multi-core hardware the
+// symex/summaries/index phases scale close to linearly; on a single core the
+// levels coincide (the determinism tests pin that results are identical
+// either way).
+func BenchmarkParallelBuild(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(sensor, core.Config{Clusters: 6, Seed: 42, Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelAdvance measures a full-refit Advance at several worker
+// counts.
+func BenchmarkParallelAdvance(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			sensor, err := experiments.GenerateSensorOnly(benchScale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine, err := core.Build(sensor, core.Config{Clusters: 6, Seed: 42, Parallelism: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := sensor.NumSeries()
+			tick := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < 5; s++ {
+					if err := engine.Append(tick); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := engine.Advance(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelIndexThreshold measures the sharded index-method MET scan
+// at several worker counts.
+func BenchmarkParallelIndexThreshold(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			engine, err := core.Build(sensor, core.Config{Clusters: 6, Seed: 42, Parallelism: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Threshold(stats.Correlation, 0.9, scape.Above, core.MethodIndex); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkThresholdBatchVsSingles compares an 8-query ThresholdBatch with
+// the same queries issued individually (the batch shares the pivot-node
+// traversal; naive/affine batches additionally share per-pair values).
+func BenchmarkThresholdBatchVsSingles(b *testing.B) {
+	engine := benchmarkEngine(b)
+	batch := experiments.StandardThresholdBatch()
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.ThresholdBatch(batch, core.MethodIndex); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("singles", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range batch {
+				if _, err := engine.Threshold(q.Measure, q.Tau, q.Op, core.MethodIndex); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch-naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.ThresholdBatch(batch, core.MethodNaive); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("singles-naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range batch {
+				if _, err := engine.Threshold(q.Measure, q.Tau, q.Op, core.MethodNaive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }

@@ -16,16 +16,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"affinity/internal/experiments"
+	"affinity/internal/timeseries"
 )
 
 var experimentOrder = []string{
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 	"fig15", "fig16", "table4", "ablation-pinv", "ablation-pruning",
+	"parallel",
 }
 
 func main() {
@@ -38,13 +41,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("affinity-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment id: "+strings.Join(experimentOrder, ", ")+" or all")
-		seriesDiv  = fs.Int("series-div", 16, "divide the paper's number of series by this factor")
-		sampleDiv  = fs.Int("sample-div", 6, "divide the paper's samples per series by this factor")
-		seed       = fs.Int64("seed", 42, "dataset and clustering seed")
-		full       = fs.Bool("full", false, "run at the paper's full dataset scale (overrides the divisors; slow)")
+		experiment  = fs.String("experiment", "all", "experiment id: "+strings.Join(experimentOrder, ", ")+" or all")
+		seriesDiv   = fs.Int("series-div", 16, "divide the paper's number of series by this factor")
+		sampleDiv   = fs.Int("sample-div", 6, "divide the paper's samples per series by this factor")
+		seed        = fs.Int64("seed", 42, "dataset and clustering seed")
+		full        = fs.Bool("full", false, "run at the paper's full dataset scale (overrides the divisors; slow)")
+		parallelism = fs.String("parallelism", "1,2,4,8", "comma-separated worker counts for the parallel experiment")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	levels, err := parseLevels(*parallelism)
+	if err != nil {
 		return err
 	}
 
@@ -63,7 +71,7 @@ func run(args []string, out io.Writer) error {
 	for _, id := range ids {
 		start := time.Now()
 		fmt.Fprintf(out, "=== %s ===\n", id)
-		if err := runExperiment(id, scale, out); err != nil {
+		if err := runExperiment(id, scale, levels, out); err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
 		fmt.Fprintf(out, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
@@ -71,7 +79,27 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func runExperiment(id string, scale experiments.Scale, out io.Writer) error {
+// parseLevels parses the -parallelism flag ("1,2,4,8").
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -parallelism entry %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-parallelism lists no levels")
+	}
+	return out, nil
+}
+
+func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writer) error {
 	switch id {
 	case "table3":
 		rows, err := experiments.Table3(scale)
@@ -232,6 +260,48 @@ func runExperiment(id string, scale experiments.Scale, out io.Writer) error {
 			fmt.Fprintf(w, "%.2f\t%d\t%v\t%v\t%.2fx\t%v\n", r.Threshold, r.ResultSize,
 				r.WithPruning.Round(time.Microsecond), r.WithoutPruning.Round(time.Microsecond),
 				r.PruningSpeedup, r.ResultsIdentical)
+		}
+		return w.Flush()
+
+	case "parallel":
+		// Runs on stock-data — the scale the ROADMAP's query-throughput goal
+		// is stated against (996 series at -series-div 1).
+		ds, err := experiments.GenerateDatasets(scale)
+		if err != nil {
+			return err
+		}
+		stock := ds.Stock
+		// One Advance worth of ticks: re-use the last samples of the window
+		// as a synthetic slide (the timing, not the values, is the point).
+		const slide = 5
+		n := stock.NumSeries()
+		ticks := make([][]float64, slide)
+		for s := range ticks {
+			tick := make([]float64, n)
+			for v := 0; v < n; v++ {
+				series, err := stock.Series(timeseries.SeriesID(v))
+				if err != nil {
+					return err
+				}
+				tick[v] = series[len(series)-slide+s]
+			}
+			ticks[s] = tick
+		}
+		rows, err := experiments.ParallelScaling(stock, ticks, 6, scale.Seed, levels)
+		if err != nil {
+			return err
+		}
+		w := newTable(out)
+		fmt.Fprintln(w, "P\tcluster\tsymex\tsummaries\tindex\tbuild total\tadvance\tMET SCAPE\tMET WA\tbatch(8)\tsingles(8)\tresults")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%v\t%v\t%v\t%v\t%v\t%v\t%v\t%v\t%v\t%v\t%d\n",
+				r.Parallelism,
+				r.ClusterTime.Round(time.Microsecond), r.SymexTime.Round(time.Microsecond),
+				r.SummaryTime.Round(time.Microsecond), r.IndexTime.Round(time.Microsecond),
+				r.BuildTotal.Round(time.Microsecond), r.AdvanceTime.Round(time.Microsecond),
+				r.ThresholdIndexTime.Round(time.Microsecond), r.ThresholdAffineTime.Round(time.Microsecond),
+				r.BatchTime.Round(time.Microsecond), r.SingleLoopTime.Round(time.Microsecond),
+				r.ThresholdResultSize)
 		}
 		return w.Flush()
 

@@ -1,0 +1,179 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// decodeKeys turns fuzz bytes into a bounded list of finite float64 keys.
+// Values are folded into a modest range so duplicates (the interesting case
+// for stable-tie scans) actually occur.
+func decodeKeys(data []byte) []float64 {
+	const maxKeys = 512
+	var keys []float64
+	for len(data) >= 8 && len(keys) < maxKeys {
+		bits := binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		// Fold into [-16, 16] and quantize to provoke duplicate keys.
+		v = math.Mod(v, 16)
+		v = math.Round(v*8) / 8
+		keys = append(keys, v)
+	}
+	return keys
+}
+
+// oracleEntry mirrors a tree entry: key plus insertion index (the value),
+// which doubles as the tie-break check because equal keys must scan in
+// insertion order.
+type oracleEntry struct {
+	key float64
+	seq int
+}
+
+// FuzzTreeVsSortedSliceOracle cross-checks every scan entry point of the
+// B+-tree against a stable-sorted slice.
+func FuzzTreeVsSortedSliceOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(mustBytes(1.0, 2.0, 3.0))
+	f.Add(mustBytes(3.0, 2.0, 1.0, 2.0, 2.0, 2.0))
+	f.Add(mustBytes(0.5, -0.5, 0.5, -0.5, 0, 0, 0))
+	many := make([]float64, 200)
+	for i := range many {
+		many[i] = float64(i%17) - 8
+	}
+	f.Add(mustBytes(many...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys := decodeKeys(data)
+		tree := New[int]()
+		oracle := make([]oracleEntry, 0, len(keys))
+		for i, k := range keys {
+			tree.Insert(k, i)
+			oracle = append(oracle, oracleEntry{key: k, seq: i})
+		}
+		sort.SliceStable(oracle, func(i, j int) bool { return oracle[i].key < oracle[j].key })
+
+		if tree.Len() != len(oracle) {
+			t.Fatalf("Len = %d, want %d", tree.Len(), len(oracle))
+		}
+
+		// Full ascend: exact order including ties.
+		var got []oracleEntry
+		tree.Ascend(func(k float64, v int) bool {
+			got = append(got, oracleEntry{key: k, seq: v})
+			return true
+		})
+		if len(got) != len(oracle) {
+			t.Fatalf("Ascend visited %d entries, want %d", len(got), len(oracle))
+		}
+		for i := range got {
+			if got[i] != oracle[i] {
+				t.Fatalf("Ascend[%d] = %+v, want %+v", i, got[i], oracle[i])
+			}
+		}
+
+		// Range scans from pivots drawn from the key set (plus off-key
+		// probes in between).
+		pivots := probePivots(keys)
+		for _, p := range pivots {
+			var ge []oracleEntry
+			tree.AscendGreaterOrEqual(p, func(k float64, v int) bool {
+				ge = append(ge, oracleEntry{key: k, seq: v})
+				return true
+			})
+			var wantGE []oracleEntry
+			for _, e := range oracle {
+				if e.key >= p {
+					wantGE = append(wantGE, e)
+				}
+			}
+			assertSame(t, "AscendGreaterOrEqual", p, ge, wantGE)
+
+			var lt []oracleEntry
+			tree.AscendLessThan(p, func(k float64, v int) bool {
+				lt = append(lt, oracleEntry{key: k, seq: v})
+				return true
+			})
+			var wantLT []oracleEntry
+			for _, e := range oracle {
+				if e.key < p {
+					wantLT = append(wantLT, e)
+				}
+			}
+			assertSame(t, "AscendLessThan", p, lt, wantLT)
+
+			for _, q := range pivots {
+				if q < p {
+					continue
+				}
+				want := 0
+				for _, e := range oracle {
+					if e.key >= p && e.key <= q {
+						want++
+					}
+				}
+				if got := tree.CountRange(p, q); got != want {
+					t.Fatalf("CountRange(%v, %v) = %d, want %d", p, q, got, want)
+				}
+			}
+		}
+
+		// Min/Max keys.
+		if len(oracle) > 0 {
+			if k, ok := tree.MinKey(); !ok || k != oracle[0].key {
+				t.Fatalf("MinKey = %v,%v want %v", k, ok, oracle[0].key)
+			}
+			if k, ok := tree.MaxKey(); !ok || k != oracle[len(oracle)-1].key {
+				t.Fatalf("MaxKey = %v,%v want %v", k, ok, oracle[len(oracle)-1].key)
+			}
+		} else {
+			if _, ok := tree.MinKey(); ok {
+				t.Fatal("MinKey on empty tree reported ok")
+			}
+		}
+	})
+}
+
+// probePivots returns a few scan pivots: existing keys and midpoints.
+func probePivots(keys []float64) []float64 {
+	const maxPivots = 8
+	out := []float64{0}
+	for i, k := range keys {
+		if len(out) >= maxPivots {
+			break
+		}
+		out = append(out, k)
+		if i > 0 {
+			out = append(out, (k+keys[i-1])/2)
+		}
+	}
+	return out
+}
+
+func assertSame(t *testing.T, scan string, pivot float64, got, want []oracleEntry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s(%v) visited %d entries, want %d", scan, pivot, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s(%v)[%d] = %+v, want %+v", scan, pivot, i, got[i], want[i])
+		}
+	}
+}
+
+func mustBytes(values ...float64) []byte {
+	out := make([]byte, 0, len(values)*8)
+	for _, v := range values {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		out = append(out, b[:]...)
+	}
+	return out
+}

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"affinity/internal/mat"
+	"affinity/internal/par"
 	"affinity/internal/timeseries"
 )
 
@@ -50,6 +51,12 @@ type Config struct {
 	// Seed controls the random initialization of cluster centers.  Two runs
 	// with the same seed and input produce identical clusterings.
 	Seed int64
+	// Parallelism is the number of goroutines used for the assignment phase
+	// (sharded by series) and the update phase (one member-matrix SVD per
+	// cluster).  Zero or one runs sequentially; the clustering is identical
+	// at any level — per-series assignments and per-cluster centers are
+	// independent computations merged in index order.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -177,24 +184,37 @@ func Run(d *timeseries.DataMatrix, cfg Config) (*Result, error) {
 		result.Iterations = iter + 1
 
 		// Assignment phase: each series goes to the center with the smallest
-		// orthogonal projection error (Algorithm 1, lines 7-15).
-		changes := 0
-		for v := 0; v < n; v++ {
-			s, err := d.Series(timeseries.SeriesID(v))
-			if err != nil {
-				return nil, err
-			}
-			best, bestErr := 0, mat.ProjectionError(s, centers[0])
-			for l := 1; l < cfg.K; l++ {
-				if e := mat.ProjectionError(s, centers[l]); e < bestErr {
-					best, bestErr = l, e
+		// orthogonal projection error (Algorithm 1, lines 7-15).  Series are
+		// independent, so the phase shards by series block; each block counts
+		// its own changes and the counts are summed afterwards.
+		blocks := par.Blocks(n, cfg.Parallelism)
+		blockChanges := make([]int, len(blocks))
+		err := par.Do(len(blocks), cfg.Parallelism, func(b int) error {
+			for v := blocks[b].Lo; v < blocks[b].Hi; v++ {
+				s, err := d.Series(timeseries.SeriesID(v))
+				if err != nil {
+					return err
 				}
+				best, bestErr := 0, mat.ProjectionError(s, centers[0])
+				for l := 1; l < cfg.K; l++ {
+					if e := mat.ProjectionError(s, centers[l]); e < bestErr {
+						best, bestErr = l, e
+					}
+				}
+				if assignment[v] != best {
+					blockChanges[b]++
+					assignment[v] = best
+				}
+				projErrors[v] = bestErr
 			}
-			if assignment[v] != best {
-				changes++
-				assignment[v] = best
-			}
-			projErrors[v] = bestErr
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		changes := 0
+		for _, c := range blockChanges {
+			changes += c
 		}
 
 		// Convergence check (Algorithm 1, lines 16-17).
@@ -206,30 +226,45 @@ func Run(d *timeseries.DataMatrix, cfg Config) (*Result, error) {
 		// Update phase: each center becomes the dominant left singular vector
 		// of the matrix of its members (Algorithm 1, lines 18-23).  An empty
 		// cluster is re-seeded from a random series so that exactly k centers
-		// survive.
+		// survive; the re-seeds run first, sequentially and in cluster order,
+		// so the RNG consumption is identical at any parallelism, and the
+		// (RNG-free) member-matrix SVDs then fan out one per cluster.
+		members := make([][]timeseries.SeriesID, cfg.K)
+		for v, c := range assignment {
+			members[c] = append(members[c], timeseries.SeriesID(v))
+		}
+		var nonEmpty []int
 		for l := 0; l < cfg.K; l++ {
-			members := membersOf(assignment, l)
-			if len(members) == 0 {
+			if len(members[l]) == 0 {
 				centers[l] = randomUnitColumn(d, rng)
-				continue
+			} else {
+				nonEmpty = append(nonEmpty, l)
 			}
+		}
+		err = par.Do(len(nonEmpty), cfg.Parallelism, func(i int) error {
+			l := nonEmpty[i]
+			members := members[l]
 			cols := make([][]float64, len(members))
 			for i, v := range members {
 				s, err := d.Series(v)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				cols[i] = s
 			}
 			memberMatrix, err := mat.NewFromColumns(cols...)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			center, err := mat.DominantLeftSingularVector(memberMatrix)
 			if err != nil {
-				return nil, fmt.Errorf("cluster: updating center %d: %w", l, err)
+				return fmt.Errorf("cluster: updating center %d: %w", l, err)
 			}
 			centers[l] = center
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	return result, nil
@@ -270,14 +305,4 @@ func randomUnitColumn(d *timeseries.DataMatrix, rng *rand.Rand) []float64 {
 		out[i] = rng.NormFloat64()
 	}
 	return mat.Normalize(out)
-}
-
-func membersOf(assignment []int, l int) []timeseries.SeriesID {
-	var out []timeseries.SeriesID
-	for v, c := range assignment {
-		if c == l {
-			out = append(out, timeseries.SeriesID(v))
-		}
-	}
-	return out
 }

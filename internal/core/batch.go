@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"affinity/internal/par"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// This file implements the batched query API: k MET/MER/MEC queries answered
+// against one epoch in one pass.  Batching buys three things over a loop of
+// single calls:
+//
+//   - epoch pinning: the whole batch is answered from one engineState, so a
+//     concurrent Advance cannot split a batch across epochs;
+//   - shared scans: naive and affine pairwise queries over the same measure
+//     share one sweep over the sequence pairs — each pair's value (and its
+//     derived-measure normalizer) is computed once and tested against every
+//     query's predicate; index queries share the pivot-node traversal
+//     (scape.PairBatch visits every pivot node once for the whole batch);
+//   - parallelism: the shared sweeps shard across the engine's worker pool.
+//
+// Results are guaranteed — and pinned by TestBatchMatchesSingleQueries — to
+// equal the corresponding sequence of single-query calls, element for
+// element, in the same order.
+
+// ThresholdQuery describes one MET query of a batch.
+type ThresholdQuery struct {
+	Measure stats.Measure
+	Tau     float64
+	Op      scape.ThresholdOp
+}
+
+// RangeQuery describes one MER query of a batch.
+type RangeQuery struct {
+	Measure stats.Measure
+	Lo, Hi  float64
+}
+
+// ComputeQuery describes one MEC query of a batch: an L-measure over IDs
+// (answered in Location) or a pairwise measure over IDs (answered in
+// Pairwise).
+type ComputeQuery struct {
+	Measure stats.Measure
+	IDs     []timeseries.SeriesID
+}
+
+// ComputeResult is the answer to one ComputeQuery.
+type ComputeResult struct {
+	Location []float64
+	Pairwise [][]float64
+}
+
+// ThresholdBatch answers a batch of MET queries with the selected method.
+// out[i] corresponds to qs[i] and is identical to Threshold(qs[i]...).
+func (e *Engine) ThresholdBatch(qs []ThresholdQuery, method Method) ([]ThresholdResult, error) {
+	return e.state().thresholdBatch(qs, method)
+}
+
+// RangeBatch answers a batch of MER queries with the selected method.
+// out[i] corresponds to qs[i] and is identical to Range(qs[i]...).
+func (e *Engine) RangeBatch(qs []RangeQuery, method Method) ([]ThresholdResult, error) {
+	return e.state().rangeBatch(qs, method)
+}
+
+// ComputeBatch answers a batch of MEC queries with the selected method.
+// out[i] corresponds to qs[i] and is identical to the matching
+// ComputeLocation/ComputePairwise call.
+func (e *Engine) ComputeBatch(qs []ComputeQuery, method Method) ([]ComputeResult, error) {
+	return e.state().computeBatch(qs, method)
+}
+
+// pairPredicate is the filter form shared by MET and MER pair queries.
+type pairPredicate struct {
+	measure stats.Measure
+	keep    func(float64) bool
+}
+
+// batchItem is one validated query of a MET/MER batch in dispatch form:
+// either a location query answered directly, or a pairwise query carrying
+// both its index form (scape.PairQuery) and its sweep form (pairPredicate).
+type batchItem struct {
+	location  func() (ThresholdResult, error)
+	pairQuery scape.PairQuery
+	pred      pairPredicate
+}
+
+func (e *engineState) thresholdBatch(qs []ThresholdQuery, method Method) ([]ThresholdResult, error) {
+	items := make([]batchItem, len(qs))
+	for i, q := range qs {
+		q := q
+		if q.Op != scape.Above && q.Op != scape.Below {
+			return nil, fmt.Errorf("core: unknown threshold operator %d", int(q.Op))
+		}
+		if q.Measure.Class() == stats.LocationClass {
+			items[i] = batchItem{location: func() (ThresholdResult, error) {
+				return e.threshold(q.Measure, q.Tau, q.Op, method)
+			}}
+			continue
+		}
+		items[i] = batchItem{
+			pairQuery: scape.PairQuery{Measure: q.Measure, Tau: q.Tau, Op: q.Op},
+			pred:      pairPredicate{measure: q.Measure, keep: thresholdKeep(q.Tau, q.Op == scape.Above)},
+		}
+	}
+	return e.runBatch(items, method)
+}
+
+func (e *engineState) rangeBatch(qs []RangeQuery, method Method) ([]ThresholdResult, error) {
+	items := make([]batchItem, len(qs))
+	for i, q := range qs {
+		q := q
+		if q.Lo > q.Hi {
+			return nil, fmt.Errorf("core: empty range [%v, %v]", q.Lo, q.Hi)
+		}
+		if q.Measure.Class() == stats.LocationClass {
+			items[i] = batchItem{location: func() (ThresholdResult, error) {
+				return e.rangeQuery(q.Measure, q.Lo, q.Hi, method)
+			}}
+			continue
+		}
+		items[i] = batchItem{
+			pairQuery: scape.PairQuery{Measure: q.Measure, Range: true, Lo: q.Lo, Hi: q.Hi},
+			pred: pairPredicate{
+				measure: q.Measure,
+				keep:    func(v float64) bool { return v >= q.Lo && v <= q.Hi },
+			},
+		}
+	}
+	return e.runBatch(items, method)
+}
+
+// runBatch answers a validated batch: location queries run directly (there
+// is no cross-query work to share beyond the cached location vectors), while
+// the pairwise subset goes to the index's one-pass node traversal or to the
+// shared multi-predicate sweep, with results scattered back into request
+// order.
+func (e *engineState) runBatch(items []batchItem, method Method) ([]ThresholdResult, error) {
+	out := make([]ThresholdResult, len(items))
+	var preds []pairPredicate
+	var pairQueries []scape.PairQuery
+	var pairIdx []int
+	for i, it := range items {
+		if it.location != nil {
+			res, err := it.location()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+			continue
+		}
+		preds = append(preds, it.pred)
+		pairQueries = append(pairQueries, it.pairQuery)
+		pairIdx = append(pairIdx, i)
+	}
+	if len(pairIdx) == 0 {
+		return out, nil
+	}
+
+	var results [][]timeseries.Pair
+	var err error
+	if method == MethodIndex {
+		if e.index == nil {
+			return nil, ErrNoIndex
+		}
+		results, err = e.index.PairBatch(pairQueries)
+	} else {
+		results, err = e.pairMultiFilter(preds, method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range pairIdx {
+		out[i] = ThresholdResult{Pairs: results[k]}
+	}
+	return out, nil
+}
+
+// pairMultiFilter answers every predicate in one sweep over the sequence
+// pairs, sharded by row blocks: per block and distinct measure, each pair's
+// value is computed once (including the derived-measure normalizer) and
+// tested against all predicates on that measure.  Per-block partial results
+// are merged in block order, so out[k] equals the sequential single-query
+// scan for preds[k] exactly.
+func (e *engineState) pairMultiFilter(preds []pairPredicate, method Method) ([][]timeseries.Pair, error) {
+	if method != MethodNaive && method != MethodAffine {
+		return nil, fmt.Errorf("%w: %v for batched pair queries", ErrBadMethod, method)
+	}
+	// Group predicate indices by measure so each distinct measure is computed
+	// once per pair.
+	measureOrder := make([]stats.Measure, 0, len(preds))
+	byMeasure := make(map[stats.Measure][]int)
+	for k, p := range preds {
+		if !p.measure.Pairwise() {
+			return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", p.measure, stats.ErrUnknownMeasure)
+		}
+		if _, ok := byMeasure[p.measure]; !ok {
+			measureOrder = append(measureOrder, p.measure)
+		}
+		byMeasure[p.measure] = append(byMeasure[p.measure], k)
+	}
+
+	pairs := e.data.AllPairs()
+	blocks := par.Blocks(len(pairs), e.par)
+	parts := make([][][]timeseries.Pair, len(blocks)) // parts[block][pred]
+	err := par.Do(len(blocks), e.par, func(b int) error {
+		local := make([][]timeseries.Pair, len(preds))
+		for _, pair := range pairs[blocks[b].Lo:blocks[b].Hi] {
+			for _, m := range measureOrder {
+				var v float64
+				var err error
+				if method == MethodNaive {
+					v, err = e.naive.PairValue(m, pair)
+				} else {
+					v, err = e.affinePairValue(m, pair)
+				}
+				if err != nil {
+					if errors.Is(err, stats.ErrZeroNormalizer) {
+						continue
+					}
+					return err
+				}
+				for _, k := range byMeasure[m] {
+					if preds[k].keep(v) {
+						local[k] = append(local[k], pair)
+					}
+				}
+			}
+		}
+		parts[b] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]timeseries.Pair, len(preds))
+	for k := range preds {
+		perBlock := make([][]timeseries.Pair, len(parts))
+		for b := range parts {
+			perBlock[b] = parts[b][k]
+		}
+		out[k] = par.FlattenBlocks(perBlock)
+	}
+	return out, nil
+}
+
+func (e *engineState) computeBatch(qs []ComputeQuery, method Method) ([]ComputeResult, error) {
+	// MEC queries read only cached epoch state (pivot summaries, per-series
+	// normalizers, location estimates), so the sharing is the epoch pinning
+	// itself.  Queries run sequentially here: each pairwise computation
+	// already shards its rows across the full worker pool, and nesting the
+	// two levels would spawn up to Parallelism² goroutines of O(n²) work.
+	out := make([]ComputeResult, len(qs))
+	for i, q := range qs {
+		if q.Measure.Class() == stats.LocationClass {
+			values, err := e.computeLocation(q.Measure, q.IDs, method)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ComputeResult{Location: values}
+			continue
+		}
+		matrix, err := e.computePairwise(q.Measure, q.IDs, method)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ComputeResult{Pairwise: matrix}
+	}
+	return out, nil
+}

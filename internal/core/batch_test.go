@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+)
+
+// TestBatchMatchesSingleQueries pins the batched API's equivalence guarantee:
+// ThresholdBatch and RangeBatch must return, for every measure and execution
+// method, exactly what the corresponding sequence of single-query calls
+// returns — same entries, same order.
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2, Parallelism: 4})
+
+	for _, method := range []Method{MethodNaive, MethodAffine, MethodIndex} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			var tqs []ThresholdQuery
+			var rqs []RangeQuery
+			for _, m := range stats.AllMeasures() {
+				if method == MethodIndex && m == stats.Jaccard {
+					continue // not indexable
+				}
+				tqs = append(tqs,
+					ThresholdQuery{Measure: m, Tau: 0.3, Op: scape.Above},
+					ThresholdQuery{Measure: m, Tau: 0.7, Op: scape.Below},
+				)
+				rqs = append(rqs, RangeQuery{Measure: m, Lo: -0.4, Hi: 0.8})
+			}
+
+			batch, err := e.ThresholdBatch(tqs, method)
+			if err != nil {
+				t.Fatalf("ThresholdBatch: %v", err)
+			}
+			if len(batch) != len(tqs) {
+				t.Fatalf("ThresholdBatch returned %d results for %d queries", len(batch), len(tqs))
+			}
+			for i, q := range tqs {
+				single, err := e.Threshold(q.Measure, q.Tau, q.Op, method)
+				if err != nil {
+					t.Fatalf("single threshold %v: %v", q, err)
+				}
+				if got, want := fmt.Sprintf("%v", batch[i]), fmt.Sprintf("%v", single); got != want {
+					t.Errorf("threshold %v %v %v: batch %.120s != single %.120s",
+						q.Measure, q.Op, q.Tau, got, want)
+				}
+			}
+
+			rbatch, err := e.RangeBatch(rqs, method)
+			if err != nil {
+				t.Fatalf("RangeBatch: %v", err)
+			}
+			for i, q := range rqs {
+				single, err := e.Range(q.Measure, q.Lo, q.Hi, method)
+				if err != nil {
+					t.Fatalf("single range %v: %v", q, err)
+				}
+				if got, want := fmt.Sprintf("%v", rbatch[i]), fmt.Sprintf("%v", single); got != want {
+					t.Errorf("range %v [%v,%v]: batch %.120s != single %.120s",
+						q.Measure, q.Lo, q.Hi, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestComputeBatchMatchesSingleQueries does the same for MEC queries.
+func TestComputeBatchMatchesSingleQueries(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2, Parallelism: 4})
+	ids := e.Data().IDs()
+
+	for _, method := range []Method{MethodNaive, MethodAffine} {
+		var qs []ComputeQuery
+		for _, m := range stats.AllMeasures() {
+			if m.Class() == stats.LocationClass {
+				qs = append(qs, ComputeQuery{Measure: m, IDs: ids})
+			} else {
+				qs = append(qs, ComputeQuery{Measure: m, IDs: ids[:8]})
+			}
+		}
+		batch, err := e.ComputeBatch(qs, method)
+		if err != nil {
+			t.Fatalf("%v: ComputeBatch: %v", method, err)
+		}
+		for i, q := range qs {
+			var want any
+			var err error
+			if q.Measure.Class() == stats.LocationClass {
+				want, err = e.ComputeLocation(q.Measure, q.IDs, method)
+			} else {
+				want, err = e.ComputePairwise(q.Measure, q.IDs, method)
+			}
+			if err != nil {
+				t.Fatalf("%v: single compute %v: %v", method, q.Measure, err)
+			}
+			var got any
+			if q.Measure.Class() == stats.LocationClass {
+				got = batch[i].Location
+			} else {
+				got = batch[i].Pairwise
+			}
+			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Errorf("%v compute %v: batch result differs from single call", method, q.Measure)
+			}
+		}
+	}
+}
+
+// TestBatchMixedMeasuresSharesSweep checks a mixed batch (location + pairwise
+// + duplicate measures with different predicates) round-trips correctly.
+func TestBatchMixedMeasures(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2, Parallelism: 2})
+	qs := []ThresholdQuery{
+		{Measure: stats.Mean, Tau: 0.0, Op: scape.Above},
+		{Measure: stats.Correlation, Tau: 0.9, Op: scape.Above},
+		{Measure: stats.Correlation, Tau: 0.1, Op: scape.Below},
+		{Measure: stats.Covariance, Tau: 0.0, Op: scape.Above},
+		{Measure: stats.Mode, Tau: 0.5, Op: scape.Below},
+	}
+	for _, method := range []Method{MethodNaive, MethodAffine, MethodIndex} {
+		batch, err := e.ThresholdBatch(qs, method)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		for i, q := range qs {
+			single, err := e.Threshold(q.Measure, q.Tau, q.Op, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%v", batch[i]) != fmt.Sprintf("%v", single) {
+				t.Errorf("%v query %d (%v): mismatch", method, i, q.Measure)
+			}
+		}
+	}
+}
+
+// TestBatchValidation checks the batch entry points reject malformed queries
+// the same way single queries do.
+func TestBatchValidation(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2})
+	if _, err := e.RangeBatch([]RangeQuery{{Measure: stats.Correlation, Lo: 1, Hi: -1}}, MethodAffine); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := e.ThresholdBatch([]ThresholdQuery{{Measure: stats.Correlation, Op: scape.ThresholdOp(9)}}, MethodAffine); err == nil {
+		t.Fatal("bad operator accepted")
+	}
+	if _, err := e.ComputeBatch([]ComputeQuery{{Measure: stats.Correlation}}, MethodIndex); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("MEC via index: err = %v, want ErrBadMethod", err)
+	}
+	empty, err := e.ThresholdBatch(nil, MethodAffine)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v, %v", empty, err)
+	}
+}
+
+// TestBatchNoIndex checks that index-method batches against an index-less
+// engine fail with ErrNoIndex like single queries.
+func TestBatchNoIndex(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2, SkipIndex: true})
+	if _, err := e.ThresholdBatch([]ThresholdQuery{{Measure: stats.Correlation, Tau: 0.5, Op: scape.Above}}, MethodIndex); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("err = %v, want ErrNoIndex", err)
+	}
+	if _, err := e.RangeBatch([]RangeQuery{{Measure: stats.Correlation, Lo: 0, Hi: 1}}, MethodIndex); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("err = %v, want ErrNoIndex", err)
+	}
+}

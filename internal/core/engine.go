@@ -30,6 +30,7 @@ import (
 	"affinity/internal/baseline"
 	"affinity/internal/cluster"
 	"affinity/internal/mat"
+	"affinity/internal/par"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
@@ -92,6 +93,10 @@ type StreamConfig struct {
 	// raw window every this many epochs (0 selects
 	// DefaultStatsRefreshEvery), bounding incremental rounding drift.
 	StatsRefreshEvery int
+	// Parallelism overrides Config.Parallelism for Advance-time work (drift
+	// scoring, refits, summary and index rebuilds).  Zero inherits
+	// Config.Parallelism; results are identical at any level.
+	Parallelism int
 }
 
 // Config parameterizes engine construction.
@@ -118,9 +123,12 @@ type Config struct {
 	// MaxRelationships limits SYMEX to the first g relationships (0 = all);
 	// used by the scalability experiments.
 	MaxRelationships int
-	// Parallelism is the number of goroutines used to fit affine
-	// relationships (0 or 1 = sequential).  Results are identical at any
-	// level.
+	// Parallelism is the number of worker goroutines used across the whole
+	// hot path: AFCLST assignment/update rounds, the SYMEX least-squares
+	// fits, pivot summaries, calibration, drift scoring, SCAPE B-tree
+	// construction and sharded/batched query scans (0 or 1 = sequential).
+	// Every parallel stage merges per-shard results in a deterministic
+	// order, so results are identical at any level.
 	Parallelism int
 	// MaxLSFD prunes affine relationships whose LSFD exceeds the bound; the
 	// affine method falls back to the naive computation for pruned pairs and
@@ -144,6 +152,31 @@ func (c Config) withDefaults() Config {
 		c.Stream.StatsRefreshEvery = DefaultStatsRefreshEvery
 	}
 	return c
+}
+
+// advanceParallelism returns the worker count for Advance-time work: the
+// streaming override when set, Config.Parallelism otherwise.
+func (c Config) advanceParallelism() int {
+	if c.Stream.Parallelism > 0 {
+		return c.Stream.Parallelism
+	}
+	return c.Parallelism
+}
+
+// indexOptions returns the SCAPE build options with the engine's parallelism
+// threaded through (an explicit Index.Parallelism wins): query-time sharding
+// always uses Config.Parallelism — the published index serves queries for
+// the whole epoch — while buildParallelism (the Advance-time override on the
+// streaming path) only drives the construction work.
+func (c Config) indexOptions(buildParallelism int) scape.Options {
+	opts := c.Index
+	if opts.Parallelism == 0 {
+		opts.Parallelism = c.Parallelism
+	}
+	if opts.BuildParallelism == 0 {
+		opts.BuildParallelism = buildParallelism
+	}
+	return opts
 }
 
 // BuildInfo reports what the build produced and how long each stage took.
@@ -217,6 +250,10 @@ type engineState struct {
 	// L-measures); keyed by measure.
 	seriesLocation map[stats.Measure][]float64
 
+	// par is the worker count used by sharded and batched query scans over
+	// this epoch (from Config.Parallelism; merge order is deterministic).
+	par int
+
 	epoch int
 	info  BuildInfo
 }
@@ -256,6 +293,7 @@ func buildState(d *timeseries.DataMatrix, cfg Config) (*engineState, error) {
 	st := &engineState{
 		data:  d,
 		naive: baseline.NewNaive(d),
+		par:   cfg.Parallelism,
 	}
 
 	// Stage 1+2: clustering and affine relationships (SYMEX internally runs
@@ -270,6 +308,7 @@ func buildState(d *timeseries.DataMatrix, cfg Config) (*engineState, error) {
 			MaxIterations: cfg.MaxIterations,
 			MinChanges:    cfg.MinChanges,
 			Seed:          cfg.Seed,
+			Parallelism:   cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: clustering: %w", err)
@@ -296,7 +335,7 @@ func buildState(d *timeseries.DataMatrix, cfg Config) (*engineState, error) {
 	// "fill the values in the empty hash map pivotHash") and the per-series
 	// statistics used by separable normalizers and location estimates.
 	summaryStart := time.Now()
-	if err := st.buildDerived(nil); err != nil {
+	if err := st.buildDerived(nil, cfg.Parallelism); err != nil {
 		return nil, err
 	}
 	st.info.SummaryDuration = time.Since(summaryStart)
@@ -304,7 +343,7 @@ func buildState(d *timeseries.DataMatrix, cfg Config) (*engineState, error) {
 	// Stage 4: the SCAPE index.
 	if !cfg.SkipIndex {
 		indexStart := time.Now()
-		idx, err := scape.Build(d, rel, cfg.Index)
+		idx, err := scape.Build(d, rel, cfg.indexOptions(cfg.Parallelism))
 		if err != nil {
 			return nil, fmt.Errorf("core: building SCAPE index: %w", err)
 		}
@@ -363,35 +402,45 @@ func (e *Engine) Epoch() int { return e.state().epoch }
 // quantities that cannot change between epochs (the cluster-center location
 // measures) are reused from it, and st.running is assumed to have been
 // carried over and slid by the caller; with prev == nil everything is
-// computed from scratch.
-func (st *engineState) buildDerived(prev *engineState) error {
+// computed from scratch.  parallelism shards the per-pivot and per-series
+// work; the outputs are keyed maps and index-aligned slices, so they are
+// identical at any level.
+func (st *engineState) buildDerived(prev *engineState, parallelism int) error {
 	clustering := st.rel.Clustering
 	n := st.data.NumSeries()
 
 	// Pivot summaries from joint sufficient statistics of [s_common, r].
 	// The summary set covers every assigned pivot (not just pivots with a
 	// surviving relationship) so that a streaming refit can revive a
-	// previously pruned pair without missing its summary.
+	// previously pruned pair without missing its summary.  Summaries are
+	// independent per pivot and fan out across the worker pool.
 	pivotSet := make(map[symex.Pivot]bool, len(st.rel.Pivots))
-	for pivot := range st.rel.Pivots {
-		pivotSet[pivot] = true
-	}
+	pivotOrder := make([]symex.Pivot, 0, len(st.rel.Pivots))
 	for _, a := range st.rel.Assignments {
-		pivotSet[a.Pivot] = true
+		if !pivotSet[a.Pivot] {
+			pivotSet[a.Pivot] = true
+			pivotOrder = append(pivotOrder, a.Pivot)
+		}
 	}
-	st.summaries = make(map[symex.Pivot]*pivotSummary, len(pivotSet))
-	for pivot := range pivotSet {
+	for pivot := range st.rel.Pivots {
+		if !pivotSet[pivot] {
+			pivotSet[pivot] = true
+			pivotOrder = append(pivotOrder, pivot)
+		}
+	}
+	summaries, err := par.Gather(len(pivotOrder), parallelism, func(i int) (*pivotSummary, error) {
+		pivot := pivotOrder[i]
 		if pivot.Cluster < 0 || pivot.Cluster >= clustering.K() {
-			return fmt.Errorf("core: pivot %v references unknown cluster", pivot)
+			return nil, fmt.Errorf("core: pivot %v references unknown cluster", pivot)
 		}
 		common, err := st.data.Series(pivot.Common)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		center := clustering.Centers[pivot.Cluster]
 		rp, err := stats.NewRunningPairFrom(common, center)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		summary := &pivotSummary{
 			cov:       rp.CovarianceMatrix(),
@@ -402,15 +451,22 @@ func (st *engineState) buildDerived(prev *engineState) error {
 		for _, m := range stats.LMeasures() {
 			lc, err := stats.ComputeLocation(m, common)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			lr, err := stats.ComputeLocation(m, center)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			summary.locations[m] = [2]float64{lc, lr}
 		}
-		st.summaries[pivot] = summary
+		return summary, nil
+	})
+	if err != nil {
+		return err
+	}
+	st.summaries = make(map[symex.Pivot]*pivotSummary, len(pivotOrder))
+	for i, pivot := range pivotOrder {
+		st.summaries[pivot] = summaries[i]
 	}
 
 	// Per-series statistics from the running sufficient sums.  On the build
@@ -418,12 +474,16 @@ func (st *engineState) buildDerived(prev *engineState) error {
 	// slid them.
 	if prev == nil || st.running == nil {
 		st.running = make([]stats.Running, n)
-		for _, id := range st.data.IDs() {
-			s, err := st.data.Series(id)
+		ids := st.data.IDs()
+		if err := par.Do(len(ids), parallelism, func(i int) error {
+			s, err := st.data.Series(ids[i])
 			if err != nil {
 				return err
 			}
-			st.running[id] = stats.NewRunningFrom(s)
+			st.running[ids[i]] = stats.NewRunningFrom(s)
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	st.seriesVariance = make([]float64, n)
@@ -440,7 +500,7 @@ func (st *engineState) buildDerived(prev *engineState) error {
 	// the median and the mode (which is exactly the error pattern the paper
 	// reports in Figs. 9–10).
 	if st.calibA == nil {
-		if err := st.calibrate(); err != nil {
+		if err := st.calibrate(parallelism); err != nil {
 			return err
 		}
 	}
@@ -480,13 +540,15 @@ func (st *engineState) buildDerived(prev *engineState) error {
 }
 
 // calibrate fills calibA and calibB from one joint-sufficient-statistics
-// pass per series against its cluster center.
-func (st *engineState) calibrate() error {
+// pass per series against its cluster center, sharded by series.
+func (st *engineState) calibrate(parallelism int) error {
 	clustering := st.rel.Clustering
 	n := st.data.NumSeries()
 	st.calibA = make([]float64, n)
 	st.calibB = make([]float64, n)
-	for _, id := range st.data.IDs() {
+	ids := st.data.IDs()
+	return par.Do(len(ids), parallelism, func(i int) error {
+		id := ids[i]
 		s, err := st.data.Series(id)
 		if err != nil {
 			return err
@@ -502,8 +564,8 @@ func (st *engineState) calibrate() error {
 		a, b, _ := rp.LineFit()
 		st.calibA[id] = a
 		st.calibB[id] = b
-	}
-	return nil
+		return nil
+	})
 }
 
 // normalizer returns the separable normalizer U_e of a derived measure for a

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/par"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -94,7 +95,12 @@ func (e *engineState) computePairwise(m stats.Measure, ids []timeseries.SeriesID
 		for i := range out {
 			out[i] = make([]float64, len(ids))
 		}
-		for i, u := range ids {
+		// Row-sharded: worker i fills out[i][j] for j >= i plus the mirrored
+		// column entries out[j][i]; all written cells are distinct, and each
+		// cell's value depends only on (i, j), so the matrix is identical at
+		// any parallelism.
+		err := par.Do(len(ids), e.par, func(i int) error {
+			u := ids[i]
 			for j := i; j < len(ids); j++ {
 				v := ids[j]
 				var value float64
@@ -104,7 +110,7 @@ func (e *engineState) computePairwise(m stats.Measure, ids []timeseries.SeriesID
 				} else {
 					pair, perr := timeseries.NewPair(u, v)
 					if perr != nil {
-						return nil, perr
+						return perr
 					}
 					value, err = e.affinePairValue(m, pair)
 				}
@@ -112,12 +118,16 @@ func (e *engineState) computePairwise(m stats.Measure, ids []timeseries.SeriesID
 					if errors.Is(err, stats.ErrZeroNormalizer) {
 						value = math.NaN()
 					} else {
-						return nil, err
+						return err
 					}
 				}
 				out[i][j] = value
 				out[j][i] = value
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return out, nil
 	default:
@@ -142,6 +152,9 @@ func (e *engineState) pairValue(m stats.Measure, pair timeseries.Pair, method Me
 
 // threshold implements Threshold for one epoch.
 func (e *engineState) threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (ThresholdResult, error) {
+	if op != scape.Above && op != scape.Below {
+		return ThresholdResult{}, fmt.Errorf("core: unknown threshold operator %d", int(op))
+	}
 	above := op == scape.Above
 	if m.Class() == stats.LocationClass {
 		switch method {
@@ -163,7 +176,7 @@ func (e *engineState) threshold(m stats.Measure, tau float64, op scape.Threshold
 	}
 	switch method {
 	case MethodNaive:
-		pairs, err := e.naive.PairThreshold(m, tau, above)
+		pairs, err := e.naivePairThreshold(m, tau, above)
 		return ThresholdResult{Pairs: pairs}, err
 	case MethodAffine:
 		pairs, err := e.affinePairThreshold(m, tau, above)
@@ -204,7 +217,7 @@ func (e *engineState) rangeQuery(m stats.Measure, lo, hi float64, method Method)
 	}
 	switch method {
 	case MethodNaive:
-		pairs, err := e.naive.PairRange(m, lo, hi)
+		pairs, err := e.naivePairRange(m, lo, hi)
 		return ThresholdResult{Pairs: pairs}, err
 	case MethodAffine:
 		pairs, err := e.affinePairRange(m, lo, hi)
@@ -304,42 +317,73 @@ func (e *engineState) selfPairValue(m stats.Measure, id timeseries.SeriesID) (fl
 	}
 }
 
+// pairFilter evaluates value(pair) over every sequence pair — sharded by row
+// blocks across the epoch's worker pool — keeping the pairs whose value
+// passes keep.  Per-block partial results are concatenated in block order, so
+// the output equals the sequential scan exactly.  Pairs with an undefined
+// derived value (zero normalizer) are skipped, matching the naive baseline.
+func (e *engineState) pairFilter(value func(timeseries.Pair) (float64, error), keep func(float64) bool) ([]timeseries.Pair, error) {
+	pairs := e.data.AllPairs()
+	blocks := par.Blocks(len(pairs), e.par)
+	parts := make([][]timeseries.Pair, len(blocks))
+	err := par.Do(len(blocks), e.par, func(b int) error {
+		for _, pair := range pairs[blocks[b].Lo:blocks[b].Hi] {
+			v, err := value(pair)
+			if err != nil {
+				if errors.Is(err, stats.ErrZeroNormalizer) {
+					continue
+				}
+				return err
+			}
+			if keep(v) {
+				parts[b] = append(parts[b], pair)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return par.FlattenBlocks(parts), nil
+}
+
+func thresholdKeep(tau float64, above bool) func(float64) bool {
+	if above {
+		return func(v float64) bool { return v > tau }
+	}
+	return func(v float64) bool { return v < tau }
+}
+
 // affinePairThreshold evaluates a pairwise MET query with the W_A method:
 // every pair's value is estimated through its affine relationship (or the
 // naive fallback for pruned pairs) and then filtered.
 func (e *engineState) affinePairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
-	var out []timeseries.Pair
-	for _, pair := range e.data.AllPairs() {
-		v, err := e.affinePairValue(m, pair)
-		if err != nil {
-			if errors.Is(err, stats.ErrZeroNormalizer) {
-				continue
-			}
-			return nil, err
-		}
-		if (above && v > tau) || (!above && v < tau) {
-			out = append(out, pair)
-		}
-	}
-	return out, nil
+	return e.pairFilter(func(pair timeseries.Pair) (float64, error) {
+		return e.affinePairValue(m, pair)
+	}, thresholdKeep(tau, above))
 }
 
 // affinePairRange evaluates a pairwise MER query with the W_A method.
 func (e *engineState) affinePairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
-	var out []timeseries.Pair
-	for _, pair := range e.data.AllPairs() {
-		v, err := e.affinePairValue(m, pair)
-		if err != nil {
-			if errors.Is(err, stats.ErrZeroNormalizer) {
-				continue
-			}
-			return nil, err
-		}
-		if v >= lo && v <= hi {
-			out = append(out, pair)
-		}
-	}
-	return out, nil
+	return e.pairFilter(func(pair timeseries.Pair) (float64, error) {
+		return e.affinePairValue(m, pair)
+	}, func(v float64) bool { return v >= lo && v <= hi })
+}
+
+// naivePairThreshold evaluates a pairwise MET query with the W_N method,
+// sharded by row blocks; the result is identical to baseline.PairThreshold.
+func (e *engineState) naivePairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
+	return e.pairFilter(func(pair timeseries.Pair) (float64, error) {
+		return e.naive.PairValue(m, pair)
+	}, thresholdKeep(tau, above))
+}
+
+// naivePairRange evaluates a pairwise MER query with the W_N method, sharded
+// by row blocks; the result is identical to baseline.PairRange.
+func (e *engineState) naivePairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
+	return e.pairFilter(func(pair timeseries.Pair) (float64, error) {
+		return e.naive.PairValue(m, pair)
+	}, func(v float64) bool { return v >= lo && v <= hi })
 }
 
 // affineSeriesThreshold evaluates an L-measure MET query over the

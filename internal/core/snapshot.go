@@ -278,16 +278,17 @@ func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Res
 		data:  d,
 		naive: baseline.NewNaive(d),
 		rel:   rel,
+		par:   cfg.Parallelism,
 	}
 	summaryStart := time.Now()
-	if err := st.buildDerived(nil); err != nil {
+	if err := st.buildDerived(nil, cfg.Parallelism); err != nil {
 		return nil, err
 	}
 	st.info.SummaryDuration = time.Since(summaryStart)
 
 	if !cfg.SkipIndex {
 		indexStart := time.Now()
-		idx, err := scape.Build(d, rel, cfg.Index)
+		idx, err := scape.Build(d, rel, cfg.indexOptions(cfg.Parallelism))
 		if err != nil {
 			return nil, fmt.Errorf("core: building SCAPE index from snapshot: %w", err)
 		}

@@ -7,10 +7,12 @@ import (
 	"time"
 
 	"affinity/internal/baseline"
-	"affinity/internal/scape"
+	"affinity/internal/par"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
 	"affinity/internal/timeseries"
+
+	"affinity/internal/scape"
 )
 
 // This file implements the streaming update path of the engine: buffering
@@ -137,8 +139,10 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 	st := &engineState{
 		data:  newData,
 		naive: baseline.NewNaive(newData),
+		par:   e.cfg.Parallelism,
 		epoch: old.epoch + 1,
 	}
+	parallelism := e.cfg.advanceParallelism()
 
 	// Slide the running per-series sufficient statistics: O(n·slide) instead
 	// of an O(n·m) rescan.  A full refresh happens when the whole window was
@@ -147,13 +151,16 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 	if !refresh {
 		st.running = make([]stats.Running, n)
 		copy(st.running, old.running)
-		for v := 0; v < n; v++ {
+		if err := par.Do(n, parallelism, func(v int) error {
 			evicted, err := old.data.Series(timeseries.SeriesID(v))
 			if err != nil {
-				return AdvanceInfo{}, err
+				return err
 			}
 			st.running[v].Add(batch[v]...)
 			st.running[v].Evict(evicted[:slide]...)
+			return nil
+		}); err != nil {
+			return AdvanceInfo{}, err
 		}
 	}
 
@@ -162,7 +169,7 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 	}
 
 	if !e.cfg.SkipIndex {
-		idx, err := scape.Build(newData, st.rel, e.cfg.Index)
+		idx, err := scape.Build(newData, st.rel, e.cfg.indexOptions(parallelism))
 		if err != nil {
 			return AdvanceInfo{}, fmt.Errorf("core: rebuilding SCAPE index: %w", err)
 		}
@@ -193,11 +200,12 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 // refresh marks the periodic full-refresh epochs, on which previously pruned
 // pairs also get a refit attempt.
 func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, refresh bool) error {
+	parallelism := cfg.advanceParallelism()
 	// The pivot assignment is frozen, so every summary and per-series
 	// quantity can be rebuilt before the refit decision: none of them depend
 	// on the transforms.
 	st.rel = old.rel
-	if err := st.buildDerived(old); err != nil {
+	if err := st.buildDerived(old, parallelism); err != nil {
 		return err
 	}
 
@@ -217,18 +225,22 @@ func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, re
 	var stale map[timeseries.Pair]bool
 	bound := cfg.Stream.DriftBound
 	if bound > 0 && slide < st.data.NumSamples() {
-		stale = make(map[timeseries.Pair]bool)
-		for _, a := range old.rel.AssignmentList() {
+		// Drift scoring is O(1) per relationship and independent across
+		// relationships: score into a flag slice aligned with the (ordered)
+		// assignment list, then collect — the stale set is identical at any
+		// parallelism.
+		assignments := old.rel.AssignmentList()
+		flags := make([]bool, len(assignments))
+		err := par.Do(len(assignments), parallelism, func(i int) error {
+			a := assignments[i]
 			rel, ok := old.rel.Relationships[a.Pair]
 			if !ok {
 				// Previously pruned: no transform exists to measure drift
 				// against, so retry it only on the periodic refresh epochs —
 				// a permanently poorly-fit pair must not force an O(m) refit
 				// on every Advance.
-				if refresh {
-					stale[a.Pair] = true
-				}
-				continue
+				flags[i] = refresh
+				return nil
 			}
 			other, err := a.Pair.Other(a.Pivot.Common)
 			if err != nil {
@@ -238,7 +250,15 @@ func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, re
 			if !ok {
 				return fmt.Errorf("core: no summary for pivot %v", a.Pivot)
 			}
-			if relationshipDrift(rel, summary, st.seriesVariance[other]) > bound {
+			flags[i] = relationshipDrift(rel, summary, st.seriesVariance[other]) > bound
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		stale = make(map[timeseries.Pair]bool)
+		for i, a := range assignments {
+			if flags[i] {
 				stale[a.Pair] = true
 			}
 		}
@@ -246,7 +266,7 @@ func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, re
 
 	rel, rs, err := symex.Refit(st.data, old.rel, symex.RefitOptions{
 		Stale:       stale,
-		Parallelism: cfg.Parallelism,
+		Parallelism: parallelism,
 		MaxLSFD:     cfg.MaxLSFD,
 	})
 	if err != nil {

@@ -154,3 +154,120 @@ func TestConcurrentAppenders(t *testing.T) {
 		t.Fatalf("slide = %d, want %d", info.Slide, total)
 	}
 }
+
+// TestConcurrentBatchedQueriesDuringParallelAdvance hammers the batched and
+// sharded query paths — ThresholdBatch/RangeBatch/ComputeBatch plus the
+// block-sharded single-query scans — from many goroutines while a fully
+// parallel Advance (drift scoring, refits, summaries and index rebuild all
+// fanned out over workers) swaps epochs underneath them.  Run with -race (CI
+// does): batches must stay pinned to one epoch and the worker pools of
+// concurrent queries must never share mutable state.
+func TestConcurrentBatchedQueriesDuringParallelAdvance(t *testing.T) {
+	const n, window, slide, rounds = 16, 80, 5, 10
+	fx := makeStreamFixture(t, n, window, slide*rounds, 47)
+	e, err := Build(fx.window, Config{
+		Clusters:    4,
+		Seed:        13,
+		Parallelism: 4,
+		Stream:      StreamConfig{DriftBound: 0.05, Parallelism: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := fx.window.IDs()
+
+	var stop atomic.Bool
+	var queries atomic.Int64
+	errCh := make(chan error, 64)
+	report := func(err error) {
+		if err != nil {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	reader := func(body func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				report(body())
+				queries.Add(1)
+			}
+		}()
+	}
+
+	thresholdBatch := []ThresholdQuery{
+		{Measure: stats.Correlation, Tau: 0.8, Op: scape.Above},
+		{Measure: stats.Covariance, Tau: 0.0, Op: scape.Below},
+		{Measure: stats.Mean, Tau: 0.2, Op: scape.Above},
+	}
+	rangeBatch := []RangeQuery{
+		{Measure: stats.Cosine, Lo: 0.5, Hi: 1.0},
+		{Measure: stats.Covariance, Lo: -0.5, Hi: 0.5},
+	}
+	computeBatch := []ComputeQuery{
+		{Measure: stats.Correlation, IDs: ids[:8]},
+		{Measure: stats.Mean, IDs: ids},
+	}
+	for _, method := range []Method{MethodNaive, MethodAffine, MethodIndex} {
+		method := method
+		reader(func() error {
+			res, err := e.ThresholdBatch(thresholdBatch, method)
+			if err != nil {
+				return err
+			}
+			if len(res) != len(thresholdBatch) {
+				t.Errorf("batch returned %d results, want %d", len(res), len(thresholdBatch))
+			}
+			return nil
+		})
+		reader(func() error {
+			_, err := e.RangeBatch(rangeBatch, method)
+			return err
+		})
+	}
+	reader(func() error {
+		_, err := e.ComputeBatch(computeBatch, MethodAffine)
+		return err
+	})
+	// Sharded single-query scans alongside the batches.
+	reader(func() error {
+		_, err := e.Threshold(stats.Correlation, 0.8, scape.Above, MethodIndex)
+		return err
+	})
+	reader(func() error {
+		_, err := e.Range(stats.DotProduct, -1, 1, MethodAffine)
+		return err
+	})
+	reader(func() error {
+		_, err := e.PairwiseSweepAffine(stats.Correlation)
+		return err
+	})
+
+	for round := 0; round < rounds; round++ {
+		for _, tick := range fx.ticks[round*slide : (round+1)*slide] {
+			if err := e.Append(tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent batched query failed: %v", err)
+	}
+	if e.Epoch() != rounds {
+		t.Fatalf("epoch = %d, want %d", e.Epoch(), rounds)
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries executed concurrently")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/par"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
 	"affinity/internal/timeseries"
@@ -68,16 +69,24 @@ func (e *engineState) pairwiseSweepNaive(m stats.Measure) (*PairSweepResult, err
 	}
 	pairs := e.data.AllPairs()
 	values := make([]float64, len(pairs))
-	for i, pair := range pairs {
-		v, err := e.naive.PairValue(m, pair)
-		if err != nil {
-			if errors.Is(err, stats.ErrZeroNormalizer) {
-				values[i] = math.NaN()
-				continue
+	// Row-block sharded; values[i] depends only on pairs[i], so the sweep is
+	// identical at any parallelism.
+	err := par.DoBlocks(len(pairs), e.par, func(_ int, blk par.Block) error {
+		for i := blk.Lo; i < blk.Hi; i++ {
+			v, err := e.naive.PairValue(m, pairs[i])
+			if err != nil {
+				if errors.Is(err, stats.ErrZeroNormalizer) {
+					values[i] = math.NaN()
+					continue
+				}
+				return err
 			}
-			return nil, err
+			values[i] = v
 		}
-		values[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &PairSweepResult{Pairs: pairs, Values: values}, nil
 }
@@ -99,14 +108,18 @@ func (e *engineState) pairwiseSweepAffine(m stats.Measure) (*PairSweepResult, er
 		colSums [2]float64
 	}
 	clustering := e.rel.Clustering
-	bases := make(map[symex.Pivot]pivotBase, len(e.rel.Pivots))
+	pivotOrder := make([]symex.Pivot, 0, len(e.rel.Pivots))
 	for pivot := range e.rel.Pivots {
+		pivotOrder = append(pivotOrder, pivot)
+	}
+	pivotBases, err := par.Gather(len(pivotOrder), e.par, func(i int) (pivotBase, error) {
+		pivot := pivotOrder[i]
 		common, err := e.data.Series(pivot.Common)
 		if err != nil {
-			return nil, err
+			return pivotBase{}, err
 		}
 		if pivot.Cluster < 0 || pivot.Cluster >= clustering.K() {
-			return nil, fmt.Errorf("core: pivot %v references unknown cluster", pivot)
+			return pivotBase{}, fmt.Errorf("core: pivot %v references unknown cluster", pivot)
 		}
 		center := clustering.Centers[pivot.Cluster]
 		var pb pivotBase
@@ -114,71 +127,85 @@ func (e *engineState) pairwiseSweepAffine(m stats.Measure) (*PairSweepResult, er
 		case stats.Covariance:
 			v0, err := stats.VarianceOf(common)
 			if err != nil {
-				return nil, err
+				return pivotBase{}, err
 			}
 			v1, err := stats.VarianceOf(center)
 			if err != nil {
-				return nil, err
+				return pivotBase{}, err
 			}
 			c01, err := stats.CovarianceOf(common, center)
 			if err != nil {
-				return nil, err
+				return pivotBase{}, err
 			}
 			pb.cov = [3]float64{v0, c01, v1}
 		case stats.DotProduct:
 			d00, err := stats.DotProductOf(common, common)
 			if err != nil {
-				return nil, err
+				return pivotBase{}, err
 			}
 			d01, err := stats.DotProductOf(common, center)
 			if err != nil {
-				return nil, err
+				return pivotBase{}, err
 			}
 			d11, err := stats.DotProductOf(center, center)
 			if err != nil {
-				return nil, err
+				return pivotBase{}, err
 			}
 			pb.dot = [3]float64{d00, d01, d11}
 			pb.colSums = [2]float64{stats.SumOf(common), stats.SumOf(center)}
 		}
-		bases[pivot] = pb
+		return pb, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bases := make(map[symex.Pivot]pivotBase, len(pivotOrder))
+	for i, pivot := range pivotOrder {
+		bases[pivot] = pivotBases[i]
 	}
 
 	pairs := e.data.AllPairs()
 	values := make([]float64, len(pairs))
 	numSamples := e.data.NumSamples()
-	for i, pair := range pairs {
-		rel, ok := e.rel.Relationship(pair)
-		if !ok {
-			return nil, fmt.Errorf("core: no affine relationship for pair %v", pair)
-		}
-		pb := bases[rel.Pivot]
-		a1, a2 := rel.Transform.Columns()
-		var value float64
-		switch base {
-		case stats.Covariance:
-			value = quadForm3(a1, pb.cov, a2)
-		case stats.DotProduct:
-			value = quadForm3(a1, pb.dot, a2) +
-				rel.Transform.B[1]*(a1[0]*pb.colSums[0]+a1[1]*pb.colSums[1]) +
-				rel.Transform.B[0]*(a2[0]*pb.colSums[0]+a2[1]*pb.colSums[1]) +
-				float64(numSamples)*rel.Transform.B[0]*rel.Transform.B[1]
-		}
-		if m.Class() == stats.DerivedClass {
-			norm, err := e.normalizer(m, pair)
-			if err != nil {
-				return nil, err
+	err = par.DoBlocks(len(pairs), e.par, func(_ int, blk par.Block) error {
+		for i := blk.Lo; i < blk.Hi; i++ {
+			pair := pairs[i]
+			rel, ok := e.rel.Relationship(pair)
+			if !ok {
+				return fmt.Errorf("core: no affine relationship for pair %v", pair)
 			}
-			if norm == 0 {
-				values[i] = math.NaN()
-				continue
+			pb := bases[rel.Pivot]
+			a1, a2 := rel.Transform.Columns()
+			var value float64
+			switch base {
+			case stats.Covariance:
+				value = quadForm3(a1, pb.cov, a2)
+			case stats.DotProduct:
+				value = quadForm3(a1, pb.dot, a2) +
+					rel.Transform.B[1]*(a1[0]*pb.colSums[0]+a1[1]*pb.colSums[1]) +
+					rel.Transform.B[0]*(a2[0]*pb.colSums[0]+a2[1]*pb.colSums[1]) +
+					float64(numSamples)*rel.Transform.B[0]*rel.Transform.B[1]
 			}
-			value /= norm
-			if m == stats.Correlation {
-				value = clamp(value, -1, 1)
+			if m.Class() == stats.DerivedClass {
+				norm, err := e.normalizer(m, pair)
+				if err != nil {
+					return err
+				}
+				if norm == 0 {
+					values[i] = math.NaN()
+					continue
+				}
+				value /= norm
+				if m == stats.Correlation {
+					value = clamp(value, -1, 1)
+				}
 			}
+			values[i] = value
 		}
-		values[i] = value
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &PairSweepResult{Pairs: pairs, Values: values}, nil
 }

@@ -1,0 +1,148 @@
+// Package par is the shared worker-pool helper behind every parallel code
+// path of the engine: the AFCLST assignment and center updates, the SYMEX+
+// least-squares fits, the pivot summaries, the drift scoring, the SCAPE
+// B-tree construction and the sharded query scans.
+//
+// Every helper preserves determinism by construction: work item i always
+// writes to slot i of a pre-sized output, so the merged result is identical
+// for any parallelism level — only wall-clock time changes.  This is the
+// mechanism that makes the DESIGN.md invariant "engines are deterministic
+// given (data, seed, config), at any parallelism" hold end to end.
+package par
+
+import "sync"
+
+// Do executes fn(i) for i in [0, count) with up to `parallelism` goroutines
+// (sequentially when parallelism <= 1), returning the first error
+// encountered.  Work is handed out via a channel, so uneven item costs load-
+// balance automatically; fn must be safe to call concurrently for distinct i.
+func Do(count, parallelism int, fn func(i int) error) error {
+	if count == 0 {
+		return nil
+	}
+	if parallelism <= 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if parallelism > count {
+		parallelism = count
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	errCh := make(chan error, parallelism)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			// Keep draining the channel after a failure so the producer never
+			// blocks; remaining work is skipped.
+			for i := range next {
+				if failed {
+					continue
+				}
+				if err := fn(i); err != nil {
+					failed = true
+					select {
+					case errCh <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < count; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Block is a half-open index interval [Lo, Hi) of a larger work list.
+type Block struct {
+	Lo, Hi int
+}
+
+// Blocks partitions [0, count) into at most 4·parallelism contiguous blocks
+// of near-equal size (at least one item each).  The over-partitioning keeps
+// workers busy when item costs are uneven while the block list stays small
+// enough that per-block result buffers are cheap to merge.
+func Blocks(count, parallelism int) []Block {
+	if count <= 0 {
+		return nil
+	}
+	if parallelism <= 1 {
+		return []Block{{0, count}}
+	}
+	numBlocks := 4 * parallelism
+	if numBlocks > count {
+		numBlocks = count
+	}
+	out := make([]Block, 0, numBlocks)
+	for b := 0; b < numBlocks; b++ {
+		lo := b * count / numBlocks
+		hi := (b + 1) * count / numBlocks
+		if lo < hi {
+			out = append(out, Block{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// DoBlocks partitions [0, count) into contiguous blocks and executes
+// fn(blockIndex, block) for each, in parallel.  The caller typically
+// accumulates per-block results into a slice indexed by blockIndex and
+// concatenates them in block order, which reproduces the sequential output
+// exactly (deterministic merge).
+func DoBlocks(count, parallelism int, fn func(b int, blk Block) error) error {
+	blocks := Blocks(count, parallelism)
+	return Do(len(blocks), parallelism, func(b int) error {
+		return fn(b, blocks[b])
+	})
+}
+
+// Gather runs fn(i) for i in [0, count) in parallel and returns the results
+// in index order: out[i] = fn(i).  The output order is independent of the
+// scheduling order.
+func Gather[T any](count, parallelism int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, count)
+	err := Do(count, parallelism, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FlattenBlocks concatenates per-block result slices in block order into one
+// slice — the deterministic merge step paired with DoBlocks.
+func FlattenBlocks[T any](parts [][]T) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoSequentialAndParallelAgree(t *testing.T) {
+	const n = 1000
+	for _, p := range []int{0, 1, 2, 4, 8, 33} {
+		out := make([]int, n)
+		if err := Do(n, p, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallelism %d: out[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestDoZeroCount(t *testing.T) {
+	called := false
+	if err := Do(0, 8, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for zero count")
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	want := errors.New("boom")
+	for _, p := range []int{1, 4} {
+		err := Do(100, p, func(i int) error {
+			if i == 37 {
+				return fmt.Errorf("item %d: %w", i, want)
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("parallelism %d: err = %v, want wrapped %v", p, err, want)
+		}
+	}
+}
+
+func TestDoErrorSkipsRemainingWork(t *testing.T) {
+	var ran atomic.Int64
+	err := Do(10000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() == 10000 {
+		t.Log("all items ran despite early error (allowed, but unexpected scheduling)")
+	}
+}
+
+func TestBlocksCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ count, parallelism int }{
+		{0, 4}, {1, 1}, {1, 8}, {7, 2}, {100, 1}, {100, 3}, {5, 16}, {1000, 8},
+	} {
+		blocks := Blocks(tc.count, tc.parallelism)
+		covered := 0
+		prev := 0
+		for _, b := range blocks {
+			if b.Lo != prev {
+				t.Fatalf("count=%d p=%d: block starts at %d, want %d", tc.count, tc.parallelism, b.Lo, prev)
+			}
+			if b.Hi <= b.Lo {
+				t.Fatalf("count=%d p=%d: empty block %+v", tc.count, tc.parallelism, b)
+			}
+			covered += b.Hi - b.Lo
+			prev = b.Hi
+		}
+		if covered != tc.count {
+			t.Fatalf("count=%d p=%d: blocks cover %d items", tc.count, tc.parallelism, covered)
+		}
+		if tc.count > 0 && prev != tc.count {
+			t.Fatalf("count=%d p=%d: blocks end at %d", tc.count, tc.parallelism, prev)
+		}
+	}
+}
+
+func TestDoBlocksDeterministicMerge(t *testing.T) {
+	const n = 537
+	var want []int
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			want = append(want, i)
+		}
+	}
+	for _, p := range []int{1, 2, 8} {
+		blocks := Blocks(n, p)
+		parts := make([][]int, len(blocks))
+		if err := DoBlocks(n, p, func(b int, blk Block) error {
+			for i := blk.Lo; i < blk.Hi; i++ {
+				if i%3 == 0 {
+					parts[b] = append(parts[b], i)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got := FlattenBlocks(parts)
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: got %d items, want %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: got[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGatherOrder(t *testing.T) {
+	out, err := Gather(100, 8, func(i int) (string, error) {
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestFlattenBlocksEmpty(t *testing.T) {
+	if got := FlattenBlocks[int](nil); got != nil {
+		t.Fatalf("FlattenBlocks(nil) = %v, want nil", got)
+	}
+	if got := FlattenBlocks([][]int{nil, {}, nil}); got != nil {
+		t.Fatalf("FlattenBlocks(empty parts) = %v, want nil", got)
+	}
+}

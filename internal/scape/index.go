@@ -40,8 +40,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"affinity/internal/btree"
+	"affinity/internal/par"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
 	"affinity/internal/timeseries"
@@ -76,6 +78,25 @@ type Options struct {
 	// (every candidate's exact derived value is evaluated instead).  Used by
 	// the ablation benchmark; queries return identical results either way.
 	DisableDerivedPruning bool
+	// Parallelism is the number of goroutines used to shard threshold/range
+	// scans by pivot at query time, and — unless BuildParallelism overrides
+	// it — to build the pivot nodes (one B-tree set per pivot).  Zero or one
+	// runs sequentially.  Pivot nodes are kept in a deterministic
+	// (Common, Cluster) order and per-pivot partial results are merged in
+	// that order, so query results are byte-identical at any level.
+	Parallelism int
+	// BuildParallelism, when positive, overrides Parallelism for the build
+	// only (the streaming engine rebuilds the index with its Advance-time
+	// worker count while queries keep the engine-wide one).
+	BuildParallelism int
+}
+
+// buildParallelism returns the worker count for index construction.
+func (o Options) buildParallelism() int {
+	if o.BuildParallelism > 0 {
+		return o.BuildParallelism
+	}
+	return o.Parallelism
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +145,10 @@ type pivotNode struct {
 	// nodes, for every indexed D-measure.
 	normBounds map[stats.Measure][2]float64
 	pairs      int
+	// insertions counts the B-tree insertions performed while building this
+	// node; nodes are built in parallel, so the counter is per-node and summed
+	// into BuildStats afterwards.
+	insertions int
 }
 
 // seriesEntry is the payload of the global location trees.
@@ -218,20 +243,40 @@ func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, e
 
 	// Per-series quantities for separable normalizers (variance and squared
 	// norm), computed once in O(n·m).
-	perSeries, err := computeSeriesStats(d)
+	perSeries, err := computeSeriesStats(d, opts.buildParallelism())
 	if err != nil {
 		return nil, err
 	}
 
-	// Build pivot nodes.
-	for pivot, pairs := range rel.Pivots {
-		node, err := idx.buildPivotNode(d, rel, pivot, pairs, perSeries)
-		if err != nil {
-			return nil, err
-		}
-		idx.pivots = append(idx.pivots, node)
-		idx.byPivot[pivot] = node
+	// Build pivot nodes, one per pivot, in a deterministic (Common, Cluster)
+	// order.  The nodes are independent — each owns its B-trees — so they are
+	// built in parallel and gathered in index order; queries later scan
+	// idx.pivots in this same order, which is what makes result ordering
+	// independent of both map iteration and parallelism.
+	pivotOrder := make([]symex.Pivot, 0, len(rel.Pivots))
+	for pivot := range rel.Pivots {
+		pivotOrder = append(pivotOrder, pivot)
 	}
+	sort.Slice(pivotOrder, func(i, j int) bool {
+		if pivotOrder[i].Common != pivotOrder[j].Common {
+			return pivotOrder[i].Common < pivotOrder[j].Common
+		}
+		return pivotOrder[i].Cluster < pivotOrder[j].Cluster
+	})
+	nodes, err := par.Gather(len(pivotOrder), opts.buildParallelism(), func(i int) (*pivotNode, error) {
+		pivot := pivotOrder[i]
+		return idx.buildPivotNode(d, rel, pivot, rel.Pivots[pivot], perSeries)
+	})
+	if err != nil {
+		return nil, err
+	}
+	treeInsertions := 0
+	for _, node := range nodes {
+		idx.pivots = append(idx.pivots, node)
+		idx.byPivot[node.pivot] = node
+		treeInsertions += node.insertions
+	}
+	idx.stats.TotalTreeInsertion += treeInsertions
 
 	// Build global location trees.
 	if len(opts.LocationMeasures) > 0 {
@@ -255,24 +300,30 @@ type seriesStats struct {
 	sqNorm   []float64
 }
 
-func computeSeriesStats(d *timeseries.DataMatrix) (*seriesStats, error) {
+func computeSeriesStats(d *timeseries.DataMatrix, parallelism int) (*seriesStats, error) {
 	n := d.NumSeries()
 	out := &seriesStats{variance: make([]float64, n), sqNorm: make([]float64, n)}
-	for _, id := range d.IDs() {
+	ids := d.IDs()
+	err := par.Do(len(ids), parallelism, func(i int) error {
+		id := ids[i]
 		s, err := d.Series(id)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, err := stats.VarianceOf(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sq, err := stats.DotProductOf(s, s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out.variance[id] = v
 		out.sqNorm[id] = sq
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -356,7 +407,7 @@ func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
 		for _, pm := range node.measures {
 			xi := scalarProjection(pm, sn.beta)
 			pm.tree.Insert(xi, sn)
-			idx.stats.TotalTreeInsertion++
+			node.insertions++
 		}
 	}
 	return node, nil
@@ -367,70 +418,125 @@ func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
 // directly otherwise) and inserts them into the global location trees.
 func (idx *Index) buildLocationTrees(d *timeseries.DataMatrix, rel *symex.Result) error {
 	// Pick, for every series, one relationship in which it is the "other"
-	// (non-common) member.
+	// (non-common) member.  Relationships live in a map, so the candidate with
+	// the smallest canonical pair is chosen to keep the estimate (and thus the
+	// tree contents) independent of map iteration order.
 	chosen := make(map[timeseries.SeriesID]*symex.Relationship, d.NumSeries())
 	for _, r := range rel.Relationships {
 		other := r.Other()
-		if _, ok := chosen[other]; !ok {
+		cur, ok := chosen[other]
+		if !ok || pairLess(r.Pair, cur.Pair) {
 			chosen[other] = r
 		}
 	}
 
-	for m := range idx.locationSet {
+	measures := sortedMeasures(idx.locationSet)
+	for _, m := range measures {
 		idx.location[m] = btree.New[seriesEntry]()
 	}
 
-	// Cache the pivot-side L-measures per (pivot, measure) so each pivot
-	// matrix is only reduced once.
-	type pivotLoc struct {
-		values [2]float64
+	// Reduce each distinct pivot matrix once per measure, in parallel over
+	// pivots (the O(|pivots|·m) part of the build).
+	var pivotOrder []symex.Pivot
+	seen := make(map[symex.Pivot]bool)
+	ids := d.IDs()
+	for _, id := range ids {
+		if r := chosen[id]; r != nil && !seen[r.Pivot] {
+			seen[r.Pivot] = true
+			pivotOrder = append(pivotOrder, r.Pivot)
+		}
 	}
-	pivotCache := make(map[symex.Pivot]map[stats.Measure]pivotLoc)
-
-	for _, id := range d.IDs() {
-		r := chosen[id]
-		for m := range idx.locationSet {
-			var value float64
-			if r != nil {
-				cache, ok := pivotCache[r.Pivot]
-				if !ok {
-					cache = make(map[stats.Measure]pivotLoc)
-					pivotCache[r.Pivot] = cache
-				}
-				pl, ok := cache[m]
-				if !ok {
-					op, err := rel.PivotMatrix(d, r.Pivot)
-					if err != nil {
-						return err
-					}
-					vals, err := stats.PairMatrixLocation(m, op)
-					if err != nil {
-						return err
-					}
-					pl = pivotLoc{values: [2]float64{vals[0], vals[1]}}
-					cache[m] = pl
-				}
-				// L(other) = L(O_p)ᵀ·a2 + b2  (second component of Eq. 5).
-				propagated := r.Transform.PropagateLocation(pl.values)
-				value = propagated[1]
-				idx.stats.LocationEstimated++
-			} else {
-				s, err := d.Series(id)
-				if err != nil {
-					return err
-				}
-				v, err := stats.ComputeLocation(m, s)
-				if err != nil {
-					return err
-				}
-				value = v
-				idx.stats.LocationComputed++
+	type pivotLoc struct {
+		values map[stats.Measure][2]float64
+	}
+	pivotLocs, err := par.Gather(len(pivotOrder), idx.opts.buildParallelism(), func(i int) (pivotLoc, error) {
+		op, err := rel.PivotMatrix(d, pivotOrder[i])
+		if err != nil {
+			return pivotLoc{}, err
+		}
+		pl := pivotLoc{values: make(map[stats.Measure][2]float64, len(measures))}
+		for _, m := range measures {
+			vals, err := stats.PairMatrixLocation(m, op)
+			if err != nil {
+				return pivotLoc{}, err
 			}
+			pl.values[m] = [2]float64{vals[0], vals[1]}
+		}
+		return pl, nil
+	})
+	if err != nil {
+		return err
+	}
+	locByPivot := make(map[symex.Pivot]pivotLoc, len(pivotOrder))
+	for i, p := range pivotOrder {
+		locByPivot[p] = pivotLocs[i]
+	}
+
+	// Per-series values, sharded by series; the direct (fallback) computation
+	// dominates here for series that only appear as the common member.
+	values := make([]map[stats.Measure]float64, len(ids))
+	estimated := 0
+	err = par.Do(len(ids), idx.opts.buildParallelism(), func(i int) error {
+		id := ids[i]
+		r := chosen[id]
+		vals := make(map[stats.Measure]float64, len(measures))
+		for _, m := range measures {
+			if r != nil {
+				// L(other) = L(O_p)ᵀ·a2 + b2  (second component of Eq. 5).
+				propagated := r.Transform.PropagateLocation(locByPivot[r.Pivot].values[m])
+				vals[m] = propagated[1]
+				continue
+			}
+			s, err := d.Series(id)
+			if err != nil {
+				return err
+			}
+			v, err := stats.ComputeLocation(m, s)
+			if err != nil {
+				return err
+			}
+			vals[m] = v
+		}
+		values[i] = vals
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Sequential inserts in (series, measure) order: ties inside a tree keep
+	// insertion order, so this fixes the scan order deterministically.
+	for i, id := range ids {
+		if chosen[id] != nil {
+			estimated++
+		}
+		for _, m := range measures {
+			value := values[i][m]
 			idx.location[m].Insert(value, seriesEntry{id: id, value: value})
 			idx.stats.TotalTreeInsertion++
 		}
 	}
+	idx.stats.LocationEstimated = estimated * len(measures)
+	idx.stats.LocationComputed = (len(ids) - estimated) * len(measures)
 	return nil
+}
+
+// pairLess orders canonical pairs lexicographically.
+func pairLess(a, b timeseries.Pair) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// sortedMeasures returns the keys of a measure set in ascending order.
+func sortedMeasures(set map[stats.Measure]bool) []stats.Measure {
+	out := make([]stats.Measure, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // separableNormalizer computes the per-pair normalizer U_e of a separable

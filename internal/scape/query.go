@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/par"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
@@ -106,6 +107,84 @@ func (idx *Index) SeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.Ser
 	return out, nil
 }
 
+// PairQuery describes one pairwise MET or MER query of a batch.
+type PairQuery struct {
+	// Measure is the T- or D-measure queried.
+	Measure stats.Measure
+	// Range selects a MER query over [Lo, Hi]; otherwise the query is a MET
+	// query with threshold Tau and direction Op.
+	Range  bool
+	Op     ThresholdOp
+	Tau    float64
+	Lo, Hi float64
+}
+
+// PairBatch answers a batch of pairwise MET/MER queries in one pass over the
+// pivot nodes: every node is visited once and serves all queries from its
+// B-trees before the scan moves on, sharing the per-node α lookups and the
+// node traversal across the batch.  out[i] holds the result of qs[i] and is
+// identical — including order — to the result of the corresponding single
+// PairThreshold/PairRange call.
+func (idx *Index) PairBatch(qs []PairQuery) ([][]timeseries.Pair, error) {
+	for _, q := range qs {
+		switch q.Measure.Class() {
+		case stats.DispersionClass:
+		case stats.DerivedClass:
+			if !idx.derivedSet[q.Measure] {
+				return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
+			}
+		default:
+			return nil, fmt.Errorf("%w: %v is not a pairwise measure", ErrBadQuery, q.Measure)
+		}
+		if q.Range && q.Lo > q.Hi {
+			return nil, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, q.Lo, q.Hi)
+		}
+		if !q.Range && q.Op != Above && q.Op != Below {
+			return nil, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(q.Op))
+		}
+	}
+	// parts[block][query] — every worker walks a contiguous block of pivot
+	// nodes answering all queries per node, merged per query in block order
+	// (the same order the single-query scans use).
+	blocks := par.Blocks(len(idx.pivots), idx.opts.Parallelism)
+	parts := make([][][]timeseries.Pair, len(blocks))
+	err := par.Do(len(blocks), idx.opts.Parallelism, func(b int) error {
+		local := make([][]timeseries.Pair, len(qs))
+		for _, node := range idx.pivots[blocks[b].Lo:blocks[b].Hi] {
+			for qi, q := range qs {
+				var err error
+				switch {
+				case q.Measure.Class() == stats.DispersionClass && q.Range:
+					local[qi], err = nodeBaseRange(node, q.Measure, q.Lo, q.Hi, local[qi])
+				case q.Measure.Class() == stats.DispersionClass:
+					local[qi], err = nodeBaseThreshold(node, q.Measure, q.Tau, q.Op, local[qi])
+				case q.Range:
+					local[qi], err = idx.nodeDerivedRange(node, q.Measure, q.Lo, q.Hi, local[qi])
+				default:
+					local[qi], err = idx.nodeDerivedThreshold(node, q.Measure, q.Tau, q.Op, local[qi])
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+		parts[b] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]timeseries.Pair, len(qs))
+	for qi := range qs {
+		perBlock := make([][]timeseries.Pair, len(parts))
+		for b := range parts {
+			perBlock[b] = parts[b][qi]
+		}
+		out[qi] = par.FlattenBlocks(perBlock)
+	}
+	return out, nil
+}
+
 // PairValue returns the index's representation of a pairwise measure for a
 // single sequence pair (the value ‖α‖·ξ, divided by the stored normalizer for
 // D-measures).  It is mainly useful for diagnostics and tests; bulk
@@ -149,70 +228,107 @@ func (idx *Index) PairValue(m stats.Measure, e timeseries.Pair) (float64, error)
 	return 0, fmt.Errorf("scape: pair %v not present in the index", e)
 }
 
+// shardPivots runs scan over every pivot node — in parallel when the index
+// was built with Parallelism > 1 — and concatenates the per-node results in
+// pivot-node order.  idx.pivots is sorted deterministically at build time, so
+// the merged result is byte-identical at any parallelism level and across
+// rebuilds.
+func (idx *Index) shardPivots(scan func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error)) ([]timeseries.Pair, error) {
+	// Contiguous node blocks (not one task per node) keep the per-task
+	// dispatch overhead negligible next to the tree scans; scans append into
+	// the per-block buffer directly, so matching pairs are written once.
+	blocks := par.Blocks(len(idx.pivots), idx.opts.Parallelism)
+	parts := make([][]timeseries.Pair, len(blocks))
+	err := par.Do(len(blocks), idx.opts.Parallelism, func(b int) error {
+		for _, node := range idx.pivots[blocks[b].Lo:blocks[b].Hi] {
+			var err error
+			parts[b], err = scan(node, parts[b])
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return par.FlattenBlocks(parts), nil
+}
+
 // baseThreshold processes MET queries for T- and L-indexed pair measures by
 // converting the threshold into the scalar projection domain: τ' = τ/‖α_q‖
 // per pivot node, followed by an ordered scan of the B-tree (Section 5.2).
+// Pivot nodes are independent, so the scan shards across them.
 func (idx *Index) baseThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.Pair, error) {
-	var out []timeseries.Pair
-	for _, node := range idx.pivots {
-		pm, ok := node.measures[m]
-		if !ok {
-			return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-		}
-		if pm.alphaNorm == 0 {
-			// Degenerate pivot: every value it represents is 0.
-			if (op == Above && 0 > tau) || (op == Below && 0 < tau) {
-				pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
-					out = append(out, sn.pair)
-					return true
-				})
-			}
-			continue
-		}
-		modified := tau / pm.alphaNorm
-		switch op {
-		case Above:
-			pm.tree.AscendGreaterOrEqual(modified, func(key float64, sn *sequenceNode) bool {
-				if key > modified {
-					out = append(out, sn.pair)
-				}
-				return true
-			})
-		case Below:
-			pm.tree.AscendLessThan(modified, func(_ float64, sn *sequenceNode) bool {
+	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
+		return nodeBaseThreshold(node, m, tau, op, out)
+	})
+}
+
+// nodeBaseThreshold scans one pivot node for a T-measure MET query.
+func nodeBaseThreshold(node *pivotNode, m stats.Measure, tau float64, op ThresholdOp, out []timeseries.Pair) ([]timeseries.Pair, error) {
+	pm, ok := node.measures[m]
+	if !ok {
+		return out, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+	if pm.alphaNorm == 0 {
+		// Degenerate pivot: every value it represents is 0.
+		if (op == Above && 0 > tau) || (op == Below && 0 < tau) {
+			pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
 				out = append(out, sn.pair)
 				return true
 			})
 		}
+		return out, nil
+	}
+	modified := tau / pm.alphaNorm
+	switch op {
+	case Above:
+		pm.tree.AscendGreaterOrEqual(modified, func(key float64, sn *sequenceNode) bool {
+			if key > modified {
+				out = append(out, sn.pair)
+			}
+			return true
+		})
+	case Below:
+		pm.tree.AscendLessThan(modified, func(_ float64, sn *sequenceNode) bool {
+			out = append(out, sn.pair)
+			return true
+		})
 	}
 	return out, nil
 }
 
 // baseRange processes MER queries for T-measures with modified bounds
-// τ'l = τl/‖α_q‖ and τ'u = τu/‖α_q‖ per pivot node.
+// τ'l = τl/‖α_q‖ and τ'u = τu/‖α_q‖ per pivot node, sharded across pivot
+// nodes.
 func (idx *Index) baseRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
-	var out []timeseries.Pair
-	for _, node := range idx.pivots {
-		pm, ok := node.measures[m]
-		if !ok {
-			return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-		}
-		if pm.alphaNorm == 0 {
-			if lo <= 0 && 0 <= hi {
-				pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
-					out = append(out, sn.pair)
-					return true
-				})
-			}
-			continue
-		}
-		modLo := lo / pm.alphaNorm
-		modHi := hi / pm.alphaNorm
-		pm.tree.AscendRange(modLo, modHi, func(_ float64, sn *sequenceNode) bool {
-			out = append(out, sn.pair)
-			return true
-		})
+	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
+		return nodeBaseRange(node, m, lo, hi, out)
+	})
+}
+
+// nodeBaseRange scans one pivot node for a T-measure MER query.
+func nodeBaseRange(node *pivotNode, m stats.Measure, lo, hi float64, out []timeseries.Pair) ([]timeseries.Pair, error) {
+	pm, ok := node.measures[m]
+	if !ok {
+		return out, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
 	}
+	if pm.alphaNorm == 0 {
+		if lo <= 0 && 0 <= hi {
+			pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
+				out = append(out, sn.pair)
+				return true
+			})
+		}
+		return out, nil
+	}
+	modLo := lo / pm.alphaNorm
+	modHi := hi / pm.alphaNorm
+	pm.tree.AscendRange(modLo, modHi, func(_ float64, sn *sequenceNode) bool {
+		out = append(out, sn.pair)
+		return true
+	})
 	return out, nil
 }
 
@@ -226,62 +342,66 @@ func (idx *Index) derivedThreshold(m stats.Measure, tau float64, op ThresholdOp)
 	if !idx.derivedSet[m] {
 		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
 	}
+	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
+		return idx.nodeDerivedThreshold(node, m, tau, op, out)
+	})
+}
+
+// nodeDerivedThreshold scans one pivot node for a D-measure MET query.
+func (idx *Index) nodeDerivedThreshold(node *pivotNode, m stats.Measure, tau float64, op ThresholdOp, out []timeseries.Pair) ([]timeseries.Pair, error) {
 	base := m.Base()
-	var out []timeseries.Pair
-	for _, node := range idx.pivots {
-		pm, ok := node.measures[base]
-		if !ok {
-			return nil, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+	pm, ok := node.measures[base]
+	if !ok {
+		return out, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+	}
+	if node.pairs == 0 {
+		return out, nil
+	}
+	bounds := node.normBounds[m]
+	uMin, uMax := bounds[0], bounds[1]
+	include := func(sn *sequenceNode, xi float64) {
+		if accepted := idx.derivedCompare(pm, sn, m, xi, tau, op); accepted {
+			out = append(out, sn.pair)
 		}
-		bounds := node.normBounds[m]
-		uMin, uMax := bounds[0], bounds[1]
-		if node.pairs == 0 {
-			continue
-		}
-		include := func(sn *sequenceNode, xi float64) {
-			if accepted := idx.derivedCompare(pm, sn, m, xi, tau, op); accepted {
+	}
+	if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
+		// No pruning possible (or disabled): evaluate every node.
+		pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
+			include(sn, xi)
+			return true
+		})
+		return out, nil
+	}
+	switch op {
+	case Above:
+		// Start the scan at the smallest ξ that could still qualify.
+		scanStart := pruneLowerBound(tau, uMin, uMax, pm.alphaNorm)
+		definite := pruneDefiniteAbove(tau, uMin, uMax, pm.alphaNorm)
+		pm.tree.AscendGreaterOrEqual(scanStart, func(xi float64, sn *sequenceNode) bool {
+			if xi > definite {
+				// ξ beyond τ'max: in the result for every possible U.
 				out = append(out, sn.pair)
+				return true
 			}
-		}
-		if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
-			// No pruning possible (or disabled): evaluate every node.
-			pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
-				include(sn, xi)
+			include(sn, xi)
+			return true
+		})
+	case Below:
+		// Mirror image: scan from the bottom up to the largest ξ that
+		// could still qualify.
+		scanEnd := pruneUpperBound(tau, uMin, uMax, pm.alphaNorm)
+		definite := pruneDefiniteBelow(tau, uMin, uMax, pm.alphaNorm)
+		pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
+			if xi > scanEnd {
+				return false
+			}
+			if xi < definite {
+				out = append(out, sn.pair)
 				return true
-			})
-			continue
-		}
-		switch op {
-		case Above:
-			// Start the scan at the smallest ξ that could still qualify.
-			scanStart := pruneLowerBound(tau, uMin, uMax, pm.alphaNorm)
-			definite := pruneDefiniteAbove(tau, uMin, uMax, pm.alphaNorm)
-			pm.tree.AscendGreaterOrEqual(scanStart, func(xi float64, sn *sequenceNode) bool {
-				if xi > definite {
-					// ξ beyond τ'max: in the result for every possible U.
-					out = append(out, sn.pair)
-					return true
-				}
-				include(sn, xi)
-				return true
-			})
-		case Below:
-			// Mirror image: scan from the bottom up to the largest ξ that
-			// could still qualify.
-			scanEnd := pruneUpperBound(tau, uMin, uMax, pm.alphaNorm)
-			definite := pruneDefiniteBelow(tau, uMin, uMax, pm.alphaNorm)
-			pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
-				if xi > scanEnd {
-					return false
-				}
-				if xi < definite {
-					out = append(out, sn.pair)
-					return true
-				}
-				include(sn, xi)
-				return true
-			})
-		}
+			}
+			include(sn, xi)
+			return true
+		})
 	}
 	return out, nil
 }
@@ -293,47 +413,51 @@ func (idx *Index) derivedRange(m stats.Measure, lo, hi float64) ([]timeseries.Pa
 	if !idx.derivedSet[m] {
 		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
 	}
+	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
+		return idx.nodeDerivedRange(node, m, lo, hi, out)
+	})
+}
+
+// nodeDerivedRange scans one pivot node for a D-measure MER query.
+func (idx *Index) nodeDerivedRange(node *pivotNode, m stats.Measure, lo, hi float64, out []timeseries.Pair) ([]timeseries.Pair, error) {
 	base := m.Base()
-	var out []timeseries.Pair
-	for _, node := range idx.pivots {
-		pm, ok := node.measures[base]
-		if !ok {
-			return nil, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+	pm, ok := node.measures[base]
+	if !ok {
+		return out, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+	}
+	if node.pairs == 0 {
+		return out, nil
+	}
+	bounds := node.normBounds[m]
+	uMin, uMax := bounds[0], bounds[1]
+	evaluate := func(xi float64, sn *sequenceNode) {
+		v, ok := idx.derivedValue(pm, sn, m, xi)
+		if ok && v >= lo && v <= hi {
+			out = append(out, sn.pair)
 		}
-		if node.pairs == 0 {
-			continue
-		}
-		bounds := node.normBounds[m]
-		uMin, uMax := bounds[0], bounds[1]
-		evaluate := func(xi float64, sn *sequenceNode) {
-			v, ok := idx.derivedValue(pm, sn, m, xi)
-			if ok && v >= lo && v <= hi {
-				out = append(out, sn.pair)
-			}
-		}
-		if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
-			pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
-				evaluate(xi, sn)
-				return true
-			})
-			continue
-		}
-		scanStart := pruneLowerBound(lo, uMin, uMax, pm.alphaNorm)
-		scanEnd := pruneUpperBound(hi, uMin, uMax, pm.alphaNorm)
-		// Inside [definiteLo, definiteHi] the value is within [lo, hi] for
-		// every possible normalizer (case I of Fig. 8(b)); such nodes are
-		// accepted without evaluating the exact value.
-		definiteLo := pruneDefiniteAbove(lo, uMin, uMax, pm.alphaNorm)
-		definiteHi := pruneDefiniteBelow(hi, uMin, uMax, pm.alphaNorm)
-		pm.tree.AscendRange(scanStart, scanEnd, func(xi float64, sn *sequenceNode) bool {
-			if xi > definiteLo && xi < definiteHi {
-				out = append(out, sn.pair)
-				return true
-			}
+	}
+	if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
+		pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
 			evaluate(xi, sn)
 			return true
 		})
+		return out, nil
 	}
+	scanStart := pruneLowerBound(lo, uMin, uMax, pm.alphaNorm)
+	scanEnd := pruneUpperBound(hi, uMin, uMax, pm.alphaNorm)
+	// Inside [definiteLo, definiteHi] the value is within [lo, hi] for
+	// every possible normalizer (case I of Fig. 8(b)); such nodes are
+	// accepted without evaluating the exact value.
+	definiteLo := pruneDefiniteAbove(lo, uMin, uMax, pm.alphaNorm)
+	definiteHi := pruneDefiniteBelow(hi, uMin, uMax, pm.alphaNorm)
+	pm.tree.AscendRange(scanStart, scanEnd, func(xi float64, sn *sequenceNode) bool {
+		if xi > definiteLo && xi < definiteHi {
+			out = append(out, sn.pair)
+			return true
+		}
+		evaluate(xi, sn)
+		return true
+	})
 	return out, nil
 }
 

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeSamples turns fuzz bytes into a bounded list of finite, moderately
+// sized samples (the realistic regime for the incremental statistics, whose
+// documented accuracy contract excludes astronomically scaled inputs).
+func decodeSamples(data []byte) []float64 {
+	const maxSamples = 256
+	var out []float64
+	for len(data) >= 8 && len(out) < maxSamples {
+		bits := binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Mod(v, 1e4))
+	}
+	return out
+}
+
+// approxEqual compares with a relative tolerance scaled to the magnitudes
+// involved in the moment formulas (sums of squares of the folded samples).
+func approxEqual(a, b, scale float64) bool {
+	tol := 1e-7 * math.Max(1, scale)
+	return math.Abs(a-b) <= tol
+}
+
+// FuzzRunningAddEvict slides a Running window along a fuzzed sample stream
+// and cross-checks count, sum, squared norm, mean and variance against a
+// recomputation from the raw samples remaining in the window.
+func FuzzRunningAddEvict(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add(sampleBytes(1, 2, 3, 4, 5), uint8(2))
+	f.Add(sampleBytes(-1000, 1000, 0.5, -0.25, 3.75, 42), uint8(3))
+	f.Add(sampleBytes(7, 7, 7, 7, 7, 7, 7), uint8(5))
+
+	f.Fuzz(func(t *testing.T, data []byte, evictCount uint8) {
+		samples := decodeSamples(data)
+		var r Running
+		r.Add(samples...)
+		evict := int(evictCount)
+		if evict > len(samples) {
+			evict = len(samples)
+		}
+		r.Evict(samples[:evict]...)
+		window := samples[evict:]
+
+		if r.Count() != len(window) {
+			t.Fatalf("Count = %d, want %d", r.Count(), len(window))
+		}
+		var sum, sumSq float64
+		for _, v := range window {
+			sum += v
+			sumSq += v * v
+		}
+		// The incremental error is proportional to the magnitudes that passed
+		// through the window — evicted mass included (that is exactly why the
+		// engine refreshes the sums periodically) — so the tolerance scales
+		// with all samples ever added, not just the surviving window.
+		var scale float64
+		for _, v := range samples {
+			scale += v * v
+		}
+		if !approxEqual(r.Sum(), sum, scale) {
+			t.Fatalf("Sum = %v, want %v", r.Sum(), sum)
+		}
+		if !approxEqual(r.SqNorm(), sumSq, scale) {
+			t.Fatalf("SqNorm = %v, want %v", r.SqNorm(), sumSq)
+		}
+		if len(window) > 0 {
+			mean := sum / float64(len(window))
+			if !approxEqual(r.Mean(), mean, scale) {
+				t.Fatalf("Mean = %v, want %v", r.Mean(), mean)
+			}
+		}
+		if len(window) >= 2 {
+			mean := sum / float64(len(window))
+			var ss float64
+			for _, v := range window {
+				ss += (v - mean) * (v - mean)
+			}
+			wantVar := ss / float64(len(window)-1)
+			if !approxEqual(r.Variance(), wantVar, scale) {
+				t.Fatalf("Variance = %v, want %v (window %v)", r.Variance(), wantVar, window)
+			}
+			if r.Variance() < 0 {
+				t.Fatalf("Variance = %v < 0", r.Variance())
+			}
+		}
+	})
+}
+
+// FuzzRunningPairAddEvict does the same for the joint statistics backing the
+// pivot summaries: covariance, variances, dot product and the line fit must
+// match a recomputation from the raw aligned windows.
+func FuzzRunningPairAddEvict(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add(sampleBytes(1, 2, 3, 4, 5, 6, 7, 8), uint8(1))
+	f.Add(sampleBytes(0.5, -0.5, 1.5, -1.5, 10, -10, 2, 3, 4, 5), uint8(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, evictCount uint8) {
+		samples := decodeSamples(data)
+		m := len(samples) / 2
+		xs, ys := samples[:m], samples[m:2*m]
+
+		var r RunningPair
+		for i := 0; i < m; i++ {
+			r.Add(xs[i], ys[i])
+		}
+		evict := int(evictCount)
+		if evict > m {
+			evict = m
+		}
+		for i := 0; i < evict; i++ {
+			r.Evict(xs[i], ys[i])
+		}
+		wx, wy := xs[evict:], ys[evict:]
+		k := len(wx)
+
+		if r.Count() != k {
+			t.Fatalf("Count = %d, want %d", r.Count(), k)
+		}
+		var sumX, sumY, sumXX, sumYY, sumXY float64
+		for i := 0; i < k; i++ {
+			sumX += wx[i]
+			sumY += wy[i]
+			sumXX += wx[i] * wx[i]
+			sumYY += wy[i] * wy[i]
+			sumXY += wx[i] * wy[i]
+		}
+		// As in FuzzRunningAddEvict: tolerance scales with all samples ever
+		// added, since evicted mass leaves rounding residue behind.
+		var scale float64
+		for i := 0; i < m; i++ {
+			scale += xs[i]*xs[i] + ys[i]*ys[i]
+		}
+		if !approxEqual(r.DotProduct(), sumXY, scale) {
+			t.Fatalf("DotProduct = %v, want %v", r.DotProduct(), sumXY)
+		}
+		sums := r.Sums()
+		if !approxEqual(sums[0], sumX, scale) || !approxEqual(sums[1], sumY, scale) {
+			t.Fatalf("Sums = %v, want (%v, %v)", sums, sumX, sumY)
+		}
+		if k >= 2 {
+			nf := float64(k)
+			meanX, meanY := sumX/nf, sumY/nf
+			var cxx, cyy, cxy float64
+			for i := 0; i < k; i++ {
+				cxx += (wx[i] - meanX) * (wx[i] - meanX)
+				cyy += (wy[i] - meanY) * (wy[i] - meanY)
+				cxy += (wx[i] - meanX) * (wy[i] - meanY)
+			}
+			if !approxEqual(r.VarianceX(), cxx/(nf-1), scale) {
+				t.Fatalf("VarianceX = %v, want %v", r.VarianceX(), cxx/(nf-1))
+			}
+			if !approxEqual(r.VarianceY(), cyy/(nf-1), scale) {
+				t.Fatalf("VarianceY = %v, want %v", r.VarianceY(), cyy/(nf-1))
+			}
+			if !approxEqual(r.Covariance(), cxy/(nf-1), scale) {
+				t.Fatalf("Covariance = %v, want %v", r.Covariance(), cxy/(nf-1))
+			}
+			// Line fit invariants: residual fraction is in [0, 1] and the fit
+			// reproduces a perfectly linear relationship.
+			_, _, resid := r.LineFit()
+			if resid < 0 || resid > 1 || math.IsNaN(resid) {
+				t.Fatalf("LineFit residual fraction = %v out of [0,1]", resid)
+			}
+		}
+	})
+}
+
+func sampleBytes(values ...float64) []byte {
+	out := make([]byte, 0, len(values)*8)
+	for _, v := range values {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		out = append(out, b[:]...)
+	}
+	return out
+}

@@ -20,12 +20,12 @@ package symex
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"affinity/internal/affine"
 	"affinity/internal/cluster"
 	"affinity/internal/lsfd"
 	"affinity/internal/mat"
+	"affinity/internal/par"
 	"affinity/internal/timeseries"
 )
 
@@ -393,7 +393,7 @@ func (f *fitter) fitAll(assignments []assignment, parallelism int) ([]fittedRela
 			}
 		}
 		pinvs := make([]*mat.Matrix, len(pivots))
-		err := runParallel(len(pivots), parallelism, func(i int) error {
+		err := par.Do(len(pivots), parallelism, func(i int) error {
 			pinv, err := f.designPseudoInverse(pivots[i])
 			if err != nil {
 				return err
@@ -410,7 +410,7 @@ func (f *fitter) fitAll(assignments []assignment, parallelism int) ([]fittedRela
 	}
 
 	out := make([]fittedRelationship, len(assignments))
-	err := runParallel(len(assignments), parallelism, func(i int) error {
+	err := par.Do(len(assignments), parallelism, func(i int) error {
 		fr, err := f.fitOne(assignments[i])
 		if err != nil {
 			return err
@@ -493,59 +493,4 @@ func (f *fitter) designPseudoInverse(p Pivot) (*mat.Matrix, error) {
 		return nil, err
 	}
 	return mat.PseudoInverse(design)
-}
-
-// runParallel executes fn(i) for i in [0, count) with up to `parallelism`
-// goroutines (sequentially when parallelism <= 1), returning the first error
-// encountered.
-func runParallel(count, parallelism int, fn func(i int) error) error {
-	if count == 0 {
-		return nil
-	}
-	if parallelism <= 1 {
-		for i := 0; i < count; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if parallelism > count {
-		parallelism = count
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	errCh := make(chan error, parallelism)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			failed := false
-			// Keep draining the channel after a failure so the producer never
-			// blocks; remaining work is skipped.
-			for i := range next {
-				if failed {
-					continue
-				}
-				if err := fn(i); err != nil {
-					failed = true
-					select {
-					case errCh <- err:
-					default:
-					}
-				}
-			}
-		}()
-	}
-	for i := 0; i < count; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
-	}
 }
