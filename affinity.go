@@ -35,10 +35,13 @@
 //		fmt.Println(data.Name(pair.U), data.Name(pair.V))
 //	}
 //
-// The three execution methods mirror the paper's evaluation: Naive recomputes
-// from raw data (W_N), Affine uses the affine relationships (W_A), and Index
-// uses the SCAPE index.  Results from Affine and Index are identical; they
-// approximate Naive with the small errors reported in EXPERIMENTS.md.
+// The three concrete execution methods mirror the paper's evaluation: Naive
+// recomputes from raw data (W_N), Affine uses the affine relationships (W_A),
+// and Index uses the SCAPE index.  Results from Affine and Index are
+// identical; they approximate Naive with the small errors reported in
+// EXPERIMENTS.md.  A fourth method, Auto, routes each query through a
+// cost-based planner that estimates the query's selectivity from the index
+// and picks the cheapest applicable method; Explain exposes the plan.
 //
 // # Streaming
 //
@@ -62,6 +65,7 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/dataset"
+	"affinity/internal/plan"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -110,6 +114,52 @@ const (
 	Affine = core.MethodAffine
 	// Index answers threshold and range queries from the SCAPE index.
 	Index = core.MethodIndex
+	// Auto lets the cost-based planner pick the cheapest applicable method
+	// per query, from the index's selectivity estimate and the engine's
+	// table statistics.  No method wins everywhere (Section 6); Auto is the
+	// right default when the workload mixes selectivities and measures.
+	Auto = core.MethodAuto
+)
+
+// QuerySpec is the logical form of one MET/MER query, used by Explain.
+// Build one with ThresholdSpec or RangeSpec.
+type QuerySpec = plan.QuerySpec
+
+// QueryPlan is the planner's decision for one query: chosen method,
+// per-method cost estimates, estimated and actual result sizes.
+type QueryPlan = plan.Plan
+
+// CostModel holds the planner's per-operation cost coefficients
+// (Options.CostModel; the zero value selects the calibrated defaults).
+type CostModel = plan.CostModel
+
+// DefaultCostModel returns the calibrated default planner coefficients.
+func DefaultCostModel() CostModel { return plan.DefaultCostModel() }
+
+// ThresholdSpec builds the logical spec of a MET query for Explain.
+func ThresholdSpec(m Measure, tau float64, op ThresholdOp) QuerySpec {
+	return plan.Threshold(m, tau, op)
+}
+
+// RangeSpec builds the logical spec of a MER query for Explain.
+func RangeSpec(m Measure, lo, hi float64) QuerySpec {
+	return plan.Range(m, lo, hi)
+}
+
+// Typed query errors, shared by the single and batched entry points.
+var (
+	// ErrBadMethod reports an unsupported method for the query.
+	ErrBadMethod = core.ErrBadMethod
+	// ErrNoIndex reports an index query against an engine built with
+	// SkipIndex.
+	ErrNoIndex = core.ErrNoIndex
+	// ErrMeasureNotIndexed reports an index query on a measure the index
+	// cannot serve (e.g. the Jaccard coefficient).
+	ErrMeasureNotIndexed = core.ErrMeasureNotIndexed
+	// ErrEmptyRange reports a range query with lo > hi.
+	ErrEmptyRange = core.ErrEmptyRange
+	// ErrBadThresholdOp reports an unknown threshold operator.
+	ErrBadThresholdOp = core.ErrBadThresholdOp
 )
 
 // ThresholdOp selects the comparison direction of a threshold query.
@@ -239,6 +289,9 @@ type Options struct {
 	// LSFD exceeds the bound.  Queries on pruned pairs transparently fall
 	// back to the naive method; index queries do not report pruned pairs.
 	MaxLSFD float64
+	// CostModel overrides the planner's per-operation cost coefficients used
+	// by the Auto method and Explain (zero value = calibrated defaults).
+	CostModel CostModel
 	// Stream configures the streaming update path (Append/Advance).
 	Stream StreamOptions
 }
@@ -261,6 +314,7 @@ func New(d *Dataset, opts Options) (*Engine, error) {
 		SkipIndex:                 opts.SkipIndex,
 		Parallelism:               opts.Parallelism,
 		MaxLSFD:                   opts.MaxLSFD,
+		CostModel:                 opts.CostModel,
 		Stream: core.StreamConfig{
 			DriftBound:        opts.Stream.DriftBound,
 			AutoAdvance:       opts.Stream.AutoAdvance,
@@ -310,6 +364,18 @@ func (e *Engine) Threshold(m Measure, tau float64, op ThresholdOp, method Method
 // in [lo, hi].
 func (e *Engine) Range(m Measure, lo, hi float64, method Method) (Result, error) {
 	return e.inner.Range(m, lo, hi, method)
+}
+
+// Explain plans a MET/MER query, executes it, and returns the result with the
+// plan: per-method cost estimates, the selectivity estimate that drove the
+// choice, and the observed actuals (rows, duration).  With Auto the plan
+// shows the planner's pick; with a concrete method it prices that method and
+// keeps the alternatives for comparison.
+//
+//	res, plan, _ := eng.Explain(affinity.ThresholdSpec(affinity.Correlation, 0.9, affinity.Above), affinity.Auto)
+//	fmt.Println(plan) // MET correlation > 0.9 → SCAPE (est 118 rows, cost ...)
+func (e *Engine) Explain(spec QuerySpec, method Method) (Result, QueryPlan, error) {
+	return e.inner.Explain(spec, method)
 }
 
 // ThresholdBatch answers k MET queries in one pass: the whole batch is served
@@ -369,6 +435,7 @@ func NewFromSnapshot(d *Dataset, r io.Reader, opts Options) (*Engine, error) {
 		SkipIndex:   opts.SkipIndex,
 		Parallelism: opts.Parallelism,
 		MaxLSFD:     opts.MaxLSFD,
+		CostModel:   opts.CostModel,
 		Stream: core.StreamConfig{
 			DriftBound:        opts.Stream.DriftBound,
 			AutoAdvance:       opts.Stream.AutoAdvance,

@@ -1,6 +1,7 @@
 package affinity
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -150,5 +151,55 @@ func TestPublicOptionsVariants(t *testing.T) {
 	}
 	if _, err := New(&Dataset{}, Options{}); err == nil {
 		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestPublicAutoAndExplain(t *testing.T) {
+	eng, _ := buildPublicEngine(t)
+
+	// Auto answers every query type and matches the plan's chosen method.
+	res, plan, err := eng.Explain(ThresholdSpec(Correlation, 0.9, Above), Auto)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !plan.Method.Concrete() {
+		t.Fatalf("plan method %v is not concrete", plan.Method)
+	}
+	fixed, err := eng.Threshold(Correlation, 0.9, Above, plan.Method)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != len(fixed.Pairs) {
+		t.Fatalf("auto %d pairs, fixed %d", len(res.Pairs), len(fixed.Pairs))
+	}
+	if plan.ActualRows != res.Size() || plan.Duration <= 0 {
+		t.Fatalf("plan actuals not filled: %+v", plan)
+	}
+	if !strings.Contains(plan.String(), "MET correlation") {
+		t.Fatalf("plan renders %q", plan.String())
+	}
+
+	// Range spec + fixed-method explain.
+	if _, p, err := eng.Explain(RangeSpec(Covariance, -1, 1), Naive); err != nil || p.Method != Naive {
+		t.Fatalf("fixed-method explain: %v %v", p, err)
+	}
+
+	// Auto works on batches and plain queries.
+	if _, err := eng.Range(Mean, -1, 1, Auto); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ThresholdBatch([]ThresholdQuery{{Measure: Cosine, Tau: 0.5, Op: Above}}, Auto); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ComputeLocation(Mean, eng.Data().IDs(), Auto); err != nil {
+		t.Fatal(err)
+	}
+
+	// Typed errors surface through the facade.
+	if _, err := eng.Range(Correlation, 2, 1, Auto); !errors.Is(err, ErrEmptyRange) {
+		t.Fatalf("empty range err = %v, want ErrEmptyRange", err)
+	}
+	if _, err := eng.Threshold(Jaccard, 0.5, Above, Index); !errors.Is(err, ErrMeasureNotIndexed) {
+		t.Fatalf("jaccard via index err = %v, want ErrMeasureNotIndexed", err)
 	}
 }

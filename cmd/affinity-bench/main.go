@@ -22,13 +22,14 @@ import (
 	"time"
 
 	"affinity/internal/experiments"
+	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
 
 var experimentOrder = []string{
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 	"fig15", "fig16", "table4", "ablation-pinv", "ablation-pruning",
-	"parallel",
+	"parallel", "planner",
 }
 
 func main() {
@@ -304,6 +305,34 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 				r.ThresholdResultSize)
 		}
 		return w.Flush()
+
+	case "planner":
+		// The selectivity sweep behind the cost-based planner: a correlation
+		// MET query from near-empty to full result sets on stock-data, every
+		// execution method timed, the planner's choice recorded per step.
+		ds, err := experiments.GenerateDatasets(scale)
+		if err != nil {
+			return err
+		}
+		for _, m := range []stats.Measure{stats.Correlation, stats.Covariance, stats.Jaccard} {
+			rows, err := experiments.PlannerSweep(ds.Stock, m, 6, scale.Seed, nil)
+			if err != nil {
+				return err
+			}
+			w := newTable(out)
+			fmt.Fprintln(w, "measure\ttau\tresult size\tselectivity\test rows\tcandidates\tWN\tWA\tSCAPE\tAUTO\tauto choice")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%v\t%.2f\t%d\t%.1f%%\t%d\t%d\t%v\t%v\t%v\t%v\t%s\n",
+					r.Measure, r.Tau, r.ResultSize, r.SelectivityPct, r.EstimatedRows, r.Candidates,
+					r.NaiveTime.Round(time.Microsecond), r.AffineTime.Round(time.Microsecond),
+					r.IndexTime.Round(time.Microsecond), r.AutoTime.Round(time.Microsecond),
+					r.AutoChoice)
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+		return nil
 
 	default:
 		return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experimentOrder, ", "))

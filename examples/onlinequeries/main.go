@@ -1,8 +1,13 @@
 // Online queries: simulate the online environment of Section 6.2 — a stream
 // of measure computation (MEC) queries whose measure is picked uniformly at
 // random and whose series follow a power-law popularity — and compare the
-// naive method (W_N) against the affine method (W_A), including the one-time
-// SYMEX+ cost in the affine total exactly as the paper does.
+// naive method (W_N), the affine method (W_A, including its one-time SYMEX+
+// cost exactly as the paper does) and the cost-based planner (Auto), which
+// routes each query to the method it prices cheapest.
+//
+// The example ends with an EXPLAIN session: the same threshold query at
+// several selectivities, showing the planner's per-method cost estimates,
+// its choice, and the observed result sizes.
 //
 // Run with:
 //
@@ -40,7 +45,7 @@ func main() {
 	}
 
 	fmt.Printf("online MEC workload over %d stocks; |psi| = 10 series per query\n", data.NumSeries())
-	fmt.Println("queries   WN total      WA total (incl. build)   speedup")
+	fmt.Println("queries   WN total      WA total (incl. build)   AUTO total (incl. build)   speedup WN/AUTO")
 
 	for _, count := range []int{500, 1000, 2000, 4000} {
 		queries := gen.Batch(count)
@@ -56,21 +61,51 @@ func main() {
 		}
 		naiveTotal := time.Since(naiveStart)
 
-		// W_A: the build (AFCLST + SYMEX+) happens inside the timed section.
-		affineStart := time.Now()
-		affineEngine, err := affinity.New(data, affinity.Options{Clusters: 6, Seed: 1, SkipIndex: true})
+		// W_A and Auto: the build (AFCLST + SYMEX+) happens inside the timed
+		// section, exactly like the paper's online comparison.
+		affineTotal, err := timedRun(data, queries, affinity.Affine)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := runBatch(affineEngine, queries, affinity.Affine); err != nil {
+		autoTotal, err := timedRun(data, queries, affinity.Auto)
+		if err != nil {
 			log.Fatal(err)
 		}
-		affineTotal := time.Since(affineStart)
 
-		fmt.Printf("%7d   %-12v  %-24v  %.1fx\n",
+		fmt.Printf("%7d   %-12v  %-24v  %-25v  %.1fx\n",
 			count, naiveTotal.Round(time.Millisecond), affineTotal.Round(time.Millisecond),
-			float64(naiveTotal)/float64(affineTotal))
+			autoTotal.Round(time.Millisecond), float64(naiveTotal)/float64(autoTotal))
 	}
+
+	// EXPLAIN: one engine with the index, a correlation MET query swept from
+	// highly selective to nearly unselective.
+	eng, err := affinity.New(data, affinity.Options{Clusters: 6, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEXPLAIN correlation threshold sweep:")
+	for _, tau := range []float64{0.95, 0.8, 0.5, 0.0} {
+		res, plan, err := eng.Explain(affinity.ThresholdSpec(affinity.Correlation, tau, affinity.Above), affinity.Auto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  tau=%.2f  %v  actual=%d rows in %v\n",
+			tau, plan, res.Size(), plan.Duration.Round(time.Microsecond))
+	}
+}
+
+// timedRun builds a fresh engine and answers the whole workload with the
+// given method, returning the total wall time including the build.
+func timedRun(data *affinity.Dataset, queries []workload.MECQuery, method affinity.Method) (time.Duration, error) {
+	start := time.Now()
+	eng, err := affinity.New(data, affinity.Options{Clusters: 6, Seed: 1, SkipIndex: true})
+	if err != nil {
+		return 0, err
+	}
+	if err := runBatch(eng, queries, method); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
 }
 
 func runBatch(engine *affinity.Engine, queries []workload.MECQuery, method affinity.Method) error {

@@ -44,6 +44,14 @@ type node[V any] interface {
 	// the index of that key within the leaf.
 	firstLeafGE(key float64) (*leaf[V], int)
 	minKey() float64
+	// count returns the number of entries in the subtree (O(1): leaves count
+	// their keys, internal nodes carry a maintained total).
+	count() int
+	// rankLess returns the number of subtree entries with key strictly less
+	// than key, descending one child per level.
+	rankLess(key float64) int
+	// countLE returns the number of subtree entries with key <= key.
+	countLE(key float64) int
 }
 
 type leaf[V any] struct {
@@ -56,6 +64,9 @@ type internal[V any] struct {
 	// keys[i] is the smallest key reachable under children[i+1].
 	keys     []float64
 	children []node[V]
+	// total is the number of entries stored below this node, maintained on
+	// every insert and split so rank/count queries run in O(log n).
+	total int
 }
 
 // Insert adds an entry to the tree.
@@ -65,6 +76,7 @@ func (t *Tree[V]) Insert(key float64, value V) {
 		newRoot := &internal[V]{
 			keys:     []float64{sep},
 			children: []node[V]{t.root, right},
+			total:    t.root.count() + right.count(),
 		}
 		t.root = newRoot
 	}
@@ -110,6 +122,7 @@ func (l *leaf[V]) insert(key float64, value V, order int) (float64, node[V], boo
 func (n *internal[V]) insert(key float64, value V, order int) (float64, node[V], bool) {
 	idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
 	sep, right, split := n.children[idx].insert(key, value, order)
+	n.total++
 	if !split {
 		return 0, nil, false
 	}
@@ -131,9 +144,45 @@ func (n *internal[V]) insert(key float64, value V, order int) (float64, node[V],
 		keys:     append([]float64(nil), n.keys[mid+1:]...),
 		children: append([]node[V](nil), n.children[mid+1:]...),
 	}
+	for _, c := range sibling.children {
+		sibling.total += c.count()
+	}
 	n.keys = n.keys[:mid:mid]
 	n.children = n.children[: mid+1 : mid+1]
+	n.total -= sibling.total
 	return promoted, sibling, true
+}
+
+func (l *leaf[V]) count() int     { return len(l.keys) }
+func (n *internal[V]) count() int { return n.total }
+
+func (l *leaf[V]) rankLess(key float64) int {
+	return sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+}
+
+func (n *internal[V]) rankLess(key float64) int {
+	// Children left of the descent child hold only keys below their separator
+	// (< key), children right of it only keys at or above it (>= key), so one
+	// child per level needs a recursive count.
+	idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	r := 0
+	for j := 0; j < idx; j++ {
+		r += n.children[j].count()
+	}
+	return r + n.children[idx].rankLess(key)
+}
+
+func (l *leaf[V]) countLE(key float64) int {
+	return sort.Search(len(l.keys), func(i int) bool { return l.keys[i] > key })
+}
+
+func (n *internal[V]) countLE(key float64) int {
+	idx := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	c := 0
+	for j := 0; j < idx; j++ {
+		c += n.children[j].count()
+	}
+	return c + n.children[idx].countLE(key)
 }
 
 func (l *leaf[V]) firstLeafGE(key float64) (*leaf[V], int) {
@@ -199,14 +248,21 @@ func (t *Tree[V]) AscendLessThan(pivot float64, fn func(key float64, value V) bo
 	})
 }
 
-// CountRange returns the number of entries with min <= key <= max.
+// Rank returns the number of entries with key strictly less than key, in
+// O(log n) using the per-node subtree counts.
+func (t *Tree[V]) Rank(key float64) int { return t.root.rankLess(key) }
+
+// CountGreater returns the number of entries with key strictly greater than
+// key, in O(log n).
+func (t *Tree[V]) CountGreater(key float64) int { return t.size - t.root.countLE(key) }
+
+// CountRange returns the number of entries with min <= key <= max, in
+// O(log n) using the per-node subtree counts.
 func (t *Tree[V]) CountRange(min, max float64) int {
-	count := 0
-	t.AscendRange(min, max, func(float64, V) bool {
-		count++
-		return true
-	})
-	return count
+	if min > max {
+		return 0
+	}
+	return t.root.countLE(max) - t.root.rankLess(min)
 }
 
 // MinKey returns the smallest key and false when the tree is empty.

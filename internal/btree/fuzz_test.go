@@ -108,6 +108,20 @@ func FuzzTreeVsSortedSliceOracle(f *testing.F) {
 			}
 			assertSame(t, "AscendLessThan", p, lt, wantLT)
 
+			// Subtree-count queries against the oracle.
+			if got := tree.Rank(p); got != len(wantLT) {
+				t.Fatalf("Rank(%v) = %d, want %d", p, got, len(wantLT))
+			}
+			wantGT := 0
+			for _, e := range oracle {
+				if e.key > p {
+					wantGT++
+				}
+			}
+			if got := tree.CountGreater(p); got != wantGT {
+				t.Fatalf("CountGreater(%v) = %d, want %d", p, got, wantGT)
+			}
+
 			for _, q := range pivots {
 				if q < p {
 					continue

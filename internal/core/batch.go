@@ -5,27 +5,28 @@ import (
 	"fmt"
 
 	"affinity/internal/par"
+	"affinity/internal/plan"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
 
-// This file implements the batched query API: k MET/MER/MEC queries answered
-// against one epoch in one pass.  Batching buys three things over a loop of
-// single calls:
+// This file is the query executor: every MET/MER query — single or batched —
+// is validated into an execItem, its method resolved (the cost-based planner
+// answers MethodAuto), and the whole batch answered against one epoch:
 //
-//   - epoch pinning: the whole batch is answered from one engineState, so a
-//     concurrent Advance cannot split a batch across epochs;
-//   - shared scans: naive and affine pairwise queries over the same measure
-//     share one sweep over the sequence pairs — each pair's value (and its
-//     derived-measure normalizer) is computed once and tested against every
-//     query's predicate; index queries share the pivot-node traversal
-//     (scape.PairBatch visits every pivot node once for the whole batch);
+//   - epoch pinning: the batch is answered from one engineState, so a
+//     concurrent Advance cannot split it across epochs;
+//   - shared scans: sweep-method (naive/affine) pairwise queries on the same
+//     (measure, method) share one pass over the sequence pairs — each pair's
+//     value and derived-measure normalizer is computed once and tested
+//     against every predicate; index-method queries share the pivot-node
+//     traversal (scape.PairBatch visits every pivot node once);
 //   - parallelism: the shared sweeps shard across the engine's worker pool.
 //
 // Results are guaranteed — and pinned by TestBatchMatchesSingleQueries — to
 // equal the corresponding sequence of single-query calls, element for
-// element, in the same order.
+// element, in the same order; single queries are literally batches of one.
 
 // ThresholdQuery describes one MET query of a batch.
 type ThresholdQuery struct {
@@ -57,13 +58,31 @@ type ComputeResult struct {
 // ThresholdBatch answers a batch of MET queries with the selected method.
 // out[i] corresponds to qs[i] and is identical to Threshold(qs[i]...).
 func (e *Engine) ThresholdBatch(qs []ThresholdQuery, method Method) ([]ThresholdResult, error) {
-	return e.state().thresholdBatch(qs, method)
+	st := e.state()
+	items := make([]execItem, len(qs))
+	for i, q := range qs {
+		it, err := st.newItem(plan.Threshold(q.Measure, q.Tau, q.Op), method)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = it
+	}
+	return st.runBatch(items)
 }
 
 // RangeBatch answers a batch of MER queries with the selected method.
 // out[i] corresponds to qs[i] and is identical to Range(qs[i]...).
 func (e *Engine) RangeBatch(qs []RangeQuery, method Method) ([]ThresholdResult, error) {
-	return e.state().rangeBatch(qs, method)
+	st := e.state()
+	items := make([]execItem, len(qs))
+	for i, q := range qs {
+		it, err := st.newItem(plan.Range(q.Measure, q.Lo, q.Hi), method)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = it
+	}
+	return st.runBatch(items)
 }
 
 // ComputeBatch answers a batch of MEC queries with the selected method.
@@ -73,134 +92,194 @@ func (e *Engine) ComputeBatch(qs []ComputeQuery, method Method) ([]ComputeResult
 	return e.state().computeBatch(qs, method)
 }
 
-// pairPredicate is the filter form shared by MET and MER pair queries.
-type pairPredicate struct {
-	measure stats.Measure
-	keep    func(float64) bool
-}
-
-// batchItem is one validated query of a MET/MER batch in dispatch form:
-// either a location query answered directly, or a pairwise query carrying
-// both its index form (scape.PairQuery) and its sweep form (pairPredicate).
-type batchItem struct {
-	location  func() (ThresholdResult, error)
+// execItem is one validated MET/MER query in executor form: its logical spec,
+// the resolved concrete method, and the forms the execution paths consume
+// (the index's query struct, the sweep predicate).
+type execItem struct {
+	spec      plan.QuerySpec
+	method    Method
+	location  bool
 	pairQuery scape.PairQuery
-	pred      pairPredicate
+	keep      func(float64) bool
 }
 
-func (e *engineState) thresholdBatch(qs []ThresholdQuery, method Method) ([]ThresholdResult, error) {
-	items := make([]batchItem, len(qs))
-	for i, q := range qs {
-		q := q
-		if q.Op != scape.Above && q.Op != scape.Below {
-			return nil, fmt.Errorf("core: unknown threshold operator %d", int(q.Op))
-		}
-		if q.Measure.Class() == stats.LocationClass {
-			items[i] = batchItem{location: func() (ThresholdResult, error) {
-				return e.threshold(q.Measure, q.Tau, q.Op, method)
-			}}
-			continue
-		}
-		items[i] = batchItem{
-			pairQuery: scape.PairQuery{Measure: q.Measure, Tau: q.Tau, Op: q.Op},
-			pred:      pairPredicate{measure: q.Measure, keep: thresholdKeep(q.Tau, q.Op == scape.Above)},
-		}
+// newItem validates a MET/MER spec and resolves its execution method (the
+// planner answers MethodAuto).  Validation precedes resolution so malformed
+// queries fail with the same typed error under every method.
+func (e *engineState) newItem(spec plan.QuerySpec, method Method) (execItem, error) {
+	if err := validateSpec(spec); err != nil {
+		return execItem{}, err
 	}
-	return e.runBatch(items, method)
-}
-
-func (e *engineState) rangeBatch(qs []RangeQuery, method Method) ([]ThresholdResult, error) {
-	items := make([]batchItem, len(qs))
-	for i, q := range qs {
-		q := q
-		if q.Lo > q.Hi {
-			return nil, fmt.Errorf("core: empty range [%v, %v]", q.Lo, q.Hi)
-		}
-		if q.Measure.Class() == stats.LocationClass {
-			items[i] = batchItem{location: func() (ThresholdResult, error) {
-				return e.rangeQuery(q.Measure, q.Lo, q.Hi, method)
-			}}
-			continue
-		}
-		items[i] = batchItem{
-			pairQuery: scape.PairQuery{Measure: q.Measure, Range: true, Lo: q.Lo, Hi: q.Hi},
-			pred: pairPredicate{
-				measure: q.Measure,
-				keep:    func(v float64) bool { return v >= q.Lo && v <= q.Hi },
-			},
-		}
+	concrete, err := e.resolve(spec, method)
+	if err != nil {
+		return execItem{}, err
 	}
-	return e.runBatch(items, method)
+	return buildItem(spec, concrete), nil
 }
 
-// runBatch answers a validated batch: location queries run directly (there
-// is no cross-query work to share beyond the cached location vectors), while
-// the pairwise subset goes to the index's one-pass node traversal or to the
-// shared multi-predicate sweep, with results scattered back into request
+// validateSpec rejects malformed MET/MER specs with the typed sentinels
+// shared by every entry point.
+func validateSpec(spec plan.QuerySpec) error {
+	switch spec.Kind {
+	case plan.KindThreshold:
+		if spec.Op != scape.Above && spec.Op != scape.Below {
+			return fmt.Errorf("%w: %d", ErrBadThresholdOp, int(spec.Op))
+		}
+	case plan.KindRange:
+		if spec.Lo > spec.Hi {
+			return fmt.Errorf("%w: [%v, %v]", ErrEmptyRange, spec.Lo, spec.Hi)
+		}
+	default:
+		return fmt.Errorf("core: %v is not a MET/MER query kind", spec.Kind)
+	}
+	return nil
+}
+
+// buildItem assembles the executor form of a validated spec with its
+// resolved concrete method.
+func buildItem(spec plan.QuerySpec, concrete Method) execItem {
+	return execItem{
+		spec:      spec,
+		method:    concrete,
+		location:  spec.Measure.Class() == stats.LocationClass,
+		pairQuery: spec.PairQuery(),
+		keep:      specKeep(spec),
+	}
+}
+
+// specKeep returns the value predicate of a MET/MER spec.
+func specKeep(spec plan.QuerySpec) func(float64) bool {
+	if spec.Kind == plan.KindRange {
+		lo, hi := spec.Lo, spec.Hi
+		return func(v float64) bool { return v >= lo && v <= hi }
+	}
+	return thresholdKeep(spec.Tau, spec.Op == scape.Above)
+}
+
+// runBatch answers a validated batch: location queries run directly from the
+// cached per-series vectors or the location trees, index-method pairwise
+// queries share one pivot-node traversal, and sweep-method pairwise queries
+// share one multi-predicate pass, with results scattered back into request
 // order.
-func (e *engineState) runBatch(items []batchItem, method Method) ([]ThresholdResult, error) {
+func (e *engineState) runBatch(items []execItem) ([]ThresholdResult, error) {
 	out := make([]ThresholdResult, len(items))
+	var indexQueries []scape.PairQuery
+	var indexIdx []int
 	var preds []pairPredicate
-	var pairQueries []scape.PairQuery
-	var pairIdx []int
+	var predIdx []int
 	for i, it := range items {
-		if it.location != nil {
-			res, err := it.location()
+		switch {
+		case it.location:
+			res, err := e.locationQuery(it)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = res
-			continue
+		case it.method == MethodIndex:
+			if e.index == nil {
+				return nil, ErrNoIndex
+			}
+			indexQueries = append(indexQueries, it.pairQuery)
+			indexIdx = append(indexIdx, i)
+		default:
+			preds = append(preds, pairPredicate{measure: it.spec.Measure, method: it.method, keep: it.keep})
+			predIdx = append(predIdx, i)
 		}
-		preds = append(preds, it.pred)
-		pairQueries = append(pairQueries, it.pairQuery)
-		pairIdx = append(pairIdx, i)
 	}
-	if len(pairIdx) == 0 {
-		return out, nil
-	}
-
-	var results [][]timeseries.Pair
-	var err error
-	if method == MethodIndex {
-		if e.index == nil {
-			return nil, ErrNoIndex
+	if len(indexIdx) > 0 {
+		results, err := e.index.PairBatch(indexQueries)
+		if err != nil {
+			return nil, err
 		}
-		results, err = e.index.PairBatch(pairQueries)
-	} else {
-		results, err = e.pairMultiFilter(preds, method)
+		for k, i := range indexIdx {
+			out[i] = ThresholdResult{Pairs: results[k]}
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	for k, i := range pairIdx {
-		out[i] = ThresholdResult{Pairs: results[k]}
+	if len(predIdx) > 0 {
+		results, err := e.pairMultiFilter(preds)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range predIdx {
+			out[i] = ThresholdResult{Pairs: results[k]}
+		}
 	}
 	return out, nil
 }
 
-// pairMultiFilter answers every predicate in one sweep over the sequence
-// pairs, sharded by row blocks: per block and distinct measure, each pair's
-// value is computed once (including the derived-measure normalizer) and
-// tested against all predicates on that measure.  Per-block partial results
-// are merged in block order, so out[k] equals the sequential single-query
-// scan for preds[k] exactly.
-func (e *engineState) pairMultiFilter(preds []pairPredicate, method Method) ([][]timeseries.Pair, error) {
-	if method != MethodNaive && method != MethodAffine {
-		return nil, fmt.Errorf("%w: %v for batched pair queries", ErrBadMethod, method)
+// locationQuery answers one L-measure MET/MER query with its resolved
+// method.
+func (e *engineState) locationQuery(it execItem) (ThresholdResult, error) {
+	spec := it.spec
+	switch it.method {
+	case MethodNaive:
+		if spec.Kind == plan.KindThreshold {
+			ids, err := e.naive.SeriesThreshold(spec.Measure, spec.Tau, spec.Op == scape.Above)
+			return ThresholdResult{Series: ids}, err
+		}
+		ids, err := e.naive.SeriesRange(spec.Measure, spec.Lo, spec.Hi)
+		return ThresholdResult{Series: ids}, err
+	case MethodAffine:
+		estimates, ok := e.seriesLocation[spec.Measure]
+		if !ok {
+			return ThresholdResult{}, fmt.Errorf("core: no location estimates for %v", spec.Measure)
+		}
+		var out []timeseries.SeriesID
+		for id, v := range estimates {
+			if it.keep(v) {
+				out = append(out, timeseries.SeriesID(id))
+			}
+		}
+		return ThresholdResult{Series: out}, nil
+	case MethodIndex:
+		if e.index == nil {
+			return ThresholdResult{}, ErrNoIndex
+		}
+		if spec.Kind == plan.KindThreshold {
+			ids, err := e.index.SeriesThreshold(spec.Measure, spec.Tau, spec.Op)
+			return ThresholdResult{Series: ids}, err
+		}
+		ids, err := e.index.SeriesRange(spec.Measure, spec.Lo, spec.Hi)
+		return ThresholdResult{Series: ids}, err
+	default:
+		return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, it.method)
 	}
-	// Group predicate indices by measure so each distinct measure is computed
-	// once per pair.
-	measureOrder := make([]stats.Measure, 0, len(preds))
-	byMeasure := make(map[stats.Measure][]int)
+}
+
+// pairPredicate is one sweep-method pairwise query in filter form.
+type pairPredicate struct {
+	measure stats.Measure
+	method  Method // MethodNaive or MethodAffine
+	keep    func(float64) bool
+}
+
+// pairMultiFilter answers every predicate in one sweep over the sequence
+// pairs, sharded by row blocks: per block and distinct (measure, method),
+// each pair's value is computed once (including the derived-measure
+// normalizer) and tested against all predicates on that pairing.  Per-block
+// partial results are merged in block order, so out[k] equals the sequential
+// single-query scan for preds[k] exactly.
+func (e *engineState) pairMultiFilter(preds []pairPredicate) ([][]timeseries.Pair, error) {
+	// Group predicate indices so each distinct (measure, method) value is
+	// computed once per pair.
+	type valueKey struct {
+		measure stats.Measure
+		method  Method
+	}
+	keyOrder := make([]valueKey, 0, len(preds))
+	byKey := make(map[valueKey][]int)
 	for k, p := range preds {
 		if !p.measure.Pairwise() {
 			return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", p.measure, stats.ErrUnknownMeasure)
 		}
-		if _, ok := byMeasure[p.measure]; !ok {
-			measureOrder = append(measureOrder, p.measure)
+		if p.method != MethodNaive && p.method != MethodAffine {
+			return nil, fmt.Errorf("%w: %v for batched pair queries", ErrBadMethod, p.method)
 		}
-		byMeasure[p.measure] = append(byMeasure[p.measure], k)
+		key := valueKey{p.measure, p.method}
+		if _, ok := byKey[key]; !ok {
+			keyOrder = append(keyOrder, key)
+		}
+		byKey[key] = append(byKey[key], k)
 	}
 
 	pairs := e.data.AllPairs()
@@ -209,13 +288,13 @@ func (e *engineState) pairMultiFilter(preds []pairPredicate, method Method) ([][
 	err := par.Do(len(blocks), e.par, func(b int) error {
 		local := make([][]timeseries.Pair, len(preds))
 		for _, pair := range pairs[blocks[b].Lo:blocks[b].Hi] {
-			for _, m := range measureOrder {
+			for _, key := range keyOrder {
 				var v float64
 				var err error
-				if method == MethodNaive {
-					v, err = e.naive.PairValue(m, pair)
+				if key.method == MethodNaive {
+					v, err = e.naive.PairValue(key.measure, pair)
 				} else {
-					v, err = e.affinePairValue(m, pair)
+					v, err = e.affinePairValue(key.measure, pair)
 				}
 				if err != nil {
 					if errors.Is(err, stats.ErrZeroNormalizer) {
@@ -223,7 +302,7 @@ func (e *engineState) pairMultiFilter(preds []pairPredicate, method Method) ([][
 					}
 					return err
 				}
-				for _, k := range byMeasure[m] {
+				for _, k := range byKey[key] {
 					if preds[k].keep(v) {
 						local[k] = append(local[k], pair)
 					}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"affinity/internal/plan"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -53,11 +54,13 @@ type queryCase struct {
 }
 
 // determinismCases enumerate Threshold/Range/Compute queries across measures
-// and methods.  Results are compared with %v formatting, which preserves
-// order and exact float bits (NaN formats stably).
+// and methods — including MethodAuto, whose plan choices must also be
+// identical at every parallelism level.  Results are compared with %v
+// formatting, which preserves order and exact float bits (NaN formats
+// stably).
 func determinismCases() []queryCase {
 	var cases []queryCase
-	methods := []Method{MethodNaive, MethodAffine, MethodIndex}
+	methods := []Method{MethodNaive, MethodAffine, MethodIndex, MethodAuto}
 	for _, m := range stats.AllMeasures() {
 		m := m
 		for _, method := range methods {
@@ -86,8 +89,32 @@ func determinismCases() []queryCase {
 				},
 			)
 		}
-		// MEC queries: index method does not serve MEC, so only W_N / W_A.
-		for _, method := range []Method{MethodNaive, MethodAffine} {
+		// Plan-choice stability: the planner's chosen method, row estimate
+		// and cost must be identical at every parallelism level.
+		cases = append(cases,
+			queryCase{
+				name: fmt.Sprintf("plan/threshold/%v", m),
+				run: func(e *Engine) (any, error) {
+					_, p, err := e.Explain(plan.Threshold(m, 0.25, scape.Above), MethodAuto)
+					if err != nil {
+						return nil, err
+					}
+					return fmt.Sprintf("%v rows=%d cand=%d cost=%v", p.Method, p.EstimatedRows, p.Candidates, p.EstimatedCost), nil
+				},
+			},
+			queryCase{
+				name: fmt.Sprintf("plan/range/%v", m),
+				run: func(e *Engine) (any, error) {
+					_, p, err := e.Explain(plan.Range(m, -0.5, 0.9), MethodAuto)
+					if err != nil {
+						return nil, err
+					}
+					return fmt.Sprintf("%v rows=%d cand=%d cost=%v", p.Method, p.EstimatedRows, p.Candidates, p.EstimatedCost), nil
+				},
+			},
+		)
+		// MEC queries: index method does not serve MEC, so W_N / W_A / auto.
+		for _, method := range []Method{MethodNaive, MethodAffine, MethodAuto} {
 			method := method
 			if m.Class() == stats.LocationClass {
 				cases = append(cases, queryCase{

@@ -7,7 +7,10 @@
 //   - MethodNaive  (W_N): compute from the raw series for every request;
 //   - MethodAffine (W_A): compute through affine relationships and the
 //     pre-computed pivot summaries;
-//   - MethodIndex  (SCAPE): answer threshold/range queries from the index.
+//   - MethodIndex  (SCAPE): answer threshold/range queries from the index;
+//   - MethodAuto: route each query through the cost-based planner
+//     (internal/plan), which picks the cheapest applicable method from the
+//     index's selectivity estimate and the epoch's table statistics.
 //
 // The engine is streaming-capable: all built artifacts (window data, affine
 // relationships, pivot summaries, SCAPE index) live in an immutable
@@ -31,37 +34,28 @@ import (
 	"affinity/internal/cluster"
 	"affinity/internal/mat"
 	"affinity/internal/par"
+	"affinity/internal/plan"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
 	"affinity/internal/timeseries"
 )
 
-// Method selects how a query is executed.
-type Method int
+// Method selects how a query is executed.  The type (and its String
+// rendering) lives in internal/plan so the planner can name methods without
+// importing the engine.
+type Method = plan.Method
 
 const (
 	// MethodNaive computes measures from scratch (the paper's W_N).
-	MethodNaive Method = iota
+	MethodNaive = plan.MethodNaive
 	// MethodAffine computes measures through affine relationships (W_A).
-	MethodAffine
+	MethodAffine = plan.MethodAffine
 	// MethodIndex answers threshold/range queries from the SCAPE index.
-	MethodIndex
+	MethodIndex = plan.MethodIndex
+	// MethodAuto lets the cost-based planner pick the method per query.
+	MethodAuto = plan.MethodAuto
 )
-
-// String names the method the way the paper does.
-func (m Method) String() string {
-	switch m {
-	case MethodNaive:
-		return "WN"
-	case MethodAffine:
-		return "WA"
-	case MethodIndex:
-		return "SCAPE"
-	default:
-		return fmt.Sprintf("method(%d)", int(m))
-	}
-}
 
 // ErrBadMethod is returned when a query requests an unsupported method.
 var ErrBadMethod = errors.New("core: unsupported method for this query")
@@ -69,6 +63,19 @@ var ErrBadMethod = errors.New("core: unsupported method for this query")
 // ErrNoIndex is returned when an index query is issued against an engine that
 // was built without the SCAPE index.
 var ErrNoIndex = errors.New("core: engine was built without the SCAPE index")
+
+// ErrEmptyRange is returned when a range query's lower bound exceeds its
+// upper bound, on both the single and the batched path.
+var ErrEmptyRange = errors.New("core: empty range")
+
+// ErrBadThresholdOp is returned for an unknown threshold operator, on both
+// the single and the batched path.
+var ErrBadThresholdOp = errors.New("core: unknown threshold operator")
+
+// ErrMeasureNotIndexed aliases the scape sentinel so callers can test the
+// "measure not indexed" condition without importing internal/scape; single
+// and batched index queries both fail with it.
+var ErrMeasureNotIndexed = scape.ErrMeasureNotIndexed
 
 // DefaultStatsRefreshEvery is the default number of Advance epochs between
 // from-scratch refreshes of the running per-series statistics, bounding the
@@ -134,6 +141,11 @@ type Config struct {
 	// affine method falls back to the naive computation for pruned pairs and
 	// the SCAPE index simply does not contain them.  Zero disables pruning.
 	MaxLSFD float64
+	// CostModel overrides the planner's calibrated per-operation costs used
+	// by MethodAuto and Explain (the zero value selects
+	// plan.DefaultCostModel).  The model must stay deterministic in the epoch
+	// state for plan choices to be identical at any Parallelism.
+	CostModel plan.CostModel
 	// Stream configures the incremental maintenance path.
 	Stream StreamConfig
 }
@@ -254,6 +266,11 @@ type engineState struct {
 	// this epoch (from Config.Parallelism; merge order is deterministic).
 	par int
 
+	// table summarizes the epoch for the cost-based planner, and cost is the
+	// model pricing queries against it (MethodAuto, Explain).
+	table plan.TableStats
+	cost  plan.CostModel
+
 	epoch int
 	info  BuildInfo
 }
@@ -367,6 +384,7 @@ func buildState(d *timeseries.DataMatrix, cfg Config) (*engineState, error) {
 		st.info.UsedPseudoInverseTag = "SYMEX+"
 	}
 	st.info.TotalDuration = time.Since(start)
+	st.finishPlanner(cfg)
 	return st, nil
 }
 

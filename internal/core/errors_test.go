@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+)
+
+// TestErrorParitySingleVsBatch pins that the single and batched query entry
+// points fail with the same typed sentinel for the same malformed or
+// unsupported query — a guarantee the unified executor gives by construction
+// and this table keeps honest.
+func TestErrorParitySingleVsBatch(t *testing.T) {
+	indexed := buildTestEngine(t, Config{Clusters: 4, Seed: 2})
+	indexless := buildTestEngine(t, Config{Clusters: 4, Seed: 2, SkipIndex: true})
+
+	methods := []Method{MethodNaive, MethodAffine, MethodIndex, MethodAuto}
+	cases := []struct {
+		name   string
+		engine *Engine
+		// Restricts the case to one method (nil = all methods).
+		only *Method
+		// Query shape: threshold when !isRange, range otherwise.
+		isRange bool
+		measure stats.Measure
+		tau     float64
+		op      scape.ThresholdOp
+		lo, hi  float64
+		want    error
+	}{
+		{
+			name: "empty range", engine: indexed, isRange: true,
+			measure: stats.Correlation, lo: 1, hi: -1, want: ErrEmptyRange,
+		},
+		{
+			name: "bad threshold op", engine: indexed,
+			measure: stats.Correlation, tau: 0.5, op: scape.ThresholdOp(9), want: ErrBadThresholdOp,
+		},
+		{
+			name: "jaccard via index", engine: indexed, only: methodPtr(MethodIndex),
+			measure: stats.Jaccard, tau: 0.5, op: scape.Above, want: ErrMeasureNotIndexed,
+		},
+		{
+			name: "jaccard range via index", engine: indexed, only: methodPtr(MethodIndex), isRange: true,
+			measure: stats.Jaccard, lo: 0, hi: 1, want: ErrMeasureNotIndexed,
+		},
+		{
+			name: "index method without index", engine: indexless, only: methodPtr(MethodIndex),
+			measure: stats.Correlation, tau: 0.5, op: scape.Above, want: ErrNoIndex,
+		},
+		{
+			name: "index method without index, location", engine: indexless, only: methodPtr(MethodIndex),
+			measure: stats.Mean, tau: 0.5, op: scape.Above, want: ErrNoIndex,
+		},
+	}
+
+	for _, tc := range cases {
+		for _, method := range methods {
+			if tc.only != nil && method != *tc.only {
+				continue
+			}
+			var singleErr, batchErr error
+			if tc.isRange {
+				_, singleErr = tc.engine.Range(tc.measure, tc.lo, tc.hi, method)
+				_, batchErr = tc.engine.RangeBatch([]RangeQuery{{Measure: tc.measure, Lo: tc.lo, Hi: tc.hi}}, method)
+			} else {
+				_, singleErr = tc.engine.Threshold(tc.measure, tc.tau, tc.op, method)
+				_, batchErr = tc.engine.ThresholdBatch([]ThresholdQuery{{Measure: tc.measure, Tau: tc.tau, Op: tc.op}}, method)
+			}
+			if !errors.Is(singleErr, tc.want) {
+				t.Errorf("%s (%v): single err = %v, want %v", tc.name, method, singleErr, tc.want)
+			}
+			if !errors.Is(batchErr, tc.want) {
+				t.Errorf("%s (%v): batch err = %v, want %v", tc.name, method, batchErr, tc.want)
+			}
+		}
+	}
+
+	// Unknown methods fail with ErrBadMethod on every entry point.
+	bogus := Method(42)
+	if _, err := indexed.Threshold(stats.Correlation, 0.5, scape.Above, bogus); !errors.Is(err, ErrBadMethod) {
+		t.Errorf("single bogus method err = %v", err)
+	}
+	if _, err := indexed.ThresholdBatch([]ThresholdQuery{{Measure: stats.Correlation, Tau: 0.5, Op: scape.Above}}, bogus); !errors.Is(err, ErrBadMethod) {
+		t.Errorf("batch bogus method err = %v", err)
+	}
+	if _, err := indexed.ComputeLocation(stats.Mean, indexed.Data().IDs(), bogus); !errors.Is(err, ErrBadMethod) {
+		t.Errorf("compute bogus method err = %v", err)
+	}
+}
+
+func methodPtr(m Method) *Method { return &m }

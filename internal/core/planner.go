@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"affinity/internal/plan"
+	"affinity/internal/scape"
+)
+
+// This file integrates the cost-based planner (internal/plan) into the
+// engine: per-epoch table statistics, MethodAuto resolution and the Explain
+// entry point.
+
+// finishPlanner fills the epoch's planner inputs once every artifact is in
+// place.  Everything here derives from the epoch state alone, so engines
+// with identical epochs make identical plan choices at any Parallelism.
+func (st *engineState) finishPlanner(cfg Config) {
+	st.cost = cfg.CostModel
+	st.table = plan.TableStats{
+		NumSeries:     st.data.NumSeries(),
+		NumSamples:    st.data.NumSamples(),
+		NumPairs:      st.data.NumPairs(),
+		NumPivots:     st.rel.Stats.NumPivots,
+		FallbackPairs: st.data.NumPairs() - len(st.rel.Relationships),
+		HasIndex:      st.index != nil,
+	}
+}
+
+// resolve maps a requested method to the concrete one that will run:
+// concrete methods pass through, MethodAuto asks the planner.
+func (e *engineState) resolve(spec plan.QuerySpec, method Method) (Method, error) {
+	if method != MethodAuto {
+		if !method.Concrete() {
+			return 0, fmt.Errorf("%w: %v", ErrBadMethod, method)
+		}
+		return method, nil
+	}
+	p, err := e.plan(spec)
+	if err != nil {
+		return 0, err
+	}
+	return p.Method, nil
+}
+
+// plan prices a spec against this epoch: the index supplies a selectivity
+// estimate when it can answer the query, and the cost model does the rest.
+func (e *engineState) plan(spec plan.QuerySpec) (plan.Plan, error) {
+	var sel *scape.Selectivity
+	if e.index != nil && spec.Kind != plan.KindCompute {
+		s, err := e.index.EstimateSelectivity(spec.PairQuery())
+		switch {
+		case err == nil:
+			sel = &s
+		case errors.Is(err, scape.ErrMeasureNotIndexed):
+			// The index cannot serve this measure (e.g. Jaccard); plan among
+			// the sweep methods.
+		default:
+			return plan.Plan{}, err
+		}
+	}
+	return e.cost.Plan(spec, e.table, sel), nil
+}
+
+// explain implements Engine.Explain for one epoch: one planning pass prices
+// the query, and the executed item is derived from that same plan.
+func (e *engineState) explain(spec plan.QuerySpec, method Method) (ThresholdResult, plan.Plan, error) {
+	if err := validateSpec(spec); err != nil {
+		return ThresholdResult{}, plan.Plan{}, err
+	}
+	if method != MethodAuto && !method.Concrete() {
+		return ThresholdResult{}, plan.Plan{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
+	}
+	p, err := e.plan(spec)
+	if err != nil {
+		return ThresholdResult{}, plan.Plan{}, err
+	}
+	if method != MethodAuto {
+		// Price the requested method; keep the alternatives for comparison.
+		p.Method = method
+		switch method {
+		case MethodNaive:
+			p.EstimatedCost = p.CostNaive
+		case MethodAffine:
+			p.EstimatedCost = p.CostAffine
+		case MethodIndex:
+			p.EstimatedCost = p.CostIndex
+		}
+	}
+	start := time.Now()
+	out, err := e.runBatch([]execItem{buildItem(spec, p.Method)})
+	if err != nil {
+		return ThresholdResult{}, plan.Plan{}, err
+	}
+	p.Duration = time.Since(start)
+	p.ActualRows = out[0].Size()
+	return out[0], p, nil
+}

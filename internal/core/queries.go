@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"affinity/internal/par"
+	"affinity/internal/plan"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -25,6 +26,11 @@ func (r ThresholdResult) Size() int { return len(r.Series) + len(r.Pairs) }
 // answer the whole query from it, so they are safe to call concurrently with
 // Append/Advance: a query started before an epoch swap keeps serving the old
 // epoch's window, relationships and index.
+//
+// A single MET/MER query is a batch of one: the same epoch-pinned executor
+// (batch.go) serves both entry points, so single and batched queries share
+// one validation, planning and scan implementation — and fail with the same
+// typed errors.
 
 // ComputeLocation answers a MEC query for an L-measure over the requested
 // series, using the selected method (Query 1 with an L-measure).
@@ -47,19 +53,45 @@ func (e *Engine) PairValue(m stats.Measure, pair timeseries.Pair, method Method)
 // Threshold answers a MET query (Query 2): entries whose measure is above
 // (or below) tau, computed with the selected method.
 func (e *Engine) Threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (ThresholdResult, error) {
-	return e.state().threshold(m, tau, op, method)
+	return e.state().singleQuery(plan.Threshold(m, tau, op), method)
 }
 
 // Range answers a MER query (Query 3): entries whose measure lies in
 // [lo, hi], computed with the selected method.
 func (e *Engine) Range(m stats.Measure, lo, hi float64, method Method) (ThresholdResult, error) {
-	return e.state().rangeQuery(m, lo, hi, method)
+	return e.state().singleQuery(plan.Range(m, lo, hi), method)
+}
+
+// Explain plans a MET/MER query, executes it, and returns the result together
+// with the plan: the per-method cost estimates, the selectivity estimate that
+// drove the choice, and the observed actuals.  With MethodAuto the plan's
+// method is the planner's choice; with a concrete method the plan prices that
+// method (the cost columns still show the alternatives).
+func (e *Engine) Explain(spec plan.QuerySpec, method Method) (ThresholdResult, plan.Plan, error) {
+	return e.state().explain(spec, method)
+}
+
+// singleQuery answers one MET/MER query as a batch of one.
+func (e *engineState) singleQuery(spec plan.QuerySpec, method Method) (ThresholdResult, error) {
+	it, err := e.newItem(spec, method)
+	if err != nil {
+		return ThresholdResult{}, err
+	}
+	out, err := e.runBatch([]execItem{it})
+	if err != nil {
+		return ThresholdResult{}, err
+	}
+	return out[0], nil
 }
 
 // computeLocation implements ComputeLocation for one epoch.
 func (e *engineState) computeLocation(m stats.Measure, ids []timeseries.SeriesID, method Method) ([]float64, error) {
 	if m.Class() != stats.LocationClass {
 		return nil, fmt.Errorf("core: %v is not an L-measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	method, err := e.resolve(plan.Compute(m, len(ids)), method)
+	if err != nil {
+		return nil, err
 	}
 	switch method {
 	case MethodNaive:
@@ -86,6 +118,10 @@ func (e *engineState) computeLocation(m stats.Measure, ids []timeseries.SeriesID
 func (e *engineState) computePairwise(m stats.Measure, ids []timeseries.SeriesID, method Method) ([][]float64, error) {
 	if !m.Pairwise() {
 		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	method, err := e.resolve(plan.Compute(m, len(ids)), method)
+	if err != nil {
+		return nil, err
 	}
 	switch method {
 	case MethodNaive:
@@ -140,6 +176,10 @@ func (e *engineState) pairValue(m stats.Measure, pair timeseries.Pair, method Me
 	if !m.Pairwise() {
 		return 0, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
 	}
+	method, err := e.resolve(plan.Compute(m, 2), method)
+	if err != nil {
+		return 0, err
+	}
 	switch method {
 	case MethodNaive:
 		return e.naive.PairValue(m, pair)
@@ -147,89 +187,6 @@ func (e *engineState) pairValue(m stats.Measure, pair timeseries.Pair, method Me
 		return e.affinePairValue(m, pair)
 	default:
 		return 0, fmt.Errorf("%w: %v for PairValue", ErrBadMethod, method)
-	}
-}
-
-// threshold implements Threshold for one epoch.
-func (e *engineState) threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (ThresholdResult, error) {
-	if op != scape.Above && op != scape.Below {
-		return ThresholdResult{}, fmt.Errorf("core: unknown threshold operator %d", int(op))
-	}
-	above := op == scape.Above
-	if m.Class() == stats.LocationClass {
-		switch method {
-		case MethodNaive:
-			ids, err := e.naive.SeriesThreshold(m, tau, above)
-			return ThresholdResult{Series: ids}, err
-		case MethodAffine:
-			ids, err := e.affineSeriesThreshold(m, tau, above)
-			return ThresholdResult{Series: ids}, err
-		case MethodIndex:
-			if e.index == nil {
-				return ThresholdResult{}, ErrNoIndex
-			}
-			ids, err := e.index.SeriesThreshold(m, tau, op)
-			return ThresholdResult{Series: ids}, err
-		default:
-			return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
-		}
-	}
-	switch method {
-	case MethodNaive:
-		pairs, err := e.naivePairThreshold(m, tau, above)
-		return ThresholdResult{Pairs: pairs}, err
-	case MethodAffine:
-		pairs, err := e.affinePairThreshold(m, tau, above)
-		return ThresholdResult{Pairs: pairs}, err
-	case MethodIndex:
-		if e.index == nil {
-			return ThresholdResult{}, ErrNoIndex
-		}
-		pairs, err := e.index.PairThreshold(m, tau, op)
-		return ThresholdResult{Pairs: pairs}, err
-	default:
-		return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
-	}
-}
-
-// rangeQuery implements Range for one epoch.
-func (e *engineState) rangeQuery(m stats.Measure, lo, hi float64, method Method) (ThresholdResult, error) {
-	if lo > hi {
-		return ThresholdResult{}, fmt.Errorf("core: empty range [%v, %v]", lo, hi)
-	}
-	if m.Class() == stats.LocationClass {
-		switch method {
-		case MethodNaive:
-			ids, err := e.naive.SeriesRange(m, lo, hi)
-			return ThresholdResult{Series: ids}, err
-		case MethodAffine:
-			ids, err := e.affineSeriesRange(m, lo, hi)
-			return ThresholdResult{Series: ids}, err
-		case MethodIndex:
-			if e.index == nil {
-				return ThresholdResult{}, ErrNoIndex
-			}
-			ids, err := e.index.SeriesRange(m, lo, hi)
-			return ThresholdResult{Series: ids}, err
-		default:
-			return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
-		}
-	}
-	switch method {
-	case MethodNaive:
-		pairs, err := e.naivePairRange(m, lo, hi)
-		return ThresholdResult{Pairs: pairs}, err
-	case MethodAffine:
-		pairs, err := e.affinePairRange(m, lo, hi)
-		return ThresholdResult{Pairs: pairs}, err
-	case MethodIndex:
-		if e.index == nil {
-			return ThresholdResult{}, ErrNoIndex
-		}
-		pairs, err := e.index.PairRange(m, lo, hi)
-		return ThresholdResult{Pairs: pairs}, err
-	default:
-		return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
 	}
 }
 
@@ -317,105 +274,11 @@ func (e *engineState) selfPairValue(m stats.Measure, id timeseries.SeriesID) (fl
 	}
 }
 
-// pairFilter evaluates value(pair) over every sequence pair — sharded by row
-// blocks across the epoch's worker pool — keeping the pairs whose value
-// passes keep.  Per-block partial results are concatenated in block order, so
-// the output equals the sequential scan exactly.  Pairs with an undefined
-// derived value (zero normalizer) are skipped, matching the naive baseline.
-func (e *engineState) pairFilter(value func(timeseries.Pair) (float64, error), keep func(float64) bool) ([]timeseries.Pair, error) {
-	pairs := e.data.AllPairs()
-	blocks := par.Blocks(len(pairs), e.par)
-	parts := make([][]timeseries.Pair, len(blocks))
-	err := par.Do(len(blocks), e.par, func(b int) error {
-		for _, pair := range pairs[blocks[b].Lo:blocks[b].Hi] {
-			v, err := value(pair)
-			if err != nil {
-				if errors.Is(err, stats.ErrZeroNormalizer) {
-					continue
-				}
-				return err
-			}
-			if keep(v) {
-				parts[b] = append(parts[b], pair)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return par.FlattenBlocks(parts), nil
-}
-
 func thresholdKeep(tau float64, above bool) func(float64) bool {
 	if above {
 		return func(v float64) bool { return v > tau }
 	}
 	return func(v float64) bool { return v < tau }
-}
-
-// affinePairThreshold evaluates a pairwise MET query with the W_A method:
-// every pair's value is estimated through its affine relationship (or the
-// naive fallback for pruned pairs) and then filtered.
-func (e *engineState) affinePairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
-	return e.pairFilter(func(pair timeseries.Pair) (float64, error) {
-		return e.affinePairValue(m, pair)
-	}, thresholdKeep(tau, above))
-}
-
-// affinePairRange evaluates a pairwise MER query with the W_A method.
-func (e *engineState) affinePairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
-	return e.pairFilter(func(pair timeseries.Pair) (float64, error) {
-		return e.affinePairValue(m, pair)
-	}, func(v float64) bool { return v >= lo && v <= hi })
-}
-
-// naivePairThreshold evaluates a pairwise MET query with the W_N method,
-// sharded by row blocks; the result is identical to baseline.PairThreshold.
-func (e *engineState) naivePairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
-	return e.pairFilter(func(pair timeseries.Pair) (float64, error) {
-		return e.naive.PairValue(m, pair)
-	}, thresholdKeep(tau, above))
-}
-
-// naivePairRange evaluates a pairwise MER query with the W_N method, sharded
-// by row blocks; the result is identical to baseline.PairRange.
-func (e *engineState) naivePairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
-	return e.pairFilter(func(pair timeseries.Pair) (float64, error) {
-		return e.naive.PairValue(m, pair)
-	}, func(v float64) bool { return v >= lo && v <= hi })
-}
-
-// affineSeriesThreshold evaluates an L-measure MET query over the
-// affine-estimated per-series values.
-func (e *engineState) affineSeriesThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.SeriesID, error) {
-	estimates, ok := e.seriesLocation[m]
-	if !ok {
-		return nil, fmt.Errorf("core: no location estimates for %v", m)
-	}
-	var out []timeseries.SeriesID
-	for id, v := range estimates {
-		if (above && v > tau) || (!above && v < tau) {
-			out = append(out, timeseries.SeriesID(id))
-		}
-	}
-	return out, nil
-}
-
-// affineSeriesRange evaluates an L-measure MER query over the
-// affine-estimated per-series values.
-func (e *engineState) affineSeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.SeriesID, error) {
-	estimates, ok := e.seriesLocation[m]
-	if !ok {
-		return nil, fmt.Errorf("core: no location estimates for %v", m)
-	}
-	var out []timeseries.SeriesID
-	for id, v := range estimates {
-		if v >= lo && v <= hi {
-			out = append(out, timeseries.SeriesID(id))
-		}
-	}
-	return out, nil
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -306,6 +306,7 @@ func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Res
 	st.info.NumRelationships = rel.Stats.NumRelationships
 	st.info.UsedPseudoInverseTag = "snapshot"
 	st.info.TotalDuration = time.Since(start)
+	st.finishPlanner(cfg)
 	e := &Engine{cfg: cfg}
 	e.cur.Store(st)
 	return e, nil

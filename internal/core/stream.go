@@ -179,6 +179,7 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 		st.info.IndexPivotNodes = idx.Stats().Pivots
 	}
 
+	st.finishPlanner(e.cfg)
 	st.info.AdvanceDuration = time.Since(start)
 	info := AdvanceInfo{
 		Epoch:               st.epoch,

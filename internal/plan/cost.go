@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"math"
+
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+)
+
+// TableStats describes the epoch a query will run against — the inputs the
+// cost formulas scale with.  The engine fills it once per epoch.
+type TableStats struct {
+	// NumSeries (n), NumSamples (m) and NumPairs (n(n-1)/2) describe the
+	// window.
+	NumSeries  int
+	NumSamples int
+	NumPairs   int
+	// NumPivots is the number of pivot nodes in the SCAPE index (and the
+	// number of B-tree descents a pairwise index query pays).
+	NumPivots int
+	// FallbackPairs is the number of sequence pairs without an affine
+	// relationship (pruned by MaxLSFD): the affine method answers them with a
+	// raw-series scan, so they bill at naive cost.
+	FallbackPairs int
+	// HasIndex reports whether the epoch carries a SCAPE index.
+	HasIndex bool
+}
+
+// CostModel prices a query per execution method.  The coefficients are
+// per-operation costs in nanosecond-scale abstract units, calibrated offline
+// against the planner crossover experiment (`affinity-bench -experiment
+// planner`, recorded in BENCH_pr3.json); their ratios, not their absolute
+// values, drive the choices.  The model is deliberately blind to the worker
+// count: parallelism speeds every method by roughly the same factor, and
+// keeping it out of the formulas makes plan choices identical at any
+// Parallelism level.
+type CostModel struct {
+	// SampleCost is the cost of touching one raw sample in a naive
+	// computation (the W_N inner loop).
+	SampleCost float64
+	// AffinePairCost is the cost of one closed-form propagation through an
+	// affine relationship (map lookup + a handful of flops).
+	AffinePairCost float64
+	// LookupCost is the cost of reading one cached per-series estimate (the
+	// W_A location path).
+	LookupCost float64
+	// TreeStepCost is the cost of one B-tree descent level.
+	TreeStepCost float64
+	// CandidateCost is the cost of resolving one index candidate exactly
+	// (the D-measure band evaluation of Section 5.3).
+	CandidateCost float64
+	// RowCost is the cost of emitting one result row.
+	RowCost float64
+}
+
+// DefaultCostModel returns the calibrated default coefficients.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SampleCost:     1.5,
+		AffinePairCost: 55,
+		LookupCost:     4,
+		TreeStepCost:   25,
+		CandidateCost:  45,
+		RowCost:        12,
+	}
+}
+
+// withDefaults treats a zero model as the default one, so an unset
+// Config.CostModel never divides the world by zero.
+func (c CostModel) withDefaults() CostModel {
+	if c == (CostModel{}) {
+		return DefaultCostModel()
+	}
+	return c
+}
+
+// defaultSelectivityFrac is the assumed result fraction when no index
+// estimate is available (no index built, or the measure is not indexable).
+// It only weights the emit term, which is small next to the scan terms.
+const defaultSelectivityFrac = 0.1
+
+// Plan prices every applicable method for the query and returns the decision.
+// sel is the index's selectivity estimate, or nil when the index cannot
+// answer the query (absent, measure not indexed, or a compute query).
+func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) Plan {
+	c = c.withDefaults()
+	p := Plan{
+		Spec:       spec,
+		CostNaive:  math.Inf(1),
+		CostAffine: math.Inf(1),
+		CostIndex:  math.Inf(1),
+	}
+	if sel != nil {
+		p.EstimatedRows = sel.Rows
+		p.Candidates = sel.Candidates
+		p.SelectivityExact = sel.Exact
+	} else {
+		p.EstimatedRows = c.heuristicRows(spec, st)
+	}
+	rows := float64(p.EstimatedRows)
+
+	switch spec.Kind {
+	case KindCompute:
+		if spec.Measure.Class() == stats.LocationClass {
+			k := float64(spec.NumTargets)
+			p.CostNaive = k * float64(st.NumSamples) * c.SampleCost
+			p.CostAffine = k * c.LookupCost
+		} else {
+			pairs := float64(spec.NumTargets) * float64(spec.NumTargets+1) / 2
+			p.CostNaive = pairs * float64(st.NumSamples) * c.SampleCost
+			p.CostAffine = pairs * (c.AffinePairCost + c.fallbackFrac(st)*c.naivePairCost(st))
+		}
+
+	case KindThreshold, KindRange:
+		if spec.Measure.Class() == stats.LocationClass {
+			p.CostNaive = float64(st.NumSeries)*float64(st.NumSamples)*c.SampleCost + rows*c.RowCost
+			p.CostAffine = float64(st.NumSeries)*c.LookupCost + rows*c.RowCost
+			if sel != nil {
+				p.CostIndex = c.TreeStepCost*log2(st.NumSeries) + rows*c.RowCost
+			}
+		} else {
+			p.CostNaive = float64(st.NumPairs)*float64(st.NumSamples)*c.SampleCost + rows*c.RowCost
+			// Pruned pairs fall back to a raw scan plus the failed relationship
+			// lookup, so a mostly-pruned epoch prices affine above naive.
+			p.CostAffine = float64(st.NumPairs-st.FallbackPairs)*c.AffinePairCost +
+				float64(st.FallbackPairs)*(c.LookupCost+c.naivePairCost(st)) + rows*c.RowCost
+			if sel != nil {
+				perPivot := log2(divCeil(st.NumPairs, st.NumPivots))
+				p.CostIndex = float64(st.NumPivots)*c.TreeStepCost*perPivot +
+					float64(sel.Candidates)*c.CandidateCost + rows*c.RowCost
+			}
+		}
+	}
+
+	// Pick the cheapest applicable method; on exact ties prefer the index,
+	// then affine (the structures that scale), so the choice is deterministic.
+	p.Method, p.EstimatedCost = MethodIndex, p.CostIndex
+	if p.CostAffine < p.EstimatedCost {
+		p.Method, p.EstimatedCost = MethodAffine, p.CostAffine
+	}
+	if p.CostNaive < p.EstimatedCost {
+		p.Method, p.EstimatedCost = MethodNaive, p.CostNaive
+	}
+	return p
+}
+
+// heuristicRows is the result-size guess without an index estimate.
+func (c CostModel) heuristicRows(spec QuerySpec, st TableStats) int {
+	if spec.Kind == KindCompute {
+		return 0
+	}
+	if spec.Measure.Class() == stats.LocationClass {
+		return int(defaultSelectivityFrac * float64(st.NumSeries))
+	}
+	return int(defaultSelectivityFrac * float64(st.NumPairs))
+}
+
+// fallbackFrac is the fraction of pairs the affine method answers naively.
+func (c CostModel) fallbackFrac(st TableStats) float64 {
+	if st.NumPairs == 0 {
+		return 0
+	}
+	return float64(st.FallbackPairs) / float64(st.NumPairs)
+}
+
+// naivePairCost is the cost of one from-scratch pairwise computation.
+func (c CostModel) naivePairCost(st TableStats) float64 {
+	return float64(st.NumSamples) * c.SampleCost
+}
+
+// log2 returns log2(n+2): a tree-height proxy that stays positive for tiny n.
+func log2(n int) float64 { return math.Log2(float64(n + 2)) }
+
+// divCeil returns ceil(a/b), with b clamped to at least 1.
+func divCeil(a, b int) int {
+	if b < 1 {
+		b = 1
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,183 @@
+// Package plan implements the cost-based query planner that sits between the
+// public query API and the execution engine.
+//
+// The paper's evaluation (Section 6) shows that no single execution method
+// wins everywhere: the naive method (W_N) is exact but touches every raw
+// sample, the affine method (W_A) answers from closed-form propagations in
+// O(1) per pair but degrades to naive scans for pruned relationships, and the
+// SCAPE index answers threshold/range queries in time proportional to the
+// result — until selectivity grows and a full sweep is cheaper than a tree
+// walk per pivot.  The planner makes that choice per query: a QuerySpec is
+// the logical query, TableStats describes the epoch it runs against,
+// scape.Selectivity supplies the index's O(|pivots|·log) result-size
+// estimate, and CostModel.Plan prices every applicable method and picks the
+// cheapest.
+//
+// Everything in this package is deterministic in its inputs: the cost model
+// never consults the clock, the worker count or any sampled state, so two
+// engines with identical epochs produce identical Plans at any parallelism —
+// the PR-2 determinism contract extends to plan choices.
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+)
+
+// Method selects how a query is executed.
+type Method int
+
+const (
+	// MethodNaive computes measures from scratch (the paper's W_N).
+	MethodNaive Method = iota
+	// MethodAffine computes measures through affine relationships (W_A).
+	MethodAffine
+	// MethodIndex answers threshold/range queries from the SCAPE index.
+	MethodIndex
+	// MethodAuto routes each query through the cost model, which picks the
+	// cheapest applicable concrete method for the query's estimated
+	// selectivity.
+	MethodAuto
+)
+
+// String names the method the way the paper does.
+func (m Method) String() string {
+	switch m {
+	case MethodNaive:
+		return "WN"
+	case MethodAffine:
+		return "WA"
+	case MethodIndex:
+		return "SCAPE"
+	case MethodAuto:
+		return "AUTO"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Concrete reports whether m names an executable method (everything but
+// MethodAuto).
+func (m Method) Concrete() bool {
+	return m == MethodNaive || m == MethodAffine || m == MethodIndex
+}
+
+// Kind is the logical query type of Section 2.2.
+type Kind int
+
+const (
+	// KindThreshold is a measure threshold (MET) query.
+	KindThreshold Kind = iota
+	// KindRange is a measure range (MER) query.
+	KindRange
+	// KindCompute is a measure computation (MEC) query.
+	KindCompute
+)
+
+// String names the query kind.
+func (k Kind) String() string {
+	switch k {
+	case KindThreshold:
+		return "MET"
+	case KindRange:
+		return "MER"
+	case KindCompute:
+		return "MEC"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// QuerySpec is the logical representation of one query: what is asked,
+// independent of how it will be executed.
+type QuerySpec struct {
+	Kind    Kind
+	Measure stats.Measure
+	// Op and Tau parameterize a threshold query.
+	Op  scape.ThresholdOp
+	Tau float64
+	// Lo and Hi parameterize a range query.
+	Lo, Hi float64
+	// NumTargets is |ψ| of a compute query (the number of requested series).
+	NumTargets int
+}
+
+// Threshold builds the spec of a MET query.
+func Threshold(m stats.Measure, tau float64, op scape.ThresholdOp) QuerySpec {
+	return QuerySpec{Kind: KindThreshold, Measure: m, Tau: tau, Op: op}
+}
+
+// Range builds the spec of a MER query.
+func Range(m stats.Measure, lo, hi float64) QuerySpec {
+	return QuerySpec{Kind: KindRange, Measure: m, Lo: lo, Hi: hi}
+}
+
+// Compute builds the spec of a MEC query over numTargets series.
+func Compute(m stats.Measure, numTargets int) QuerySpec {
+	return QuerySpec{Kind: KindCompute, Measure: m, NumTargets: numTargets}
+}
+
+// PairQuery converts a threshold/range spec into the index's query form, used
+// to obtain a selectivity estimate.
+func (s QuerySpec) PairQuery() scape.PairQuery {
+	return scape.PairQuery{
+		Measure: s.Measure,
+		Range:   s.Kind == KindRange,
+		Op:      s.Op,
+		Tau:     s.Tau,
+		Lo:      s.Lo,
+		Hi:      s.Hi,
+	}
+}
+
+// String renders the spec the way the paper writes queries.
+func (s QuerySpec) String() string {
+	switch s.Kind {
+	case KindThreshold:
+		return fmt.Sprintf("MET %v %v %v", s.Measure, s.Op, s.Tau)
+	case KindRange:
+		return fmt.Sprintf("MER %v in [%v, %v]", s.Measure, s.Lo, s.Hi)
+	default:
+		return fmt.Sprintf("MEC %v over %d series", s.Measure, s.NumTargets)
+	}
+}
+
+// Plan is the planner's decision for one query: the chosen method, the
+// per-method cost estimates that drove the choice, and — after execution
+// through Engine.Explain — the observed actuals.
+type Plan struct {
+	Spec   QuerySpec
+	Method Method
+
+	// EstimatedRows is the expected result size (exact for T-/L-measure
+	// index estimates, banded for D-measures, heuristic without an index).
+	EstimatedRows int
+	// Candidates is the number of exact evaluations an index scan would need
+	// (the D-measure pruning band).
+	Candidates int
+	// SelectivityExact reports whether EstimatedRows came from an exact
+	// subtree count rather than a band estimate or heuristic.
+	SelectivityExact bool
+
+	// EstimatedCost is the cost of the chosen method in the model's abstract
+	// units; CostNaive/CostAffine/CostIndex are the per-method estimates
+	// (+Inf for methods not applicable to this query).
+	EstimatedCost float64
+	CostNaive     float64
+	CostAffine    float64
+	CostIndex     float64
+
+	// Actuals, filled by the executor when the query ran through Explain.
+	ActualRows int
+	Duration   time.Duration
+}
+
+// String renders the plan for diagnostics and EXPLAIN-style output.
+func (p Plan) String() string {
+	return fmt.Sprintf("%v → %v (est %d rows, cost %.3g; WN %.3g, WA %.3g, SCAPE %.3g)",
+		p.Spec, p.Method, p.EstimatedRows, p.EstimatedCost,
+		p.CostNaive, p.CostAffine, p.CostIndex)
+}

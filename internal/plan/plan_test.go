@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+)
+
+// bigTable is a thousand-series epoch with an index: the regime the paper's
+// evaluation runs in.
+func bigTable() TableStats {
+	return TableStats{
+		NumSeries:  1000,
+		NumSamples: 400,
+		NumPairs:   1000 * 999 / 2,
+		NumPivots:  1800,
+		HasIndex:   true,
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodNaive: "WN", MethodAffine: "WA", MethodIndex: "SCAPE", MethodAuto: "AUTO",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if Method(9).String() != "method(9)" {
+		t.Errorf("unknown method renders %q", Method(9).String())
+	}
+	if MethodAuto.Concrete() || !MethodIndex.Concrete() {
+		t.Fatal("Concrete misclassifies")
+	}
+	for k, want := range map[Kind]string{KindThreshold: "MET", KindRange: "MER", KindCompute: "MEC"} {
+		if k.String() != want {
+			t.Errorf("kind %d renders %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(9).String(), "kind(9)") {
+		t.Errorf("unknown kind renders %q", Kind(9).String())
+	}
+}
+
+func TestSpecConstructors(t *testing.T) {
+	s := Threshold(stats.Correlation, 0.9, scape.Above)
+	if s.Kind != KindThreshold || s.Measure != stats.Correlation || s.Tau != 0.9 || s.Op != scape.Above {
+		t.Fatalf("threshold spec %+v", s)
+	}
+	if pq := s.PairQuery(); pq.Range || pq.Tau != 0.9 || pq.Measure != stats.Correlation {
+		t.Fatalf("pair query %+v", pq)
+	}
+	r := Range(stats.Covariance, -1, 2)
+	if r.Kind != KindRange || r.Lo != -1 || r.Hi != 2 {
+		t.Fatalf("range spec %+v", r)
+	}
+	if pq := r.PairQuery(); !pq.Range || pq.Lo != -1 || pq.Hi != 2 {
+		t.Fatalf("pair query %+v", pq)
+	}
+	cq := Compute(stats.Mean, 17)
+	if cq.Kind != KindCompute || cq.NumTargets != 17 {
+		t.Fatalf("compute spec %+v", cq)
+	}
+	for _, spec := range []QuerySpec{s, r, cq} {
+		if spec.String() == "" {
+			t.Fatal("spec renders empty")
+		}
+	}
+}
+
+// TestChoosesIndexForSelectiveQuery pins the headline decision: a selective
+// MET query on an indexed measure goes to SCAPE.
+func TestChoosesIndexForSelectiveQuery(t *testing.T) {
+	sel := &scape.Selectivity{Rows: 120, Exact: true}
+	p := DefaultCostModel().Plan(Threshold(stats.Covariance, 0.9, scape.Above), bigTable(), sel)
+	if p.Method != MethodIndex {
+		t.Fatalf("chose %v, want SCAPE: %v", p.Method, p)
+	}
+	if p.EstimatedRows != 120 || !p.SelectivityExact {
+		t.Fatalf("selectivity not threaded: %+v", p)
+	}
+	if p.CostIndex >= p.CostAffine || p.CostAffine >= p.CostNaive {
+		t.Fatalf("cost ordering unexpected: %v", p)
+	}
+	if p.EstimatedCost != p.CostIndex {
+		t.Fatalf("EstimatedCost %v != chosen cost %v", p.EstimatedCost, p.CostIndex)
+	}
+}
+
+// TestChoosesAffineWithoutIndex pins that un-indexable queries (Jaccard, or
+// an engine built with SkipIndex) fall to the affine sweep.
+func TestChoosesAffineWithoutIndex(t *testing.T) {
+	st := bigTable()
+	st.HasIndex = false
+	p := DefaultCostModel().Plan(Threshold(stats.Jaccard, 0.5, scape.Above), st, nil)
+	if p.Method != MethodAffine {
+		t.Fatalf("chose %v, want WA: %v", p.Method, p)
+	}
+	if !math.IsInf(p.CostIndex, 1) {
+		t.Fatalf("index cost should be +Inf without an estimate: %v", p)
+	}
+	if p.SelectivityExact || p.EstimatedRows == 0 {
+		t.Fatalf("heuristic rows expected: %+v", p)
+	}
+}
+
+// TestChoosesNaiveWhenFullyPruned pins the fallback crossover: when every
+// relationship was pruned, the affine method is naive-plus-lookup-overhead
+// per pair and the planner picks the plain naive sweep.  (The break-even sits
+// very close to 100%: each surviving relationship saves an O(m) scan while a
+// pruned one only adds a failed map lookup.)
+func TestChoosesNaiveWhenFullyPruned(t *testing.T) {
+	st := bigTable()
+	st.HasIndex = false
+	st.FallbackPairs = st.NumPairs
+	p := DefaultCostModel().Plan(Threshold(stats.Correlation, 0.5, scape.Above), st, nil)
+	if p.Method != MethodNaive {
+		t.Fatalf("chose %v, want WN: %v", p.Method, p)
+	}
+}
+
+// TestComputeQueriesNeverChooseIndex pins that MEC queries only weigh the
+// naive and affine methods.
+func TestComputeQueriesNeverChooseIndex(t *testing.T) {
+	cm := DefaultCostModel()
+	for _, spec := range []QuerySpec{Compute(stats.Mean, 50), Compute(stats.Correlation, 50)} {
+		p := cm.Plan(spec, bigTable(), nil)
+		if !math.IsInf(p.CostIndex, 1) {
+			t.Fatalf("%v: index cost should be +Inf: %v", spec, p)
+		}
+		if p.Method != MethodAffine {
+			t.Fatalf("%v: chose %v, want WA (O(1) per target vs O(m))", spec, p.Method)
+		}
+	}
+	// A fully pruned epoch flips pairwise MEC back to naive.
+	st := bigTable()
+	st.FallbackPairs = st.NumPairs
+	if p := cm.Plan(Compute(stats.Covariance, 50), st, nil); p.Method != MethodNaive {
+		t.Fatalf("fully pruned MEC chose %v, want WN: %v", p.Method, p)
+	}
+}
+
+// TestCandidateHeavyDerivedQueryAvoidsIndex pins the D-measure crossover:
+// when the pruning bounds decide almost nothing (every entry is a candidate
+// needing exact evaluation), the tree overhead makes the affine sweep win.
+func TestCandidateHeavyDerivedQueryAvoidsIndex(t *testing.T) {
+	st := bigTable()
+	st.NumPivots = st.NumPairs / 4 // shallow trees: high per-pivot overhead
+	sel := &scape.Selectivity{Rows: st.NumPairs / 2, Candidates: st.NumPairs}
+	p := DefaultCostModel().Plan(Threshold(stats.Correlation, 0.0, scape.Above), st, sel)
+	if p.Method != MethodAffine {
+		t.Fatalf("chose %v, want WA: %v", p.Method, p)
+	}
+}
+
+// TestZeroModelUsesDefaults pins that a zero CostModel behaves like the
+// calibrated default, so an unset Config never panics or picks degenerately.
+func TestZeroModelUsesDefaults(t *testing.T) {
+	sel := &scape.Selectivity{Rows: 10, Exact: true}
+	var zero CostModel
+	a := zero.Plan(Threshold(stats.Covariance, 0.9, scape.Above), bigTable(), sel)
+	b := DefaultCostModel().Plan(Threshold(stats.Covariance, 0.9, scape.Above), bigTable(), sel)
+	if a.Method != b.Method || a.EstimatedCost != b.EstimatedCost {
+		t.Fatalf("zero model diverges from default: %v vs %v", a, b)
+	}
+}
+
+// TestLocationThresholdCosts pins the L-measure ordering: index <= affine
+// lookup scan <= naive recomputation.
+func TestLocationThresholdCosts(t *testing.T) {
+	sel := &scape.Selectivity{Rows: 30, Exact: true}
+	p := DefaultCostModel().Plan(Range(stats.Mean, 0, 1), bigTable(), sel)
+	if p.Method != MethodIndex {
+		t.Fatalf("chose %v, want SCAPE: %v", p.Method, p)
+	}
+	if !(p.CostIndex < p.CostAffine && p.CostAffine < p.CostNaive) {
+		t.Fatalf("cost ordering unexpected: %v", p)
+	}
+}
+
+// TestPlanString smoke-tests the EXPLAIN rendering.
+func TestPlanString(t *testing.T) {
+	p := DefaultCostModel().Plan(Threshold(stats.Correlation, 0.9, scape.Above),
+		bigTable(), &scape.Selectivity{Rows: 5, Exact: true})
+	s := p.String()
+	for _, frag := range []string{"MET correlation", "SCAPE", "est 5 rows"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("plan rendering %q misses %q", s, frag)
+		}
+	}
+}

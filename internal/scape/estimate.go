@@ -1,0 +1,161 @@
+package scape
+
+import (
+	"fmt"
+	"math"
+
+	"affinity/internal/stats"
+)
+
+// Selectivity is the index's estimate of a MET/MER query's result size,
+// computed from the B-trees' per-node subtree counts without materializing a
+// single result entry.
+type Selectivity struct {
+	// Rows is the estimated number of result entries.
+	Rows int
+	// Candidates is the number of sequence nodes whose exact derived value an
+	// index scan would have to evaluate (the band of Section 5.3 where the
+	// normalizer bounds cannot decide membership).  Zero for T- and L-measure
+	// queries, which the index answers without per-entry evaluation.
+	Candidates int
+	// Exact reports whether Rows is exact with respect to the index contents
+	// (true for T- and L-measures, false for the D-measure band estimate).
+	Exact bool
+}
+
+// EstimateSelectivity estimates the result size of a MET/MER query in
+// O(|pivots| · log) time from the subtree counts of the sorted containers.
+// For T-measures and L-measures the modified thresholds τ' = τ/‖α_q‖ turn the
+// question into exact key-range counts; for D-measures the normalizer bounds
+// (U^min_q, U^max_q) yield a definitely-in count plus a candidate band, and
+// band entries are estimated at half membership.  The cost-based planner uses
+// both numbers to price an index scan against the naive and affine sweeps.
+func (idx *Index) EstimateSelectivity(q PairQuery) (Selectivity, error) {
+	if q.Range && q.Lo > q.Hi {
+		return Selectivity{}, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, q.Lo, q.Hi)
+	}
+	if !q.Range && q.Op != Above && q.Op != Below {
+		return Selectivity{}, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(q.Op))
+	}
+	switch q.Measure.Class() {
+	case stats.LocationClass:
+		return idx.estimateSeries(q)
+	case stats.DispersionClass:
+		if !idx.pairMeasures[q.Measure] {
+			return Selectivity{}, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
+		}
+		return idx.estimateBase(q)
+	case stats.DerivedClass:
+		if !idx.derivedSet[q.Measure] {
+			return Selectivity{}, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
+		}
+		return idx.estimateDerived(q)
+	default:
+		return Selectivity{}, fmt.Errorf("%w: %v", stats.ErrUnknownMeasure, q.Measure)
+	}
+}
+
+// estimateSeries counts L-measure query results exactly from the global
+// location tree.
+func (idx *Index) estimateSeries(q PairQuery) (Selectivity, error) {
+	tree, ok := idx.location[q.Measure]
+	if !ok {
+		return Selectivity{}, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
+	}
+	sel := Selectivity{Exact: true}
+	switch {
+	case q.Range:
+		sel.Rows = tree.CountRange(q.Lo, q.Hi)
+	case q.Op == Above:
+		sel.Rows = tree.CountGreater(q.Tau)
+	default:
+		sel.Rows = tree.Rank(q.Tau)
+	}
+	return sel, nil
+}
+
+// estimateBase counts T-measure query results exactly, one O(log) count per
+// pivot node with the same modified bounds the scans use.
+func (idx *Index) estimateBase(q PairQuery) (Selectivity, error) {
+	sel := Selectivity{Exact: true}
+	for _, node := range idx.pivots {
+		pm := node.measures[q.Measure]
+		if pm == nil {
+			return Selectivity{}, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
+		}
+		if pm.alphaNorm == 0 {
+			// Degenerate pivot: every represented value is 0.
+			if zeroMatches(q) {
+				sel.Rows += pm.tree.Len()
+			}
+			continue
+		}
+		switch {
+		case q.Range:
+			sel.Rows += pm.tree.CountRange(q.Lo/pm.alphaNorm, q.Hi/pm.alphaNorm)
+		case q.Op == Above:
+			sel.Rows += pm.tree.CountGreater(q.Tau / pm.alphaNorm)
+		default:
+			sel.Rows += pm.tree.Rank(q.Tau / pm.alphaNorm)
+		}
+	}
+	return sel, nil
+}
+
+// estimateDerived estimates D-measure query results with the pruning bounds:
+// per pivot node the definite region is counted exactly and the undecidable
+// band contributes half its entries to Rows and all of them to Candidates.
+func (idx *Index) estimateDerived(q PairQuery) (Selectivity, error) {
+	base := q.Measure.Base()
+	sel := Selectivity{}
+	for _, node := range idx.pivots {
+		pm := node.measures[base]
+		if pm == nil {
+			return Selectivity{}, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+		}
+		bounds := node.normBounds[q.Measure]
+		uMin, uMax := bounds[0], bounds[1]
+		if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
+			// No usable bounds: every entry is a candidate.
+			cand := pm.tree.Len()
+			sel.Rows += cand / 2
+			sel.Candidates += cand
+			continue
+		}
+		var definite, band int
+		switch {
+		case q.Range:
+			window := pm.tree.CountRange(
+				pruneLowerBound(q.Lo, uMin, uMax, pm.alphaNorm),
+				pruneUpperBound(q.Hi, uMin, uMax, pm.alphaNorm))
+			definite = pm.tree.CountRange(
+				pruneDefiniteAbove(q.Lo, uMin, uMax, pm.alphaNorm),
+				pruneDefiniteBelow(q.Hi, uMin, uMax, pm.alphaNorm))
+			band = window - definite
+		case q.Op == Above:
+			definite = pm.tree.CountGreater(pruneDefiniteAbove(q.Tau, uMin, uMax, pm.alphaNorm))
+			band = pm.tree.CountGreater(pruneLowerBound(q.Tau, uMin, uMax, pm.alphaNorm)) - definite
+		default:
+			definite = pm.tree.Rank(pruneDefiniteBelow(q.Tau, uMin, uMax, pm.alphaNorm))
+			band = pm.tree.Len() - pm.tree.CountGreater(pruneUpperBound(q.Tau, uMin, uMax, pm.alphaNorm)) - definite
+		}
+		if band < 0 {
+			band = 0
+		}
+		sel.Rows += definite + band/2
+		sel.Candidates += band
+	}
+	return sel, nil
+}
+
+// zeroMatches reports whether a degenerate pivot's constant value 0 satisfies
+// the query predicate.
+func zeroMatches(q PairQuery) bool {
+	if q.Range {
+		return q.Lo <= 0 && 0 <= q.Hi
+	}
+	if q.Op == Above {
+		return 0 > q.Tau
+	}
+	return 0 < q.Tau
+}

@@ -1,0 +1,149 @@
+package scape
+
+import (
+	"errors"
+	"testing"
+
+	"affinity/internal/stats"
+)
+
+// estimateQueries spans both query forms over a spread of thresholds wide
+// enough to cover near-empty and near-full result sets.
+func estimateQueries(m stats.Measure) []PairQuery {
+	return []PairQuery{
+		{Measure: m, Tau: 0.9, Op: Above},
+		{Measure: m, Tau: 0.2, Op: Above},
+		{Measure: m, Tau: -0.5, Op: Above},
+		{Measure: m, Tau: 0.6, Op: Below},
+		{Measure: m, Tau: -0.9, Op: Below},
+		{Measure: m, Range: true, Lo: -0.3, Hi: 0.7},
+		{Measure: m, Range: true, Lo: 0.95, Hi: 1.0},
+	}
+}
+
+// TestEstimateSelectivityExactClasses pins that T- and L-measure estimates
+// equal the actual result sizes exactly: both are derived from the same
+// modified bounds, one by counting subtrees and one by scanning them.
+func TestEstimateSelectivityExactClasses(t *testing.T) {
+	d, rel := testDataset(t, 11, 18, 90)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []stats.Measure{stats.Covariance, stats.DotProduct} {
+		for _, q := range estimateQueries(m) {
+			sel, err := idx.EstimateSelectivity(q)
+			if err != nil {
+				t.Fatalf("%v %+v: %v", m, q, err)
+			}
+			if !sel.Exact || sel.Candidates != 0 {
+				t.Fatalf("%v %+v: T-measure estimate should be exact with no candidates: %+v", m, q, sel)
+			}
+			var got []interface{}
+			if q.Range {
+				pairs, err := idx.PairRange(m, q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = make([]interface{}, len(pairs))
+			} else {
+				pairs, err := idx.PairThreshold(m, q.Tau, q.Op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = make([]interface{}, len(pairs))
+			}
+			if sel.Rows != len(got) {
+				t.Errorf("%v %+v: estimated %d rows, actual %d", m, q, sel.Rows, len(got))
+			}
+		}
+	}
+	for _, m := range stats.LMeasures() {
+		for _, q := range estimateQueries(m) {
+			sel, err := idx.EstimateSelectivity(q)
+			if err != nil {
+				t.Fatalf("%v %+v: %v", m, q, err)
+			}
+			if !sel.Exact {
+				t.Fatalf("%v: L-measure estimate should be exact", m)
+			}
+			var actual int
+			if q.Range {
+				ids, err := idx.SeriesRange(m, q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				actual = len(ids)
+			} else {
+				ids, err := idx.SeriesThreshold(m, q.Tau, q.Op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				actual = len(ids)
+			}
+			if sel.Rows != actual {
+				t.Errorf("%v %+v: estimated %d rows, actual %d", m, q, sel.Rows, actual)
+			}
+		}
+	}
+}
+
+// TestEstimateSelectivityDerivedBounds pins that the D-measure estimate
+// brackets the actual result: per pivot node the actual count lies within
+// [definite, definite + band] and Rows sits mid-band, so across nodes the
+// actual count is within Candidates of Rows.
+func TestEstimateSelectivityDerivedBounds(t *testing.T) {
+	d, rel := testDataset(t, 12, 18, 90)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range SeparableDerivedMeasures() {
+		for _, q := range estimateQueries(m) {
+			sel, err := idx.EstimateSelectivity(q)
+			if err != nil {
+				t.Fatalf("%v %+v: %v", m, q, err)
+			}
+			var actual int
+			if q.Range {
+				pairs, err := idx.PairRange(m, q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				actual = len(pairs)
+			} else {
+				pairs, err := idx.PairThreshold(m, q.Tau, q.Op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				actual = len(pairs)
+			}
+			if actual < sel.Rows-sel.Candidates || actual > sel.Rows+sel.Candidates {
+				t.Errorf("%v %+v: actual %d outside estimate bracket [%d, %d] (sel %+v)",
+					m, q, actual, sel.Rows-sel.Candidates, sel.Rows+sel.Candidates, sel)
+			}
+		}
+	}
+}
+
+// TestEstimateSelectivityErrors pins the estimator's error behaviour: the
+// same typed errors as the query paths.
+func TestEstimateSelectivityErrors(t *testing.T) {
+	d, rel := testDataset(t, 13, 10, 60)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Jaccard, Tau: 0.5, Op: Above}); !errors.Is(err, ErrMeasureNotIndexed) {
+		t.Fatalf("jaccard estimate err = %v, want ErrMeasureNotIndexed", err)
+	}
+	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Correlation, Range: true, Lo: 1, Hi: -1}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("empty range err = %v, want ErrBadQuery", err)
+	}
+	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Correlation, Op: ThresholdOp(7)}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("bad op err = %v, want ErrBadQuery", err)
+	}
+	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Measure(99), Tau: 0, Op: Above}); err == nil {
+		t.Fatal("unknown measure should error")
+	}
+}
