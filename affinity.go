@@ -65,6 +65,7 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/dataset"
+	"affinity/internal/measure"
 	"affinity/internal/plan"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
@@ -101,7 +102,49 @@ const (
 	Jaccard      = stats.Jaccard
 	Dice         = stats.Dice
 	HarmonicMean = stats.HarmonicMean
+
+	// Distance D-measures: monotone-decreasing transforms of the dot
+	// product, registered through the declarative measure algebra
+	// (internal/measure) — Threshold/Range on them exercise the SCAPE
+	// index's decreasing-transform pruning path.
+	EuclideanDistance     = stats.EuclideanDistance
+	MeanSquaredDifference = stats.MeanSquaredDifference
+	AngularDistance       = stats.AngularDistance
 )
+
+// MeasureInfo describes one registered measure: its parseable name, class
+// (L/T/D), base T-measure, one-line formula and whether the SCAPE index can
+// serve it.  The list is the registry itself — documentation and CLI help
+// enumerate it instead of hard-coding measure tables.
+type MeasureInfo struct {
+	Measure   Measure
+	Name      string
+	Class     string
+	Base      Measure
+	Doc       string
+	Indexable bool
+}
+
+// Measures returns every registered measure in registration order.
+func Measures() []MeasureInfo {
+	specs := measure.Specs()
+	out := make([]MeasureInfo, len(specs))
+	for i, sp := range specs {
+		out[i] = MeasureInfo{
+			Measure:   sp.ID,
+			Name:      sp.Name,
+			Class:     sp.Class.String(),
+			Base:      sp.Base,
+			Doc:       sp.Doc,
+			Indexable: sp.Indexable,
+		}
+	}
+	return out
+}
+
+// ParseMeasure resolves a measure name (as printed by Measure.String and
+// listed in Measures) in one registry lookup.
+func ParseMeasure(name string) (Measure, error) { return stats.ParseMeasure(name) }
 
 // Method selects how queries are executed.
 type Method = core.Method

@@ -14,6 +14,7 @@ package affinity
 import (
 	"flag"
 	"fmt"
+	"sort"
 	"testing"
 
 	"affinity/internal/core"
@@ -286,6 +287,32 @@ func BenchmarkNaiveCorrelationThreshold(b *testing.B) {
 		if _, err := engine.Threshold(stats.Correlation, 0.9, scape.Above, core.MethodNaive); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDistanceMeasureThreshold measures one MET query per
+// registry-registered distance measure against the SCAPE index — the
+// monotone-decreasing pruning path — with one sub-benchmark row per measure
+// so the CI bench smoke exercises each.
+func BenchmarkDistanceMeasureThreshold(b *testing.B) {
+	engine := benchmarkEngine(b)
+	for _, m := range experiments.NewDistanceMeasures() {
+		m := m
+		// Median-scale thresholds per measure (values from the affine sweep).
+		sweep, err := engine.PairwiseSweepAffine(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vals := append([]float64(nil), sweep.Values...)
+		sort.Float64s(vals)
+		tau := vals[len(vals)/2]
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Threshold(m, tau, scape.Below, core.MethodIndex); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

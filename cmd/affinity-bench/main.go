@@ -29,7 +29,7 @@ import (
 var experimentOrder = []string{
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 	"fig15", "fig16", "table4", "ablation-pinv", "ablation-pruning",
-	"parallel", "planner",
+	"parallel", "planner", "measures",
 }
 
 func main() {
@@ -333,6 +333,25 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 			}
 		}
 		return nil
+
+	case "measures":
+		// The new distance measures (registered declaratively in
+		// internal/measure) under every execution method on both datasets:
+		// naive vs affine vs SCAPE latency with the planner's choice per row.
+		rows, err := experiments.MeasureSweeps(scale, 6)
+		if err != nil {
+			return err
+		}
+		w := newTable(out)
+		fmt.Fprintln(w, "dataset\tmeasure\tquery\tresult size\tWN\tWA\tSCAPE\tAUTO\tauto choice")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%v\t%s\t%d\t%v\t%v\t%v\t%v\t%s\n",
+				r.Dataset, r.Measure, r.Query, r.ResultSize,
+				r.NaiveTime.Round(time.Microsecond), r.AffineTime.Round(time.Microsecond),
+				r.IndexTime.Round(time.Microsecond), r.AutoTime.Round(time.Microsecond),
+				r.AutoChoice)
+		}
+		return w.Flush()
 
 	default:
 		return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experimentOrder, ", "))

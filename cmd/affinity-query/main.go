@@ -42,7 +42,7 @@ func run(args []string, out io.Writer) error {
 		dsName    = fs.String("dataset", "", "dataset name inside the store")
 		csvPath   = fs.String("csv", "", "CSV file to load instead of the store")
 		queryKind = fs.String("query", "mec", "query type: mec, met or mer")
-		measure   = fs.String("measure", "correlation", "statistical measure (mean, median, mode, covariance, dot-product, correlation, cosine, jaccard, dice, harmonic-mean)")
+		measure   = fs.String("measure", "correlation", "statistical measure ("+strings.Join(stats.MeasureNames(), ", ")+")")
 		methodStr = fs.String("method", "wa", "execution method: wn (naive), wa (affine) or scape (index)")
 		seriesArg = fs.String("series", "", "comma-separated series identifiers for MEC queries (empty = all)")
 		threshold = fs.Float64("threshold", 0.9, "MET threshold")

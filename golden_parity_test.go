@@ -1,0 +1,248 @@
+package affinity_test
+
+// Golden parity suite: pins that every measure returns byte-identical results
+// through the naive, affine and SCAPE methods, for Threshold/Range/Compute
+// queries, issued both singly and in batches.  The fixture in
+// testdata/golden_measures.json was captured before the declarative measure
+// algebra refactor (internal/measure); any refactor of the measure plumbing
+// must reproduce these float bit patterns exactly.
+//
+// Regenerate (only when deliberately changing numeric behaviour) with:
+//
+//	go test -run TestGoldenMeasureParity -update-golden .
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"affinity"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_measures.json from the current implementation")
+
+const goldenPath = "testdata/golden_measures.json"
+
+// goldenMeasures lists the measures that existed before the measure-algebra
+// refactor; the fixture deliberately does not grow when new measures are
+// registered (new measures get their own agreement tests instead).
+func goldenMeasures() []affinity.Measure {
+	return []affinity.Measure{
+		affinity.Mean, affinity.Median, affinity.Mode,
+		affinity.Covariance, affinity.DotProduct,
+		affinity.Correlation, affinity.Cosine, affinity.Jaccard,
+		affinity.Dice, affinity.HarmonicMean,
+	}
+}
+
+// goldenCase is one recorded query result.  Floats are stored as Go hex
+// literals ('x' format), which round-trip float64 bit patterns exactly.
+type goldenCase struct {
+	Key    string   `json:"key"`
+	Series []int    `json:"series,omitempty"`
+	Pairs  []string `json:"pairs,omitempty"`
+	Values []string `json:"values,omitempty"`
+	Err    string   `json:"err,omitempty"`
+}
+
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func goldenEngine(t testing.TB) (*affinity.Engine, *affinity.Dataset) {
+	t.Helper()
+	data, err := affinity.GenerateSensorData(affinity.SensorDataConfig{
+		NumSeries: 36, NumSamples: 96, NumGroups: 4, Seed: 20260728,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	eng, err := affinity.New(data, affinity.Options{Clusters: 4, Seed: 7, Parallelism: 2})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return eng, data
+}
+
+// quantiles returns deterministic per-measure query bounds derived from the
+// naive value distribution, so every recorded query has a non-trivial result
+// at every measure's natural scale.
+func quantiles(t testing.TB, eng *affinity.Engine, m affinity.Measure) (q25, q50, q75 float64) {
+	t.Helper()
+	var vals []float64
+	if !m.Pairwise() {
+		vs, err := eng.ComputeLocation(m, eng.Data().IDs(), affinity.Naive)
+		if err != nil {
+			t.Fatalf("%v location: %v", m, err)
+		}
+		vals = vs
+	} else {
+		matrix, err := eng.ComputePairwise(m, eng.Data().IDs(), affinity.Naive)
+		if err != nil {
+			t.Fatalf("%v pairwise: %v", m, err)
+		}
+		for i := range matrix {
+			for j := i + 1; j < len(matrix[i]); j++ {
+				if !math.IsNaN(matrix[i][j]) {
+					vals = append(vals, matrix[i][j])
+				}
+			}
+		}
+	}
+	sort.Float64s(vals)
+	if len(vals) == 0 {
+		t.Fatalf("%v: no finite naive values", m)
+	}
+	return vals[len(vals)/4], vals[len(vals)/2], vals[3*len(vals)/4]
+}
+
+func resultCase(key string, res affinity.Result, err error) goldenCase {
+	c := goldenCase{Key: key}
+	if err != nil {
+		c.Err = err.Error()
+		return c
+	}
+	for _, id := range res.Series {
+		c.Series = append(c.Series, int(id))
+	}
+	for _, p := range res.Pairs {
+		c.Pairs = append(c.Pairs, fmt.Sprintf("%d-%d", p.U, p.V))
+	}
+	return c
+}
+
+func floatsCase(key string, vals []float64, err error) goldenCase {
+	c := goldenCase{Key: key}
+	if err != nil {
+		c.Err = err.Error()
+		return c
+	}
+	for _, v := range vals {
+		c.Values = append(c.Values, hexFloat(v))
+	}
+	return c
+}
+
+// collectGolden runs the full query grid and returns every recorded case.
+func collectGolden(t testing.TB) []goldenCase {
+	eng, data := goldenEngine(t)
+	ids := data.IDs()
+	sub := ids[:6]
+	methods := []struct {
+		name string
+		m    affinity.Method
+	}{{"naive", affinity.Naive}, {"affine", affinity.Affine}, {"index", affinity.Index}}
+
+	var cases []goldenCase
+	for _, m := range goldenMeasures() {
+		q25, q50, q75 := quantiles(t, eng, m)
+		cases = append(cases, floatsCase(fmt.Sprintf("%v/quantiles", m), []float64{q25, q50, q75}, nil))
+
+		var tqs []affinity.ThresholdQuery
+		var rqs []affinity.RangeQuery
+		for _, method := range methods {
+			// MET above/below and MER at the measure's own scale.
+			resA, errA := eng.Threshold(m, q50, affinity.Above, method.m)
+			cases = append(cases, resultCase(fmt.Sprintf("%v/%s/met-above", m, method.name), resA, errA))
+			resB, errB := eng.Threshold(m, q50, affinity.Below, method.m)
+			cases = append(cases, resultCase(fmt.Sprintf("%v/%s/met-below", m, method.name), resB, errB))
+			resR, errR := eng.Range(m, q25, q75, method.m)
+			cases = append(cases, resultCase(fmt.Sprintf("%v/%s/mer", m, method.name), resR, errR))
+		}
+		tqs = append(tqs,
+			affinity.ThresholdQuery{Measure: m, Tau: q50, Op: affinity.Above},
+			affinity.ThresholdQuery{Measure: m, Tau: q50, Op: affinity.Below})
+		rqs = append(rqs, affinity.RangeQuery{Measure: m, Lo: q25, Hi: q75})
+
+		// Batched MET/MER per sweep method plus the index where applicable.
+		for _, method := range methods {
+			bt, err := eng.ThresholdBatch(tqs, method.m)
+			if err != nil {
+				cases = append(cases, goldenCase{Key: fmt.Sprintf("%v/%s/met-batch", m, method.name), Err: err.Error()})
+			} else {
+				for i, res := range bt {
+					cases = append(cases, resultCase(fmt.Sprintf("%v/%s/met-batch-%d", m, method.name, i), res, nil))
+				}
+			}
+			br, err := eng.RangeBatch(rqs, method.m)
+			if err != nil {
+				cases = append(cases, goldenCase{Key: fmt.Sprintf("%v/%s/mer-batch", m, method.name), Err: err.Error()})
+			} else {
+				for i, res := range br {
+					cases = append(cases, resultCase(fmt.Sprintf("%v/%s/mer-batch-%d", m, method.name, i), res, nil))
+				}
+			}
+		}
+
+		// MEC single + batch with the sweep methods.
+		for _, method := range methods[:2] {
+			if !m.Pairwise() {
+				vals, err := eng.ComputeLocation(m, ids, method.m)
+				cases = append(cases, floatsCase(fmt.Sprintf("%v/%s/mec", m, method.name), vals, err))
+			} else {
+				matrix, err := eng.ComputePairwise(m, sub, method.m)
+				var flat []float64
+				if err == nil {
+					for _, row := range matrix {
+						flat = append(flat, row...)
+					}
+				}
+				cases = append(cases, floatsCase(fmt.Sprintf("%v/%s/mec", m, method.name), flat, err))
+			}
+			cq := []affinity.ComputeQuery{{Measure: m, IDs: sub}}
+			bres, err := eng.ComputeBatch(cq, method.m)
+			var flat []float64
+			if err == nil {
+				flat = append(flat, bres[0].Location...)
+				for _, row := range bres[0].Pairwise {
+					flat = append(flat, row...)
+				}
+			}
+			cases = append(cases, floatsCase(fmt.Sprintf("%v/%s/mec-batch", m, method.name), flat, err))
+		}
+	}
+	return cases
+}
+
+func TestGoldenMeasureParity(t *testing.T) {
+	got := collectGolden(t)
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cases to %s", len(got), goldenPath)
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read fixture (run with -update-golden to create): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("case count changed: got %d, fixture has %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Key != w.Key {
+			t.Fatalf("case %d: key %q, fixture %q", i, g.Key, w.Key)
+		}
+		if fmt.Sprintf("%v|%v|%v|%s", g.Series, g.Pairs, g.Values, g.Err) !=
+			fmt.Sprintf("%v|%v|%v|%s", w.Series, w.Pairs, w.Values, w.Err) {
+			t.Errorf("%s: result drifted from pre-refactor fixture\n got: %+v\nwant: %+v", g.Key, g, w)
+		}
+	}
+}

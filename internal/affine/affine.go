@@ -28,7 +28,7 @@ import (
 	"fmt"
 
 	"affinity/internal/mat"
-	"affinity/internal/stats"
+	"affinity/internal/measure"
 )
 
 // ErrBadShape indicates inputs whose dimensions do not match an m-by-2 pair
@@ -240,40 +240,36 @@ func (t *Transform) PropagateDotProductMatrix(sourceDot *mat.Matrix, sourceColum
 	return out, nil
 }
 
-// PropagateDerived computes a D-measure of the target pair by propagating its
-// base T-measure and dividing by the supplied normalizer (Eq. 8).  The
-// normalizer is the separable quantity U_e that the framework pre-computes
-// and stores per sequence pair.
-func (t *Transform) PropagateDerived(measure stats.Measure, sourceBase *mat.Matrix,
-	sourceColumnSums [2]float64, m int, normalizer float64) (float64, error) {
-	if measure.Class() != stats.DerivedClass {
-		return 0, fmt.Errorf("affine: %v is not a derived measure: %w", measure, stats.ErrUnknownMeasure)
+// PropagateMoment computes a T-measure of the target pair from source-side
+// quantities only, as the quadratic form ã1ᵀ·M·ã2 over the augmented columns
+// ãj = (a1j, a2j, bj) of the transformation and the measure's augmented
+// second-moment matrix M (measure.Spec.Moment).  With M assembled from the
+// source covariance this is exactly Eq. 6's off-diagonal; with the Gram
+// block, column sums and sample count it is exactly the expanded Eq. 7 — the
+// spec decides, so no layer above names individual T-measures.
+func (t *Transform) PropagateMoment(mm measure.Moment) float64 {
+	a1, a2 := t.Columns()
+	quad := a1[0]*(mm.S[0]*a2[0]+mm.S[1]*a2[1]) + a1[1]*(mm.S[1]*a2[0]+mm.S[2]*a2[1])
+	if mm.H == ([2]float64{}) && mm.C == 0 {
+		return quad
 	}
-	if normalizer == 0 {
-		return 0, stats.ErrZeroNormalizer
+	a1h := a1[0]*mm.H[0] + a1[1]*mm.H[1]
+	a2h := a2[0]*mm.H[0] + a2[1]*mm.H[1]
+	return quad + t.B[1]*a1h + t.B[0]*a2h + mm.C*t.B[0]*t.B[1]
+}
+
+// PropagateMeasure computes any affine-propagatable pairwise measure of the
+// target pair: the base T value propagates through the moment matrix and the
+// spec's monotone transform combines it with the target pair's separable
+// parameter (Eq. 8 generalized beyond ratio normalizers).
+func (t *Transform) PropagateMeasure(sp *measure.Spec, mm measure.Moment, param float64, m int) (float64, error) {
+	if !sp.Pairwise() {
+		return 0, fmt.Errorf("affine: %v is not a pairwise measure: %w", sp.ID, measure.ErrUnknownMeasure)
 	}
-	var base float64
-	var err error
-	switch measure.Base() {
-	case stats.Covariance:
-		base, err = t.PropagateCovariance(sourceBase)
-	case stats.DotProduct:
-		base, err = t.PropagateDotProduct(sourceBase, sourceColumnSums, m)
-	default:
-		return 0, fmt.Errorf("affine: unsupported base measure %v: %w", measure.Base(), stats.ErrUnknownMeasure)
+	if !sp.AffinePropagatable {
+		return 0, fmt.Errorf("affine: %v is not affine-propagatable: %w", sp.ID, measure.ErrUnknownMeasure)
 	}
-	if err != nil {
-		return 0, err
-	}
-	value := base / normalizer
-	if measure == stats.Correlation {
-		if value > 1 {
-			value = 1
-		} else if value < -1 {
-			value = -1
-		}
-	}
-	return value, nil
+	return sp.Eval(t.PropagateMoment(mm), param, m)
 }
 
 // quadraticForm computes xᵀ·M·y for 2-vectors and a 2-by-2 matrix.

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"affinity/internal/mat"
+	"affinity/internal/measure"
 	"affinity/internal/stats"
 )
 
@@ -311,7 +312,11 @@ func TestLemma1DotProductPreservation(t *testing.T) {
 	}
 }
 
-func TestPropagateDerived(t *testing.T) {
+// TestPropagateMeasure pins the spec-driven propagation path against the
+// direct computation on the transformed pair matrix, for an increasing ratio
+// measure per base (correlation, cosine) and a decreasing distance measure
+// (Euclidean), plus the error paths.
+func TestPropagateMeasure(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	m := 60
 	x := randomPairMatrix(rng, m)
@@ -321,48 +326,50 @@ func TestPropagateDerived(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Correlation via covariance base.
-	covX, _ := stats.PairMatrixCovariance(x)
-	normCorr, err := stats.NormalizerOf(stats.Correlation, y.Col(0), y.Col(1))
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		id   measure.Measure
+		want func(a, b []float64) (float64, error)
+	}{
+		{measure.Correlation, stats.CorrelationOf},
+		{measure.Cosine, stats.CosineOf},
+		{measure.EuclideanDistance, stats.EuclideanDistanceOf},
 	}
-	gotCorr, err := tr.PropagateDerived(stats.Correlation, covX, [2]float64{}, m, normCorr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wantCorr, err := stats.CorrelationOf(y.Col(0), y.Col(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if math.Abs(gotCorr-wantCorr) > 1e-8 {
-		t.Fatalf("correlation: got %v, want %v", gotCorr, wantCorr)
+	for _, tc := range cases {
+		sp := measure.Lookup(tc.id)
+		base := measure.Lookup(sp.Base)
+		terms, err := base.EvalTerms(x.Col(0), x.Col(1))
+		if err != nil {
+			t.Fatalf("%v terms: %v", tc.id, err)
+		}
+		statOf := func(col []float64) measure.SeriesStat {
+			s, err := measure.NaiveSeriesStat(sp.ParamStats, col)
+			if err != nil {
+				t.Fatalf("%v stats: %v", tc.id, err)
+			}
+			return s
+		}
+		param := sp.Param(statOf(y.Col(0)), statOf(y.Col(1)))
+		got, err := tr.PropagateMeasure(sp, base.Moment(terms), param, m)
+		if err != nil {
+			t.Fatalf("%v propagate: %v", tc.id, err)
+		}
+		want, err := tc.want(y.Col(0), y.Col(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("%v: got %v, want %v", tc.id, got, want)
+		}
 	}
 
-	// Cosine via dot product base.
-	dotX, _ := stats.PairMatrixDotProduct(x)
-	sums, _ := stats.ColumnSums(x)
-	normCos, err := stats.NormalizerOf(stats.Cosine, y.Col(0), y.Col(1))
-	if err != nil {
-		t.Fatal(err)
+	// Error paths: non-pairwise spec, zero parameter on a ratio transform.
+	covSp := measure.Lookup(measure.Covariance)
+	covTerms, _ := covSp.EvalTerms(x.Col(0), x.Col(1))
+	if _, err := tr.PropagateMeasure(measure.Lookup(measure.Mean), covSp.Moment(covTerms), 1, m); err == nil {
+		t.Fatal("non-pairwise measure should error")
 	}
-	gotCos, err := tr.PropagateDerived(stats.Cosine, dotX, [2]float64{sums[0], sums[1]}, m, normCos)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wantCos, err := stats.CosineOf(y.Col(0), y.Col(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if math.Abs(gotCos-wantCos) > 1e-8 {
-		t.Fatalf("cosine: got %v, want %v", gotCos, wantCos)
-	}
-
-	// Error paths.
-	if _, err := tr.PropagateDerived(stats.Mean, covX, [2]float64{}, m, 1); err == nil {
-		t.Fatal("non-derived measure should error")
-	}
-	if _, err := tr.PropagateDerived(stats.Correlation, covX, [2]float64{}, m, 0); !errors.Is(err, stats.ErrZeroNormalizer) {
+	corrSp := measure.Lookup(measure.Correlation)
+	if _, err := tr.PropagateMeasure(corrSp, covSp.Moment(covTerms), 0, m); !errors.Is(err, stats.ErrZeroNormalizer) {
 		t.Fatalf("zero normalizer err = %v", err)
 	}
 }

@@ -135,6 +135,12 @@ func FuzzTreeVsSortedSliceOracle(f *testing.F) {
 				if got := tree.CountRange(p, q); got != want {
 					t.Fatalf("CountRange(%v, %v) = %d, want %d", p, q, got, want)
 				}
+				// Complement identity the decreasing-transform selectivity
+				// estimate leans on: (entries ≤ q) − (entries < p) must count
+				// the same closed band [p, q].
+				if got := tree.Len() - tree.CountGreater(q) - tree.Rank(p); got != want {
+					t.Fatalf("Len-CountGreater(%v)-Rank(%v) = %d, want %d", q, p, got, want)
+				}
 			}
 		}
 

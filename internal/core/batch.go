@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
 	"affinity/internal/scape"
@@ -138,10 +139,11 @@ func validateSpec(spec plan.QuerySpec) error {
 // buildItem assembles the executor form of a validated spec with its
 // resolved concrete method.
 func buildItem(spec plan.QuerySpec, concrete Method) execItem {
+	sp, ok := measure.Find(spec.Measure)
 	return execItem{
 		spec:      spec,
 		method:    concrete,
-		location:  spec.Measure.Class() == stats.LocationClass,
+		location:  ok && sp.Location(),
 		pairQuery: spec.PairQuery(),
 		keep:      specKeep(spec),
 	}
@@ -254,57 +256,132 @@ type pairPredicate struct {
 }
 
 // pairMultiFilter answers every predicate in one sweep over the sequence
-// pairs, sharded by row blocks: per block and distinct (measure, method),
-// each pair's value is computed once (including the derived-measure
-// normalizer) and tested against all predicates on that pairing.  Per-block
-// partial results are merged in block order, so out[k] equals the sequential
-// single-query scan for preds[k] exactly.
+// pairs, sharded by row blocks.  Predicates group by the spec's
+// (base T-measure, method): per block and pair, each distinct base value is
+// computed once and every measure sharing it applies only its own transform
+// before testing its predicates — queries on cosine, Dice and Euclidean
+// distance all ride one dot-product evaluation.  Per-block partial results
+// are merged in block order, so out[k] equals the sequential single-query
+// scan for preds[k] exactly.
 func (e *engineState) pairMultiFilter(preds []pairPredicate) ([][]timeseries.Pair, error) {
-	// Group predicate indices so each distinct (measure, method) value is
-	// computed once per pair.
-	type valueKey struct {
-		measure stats.Measure
-		method  Method
+	// baseKey identifies one shared base computation; specs that withhold
+	// BatchGroupable get a solo group keyed by their own identity.
+	type baseKey struct {
+		base   stats.Measure
+		method Method
+		solo   stats.Measure
 	}
-	keyOrder := make([]valueKey, 0, len(preds))
-	byKey := make(map[valueKey][]int)
+	// measureGroup is one measure's predicates within a base group.
+	type measureGroup struct {
+		sp   *measure.Spec
+		idxs []int
+	}
+	keyOrder := make([]baseKey, 0, len(preds))
+	groups := make(map[baseKey][]*measureGroup)
+	baseSpecs := make(map[baseKey]*measure.Spec)
 	for k, p := range preds {
-		if !p.measure.Pairwise() {
+		sp, ok := measure.Find(p.measure)
+		if !ok || !sp.Pairwise() {
 			return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", p.measure, stats.ErrUnknownMeasure)
 		}
 		if p.method != MethodNaive && p.method != MethodAffine {
 			return nil, fmt.Errorf("%w: %v for batched pair queries", ErrBadMethod, p.method)
 		}
-		key := valueKey{p.measure, p.method}
-		if _, ok := byKey[key]; !ok {
-			keyOrder = append(keyOrder, key)
+		key := baseKey{base: sp.Base, method: p.method, solo: -1}
+		if !sp.BatchGroupable {
+			key.solo = sp.ID
 		}
-		byKey[key] = append(byKey[key], k)
+		if _, seen := groups[key]; !seen {
+			keyOrder = append(keyOrder, key)
+			baseSpecs[key] = measure.Lookup(sp.Base)
+		}
+		var mg *measureGroup
+		for _, g := range groups[key] {
+			if g.sp.ID == sp.ID {
+				mg = g
+				break
+			}
+		}
+		if mg == nil {
+			mg = &measureGroup{sp: sp}
+			groups[key] = append(groups[key], mg)
+		}
+		mg.idxs = append(mg.idxs, k)
 	}
 
 	pairs := e.data.AllPairs()
+	numSamples := e.data.NumSamples()
 	blocks := par.Blocks(len(pairs), e.par)
 	parts := make([][][]timeseries.Pair, len(blocks)) // parts[block][pred]
 	err := par.Do(len(blocks), e.par, func(b int) error {
 		local := make([][]timeseries.Pair, len(preds))
+		// Per-worker cache of naive per-series statistics: deterministic
+		// functions of the series, so caching cannot change any value.
+		var naiveStats []map[measure.StatMask]measure.SeriesStat
+		naiveStat := func(id timeseries.SeriesID, mask measure.StatMask) (measure.SeriesStat, error) {
+			if naiveStats == nil {
+				naiveStats = make([]map[measure.StatMask]measure.SeriesStat, e.data.NumSeries())
+			}
+			if s, ok := naiveStats[id][mask]; ok {
+				return s, nil
+			}
+			raw, err := e.data.Series(id)
+			if err != nil {
+				return measure.SeriesStat{}, err
+			}
+			s, err := measure.NaiveSeriesStat(mask, raw)
+			if err != nil {
+				return measure.SeriesStat{}, err
+			}
+			if naiveStats[id] == nil {
+				naiveStats[id] = make(map[measure.StatMask]measure.SeriesStat, 2)
+			}
+			naiveStats[id][mask] = s
+			return s, nil
+		}
 		for _, pair := range pairs[blocks[b].Lo:blocks[b].Hi] {
 			for _, key := range keyOrder {
-				var v float64
+				baseSp := baseSpecs[key]
+				var t float64
 				var err error
 				if key.method == MethodNaive {
-					v, err = e.naive.PairValue(key.measure, pair)
+					t, err = e.naive.PairValue(key.base, pair)
 				} else {
-					v, err = e.affinePairValue(key.measure, pair)
+					t, err = e.affinePairBase(baseSp, pair)
 				}
 				if err != nil {
-					if errors.Is(err, stats.ErrZeroNormalizer) {
-						continue
-					}
 					return err
 				}
-				for _, k := range byKey[key] {
-					if preds[k].keep(v) {
-						local[k] = append(local[k], pair)
+				for _, mg := range groups[key] {
+					v := t
+					if mg.sp.Derived() {
+						var u float64
+						if key.method == MethodNaive {
+							su, err := naiveStat(pair.U, mg.sp.ParamStats)
+							if err != nil {
+								return err
+							}
+							sv, err := naiveStat(pair.V, mg.sp.ParamStats)
+							if err != nil {
+								return err
+							}
+							u = mg.sp.Param(su, sv)
+						} else {
+							u = mg.sp.Param(e.seriesStat(pair.U), e.seriesStat(pair.V))
+						}
+						var verr error
+						v, verr = mg.sp.Value(t, u, numSamples)
+						if verr != nil {
+							if errors.Is(verr, stats.ErrZeroNormalizer) {
+								continue
+							}
+							return verr
+						}
+					}
+					for _, k := range mg.idxs {
+						if preds[k].keep(v) {
+							local[k] = append(local[k], pair)
+						}
 					}
 				}
 			}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"affinity/internal/measure"
 	"affinity/internal/plan"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
@@ -65,8 +66,8 @@ func determinismCases() []queryCase {
 		m := m
 		for _, method := range methods {
 			method := method
-			if method == MethodIndex && m == stats.Jaccard {
-				continue // not indexable (non-separable normalizer)
+			if method == MethodIndex && !measure.Lookup(m).Indexable {
+				continue // declared non-indexable (e.g. Jaccard)
 			}
 			cases = append(cases,
 				queryCase{

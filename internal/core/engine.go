@@ -25,7 +25,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +32,7 @@ import (
 	"affinity/internal/baseline"
 	"affinity/internal/cluster"
 	"affinity/internal/mat"
+	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
 	"affinity/internal/scape"
@@ -221,12 +221,14 @@ type BuildInfo struct {
 }
 
 // pivotSummary caches the pivot-side quantities every propagation needs: the
-// 2-by-2 covariance and Gram matrices of O_p, its column sums and its
-// per-column L-measures.
+// second-moment terms of O_p (covariance and Gram blocks, column sums) that
+// measure specs assemble their moment matrices from, the 2-by-2 covariance
+// matrix the streaming drift scorer feeds to PropagateVariances (cached here
+// so per-relationship drift scoring allocates nothing), and the per-column
+// L-measures.
 type pivotSummary struct {
+	terms     measure.PivotTerms
 	cov       *mat.Matrix
-	dot       *mat.Matrix
-	colSums   [2]float64
 	locations map[stats.Measure][2]float64
 }
 
@@ -460,10 +462,16 @@ func (st *engineState) buildDerived(prev *engineState, parallelism int) error {
 		if err != nil {
 			return nil, err
 		}
+		cov := rp.CovarianceMatrix()
+		dot := rp.GramMatrix()
 		summary := &pivotSummary{
-			cov:       rp.CovarianceMatrix(),
-			dot:       rp.GramMatrix(),
-			colSums:   rp.Sums(),
+			terms: measure.PivotTerms{
+				Cov:        [3]float64{cov.At(0, 0), cov.At(0, 1), cov.At(1, 1)},
+				Dot:        [3]float64{dot.At(0, 0), dot.At(0, 1), dot.At(1, 1)},
+				ColSums:    rp.Sums(),
+				NumSamples: rp.Count(),
+			},
+			cov:       cov,
 			locations: make(map[stats.Measure][2]float64, 3),
 		}
 		for _, m := range stats.LMeasures() {
@@ -586,38 +594,8 @@ func (st *engineState) calibrate(parallelism int) error {
 	})
 }
 
-// normalizer returns the separable normalizer U_e of a derived measure for a
-// pair, computed from the cached per-series statistics.
-func (e *engineState) normalizer(m stats.Measure, pair timeseries.Pair) (float64, error) {
-	switch m {
-	case stats.Correlation:
-		return sqrt(e.seriesVariance[pair.U] * e.seriesVariance[pair.V]), nil
-	case stats.Cosine:
-		return sqrt(e.seriesSqNorm[pair.U] * e.seriesSqNorm[pair.V]), nil
-	case stats.Dice:
-		return (e.seriesSqNorm[pair.U] + e.seriesSqNorm[pair.V]) / 2, nil
-	case stats.HarmonicMean:
-		sum := e.seriesSqNorm[pair.U] + e.seriesSqNorm[pair.V]
-		if sum == 0 {
-			return 0, nil
-		}
-		return e.seriesSqNorm[pair.U] * e.seriesSqNorm[pair.V] / sum, nil
-	case stats.Jaccard:
-		// The Jaccard normalizer needs the dot product itself; it is derived
-		// from the affine estimate of the dot product at call time.
-		dot, err := e.affinePairBase(stats.DotProduct, pair)
-		if err != nil {
-			return 0, err
-		}
-		return e.seriesSqNorm[pair.U] + e.seriesSqNorm[pair.V] - dot, nil
-	default:
-		return 0, fmt.Errorf("core: %v is not a derived measure: %w", m, stats.ErrUnknownMeasure)
-	}
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	return math.Sqrt(x)
+// seriesStat bundles the cached per-series statistics of one series for
+// measure-spec parameters.
+func (e *engineState) seriesStat(id timeseries.SeriesID) measure.SeriesStat {
+	return measure.SeriesStat{Variance: e.seriesVariance[id], SqNorm: e.seriesSqNorm[id]}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"affinity/internal/measure"
 	"affinity/internal/plan"
 	"affinity/internal/scape"
 )
@@ -46,16 +47,20 @@ func (e *engineState) resolve(spec plan.QuerySpec, method Method) (Method, error
 
 // plan prices a spec against this epoch: the index supplies a selectivity
 // estimate when it can answer the query, and the cost model does the rest.
+// Whether the index is consulted at all derives from the measure's declared
+// Indexable capability — a non-indexable measure (e.g. Jaccard) plans among
+// the sweep methods without ever touching the index.
 func (e *engineState) plan(spec plan.QuerySpec) (plan.Plan, error) {
 	var sel *scape.Selectivity
-	if e.index != nil && spec.Kind != plan.KindCompute {
+	sp, known := measure.Find(spec.Measure)
+	if e.index != nil && spec.Kind != plan.KindCompute && known && sp.Indexable {
 		s, err := e.index.EstimateSelectivity(spec.PairQuery())
 		switch {
 		case err == nil:
 			sel = &s
 		case errors.Is(err, scape.ErrMeasureNotIndexed):
-			// The index cannot serve this measure (e.g. Jaccard); plan among
-			// the sweep methods.
+			// The index was built without this measure (restricted
+			// Options.PairMeasures/DerivedMeasures); plan among the sweeps.
 		default:
 			return plan.Plan{}, err
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
 	"affinity/internal/scape"
@@ -86,7 +87,7 @@ func (e *engineState) singleQuery(spec plan.QuerySpec, method Method) (Threshold
 
 // computeLocation implements ComputeLocation for one epoch.
 func (e *engineState) computeLocation(m stats.Measure, ids []timeseries.SeriesID, method Method) ([]float64, error) {
-	if m.Class() != stats.LocationClass {
+	if sp, ok := measure.Find(m); !ok || !sp.Location() {
 		return nil, fmt.Errorf("core: %v is not an L-measure: %w", m, stats.ErrUnknownMeasure)
 	}
 	method, err := e.resolve(plan.Compute(m, len(ids)), method)
@@ -190,32 +191,31 @@ func (e *engineState) pairValue(m stats.Measure, pair timeseries.Pair, method Me
 	}
 }
 
-// affinePairBase computes the base T-measure of a pair through its affine
-// relationship and the cached pivot summary (Eq. 6 / Eq. 7).  Pairs whose
-// relationship was pruned (Config.MaxLSFD) fall back to the naive
+// affinePairBase computes a base T-measure of a pair through its affine
+// relationship: the spec's moment matrix over the cached pivot summary, taken
+// through the propagation quadratic form (Eq. 6 / Eq. 7 unified).  Pairs
+// whose relationship was pruned (Config.MaxLSFD) fall back to the naive
 // computation, preserving correctness at the cost of a raw-series scan.
-func (e *engineState) affinePairBase(m stats.Measure, pair timeseries.Pair) (float64, error) {
+func (e *engineState) affinePairBase(sp *measure.Spec, pair timeseries.Pair) (float64, error) {
 	rel, ok := e.rel.Relationship(pair)
 	if !ok {
-		return e.naive.PairValue(m, pair)
+		return e.naive.PairValue(sp.ID, pair)
 	}
 	summary, ok := e.summaries[rel.Pivot]
 	if !ok {
 		return 0, fmt.Errorf("core: no summary for pivot %v", rel.Pivot)
 	}
-	switch m {
-	case stats.Covariance:
-		return rel.Transform.PropagateCovariance(summary.cov)
-	case stats.DotProduct:
-		return rel.Transform.PropagateDotProduct(summary.dot, summary.colSums, e.data.NumSamples())
-	default:
-		return 0, fmt.Errorf("core: %v is not a T-measure: %w", m, stats.ErrUnknownMeasure)
-	}
+	return rel.Transform.PropagateMoment(sp.Moment(summary.terms)), nil
 }
 
 // affinePairValue computes a pairwise T- or D-measure through affine
-// relationships (the W_A method).
+// relationships (the W_A method): the propagated base T value put through the
+// spec's transform with the pair's separable parameter.
 func (e *engineState) affinePairValue(m stats.Measure, pair timeseries.Pair) (float64, error) {
+	sp, ok := measure.Find(m)
+	if !ok || !sp.Pairwise() {
+		return 0, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	}
 	if !pair.Valid() {
 		canonical, err := timeseries.NewPair(pair.U, pair.V)
 		if err != nil {
@@ -223,55 +223,28 @@ func (e *engineState) affinePairValue(m stats.Measure, pair timeseries.Pair) (fl
 		}
 		pair = canonical
 	}
-	base, err := e.affinePairBase(m.Base(), pair)
+	base, err := e.affinePairBase(measure.Lookup(sp.Base), pair)
 	if err != nil {
 		return 0, err
 	}
-	if m.Class() == stats.DispersionClass {
+	if !sp.Derived() {
 		return base, nil
 	}
-	norm, err := e.normalizer(m, pair)
-	if err != nil {
-		return 0, err
-	}
-	if norm == 0 {
-		return 0, stats.ErrZeroNormalizer
-	}
-	value := base / norm
-	if m == stats.Correlation {
-		value = clamp(value, -1, 1)
-	}
-	return value, nil
+	return sp.Value(base, sp.Param(e.seriesStat(pair.U), e.seriesStat(pair.V)), e.data.NumSamples())
 }
 
 // selfPairValue returns the diagonal entry of a pairwise MEC response: the
-// measure of a series with itself, computed from cached per-series
-// statistics.
+// measure of a series with itself, declared per spec over the cached
+// per-series statistics.
 func (e *engineState) selfPairValue(m stats.Measure, id timeseries.SeriesID) (float64, error) {
 	if int(id) < 0 || int(id) >= len(e.seriesVariance) {
 		return 0, fmt.Errorf("%w: %d", timeseries.ErrInvalidSeries, id)
 	}
-	switch m {
-	case stats.Covariance:
-		return e.seriesVariance[id], nil
-	case stats.DotProduct:
-		return e.seriesSqNorm[id], nil
-	case stats.Correlation, stats.Cosine, stats.Jaccard, stats.Dice:
-		if m == stats.Correlation && e.seriesVariance[id] == 0 {
-			return 0, stats.ErrZeroNormalizer
-		}
-		if m != stats.Correlation && e.seriesSqNorm[id] == 0 {
-			return 0, stats.ErrZeroNormalizer
-		}
-		return 1, nil
-	case stats.HarmonicMean:
-		if e.seriesSqNorm[id] == 0 {
-			return 0, stats.ErrZeroNormalizer
-		}
-		return 2, nil
-	default:
+	sp, ok := measure.Find(m)
+	if !ok || !sp.Pairwise() {
 		return 0, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
 	}
+	return sp.SelfValue(e.seriesStat(id))
 }
 
 func thresholdKeep(tau float64, above bool) func(float64) bool {

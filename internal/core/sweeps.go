@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
@@ -93,75 +94,41 @@ func (e *engineState) pairwiseSweepNaive(m stats.Measure) (*PairSweepResult, err
 
 // pairwiseSweepAffine implements PairwiseSweepAffine for one epoch.
 func (e *engineState) pairwiseSweepAffine(m stats.Measure) (*PairSweepResult, error) {
-	if !m.Pairwise() {
+	sp, ok := measure.Find(m)
+	if !ok || !sp.Pairwise() {
 		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
 	}
-	base := m.Base()
 
-	// One-time cost: per-pivot base summaries (the paper's O(n·k) step),
-	// computed directly from the common series and the cluster center so the
-	// cost per pivot is a handful of passes over m samples with no
-	// allocations.
-	type pivotBase struct {
-		cov     [3]float64 // (Σ11, Σ12, Σ22)
-		dot     [3]float64 // (Π11, Π12, Π22)
-		colSums [2]float64
-	}
+	// One-time cost: per-pivot base moments (the paper's O(n·k) step),
+	// computed directly from the common series and the cluster center through
+	// the base spec's term evaluator, so the cost per pivot is exactly the
+	// raw-sample passes the base T-measure needs.
 	clustering := e.rel.Clustering
 	pivotOrder := make([]symex.Pivot, 0, len(e.rel.Pivots))
 	for pivot := range e.rel.Pivots {
 		pivotOrder = append(pivotOrder, pivot)
 	}
-	pivotBases, err := par.Gather(len(pivotOrder), e.par, func(i int) (pivotBase, error) {
+	pivotMoments, err := par.Gather(len(pivotOrder), e.par, func(i int) (measure.Moment, error) {
 		pivot := pivotOrder[i]
 		common, err := e.data.Series(pivot.Common)
 		if err != nil {
-			return pivotBase{}, err
+			return measure.Moment{}, err
 		}
 		if pivot.Cluster < 0 || pivot.Cluster >= clustering.K() {
-			return pivotBase{}, fmt.Errorf("core: pivot %v references unknown cluster", pivot)
+			return measure.Moment{}, fmt.Errorf("core: pivot %v references unknown cluster", pivot)
 		}
-		center := clustering.Centers[pivot.Cluster]
-		var pb pivotBase
-		switch base {
-		case stats.Covariance:
-			v0, err := stats.VarianceOf(common)
-			if err != nil {
-				return pivotBase{}, err
-			}
-			v1, err := stats.VarianceOf(center)
-			if err != nil {
-				return pivotBase{}, err
-			}
-			c01, err := stats.CovarianceOf(common, center)
-			if err != nil {
-				return pivotBase{}, err
-			}
-			pb.cov = [3]float64{v0, c01, v1}
-		case stats.DotProduct:
-			d00, err := stats.DotProductOf(common, common)
-			if err != nil {
-				return pivotBase{}, err
-			}
-			d01, err := stats.DotProductOf(common, center)
-			if err != nil {
-				return pivotBase{}, err
-			}
-			d11, err := stats.DotProductOf(center, center)
-			if err != nil {
-				return pivotBase{}, err
-			}
-			pb.dot = [3]float64{d00, d01, d11}
-			pb.colSums = [2]float64{stats.SumOf(common), stats.SumOf(center)}
+		terms, err := sp.EvalTerms(common, clustering.Centers[pivot.Cluster])
+		if err != nil {
+			return measure.Moment{}, err
 		}
-		return pb, nil
+		return sp.Moment(terms), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	bases := make(map[symex.Pivot]pivotBase, len(pivotOrder))
+	moments := make(map[symex.Pivot]measure.Moment, len(pivotOrder))
 	for i, pivot := range pivotOrder {
-		bases[pivot] = pivotBases[i]
+		moments[pivot] = pivotMoments[i]
 	}
 
 	pairs := e.data.AllPairs()
@@ -174,31 +141,18 @@ func (e *engineState) pairwiseSweepAffine(m stats.Measure) (*PairSweepResult, er
 			if !ok {
 				return fmt.Errorf("core: no affine relationship for pair %v", pair)
 			}
-			pb := bases[rel.Pivot]
-			a1, a2 := rel.Transform.Columns()
-			var value float64
-			switch base {
-			case stats.Covariance:
-				value = quadForm3(a1, pb.cov, a2)
-			case stats.DotProduct:
-				value = quadForm3(a1, pb.dot, a2) +
-					rel.Transform.B[1]*(a1[0]*pb.colSums[0]+a1[1]*pb.colSums[1]) +
-					rel.Transform.B[0]*(a2[0]*pb.colSums[0]+a2[1]*pb.colSums[1]) +
-					float64(numSamples)*rel.Transform.B[0]*rel.Transform.B[1]
-			}
-			if m.Class() == stats.DerivedClass {
-				norm, err := e.normalizer(m, pair)
+			value := rel.Transform.PropagateMoment(moments[rel.Pivot])
+			if sp.Derived() {
+				u := sp.Param(e.seriesStat(pair.U), e.seriesStat(pair.V))
+				v, err := sp.Value(value, u, numSamples)
 				if err != nil {
+					if errors.Is(err, stats.ErrZeroNormalizer) {
+						values[i] = math.NaN()
+						continue
+					}
 					return err
 				}
-				if norm == 0 {
-					values[i] = math.NaN()
-					continue
-				}
-				value /= norm
-				if m == stats.Correlation {
-					value = clamp(value, -1, 1)
-				}
+				value = v
 			}
 			values[i] = value
 		}
@@ -208,12 +162,6 @@ func (e *engineState) pairwiseSweepAffine(m stats.Measure) (*PairSweepResult, er
 		return nil, err
 	}
 	return &PairSweepResult{Pairs: pairs, Values: values}, nil
-}
-
-// quadForm3 computes xᵀ·M·y for a symmetric 2-by-2 matrix stored as
-// (m11, m12, m22).
-func quadForm3(x [2]float64, m [3]float64, y [2]float64) float64 {
-	return x[0]*(m[0]*y[0]+m[1]*y[1]) + x[1]*(m[1]*y[0]+m[2]*y[1])
 }
 
 // locationSweepNaive implements LocationSweepNaive for one epoch.
@@ -227,7 +175,7 @@ func (e *engineState) locationSweepNaive(m stats.Measure) (*LocationSweepResult,
 
 // locationSweepAffine implements LocationSweepAffine for one epoch.
 func (e *engineState) locationSweepAffine(m stats.Measure) (*LocationSweepResult, error) {
-	if m.Class() != stats.LocationClass {
+	if sp, ok := measure.Find(m); !ok || !sp.Location() {
 		return nil, fmt.Errorf("core: %v is not an L-measure: %w", m, stats.ErrUnknownMeasure)
 	}
 	clustering := e.rel.Clustering

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"affinity/internal/core"
+	"affinity/internal/plan"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// This file implements the "measures" experiment behind cmd/affinity-bench:
+// the registry's newest measures — the distance family that exercises the
+// monotone-decreasing SCAPE pruning path — timed under every execution method
+// on both evaluation datasets.  It is the zero-new-per-layer-code proof: the
+// driver below never names a layer, only the registered measures.
+
+// NewDistanceMeasures returns the measures the experiment sweeps: the three
+// distance measures registered on top of the original nine.
+func NewDistanceMeasures() []stats.Measure {
+	return []stats.Measure{
+		stats.EuclideanDistance, stats.MeanSquaredDifference, stats.AngularDistance,
+	}
+}
+
+// MeasureRow reports one (dataset, measure, query) cell of the sweep.
+type MeasureRow struct {
+	Dataset string
+	Measure stats.Measure
+	Query   string // "MET>", "MET<" or "MER"
+
+	// ResultSize is the index-method result size; AutoChoice the planner's
+	// pick for the query.
+	ResultSize int
+	AutoChoice string
+
+	// Per-method average query times.
+	NaiveTime  time.Duration
+	AffineTime time.Duration
+	IndexTime  time.Duration
+	AutoTime   time.Duration
+}
+
+// MeasureSweep times the new distance measures under every method on one
+// dataset.  Thresholds derive from the measure's own affine value
+// distribution (median for MET, the inter-quartile band for MER), so every
+// row has a non-trivial result at the measure's natural scale.  Before any
+// timing, the index result is asserted identical to the affine result set
+// derived from the same propagated values — the decreasing-transform bound
+// inversion must not change a single membership decision.
+func MeasureSweep(name string, d *timeseries.DataMatrix, clusters int, seed int64) ([]MeasureRow, error) {
+	eng, err := core.Build(d, core.Config{Clusters: clusters, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: measures build: %w", err)
+	}
+	var rows []MeasureRow
+	for _, m := range NewDistanceMeasures() {
+		sweep, err := eng.PairwiseSweepAffine(m)
+		if err != nil {
+			return nil, err
+		}
+		q25, q50, q75 := quantiles3(sweep.Values)
+		queries := []struct {
+			label string
+			spec  plan.QuerySpec
+		}{
+			{"MET>", plan.Threshold(m, q50, scape.Above)},
+			{"MET<", plan.Threshold(m, q25, scape.Below)},
+			{"MER", plan.Range(m, q25, q75)},
+		}
+		for _, q := range queries {
+			row := MeasureRow{Dataset: name, Measure: m, Query: q.label}
+
+			idxRes, err := runSpec(eng, q.spec, core.MethodIndex)
+			if err != nil {
+				return nil, err
+			}
+			affRes, err := runSpec(eng, q.spec, core.MethodAffine)
+			if err != nil {
+				return nil, err
+			}
+			if err := agreeWithinBoundary(idxRes.Pairs, affRes.Pairs, sweep, q.spec); err != nil {
+				return nil, fmt.Errorf("experiments: %s %v %s: index vs affine: %w", name, m, q.label, err)
+			}
+			row.ResultSize = idxRes.Size()
+
+			_, p, err := eng.Explain(q.spec, core.MethodAuto)
+			if err != nil {
+				return nil, err
+			}
+			row.AutoChoice = p.Method.String()
+
+			for _, tm := range []struct {
+				out    *time.Duration
+				method core.Method
+			}{
+				{&row.NaiveTime, core.MethodNaive},
+				{&row.AffineTime, core.MethodAffine},
+				{&row.IndexTime, core.MethodIndex},
+				{&row.AutoTime, core.MethodAuto},
+			} {
+				method := tm.method
+				*tm.out, err = timeRepeated(20*time.Millisecond, 16, func() error {
+					_, err := runSpec(eng, q.spec, method)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// MeasureSweeps runs MeasureSweep over both evaluation datasets.
+func MeasureSweeps(s Scale, clusters int) ([]MeasureRow, error) {
+	ds, err := GenerateDatasets(s)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := MeasureSweep("sensor-data", ds.Sensor, clusters, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	stock, err := MeasureSweep("stock-data", ds.Stock, clusters, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, stock...), nil
+}
+
+// agreeWithinBoundary checks that the index and affine result sets agree
+// except possibly for pairs whose affine value sits within 1e-9 (relative) of
+// a query bound — the rounding slack between the index's ‖α‖·ξ factorization
+// and the engine's direct propagation.
+func agreeWithinBoundary(idxPairs, affPairs []timeseries.Pair, sweep *core.PairSweepResult, spec plan.QuerySpec) error {
+	values := make(map[timeseries.Pair]float64, len(sweep.Pairs))
+	for i, p := range sweep.Pairs {
+		values[p] = sweep.Values[i]
+	}
+	bounds := []float64{spec.Tau}
+	if spec.Kind == plan.KindRange {
+		bounds = []float64{spec.Lo, spec.Hi}
+	}
+	nearBound := func(v float64) bool {
+		for _, b := range bounds {
+			if math.Abs(v-b) <= 1e-9*(1+math.Abs(b)) {
+				return true
+			}
+		}
+		return false
+	}
+	idxSet := make(map[timeseries.Pair]bool, len(idxPairs))
+	for _, p := range idxPairs {
+		idxSet[p] = true
+	}
+	affSet := make(map[timeseries.Pair]bool, len(affPairs))
+	for _, p := range affPairs {
+		affSet[p] = true
+	}
+	for p := range idxSet {
+		if !affSet[p] && !nearBound(values[p]) {
+			return fmt.Errorf("pair %v in index result only (value %v)", p, values[p])
+		}
+	}
+	for p := range affSet {
+		if !idxSet[p] && !nearBound(values[p]) {
+			return fmt.Errorf("pair %v in affine result only (value %v)", p, values[p])
+		}
+	}
+	return nil
+}
+
+// runSpec executes one MET/MER spec with a concrete or auto method.
+func runSpec(eng *core.Engine, spec plan.QuerySpec, method core.Method) (core.ThresholdResult, error) {
+	if spec.Kind == plan.KindThreshold {
+		return eng.Threshold(spec.Measure, spec.Tau, spec.Op, method)
+	}
+	return eng.Range(spec.Measure, spec.Lo, spec.Hi, method)
+}
+
+// quantiles3 returns the 25th/50th/75th percentiles of the finite values.
+func quantiles3(values []float64) (q25, q50, q75 float64) {
+	clean := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(clean)
+	return clean[len(clean)/4], clean[len(clean)/2], clean[3*len(clean)/4]
+}

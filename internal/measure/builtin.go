@@ -1,0 +1,369 @@
+package measure
+
+import "math"
+
+// Built-in measure registration.  The order matches the exported Measure
+// constants; mustBe asserts the registry hands out the expected identity so
+// persisted enum values can never silently shift.
+//
+// The three distance measures at the end are the proof that the algebra pays
+// for itself: they are monotone-decreasing transforms of the dot product with
+// separable parameters, so registering them here is all it takes for naive
+// evaluation, W_A propagation, SCAPE indexing with pruning, selectivity
+// estimation, cost-based planning and batch grouping to serve them — no other
+// layer names them.
+
+func mustBe(want Measure, got Measure) {
+	if got != want {
+		panic("measure: builtin registration order drifted from the Measure constants")
+	}
+}
+
+func init() {
+	// L-measures.
+	mustBe(Mean, Register(Spec{
+		Name:               "mean",
+		Class:              LocationClass,
+		Doc:                "arithmetic mean of the series",
+		Indexable:          true,
+		AffinePropagatable: true,
+		EvalLocation:       MeanOf,
+		NaivePasses:        1,
+	}))
+	mustBe(Median, Register(Spec{
+		Name:               "median",
+		Class:              LocationClass,
+		Doc:                "middle value of the sorted series",
+		Indexable:          true,
+		AffinePropagatable: true,
+		EvalLocation:       MedianOf,
+		NaivePasses:        2, // copy + sort dominates a plain scan
+	}))
+	mustBe(Mode, Register(Spec{
+		Name:               "mode",
+		Class:              LocationClass,
+		Doc:                "most frequent value (bucketed at 1e-4)",
+		Indexable:          true,
+		AffinePropagatable: true,
+		EvalLocation: func(x []float64) (float64, error) {
+			return ModeOf(x, DefaultModePrecision)
+		},
+		NaivePasses: 2, // hash-count pass + bucket scan
+	}))
+
+	// T-measures.
+	mustBe(Covariance, Register(Spec{
+		Name:               "covariance",
+		Class:              DispersionClass,
+		Doc:                "sample covariance Σ12 (normalized by m−1)",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		EvalBase:           CovarianceOf,
+		EvalTerms: func(x, y []float64) (PivotTerms, error) {
+			vx, err := VarianceOf(x)
+			if err != nil {
+				return PivotTerms{}, err
+			}
+			vy, err := VarianceOf(y)
+			if err != nil {
+				return PivotTerms{}, err
+			}
+			cxy, err := CovarianceOf(x, y)
+			if err != nil {
+				return PivotTerms{}, err
+			}
+			return PivotTerms{Cov: [3]float64{vx, cxy, vy}, NumSamples: len(x)}, nil
+		},
+		Moment: func(p PivotTerms) Moment {
+			return Moment{S: p.Cov}
+		},
+		SelfValue:   func(s SeriesStat) (float64, error) { return s.Variance, nil },
+		NaivePasses: 1,
+	}))
+	mustBe(DotProduct, Register(Spec{
+		Name:               "dot-product",
+		Class:              DispersionClass,
+		Doc:                "inner product Π12 = ⟨u, v⟩",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		EvalBase:           DotProductOf,
+		EvalTerms: func(x, y []float64) (PivotTerms, error) {
+			dxx, err := DotProductOf(x, x)
+			if err != nil {
+				return PivotTerms{}, err
+			}
+			dxy, err := DotProductOf(x, y)
+			if err != nil {
+				return PivotTerms{}, err
+			}
+			dyy, err := DotProductOf(y, y)
+			if err != nil {
+				return PivotTerms{}, err
+			}
+			return PivotTerms{
+				Dot:        [3]float64{dxx, dxy, dyy},
+				ColSums:    [2]float64{SumOf(x), SumOf(y)},
+				NumSamples: len(x),
+			}, nil
+		},
+		Moment: func(p PivotTerms) Moment {
+			return Moment{S: p.Dot, H: p.ColSums, C: float64(p.NumSamples)}
+		},
+		SelfValue:   func(s SeriesStat) (float64, error) { return s.SqNorm, nil },
+		NaivePasses: 1,
+	}))
+
+	// Ratio D-measures (monotone increasing, value = T/U).
+	mustBe(Correlation, Register(Spec{
+		Name:               "correlation",
+		Class:              DerivedClass,
+		Base:               Covariance,
+		Doc:                "Pearson correlation Σ12/√(Σ11·Σ22), clamped to [−1, 1]",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		ParamStats:         NeedVariance,
+		Param: func(u, v SeriesStat) float64 {
+			return math.Sqrt(u.Variance * v.Variance)
+		},
+		Value: func(t, u float64, _ int) (float64, error) {
+			if u == 0 {
+				return 0, ErrZeroNormalizer
+			}
+			return clamp(t/u, -1, 1), nil
+		},
+		InvertT:       func(v, u float64, _ int) float64 { return v * u },
+		ParamPositive: true,
+		Bounded:       true,
+		RangeMin:      -1,
+		RangeMax:      1,
+		SelfValue: func(s SeriesStat) (float64, error) {
+			if s.Variance == 0 {
+				return 0, ErrZeroNormalizer
+			}
+			return 1, nil
+		},
+		NaivePasses: 2,
+	}))
+	mustBe(Cosine, Register(Spec{
+		Name:               "cosine",
+		Class:              DerivedClass,
+		Base:               DotProduct,
+		Doc:                "cosine similarity ⟨u,v⟩/(‖u‖·‖v‖)",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		ParamStats:         NeedSqNorm,
+		Param: func(u, v SeriesStat) float64 {
+			return math.Sqrt(u.SqNorm * v.SqNorm)
+		},
+		Value:         ratioValue,
+		InvertT:       func(v, u float64, _ int) float64 { return v * u },
+		ParamPositive: true,
+		SelfValue:     unitSelfValue,
+		NaivePasses:   2,
+	}))
+	mustBe(Jaccard, Register(Spec{
+		Name:  "jaccard",
+		Class: DerivedClass,
+		Base:  DotProduct,
+		Doc:   "generalized Jaccard ⟨u,v⟩/(‖u‖²+‖v‖²−⟨u,v⟩)",
+		// Not indexable: the transform t/(u−t) has a pole at t = u, which is
+		// inside the reachable dot-product range, so no monotone inverse
+		// exists over a pivot's parameter interval (Section 5.1 excludes it
+		// for the same reason).  This is a declared capability, not a
+		// special case: every layer routes around the index from this flag.
+		Indexable:          false,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		ParamStats:         NeedSqNorm,
+		Param: func(u, v SeriesStat) float64 {
+			return u.SqNorm + v.SqNorm
+		},
+		Value: func(t, u float64, _ int) (float64, error) {
+			denom := u - t
+			if denom == 0 {
+				return 0, ErrZeroNormalizer
+			}
+			return t / denom, nil
+		},
+		SelfValue:   unitSelfValue,
+		NaivePasses: 2,
+	}))
+	mustBe(Dice, Register(Spec{
+		Name:               "dice",
+		Class:              DerivedClass,
+		Base:               DotProduct,
+		Doc:                "generalized Dice 2⟨u,v⟩/(‖u‖²+‖v‖²)",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		ParamStats:         NeedSqNorm,
+		Param: func(u, v SeriesStat) float64 {
+			return (u.SqNorm + v.SqNorm) / 2
+		},
+		Value:         ratioValue,
+		InvertT:       func(v, u float64, _ int) float64 { return v * u },
+		ParamPositive: true,
+		SelfValue:     unitSelfValue,
+		NaivePasses:   2,
+	}))
+	mustBe(HarmonicMean, Register(Spec{
+		Name:               "harmonic-mean",
+		Class:              DerivedClass,
+		Base:               DotProduct,
+		Doc:                "harmonic-mean similarity ⟨u,v⟩·(‖u‖²+‖v‖²)/(‖u‖²·‖v‖²)",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		ParamStats:         NeedSqNorm,
+		Param: func(u, v SeriesStat) float64 {
+			sum := u.SqNorm + v.SqNorm
+			if sum == 0 {
+				return 0
+			}
+			return u.SqNorm * v.SqNorm / sum
+		},
+		Value:         ratioValue,
+		InvertT:       func(v, u float64, _ int) float64 { return v * u },
+		ParamPositive: true,
+		SelfValue: func(s SeriesStat) (float64, error) {
+			if s.SqNorm == 0 {
+				return 0, ErrZeroNormalizer
+			}
+			return 2, nil
+		},
+		NaivePasses: 2,
+	}))
+
+	// Distance D-measures (monotone decreasing transforms of the dot
+	// product).  These exercise the decreasing branch of the SCAPE pruning:
+	// a value-space threshold inverts to an upper bound in T space.
+	mustBe(EuclideanDistance, Register(Spec{
+		Name:               "euclidean",
+		Class:              DerivedClass,
+		Base:               DotProduct,
+		Doc:                "Euclidean distance √(‖u‖²+‖v‖²−2⟨u,v⟩)",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		ParamStats:         NeedSqNorm,
+		Param: func(u, v SeriesStat) float64 {
+			return u.SqNorm + v.SqNorm
+		},
+		Value: func(t, u float64, _ int) (float64, error) {
+			diff := u - 2*t
+			if diff < 0 { // rounding excursion below ‖u−v‖² = 0
+				diff = 0
+			}
+			return math.Sqrt(diff), nil
+		},
+		Decreasing: true,
+		InvertT: func(v, u float64, _ int) float64 {
+			if v < 0 { // distances are non-negative: every t is below v...
+				return inf(1) // ...so t < +Inf ⟺ value > v for every pair
+			}
+			return (u - v*v) / 2
+		},
+		Bounded:     true,
+		RangeMin:    0,
+		RangeMax:    math.Inf(1),
+		SelfValue:   func(SeriesStat) (float64, error) { return 0, nil },
+		NaivePasses: 2,
+	}))
+	mustBe(MeanSquaredDifference, Register(Spec{
+		Name:               "mean-squared-diff",
+		Class:              DerivedClass,
+		Base:               DotProduct,
+		Doc:                "mean squared difference (‖u‖²+‖v‖²−2⟨u,v⟩)/m",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		ParamStats:         NeedSqNorm,
+		Param: func(u, v SeriesStat) float64 {
+			return u.SqNorm + v.SqNorm
+		},
+		Value: func(t, u float64, m int) (float64, error) {
+			if m <= 0 {
+				return 0, ErrEmptyInput
+			}
+			diff := u - 2*t
+			if diff < 0 {
+				diff = 0
+			}
+			return diff / float64(m), nil
+		},
+		Decreasing: true,
+		InvertT: func(v, u float64, m int) float64 {
+			if v < 0 { // below the range: the clamp at 0 keeps every t above v
+				return inf(1)
+			}
+			return (u - v*float64(m)) / 2
+		},
+		Bounded:     true,
+		RangeMin:    0,
+		RangeMax:    math.Inf(1),
+		SelfValue:   func(SeriesStat) (float64, error) { return 0, nil },
+		NaivePasses: 2,
+	}))
+	mustBe(AngularDistance, Register(Spec{
+		Name:               "angular",
+		Class:              DerivedClass,
+		Base:               DotProduct,
+		Doc:                "angular distance arccos(cosine)/π ∈ [0, 1]",
+		Indexable:          true,
+		AffinePropagatable: true,
+		BatchGroupable:     true,
+		ParamStats:         NeedSqNorm,
+		Param: func(u, v SeriesStat) float64 {
+			return math.Sqrt(u.SqNorm * v.SqNorm)
+		},
+		Value: func(t, u float64, _ int) (float64, error) {
+			if u == 0 {
+				return 0, ErrZeroNormalizer
+			}
+			return math.Acos(clamp(t/u, -1, 1)) / math.Pi, nil
+		},
+		Decreasing: true,
+		InvertT: func(v, u float64, _ int) float64 {
+			if v < 0 { // below the transform's range: every t qualifies as "greater"
+				return inf(1)
+			}
+			if v > 1 { // above the range: no t does
+				return inf(-1)
+			}
+			return math.Cos(v*math.Pi) * u
+		},
+		ParamPositive: true,
+		Bounded:       true,
+		RangeMin:      0,
+		RangeMax:      1,
+		SelfValue: func(s SeriesStat) (float64, error) {
+			if s.SqNorm == 0 {
+				return 0, ErrZeroNormalizer
+			}
+			return 0, nil
+		},
+		NaivePasses: 2,
+	}))
+}
+
+// ratioValue is the shared increasing transform t/u of the similarity
+// D-measures.
+func ratioValue(t, u float64, _ int) (float64, error) {
+	if u == 0 {
+		return 0, ErrZeroNormalizer
+	}
+	return t / u, nil
+}
+
+// unitSelfValue is the diagonal of the normalized similarity measures: a
+// series is perfectly similar to itself unless it is identically zero.
+func unitSelfValue(s SeriesStat) (float64, error) {
+	if s.SqNorm == 0 {
+		return 0, ErrZeroNormalizer
+	}
+	return 1, nil
+}

@@ -1,0 +1,138 @@
+package measure
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// This fuzz target is the transform-algebra oracle behind the SCAPE pruning:
+// for every indexable D-measure it checks, on fuzzed inputs, the three
+// properties the index's bound inversion relies on —
+//
+//  1. Value is monotone in the base T value (in the spec's declared
+//     direction) for a fixed parameter;
+//  2. InvertT is monotone in the parameter, so TBounds' interval endpoints
+//     bracket the per-pair threshold;
+//  3. Value and InvertT agree: base values strictly beyond the inverted
+//     threshold produce values strictly beyond the probe (up to float
+//     tolerance).
+//
+// The decreasing transforms (euclidean, mean-squared-diff, angular) exercise
+// the mirrored branches that did not exist before the measure algebra.
+
+// decodeFuzzFloats turns fuzz bytes into finite, moderately sized floats.
+func decodeFuzzFloats(data []byte, n int) ([]float64, bool) {
+	if len(data) < 8*n {
+		return nil, false
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[8*i : 8*i+8]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false
+		}
+		out[i] = math.Mod(v, 1e6)
+		out[i] = math.Round(out[i]*1e6) / 1e6
+	}
+	return out, true
+}
+
+func FuzzTransformInverseOracle(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		buf := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		return buf
+	}
+	f.Add(seed(1.0, 2.0, 0.5, 4.0, 0.25))
+	f.Add(seed(-3.0, 0.1, 7.5, 2.0, 0.9))
+	f.Add(seed(100, 50, 25, 12.5, -0.5))
+	f.Add(seed(0, 0, 0, 1, 1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, ok := decodeFuzzFloats(data, 5)
+		if !ok {
+			return
+		}
+		tBase, tDelta, uLoRaw, uHiRaw, probe := vals[0], vals[1], vals[2], vals[3], vals[4]
+		tDelta = math.Abs(tDelta)
+		uLo, uHi := math.Abs(uLoRaw), math.Abs(uHiRaw)
+		if uLo > uHi {
+			uLo, uHi = uHi, uLo
+		}
+		const m = 16
+
+		for _, sp := range Specs() {
+			if !sp.Derived() || !sp.Indexable {
+				continue
+			}
+			if sp.ParamPositive && uLo <= 0 {
+				continue
+			}
+			for _, u := range []float64{uLo, uHi} {
+				v1, err1 := sp.Value(tBase, u, m)
+				v2, err2 := sp.Value(tBase+tDelta, u, m)
+				if err1 != nil || err2 != nil {
+					continue
+				}
+				// Monotonicity in t (weak: clamps flatten the tails).
+				if sp.Decreasing && v2 > v1+1e-9*(1+math.Abs(v1)) {
+					t.Fatalf("%v: Value not decreasing: f(%v)=%v < f(%v)=%v (u=%v)",
+						sp.Name, tBase, v1, tBase+tDelta, v2, u)
+				}
+				if !sp.Decreasing && v2 < v1-1e-9*(1+math.Abs(v1)) {
+					t.Fatalf("%v: Value not increasing: f(%v)=%v > f(%v)=%v (u=%v)",
+						sp.Name, tBase, v1, tBase+tDelta, v2, u)
+				}
+			}
+
+			// TBounds endpoints bracket InvertT at interior parameters.
+			lo, hi := sp.TBounds(probe, uLo, uHi, m)
+			if !(lo <= hi) { // also catches NaN
+				t.Fatalf("%v: TBounds(%v) = (%v, %v) not ordered", sp.Name, probe, lo, hi)
+			}
+			mid := uLo + (uHi-uLo)/2
+			if sp.ParamPositive && mid <= 0 {
+				continue
+			}
+			tm := sp.InvertT(probe, mid, m)
+			if !math.IsNaN(tm) && (tm < lo-1e-9*(1+math.Abs(lo)) || tm > hi+1e-9*(1+math.Abs(hi))) {
+				t.Fatalf("%v: InvertT(%v, mid=%v) = %v outside TBounds (%v, %v)",
+					sp.Name, probe, mid, tm, lo, hi)
+			}
+
+			// Consistency of the inverse with the forward transform: a base
+			// value clearly beyond the per-parameter threshold must yield a
+			// value on the predicate's side of the probe.  Probes at or
+			// beyond a declared range extreme are excluded: the clamp
+			// plateaus there and the index short-circuits them instead of
+			// inverting (Spec.Bounded).
+			if sp.Bounded && (probe <= sp.RangeMin || probe >= sp.RangeMax) {
+				continue
+			}
+			for _, u := range []float64{uLo, uHi} {
+				if sp.ParamPositive && u <= 0 {
+					continue
+				}
+				thr := sp.InvertT(probe, u, m)
+				if math.IsInf(thr, 0) || math.IsNaN(thr) {
+					continue
+				}
+				margin := 1e-6 * (1 + math.Abs(thr))
+				vAbove, errAbove := sp.Value(thr+margin, u, m)
+				if errAbove == nil {
+					if sp.Decreasing && vAbove > probe+1e-9*(1+math.Abs(probe)) {
+						t.Fatalf("%v: Value(thr+δ)=%v should be <= probe %v (u=%v)",
+							sp.Name, vAbove, probe, u)
+					}
+					if !sp.Decreasing && vAbove < probe-1e-9*(1+math.Abs(probe)) {
+						t.Fatalf("%v: Value(thr+δ)=%v should be >= probe %v (u=%v)",
+							sp.Name, vAbove, probe, u)
+					}
+				}
+			}
+		}
+	})
+}

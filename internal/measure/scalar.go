@@ -1,0 +1,139 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scalar statistic primitives.  These are the raw-series building blocks the
+// built-in specs are assembled from; internal/stats re-exports them for
+// callers outside the measure layer.  They are deliberately two-pass (mean
+// then moments): the naive W_N method is the accuracy baseline, so it avoids
+// the cancellation the one-pass running sums (internal/stats.Running) accept
+// for O(1) updates.
+
+// DefaultModePrecision is the bucket width used when computing the mode of a
+// real-valued series.  Real measurements rarely repeat exactly, so the mode
+// is computed over values rounded to this precision (the paper computes the
+// mode of sensor readings and stock quotes, which are quantized to a small
+// number of decimals).
+const DefaultModePrecision = 1e-4
+
+// MeanOf returns the arithmetic mean of the samples.
+func MeanOf(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x)), nil
+}
+
+// MedianOf returns the median of the samples (the average of the two middle
+// values for an even count).
+func MedianOf(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
+	sorted := make([]float64, len(x))
+	copy(sorted, x)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid], nil
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2, nil
+}
+
+// ModeOf returns the mode of the samples after rounding them to the given
+// precision (bucket width).  Ties are broken by the smallest value so the
+// result is deterministic.  A non-positive precision falls back to
+// DefaultModePrecision.
+func ModeOf(x []float64, precision float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if precision <= 0 {
+		precision = DefaultModePrecision
+	}
+	counts := make(map[int64]int, len(x))
+	for _, v := range x {
+		counts[int64(math.Round(v/precision))]++
+	}
+	bestBucket := int64(math.MaxInt64)
+	bestCount := -1
+	for bucket, count := range counts {
+		if count > bestCount || (count == bestCount && bucket < bestBucket) {
+			bestCount = count
+			bestBucket = bucket
+		}
+	}
+	return float64(bestBucket) * precision, nil
+}
+
+// SumOf returns the sum of the samples (h(X) in Eq. 7 of the paper).
+func SumOf(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	return sum
+}
+
+// VarianceOf returns the sample variance (normalized by m-1) of the samples.
+// A single sample has variance zero.
+func VarianceOf(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if len(x) == 1 {
+		return 0, nil
+	}
+	mean, _ := MeanOf(x)
+	var ss float64
+	for _, v := range x {
+		d := v - mean
+		ss += d * d
+	}
+	return ss / float64(len(x)-1), nil
+}
+
+// CovarianceOf returns the sample covariance (normalized by m-1) between two
+// equally long series.
+func CovarianceOf(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(x), len(y))
+	}
+	if len(x) == 1 {
+		return 0, nil
+	}
+	mx, _ := MeanOf(x)
+	my, _ := MeanOf(y)
+	var ss float64
+	for i := range x {
+		ss += (x[i] - mx) * (y[i] - my)
+	}
+	return ss / float64(len(x)-1), nil
+}
+
+// DotProductOf returns the inner product Σ x_i·y_i of two equally long
+// series.
+func DotProductOf(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(x), len(y))
+	}
+	var sum float64
+	for i := range x {
+		sum += x[i] * y[i]
+	}
+	return sum, nil
+}

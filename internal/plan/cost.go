@@ -3,8 +3,8 @@ package plan
 import (
 	"math"
 
+	"affinity/internal/measure"
 	"affinity/internal/scape"
-	"affinity/internal/stats"
 )
 
 // TableStats describes the epoch a query will run against — the inputs the
@@ -82,6 +82,13 @@ const defaultSelectivityFrac = 0.1
 // Plan prices every applicable method for the query and returns the decision.
 // sel is the index's selectivity estimate, or nil when the index cannot
 // answer the query (absent, measure not indexed, or a compute query).
+//
+// The per-measure coefficients are keyed by the measure's spec shape rather
+// than its identity: the W_N scan term scales with Spec.NaivePasses (a
+// D-measure pays the base pass plus its per-series statistic passes, a median
+// pays its sort), the W_A fallback term pays the same naive passes, and a
+// measure whose spec withholds AffinePropagatable never prices the affine
+// method at all.  A measure registered tomorrow is priced correctly today.
 func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) Plan {
 	c = c.withDefaults()
 	p := Plan{
@@ -90,40 +97,56 @@ func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) P
 		CostAffine: math.Inf(1),
 		CostIndex:  math.Inf(1),
 	}
+	sp, known := measure.Find(spec.Measure)
 	if sel != nil {
 		p.EstimatedRows = sel.Rows
 		p.Candidates = sel.Candidates
 		p.SelectivityExact = sel.Exact
-	} else {
-		p.EstimatedRows = c.heuristicRows(spec, st)
+	} else if known {
+		p.EstimatedRows = c.heuristicRows(spec, sp, st)
+	}
+	if !known {
+		// An unregistered measure prices nothing; execution will reject it
+		// with ErrUnknownMeasure regardless of the chosen method.
+		p.Method, p.EstimatedCost = MethodNaive, p.CostNaive
+		return p
 	}
 	rows := float64(p.EstimatedRows)
+	passes := sp.NaivePasses
 
 	switch spec.Kind {
 	case KindCompute:
-		if spec.Measure.Class() == stats.LocationClass {
+		if sp.Location() {
 			k := float64(spec.NumTargets)
-			p.CostNaive = k * float64(st.NumSamples) * c.SampleCost
-			p.CostAffine = k * c.LookupCost
+			p.CostNaive = k * float64(st.NumSamples) * c.SampleCost * passes
+			if sp.AffinePropagatable {
+				p.CostAffine = k * c.LookupCost
+			}
 		} else {
 			pairs := float64(spec.NumTargets) * float64(spec.NumTargets+1) / 2
-			p.CostNaive = pairs * float64(st.NumSamples) * c.SampleCost
-			p.CostAffine = pairs * (c.AffinePairCost + c.fallbackFrac(st)*c.naivePairCost(st))
+			p.CostNaive = pairs * float64(st.NumSamples) * c.SampleCost * passes
+			if sp.AffinePropagatable {
+				p.CostAffine = pairs * (c.AffinePairCost + c.fallbackFrac(st)*c.naivePairCost(st, passes))
+			}
 		}
 
 	case KindThreshold, KindRange:
-		if spec.Measure.Class() == stats.LocationClass {
-			p.CostNaive = float64(st.NumSeries)*float64(st.NumSamples)*c.SampleCost + rows*c.RowCost
-			p.CostAffine = float64(st.NumSeries)*c.LookupCost + rows*c.RowCost
+		if sp.Location() {
+			p.CostNaive = float64(st.NumSeries)*float64(st.NumSamples)*c.SampleCost*passes + rows*c.RowCost
+			if sp.AffinePropagatable {
+				p.CostAffine = float64(st.NumSeries)*c.LookupCost + rows*c.RowCost
+			}
 			if sel != nil {
 				p.CostIndex = c.TreeStepCost*log2(st.NumSeries) + rows*c.RowCost
 			}
 		} else {
-			p.CostNaive = float64(st.NumPairs)*float64(st.NumSamples)*c.SampleCost + rows*c.RowCost
+			p.CostNaive = float64(st.NumPairs)*float64(st.NumSamples)*c.SampleCost*passes + rows*c.RowCost
 			// Pruned pairs fall back to a raw scan plus the failed relationship
 			// lookup, so a mostly-pruned epoch prices affine above naive.
-			p.CostAffine = float64(st.NumPairs-st.FallbackPairs)*c.AffinePairCost +
-				float64(st.FallbackPairs)*(c.LookupCost+c.naivePairCost(st)) + rows*c.RowCost
+			if sp.AffinePropagatable {
+				p.CostAffine = float64(st.NumPairs-st.FallbackPairs)*c.AffinePairCost +
+					float64(st.FallbackPairs)*(c.LookupCost+c.naivePairCost(st, passes)) + rows*c.RowCost
+			}
 			if sel != nil {
 				perPivot := log2(divCeil(st.NumPairs, st.NumPivots))
 				p.CostIndex = float64(st.NumPivots)*c.TreeStepCost*perPivot +
@@ -145,11 +168,11 @@ func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) P
 }
 
 // heuristicRows is the result-size guess without an index estimate.
-func (c CostModel) heuristicRows(spec QuerySpec, st TableStats) int {
+func (c CostModel) heuristicRows(spec QuerySpec, sp *measure.Spec, st TableStats) int {
 	if spec.Kind == KindCompute {
 		return 0
 	}
-	if spec.Measure.Class() == stats.LocationClass {
+	if sp.Location() {
 		return int(defaultSelectivityFrac * float64(st.NumSeries))
 	}
 	return int(defaultSelectivityFrac * float64(st.NumPairs))
@@ -163,9 +186,10 @@ func (c CostModel) fallbackFrac(st TableStats) float64 {
 	return float64(st.FallbackPairs) / float64(st.NumPairs)
 }
 
-// naivePairCost is the cost of one from-scratch pairwise computation.
-func (c CostModel) naivePairCost(st TableStats) float64 {
-	return float64(st.NumSamples) * c.SampleCost
+// naivePairCost is the cost of one from-scratch pairwise computation at the
+// spec's pass weight.
+func (c CostModel) naivePairCost(st TableStats, passes float64) float64 {
+	return float64(st.NumSamples) * c.SampleCost * passes
 }
 
 // log2 returns log2(n+2): a tree-height proxy that stays positive for tiny n.

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"affinity/internal/stats"
+	"affinity/internal/measure"
 )
 
 // Selectivity is the index's estimate of a MET/MER query's result size,
@@ -15,7 +15,7 @@ type Selectivity struct {
 	Rows int
 	// Candidates is the number of sequence nodes whose exact derived value an
 	// index scan would have to evaluate (the band of Section 5.3 where the
-	// normalizer bounds cannot decide membership).  Zero for T- and L-measure
+	// parameter bounds cannot decide membership).  Zero for T- and L-measure
 	// queries, which the index answers without per-entry evaluation.
 	Candidates int
 	// Exact reports whether Rows is exact with respect to the index contents
@@ -26,10 +26,11 @@ type Selectivity struct {
 // EstimateSelectivity estimates the result size of a MET/MER query in
 // O(|pivots| · log) time from the subtree counts of the sorted containers.
 // For T-measures and L-measures the modified thresholds τ' = τ/‖α_q‖ turn the
-// question into exact key-range counts; for D-measures the normalizer bounds
-// (U^min_q, U^max_q) yield a definitely-in count plus a candidate band, and
-// band entries are estimated at half membership.  The cost-based planner uses
-// both numbers to price an index scan against the naive and affine sweeps.
+// question into exact key-range counts; for D-measures the spec's inverse
+// transform and the per-pivot parameter bounds (U^min_q, U^max_q) yield a
+// definitely-in count plus a candidate band, and band entries are estimated
+// at half membership.  The cost-based planner uses both numbers to price an
+// index scan against the naive and affine sweeps.
 func (idx *Index) EstimateSelectivity(q PairQuery) (Selectivity, error) {
 	if q.Range && q.Lo > q.Hi {
 		return Selectivity{}, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, q.Lo, q.Hi)
@@ -37,21 +38,23 @@ func (idx *Index) EstimateSelectivity(q PairQuery) (Selectivity, error) {
 	if !q.Range && q.Op != Above && q.Op != Below {
 		return Selectivity{}, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(q.Op))
 	}
-	switch q.Measure.Class() {
-	case stats.LocationClass:
+	sp, ok := measure.Find(q.Measure)
+	if !ok {
+		return Selectivity{}, fmt.Errorf("%w: %v", measure.ErrUnknownMeasure, q.Measure)
+	}
+	switch {
+	case sp.Location():
 		return idx.estimateSeries(q)
-	case stats.DispersionClass:
+	case !sp.Derived():
 		if !idx.pairMeasures[q.Measure] {
 			return Selectivity{}, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
 		}
 		return idx.estimateBase(q)
-	case stats.DerivedClass:
+	default:
 		if !idx.derivedSet[q.Measure] {
 			return Selectivity{}, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
 		}
-		return idx.estimateDerived(q)
-	default:
-		return Selectivity{}, fmt.Errorf("%w: %v", stats.ErrUnknownMeasure, q.Measure)
+		return idx.estimateDerived(q, sp)
 	}
 }
 
@@ -102,22 +105,45 @@ func (idx *Index) estimateBase(q PairQuery) (Selectivity, error) {
 	return sel, nil
 }
 
-// estimateDerived estimates D-measure query results with the pruning bounds:
-// per pivot node the definite region is counted exactly and the undecidable
-// band contributes half its entries to Rows and all of them to Candidates.
-func (idx *Index) estimateDerived(q PairQuery) (Selectivity, error) {
-	base := q.Measure.Base()
+// estimateDerived estimates D-measure query results with the same pruning
+// geometry the scans use: per pivot node the definite region is counted
+// exactly and the undecidable band contributes half its entries to Rows and
+// all of them to Candidates.
+func (idx *Index) estimateDerived(q PairQuery, sp *measure.Spec) (Selectivity, error) {
 	sel := Selectivity{}
-	for _, node := range idx.pivots {
-		pm := node.measures[base]
-		if pm == nil {
-			return Selectivity{}, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+	allMatch := false
+	if sp.Bounded {
+		// Mirror the scan guards for probes outside the declared value range
+		// (see nodeDerivedThreshold/nodeDerivedRange).
+		if q.Range {
+			if q.Hi < sp.RangeMin || q.Lo > sp.RangeMax {
+				return Selectivity{}, nil
+			}
+			q.Lo = math.Max(q.Lo, sp.RangeMin)
+			q.Hi = math.Min(q.Hi, sp.RangeMax)
+		} else {
+			if (q.Op == Above && q.Tau >= sp.RangeMax) || (q.Op == Below && q.Tau <= sp.RangeMin) {
+				return Selectivity{}, nil
+			}
+			allMatch = (q.Op == Above && q.Tau < sp.RangeMin) || (q.Op == Below && q.Tau > sp.RangeMax)
 		}
-		bounds := node.normBounds[q.Measure]
-		uMin, uMax := bounds[0], bounds[1]
-		if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
+	}
+	for _, node := range idx.pivots {
+		db := idx.nodeBounds(node, sp)
+		if db.pm == nil {
+			return Selectivity{}, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, sp.Base)
+		}
+		if allMatch {
+			// Every defined value satisfies the predicate; the scan still
+			// evaluates each entry to reject undefined pairs.
+			cand := db.pm.tree.Len()
+			sel.Rows += cand
+			sel.Candidates += cand
+			continue
+		}
+		if !db.canPrune {
 			// No usable bounds: every entry is a candidate.
-			cand := pm.tree.Len()
+			cand := db.pm.tree.Len()
 			sel.Rows += cand / 2
 			sel.Candidates += cand
 			continue
@@ -125,19 +151,21 @@ func (idx *Index) estimateDerived(q PairQuery) (Selectivity, error) {
 		var definite, band int
 		switch {
 		case q.Range:
-			window := pm.tree.CountRange(
-				pruneLowerBound(q.Lo, uMin, uMax, pm.alphaNorm),
-				pruneUpperBound(q.Hi, uMin, uMax, pm.alphaNorm))
-			definite = pm.tree.CountRange(
-				pruneDefiniteAbove(q.Lo, uMin, uMax, pm.alphaNorm),
-				pruneDefiniteBelow(q.Hi, uMin, uMax, pm.alphaNorm))
+			fromLo, fromHi, toLo, toHi := db.rangeXiBounds(sp, q.Lo, q.Hi, idx.numSamples)
+			window := db.pm.tree.CountRange(fromLo, toHi)
+			definite = db.pm.tree.CountRange(fromHi, toLo)
 			band = window - definite
-		case q.Op == Above:
-			definite = pm.tree.CountGreater(pruneDefiniteAbove(q.Tau, uMin, uMax, pm.alphaNorm))
-			band = pm.tree.CountGreater(pruneLowerBound(q.Tau, uMin, uMax, pm.alphaNorm)) - definite
 		default:
-			definite = pm.tree.Rank(pruneDefiniteBelow(q.Tau, uMin, uMax, pm.alphaNorm))
-			band = pm.tree.Len() - pm.tree.CountGreater(pruneUpperBound(q.Tau, uMin, uMax, pm.alphaNorm)) - definite
+			xiLo, xiHi := db.xiBounds(sp, q.Tau, idx.numSamples)
+			if (q.Op == Above) != sp.Decreasing {
+				// Qualifying entries sit on the high-ξ side.
+				definite = db.pm.tree.CountGreater(xiHi)
+				band = db.pm.tree.CountGreater(xiLo) - definite
+			} else {
+				// Qualifying entries sit on the low-ξ side.
+				definite = db.pm.tree.Rank(xiLo)
+				band = db.pm.tree.Len() - db.pm.tree.CountGreater(xiHi) - definite
+			}
 		}
 		if band < 0 {
 			band = 0

@@ -43,6 +43,7 @@ import (
 	"sort"
 
 	"affinity/internal/btree"
+	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
@@ -112,12 +113,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// SeparableDerivedMeasures returns the D-measures whose normalizer is
-// separable per series and therefore indexable by SCAPE (Section 5.1,
-// "Indexing D-Measures").  The generalized Jaccard coefficient is excluded:
-// its normalizer depends on the dot product itself.
+// SeparableDerivedMeasures returns the D-measures the index can serve: those
+// whose spec declares a separable parameter with a monotone, invertible value
+// transform (Section 5.1, "Indexing D-Measures", generalized to decreasing
+// transforms).  The generalized Jaccard coefficient declares itself
+// non-indexable: its transform has a pole inside the reachable base range.
 func SeparableDerivedMeasures() []stats.Measure {
-	return []stats.Measure{stats.Correlation, stats.Cosine, stats.Dice, stats.HarmonicMean}
+	return measure.IndexableDerived()
 }
 
 // sequenceNode is the per-relationship payload shared by all per-measure
@@ -125,8 +127,9 @@ func SeparableDerivedMeasures() []stats.Measure {
 type sequenceNode struct {
 	pair timeseries.Pair
 	beta [3]float64
-	// normalizers[U] for every indexed D-measure, keyed by measure.
-	normalizers map[stats.Measure]float64
+	// params holds the separable parameter U_e of every indexed D-measure,
+	// keyed by measure (spec.Param over the pair's per-series statistics).
+	params map[stats.Measure]float64
 }
 
 // pivotMeasure is the per-(pivot, measure) state: α, ‖α‖ and the sorted
@@ -141,10 +144,10 @@ type pivotMeasure struct {
 type pivotNode struct {
 	pivot    symex.Pivot
 	measures map[stats.Measure]*pivotMeasure
-	// normBounds[measure] = (U^min_q, U^max_q) across the pivot's sequence
-	// nodes, for every indexed D-measure.
-	normBounds map[stats.Measure][2]float64
-	pairs      int
+	// paramBounds[measure] = (U^min_q, U^max_q) across the pivot's sequence
+	// nodes, for every indexed D-measure; they drive the Section 5.3 pruning.
+	paramBounds map[stats.Measure][2]float64
+	pairs       int
 	// insertions counts the B-tree insertions performed while building this
 	// node; nodes are built in parallel, so the counter is per-node and summed
 	// into BuildStats afterwards.
@@ -202,20 +205,23 @@ func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, e
 	}
 	opts = opts.withDefaults()
 	for _, m := range opts.PairMeasures {
-		if m.Class() != stats.DispersionClass {
+		sp, ok := measure.Find(m)
+		if !ok || sp.Derived() || !sp.Pairwise() {
 			return nil, fmt.Errorf("%w: %v is not a T-measure", ErrBadQuery, m)
 		}
 	}
 	for _, m := range opts.DerivedMeasures {
-		if m.Class() != stats.DerivedClass {
+		sp, ok := measure.Find(m)
+		if !ok || !sp.Derived() {
 			return nil, fmt.Errorf("%w: %v is not a D-measure", ErrBadQuery, m)
 		}
-		if !isSeparable(m) {
+		if !sp.Indexable {
 			return nil, fmt.Errorf("%w: %v has a non-separable normalizer", ErrMeasureNotIndexed, m)
 		}
 	}
 	for _, m := range opts.LocationMeasures {
-		if m.Class() != stats.LocationClass {
+		sp, ok := measure.Find(m)
+		if !ok || !sp.Location() {
 			return nil, fmt.Errorf("%w: %v is not an L-measure", ErrBadQuery, m)
 		}
 	}
@@ -300,6 +306,11 @@ type seriesStats struct {
 	sqNorm   []float64
 }
 
+// stat returns the SeriesStat bundle of one series for spec parameters.
+func (s *seriesStats) stat(id timeseries.SeriesID) measure.SeriesStat {
+	return measure.SeriesStat{Variance: s.variance[id], SqNorm: s.sqNorm[id]}
+}
+
 func computeSeriesStats(d *timeseries.DataMatrix, parallelism int) (*seriesStats, error) {
 	n := d.NumSeries()
 	out := &seriesStats{variance: make([]float64, n), sqNorm: make([]float64, n)}
@@ -349,24 +360,24 @@ func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
 	if err != nil {
 		return nil, err
 	}
-
-	node := &pivotNode{
-		pivot:      pivot,
-		measures:   make(map[stats.Measure]*pivotMeasure),
-		normBounds: make(map[stats.Measure][2]float64),
-		pairs:      len(pairs),
+	terms := measure.PivotTerms{
+		Cov:        [3]float64{covOp.At(0, 0), covOp.At(0, 1), covOp.At(1, 1)},
+		Dot:        [3]float64{dotOp.At(0, 0), dotOp.At(0, 1), dotOp.At(1, 1)},
+		ColSums:    [2]float64{sums[0], sums[1]},
+		NumSamples: idx.numSamples,
 	}
 
+	node := &pivotNode{
+		pivot:       pivot,
+		measures:    make(map[stats.Measure]*pivotMeasure),
+		paramBounds: make(map[stats.Measure][2]float64),
+		pairs:       len(pairs),
+	}
+
+	// α per indexed T-measure is the first row of the measure's augmented
+	// second-moment matrix (Observation 1 / Table 2 fall out of the algebra).
 	for m := range idx.pairMeasures {
-		var alpha [3]float64
-		switch m {
-		case stats.Covariance:
-			alpha = [3]float64{covOp.At(0, 0), covOp.At(0, 1), 0}
-		case stats.DotProduct:
-			alpha = [3]float64{dotOp.At(0, 0), dotOp.At(0, 1), sums[0]}
-		default:
-			return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-		}
+		alpha := measure.Lookup(m).Moment(terms).Alpha()
 		node.measures[m] = &pivotMeasure{
 			alpha:     alpha,
 			alphaNorm: vec3Norm(alpha),
@@ -374,10 +385,10 @@ func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
 		}
 	}
 
-	// Normalizer bounds start empty; they are extended as sequence nodes are
+	// Parameter bounds start empty; they are extended as sequence nodes are
 	// inserted.
 	for m := range idx.derivedSet {
-		node.normBounds[m] = [2]float64{math.Inf(1), math.Inf(-1)}
+		node.paramBounds[m] = [2]float64{math.Inf(1), math.Inf(-1)}
 	}
 
 	for _, e := range pairs {
@@ -390,18 +401,18 @@ func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
 			beta: [3]float64{r.Transform.A.At(0, 1), r.Transform.A.At(1, 1), r.Transform.B[1]},
 		}
 		if len(idx.derivedSet) > 0 {
-			sn.normalizers = make(map[stats.Measure]float64, len(idx.derivedSet))
+			sn.params = make(map[stats.Measure]float64, len(idx.derivedSet))
 			for m := range idx.derivedSet {
-				u := separableNormalizer(m, perSeries, e)
-				sn.normalizers[m] = u
-				bounds := node.normBounds[m]
+				u := measure.Lookup(m).Param(perSeries.stat(e.U), perSeries.stat(e.V))
+				sn.params[m] = u
+				bounds := node.paramBounds[m]
 				if u < bounds[0] {
 					bounds[0] = u
 				}
 				if u > bounds[1] {
 					bounds[1] = u
 				}
-				node.normBounds[m] = bounds
+				node.paramBounds[m] = bounds
 			}
 		}
 		for _, pm := range node.measures {
@@ -537,36 +548,6 @@ func sortedMeasures(set map[stats.Measure]bool) []stats.Measure {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-// separableNormalizer computes the per-pair normalizer U_e of a separable
-// D-measure from per-series statistics only.
-func separableNormalizer(m stats.Measure, perSeries *seriesStats, e timeseries.Pair) float64 {
-	switch m {
-	case stats.Correlation:
-		return math.Sqrt(perSeries.variance[e.U] * perSeries.variance[e.V])
-	case stats.Cosine:
-		return math.Sqrt(perSeries.sqNorm[e.U] * perSeries.sqNorm[e.V])
-	case stats.Dice:
-		return (perSeries.sqNorm[e.U] + perSeries.sqNorm[e.V]) / 2
-	case stats.HarmonicMean:
-		sum := perSeries.sqNorm[e.U] + perSeries.sqNorm[e.V]
-		if sum == 0 {
-			return 0
-		}
-		return perSeries.sqNorm[e.U] * perSeries.sqNorm[e.V] / sum
-	default:
-		return 0
-	}
-}
-
-func isSeparable(m stats.Measure) bool {
-	for _, s := range SeparableDerivedMeasures() {
-		if s == m {
-			return true
-		}
-	}
-	return false
 }
 
 // scalarProjection returns ξ = αᵀβ / ‖α‖ for a sequence node under a given

@@ -1,0 +1,111 @@
+package scape
+
+import (
+	"math"
+	"testing"
+
+	"affinity/internal/measure"
+)
+
+// TestRangeXiBoundsPlateauEnds pins the clamp-plateau geometry of range
+// queries: a range bound sitting exactly at the value a clamped transform
+// plateaus to (distance 0, correlation ±1) is satisfied by arbitrarily large
+// |T|, so the matching end of the ξ window must be unbounded — otherwise an
+// index built from stale (drift-bounded) transforms whose propagated T
+// overshoots the node's parameter interval would silently drop plateau
+// entries that the unpruned scan and the affine method include.
+func TestRangeXiBoundsPlateauEnds(t *testing.T) {
+	db := derivedBounds{
+		pm:       &pivotMeasure{alphaNorm: 2},
+		canPrune: true,
+		uMin:     4,
+		uMax:     9,
+	}
+	const m = 16
+
+	// Euclidean [0, x]: the lo bound is the decreasing transform's high-T
+	// plateau, so the high-T end must be +Inf while the low-T end stays the
+	// finite inversion of x.
+	eu := measure.Lookup(measure.EuclideanDistance)
+	fromLo, fromHi, toLo, toHi := db.rangeXiBounds(eu, 0, 1.5, m)
+	if math.IsInf(fromLo, 0) || math.IsInf(fromHi, 0) {
+		t.Fatalf("euclidean [0,1.5]: finite hi-bound end expected, got from=(%v,%v)", fromLo, fromHi)
+	}
+	if !math.IsInf(toLo, 1) || !math.IsInf(toHi, 1) {
+		t.Fatalf("euclidean [0,1.5]: plateau end must be +Inf, got to=(%v,%v)", toLo, toHi)
+	}
+	// Interior range: both ends finite.
+	_, _, toLo, toHi = db.rangeXiBounds(eu, 0.25, 1.5, m)
+	if math.IsInf(toLo, 0) || math.IsInf(toHi, 0) {
+		t.Fatalf("euclidean interior range: to=(%v,%v) should be finite", toLo, toHi)
+	}
+
+	// Correlation [x, 1]: the hi bound is the increasing transform's high-T
+	// plateau (clamp at 1).
+	corr := measure.Lookup(measure.Correlation)
+	fromLo, fromHi, toLo, toHi = db.rangeXiBounds(corr, 0.5, 1, m)
+	if math.IsInf(fromLo, 0) || math.IsInf(fromHi, 0) {
+		t.Fatalf("correlation [0.5,1]: from=(%v,%v) should be finite", fromLo, fromHi)
+	}
+	if !math.IsInf(toLo, 1) || !math.IsInf(toHi, 1) {
+		t.Fatalf("correlation [0.5,1]: plateau end must be +Inf, got to=(%v,%v)", toLo, toHi)
+	}
+	// Correlation [-1, x]: the lo bound is the low-T plateau.
+	fromLo, fromHi, _, _ = db.rangeXiBounds(corr, -1, 0.5, m)
+	if !math.IsInf(fromLo, -1) || !math.IsInf(fromHi, -1) {
+		t.Fatalf("correlation [-1,0.5]: plateau end must be -Inf, got from=(%v,%v)", fromLo, fromHi)
+	}
+
+	// Unbounded ratio transforms (cosine is not declared Bounded) keep
+	// finite inversions at any probe.
+	cos := measure.Lookup(measure.Cosine)
+	fromLo, _, _, toHi = db.rangeXiBounds(cos, -1, 1, m)
+	if math.IsInf(fromLo, 0) || math.IsInf(toHi, 0) {
+		t.Fatalf("cosine [-1,1]: bounds should stay finite, got %v..%v", fromLo, toHi)
+	}
+}
+
+// TestRangePlateauScanIncludesOvershoot builds a node whose stored projection
+// implies a propagated T beyond the parameter interval (the stale-transform
+// regime) and checks the pruned range scan keeps the plateau entry.
+func TestRangePlateauScanIncludesOvershoot(t *testing.T) {
+	d, rel := testDataset(t, 9, 12, 60)
+	idx, err := Build(d, rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned, err := Build(d, rel, Options{DisableDerivedPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranges anchored at the plateau values of the clamped transforms.
+	cases := []struct {
+		m      measure.Measure
+		lo, hi float64
+	}{
+		{measure.EuclideanDistance, 0, 2},
+		{measure.MeanSquaredDifference, 0, 1},
+		{measure.AngularDistance, 0, 0.4},
+		{measure.Correlation, 0.8, 1},
+		{measure.Correlation, -1, -0.2},
+	}
+	for _, tc := range cases {
+		a, err := idx.PairRange(tc.m, tc.lo, tc.hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := unpruned.PairRange(tc.m, tc.lo, tc.hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%v [%v,%v]: pruned %d vs unpruned %d", tc.m, tc.lo, tc.hi, len(a), len(b))
+		}
+		sa, sb := pairSet(a), pairSet(b)
+		for e := range sb {
+			if !sa[e] {
+				t.Fatalf("%v [%v,%v]: pair %v dropped by pruning", tc.m, tc.lo, tc.hi, e)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -29,6 +30,15 @@ func (op ThresholdOp) String() string {
 	return ">"
 }
 
+// pairSpec validates that m names a pairwise measure and returns its spec.
+func pairSpec(m stats.Measure) (*measure.Spec, error) {
+	sp, ok := measure.Find(m)
+	if !ok || !sp.Pairwise() {
+		return nil, fmt.Errorf("%w: %v is not a pairwise measure", ErrBadQuery, m)
+	}
+	return sp, nil
+}
+
 // PairThreshold answers a MET query over a pairwise (T- or D-) measure: it
 // returns every sequence pair whose measure value, as represented by the
 // index, is above (or below) the threshold tau.
@@ -36,14 +46,19 @@ func (idx *Index) PairThreshold(m stats.Measure, tau float64, op ThresholdOp) ([
 	if op != Above && op != Below {
 		return nil, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(op))
 	}
-	switch m.Class() {
-	case stats.DispersionClass:
-		return idx.baseThreshold(m, tau, op)
-	case stats.DerivedClass:
-		return idx.derivedThreshold(m, tau, op)
-	default:
-		return nil, fmt.Errorf("%w: %v is not a pairwise measure", ErrBadQuery, m)
+	sp, err := pairSpec(m)
+	if err != nil {
+		return nil, err
 	}
+	if !sp.Derived() {
+		return idx.baseThreshold(m, tau, op)
+	}
+	if !idx.derivedSet[m] {
+		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
+		return idx.nodeDerivedThreshold(node, sp, tau, op, out)
+	})
 }
 
 // PairRange answers a MER query over a pairwise measure: every sequence pair
@@ -52,14 +67,19 @@ func (idx *Index) PairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair,
 	if lo > hi {
 		return nil, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, lo, hi)
 	}
-	switch m.Class() {
-	case stats.DispersionClass:
-		return idx.baseRange(m, lo, hi)
-	case stats.DerivedClass:
-		return idx.derivedRange(m, lo, hi)
-	default:
-		return nil, fmt.Errorf("%w: %v is not a pairwise measure", ErrBadQuery, m)
+	sp, err := pairSpec(m)
+	if err != nil {
+		return nil, err
 	}
+	if !sp.Derived() {
+		return idx.baseRange(m, lo, hi)
+	}
+	if !idx.derivedSet[m] {
+		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
+		return idx.nodeDerivedRange(node, sp, lo, hi, out)
+	})
 }
 
 // SeriesThreshold answers a MET query over an L-measure: the series whose
@@ -126,16 +146,16 @@ type PairQuery struct {
 // identical — including order — to the result of the corresponding single
 // PairThreshold/PairRange call.
 func (idx *Index) PairBatch(qs []PairQuery) ([][]timeseries.Pair, error) {
-	for _, q := range qs {
-		switch q.Measure.Class() {
-		case stats.DispersionClass:
-		case stats.DerivedClass:
-			if !idx.derivedSet[q.Measure] {
-				return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
-			}
-		default:
-			return nil, fmt.Errorf("%w: %v is not a pairwise measure", ErrBadQuery, q.Measure)
+	specs := make([]*measure.Spec, len(qs))
+	for i, q := range qs {
+		sp, err := pairSpec(q.Measure)
+		if err != nil {
+			return nil, err
 		}
+		if sp.Derived() && !idx.derivedSet[q.Measure] {
+			return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
+		}
+		specs[i] = sp
 		if q.Range && q.Lo > q.Hi {
 			return nil, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, q.Lo, q.Hi)
 		}
@@ -154,14 +174,14 @@ func (idx *Index) PairBatch(qs []PairQuery) ([][]timeseries.Pair, error) {
 			for qi, q := range qs {
 				var err error
 				switch {
-				case q.Measure.Class() == stats.DispersionClass && q.Range:
+				case !specs[qi].Derived() && q.Range:
 					local[qi], err = nodeBaseRange(node, q.Measure, q.Lo, q.Hi, local[qi])
-				case q.Measure.Class() == stats.DispersionClass:
+				case !specs[qi].Derived():
 					local[qi], err = nodeBaseThreshold(node, q.Measure, q.Tau, q.Op, local[qi])
 				case q.Range:
-					local[qi], err = idx.nodeDerivedRange(node, q.Measure, q.Lo, q.Hi, local[qi])
+					local[qi], err = idx.nodeDerivedRange(node, specs[qi], q.Lo, q.Hi, local[qi])
 				default:
-					local[qi], err = idx.nodeDerivedThreshold(node, q.Measure, q.Tau, q.Op, local[qi])
+					local[qi], err = idx.nodeDerivedThreshold(node, specs[qi], q.Tau, q.Op, local[qi])
 				}
 				if err != nil {
 					return err
@@ -186,11 +206,15 @@ func (idx *Index) PairBatch(qs []PairQuery) ([][]timeseries.Pair, error) {
 }
 
 // PairValue returns the index's representation of a pairwise measure for a
-// single sequence pair (the value ‖α‖·ξ, divided by the stored normalizer for
+// single sequence pair (the value ‖α‖·ξ, put through the spec's transform for
 // D-measures).  It is mainly useful for diagnostics and tests; bulk
 // computation should go through the engine.
 func (idx *Index) PairValue(m stats.Measure, e timeseries.Pair) (float64, error) {
-	base := m.Base()
+	sp, err := pairSpec(m)
+	if err != nil {
+		return 0, err
+	}
+	base := sp.Base
 	for _, node := range idx.pivots {
 		pm, ok := node.measures[base]
 		if !ok {
@@ -209,21 +233,14 @@ func (idx *Index) PairValue(m stats.Measure, e timeseries.Pair) (float64, error)
 		if found == nil {
 			continue
 		}
-		value := pm.alphaNorm * foundXi
-		if m.Class() == stats.DerivedClass {
-			u, ok := found.normalizers[m]
-			if !ok {
-				return 0, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-			}
-			if u == 0 {
-				return 0, stats.ErrZeroNormalizer
-			}
-			value /= u
-			if m == stats.Correlation {
-				value = clamp(value, -1, 1)
-			}
+		if !sp.Derived() {
+			return pm.alphaNorm * foundXi, nil
 		}
-		return value, nil
+		u, ok := found.params[m]
+		if !ok {
+			return 0, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+		}
+		return sp.Value(pm.alphaNorm*foundXi, u, idx.numSamples)
 	}
 	return 0, fmt.Errorf("scape: pair %v not present in the index", e)
 }
@@ -255,10 +272,10 @@ func (idx *Index) shardPivots(scan func(node *pivotNode, out []timeseries.Pair) 
 	return par.FlattenBlocks(parts), nil
 }
 
-// baseThreshold processes MET queries for T- and L-indexed pair measures by
-// converting the threshold into the scalar projection domain: τ' = τ/‖α_q‖
-// per pivot node, followed by an ordered scan of the B-tree (Section 5.2).
-// Pivot nodes are independent, so the scan shards across them.
+// baseThreshold processes MET queries for T-measures by converting the
+// threshold into the scalar projection domain: τ' = τ/‖α_q‖ per pivot node,
+// followed by an ordered scan of the B-tree (Section 5.2).  Pivot nodes are
+// independent, so the scan shards across them.
 func (idx *Index) baseThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.Pair, error) {
 	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
 		return nodeBaseThreshold(node, m, tau, op, out)
@@ -332,66 +349,150 @@ func nodeBaseRange(node *pivotNode, m stats.Measure, lo, hi float64, out []times
 	return out, nil
 }
 
-// derivedThreshold processes MET queries for D-measures using the pruning of
-// Section 5.3: per pivot node the normalizer bounds U^min_q / U^max_q yield
-// modified thresholds; sequence nodes whose scalar projection lies beyond the
-// "definitely in" bound are accepted without further work, nodes beyond the
-// "definitely out" bound are never visited, and only the narrow band in
-// between needs the per-node exact value ‖α‖ξ / U_e.
-func (idx *Index) derivedThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.Pair, error) {
-	if !idx.derivedSet[m] {
-		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-	}
-	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
-		return idx.nodeDerivedThreshold(node, m, tau, op, out)
-	})
+// derivedBounds is the per-(node, spec) pruning geometry of Section 5.3,
+// generalized to both monotone directions: value-space query bounds invert
+// through the spec's InvertT into ξ-space scan bounds, with the pivot's
+// parameter interval [U^min, U^max] supplying the conservative and the
+// definite ends.
+type derivedBounds struct {
+	pm       *pivotMeasure
+	canPrune bool
+	uMin     float64
+	uMax     float64
 }
 
-// nodeDerivedThreshold scans one pivot node for a D-measure MET query.
-func (idx *Index) nodeDerivedThreshold(node *pivotNode, m stats.Measure, tau float64, op ThresholdOp, out []timeseries.Pair) ([]timeseries.Pair, error) {
-	base := m.Base()
-	pm, ok := node.measures[base]
+// nodeBounds inspects one pivot node for a derived spec: whether the
+// parameter bounds admit pruning at all (spec transforms that divide by the
+// parameter need U^min > 0; an empty or unbounded interval disables pruning
+// for everyone).
+func (idx *Index) nodeBounds(node *pivotNode, sp *measure.Spec) derivedBounds {
+	pm, ok := node.measures[sp.Base]
 	if !ok {
-		return out, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+		return derivedBounds{}
+	}
+	b := node.paramBounds[sp.ID]
+	db := derivedBounds{pm: pm, uMin: b[0], uMax: b[1]}
+	db.canPrune = !idx.opts.DisableDerivedPruning &&
+		pm.alphaNorm != 0 &&
+		!math.IsInf(db.uMin, 1) && db.uMin <= db.uMax &&
+		(!sp.ParamPositive || db.uMin > 0)
+	return db
+}
+
+// xiBounds maps one value-space bound v into ξ space: the smallest and
+// largest scalar projections at which the transform can cross v for any
+// parameter in the node's interval.
+func (db derivedBounds) xiBounds(sp *measure.Spec, v float64, numSamples int) (lo, hi float64) {
+	tLo, tHi := sp.TBounds(v, db.uMin, db.uMax, numSamples)
+	return tLo / db.pm.alphaNorm, tHi / db.pm.alphaNorm
+}
+
+// rangeXiBounds maps a clipped value interval [lo, hi] into the ξ geometry of
+// one node: the conservative and definite bounds of the low-T and high-T ends
+// of the matching T interval.  A bound that sits exactly at the clamp extreme
+// the transform plateaus to on that end is satisfied by the entire plateau —
+// arbitrarily large |T| — so that end is unbounded rather than inverted: a
+// stale transform whose propagated T overshoots the parameter interval still
+// lands inside the scan window and is resolved by exact evaluation.
+func (db derivedBounds) rangeXiBounds(sp *measure.Spec, lo, hi float64, numSamples int) (fromLo, fromHi, toLo, toHi float64) {
+	vFrom, vTo := lo, hi
+	if sp.Decreasing {
+		vFrom, vTo = hi, lo
+	}
+	fromLo, fromHi = db.xiBounds(sp, vFrom, numSamples)
+	toLo, toHi = db.xiBounds(sp, vTo, numSamples)
+	if sp.Bounded {
+		// The value the transform plateaus to as T → −∞ / +∞.
+		lowExtreme, highExtreme := sp.RangeMin, sp.RangeMax
+		if sp.Decreasing {
+			lowExtreme, highExtreme = sp.RangeMax, sp.RangeMin
+		}
+		if vFrom == lowExtreme {
+			fromLo, fromHi = math.Inf(-1), math.Inf(-1)
+		}
+		if vTo == highExtreme {
+			toLo, toHi = math.Inf(1), math.Inf(1)
+		}
+	}
+	return fromLo, fromHi, toLo, toHi
+}
+
+// padBound nudges a pruning boundary outward (dir = −1 toward smaller ξ,
+// +1 toward larger) by a relative epsilon.  The bound tests and the exact
+// per-entry evaluation round differently (ξ·‖α‖ reconstructs t inexactly), so
+// an entry sitting within floating-point distance of a boundary could be
+// blind-accepted by the bound while exact evaluation rejects it — or be
+// skipped while evaluation accepts it.  Widening the conservative bounds and
+// shrinking the definite region by this margin routes every ambiguous entry
+// through exact evaluation, which is the ground truth: results with and
+// without pruning stay identical.
+func padBound(x float64, dir float64) float64 {
+	if math.IsInf(x, 0) {
+		return x
+	}
+	return x + dir*1e-9*(1+math.Abs(x))
+}
+
+// nodeDerivedThreshold scans one pivot node for a D-measure MET query.  The
+// spec's transform direction decides which side of the tree can be skipped:
+// for increasing transforms "value > τ" keeps large ξ, for decreasing ones it
+// keeps small ξ; the ξ region between the conservative and the definite bound
+// is the candidate band whose entries are resolved exactly.
+func (idx *Index) nodeDerivedThreshold(node *pivotNode, sp *measure.Spec, tau float64, op ThresholdOp, out []timeseries.Pair) ([]timeseries.Pair, error) {
+	db := idx.nodeBounds(node, sp)
+	if db.pm == nil {
+		return out, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, sp.Base)
 	}
 	if node.pairs == 0 {
 		return out, nil
 	}
-	bounds := node.normBounds[m]
-	uMin, uMax := bounds[0], bounds[1]
 	include := func(sn *sequenceNode, xi float64) {
-		if accepted := idx.derivedCompare(pm, sn, m, xi, tau, op); accepted {
+		if idx.derivedCompare(db.pm, sn, sp, xi, tau, op) {
 			out = append(out, sn.pair)
 		}
 	}
-	if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
+	evalAll := !db.canPrune
+	if sp.Bounded {
+		// Probes at or beyond a declared range extreme defeat the inverse
+		// transform (the clamp plateaus there): a strict predicate at the
+		// extreme matches nothing, and a probe outside the range on the
+		// other side is decided by exact evaluation (which still rejects
+		// pairs whose value is undefined).
+		if (op == Above && tau >= sp.RangeMax) || (op == Below && tau <= sp.RangeMin) {
+			return out, nil
+		}
+		if (op == Above && tau < sp.RangeMin) || (op == Below && tau > sp.RangeMax) {
+			evalAll = true
+		}
+	}
+	if evalAll {
 		// No pruning possible (or disabled): evaluate every node.
-		pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
+		db.pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
 			include(sn, xi)
 			return true
 		})
 		return out, nil
 	}
-	switch op {
-	case Above:
-		// Start the scan at the smallest ξ that could still qualify.
-		scanStart := pruneLowerBound(tau, uMin, uMax, pm.alphaNorm)
-		definite := pruneDefiniteAbove(tau, uMin, uMax, pm.alphaNorm)
-		pm.tree.AscendGreaterOrEqual(scanStart, func(xi float64, sn *sequenceNode) bool {
+	xiLo, xiHi := db.xiBounds(sp, tau, idx.numSamples)
+	// keepHigh: the qualifying T (and hence ξ) side is the high side.
+	keepHigh := (op == Above) != sp.Decreasing
+	if keepHigh {
+		// Start the scan at the smallest ξ that could still qualify; beyond
+		// the definite bound the predicate holds for every possible parameter.
+		scanStart, definite := padBound(xiLo, -1), padBound(xiHi, +1)
+		db.pm.tree.AscendGreaterOrEqual(scanStart, func(xi float64, sn *sequenceNode) bool {
 			if xi > definite {
-				// ξ beyond τ'max: in the result for every possible U.
 				out = append(out, sn.pair)
 				return true
 			}
 			include(sn, xi)
 			return true
 		})
-	case Below:
-		// Mirror image: scan from the bottom up to the largest ξ that
-		// could still qualify.
-		scanEnd := pruneUpperBound(tau, uMin, uMax, pm.alphaNorm)
-		definite := pruneDefiniteBelow(tau, uMin, uMax, pm.alphaNorm)
-		pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
+	} else {
+		// Mirror image: scan from the bottom up to the largest ξ that could
+		// still qualify.
+		scanEnd, definite := padBound(xiHi, +1), padBound(xiLo, -1)
+		db.pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
 			if xi > scanEnd {
 				return false
 			}
@@ -406,51 +507,51 @@ func (idx *Index) nodeDerivedThreshold(node *pivotNode, m stats.Measure, tau flo
 	return out, nil
 }
 
-// derivedRange processes MER queries for D-measures: the scan range in ξ is
-// restricted with the normalizer bounds, candidates inside the band where
-// membership cannot be decided from the bounds alone are resolved exactly.
-func (idx *Index) derivedRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
-	if !idx.derivedSet[m] {
-		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-	}
-	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
-		return idx.nodeDerivedRange(node, m, lo, hi, out)
-	})
-}
-
-// nodeDerivedRange scans one pivot node for a D-measure MER query.
-func (idx *Index) nodeDerivedRange(node *pivotNode, m stats.Measure, lo, hi float64, out []timeseries.Pair) ([]timeseries.Pair, error) {
-	base := m.Base()
-	pm, ok := node.measures[base]
-	if !ok {
-		return out, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, base)
+// nodeDerivedRange scans one pivot node for a D-measure MER query: the scan
+// range in ξ is restricted with the parameter bounds, candidates inside the
+// band where membership cannot be decided from the bounds alone are resolved
+// exactly.
+func (idx *Index) nodeDerivedRange(node *pivotNode, sp *measure.Spec, lo, hi float64, out []timeseries.Pair) ([]timeseries.Pair, error) {
+	db := idx.nodeBounds(node, sp)
+	if db.pm == nil {
+		return out, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, sp.Base)
 	}
 	if node.pairs == 0 {
 		return out, nil
 	}
-	bounds := node.normBounds[m]
-	uMin, uMax := bounds[0], bounds[1]
 	evaluate := func(xi float64, sn *sequenceNode) {
-		v, ok := idx.derivedValue(pm, sn, m, xi)
+		v, ok := idx.derivedValue(db.pm, sn, sp, xi)
 		if ok && v >= lo && v <= hi {
 			out = append(out, sn.pair)
 		}
 	}
-	if idx.opts.DisableDerivedPruning || pm.alphaNorm == 0 || uMin <= 0 || math.IsInf(uMin, 1) {
-		pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
+	if sp.Bounded {
+		// Ranges entirely outside the declared value range match nothing;
+		// bounds beyond it clip to the extremes (every value satisfies the
+		// clipped side), which keeps the inverse transform inside its domain.
+		if hi < sp.RangeMin || lo > sp.RangeMax {
+			return out, nil
+		}
+		lo = math.Max(lo, sp.RangeMin)
+		hi = math.Min(hi, sp.RangeMax)
+	}
+	if !db.canPrune {
+		db.pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
 			evaluate(xi, sn)
 			return true
 		})
 		return out, nil
 	}
-	scanStart := pruneLowerBound(lo, uMin, uMax, pm.alphaNorm)
-	scanEnd := pruneUpperBound(hi, uMin, uMax, pm.alphaNorm)
-	// Inside [definiteLo, definiteHi] the value is within [lo, hi] for
-	// every possible normalizer (case I of Fig. 8(b)); such nodes are
-	// accepted without evaluating the exact value.
-	definiteLo := pruneDefiniteAbove(lo, uMin, uMax, pm.alphaNorm)
-	definiteHi := pruneDefiniteBelow(hi, uMin, uMax, pm.alphaNorm)
-	pm.tree.AscendRange(scanStart, scanEnd, func(xi float64, sn *sequenceNode) bool {
+	// In T space the value interval [lo, hi] maps to [InvertT(lo), InvertT(hi)]
+	// for increasing transforms and to the mirrored interval for decreasing
+	// ones, with clamp-plateau ends unbounded (rangeXiBounds).
+	fromLo, fromHi, toLo, toHi := db.rangeXiBounds(sp, lo, hi, idx.numSamples)
+	scanStart, scanEnd := padBound(fromLo, -1), padBound(toHi, +1)
+	// Inside (definiteLo, definiteHi) the value is within [lo, hi] for every
+	// possible parameter (case I of Fig. 8(b)); such nodes are accepted
+	// without evaluating the exact value.
+	definiteLo, definiteHi := padBound(fromHi, +1), padBound(toLo, -1)
+	db.pm.tree.AscendRange(scanStart, scanEnd, func(xi float64, sn *sequenceNode) bool {
 		if xi > definiteLo && xi < definiteHi {
 			out = append(out, sn.pair)
 			return true
@@ -462,24 +563,25 @@ func (idx *Index) nodeDerivedRange(node *pivotNode, m stats.Measure, lo, hi floa
 }
 
 // derivedValue computes the exact derived measure of a sequence node from
-// index-resident quantities: ‖α‖·ξ divided by the stored normalizer.
-func (idx *Index) derivedValue(pm *pivotMeasure, sn *sequenceNode, m stats.Measure, xi float64) (float64, bool) {
-	u, ok := sn.normalizers[m]
-	if !ok || u == 0 {
+// index-resident quantities: the spec transform of ‖α‖·ξ and the stored
+// parameter.
+func (idx *Index) derivedValue(pm *pivotMeasure, sn *sequenceNode, sp *measure.Spec, xi float64) (float64, bool) {
+	u, ok := sn.params[sp.ID]
+	if !ok {
 		return 0, false
 	}
-	v := pm.alphaNorm * xi / u
-	if m == stats.Correlation {
-		v = clamp(v, -1, 1)
+	v, err := sp.Value(pm.alphaNorm*xi, u, idx.numSamples)
+	if err != nil {
+		return 0, false
 	}
 	return v, true
 }
 
 // derivedCompare evaluates the exact derived value of a candidate node and
 // compares it against the threshold.
-func (idx *Index) derivedCompare(pm *pivotMeasure, sn *sequenceNode, m stats.Measure,
+func (idx *Index) derivedCompare(pm *pivotMeasure, sn *sequenceNode, sp *measure.Spec,
 	xi, tau float64, op ThresholdOp) bool {
-	v, ok := idx.derivedValue(pm, sn, m, xi)
+	v, ok := idx.derivedValue(pm, sn, sp, xi)
 	if !ok {
 		return false
 	}
@@ -487,52 +589,4 @@ func (idx *Index) derivedCompare(pm *pivotMeasure, sn *sequenceNode, m stats.Mea
 		return v > tau
 	}
 	return v < tau
-}
-
-// pruneLowerBound returns the smallest scalar projection that could still
-// satisfy "value > tau" (or contribute to a range starting at tau) given that
-// the normalizer lies in [uMin, uMax]: below this ξ the value is below tau
-// for every possible normalizer.
-func pruneLowerBound(tau, uMin, uMax, alphaNorm float64) float64 {
-	if tau >= 0 {
-		return tau * uMin / alphaNorm
-	}
-	return tau * uMax / alphaNorm
-}
-
-// pruneUpperBound returns the largest scalar projection that could still
-// satisfy "value < tau" (or contribute to a range ending at tau).
-func pruneUpperBound(tau, uMin, uMax, alphaNorm float64) float64 {
-	if tau >= 0 {
-		return tau * uMax / alphaNorm
-	}
-	return tau * uMin / alphaNorm
-}
-
-// pruneDefiniteAbove returns the scalar projection beyond which the value is
-// greater than tau for every possible normalizer (τ'max in Eq. 19).
-func pruneDefiniteAbove(tau, uMin, uMax, alphaNorm float64) float64 {
-	if tau >= 0 {
-		return tau * uMax / alphaNorm
-	}
-	return tau * uMin / alphaNorm
-}
-
-// pruneDefiniteBelow returns the scalar projection below which the value is
-// smaller than tau for every possible normalizer.
-func pruneDefiniteBelow(tau, uMin, uMax, alphaNorm float64) float64 {
-	if tau >= 0 {
-		return tau * uMin / alphaNorm
-	}
-	return tau * uMax / alphaNorm
-}
-
-func clamp(v, lo, hi float64) float64 {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
 }

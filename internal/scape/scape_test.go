@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"affinity/internal/cluster"
+	"affinity/internal/measure"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
 	"affinity/internal/timeseries"
@@ -62,50 +63,25 @@ func affineEstimates(t testing.TB, d *timeseries.DataMatrix, rel *symex.Result, 
 		if err != nil {
 			t.Fatal(err)
 		}
-		var base float64
-		switch m.Base() {
-		case stats.Covariance:
-			cov, err := stats.PairMatrixCovariance(op)
-			if err != nil {
-				t.Fatal(err)
-			}
-			base, err = r.Transform.PropagateCovariance(cov)
-			if err != nil {
-				t.Fatal(err)
-			}
-		case stats.DotProduct:
-			dot, err := stats.PairMatrixDotProduct(op)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sums, err := stats.ColumnSums(op)
-			if err != nil {
-				t.Fatal(err)
-			}
-			base, err = r.Transform.PropagateDotProduct(dot, [2]float64{sums[0], sums[1]}, d.NumSamples())
-			if err != nil {
-				t.Fatal(err)
-			}
-		default:
-			t.Fatalf("unsupported measure %v", m)
+		baseSpec := measure.Lookup(m.Base())
+		terms, err := baseSpec.EvalTerms(op.Col(0), op.Col(1))
+		if err != nil {
+			t.Fatal(err)
 		}
-		if m.Class() == stats.DerivedClass {
+		base := r.Transform.PropagateMoment(baseSpec.Moment(terms))
+		sp := measure.Lookup(m)
+		if sp.Derived() {
 			su, _ := d.Series(e.U)
 			sv, _ := d.Series(e.V)
 			u, err := stats.NormalizerOf(m, su, sv)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if u == 0 {
-				continue
+			v, err := sp.Value(base, u, d.NumSamples())
+			if err != nil {
+				continue // undefined for this pair (zero normalizer)
 			}
-			base /= u
-			if m == stats.Correlation && base > 1 {
-				base = 1
-			}
-			if m == stats.Correlation && base < -1 {
-				base = -1
-			}
+			base = v
 		}
 		out[e] = base
 	}
@@ -136,7 +112,8 @@ func TestBuildBasics(t *testing.T) {
 	if idx.NumPivots() != st.Pivots {
 		t.Fatal("NumPivots mismatch")
 	}
-	if st.IndexedLMeasures != 3 || st.IndexedTMeasures != 2 || st.IndexedDMeasures != 4 {
+	if st.IndexedLMeasures != 3 || st.IndexedTMeasures != 2 ||
+		st.IndexedDMeasures != len(SeparableDerivedMeasures()) {
 		t.Fatalf("measure counts L=%d T=%d D=%d", st.IndexedLMeasures, st.IndexedTMeasures, st.IndexedDMeasures)
 	}
 	if !st.DerivedPruningOn {
@@ -177,7 +154,10 @@ func TestPairThresholdMatchesAffineEstimates(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, m := range []stats.Measure{stats.Covariance, stats.DotProduct, stats.Correlation, stats.Cosine} {
+	for _, m := range []stats.Measure{
+		stats.Covariance, stats.DotProduct, stats.Correlation, stats.Cosine,
+		stats.EuclideanDistance, stats.MeanSquaredDifference, stats.AngularDistance,
+	} {
 		estimates := affineEstimates(t, d, rel, m)
 		// Pick thresholds spanning the value distribution.
 		values := make([]float64, 0, len(estimates))
@@ -247,7 +227,7 @@ func TestPairRangeMatchesAffineEstimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []stats.Measure{stats.Covariance, stats.Correlation} {
+	for _, m := range []stats.Measure{stats.Covariance, stats.Correlation, stats.EuclideanDistance, stats.AngularDistance} {
 		estimates := affineEstimates(t, d, rel, m)
 		values := make([]float64, 0, len(estimates))
 		for _, v := range estimates {
@@ -295,36 +275,52 @@ func TestDerivedPruningAblationIdenticalResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tau := range []float64{-0.5, 0, 0.3, 0.8, 0.99} {
-		a, err := pruned.PairThreshold(stats.Correlation, tau, Above)
-		if err != nil {
-			t.Fatal(err)
+	// Every indexable D-measure — increasing ratios and decreasing distances
+	// alike — must answer identically with and without the parameter-bound
+	// pruning, at thresholds spanning its own value distribution.
+	for _, m := range SeparableDerivedMeasures() {
+		estimates := affineEstimates(t, d, rel, m)
+		values := make([]float64, 0, len(estimates))
+		for _, v := range estimates {
+			values = append(values, v)
 		}
-		b, err := unpruned.PairThreshold(stats.Correlation, tau, Above)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(a) != len(b) {
-			t.Fatalf("tau=%v: pruned %d vs unpruned %d results", tau, len(a), len(b))
-		}
-		sa, sb := pairSet(a), pairSet(b)
-		for e := range sa {
-			if !sb[e] {
-				t.Fatalf("tau=%v: pair %v only in pruned result", tau, e)
+		sort.Float64s(values)
+		pick := func(q float64) float64 { return values[int(q*float64(len(values)-1))] }
+		// The out-of-distribution probes (below every value / above every
+		// value) exercise the Bounded short-circuits for clamped transforms.
+		for _, tau := range []float64{pick(0.05), pick(0.3), pick(0.6), pick(0.95), pick(0) - 1, pick(1) + 1} {
+			for _, op := range []ThresholdOp{Above, Below} {
+				a, err := pruned.PairThreshold(m, tau, op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := unpruned.PairThreshold(m, tau, op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("%v %v %v: pruned %d vs unpruned %d results", m, op, tau, len(a), len(b))
+				}
+				sa, sb := pairSet(a), pairSet(b)
+				for e := range sa {
+					if !sb[e] {
+						t.Fatalf("%v %v %v: pair %v only in pruned result", m, op, tau, e)
+					}
+				}
 			}
 		}
-	}
-	for _, r := range [][2]float64{{-0.2, 0.4}, {0.5, 0.99}, {-1, 1}} {
-		a, err := pruned.PairRange(stats.Correlation, r[0], r[1])
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := unpruned.PairRange(stats.Correlation, r[0], r[1])
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(a) != len(b) {
-			t.Fatalf("range %v: pruned %d vs unpruned %d", r, len(a), len(b))
+		for _, r := range [][2]float64{{pick(0.1), pick(0.5)}, {pick(0.4), pick(0.9)}, {pick(0), pick(1)}} {
+			a, err := pruned.PairRange(m, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := unpruned.PairRange(m, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%v range %v: pruned %d vs unpruned %d", m, r, len(a), len(b))
+			}
 		}
 	}
 }

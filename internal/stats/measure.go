@@ -7,167 +7,90 @@
 //   - L-measures (location): mean, median, mode — defined per series;
 //   - T-measures (dispersion): covariance, dot product — defined per pair of
 //     series;
-//   - D-measures (derived): a T-measure divided by a separable normalizer —
-//     correlation coefficient (covariance / sqrt(var·var)), and the dot
-//     product derived family (cosine, Jaccard, Dice, harmonic mean).
+//   - D-measures (derived): monotone transforms of a base T-measure under a
+//     separable parameter — the correlation coefficient, the dot-product
+//     similarity family (cosine, Jaccard, Dice, harmonic mean) and the
+//     distance family (Euclidean, mean squared difference, angular).
+//
+// The measures themselves are declared in internal/measure as registry-backed
+// Specs; this package re-exports the identities and evaluates them naively
+// from raw series (the paper's W_N method).  Code that needs the full
+// declarative spec (capability flags, transforms, moments) imports
+// internal/measure directly.
 package stats
 
 import (
-	"errors"
-	"fmt"
+	"affinity/internal/measure"
 )
 
 // Measure identifies one of the statistical measures supported by Affinity.
-type Measure int
+type Measure = measure.Measure
 
-// The supported measures.
+// The supported measures (see internal/measure for the registry).
 const (
 	// L-measures.
-	Mean Measure = iota
-	Median
-	Mode
+	Mean   = measure.Mean
+	Median = measure.Median
+	Mode   = measure.Mode
 
 	// T-measures.
-	Covariance
-	DotProduct
+	Covariance = measure.Covariance
+	DotProduct = measure.DotProduct
 
 	// D-measures.
-	Correlation
-	Cosine
-	Jaccard
-	Dice
-	HarmonicMean
+	Correlation  = measure.Correlation
+	Cosine       = measure.Cosine
+	Jaccard      = measure.Jaccard
+	Dice         = measure.Dice
+	HarmonicMean = measure.HarmonicMean
 
-	numMeasures // sentinel, keep last
+	// Distance D-measures (monotone-decreasing transforms).
+	EuclideanDistance     = measure.EuclideanDistance
+	MeanSquaredDifference = measure.MeanSquaredDifference
+	AngularDistance       = measure.AngularDistance
 )
 
 // Class describes the family a measure belongs to.
-type Class int
+type Class = measure.Class
 
 // The three classes of measures from Section 2.1.
 const (
-	LocationClass   Class = iota // L-measures: per-series central tendency
-	DispersionClass              // T-measures: pairwise variability
-	DerivedClass                 // D-measures: normalized T-measures
+	LocationClass   = measure.LocationClass
+	DispersionClass = measure.DispersionClass
+	DerivedClass    = measure.DerivedClass
 )
 
-// ErrUnknownMeasure is returned when a Measure value is out of range.
-var ErrUnknownMeasure = errors.New("stats: unknown measure")
-
-// ErrEmptyInput is returned when a computation receives no samples.
-var ErrEmptyInput = errors.New("stats: empty input")
-
-// ErrLengthMismatch is returned when a pairwise measure receives series of
-// different lengths.
-var ErrLengthMismatch = errors.New("stats: length mismatch")
-
-// ErrZeroNormalizer is returned when a derived measure would divide by a zero
-// normalizer (e.g. correlation of a constant series).
-var ErrZeroNormalizer = errors.New("stats: zero normalizer")
-
-// String returns the measure's name.
-func (m Measure) String() string {
-	switch m {
-	case Mean:
-		return "mean"
-	case Median:
-		return "median"
-	case Mode:
-		return "mode"
-	case Covariance:
-		return "covariance"
-	case DotProduct:
-		return "dot-product"
-	case Correlation:
-		return "correlation"
-	case Cosine:
-		return "cosine"
-	case Jaccard:
-		return "jaccard"
-	case Dice:
-		return "dice"
-	case HarmonicMean:
-		return "harmonic-mean"
-	default:
-		return fmt.Sprintf("measure(%d)", int(m))
-	}
-}
+// Shared measure errors, aliased from the measure registry.
+var (
+	// ErrUnknownMeasure is returned when a Measure value is out of range.
+	ErrUnknownMeasure = measure.ErrUnknownMeasure
+	// ErrEmptyInput is returned when a computation receives no samples.
+	ErrEmptyInput = measure.ErrEmptyInput
+	// ErrLengthMismatch is returned when a pairwise measure receives series of
+	// different lengths.
+	ErrLengthMismatch = measure.ErrLengthMismatch
+	// ErrZeroNormalizer is returned when a derived measure would divide by a
+	// zero normalizer (e.g. correlation of a constant series).
+	ErrZeroNormalizer = measure.ErrZeroNormalizer
+)
 
 // ParseMeasure converts a measure name (as produced by String) back to a
-// Measure value.
-func ParseMeasure(name string) (Measure, error) {
-	for m := Measure(0); m < numMeasures; m++ {
-		if m.String() == name {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("%w: %q", ErrUnknownMeasure, name)
-}
+// Measure value with one registry map lookup.
+func ParseMeasure(name string) (Measure, error) { return measure.Parse(name) }
 
-// Valid reports whether m is one of the defined measures.
-func (m Measure) Valid() bool { return m >= 0 && m < numMeasures }
+// MeasureNames returns the names of every registered measure in registration
+// order, for CLI flag help and generated documentation.
+func MeasureNames() []string { return measure.Names() }
 
-// Class returns the measure's class (L, T or D).
-func (m Measure) Class() Class {
-	switch m {
-	case Mean, Median, Mode:
-		return LocationClass
-	case Covariance, DotProduct:
-		return DispersionClass
-	default:
-		return DerivedClass
-	}
-}
-
-// Pairwise reports whether the measure is defined on a pair of series
-// (T- and D-measures) rather than a single series (L-measures).
-func (m Measure) Pairwise() bool { return m.Class() != LocationClass }
-
-// Base returns, for a D-measure, the underlying T-measure that is normalized
-// to obtain it (Section 2.1: "derived by normalizing a dispersion measure").
-// For L- and T-measures it returns the measure itself.
-func (m Measure) Base() Measure {
-	switch m {
-	case Correlation:
-		return Covariance
-	case Cosine, Jaccard, Dice, HarmonicMean:
-		return DotProduct
-	default:
-		return m
-	}
-}
-
-// AllMeasures returns every supported measure, useful for exhaustive tests
+// AllMeasures returns every registered measure, useful for exhaustive tests
 // and for workload generators.
-func AllMeasures() []Measure {
-	out := make([]Measure, 0, int(numMeasures))
-	for m := Measure(0); m < numMeasures; m++ {
-		out = append(out, m)
-	}
-	return out
-}
+func AllMeasures() []Measure { return measure.All() }
 
-// LMeasures returns the supported location measures.
-func LMeasures() []Measure { return []Measure{Mean, Median, Mode} }
+// LMeasures returns the registered location measures.
+func LMeasures() []Measure { return measure.ByClass(measure.LocationClass) }
 
-// TMeasures returns the supported dispersion measures.
-func TMeasures() []Measure { return []Measure{Covariance, DotProduct} }
+// TMeasures returns the registered dispersion measures.
+func TMeasures() []Measure { return measure.ByClass(measure.DispersionClass) }
 
-// DMeasures returns the supported derived measures.
-func DMeasures() []Measure {
-	return []Measure{Correlation, Cosine, Jaccard, Dice, HarmonicMean}
-}
-
-// String returns the class name.
-func (c Class) String() string {
-	switch c {
-	case LocationClass:
-		return "L"
-	case DispersionClass:
-		return "T"
-	case DerivedClass:
-		return "D"
-	default:
-		return fmt.Sprintf("class(%d)", int(c))
-	}
-}
+// DMeasures returns the registered derived measures.
+func DMeasures() []Measure { return measure.ByClass(measure.DerivedClass) }

@@ -33,6 +33,8 @@ func TestMeasureClasses(t *testing.T) {
 		Covariance: DispersionClass, DotProduct: DispersionClass,
 		Correlation: DerivedClass, Cosine: DerivedClass, Jaccard: DerivedClass,
 		Dice: DerivedClass, HarmonicMean: DerivedClass,
+		EuclideanDistance: DerivedClass, MeanSquaredDifference: DerivedClass,
+		AngularDistance: DerivedClass,
 	}
 	for m, want := range classes {
 		if got := m.Class(); got != want {
@@ -56,7 +58,7 @@ func TestMeasurePairwiseAndValid(t *testing.T) {
 			t.Fatalf("%v should be pairwise", m)
 		}
 	}
-	if !Mean.Valid() || Measure(-1).Valid() || Measure(int(numMeasures)).Valid() {
+	if !Mean.Valid() || Measure(-1).Valid() || Measure(len(AllMeasures())).Valid() {
 		t.Fatal("Valid() is wrong")
 	}
 }
@@ -65,7 +67,10 @@ func TestMeasureBase(t *testing.T) {
 	if Correlation.Base() != Covariance {
 		t.Fatal("correlation base should be covariance")
 	}
-	for _, m := range []Measure{Cosine, Jaccard, Dice, HarmonicMean} {
+	for _, m := range []Measure{
+		Cosine, Jaccard, Dice, HarmonicMean,
+		EuclideanDistance, MeanSquaredDifference, AngularDistance,
+	} {
 		if m.Base() != DotProduct {
 			t.Fatalf("%v base should be dot product", m)
 		}
@@ -78,14 +83,14 @@ func TestMeasureBase(t *testing.T) {
 }
 
 func TestMeasureGroupHelpers(t *testing.T) {
-	if len(AllMeasures()) != int(numMeasures) {
-		t.Fatalf("AllMeasures has %d entries, want %d", len(AllMeasures()), int(numMeasures))
-	}
-	if len(LMeasures()) != 3 || len(TMeasures()) != 2 || len(DMeasures()) != 5 {
+	if len(LMeasures()) != 3 || len(TMeasures()) != 2 || len(DMeasures()) != 8 {
 		t.Fatal("measure group sizes are wrong")
 	}
 	total := len(LMeasures()) + len(TMeasures()) + len(DMeasures())
-	if total != int(numMeasures) {
-		t.Fatalf("groups cover %d measures, want %d", total, int(numMeasures))
+	if total != len(AllMeasures()) {
+		t.Fatalf("groups cover %d measures, want %d", total, len(AllMeasures()))
+	}
+	if len(MeasureNames()) != len(AllMeasures()) {
+		t.Fatal("MeasureNames drifted from AllMeasures")
 	}
 }

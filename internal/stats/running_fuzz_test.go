@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"affinity/internal/measure"
+
 	"encoding/binary"
 	"math"
 	"testing"
@@ -170,6 +172,35 @@ func FuzzRunningPairAddEvict(f *testing.F) {
 			_, _, resid := r.LineFit()
 			if resid < 0 || resid > 1 || math.IsNaN(resid) {
 				t.Fatalf("LineFit residual fraction = %v out of [0,1]", resid)
+			}
+		}
+
+		// Monotone-decreasing transform oracle: the Euclidean distance
+		// assembled from the running sufficient statistics (the engine's
+		// per-series SeriesStat path: U = Σx²+Σy², T = Σxy) must match the
+		// direct ‖x−y‖ recomputation on the surviving window.
+		if k > 0 {
+			var direct float64
+			for i := 0; i < k; i++ {
+				d := wx[i] - wy[i]
+				direct += d * d
+			}
+			sp := measure.Lookup(measure.EuclideanDistance)
+			got, err := sp.Value(r.DotProduct(), sumXX+sumYY, k)
+			if err != nil {
+				t.Fatalf("euclidean from running stats: %v", err)
+			}
+			want := math.Sqrt(direct)
+			tol := 1e-7 * math.Max(1, math.Sqrt(scale))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("euclidean from running stats = %v, want %v", got, want)
+			}
+			gotMSD, err := measure.Lookup(measure.MeanSquaredDifference).Value(r.DotProduct(), sumXX+sumYY, k)
+			if err != nil {
+				t.Fatalf("msd from running stats: %v", err)
+			}
+			if math.Abs(gotMSD-direct/float64(k)) > 1e-7*math.Max(1, scale) {
+				t.Fatalf("msd from running stats = %v, want %v", gotMSD, direct/float64(k))
 			}
 		}
 	})

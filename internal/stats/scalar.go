@@ -2,205 +2,98 @@ package stats
 
 import (
 	"fmt"
-	"math"
-	"sort"
+
+	"affinity/internal/measure"
 )
 
+// The scalar primitives live in internal/measure (the registry's specs are
+// assembled from them); this file re-exports them and provides the
+// spec-driven naive evaluation entry points.
+
 // DefaultModePrecision is the bucket width used when computing the mode of a
-// real-valued series.  Real measurements rarely repeat exactly, so the mode
-// is computed over values rounded to this precision (the paper computes the
-// mode of sensor readings and stock quotes, which are quantized to a small
-// number of decimals).
-const DefaultModePrecision = 1e-4
+// real-valued series (see measure.ModeOf).
+const DefaultModePrecision = measure.DefaultModePrecision
 
 // MeanOf returns the arithmetic mean of the samples.
-func MeanOf(x []float64) (float64, error) {
-	if len(x) == 0 {
-		return 0, ErrEmptyInput
-	}
-	var sum float64
-	for _, v := range x {
-		sum += v
-	}
-	return sum / float64(len(x)), nil
-}
+func MeanOf(x []float64) (float64, error) { return measure.MeanOf(x) }
 
 // MedianOf returns the median of the samples (the average of the two middle
 // values for an even count).
-func MedianOf(x []float64) (float64, error) {
-	if len(x) == 0 {
-		return 0, ErrEmptyInput
-	}
-	sorted := make([]float64, len(x))
-	copy(sorted, x)
-	sort.Float64s(sorted)
-	mid := len(sorted) / 2
-	if len(sorted)%2 == 1 {
-		return sorted[mid], nil
-	}
-	return (sorted[mid-1] + sorted[mid]) / 2, nil
-}
+func MedianOf(x []float64) (float64, error) { return measure.MedianOf(x) }
 
 // ModeOf returns the mode of the samples after rounding them to the given
-// precision (bucket width).  Ties are broken by the smallest value so the
-// result is deterministic.  A non-positive precision falls back to
-// DefaultModePrecision.
+// precision (bucket width); see measure.ModeOf.
 func ModeOf(x []float64, precision float64) (float64, error) {
-	if len(x) == 0 {
-		return 0, ErrEmptyInput
-	}
-	if precision <= 0 {
-		precision = DefaultModePrecision
-	}
-	counts := make(map[int64]int, len(x))
-	for _, v := range x {
-		counts[int64(math.Round(v/precision))]++
-	}
-	bestBucket := int64(math.MaxInt64)
-	bestCount := -1
-	for bucket, count := range counts {
-		if count > bestCount || (count == bestCount && bucket < bestBucket) {
-			bestCount = count
-			bestBucket = bucket
-		}
-	}
-	return float64(bestBucket) * precision, nil
+	return measure.ModeOf(x, precision)
 }
 
 // SumOf returns the sum of the samples (h(X) in Eq. 7 of the paper).
-func SumOf(x []float64) float64 {
-	var sum float64
-	for _, v := range x {
-		sum += v
-	}
-	return sum
-}
+func SumOf(x []float64) float64 { return measure.SumOf(x) }
 
 // VarianceOf returns the sample variance (normalized by m-1) of the samples.
-// A single sample has variance zero.
-func VarianceOf(x []float64) (float64, error) {
-	if len(x) == 0 {
-		return 0, ErrEmptyInput
-	}
-	if len(x) == 1 {
-		return 0, nil
-	}
-	mean, _ := MeanOf(x)
-	var ss float64
-	for _, v := range x {
-		d := v - mean
-		ss += d * d
-	}
-	return ss / float64(len(x)-1), nil
-}
+func VarianceOf(x []float64) (float64, error) { return measure.VarianceOf(x) }
 
 // CovarianceOf returns the sample covariance (normalized by m-1) between two
 // equally long series.
-func CovarianceOf(x, y []float64) (float64, error) {
-	if len(x) == 0 || len(y) == 0 {
-		return 0, ErrEmptyInput
-	}
-	if len(x) != len(y) {
-		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(x), len(y))
-	}
-	if len(x) == 1 {
-		return 0, nil
-	}
-	mx, _ := MeanOf(x)
-	my, _ := MeanOf(y)
-	var ss float64
-	for i := range x {
-		ss += (x[i] - mx) * (y[i] - my)
-	}
-	return ss / float64(len(x)-1), nil
-}
+func CovarianceOf(x, y []float64) (float64, error) { return measure.CovarianceOf(x, y) }
 
 // DotProductOf returns the inner product Σ x_i·y_i of two equally long
 // series.
-func DotProductOf(x, y []float64) (float64, error) {
-	if len(x) == 0 || len(y) == 0 {
-		return 0, ErrEmptyInput
-	}
-	if len(x) != len(y) {
-		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(x), len(y))
-	}
-	var sum float64
-	for i := range x {
-		sum += x[i] * y[i]
-	}
-	return sum, nil
-}
+func DotProductOf(x, y []float64) (float64, error) { return measure.DotProductOf(x, y) }
 
 // CorrelationOf returns the Pearson correlation coefficient between two
 // equally long series.  It returns ErrZeroNormalizer when either series has
 // zero variance.
 func CorrelationOf(x, y []float64) (float64, error) {
-	cov, err := CovarianceOf(x, y)
-	if err != nil {
-		return 0, err
-	}
-	norm, err := NormalizerOf(Correlation, x, y)
-	if err != nil {
-		return 0, err
-	}
-	if norm == 0 {
-		return 0, ErrZeroNormalizer
-	}
-	r := cov / norm
-	// Guard against tiny floating point excursions outside [-1, 1].
-	if r > 1 {
-		r = 1
-	} else if r < -1 {
-		r = -1
-	}
-	return r, nil
+	return measure.EvalPair(measure.Correlation, x, y)
 }
 
 // CosineOf returns the cosine similarity x·y / (‖x‖‖y‖).
 func CosineOf(x, y []float64) (float64, error) {
-	return derivedFromDot(Cosine, x, y)
+	return measure.EvalPair(measure.Cosine, x, y)
 }
 
 // JaccardOf returns the generalized (real-valued) Jaccard coefficient
 // x·y / (‖x‖² + ‖y‖² − x·y), the standard extension of the set-based Jaccard
 // coefficient to real vectors (also known as the Tanimoto coefficient).
 func JaccardOf(x, y []float64) (float64, error) {
-	return derivedFromDot(Jaccard, x, y)
+	return measure.EvalPair(measure.Jaccard, x, y)
 }
 
 // DiceOf returns the generalized Dice coefficient 2·x·y / (‖x‖² + ‖y‖²).
 func DiceOf(x, y []float64) (float64, error) {
-	return derivedFromDot(Dice, x, y)
+	return measure.EvalPair(measure.Dice, x, y)
 }
 
 // HarmonicMeanOf returns the dot product normalized by the arithmetic mean of
 // the squared norms, i.e. the harmonic-mean style similarity
 // x·y / ((‖x‖²·‖y‖²) / (‖x‖² + ‖y‖²)).
 func HarmonicMeanOf(x, y []float64) (float64, error) {
-	return derivedFromDot(HarmonicMean, x, y)
+	return measure.EvalPair(measure.HarmonicMean, x, y)
 }
 
-func derivedFromDot(m Measure, x, y []float64) (float64, error) {
-	dot, err := DotProductOf(x, y)
-	if err != nil {
-		return 0, err
-	}
-	norm, err := NormalizerOf(m, x, y)
-	if err != nil {
-		return 0, err
-	}
-	if norm == 0 {
-		return 0, ErrZeroNormalizer
-	}
-	return dot / norm, nil
+// EuclideanDistanceOf returns the Euclidean distance ‖x − y‖, evaluated
+// through the algebra as √(‖x‖² + ‖y‖² − 2·x·y).
+func EuclideanDistanceOf(x, y []float64) (float64, error) {
+	return measure.EvalPair(measure.EuclideanDistance, x, y)
 }
 
-// NormalizerOf returns the separable normalizer U for a D-measure: the value
-// the base T-measure is divided by to obtain the derived measure
-// (Section 2.3, Eq. 8).  The normalizer of correlation is sqrt(var(x)·var(y));
-// the dot-product family uses combinations of the squared norms.
-//
-// For L- and T-measures the normalizer is 1.
+// MeanSquaredDifferenceOf returns ‖x − y‖²/m, the mean squared difference of
+// two equally long series.
+func MeanSquaredDifferenceOf(x, y []float64) (float64, error) {
+	return measure.EvalPair(measure.MeanSquaredDifference, x, y)
+}
+
+// AngularDistanceOf returns arccos(cosine(x, y))/π ∈ [0, 1].
+func AngularDistanceOf(x, y []float64) (float64, error) {
+	return measure.EvalPair(measure.AngularDistance, x, y)
+}
+
+// NormalizerOf returns the separable parameter U of a D-measure, computed
+// naively from the two series' statistics: the quantity the spec's value
+// transform combines with the base T-measure (Section 2.3, Eq. 8; for the
+// ratio measures U is exactly the divisor).  For L- and T-measures the
+// parameter is 1.
 func NormalizerOf(m Measure, x, y []float64) (float64, error) {
 	if len(x) == 0 || len(y) == 0 {
 		return 0, ErrEmptyInput
@@ -208,77 +101,36 @@ func NormalizerOf(m Measure, x, y []float64) (float64, error) {
 	if len(x) != len(y) {
 		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(x), len(y))
 	}
-	switch m {
-	case Correlation:
-		vx, err := VarianceOf(x)
-		if err != nil {
-			return 0, err
-		}
-		vy, err := VarianceOf(y)
-		if err != nil {
-			return 0, err
-		}
-		return math.Sqrt(vx * vy), nil
-	case Cosine:
-		nx, _ := DotProductOf(x, x)
-		ny, _ := DotProductOf(y, y)
-		return math.Sqrt(nx * ny), nil
-	case Jaccard:
-		nx, _ := DotProductOf(x, x)
-		ny, _ := DotProductOf(y, y)
-		dot, _ := DotProductOf(x, y)
-		return nx + ny - dot, nil
-	case Dice:
-		nx, _ := DotProductOf(x, x)
-		ny, _ := DotProductOf(y, y)
-		return (nx + ny) / 2, nil
-	case HarmonicMean:
-		nx, _ := DotProductOf(x, x)
-		ny, _ := DotProductOf(y, y)
-		if nx+ny == 0 {
-			return 0, nil
-		}
-		return (nx * ny) / (nx + ny), nil
-	default:
-		if !m.Valid() {
-			return 0, fmt.Errorf("%w: %d", ErrUnknownMeasure, int(m))
-		}
+	sp, ok := measure.Find(m)
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownMeasure, int(m))
+	}
+	if !sp.Derived() {
 		return 1, nil
 	}
+	su, err := measure.NaiveSeriesStat(sp.ParamStats, x)
+	if err != nil {
+		return 0, err
+	}
+	sv, err := measure.NaiveSeriesStat(sp.ParamStats, y)
+	if err != nil {
+		return 0, err
+	}
+	return sp.Param(su, sv), nil
 }
 
 // ComputeLocation computes an L-measure for a single series.
 func ComputeLocation(m Measure, x []float64) (float64, error) {
-	switch m {
-	case Mean:
-		return MeanOf(x)
-	case Median:
-		return MedianOf(x)
-	case Mode:
-		return ModeOf(x, DefaultModePrecision)
-	default:
+	sp, ok := measure.Find(m)
+	if !ok || !sp.Location() {
 		return 0, fmt.Errorf("%w: %v is not an L-measure", ErrUnknownMeasure, m)
 	}
+	return sp.EvalLocation(x)
 }
 
-// ComputePair computes a T- or D-measure for a pair of series.
+// ComputePair computes a T- or D-measure for a pair of series through the
+// measure's spec: the base T value from the raw samples, then the spec's
+// monotone transform of it.
 func ComputePair(m Measure, x, y []float64) (float64, error) {
-	switch m {
-	case Covariance:
-		return CovarianceOf(x, y)
-	case DotProduct:
-		return DotProductOf(x, y)
-	case Correlation:
-		return CorrelationOf(x, y)
-	case Cosine:
-		return CosineOf(x, y)
-	case Jaccard:
-		return JaccardOf(x, y)
-	case Dice:
-		return DiceOf(x, y)
-	case HarmonicMean:
-		return HarmonicMeanOf(x, y)
-	default:
-		return 0, fmt.Errorf("%w: %v is not a pairwise measure", ErrUnknownMeasure, m)
-	}
+	return measure.EvalPair(m, x, y)
 }

@@ -1,0 +1,45 @@
+package affinity_test
+
+// The README's measure table is generated from the measure registry, not
+// maintained by hand: this test renders the table from affinity.Measures()
+// and requires README.md to contain it verbatim.  Registering a new measure
+// therefore fails CI until the README row exists — paste the rendering from
+// the failure message.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"affinity"
+)
+
+func renderMeasureTable() string {
+	var b strings.Builder
+	b.WriteString("| Measure | Class | Base | Indexable | Definition |\n")
+	b.WriteString("|---------|-------|------|-----------|------------|\n")
+	for _, mi := range affinity.Measures() {
+		idx := "yes"
+		if !mi.Indexable {
+			idx = "no"
+		}
+		base := "—"
+		if mi.Base != mi.Measure {
+			base = fmt.Sprintf("`%v`", mi.Base)
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n", mi.Name, mi.Class, base, idx, mi.Doc)
+	}
+	return b.String()
+}
+
+func TestReadmeMeasureTableMatchesRegistry(t *testing.T) {
+	buf, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := renderMeasureTable()
+	if !strings.Contains(string(buf), table) {
+		t.Fatalf("README.md measure table is stale; replace it with the registry rendering:\n\n%s", table)
+	}
+}
