@@ -14,7 +14,15 @@
 //   - measure threshold (MET): all series or series pairs whose measure is
 //     above or below a threshold τ;
 //   - measure range (MER): all series or series pairs whose measure lies in
-//     [τl, τu].
+//     [τl, τu];
+//   - top-k (MEK): the k series or series pairs with the most extreme
+//     measure values — the k most-correlated stock pairs, the k nearest
+//     sensor pairs under Euclidean distance.
+//
+// MET and MER are two faces of one predicate — "value lies in an interval" —
+// and the whole query stack consumes that single Interval type; top-k runs as
+// a best-first index traversal that adaptively tightens the interval
+// [v_k, best].
 //
 // Instead of computing a pairwise measure for all n(n−1)/2 pairs from the
 // raw data, AFFINITY clusters the series (AFCLST), computes one affine
@@ -33,6 +41,12 @@
 //	res, _ := eng.Threshold(affinity.Correlation, 0.9, affinity.Above, affinity.Index)
 //	for _, pair := range res.Pairs {
 //		fmt.Println(data.Name(pair.U), data.Name(pair.V))
+//	}
+//
+//	// The ten most correlated pairs, best first (values aligned):
+//	top, _ := eng.TopK(affinity.Correlation, 10, true, affinity.Auto)
+//	for i, pair := range top.Pairs {
+//		fmt.Println(data.Name(pair.U), data.Name(pair.V), top.Values[i])
 //	}
 //
 // The three concrete execution methods mirror the paper's evaluation: Naive
@@ -65,6 +79,7 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/dataset"
+	"affinity/internal/interval"
 	"affinity/internal/measure"
 	"affinity/internal/plan"
 	"affinity/internal/scape"
@@ -164,8 +179,54 @@ const (
 	Auto = core.MethodAuto
 )
 
-// QuerySpec is the logical form of one MET/MER query, used by Explain.
-// Build one with ThresholdSpec or RangeSpec.
+// Interval is the canonical value predicate of the query stack: a set of
+// measure values between two endpoints, each independently open, closed or
+// unbounded.  MET and MER queries are its half-bounded and bounded instances;
+// top-k queries adaptively discover the interval [v_k, best].  Build one with
+// the constructors below or ParseInterval.
+type Interval = interval.Interval
+
+// IntervalBound is one endpoint of an Interval (see ClosedBound, OpenBound
+// and UnboundedEnd for direct construction of asymmetric intervals).
+type IntervalBound = interval.Bound
+
+// GreaterThan returns the predicate (tau, +∞) — the MET "above" query.
+func GreaterThan(tau float64) Interval { return interval.GreaterThan(tau) }
+
+// AtLeast returns the predicate [tau, +∞).
+func AtLeast(tau float64) Interval { return interval.AtLeast(tau) }
+
+// LessThan returns the predicate (−∞, tau) — the MET "below" query.
+func LessThan(tau float64) Interval { return interval.LessThan(tau) }
+
+// AtMost returns the predicate (−∞, tau].
+func AtMost(tau float64) Interval { return interval.AtMost(tau) }
+
+// Between returns the closed predicate [lo, hi] — the MER query.
+func Between(lo, hi float64) Interval { return interval.Between(lo, hi) }
+
+// AllValues returns the unbounded predicate (−∞, +∞).
+func AllValues() Interval { return interval.All() }
+
+// NewInterval builds an interval from two explicit bounds.
+func NewInterval(lo, hi IntervalBound) Interval { return interval.New(lo, hi) }
+
+// ClosedBound, OpenBound and UnboundedEnd construct interval endpoints.
+func ClosedBound(v float64) IntervalBound { return interval.Closed(v) }
+func OpenBound(v float64) IntervalBound   { return interval.Open(v) }
+func UnboundedEnd() IntervalBound         { return interval.Unbounded() }
+
+// ParseInterval reads an interval in the unified query grammar:
+//
+//   - | > τ | >= τ | < τ | <= τ | [lo, hi] | (lo, hi] | [lo, hi) | (lo, hi)
+func ParseInterval(s string) (Interval, error) { return interval.Parse(s) }
+
+// IntervalGrammar describes the forms ParseInterval accepts (CLI help).
+func IntervalGrammar() string { return interval.Grammar() }
+
+// QuerySpec is the logical form of one interval (MET/MER) or top-k (MEK)
+// query, used by Explain.  Build one with IntervalSpec, ThresholdSpec,
+// RangeSpec or TopKSpec.
 type QuerySpec = plan.QuerySpec
 
 // QueryPlan is the planner's decision for one query: chosen method,
@@ -179,6 +240,11 @@ type CostModel = plan.CostModel
 // DefaultCostModel returns the calibrated default planner coefficients.
 func DefaultCostModel() CostModel { return plan.DefaultCostModel() }
 
+// IntervalSpec builds the logical spec of an interval query for Explain.
+func IntervalSpec(m Measure, iv Interval) QuerySpec {
+	return plan.Interval(m, iv)
+}
+
 // ThresholdSpec builds the logical spec of a MET query for Explain.
 func ThresholdSpec(m Measure, tau float64, op ThresholdOp) QuerySpec {
 	return plan.Threshold(m, tau, op)
@@ -187,6 +253,11 @@ func ThresholdSpec(m Measure, tau float64, op ThresholdOp) QuerySpec {
 // RangeSpec builds the logical spec of a MER query for Explain.
 func RangeSpec(m Measure, lo, hi float64) QuerySpec {
 	return plan.Range(m, lo, hi)
+}
+
+// TopKSpec builds the logical spec of a top-k (MEK) query for Explain.
+func TopKSpec(m Measure, k int, largest bool) QuerySpec {
+	return plan.TopK(m, k, largest)
 }
 
 // Typed query errors, shared by the single and batched entry points.
@@ -199,10 +270,12 @@ var (
 	// ErrMeasureNotIndexed reports an index query on a measure the index
 	// cannot serve (e.g. the Jaccard coefficient).
 	ErrMeasureNotIndexed = core.ErrMeasureNotIndexed
-	// ErrEmptyRange reports a range query with lo > hi.
+	// ErrEmptyRange reports an interval no value can satisfy (e.g. lo > hi).
 	ErrEmptyRange = core.ErrEmptyRange
 	// ErrBadThresholdOp reports an unknown threshold operator.
 	ErrBadThresholdOp = core.ErrBadThresholdOp
+	// ErrBadTopK reports a top-k query with k < 1.
+	ErrBadTopK = core.ErrBadTopK
 )
 
 // ThresholdOp selects the comparison direction of a threshold query.
@@ -216,15 +289,23 @@ const (
 	Below = scape.Below
 )
 
-// Result is the answer to a threshold or range query: Series for L-measures,
-// Pairs for T- and D-measures.
-type Result = core.ThresholdResult
+// Result is the answer to an interval (threshold/range) or top-k query:
+// Series for L-measures, Pairs for T- and D-measures.  For top-k queries
+// Values aligns with Series or Pairs and carries the measure value that
+// ranked each entry, best first.
+type Result = core.QueryResult
+
+// IntervalQuery describes one interval query of an IntervalBatch.
+type IntervalQuery = core.IntervalQuery
 
 // ThresholdQuery describes one MET query of a ThresholdBatch.
 type ThresholdQuery = core.ThresholdQuery
 
 // RangeQuery describes one MER query of a RangeBatch.
 type RangeQuery = core.RangeQuery
+
+// TopKQuery describes one top-k (MEK) query of a TopKBatch.
+type TopKQuery = core.TopKQuery
 
 // ComputeQuery describes one MEC query of a ComputeBatch.
 type ComputeQuery = core.ComputeQuery
@@ -397,16 +478,36 @@ func (e *Engine) PairValue(m Measure, pair Pair, method Method) (float64, error)
 	return e.inner.PairValue(m, pair, method)
 }
 
+// Interval answers the unified interval query: all series (for L-measures)
+// or sequence pairs (for T- and D-measures) whose measure value lies in iv.
+// Threshold and Range are constructors over this single predicate.
+func (e *Engine) Interval(m Measure, iv Interval, method Method) (Result, error) {
+	return e.inner.Interval(m, iv, method)
+}
+
 // Threshold answers a MET query: all series (for L-measures) or sequence
-// pairs (for T- and D-measures) whose measure is above or below tau.
+// pairs (for T- and D-measures) whose measure is above or below tau — sugar
+// over Interval with the half-bounded open predicate.
 func (e *Engine) Threshold(m Measure, tau float64, op ThresholdOp, method Method) (Result, error) {
 	return e.inner.Threshold(m, tau, op, method)
 }
 
 // Range answers a MER query: all series or sequence pairs whose measure lies
-// in [lo, hi].
+// in [lo, hi] — sugar over Interval with the closed predicate.
 func (e *Engine) Range(m Measure, lo, hi float64, method Method) (Result, error) {
 	return e.inner.Range(m, lo, hi, method)
+}
+
+// TopK answers a top-k (MEK) query: the k series or sequence pairs with the
+// greatest (largest = true) or smallest measure value, best first with ties
+// broken by series/pair identity; the result's Values align with its entries.
+// With the Index method it runs as a best-first SCAPE traversal that examines
+// only the pivot-node entries whose optimistic bound can still beat the
+// running k-th best value; the sweep methods keep a bounded result heap over
+// one full pass, which is also the fallback Auto picks for non-indexable
+// measures such as Jaccard.
+func (e *Engine) TopK(m Measure, k int, largest bool, method Method) (Result, error) {
+	return e.inner.TopK(m, k, largest, method)
 }
 
 // Explain plans a MET/MER query, executes it, and returns the result with the
@@ -435,6 +536,19 @@ func (e *Engine) ThresholdBatch(qs []ThresholdQuery, method Method) ([]Result, e
 // equivalence guarantees as ThresholdBatch.
 func (e *Engine) RangeBatch(qs []RangeQuery, method Method) ([]Result, error) {
 	return e.inner.RangeBatch(qs, method)
+}
+
+// IntervalBatch answers k interval queries in one pass, with the same sharing
+// and equivalence guarantees as ThresholdBatch.
+func (e *Engine) IntervalBatch(qs []IntervalQuery, method Method) ([]Result, error) {
+	return e.inner.IntervalBatch(qs, method)
+}
+
+// TopKBatch answers k top-k queries against a single epoch; sweep-method
+// queries share one pass over the sequence pairs, and out[i] equals the
+// corresponding single TopK call.
+func (e *Engine) TopKBatch(qs []TopKQuery, method Method) ([]Result, error) {
+	return e.inner.TopKBatch(qs, method)
 }
 
 // ComputeBatch answers k MEC queries against a single epoch; out[i] equals

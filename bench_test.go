@@ -316,6 +316,33 @@ func BenchmarkDistanceMeasureThreshold(b *testing.B) {
 	}
 }
 
+// BenchmarkTopK measures top-k (MEK) queries per method and k: the SCAPE
+// best-first traversal against the heap-over-full-sweep methods, with one
+// sub-benchmark row per combination so the CI bench smoke exercises each.
+func BenchmarkTopK(b *testing.B) {
+	engine := benchmarkEngine(b)
+	for _, tc := range []struct {
+		m       stats.Measure
+		largest bool
+	}{
+		{stats.Correlation, true},
+		{stats.EuclideanDistance, false},
+	} {
+		for _, method := range []core.Method{core.MethodNaive, core.MethodAffine, core.MethodIndex, core.MethodAuto} {
+			for _, k := range []int{10, 100} {
+				tc, method, k := tc, method, k
+				b.Run(fmt.Sprintf("%v/%v/k=%d", tc.m, method, k), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := engine.TopK(tc.m, k, tc.largest, method); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAffineCovarianceSweep measures the W_A full-pairwise covariance
 // computation (the inner loop of the Fig. 9–11 experiments).
 func BenchmarkAffineCovarianceSweep(b *testing.B) {

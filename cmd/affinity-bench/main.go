@@ -29,7 +29,7 @@ import (
 var experimentOrder = []string{
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 	"fig15", "fig16", "table4", "ablation-pinv", "ablation-pruning",
-	"parallel", "planner", "measures",
+	"parallel", "planner", "measures", "topk",
 }
 
 func main() {
@@ -302,7 +302,7 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 				r.BuildTotal.Round(time.Microsecond), r.AdvanceTime.Round(time.Microsecond),
 				r.ThresholdIndexTime.Round(time.Microsecond), r.ThresholdAffineTime.Round(time.Microsecond),
 				r.BatchTime.Round(time.Microsecond), r.SingleLoopTime.Round(time.Microsecond),
-				r.ThresholdResultSize)
+				r.QueryResultSize)
 		}
 		return w.Flush()
 
@@ -347,6 +347,30 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 		for _, r := range rows {
 			fmt.Fprintf(w, "%s\t%v\t%s\t%d\t%v\t%v\t%v\t%v\t%s\n",
 				r.Dataset, r.Measure, r.Query, r.ResultSize,
+				r.NaiveTime.Round(time.Microsecond), r.AffineTime.Round(time.Microsecond),
+				r.IndexTime.Round(time.Microsecond), r.AutoTime.Round(time.Microsecond),
+				r.AutoChoice)
+		}
+		return w.Flush()
+
+	case "topk":
+		// Top-k (MEK) queries under every execution method, k sweeping three
+		// orders of magnitude: the "examined" column counts the index entries
+		// the SCAPE best-first traversal evaluated against the pair count a
+		// full sweep touches.
+		rows, err := experiments.TopKSweeps(scale, 6, nil)
+		if err != nil {
+			return err
+		}
+		w := newTable(out)
+		fmt.Fprintln(w, "dataset\tmeasure\tk\tdir\tresult\texamined\tnaive pairs\tWN\tWA\tSCAPE\tAUTO\tauto choice")
+		for _, r := range rows {
+			dir := "largest"
+			if !r.Largest {
+				dir = "smallest"
+			}
+			fmt.Fprintf(w, "%s\t%v\t%d\t%s\t%d\t%d\t%d\t%v\t%v\t%v\t%v\t%s\n",
+				r.Dataset, r.Measure, r.K, dir, r.ResultSize, r.Examined, r.NaivePairs,
 				r.NaiveTime.Round(time.Microsecond), r.AffineTime.Round(time.Microsecond),
 				r.IndexTime.Round(time.Microsecond), r.AutoTime.Round(time.Microsecond),
 				r.AutoChoice)

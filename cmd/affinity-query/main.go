@@ -6,6 +6,16 @@
 //	# all pairs of stocks whose correlation exceeds 0.95, answered by SCAPE
 //	affinity-query -store ./data -dataset stock -query met -measure correlation -threshold 0.95 -method scape
 //
+//	# the same with an explicit comparison operator (interval grammar)
+//	affinity-query -csv prices.csv -query met -measure correlation -op ">=" -threshold 0.95
+//
+//	# any interval predicate directly
+//	affinity-query -csv prices.csv -query interval -measure correlation -interval "[0.8, 0.95)"
+//
+//	# the ten most correlated pairs (and the ten nearest under a distance)
+//	affinity-query -csv prices.csv -measure correlation -topk 10
+//	affinity-query -csv prices.csv -measure euclidean -topk 10 -smallest
+//
 //	# the covariance matrix of three series, computed through affine relationships
 //	affinity-query -csv prices.csv -query mec -measure covariance -series 0,3,7 -method wa
 //
@@ -22,7 +32,7 @@ import (
 	"strings"
 
 	"affinity/internal/core"
-	"affinity/internal/scape"
+	"affinity/internal/interval"
 	"affinity/internal/stats"
 	"affinity/internal/store"
 	"affinity/internal/timeseries"
@@ -41,14 +51,18 @@ func run(args []string, out io.Writer) error {
 		storeDir  = fs.String("store", "", "store directory holding the dataset")
 		dsName    = fs.String("dataset", "", "dataset name inside the store")
 		csvPath   = fs.String("csv", "", "CSV file to load instead of the store")
-		queryKind = fs.String("query", "mec", "query type: mec, met or mer")
+		queryKind = fs.String("query", "mec", "query type: mec, met, mer, interval or topk")
 		measure   = fs.String("measure", "correlation", "statistical measure ("+strings.Join(stats.MeasureNames(), ", ")+")")
-		methodStr = fs.String("method", "wa", "execution method: wn (naive), wa (affine) or scape (index)")
+		methodStr = fs.String("method", "wa", "execution method: wn (naive), wa (affine), scape (index) or auto (planner)")
 		seriesArg = fs.String("series", "", "comma-separated series identifiers for MEC queries (empty = all)")
 		threshold = fs.Float64("threshold", 0.9, "MET threshold")
-		below     = fs.Bool("below", false, "MET: select values below the threshold instead of above")
+		op        = fs.String("op", ">", "MET comparison operator, from the interval grammar: "+interval.Grammar())
+		below     = fs.Bool("below", false, "MET: shorthand for -op \"<\"")
 		lo        = fs.Float64("lo", 0, "MER lower bound")
 		hi        = fs.Float64("hi", 1, "MER upper bound")
+		intervalS = fs.String("interval", "", "interval predicate in the grammar above (for -query interval)")
+		topk      = fs.Int("topk", 0, "top-k: return the k most extreme entries (overrides -query)")
+		smallest  = fs.Bool("smallest", false, "top-k: select the smallest values (nearest pairs for distances)")
 		clusters  = fs.Int("k", 6, "number of affine clusters")
 		seed      = fs.Int64("seed", 42, "clustering seed")
 		limit     = fs.Int("limit", 25, "maximum result entries to print (0 = all)")
@@ -80,6 +94,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "built %s: %d pivot pairs, %d affine relationships in %v\n",
 		info.UsedPseudoInverseTag, info.NumPivots, info.NumRelationships, info.TotalDuration)
 
+	if *topk > 0 {
+		res, err := engine.TopK(m, *topk, !*smallest, method)
+		if err != nil {
+			return err
+		}
+		dir := "largest"
+		if *smallest {
+			dir = "smallest"
+		}
+		fmt.Fprintf(out, "MEK %v top-%d %s via %v: %d results\n", m, *topk, dir, method, res.Size())
+		printResult(out, d, res, *limit)
+		return nil
+	}
+
 	switch *queryKind {
 	case "mec":
 		ids, err := parseSeries(*seriesArg, d)
@@ -88,15 +116,19 @@ func run(args []string, out io.Writer) error {
 		}
 		return runMEC(out, engine, d, m, ids, method, *limit)
 	case "met":
-		op := scape.Above
+		opS := *op
 		if *below {
-			op = scape.Below
+			opS = "<"
 		}
-		res, err := engine.Threshold(m, *threshold, op, method)
+		iv, err := interval.Parse(fmt.Sprintf("%s %v", opS, *threshold))
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "MET %v %s %v via %v: %d results\n", m, op, *threshold, method, res.Size())
+		res, err := engine.Interval(m, iv, method)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "MET %v %v via %v: %d results\n", m, iv, method, res.Size())
 		printResult(out, d, res, *limit)
 		return nil
 	case "mer":
@@ -107,8 +139,22 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "MER %v in [%v, %v] via %v: %d results\n", m, *lo, *hi, method, res.Size())
 		printResult(out, d, res, *limit)
 		return nil
+	case "interval":
+		iv, err := interval.Parse(*intervalS)
+		if err != nil {
+			return err
+		}
+		res, err := engine.Interval(m, iv, method)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "INTERVAL %v %v via %v: %d results\n", m, iv, method, res.Size())
+		printResult(out, d, res, *limit)
+		return nil
+	case "topk":
+		return fmt.Errorf("use -topk K to select the result size")
 	default:
-		return fmt.Errorf("unknown query type %q (want mec, met or mer)", *queryKind)
+		return fmt.Errorf("unknown query type %q (want mec, met, mer, interval or topk)", *queryKind)
 	}
 }
 
@@ -140,8 +186,10 @@ func parseMethod(s string) (core.Method, error) {
 		return core.MethodAffine, nil
 	case "scape", "index":
 		return core.MethodIndex, nil
+	case "auto":
+		return core.MethodAuto, nil
 	default:
-		return 0, fmt.Errorf("unknown method %q (want wn, wa or scape)", s)
+		return 0, fmt.Errorf("unknown method %q (want wn, wa, scape or auto)", s)
 	}
 }
 
@@ -201,22 +249,29 @@ func runMEC(out io.Writer, engine *core.Engine, d *timeseries.DataMatrix,
 	return nil
 }
 
-func printResult(out io.Writer, d *timeseries.DataMatrix, res core.ThresholdResult, limit int) {
+func printResult(out io.Writer, d *timeseries.DataMatrix, res core.QueryResult, limit int) {
+	// Top-k results carry the ranking value per entry; interval results don't.
+	value := func(i int) string {
+		if res.Values == nil {
+			return ""
+		}
+		return fmt.Sprintf("  %v", res.Values[i])
+	}
 	shown := 0
-	for _, id := range res.Series {
+	for i, id := range res.Series {
 		if limit > 0 && shown >= limit {
 			fmt.Fprintf(out, "  ... (%d more)\n", res.Size()-shown)
 			return
 		}
-		fmt.Fprintf(out, "  %s\n", d.Name(id))
+		fmt.Fprintf(out, "  %s%s\n", d.Name(id), value(i))
 		shown++
 	}
-	for _, p := range res.Pairs {
+	for i, p := range res.Pairs {
 		if limit > 0 && shown >= limit {
 			fmt.Fprintf(out, "  ... (%d more)\n", res.Size()-shown)
 			return
 		}
-		fmt.Fprintf(out, "  %s -- %s\n", d.Name(p.U), d.Name(p.V))
+		fmt.Fprintf(out, "  %s -- %s%s\n", d.Name(p.U), d.Name(p.V), value(i))
 		shown++
 	}
 }

@@ -86,6 +86,72 @@ func TestQueryMECFromCSV(t *testing.T) {
 	}
 }
 
+func TestQueryTopKAndIntervalForms(t *testing.T) {
+	dir := writeTestStore(t)
+
+	// Top-k via the planner, values printed alongside entries.
+	var out bytes.Buffer
+	err := run([]string{
+		"-store", dir, "-dataset", "demo",
+		"-measure", "correlation", "-topk", "3", "-method", "auto", "-k", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MEK correlation top-3 largest") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+
+	// Nearest pairs under a distance measure.
+	out.Reset()
+	err = run([]string{
+		"-store", dir, "-dataset", "demo",
+		"-measure", "euclidean", "-topk", "2", "-smallest", "-method", "scape", "-k", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MEK euclidean top-2 smallest") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+
+	// MET with an explicit operator from the interval grammar.
+	out.Reset()
+	err = run([]string{
+		"-store", dir, "-dataset", "demo",
+		"-query", "met", "-measure", "correlation", "-op", ">=", "-threshold", "0.9",
+		"-method", "scape", "-k", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MET correlation >= 0.9") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+
+	// A direct interval predicate.
+	out.Reset()
+	err = run([]string{
+		"-store", dir, "-dataset", "demo",
+		"-query", "interval", "-measure", "correlation", "-interval", "[0.5, 0.9)",
+		"-method", "wn", "-k", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "INTERVAL correlation [0.5, 0.9)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+
+	// Malformed grammar errors out.
+	if err := run([]string{"-store", dir, "-dataset", "demo", "-query", "interval", "-interval", "{0,1}", "-k", "3"}, &out); err == nil {
+		t.Fatal("bad interval grammar should error")
+	}
+	if err := run([]string{"-store", dir, "-dataset", "demo", "-query", "met", "-op", "~", "-k", "3"}, &out); err == nil {
+		t.Fatal("bad operator should error")
+	}
+}
+
 func TestQueryArgumentErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-query", "met"}, &out); err == nil {

@@ -92,6 +92,24 @@ func main() {
 		fmt.Printf("  tau=%.2f  %v  actual=%d rows in %v\n",
 			tau, plan, res.Size(), plan.Duration.Round(time.Microsecond))
 	}
+
+	// Top-k (MEK): the same engine answers "the k most correlated pairs"
+	// as a best-first SCAPE traversal — no threshold to guess; the running
+	// interval [v_k, best] is discovered adaptively.
+	fmt.Println("\nEXPLAIN top-k most correlated pairs:")
+	for _, k := range []int{1, 10, 100} {
+		res, plan, err := eng.Explain(affinity.TopKSpec(affinity.Correlation, k, true), affinity.Auto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%-3d  %v  in %v\n", k, plan, plan.Duration.Round(time.Microsecond))
+		if k == 10 {
+			for i, pair := range res.Pairs[:3] {
+				fmt.Printf("         #%d %s -- %s  corr=%.4f\n",
+					i+1, data.Name(pair.U), data.Name(pair.V), res.Values[i])
+			}
+		}
+	}
 }
 
 // timedRun builds a fresh engine and answers the whole workload with the

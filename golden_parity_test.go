@@ -12,22 +12,60 @@ package affinity_test
 //	go test -run TestGoldenMeasureParity -update-golden .
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"testing"
 
 	"affinity"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_measures.json from the current implementation")
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_measures.json.gz from the current implementation")
 
-const goldenPath = "testdata/golden_measures.json"
+// The fixture is stored gzip-compressed (it is a 41k-line JSON document);
+// readGolden/writeGolden decompress and compress transparently, keyed on the
+// .gz suffix, so the parity suite itself never changes shape.
+const goldenPath = "testdata/golden_measures.json.gz"
+
+func readGolden(path string) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return buf, nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(buf))
+	if err != nil {
+		return nil, fmt.Errorf("decompress %s: %w", path, err)
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}
+
+func writeGolden(path string, content []byte) error {
+	if !strings.HasSuffix(path, ".gz") {
+		return os.WriteFile(path, content, 0o644)
+	}
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(content); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(path, out.Bytes(), 0o644)
+}
 
 // goldenMeasures lists the measures that existed before the measure-algebra
 // refactor; the fixture deliberately does not grow when new measures are
@@ -218,13 +256,13 @@ func TestGoldenMeasureParity(t *testing.T) {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+		if err := writeGolden(goldenPath, append(buf, '\n')); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("wrote %d cases to %s", len(got), goldenPath)
 		return
 	}
-	buf, err := os.ReadFile(goldenPath)
+	buf, err := readGolden(goldenPath)
 	if err != nil {
 		t.Fatalf("read fixture (run with -update-golden to create): %v", err)
 	}

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"affinity/internal/dft"
+	"affinity/internal/interval"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
@@ -90,30 +91,12 @@ func (n *Naive) PairValue(m stats.Measure, e timeseries.Pair) (float64, error) {
 	return stats.PairMeasure(m, n.data, e)
 }
 
-// PairThreshold evaluates a MET query by computing the measure from scratch
-// for every sequence pair and filtering.
-func (n *Naive) PairThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.Pair, error) {
-	var out []timeseries.Pair
-	for _, e := range n.data.AllPairs() {
-		v, err := stats.PairMeasure(m, n.data, e)
-		if err != nil {
-			if errors.Is(err, stats.ErrZeroNormalizer) {
-				continue
-			}
-			return nil, err
-		}
-		if (above && v > tau) || (!above && v < tau) {
-			out = append(out, e)
-		}
-	}
-	return out, nil
-}
-
-// PairRange evaluates a MER query by computing the measure from scratch for
-// every sequence pair and filtering against [lo, hi].
-func (n *Naive) PairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
-	if lo > hi {
-		return nil, fmt.Errorf("baseline: empty range [%v, %v]", lo, hi)
+// PairInterval evaluates an interval (MET/MER) query by computing the
+// measure from scratch for every sequence pair and filtering; pairs with an
+// undefined derived value never match.
+func (n *Naive) PairInterval(m stats.Measure, iv interval.Interval) ([]timeseries.Pair, error) {
+	if iv.Empty() {
+		return nil, fmt.Errorf("baseline: empty interval %v", iv)
 	}
 	var out []timeseries.Pair
 	for _, e := range n.data.AllPairs() {
@@ -124,36 +107,17 @@ func (n *Naive) PairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, e
 			}
 			return nil, err
 		}
-		if v >= lo && v <= hi {
+		if iv.Contains(v) {
 			out = append(out, e)
 		}
 	}
 	return out, nil
 }
 
-// SeriesThreshold evaluates a MET query over an L-measure from scratch.
-func (n *Naive) SeriesThreshold(m stats.Measure, tau float64, above bool) ([]timeseries.SeriesID, error) {
-	var out []timeseries.SeriesID
-	for _, id := range n.data.IDs() {
-		s, err := n.data.Series(id)
-		if err != nil {
-			return nil, err
-		}
-		v, err := stats.ComputeLocation(m, s)
-		if err != nil {
-			return nil, err
-		}
-		if (above && v > tau) || (!above && v < tau) {
-			out = append(out, id)
-		}
-	}
-	return out, nil
-}
-
-// SeriesRange evaluates a MER query over an L-measure from scratch.
-func (n *Naive) SeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.SeriesID, error) {
-	if lo > hi {
-		return nil, fmt.Errorf("baseline: empty range [%v, %v]", lo, hi)
+// SeriesInterval evaluates an interval query over an L-measure from scratch.
+func (n *Naive) SeriesInterval(m stats.Measure, iv interval.Interval) ([]timeseries.SeriesID, error) {
+	if iv.Empty() {
+		return nil, fmt.Errorf("baseline: empty interval %v", iv)
 	}
 	var out []timeseries.SeriesID
 	for _, id := range n.data.IDs() {
@@ -165,7 +129,7 @@ func (n *Naive) SeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.Serie
 		if err != nil {
 			return nil, err
 		}
-		if v >= lo && v <= hi {
+		if iv.Contains(v) {
 			out = append(out, id)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"affinity/internal/interval"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
@@ -99,7 +100,7 @@ func TestNaiveThresholdAndRange(t *testing.T) {
 	d := testData(t, 2, 8, 60)
 	naive := NewNaive(d)
 
-	above, err := naive.PairThreshold(stats.Correlation, 0.5, true)
+	above, err := naive.PairInterval(stats.Correlation, interval.GreaterThan(0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestNaiveThresholdAndRange(t *testing.T) {
 			t.Fatalf("pair %v has correlation %v <= 0.5", e, v)
 		}
 	}
-	below, err := naive.PairThreshold(stats.Correlation, 0.5, false)
+	below, err := naive.PairInterval(stats.Correlation, interval.LessThan(0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestNaiveThresholdAndRange(t *testing.T) {
 		t.Fatal("above and below overlap")
 	}
 
-	ranged, err := naive.PairRange(stats.Correlation, 0.2, 0.8)
+	ranged, err := naive.PairInterval(stats.Correlation, interval.Between(0.2, 0.8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +128,11 @@ func TestNaiveThresholdAndRange(t *testing.T) {
 			t.Fatalf("pair %v value %v outside range", e, v)
 		}
 	}
-	if _, err := naive.PairRange(stats.Correlation, 1, 0); err == nil {
+	if _, err := naive.PairInterval(stats.Correlation, interval.Between(1, 0)); err == nil {
 		t.Fatal("inverted range should error")
 	}
 
-	seriesAbove, err := naive.SeriesThreshold(stats.Mean, 0, true)
+	seriesAbove, err := naive.SeriesInterval(stats.Mean, interval.GreaterThan(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +143,10 @@ func TestNaiveThresholdAndRange(t *testing.T) {
 			t.Fatalf("series %d mean %v <= 0", id, m)
 		}
 	}
-	if _, err := naive.SeriesRange(stats.Mean, 1, 0); err == nil {
+	if _, err := naive.SeriesInterval(stats.Mean, interval.Between(1, 0)); err == nil {
 		t.Fatal("inverted series range should error")
 	}
-	sr, err := naive.SeriesRange(stats.Mean, -100, 100)
+	sr, err := naive.SeriesInterval(stats.Mean, interval.Between(-100, 100))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,12 +39,7 @@ func TestAutoMatchesChosenMethod(t *testing.T) {
 		if !p.Method.Concrete() {
 			t.Fatalf("%v: planner chose non-concrete method %v", spec, p.Method)
 		}
-		var fixed ThresholdResult
-		if spec.Kind == plan.KindThreshold {
-			fixed, err = e.Threshold(spec.Measure, spec.Tau, spec.Op, p.Method)
-		} else {
-			fixed, err = e.Range(spec.Measure, spec.Lo, spec.Hi, p.Method)
-		}
+		fixed, err := e.Interval(spec.Measure, spec.Interval, p.Method)
 		if err != nil {
 			t.Fatalf("%v fixed %v: %v", spec, p.Method, err)
 		}
@@ -95,12 +90,7 @@ func TestAutoMatchesEveryForcedMethod(t *testing.T) {
 				if p.Method != want {
 					t.Fatalf("%v: planner chose %v, want %v (plan %v)", spec, p.Method, want, p)
 				}
-				var fixed ThresholdResult
-				if spec.Kind == plan.KindThreshold {
-					fixed, err = e.Threshold(spec.Measure, spec.Tau, spec.Op, p.Method)
-				} else {
-					fixed, err = e.Range(spec.Measure, spec.Lo, spec.Hi, p.Method)
-				}
+				fixed, err := e.Interval(spec.Measure, spec.Interval, p.Method)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -246,5 +236,11 @@ func TestExplainFixedMethod(t *testing.T) {
 	}
 	if _, _, err := e.Explain(plan.Compute(stats.Mean, 3), MethodAuto); err == nil {
 		t.Fatal("Explain accepted a MEC spec")
+	}
+	// A spec built from an unknown threshold operator carries the
+	// empty-matching interval, so Explain rejects it instead of silently
+	// answering the "above" form.
+	if _, _, err := e.Explain(plan.Threshold(stats.Correlation, 0.9, scape.ThresholdOp(42)), MethodAuto); !errors.Is(err, ErrEmptyRange) {
+		t.Fatalf("Explain with unknown op err = %v, want ErrEmptyRange", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"affinity/internal/interval"
 	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
@@ -12,34 +13,54 @@ import (
 	"affinity/internal/timeseries"
 )
 
-// This file is the query executor: every MET/MER query — single or batched —
-// is validated into an execItem, its method resolved (the cost-based planner
-// answers MethodAuto), and the whole batch answered against one epoch:
+// This file is the query executor: every row-returning query — interval
+// (MET/MER) or top-k (MEK), single or batched — is validated into an
+// execItem, its method resolved (the cost-based planner answers MethodAuto),
+// and the whole batch answered against one epoch:
 //
 //   - epoch pinning: the batch is answered from one engineState, so a
 //     concurrent Advance cannot split it across epochs;
 //   - shared scans: sweep-method (naive/affine) pairwise queries on the same
 //     (measure, method) share one pass over the sequence pairs — each pair's
 //     value and derived-measure normalizer is computed once and tested
-//     against every predicate; index-method queries share the pivot-node
-//     traversal (scape.PairBatch visits every pivot node once);
+//     against every interval predicate and offered to every top-k heap;
+//     index-method interval queries share the pivot-node traversal
+//     (scape.PairBatch visits every pivot node once), while index top-k
+//     queries each run their own best-first traversal;
 //   - parallelism: the shared sweeps shard across the engine's worker pool.
 //
 // Results are guaranteed — and pinned by TestBatchMatchesSingleQueries — to
 // equal the corresponding sequence of single-query calls, element for
 // element, in the same order; single queries are literally batches of one.
 
-// ThresholdQuery describes one MET query of a batch.
+// IntervalQuery describes one interval (MET/MER) query of a batch: entries
+// whose measure value lies in Interval.
+type IntervalQuery struct {
+	Measure  stats.Measure
+	Interval interval.Interval
+}
+
+// ThresholdQuery describes one MET query of a batch — sugar over the
+// half-bounded interval predicate.
 type ThresholdQuery struct {
 	Measure stats.Measure
 	Tau     float64
 	Op      scape.ThresholdOp
 }
 
-// RangeQuery describes one MER query of a batch.
+// RangeQuery describes one MER query of a batch — sugar over the closed
+// interval predicate.
 type RangeQuery struct {
 	Measure stats.Measure
 	Lo, Hi  float64
+}
+
+// TopKQuery describes one top-k (MEK) query of a batch: the K entries with
+// the greatest (Largest) or smallest measure values.
+type TopKQuery struct {
+	Measure stats.Measure
+	K       int
+	Largest bool
 }
 
 // ComputeQuery describes one MEC query of a batch: an L-measure over IDs
@@ -56,12 +77,30 @@ type ComputeResult struct {
 	Pairwise [][]float64
 }
 
-// ThresholdBatch answers a batch of MET queries with the selected method.
-// out[i] corresponds to qs[i] and is identical to Threshold(qs[i]...).
-func (e *Engine) ThresholdBatch(qs []ThresholdQuery, method Method) ([]ThresholdResult, error) {
+// IntervalBatch answers a batch of interval queries with the selected method.
+// out[i] corresponds to qs[i] and is identical to Interval(qs[i]...).
+func (e *Engine) IntervalBatch(qs []IntervalQuery, method Method) ([]QueryResult, error) {
 	st := e.state()
 	items := make([]execItem, len(qs))
 	for i, q := range qs {
+		it, err := st.newItem(plan.Interval(q.Measure, q.Interval), method)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = it
+	}
+	return st.runBatch(items)
+}
+
+// ThresholdBatch answers a batch of MET queries with the selected method.
+// out[i] corresponds to qs[i] and is identical to Threshold(qs[i]...).
+func (e *Engine) ThresholdBatch(qs []ThresholdQuery, method Method) ([]QueryResult, error) {
+	st := e.state()
+	items := make([]execItem, len(qs))
+	for i, q := range qs {
+		if !q.Op.Valid() {
+			return nil, fmt.Errorf("%w: %d", ErrBadThresholdOp, int(q.Op))
+		}
 		it, err := st.newItem(plan.Threshold(q.Measure, q.Tau, q.Op), method)
 		if err != nil {
 			return nil, err
@@ -73,11 +112,28 @@ func (e *Engine) ThresholdBatch(qs []ThresholdQuery, method Method) ([]Threshold
 
 // RangeBatch answers a batch of MER queries with the selected method.
 // out[i] corresponds to qs[i] and is identical to Range(qs[i]...).
-func (e *Engine) RangeBatch(qs []RangeQuery, method Method) ([]ThresholdResult, error) {
+func (e *Engine) RangeBatch(qs []RangeQuery, method Method) ([]QueryResult, error) {
 	st := e.state()
 	items := make([]execItem, len(qs))
 	for i, q := range qs {
 		it, err := st.newItem(plan.Range(q.Measure, q.Lo, q.Hi), method)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = it
+	}
+	return st.runBatch(items)
+}
+
+// TopKBatch answers a batch of top-k queries with the selected method.
+// out[i] corresponds to qs[i] and is identical to TopK(qs[i]...); sweep-method
+// queries share one pass over the sequence pairs with any other batched
+// queries on the same (base measure, method).
+func (e *Engine) TopKBatch(qs []TopKQuery, method Method) ([]QueryResult, error) {
+	st := e.state()
+	items := make([]execItem, len(qs))
+	for i, q := range qs {
+		it, err := st.newItem(plan.TopK(q.Measure, q.K, q.Largest), method)
 		if err != nil {
 			return nil, err
 		}
@@ -93,20 +149,17 @@ func (e *Engine) ComputeBatch(qs []ComputeQuery, method Method) ([]ComputeResult
 	return e.state().computeBatch(qs, method)
 }
 
-// execItem is one validated MET/MER query in executor form: its logical spec,
-// the resolved concrete method, and the forms the execution paths consume
-// (the index's query struct, the sweep predicate).
+// execItem is one validated interval/top-k query in executor form: its
+// logical spec and the resolved concrete method.
 type execItem struct {
-	spec      plan.QuerySpec
-	method    Method
-	location  bool
-	pairQuery scape.PairQuery
-	keep      func(float64) bool
+	spec     plan.QuerySpec
+	method   Method
+	location bool
 }
 
-// newItem validates a MET/MER spec and resolves its execution method (the
-// planner answers MethodAuto).  Validation precedes resolution so malformed
-// queries fail with the same typed error under every method.
+// newItem validates a spec and resolves its execution method (the planner
+// answers MethodAuto).  Validation precedes resolution so malformed queries
+// fail with the same typed error under every method.
 func (e *engineState) newItem(spec plan.QuerySpec, method Method) (execItem, error) {
 	if err := validateSpec(spec); err != nil {
 		return execItem{}, err
@@ -118,20 +171,20 @@ func (e *engineState) newItem(spec plan.QuerySpec, method Method) (execItem, err
 	return buildItem(spec, concrete), nil
 }
 
-// validateSpec rejects malformed MET/MER specs with the typed sentinels
-// shared by every entry point.
+// validateSpec rejects malformed interval/top-k specs with the typed
+// sentinels shared by every entry point.
 func validateSpec(spec plan.QuerySpec) error {
 	switch spec.Kind {
-	case plan.KindThreshold:
-		if spec.Op != scape.Above && spec.Op != scape.Below {
-			return fmt.Errorf("%w: %d", ErrBadThresholdOp, int(spec.Op))
+	case plan.KindInterval:
+		if spec.Interval.Empty() {
+			return fmt.Errorf("%w: %v", ErrEmptyRange, spec.Interval)
 		}
-	case plan.KindRange:
-		if spec.Lo > spec.Hi {
-			return fmt.Errorf("%w: [%v, %v]", ErrEmptyRange, spec.Lo, spec.Hi)
+	case plan.KindTopK:
+		if spec.K < 1 {
+			return fmt.Errorf("%w: %d", ErrBadTopK, spec.K)
 		}
 	default:
-		return fmt.Errorf("core: %v is not a MET/MER query kind", spec.Kind)
+		return fmt.Errorf("core: %v is not an interval or top-k query kind", spec.Kind)
 	}
 	return nil
 }
@@ -141,34 +194,24 @@ func validateSpec(spec plan.QuerySpec) error {
 func buildItem(spec plan.QuerySpec, concrete Method) execItem {
 	sp, ok := measure.Find(spec.Measure)
 	return execItem{
-		spec:      spec,
-		method:    concrete,
-		location:  ok && sp.Location(),
-		pairQuery: spec.PairQuery(),
-		keep:      specKeep(spec),
+		spec:     spec,
+		method:   concrete,
+		location: ok && sp.Location(),
 	}
-}
-
-// specKeep returns the value predicate of a MET/MER spec.
-func specKeep(spec plan.QuerySpec) func(float64) bool {
-	if spec.Kind == plan.KindRange {
-		lo, hi := spec.Lo, spec.Hi
-		return func(v float64) bool { return v >= lo && v <= hi }
-	}
-	return thresholdKeep(spec.Tau, spec.Op == scape.Above)
 }
 
 // runBatch answers a validated batch: location queries run directly from the
-// cached per-series vectors or the location trees, index-method pairwise
-// queries share one pivot-node traversal, and sweep-method pairwise queries
-// share one multi-predicate pass, with results scattered back into request
-// order.
-func (e *engineState) runBatch(items []execItem) ([]ThresholdResult, error) {
-	out := make([]ThresholdResult, len(items))
+// cached per-series vectors or the location trees, index-method interval
+// queries share one pivot-node traversal, index top-k queries run their
+// best-first traversals, and sweep-method pairwise queries — interval and
+// top-k alike — share one multi-predicate pass, with results scattered back
+// into request order.
+func (e *engineState) runBatch(items []execItem) ([]QueryResult, error) {
+	out := make([]QueryResult, len(items))
 	var indexQueries []scape.PairQuery
 	var indexIdx []int
-	var preds []pairPredicate
-	var predIdx []int
+	var sweeps []pairSweepItem
+	var sweepIdx []int
 	for i, it := range items {
 		switch {
 		case it.location:
@@ -181,11 +224,19 @@ func (e *engineState) runBatch(items []execItem) ([]ThresholdResult, error) {
 			if e.index == nil {
 				return nil, ErrNoIndex
 			}
-			indexQueries = append(indexQueries, it.pairQuery)
+			if it.spec.Kind == plan.KindTopK {
+				pairs, values, _, err := e.index.PairTopK(it.spec.Measure, it.spec.K, it.spec.Largest)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = QueryResult{Pairs: pairs, Values: values}
+				continue
+			}
+			indexQueries = append(indexQueries, it.spec.PairQuery())
 			indexIdx = append(indexIdx, i)
 		default:
-			preds = append(preds, pairPredicate{measure: it.spec.Measure, method: it.method, keep: it.keep})
-			predIdx = append(predIdx, i)
+			sweeps = append(sweeps, newSweepItem(it))
+			sweepIdx = append(sweepIdx, i)
 		}
 	}
 	if len(indexIdx) > 0 {
@@ -194,76 +245,87 @@ func (e *engineState) runBatch(items []execItem) ([]ThresholdResult, error) {
 			return nil, err
 		}
 		for k, i := range indexIdx {
-			out[i] = ThresholdResult{Pairs: results[k]}
+			out[i] = QueryResult{Pairs: results[k]}
 		}
 	}
-	if len(predIdx) > 0 {
-		results, err := e.pairMultiFilter(preds)
+	if len(sweepIdx) > 0 {
+		results, err := e.pairMultiSweep(sweeps)
 		if err != nil {
 			return nil, err
 		}
-		for k, i := range predIdx {
-			out[i] = ThresholdResult{Pairs: results[k]}
+		for k, i := range sweepIdx {
+			out[i] = results[k]
 		}
 	}
 	return out, nil
 }
 
-// locationQuery answers one L-measure MET/MER query with its resolved
-// method.
-func (e *engineState) locationQuery(it execItem) (ThresholdResult, error) {
+// locationQuery answers one L-measure interval or top-k query with its
+// resolved method.
+func (e *engineState) locationQuery(it execItem) (QueryResult, error) {
 	spec := it.spec
+	if spec.Kind == plan.KindTopK {
+		return e.locationTopK(it)
+	}
 	switch it.method {
 	case MethodNaive:
-		if spec.Kind == plan.KindThreshold {
-			ids, err := e.naive.SeriesThreshold(spec.Measure, spec.Tau, spec.Op == scape.Above)
-			return ThresholdResult{Series: ids}, err
-		}
-		ids, err := e.naive.SeriesRange(spec.Measure, spec.Lo, spec.Hi)
-		return ThresholdResult{Series: ids}, err
+		ids, err := e.naive.SeriesInterval(spec.Measure, spec.Interval)
+		return QueryResult{Series: ids}, err
 	case MethodAffine:
 		estimates, ok := e.seriesLocation[spec.Measure]
 		if !ok {
-			return ThresholdResult{}, fmt.Errorf("core: no location estimates for %v", spec.Measure)
+			return QueryResult{}, fmt.Errorf("core: no location estimates for %v", spec.Measure)
 		}
 		var out []timeseries.SeriesID
 		for id, v := range estimates {
-			if it.keep(v) {
+			if spec.Interval.Contains(v) {
 				out = append(out, timeseries.SeriesID(id))
 			}
 		}
-		return ThresholdResult{Series: out}, nil
+		return QueryResult{Series: out}, nil
 	case MethodIndex:
 		if e.index == nil {
-			return ThresholdResult{}, ErrNoIndex
+			return QueryResult{}, ErrNoIndex
 		}
-		if spec.Kind == plan.KindThreshold {
-			ids, err := e.index.SeriesThreshold(spec.Measure, spec.Tau, spec.Op)
-			return ThresholdResult{Series: ids}, err
-		}
-		ids, err := e.index.SeriesRange(spec.Measure, spec.Lo, spec.Hi)
-		return ThresholdResult{Series: ids}, err
+		ids, err := e.index.SeriesInterval(spec.Measure, spec.Interval)
+		return QueryResult{Series: ids}, err
 	default:
-		return ThresholdResult{}, fmt.Errorf("%w: %v", ErrBadMethod, it.method)
+		return QueryResult{}, fmt.Errorf("%w: %v", ErrBadMethod, it.method)
 	}
 }
 
-// pairPredicate is one sweep-method pairwise query in filter form.
-type pairPredicate struct {
+// pairSweepItem is one sweep-method (naive/affine) pairwise query in
+// shared-pass form: an interval predicate, or a top-k heap when keep is nil.
+type pairSweepItem struct {
 	measure stats.Measure
 	method  Method // MethodNaive or MethodAffine
 	keep    func(float64) bool
+	k       int
+	largest bool
 }
 
-// pairMultiFilter answers every predicate in one sweep over the sequence
-// pairs, sharded by row blocks.  Predicates group by the spec's
+// newSweepItem converts an executor item into sweep form.
+func newSweepItem(it execItem) pairSweepItem {
+	s := pairSweepItem{measure: it.spec.Measure, method: it.method}
+	if it.spec.Kind == plan.KindTopK {
+		s.k, s.largest = it.spec.K, it.spec.Largest
+	} else {
+		s.keep = it.spec.Interval.Contains
+	}
+	return s
+}
+
+// pairMultiSweep answers every sweep item in one pass over the sequence
+// pairs, sharded by row blocks.  Items group by the spec's
 // (base T-measure, method): per block and pair, each distinct base value is
 // computed once and every measure sharing it applies only its own transform
-// before testing its predicates — queries on cosine, Dice and Euclidean
-// distance all ride one dot-product evaluation.  Per-block partial results
-// are merged in block order, so out[k] equals the sequential single-query
-// scan for preds[k] exactly.
-func (e *engineState) pairMultiFilter(preds []pairPredicate) ([][]timeseries.Pair, error) {
+// before testing its interval predicates and offering its top-k heaps —
+// queries on cosine, Dice and Euclidean distance all ride one dot-product
+// evaluation.  Per-block partial results are merged in block order (interval
+// results) or through the deterministic (value, pair) total order (top-k
+// heaps), so out[k] equals the sequential single-query scan for items[k]
+// exactly.
+func (e *engineState) pairMultiSweep(items []pairSweepItem) ([]QueryResult, error) {
 	// baseKey identifies one shared base computation; specs that withhold
 	// BatchGroupable get a solo group keyed by their own identity.
 	type baseKey struct {
@@ -271,15 +333,15 @@ func (e *engineState) pairMultiFilter(preds []pairPredicate) ([][]timeseries.Pai
 		method Method
 		solo   stats.Measure
 	}
-	// measureGroup is one measure's predicates within a base group.
+	// measureGroup is one measure's items within a base group.
 	type measureGroup struct {
 		sp   *measure.Spec
 		idxs []int
 	}
-	keyOrder := make([]baseKey, 0, len(preds))
+	keyOrder := make([]baseKey, 0, len(items))
 	groups := make(map[baseKey][]*measureGroup)
 	baseSpecs := make(map[baseKey]*measure.Spec)
-	for k, p := range preds {
+	for k, p := range items {
 		sp, ok := measure.Find(p.measure)
 		if !ok || !sp.Pairwise() {
 			return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", p.measure, stats.ErrUnknownMeasure)
@@ -312,9 +374,21 @@ func (e *engineState) pairMultiFilter(preds []pairPredicate) ([][]timeseries.Pai
 	pairs := e.data.AllPairs()
 	numSamples := e.data.NumSamples()
 	blocks := par.Blocks(len(pairs), e.par)
-	parts := make([][][]timeseries.Pair, len(blocks)) // parts[block][pred]
+	type blockPart struct {
+		pairs [][]timeseries.Pair // per interval item
+		heaps []*scape.TopHeap    // per top-k item
+	}
+	parts := make([]blockPart, len(blocks))
 	err := par.Do(len(blocks), e.par, func(b int) error {
-		local := make([][]timeseries.Pair, len(preds))
+		local := blockPart{
+			pairs: make([][]timeseries.Pair, len(items)),
+			heaps: make([]*scape.TopHeap, len(items)),
+		}
+		for k, p := range items {
+			if p.keep == nil {
+				local.heaps[k] = scape.NewTopHeap(p.k, p.largest)
+			}
+		}
 		// Per-worker cache of naive per-series statistics: deterministic
 		// functions of the series, so caching cannot change any value.
 		var naiveStats []map[measure.StatMask]measure.SeriesStat
@@ -379,8 +453,12 @@ func (e *engineState) pairMultiFilter(preds []pairPredicate) ([][]timeseries.Pai
 						}
 					}
 					for _, k := range mg.idxs {
-						if preds[k].keep(v) {
-							local[k] = append(local[k], pair)
+						if items[k].keep != nil {
+							if items[k].keep(v) {
+								local.pairs[k] = append(local.pairs[k], pair)
+							}
+						} else {
+							local.heaps[k].Offer(pair, v)
 						}
 					}
 				}
@@ -392,13 +470,28 @@ func (e *engineState) pairMultiFilter(preds []pairPredicate) ([][]timeseries.Pai
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]timeseries.Pair, len(preds))
-	for k := range preds {
-		perBlock := make([][]timeseries.Pair, len(parts))
-		for b := range parts {
-			perBlock[b] = parts[b][k]
+	out := make([]QueryResult, len(items))
+	for k, p := range items {
+		if p.keep != nil {
+			perBlock := make([][]timeseries.Pair, len(parts))
+			for b := range parts {
+				perBlock[b] = parts[b].pairs[k]
+			}
+			out[k] = QueryResult{Pairs: par.FlattenBlocks(perBlock)}
+			continue
 		}
-		out[k] = par.FlattenBlocks(perBlock)
+		// Merge the per-block heaps: the retained set is a function of the
+		// offered (value, pair) multiset under a total order, so the merge is
+		// independent of the block partition.
+		final := scape.NewTopHeap(p.k, p.largest)
+		for b := range parts {
+			bp, bv := parts[b].heaps[k].Sorted()
+			for i := range bp {
+				final.Offer(bp[i], bv[i])
+			}
+		}
+		topPairs, values := final.Sorted()
+		out[k] = QueryResult{Pairs: topPairs, Values: values}
 	}
 	return out, nil
 }

@@ -72,6 +72,10 @@ var ErrEmptyRange = errors.New("core: empty range")
 // the single and the batched path.
 var ErrBadThresholdOp = errors.New("core: unknown threshold operator")
 
+// ErrBadTopK is returned for a top-k query with k < 1, on both the single and
+// the batched path.
+var ErrBadTopK = errors.New("core: top-k needs k >= 1")
+
 // ErrMeasureNotIndexed aliases the scape sentinel so callers can test the
 // "measure not indexed" condition without importing internal/scape; single
 // and batched index queries both fail with it.

@@ -49,11 +49,13 @@ func (e *engineState) resolve(spec plan.QuerySpec, method Method) (Method, error
 // estimate when it can answer the query, and the cost model does the rest.
 // Whether the index is consulted at all derives from the measure's declared
 // Indexable capability — a non-indexable measure (e.g. Jaccard) plans among
-// the sweep methods without ever touching the index.
+// the sweep methods without ever touching the index.  Top-k queries have no
+// a-priori predicate to estimate; the cost model prices their best-first
+// traversal from the table statistics alone.
 func (e *engineState) plan(spec plan.QuerySpec) (plan.Plan, error) {
 	var sel *scape.Selectivity
 	sp, known := measure.Find(spec.Measure)
-	if e.index != nil && spec.Kind != plan.KindCompute && known && sp.Indexable {
+	if e.index != nil && spec.Kind == plan.KindInterval && known && sp.Indexable {
 		s, err := e.index.EstimateSelectivity(spec.PairQuery())
 		switch {
 		case err == nil:
@@ -70,16 +72,16 @@ func (e *engineState) plan(spec plan.QuerySpec) (plan.Plan, error) {
 
 // explain implements Engine.Explain for one epoch: one planning pass prices
 // the query, and the executed item is derived from that same plan.
-func (e *engineState) explain(spec plan.QuerySpec, method Method) (ThresholdResult, plan.Plan, error) {
+func (e *engineState) explain(spec plan.QuerySpec, method Method) (QueryResult, plan.Plan, error) {
 	if err := validateSpec(spec); err != nil {
-		return ThresholdResult{}, plan.Plan{}, err
+		return QueryResult{}, plan.Plan{}, err
 	}
 	if method != MethodAuto && !method.Concrete() {
-		return ThresholdResult{}, plan.Plan{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
+		return QueryResult{}, plan.Plan{}, fmt.Errorf("%w: %v", ErrBadMethod, method)
 	}
 	p, err := e.plan(spec)
 	if err != nil {
-		return ThresholdResult{}, plan.Plan{}, err
+		return QueryResult{}, plan.Plan{}, err
 	}
 	if method != MethodAuto {
 		// Price the requested method; keep the alternatives for comparison.
@@ -96,7 +98,7 @@ func (e *engineState) explain(spec plan.QuerySpec, method Method) (ThresholdResu
 	start := time.Now()
 	out, err := e.runBatch([]execItem{buildItem(spec, p.Method)})
 	if err != nil {
-		return ThresholdResult{}, plan.Plan{}, err
+		return QueryResult{}, plan.Plan{}, err
 	}
 	p.Duration = time.Since(start)
 	p.ActualRows = out[0].Size()

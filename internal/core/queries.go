@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/interval"
 	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
@@ -13,25 +14,30 @@ import (
 	"affinity/internal/timeseries"
 )
 
-// ThresholdResult is the answer to a measure threshold (MET) query: series
-// identifiers for L-measures, sequence pairs for T- and D-measures.
-type ThresholdResult struct {
+// QueryResult is the answer to a row-returning query — interval (MET/MER) or
+// top-k (MEK): series identifiers for L-measures, sequence pairs for T- and
+// D-measures.  For top-k queries Values aligns with Series or Pairs and
+// carries the measure value that ranked each entry, best first; interval
+// queries leave it nil.
+type QueryResult struct {
 	Series []timeseries.SeriesID
 	Pairs  []timeseries.Pair
+	Values []float64
 }
 
 // Size returns the number of entries in the result set.
-func (r ThresholdResult) Size() int { return len(r.Series) + len(r.Pairs) }
+func (r QueryResult) Size() int { return len(r.Series) + len(r.Pairs) }
 
 // The public query methods load the current epoch state exactly once and
 // answer the whole query from it, so they are safe to call concurrently with
 // Append/Advance: a query started before an epoch swap keeps serving the old
 // epoch's window, relationships and index.
 //
-// A single MET/MER query is a batch of one: the same epoch-pinned executor
-// (batch.go) serves both entry points, so single and batched queries share
-// one validation, planning and scan implementation — and fail with the same
-// typed errors.
+// A single interval or top-k query is a batch of one: the same epoch-pinned
+// executor (batch.go) serves every entry point, so single and batched queries
+// share one validation, planning and scan implementation — and fail with the
+// same typed errors.  Threshold and Range are constructors over Interval, not
+// separate code paths.
 
 // ComputeLocation answers a MEC query for an L-measure over the requested
 // series, using the selected method (Query 1 with an L-measure).
@@ -51,36 +57,47 @@ func (e *Engine) PairValue(m stats.Measure, pair timeseries.Pair, method Method)
 	return e.state().pairValue(m, pair, method)
 }
 
+// Interval answers the unified interval query: entries whose measure value
+// lies in iv, computed with the selected method.  MET and MER queries are its
+// half-bounded and bounded instances.
+func (e *Engine) Interval(m stats.Measure, iv interval.Interval, method Method) (QueryResult, error) {
+	return e.state().singleQuery(plan.Interval(m, iv), method)
+}
+
 // Threshold answers a MET query (Query 2): entries whose measure is above
-// (or below) tau, computed with the selected method.
-func (e *Engine) Threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (ThresholdResult, error) {
+// (or below) tau — sugar over Interval with the half-bounded open predicate.
+func (e *Engine) Threshold(m stats.Measure, tau float64, op scape.ThresholdOp, method Method) (QueryResult, error) {
+	if !op.Valid() {
+		return QueryResult{}, fmt.Errorf("%w: %d", ErrBadThresholdOp, int(op))
+	}
 	return e.state().singleQuery(plan.Threshold(m, tau, op), method)
 }
 
 // Range answers a MER query (Query 3): entries whose measure lies in
-// [lo, hi], computed with the selected method.
-func (e *Engine) Range(m stats.Measure, lo, hi float64, method Method) (ThresholdResult, error) {
+// [lo, hi] — sugar over Interval with the closed predicate.
+func (e *Engine) Range(m stats.Measure, lo, hi float64, method Method) (QueryResult, error) {
 	return e.state().singleQuery(plan.Range(m, lo, hi), method)
 }
 
-// Explain plans a MET/MER query, executes it, and returns the result together
-// with the plan: the per-method cost estimates, the selectivity estimate that
-// drove the choice, and the observed actuals.  With MethodAuto the plan's
-// method is the planner's choice; with a concrete method the plan prices that
-// method (the cost columns still show the alternatives).
-func (e *Engine) Explain(spec plan.QuerySpec, method Method) (ThresholdResult, plan.Plan, error) {
+// Explain plans an interval or top-k query, executes it, and returns the
+// result together with the plan: the per-method cost estimates, the
+// selectivity estimate that drove the choice, and the observed actuals.  With
+// MethodAuto the plan's method is the planner's choice; with a concrete
+// method the plan prices that method (the cost columns still show the
+// alternatives).
+func (e *Engine) Explain(spec plan.QuerySpec, method Method) (QueryResult, plan.Plan, error) {
 	return e.state().explain(spec, method)
 }
 
-// singleQuery answers one MET/MER query as a batch of one.
-func (e *engineState) singleQuery(spec plan.QuerySpec, method Method) (ThresholdResult, error) {
+// singleQuery answers one interval/top-k query as a batch of one.
+func (e *engineState) singleQuery(spec plan.QuerySpec, method Method) (QueryResult, error) {
 	it, err := e.newItem(spec, method)
 	if err != nil {
-		return ThresholdResult{}, err
+		return QueryResult{}, err
 	}
 	out, err := e.runBatch([]execItem{it})
 	if err != nil {
-		return ThresholdResult{}, err
+		return QueryResult{}, err
 	}
 	return out[0], nil
 }

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"affinity/internal/plan"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// pairOracle computes the full pairwise value matrix for one (measure,
+// method) through the same per-pair evaluators the engine uses, sorts it
+// under the shared total order (value direction, then pair identity) and
+// returns the best k entries — the sort-the-full-matrix reference every
+// top-k execution path must reproduce exactly.
+func pairOracle(t *testing.T, e *Engine, m stats.Measure, method Method, k int, largest bool) ([]timeseries.Pair, []float64) {
+	t.Helper()
+	st := e.state()
+	type entry struct {
+		pair  timeseries.Pair
+		value float64
+	}
+	var entries []entry
+	for _, pair := range e.Data().AllPairs() {
+		var v float64
+		var err error
+		switch method {
+		case MethodNaive:
+			v, err = st.naive.PairValue(m, pair)
+		case MethodAffine:
+			v, err = st.affinePairValue(m, pair)
+		case MethodIndex:
+			v, err = st.index.PairValue(m, pair)
+		default:
+			t.Fatalf("oracle has no evaluator for %v", method)
+		}
+		if err != nil || math.IsNaN(v) {
+			continue // undefined pairs never rank (or absent from the index)
+		}
+		entries = append(entries, entry{pair: pair, value: v})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].value != entries[j].value {
+			if largest {
+				return entries[i].value > entries[j].value
+			}
+			return entries[i].value < entries[j].value
+		}
+		return entries[i].pair.U < entries[j].pair.U ||
+			(entries[i].pair.U == entries[j].pair.U && entries[i].pair.V < entries[j].pair.V)
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	pairs := make([]timeseries.Pair, len(entries))
+	values := make([]float64, len(entries))
+	for i, en := range entries {
+		pairs[i] = en.pair
+		values[i] = en.value
+	}
+	return pairs, values
+}
+
+func sameTopK(gotPairs []timeseries.Pair, gotValues []float64, wantPairs []timeseries.Pair, wantValues []float64) error {
+	if len(gotPairs) != len(wantPairs) || len(gotValues) != len(gotPairs) {
+		return fmt.Errorf("got %d pairs / %d values, want %d", len(gotPairs), len(gotValues), len(wantPairs))
+	}
+	for i := range gotPairs {
+		if gotPairs[i] != wantPairs[i] || gotValues[i] != wantValues[i] {
+			return fmt.Errorf("entry %d: got (%v, %v), want (%v, %v)",
+				i, gotPairs[i], gotValues[i], wantPairs[i], wantValues[i])
+		}
+	}
+	return nil
+}
+
+// TestTopKMatchesOracle pins pairwise top-k against the full-matrix oracle
+// for every pairwise measure, every concrete method, both directions, and k
+// spanning 1 to beyond the pair count — entries, values and order must match
+// exactly, including the pair-identity tie-break.
+func TestTopKMatchesOracle(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2, Parallelism: 2})
+	numPairs := e.Data().NumPairs()
+	for _, m := range stats.AllMeasures() {
+		if !m.Pairwise() {
+			continue
+		}
+		for _, method := range []Method{MethodNaive, MethodAffine, MethodIndex} {
+			for _, largest := range []bool{true, false} {
+				for _, k := range []int{1, 7, numPairs + 5} {
+					got, err := e.TopK(m, k, largest, method)
+					if method == MethodIndex && m == stats.Jaccard {
+						if !errors.Is(err, ErrMeasureNotIndexed) {
+							t.Fatalf("jaccard index top-k err = %v, want ErrMeasureNotIndexed", err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%v %v k=%d largest=%v: %v", m, method, k, largest, err)
+					}
+					wantPairs, wantValues := pairOracle(t, e, m, method, k, largest)
+					if err := sameTopK(got.Pairs, got.Values, wantPairs, wantValues); err != nil {
+						t.Errorf("%v %v k=%d largest=%v: %v", m, method, k, largest, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKLocationMeasures pins L-measure top-k: the sweep methods against
+// their own per-series oracles, and the index against its own full ranking
+// (prefix property) with correctly ordered values.
+func TestTopKLocationMeasures(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2})
+	st := e.state()
+	n := e.Data().NumSeries()
+	for _, m := range stats.LMeasures() {
+		for _, largest := range []bool{true, false} {
+			for _, method := range []Method{MethodNaive, MethodAffine, MethodIndex} {
+				full, err := e.TopK(m, n, largest, method)
+				if err != nil {
+					t.Fatalf("%v %v: %v", m, method, err)
+				}
+				if len(full.Series) != n || len(full.Values) != n {
+					t.Fatalf("%v %v: full ranking has %d series / %d values, want %d",
+						m, method, len(full.Series), len(full.Values), n)
+				}
+				for i := 1; i < len(full.Values); i++ {
+					if (largest && full.Values[i] > full.Values[i-1]) ||
+						(!largest && full.Values[i] < full.Values[i-1]) {
+						t.Fatalf("%v %v: values out of order at %d: %v", m, method, i, full.Values)
+					}
+					if full.Values[i] == full.Values[i-1] && full.Series[i] < full.Series[i-1] {
+						t.Fatalf("%v %v: tie-break by series id violated at %d", m, method, i)
+					}
+				}
+				// Prefix property: top-k is the first k of the full ranking.
+				top, err := e.TopK(m, 5, largest, method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range top.Series {
+					if top.Series[i] != full.Series[i] || top.Values[i] != full.Values[i] {
+						t.Fatalf("%v %v: top-5 is not a prefix of the full ranking", m, method)
+					}
+				}
+				// Sweep methods must agree with their direct per-series values.
+				var oracle []float64
+				switch method {
+				case MethodNaive:
+					oracle, err = st.naive.Location(m, e.Data().IDs())
+					if err != nil {
+						t.Fatal(err)
+					}
+				case MethodAffine:
+					oracle = st.seriesLocation[m]
+				default:
+					continue
+				}
+				for i, id := range full.Series {
+					if full.Values[i] != oracle[id] {
+						t.Fatalf("%v %v: series %d value %v != oracle %v", m, method, id, full.Values[i], oracle[id])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKBatchMatchesSingle pins batch ≡ single for top-k across measures,
+// methods (incl. Auto) and mixed directions, riding the shared sweep pass.
+func TestTopKBatchMatchesSingle(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2, Parallelism: 4})
+	var qs []TopKQuery
+	for _, m := range stats.AllMeasures() {
+		qs = append(qs,
+			TopKQuery{Measure: m, K: 3, Largest: true},
+			TopKQuery{Measure: m, K: 9, Largest: false},
+		)
+	}
+	for _, method := range []Method{MethodNaive, MethodAffine, MethodAuto} {
+		batch, err := e.TopKBatch(qs, method)
+		if err != nil {
+			t.Fatalf("TopKBatch %v: %v", method, err)
+		}
+		for i, q := range qs {
+			single, err := e.TopK(q.Measure, q.K, q.Largest, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%v", batch[i]) != fmt.Sprintf("%v", single) {
+				t.Errorf("%v %v: batch != single", method, q)
+			}
+		}
+	}
+}
+
+// TestTopKAutoAndExplain pins the planner integration: Explain on a top-k
+// spec chooses a concrete method whose direct execution returns the identical
+// result, actuals are filled, and Jaccard routes around the index.
+func TestTopKAutoAndExplain(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2})
+	for _, m := range stats.AllMeasures() {
+		for _, largest := range []bool{true, false} {
+			res, p, err := e.Explain(plan.TopK(m, 4, largest), MethodAuto)
+			if err != nil {
+				t.Fatalf("%v explain: %v", m, err)
+			}
+			if !p.Method.Concrete() {
+				t.Fatalf("%v: planner chose non-concrete %v", m, p.Method)
+			}
+			if m == stats.Jaccard && p.Method == MethodIndex {
+				t.Fatalf("jaccard top-k routed to the index")
+			}
+			fixed, err := e.TopK(m, 4, largest, p.Method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%v", res) != fmt.Sprintf("%v", fixed) {
+				t.Errorf("%v: auto top-k differs from fixed %v", m, p.Method)
+			}
+			if p.ActualRows != res.Size() {
+				t.Errorf("%v: actual rows %d != size %d", m, p.ActualRows, res.Size())
+			}
+		}
+	}
+}
+
+// TestTopKValidation pins the typed errors: k < 1 fails with ErrBadTopK on
+// single and batched paths alike, and an index-less engine rejects the index
+// method.
+func TestTopKValidation(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2})
+	for _, k := range []int{0, -3} {
+		if _, err := e.TopK(stats.Correlation, k, true, MethodNaive); !errors.Is(err, ErrBadTopK) {
+			t.Fatalf("k=%d err = %v, want ErrBadTopK", k, err)
+		}
+		_, berr := e.TopKBatch([]TopKQuery{{Measure: stats.Correlation, K: k, Largest: true}}, MethodNaive)
+		if !errors.Is(berr, ErrBadTopK) {
+			t.Fatalf("batched k=%d err = %v, want ErrBadTopK", k, berr)
+		}
+	}
+	noIdx := buildTestEngine(t, Config{Clusters: 4, Seed: 2, SkipIndex: true})
+	if _, err := noIdx.TopK(stats.Correlation, 3, true, MethodIndex); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("SkipIndex top-k err = %v, want ErrNoIndex", err)
+	}
+	if _, err := noIdx.TopK(stats.Correlation, 3, true, MethodAuto); err != nil {
+		t.Fatalf("SkipIndex auto top-k should fall to a sweep, got %v", err)
+	}
+}
+
+// TestTopKPruningExaminesFewerCandidates pins the point of the best-first
+// traversal: for small k the SCAPE path examines strictly fewer sequence-node
+// entries than a full sweep touches pairs.
+func TestTopKPruningExaminesFewerCandidates(t *testing.T) {
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 2})
+	idx := e.Index()
+	entries := idx.Stats().SequenceNodes
+	for _, m := range []stats.Measure{stats.Covariance, stats.Correlation, stats.EuclideanDistance} {
+		largest := m != stats.EuclideanDistance // distances: k nearest
+		_, _, examined, err := idx.PairTopK(m, 1, largest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if examined >= entries {
+			t.Errorf("%v top-1: examined %d of %d entries — no pruning", m, examined, entries)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"affinity/internal/cluster"
+	"affinity/internal/interval"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
@@ -106,7 +107,7 @@ func AblationScapePruning(d *timeseries.DataMatrix, k int, seed int64, threshold
 		var prunedResult, unprunedResult []timeseries.Pair
 		withTime, err := timeRepeated(queryTimingFloor, queryTimingReps, func() error {
 			var innerErr error
-			prunedResult, innerErr = pruned.PairThreshold(stats.Correlation, tau, scape.Above)
+			prunedResult, innerErr = pruned.PairInterval(stats.Correlation, interval.GreaterThan(tau))
 			return innerErr
 		})
 		if err != nil {
@@ -114,7 +115,7 @@ func AblationScapePruning(d *timeseries.DataMatrix, k int, seed int64, threshold
 		}
 		withoutTime, err := timeRepeated(queryTimingFloor, queryTimingReps, func() error {
 			var innerErr error
-			unprunedResult, innerErr = unpruned.PairThreshold(stats.Correlation, tau, scape.Above)
+			unprunedResult, innerErr = unpruned.PairInterval(stats.Correlation, interval.GreaterThan(tau))
 			return innerErr
 		})
 		if err != nil {

@@ -285,6 +285,30 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestTopKSweepShape(t *testing.T) {
+	rows, err := TopKSweeps(testScale, 3, []int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*3*2 { // datasets × measures × ks
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ResultSize != r.K && r.ResultSize > r.NaivePairs {
+			t.Fatalf("row %+v: result size out of range", r)
+		}
+		if r.Examined <= 0 || r.NaivePairs <= 0 {
+			t.Fatalf("row %+v: missing pruning metrics", r)
+		}
+		if r.NaiveTime <= 0 || r.AffineTime <= 0 || r.IndexTime <= 0 || r.AutoTime <= 0 {
+			t.Fatalf("row %+v: missing timings", r)
+		}
+		if r.AutoChoice == "" {
+			t.Fatalf("row %+v: missing auto choice", r)
+		}
+	}
+}
+
 func TestTimingHelpers(t *testing.T) {
 	d, err := timeRepeated(time.Millisecond, 5, func() error { return nil })
 	if err != nil {

@@ -144,9 +144,12 @@ func agreeWithinBoundary(idxPairs, affPairs []timeseries.Pair, sweep *core.PairS
 	for i, p := range sweep.Pairs {
 		values[p] = sweep.Values[i]
 	}
-	bounds := []float64{spec.Tau}
-	if spec.Kind == plan.KindRange {
-		bounds = []float64{spec.Lo, spec.Hi}
+	var bounds []float64
+	if !spec.Interval.Lo.Unbounded {
+		bounds = append(bounds, spec.Interval.Lo.Value)
+	}
+	if !spec.Interval.Hi.Unbounded {
+		bounds = append(bounds, spec.Interval.Hi.Value)
 	}
 	nearBound := func(v float64) bool {
 		for _, b := range bounds {
@@ -177,12 +180,10 @@ func agreeWithinBoundary(idxPairs, affPairs []timeseries.Pair, sweep *core.PairS
 	return nil
 }
 
-// runSpec executes one MET/MER spec with a concrete or auto method.
-func runSpec(eng *core.Engine, spec plan.QuerySpec, method core.Method) (core.ThresholdResult, error) {
-	if spec.Kind == plan.KindThreshold {
-		return eng.Threshold(spec.Measure, spec.Tau, spec.Op, method)
-	}
-	return eng.Range(spec.Measure, spec.Lo, spec.Hi, method)
+// runSpec executes one interval (MET/MER) spec with a concrete or auto
+// method.
+func runSpec(eng *core.Engine, spec plan.QuerySpec, method core.Method) (core.QueryResult, error) {
+	return eng.Interval(spec.Measure, spec.Interval, method)
 }
 
 // quantiles3 returns the 25th/50th/75th percentiles of the finite values.

@@ -55,9 +55,9 @@ type ParallelRow struct {
 	BatchTime           time.Duration // ThresholdBatch of `batchSize` mixed queries
 	SingleLoopTime      time.Duration // same queries as individual calls
 
-	// ThresholdResultSize is the index-method MET result size; the full
+	// QueryResultSize is the index-method MET result size; the full
 	// result set is compared across levels before the rows are returned.
-	ThresholdResultSize int
+	QueryResultSize int
 }
 
 // ParallelScaling runs the scaling experiment on the given dataset at each
@@ -99,7 +99,7 @@ func ParallelScaling(d *timeseries.DataMatrix, ticks [][]float64, clusters int, 
 			row.AdvanceTime = time.Since(advStart)
 		}
 
-		var res core.ThresholdResult
+		var res core.QueryResult
 		row.ThresholdIndexTime, err = timeRepeated(50*time.Millisecond, 64, func() error {
 			var err error
 			res, err = eng.Threshold(stats.Correlation, 0.9, scape.Above, core.MethodIndex)
@@ -108,7 +108,7 @@ func ParallelScaling(d *timeseries.DataMatrix, ticks [][]float64, clusters int, 
 		if err != nil {
 			return nil, err
 		}
-		row.ThresholdResultSize = res.Size()
+		row.QueryResultSize = res.Size()
 		// Determinism guard: the full result set — membership AND order —
 		// must match the first level exactly.
 		if referencePairs == nil {

@@ -143,7 +143,7 @@ func ThresholdQueries(d *timeseries.DataMatrix, measures []stats.Measure, quanti
 func (env *queryEnvironment) thresholdPoint(m stats.Measure, tau float64) (QueryRow, error) {
 	row := QueryRow{QueryType: "MET", Measure: m, Threshold: tau}
 
-	var result core.ThresholdResult
+	var result core.QueryResult
 	naiveTime, err := timeRepeated(queryTimingFloor, queryTimingReps, func() error {
 		var innerErr error
 		result, innerErr = env.engine.Threshold(m, tau, scape.Above, core.MethodNaive)
@@ -228,7 +228,7 @@ func RangeQueries(d *timeseries.DataMatrix, measures []stats.Measure, widths []f
 func (env *queryEnvironment) rangePoint(m stats.Measure, lo, hi float64) (QueryRow, error) {
 	row := QueryRow{QueryType: "MER", Measure: m, Low: lo, High: hi}
 
-	var result core.ThresholdResult
+	var result core.QueryResult
 	naiveTime, err := timeRepeated(queryTimingFloor, queryTimingReps, func() error {
 		var innerErr error
 		result, innerErr = env.engine.Range(m, lo, hi, core.MethodNaive)

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"affinity/internal/core"
+	"affinity/internal/plan"
+	"affinity/internal/stats"
+)
+
+// The top-k (MEK) experiment: the k most extreme pairs per measure under
+// every execution method, sweeping k.  The column the experiment exists for
+// is Examined — the number of sequence-node entries the SCAPE best-first
+// traversal actually evaluated — against NaivePairs, the pair count every
+// sweep method must touch: the optimistic per-node bounds stop the traversal
+// long before a full scan for small k.
+
+// TopKRow is one row of the top-k experiment.
+type TopKRow struct {
+	Dataset    string
+	Measure    stats.Measure
+	K          int
+	Largest    bool
+	ResultSize int
+	// Examined is the number of index entries the best-first traversal
+	// evaluated; NaivePairs is the sweep size it competes against.
+	Examined   int
+	NaivePairs int
+	AutoChoice string
+
+	NaiveTime  time.Duration
+	AffineTime time.Duration
+	IndexTime  time.Duration
+	AutoTime   time.Duration
+}
+
+// DefaultTopKs sweeps the result size over three orders of magnitude.
+var DefaultTopKs = []int{1, 10, 100}
+
+// TopKSweep runs the top-k experiment on one dataset: for every measure and
+// k, each method is timed and the auto result is asserted to equal the
+// planner's chosen fixed method before any timing is reported.
+func TopKSweep(name string, eng *core.Engine, ks []int) ([]TopKRow, error) {
+	if len(ks) == 0 {
+		ks = DefaultTopKs
+	}
+	numPairs := eng.Data().NumPairs()
+	cases := []struct {
+		m       stats.Measure
+		largest bool
+	}{
+		{stats.Correlation, true},        // most correlated
+		{stats.Covariance, true},         // strongest co-movement
+		{stats.EuclideanDistance, false}, // nearest pairs
+	}
+	var rows []TopKRow
+	for _, c := range cases {
+		for _, k := range ks {
+			row := TopKRow{Dataset: name, Measure: c.m, K: k, Largest: c.largest, NaivePairs: numPairs}
+
+			autoRes, p, err := eng.Explain(plan.TopK(c.m, k, c.largest), core.MethodAuto)
+			if err != nil {
+				return nil, err
+			}
+			row.AutoChoice = p.Method.String()
+			row.ResultSize = autoRes.Size()
+			chosen, err := eng.TopK(c.m, k, c.largest, p.Method)
+			if err != nil {
+				return nil, err
+			}
+			if err := samePairsExact(autoRes.Pairs, chosen.Pairs); err != nil {
+				return nil, fmt.Errorf("experiments: topk %v k=%d: auto differs from %v: %w", c.m, k, p.Method, err)
+			}
+
+			// The pruning metric: entries examined by one best-first run.
+			_, _, examined, err := eng.Index().PairTopK(c.m, k, c.largest)
+			if err != nil {
+				return nil, err
+			}
+			row.Examined = examined
+
+			timings := []struct {
+				out    *time.Duration
+				method core.Method
+			}{
+				{&row.NaiveTime, core.MethodNaive},
+				{&row.AffineTime, core.MethodAffine},
+				{&row.IndexTime, core.MethodIndex},
+				{&row.AutoTime, core.MethodAuto},
+			}
+			for _, tm := range timings {
+				method := tm.method
+				var err error
+				*tm.out, err = timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+					_, err := eng.TopK(c.m, k, c.largest, method)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// TopKSweeps runs the top-k experiment over both evaluation datasets.
+func TopKSweeps(s Scale, clusters int, ks []int) ([]TopKRow, error) {
+	ds, err := GenerateDatasets(s)
+	if err != nil {
+		return nil, err
+	}
+	sensorEng, err := core.Build(ds.Sensor, core.Config{Clusters: clusters, Seed: s.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: topk sensor build: %w", err)
+	}
+	rows, err := TopKSweep("sensor-data", sensorEng, ks)
+	if err != nil {
+		return nil, err
+	}
+	stockEng, err := core.Build(ds.Stock, core.Config{Clusters: clusters, Seed: s.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: topk stock build: %w", err)
+	}
+	stockRows, err := TopKSweep("stock-data", stockEng, ks)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, stockRows...), nil
+}

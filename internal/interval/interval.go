@@ -1,0 +1,201 @@
+// Package interval defines the canonical value predicate of the query stack:
+// an interval of measure values with independently open, closed or unbounded
+// endpoints.
+//
+// The paper's measure threshold (MET) and measure range (MER) queries are both
+// instances of one logical object — "return the entries whose measure value
+// lies in an interval":
+//
+//	MET m > τ     ⇔  value ∈ (τ, +∞)
+//	MET m < τ     ⇔  value ∈ (−∞, τ)
+//	MER m ∈ [l,u] ⇔  value ∈ [l, u]
+//
+// Every layer (the SCAPE scans and selectivity estimates in internal/scape,
+// the sweep predicates in internal/core, the logical query specs in
+// internal/plan and the public API) consumes this single type instead of
+// carrying parallel threshold and range code paths.  Top-k queries reuse it as
+// the running predicate [v_k, ·] that tightens as the result heap fills.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Bound is one endpoint of an interval.
+type Bound struct {
+	// Value is the endpoint; ignored when Unbounded.
+	Value float64
+	// Open excludes the endpoint value itself (strict inequality).
+	Open bool
+	// Unbounded places no constraint on this side.
+	Unbounded bool
+}
+
+// Closed returns a bound that includes its endpoint.
+func Closed(v float64) Bound { return Bound{Value: v} }
+
+// Open returns a bound that excludes its endpoint.
+func Open(v float64) Bound { return Bound{Value: v, Open: true} }
+
+// Unbounded returns the absent bound.
+func Unbounded() Bound { return Bound{Unbounded: true} }
+
+// Limit returns the bound's value with unbounded endpoints mapped to ±infinity
+// (sign < 0 for a lower bound).
+func (b Bound) Limit(sign int) float64 {
+	if b.Unbounded {
+		return math.Inf(sign)
+	}
+	return b.Value
+}
+
+// Interval is a set of values between two bounds.  The zero value is the
+// degenerate closed interval [0, 0]; use the constructors.
+type Interval struct {
+	Lo, Hi Bound
+}
+
+// New builds an interval from two bounds.
+func New(lo, hi Bound) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// GreaterThan returns (tau, +∞): the predicate of a MET "above" query.
+func GreaterThan(tau float64) Interval { return Interval{Lo: Open(tau), Hi: Unbounded()} }
+
+// AtLeast returns [tau, +∞).
+func AtLeast(tau float64) Interval { return Interval{Lo: Closed(tau), Hi: Unbounded()} }
+
+// LessThan returns (−∞, tau): the predicate of a MET "below" query.
+func LessThan(tau float64) Interval { return Interval{Lo: Unbounded(), Hi: Open(tau)} }
+
+// AtMost returns (−∞, tau].
+func AtMost(tau float64) Interval { return Interval{Lo: Unbounded(), Hi: Closed(tau)} }
+
+// Between returns the closed interval [lo, hi]: the predicate of a MER query.
+func Between(lo, hi float64) Interval { return Interval{Lo: Closed(lo), Hi: Closed(hi)} }
+
+// All returns the unbounded interval (−∞, +∞).
+func All() Interval { return Interval{Lo: Unbounded(), Hi: Unbounded()} }
+
+// Contains reports whether v satisfies the predicate.  NaN never does.
+func (iv Interval) Contains(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if !iv.Lo.Unbounded {
+		if iv.Lo.Open {
+			if !(v > iv.Lo.Value) {
+				return false
+			}
+		} else if !(v >= iv.Lo.Value) {
+			return false
+		}
+	}
+	if !iv.Hi.Unbounded {
+		if iv.Hi.Open {
+			if !(v < iv.Hi.Value) {
+				return false
+			}
+		} else if !(v <= iv.Hi.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no value can satisfy the predicate: both sides bounded
+// with lo above hi, or meeting at a point at least one side excludes.
+func (iv Interval) Empty() bool {
+	if iv.Lo.Unbounded || iv.Hi.Unbounded {
+		return false
+	}
+	if iv.Lo.Value > iv.Hi.Value {
+		return true
+	}
+	return iv.Lo.Value == iv.Hi.Value && (iv.Lo.Open || iv.Hi.Open)
+}
+
+// Bounded reports whether both endpoints are present (a MER-shaped predicate).
+func (iv Interval) Bounded() bool { return !iv.Lo.Unbounded && !iv.Hi.Unbounded }
+
+// String renders the interval in the query grammar (see Grammar): half-bounded
+// intervals as comparison operators, bounded ones in bracket notation.
+func (iv Interval) String() string {
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	switch {
+	case iv.Lo.Unbounded && iv.Hi.Unbounded:
+		return "*"
+	case iv.Hi.Unbounded:
+		if iv.Lo.Open {
+			return "> " + num(iv.Lo.Value)
+		}
+		return ">= " + num(iv.Lo.Value)
+	case iv.Lo.Unbounded:
+		if iv.Hi.Open {
+			return "< " + num(iv.Hi.Value)
+		}
+		return "<= " + num(iv.Hi.Value)
+	}
+	open, close := "[", "]"
+	if iv.Lo.Open {
+		open = "("
+	}
+	if iv.Hi.Open {
+		close = ")"
+	}
+	return fmt.Sprintf("%s%s, %s%s", open, num(iv.Lo.Value), num(iv.Hi.Value), close)
+}
+
+// Grammar describes the forms Parse accepts, for CLI help and error messages.
+func Grammar() string {
+	return "* | > τ | >= τ | < τ | <= τ | [lo, hi] | (lo, hi] | [lo, hi) | (lo, hi)"
+}
+
+// Parse reads an interval in the grammar String emits.  Comparison forms take
+// the operator and the threshold ("> 0.9", ">=0.9"); bracket forms take two
+// comma-separated bounds with (/[ and )/] selecting openness.
+func Parse(s string) (Interval, error) {
+	s = strings.TrimSpace(s)
+	if s == "*" {
+		return All(), nil
+	}
+	for _, op := range []string{">=", "<=", ">", "<"} {
+		if strings.HasPrefix(s, op) {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s[len(op):]), 64)
+			if err != nil {
+				return Interval{}, fmt.Errorf("interval: bad threshold in %q: %v", s, err)
+			}
+			switch op {
+			case ">":
+				return GreaterThan(v), nil
+			case ">=":
+				return AtLeast(v), nil
+			case "<":
+				return LessThan(v), nil
+			default:
+				return AtMost(v), nil
+			}
+		}
+	}
+	if len(s) >= 2 && (s[0] == '[' || s[0] == '(') && (s[len(s)-1] == ']' || s[len(s)-1] == ')') {
+		parts := strings.Split(s[1:len(s)-1], ",")
+		if len(parts) != 2 {
+			return Interval{}, fmt.Errorf("interval: %q needs two comma-separated bounds", s)
+		}
+		lo, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return Interval{}, fmt.Errorf("interval: bad lower bound in %q: %v", s, err)
+		}
+		hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return Interval{}, fmt.Errorf("interval: bad upper bound in %q: %v", s, err)
+		}
+		iv := Between(lo, hi)
+		iv.Lo.Open = s[0] == '('
+		iv.Hi.Open = s[len(s)-1] == ')'
+		return iv, nil
+	}
+	return Interval{}, fmt.Errorf("interval: cannot parse %q (grammar: %s)", s, Grammar())
+}

@@ -1,0 +1,116 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		name string
+		iv   Interval
+		in   []float64
+		out  []float64
+	}{
+		{"greater-than", GreaterThan(1), []float64{1.0000001, 5, math.Inf(1)}, []float64{1, 0.999, -3, math.NaN()}},
+		{"at-least", AtLeast(1), []float64{1, 2}, []float64{0.999, math.NaN()}},
+		{"less-than", LessThan(-0.5), []float64{-0.6, math.Inf(-1)}, []float64{-0.5, 0, math.NaN()}},
+		{"at-most", AtMost(-0.5), []float64{-0.5, -1}, []float64{-0.499, math.NaN()}},
+		{"between", Between(0, 1), []float64{0, 0.5, 1}, []float64{-0.1, 1.1, math.NaN()}},
+		{"open-both", New(Open(0), Open(1)), []float64{0.5}, []float64{0, 1}},
+		{"all", All(), []float64{math.Inf(-1), 0, math.Inf(1)}, []float64{math.NaN()}},
+	}
+	for _, tc := range cases {
+		for _, v := range tc.in {
+			if !tc.iv.Contains(v) {
+				t.Errorf("%s: %v should contain %v", tc.name, tc.iv, v)
+			}
+		}
+		for _, v := range tc.out {
+			if tc.iv.Contains(v) {
+				t.Errorf("%s: %v should not contain %v", tc.name, tc.iv, v)
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	cases := []struct {
+		iv    Interval
+		empty bool
+	}{
+		{Between(1, 0), true},
+		{Between(1, 1), false},
+		{New(Open(1), Closed(1)), true},
+		{New(Closed(1), Open(1)), true},
+		{New(Open(1), Open(1)), true},
+		{GreaterThan(math.Inf(1)), false}, // unbounded side keeps it formally non-empty
+		{Between(0, 1), false},
+		{All(), false},
+	}
+	for _, tc := range cases {
+		if got := tc.iv.Empty(); got != tc.empty {
+			t.Errorf("%v: Empty() = %v, want %v", tc.iv, got, tc.empty)
+		}
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want string
+	}{
+		{GreaterThan(0.9), "> 0.9"},
+		{AtLeast(-1), ">= -1"},
+		{LessThan(2.5), "< 2.5"},
+		{AtMost(0), "<= 0"},
+		{Between(0, 1), "[0, 1]"},
+		{New(Open(0), Closed(1)), "(0, 1]"},
+		{New(Closed(0), Open(1)), "[0, 1)"},
+		{New(Open(0), Open(1)), "(0, 1)"},
+		{All(), "*"},
+	}
+	for _, tc := range cases {
+		got := tc.iv.String()
+		if got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+		back, err := Parse(got)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", got, err)
+			continue
+		}
+		if back != tc.iv {
+			t.Errorf("Parse(String()) = %+v, want %+v", back, tc.iv)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "0.9", "> x", "[1]", "[1, 2, 3]", "[a, 2]", "[1, b)", "{1, 2}"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	if got := Unbounded().Limit(-1); !math.IsInf(got, -1) {
+		t.Errorf("unbounded lower limit = %v", got)
+	}
+	if got := Unbounded().Limit(1); !math.IsInf(got, 1) {
+		t.Errorf("unbounded upper limit = %v", got)
+	}
+	if got := Closed(3).Limit(-1); got != 3 {
+		t.Errorf("closed limit = %v", got)
+	}
+}
+
+func TestBounded(t *testing.T) {
+	if !Between(0, 1).Bounded() {
+		t.Error("[0,1] should be bounded")
+	}
+	if GreaterThan(0).Bounded() || LessThan(0).Bounded() || All().Bounded() {
+		t.Error("half/unbounded intervals must not report Bounded")
+	}
+}

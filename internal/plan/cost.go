@@ -130,7 +130,7 @@ func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) P
 			}
 		}
 
-	case KindThreshold, KindRange:
+	case KindInterval:
 		if sp.Location() {
 			p.CostNaive = float64(st.NumSeries)*float64(st.NumSamples)*c.SampleCost*passes + rows*c.RowCost
 			if sp.AffinePropagatable {
@@ -151,6 +151,38 @@ func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) P
 				perPivot := log2(divCeil(st.NumPairs, st.NumPivots))
 				p.CostIndex = float64(st.NumPivots)*c.TreeStepCost*perPivot +
 					float64(sel.Candidates)*c.CandidateCost + rows*c.RowCost
+			}
+		}
+
+	case KindTopK:
+		// A top-k query has no a-priori selectivity: every sweep method pays
+		// its full scan plus the k-heap, while the best-first index traversal
+		// examines roughly the result plus one boundary band per pivot before
+		// the optimistic bounds stop it.
+		if sp.Location() {
+			p.EstimatedRows = min(spec.K, st.NumSeries)
+			rows = float64(p.EstimatedRows)
+			p.CostNaive = float64(st.NumSeries)*float64(st.NumSamples)*c.SampleCost*passes + rows*c.RowCost
+			if sp.AffinePropagatable {
+				p.CostAffine = float64(st.NumSeries)*c.LookupCost + rows*c.RowCost
+			}
+			if st.HasIndex && sp.Indexable {
+				// The location tree is scanned whole into the heap.
+				p.CostIndex = float64(st.NumSeries)*c.TreeStepCost + rows*c.RowCost
+			}
+		} else {
+			p.EstimatedRows = min(spec.K, st.NumPairs)
+			rows = float64(p.EstimatedRows)
+			p.CostNaive = float64(st.NumPairs)*float64(st.NumSamples)*c.SampleCost*passes + rows*c.RowCost
+			if sp.AffinePropagatable {
+				p.CostAffine = float64(st.NumPairs-st.FallbackPairs)*c.AffinePairCost +
+					float64(st.FallbackPairs)*(c.LookupCost+c.naivePairCost(st, passes)) + rows*c.RowCost
+			}
+			if st.HasIndex && sp.Indexable {
+				perPivot := log2(divCeil(st.NumPairs, st.NumPivots))
+				p.Candidates = min(spec.K+st.NumPivots, st.NumPairs)
+				p.CostIndex = float64(st.NumPivots)*c.TreeStepCost*perPivot +
+					float64(p.Candidates)*c.CandidateCost + rows*c.RowCost
 			}
 		}
 	}

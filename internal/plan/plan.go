@@ -5,13 +5,17 @@
 // wins everywhere: the naive method (W_N) is exact but touches every raw
 // sample, the affine method (W_A) answers from closed-form propagations in
 // O(1) per pair but degrades to naive scans for pruned relationships, and the
-// SCAPE index answers threshold/range queries in time proportional to the
-// result — until selectivity grows and a full sweep is cheaper than a tree
-// walk per pivot.  The planner makes that choice per query: a QuerySpec is
-// the logical query, TableStats describes the epoch it runs against,
-// scape.Selectivity supplies the index's O(|pivots|·log) result-size
-// estimate, and CostModel.Plan prices every applicable method and picks the
-// cheapest.
+// SCAPE index answers interval queries in time proportional to the result —
+// until selectivity grows and a full sweep is cheaper than a tree walk per
+// pivot.  The planner makes that choice per query: a QuerySpec is the logical
+// query, TableStats describes the epoch it runs against, scape.Selectivity
+// supplies the index's O(|pivots|·log) result-size estimate, and
+// CostModel.Plan prices every applicable method and picks the cheapest.
+//
+// The logical query language has three kinds: interval queries (the unified
+// MET/MER predicate "value ∈ I"), top-k (MEK) queries, and compute (MEC)
+// queries.  Threshold and range specs are constructors over the interval
+// kind, not kinds of their own.
 //
 // Everything in this package is deterministic in its inputs: the cost model
 // never consults the clock, the worker count or any sampled state, so two
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"affinity/internal/interval"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 )
@@ -35,7 +40,7 @@ const (
 	MethodNaive Method = iota
 	// MethodAffine computes measures through affine relationships (W_A).
 	MethodAffine
-	// MethodIndex answers threshold/range queries from the SCAPE index.
+	// MethodIndex answers interval and top-k queries from the SCAPE index.
 	MethodIndex
 	// MethodAuto routes each query through the cost model, which picks the
 	// cheapest applicable concrete method for the query's estimated
@@ -65,29 +70,32 @@ func (m Method) Concrete() bool {
 	return m == MethodNaive || m == MethodAffine || m == MethodIndex
 }
 
-// Kind is the logical query type of Section 2.2.
+// Kind is the logical query type.
 type Kind int
 
 const (
-	// KindThreshold is a measure threshold (MET) query.
-	KindThreshold Kind = iota
-	// KindRange is a measure range (MER) query.
-	KindRange
+	// KindInterval is the unified interval query: the MET and MER queries of
+	// Section 2.2 are its half-bounded and bounded instances.
+	KindInterval Kind = iota
 	// KindCompute is a measure computation (MEC) query.
 	KindCompute
+	// KindTopK is a top-k (MEK) query: the k pairs (or series) with the most
+	// extreme measure values.
+	KindTopK
 )
 
-// String names the query kind.
+// String names the query kind; out-of-range values render as a stable
+// "unknown(N)" form.
 func (k Kind) String() string {
 	switch k {
-	case KindThreshold:
-		return "MET"
-	case KindRange:
-		return "MER"
+	case KindInterval:
+		return "INTERVAL"
 	case KindCompute:
 		return "MEC"
+	case KindTopK:
+		return "MEK"
 	default:
-		return fmt.Sprintf("kind(%d)", int(k))
+		return fmt.Sprintf("unknown(%d)", int(k))
 	}
 }
 
@@ -96,23 +104,39 @@ func (k Kind) String() string {
 type QuerySpec struct {
 	Kind    Kind
 	Measure stats.Measure
-	// Op and Tau parameterize a threshold query.
-	Op  scape.ThresholdOp
-	Tau float64
-	// Lo and Hi parameterize a range query.
-	Lo, Hi float64
+	// Interval parameterizes an interval (MET/MER) query.
+	Interval interval.Interval
+	// K and Largest parameterize a top-k query: the k greatest (Largest) or
+	// smallest measure values.
+	K       int
+	Largest bool
 	// NumTargets is |ψ| of a compute query (the number of requested series).
 	NumTargets int
 }
 
-// Threshold builds the spec of a MET query.
-func Threshold(m stats.Measure, tau float64, op scape.ThresholdOp) QuerySpec {
-	return QuerySpec{Kind: KindThreshold, Measure: m, Tau: tau, Op: op}
+// Interval builds the spec of an interval query: entries whose measure value
+// lies in iv.
+func Interval(m stats.Measure, iv interval.Interval) QuerySpec {
+	return QuerySpec{Kind: KindInterval, Measure: m, Interval: iv}
 }
 
-// Range builds the spec of a MER query.
+// Threshold builds the spec of a MET query — sugar over Interval with the
+// half-bounded open predicate (τ, +∞) or (−∞, τ).  Callers validate op
+// (ThresholdOp.Valid) before converting.
+func Threshold(m stats.Measure, tau float64, op scape.ThresholdOp) QuerySpec {
+	return Interval(m, op.Interval(tau))
+}
+
+// Range builds the spec of a MER query — sugar over Interval with the closed
+// predicate [lo, hi].
 func Range(m stats.Measure, lo, hi float64) QuerySpec {
-	return QuerySpec{Kind: KindRange, Measure: m, Lo: lo, Hi: hi}
+	return Interval(m, interval.Between(lo, hi))
+}
+
+// TopK builds the spec of a top-k (MEK) query: the k entries with the
+// greatest (largest) or smallest measure values.
+func TopK(m stats.Measure, k int, largest bool) QuerySpec {
+	return QuerySpec{Kind: KindTopK, Measure: m, K: k, Largest: largest}
 }
 
 // Compute builds the spec of a MEC query over numTargets series.
@@ -120,26 +144,27 @@ func Compute(m stats.Measure, numTargets int) QuerySpec {
 	return QuerySpec{Kind: KindCompute, Measure: m, NumTargets: numTargets}
 }
 
-// PairQuery converts a threshold/range spec into the index's query form, used
-// to obtain a selectivity estimate.
+// PairQuery converts an interval spec into the index's query form, used to
+// obtain a selectivity estimate.
 func (s QuerySpec) PairQuery() scape.PairQuery {
-	return scape.PairQuery{
-		Measure: s.Measure,
-		Range:   s.Kind == KindRange,
-		Op:      s.Op,
-		Tau:     s.Tau,
-		Lo:      s.Lo,
-		Hi:      s.Hi,
-	}
+	return scape.PairQuery{Measure: s.Measure, Interval: s.Interval}
 }
 
-// String renders the spec the way the paper writes queries.
+// String renders the spec the way the paper writes queries: half-bounded
+// interval predicates as MET, bounded ones as MER.
 func (s QuerySpec) String() string {
 	switch s.Kind {
-	case KindThreshold:
-		return fmt.Sprintf("MET %v %v %v", s.Measure, s.Op, s.Tau)
-	case KindRange:
-		return fmt.Sprintf("MER %v in [%v, %v]", s.Measure, s.Lo, s.Hi)
+	case KindInterval:
+		if s.Interval.Bounded() {
+			return fmt.Sprintf("MER %v in %v", s.Measure, s.Interval)
+		}
+		return fmt.Sprintf("MET %v %v", s.Measure, s.Interval)
+	case KindTopK:
+		dir := "largest"
+		if !s.Largest {
+			dir = "smallest"
+		}
+		return fmt.Sprintf("MEK %v top-%d %s", s.Measure, s.K, dir)
 	default:
 		return fmt.Sprintf("MEC %v over %d series", s.Measure, s.NumTargets)
 	}
@@ -156,7 +181,8 @@ type Plan struct {
 	// index estimates, banded for D-measures, heuristic without an index).
 	EstimatedRows int
 	// Candidates is the number of exact evaluations an index scan would need
-	// (the D-measure pruning band).
+	// (the D-measure pruning band; for top-k, the expected best-first
+	// examination count).
 	Candidates int
 	// SelectivityExact reports whether EstimatedRows came from an exact
 	// subtree count rather than a band estimate or heuristic.

@@ -1,10 +1,12 @@
 package plan
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
 
+	"affinity/internal/interval"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 )
@@ -35,39 +37,91 @@ func TestMethodStrings(t *testing.T) {
 	if MethodAuto.Concrete() || !MethodIndex.Concrete() {
 		t.Fatal("Concrete misclassifies")
 	}
-	for k, want := range map[Kind]string{KindThreshold: "MET", KindRange: "MER", KindCompute: "MEC"} {
+	for k, want := range map[Kind]string{KindInterval: "INTERVAL", KindCompute: "MEC", KindTopK: "MEK"} {
 		if k.String() != want {
 			t.Errorf("kind %d renders %q, want %q", int(k), k.String(), want)
 		}
 	}
-	if !strings.Contains(Kind(9).String(), "kind(9)") {
-		t.Errorf("unknown kind renders %q", Kind(9).String())
+	// Out-of-range kinds render a stable unknown(N) form in both directions.
+	for _, k := range []Kind{Kind(9), Kind(-3)} {
+		want := fmt.Sprintf("unknown(%d)", int(k))
+		if k.String() != want {
+			t.Errorf("kind %d renders %q, want %q", int(k), k.String(), want)
+		}
 	}
 }
 
 func TestSpecConstructors(t *testing.T) {
 	s := Threshold(stats.Correlation, 0.9, scape.Above)
-	if s.Kind != KindThreshold || s.Measure != stats.Correlation || s.Tau != 0.9 || s.Op != scape.Above {
+	if s.Kind != KindInterval || s.Measure != stats.Correlation {
 		t.Fatalf("threshold spec %+v", s)
 	}
-	if pq := s.PairQuery(); pq.Range || pq.Tau != 0.9 || pq.Measure != stats.Correlation {
+	if !s.Interval.Contains(0.95) || s.Interval.Contains(0.9) || s.Interval.Contains(0.5) {
+		t.Fatalf("threshold interval %v is not (0.9, +inf)", s.Interval)
+	}
+	if pq := s.PairQuery(); pq.Interval != s.Interval || pq.Measure != stats.Correlation {
 		t.Fatalf("pair query %+v", pq)
+	}
+	if !strings.Contains(s.String(), "MET correlation > 0.9") {
+		t.Fatalf("threshold spec renders %q", s.String())
 	}
 	r := Range(stats.Covariance, -1, 2)
-	if r.Kind != KindRange || r.Lo != -1 || r.Hi != 2 {
+	if r.Kind != KindInterval || !r.Interval.Bounded() {
 		t.Fatalf("range spec %+v", r)
 	}
-	if pq := r.PairQuery(); !pq.Range || pq.Lo != -1 || pq.Hi != 2 {
-		t.Fatalf("pair query %+v", pq)
+	if !r.Interval.Contains(-1) || !r.Interval.Contains(2) || r.Interval.Contains(2.1) {
+		t.Fatalf("range interval %v is not [-1, 2]", r.Interval)
+	}
+	if !strings.Contains(r.String(), "MER covariance in [-1, 2]") {
+		t.Fatalf("range spec renders %q", r.String())
+	}
+	iv := Interval(stats.Cosine, interval.AtLeast(0.5))
+	if iv.Kind != KindInterval || !iv.Interval.Contains(0.5) {
+		t.Fatalf("interval spec %+v", iv)
+	}
+	k := TopK(stats.Correlation, 10, true)
+	if k.Kind != KindTopK || k.K != 10 || !k.Largest {
+		t.Fatalf("topk spec %+v", k)
+	}
+	if !strings.Contains(k.String(), "MEK correlation top-10 largest") {
+		t.Fatalf("topk spec renders %q", k.String())
+	}
+	if !strings.Contains(TopK(stats.EuclideanDistance, 3, false).String(), "top-3 smallest") {
+		t.Fatalf("smallest topk renders %q", TopK(stats.EuclideanDistance, 3, false).String())
 	}
 	cq := Compute(stats.Mean, 17)
 	if cq.Kind != KindCompute || cq.NumTargets != 17 {
 		t.Fatalf("compute spec %+v", cq)
 	}
-	for _, spec := range []QuerySpec{s, r, cq} {
+	for _, spec := range []QuerySpec{s, r, iv, k, cq} {
 		if spec.String() == "" {
 			t.Fatal("spec renders empty")
 		}
+	}
+}
+
+// TestTopKCosts pins the top-k pricing shape: with an index present and an
+// indexable measure, a small-k query routes to the best-first traversal; a
+// non-indexable measure never prices the index.
+func TestTopKCosts(t *testing.T) {
+	cm := DefaultCostModel()
+	p := cm.Plan(TopK(stats.Correlation, 10, true), bigTable(), nil)
+	if p.Method != MethodIndex {
+		t.Fatalf("top-10 chose %v, want SCAPE: %v", p.Method, p)
+	}
+	if p.EstimatedRows != 10 {
+		t.Fatalf("top-10 estimated rows = %d", p.EstimatedRows)
+	}
+	if pj := cm.Plan(TopK(stats.Jaccard, 10, true), bigTable(), nil); !math.IsInf(pj.CostIndex, 1) {
+		t.Fatalf("jaccard top-k priced the index: %v", pj)
+	}
+	st := bigTable()
+	st.HasIndex = false
+	if pn := cm.Plan(TopK(stats.Correlation, 10, true), st, nil); pn.Method == MethodIndex {
+		t.Fatalf("no-index top-k chose the index: %v", pn)
+	}
+	if pl := cm.Plan(TopK(stats.Mean, 5, false), bigTable(), nil); pl.Method == MethodNaive {
+		t.Fatalf("location top-k should avoid the full naive recomputation: %v", pl)
 	}
 }
 

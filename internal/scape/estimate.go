@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/interval"
 	"affinity/internal/measure"
 )
 
-// Selectivity is the index's estimate of a MET/MER query's result size,
+// Selectivity is the index's estimate of an interval query's result size,
 // computed from the B-trees' per-node subtree counts without materializing a
 // single result entry.
 type Selectivity struct {
@@ -23,20 +24,17 @@ type Selectivity struct {
 	Exact bool
 }
 
-// EstimateSelectivity estimates the result size of a MET/MER query in
-// O(|pivots| · log) time from the subtree counts of the sorted containers.
-// For T-measures and L-measures the modified thresholds τ' = τ/‖α_q‖ turn the
-// question into exact key-range counts; for D-measures the spec's inverse
-// transform and the per-pivot parameter bounds (U^min_q, U^max_q) yield a
-// definitely-in count plus a candidate band, and band entries are estimated
-// at half membership.  The cost-based planner uses both numbers to price an
-// index scan against the naive and affine sweeps.
+// EstimateSelectivity estimates the result size of an interval (MET/MER)
+// query in O(|pivots| · log) time from the subtree counts of the sorted
+// containers.  For T-measures and L-measures the modified bounds τ' = τ/‖α_q‖
+// turn the question into exact key-range counts; for D-measures the spec's
+// inverse transform and the per-pivot parameter bounds (U^min_q, U^max_q)
+// yield a definitely-in count plus a candidate band, and band entries are
+// estimated at half membership.  The cost-based planner uses both numbers to
+// price an index scan against the naive and affine sweeps.
 func (idx *Index) EstimateSelectivity(q PairQuery) (Selectivity, error) {
-	if q.Range && q.Lo > q.Hi {
-		return Selectivity{}, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, q.Lo, q.Hi)
-	}
-	if !q.Range && q.Op != Above && q.Op != Below {
-		return Selectivity{}, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(q.Op))
+	if q.Interval.Empty() {
+		return Selectivity{}, fmt.Errorf("%w: empty interval %v", ErrBadQuery, q.Interval)
 	}
 	sp, ok := measure.Find(q.Measure)
 	if !ok {
@@ -65,16 +63,7 @@ func (idx *Index) estimateSeries(q PairQuery) (Selectivity, error) {
 	if !ok {
 		return Selectivity{}, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
 	}
-	sel := Selectivity{Exact: true}
-	switch {
-	case q.Range:
-		sel.Rows = tree.CountRange(q.Lo, q.Hi)
-	case q.Op == Above:
-		sel.Rows = tree.CountGreater(q.Tau)
-	default:
-		sel.Rows = tree.Rank(q.Tau)
-	}
-	return sel, nil
+	return Selectivity{Exact: true, Rows: countInterval(tree, q.Interval)}, nil
 }
 
 // estimateBase counts T-measure query results exactly, one O(log) count per
@@ -88,19 +77,12 @@ func (idx *Index) estimateBase(q PairQuery) (Selectivity, error) {
 		}
 		if pm.alphaNorm == 0 {
 			// Degenerate pivot: every represented value is 0.
-			if zeroMatches(q) {
+			if q.Interval.Contains(0) {
 				sel.Rows += pm.tree.Len()
 			}
 			continue
 		}
-		switch {
-		case q.Range:
-			sel.Rows += pm.tree.CountRange(q.Lo/pm.alphaNorm, q.Hi/pm.alphaNorm)
-		case q.Op == Above:
-			sel.Rows += pm.tree.CountGreater(q.Tau / pm.alphaNorm)
-		default:
-			sel.Rows += pm.tree.Rank(q.Tau / pm.alphaNorm)
-		}
+		sel.Rows += countInterval(pm.tree, scaleInterval(q.Interval, pm.alphaNorm))
 	}
 	return sel, nil
 }
@@ -110,80 +92,82 @@ func (idx *Index) estimateBase(q PairQuery) (Selectivity, error) {
 // exactly and the undecidable band contributes half its entries to Rows and
 // all of them to Candidates.
 func (idx *Index) estimateDerived(q PairQuery, sp *measure.Spec) (Selectivity, error) {
-	sel := Selectivity{}
-	allMatch := false
-	if sp.Bounded {
-		// Mirror the scan guards for probes outside the declared value range
-		// (see nodeDerivedThreshold/nodeDerivedRange).
-		if q.Range {
-			if q.Hi < sp.RangeMin || q.Lo > sp.RangeMax {
-				return Selectivity{}, nil
-			}
-			q.Lo = math.Max(q.Lo, sp.RangeMin)
-			q.Hi = math.Min(q.Hi, sp.RangeMax)
-		} else {
-			if (q.Op == Above && q.Tau >= sp.RangeMax) || (q.Op == Below && q.Tau <= sp.RangeMin) {
-				return Selectivity{}, nil
-			}
-			allMatch = (q.Op == Above && q.Tau < sp.RangeMin) || (q.Op == Below && q.Tau > sp.RangeMax)
-		}
+	pred := compileDerivedPredicate(sp, q.Interval)
+	if pred.empty {
+		return Selectivity{}, nil
 	}
+	// When an open out-of-range endpoint forces exact evaluation of every
+	// entry, the result size is known only when the other side is trivially
+	// satisfied too (every defined value matches).
+	trivial := pred.evalAll && sideTrivial(pred.eval.Lo, sp.RangeMin, false) &&
+		sideTrivial(pred.eval.Hi, sp.RangeMax, true)
+	sel := Selectivity{}
 	for _, node := range idx.pivots {
 		db := idx.nodeBounds(node, sp)
 		if db.pm == nil {
 			return Selectivity{}, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, sp.Base)
 		}
-		if allMatch {
-			// Every defined value satisfies the predicate; the scan still
-			// evaluates each entry to reject undefined pairs.
-			cand := db.pm.tree.Len()
-			sel.Rows += cand
+		cand := db.pm.tree.Len()
+		switch {
+		case pred.evalAll:
+			// The scan evaluates each entry exactly (and rejects undefined
+			// pairs); a trivially-true predicate makes every defined entry a
+			// row.
+			if trivial {
+				sel.Rows += cand
+			} else {
+				sel.Rows += cand / 2
+			}
 			sel.Candidates += cand
-			continue
-		}
-		if !db.canPrune {
+		case !db.canPrune:
 			// No usable bounds: every entry is a candidate.
-			cand := db.pm.tree.Len()
 			sel.Rows += cand / 2
 			sel.Candidates += cand
-			continue
-		}
-		var definite, band int
-		switch {
-		case q.Range:
-			fromLo, fromHi, toLo, toHi := db.rangeXiBounds(sp, q.Lo, q.Hi, idx.numSamples)
-			window := db.pm.tree.CountRange(fromLo, toHi)
-			definite = db.pm.tree.CountRange(fromHi, toLo)
-			band = window - definite
 		default:
-			xiLo, xiHi := db.xiBounds(sp, q.Tau, idx.numSamples)
-			if (q.Op == Above) != sp.Decreasing {
-				// Qualifying entries sit on the high-ξ side.
-				definite = db.pm.tree.CountGreater(xiHi)
-				band = db.pm.tree.CountGreater(xiLo) - definite
-			} else {
-				// Qualifying entries sit on the low-ξ side.
-				definite = db.pm.tree.Rank(xiLo)
-				band = db.pm.tree.Len() - db.pm.tree.CountGreater(xiHi) - definite
-			}
+			definite, band := db.countWindow(sp, pred.eval, idx.numSamples)
+			sel.Rows += definite + band/2
+			sel.Candidates += band
 		}
-		if band < 0 {
-			band = 0
-		}
-		sel.Rows += definite + band/2
-		sel.Candidates += band
 	}
 	return sel, nil
 }
 
-// zeroMatches reports whether a degenerate pivot's constant value 0 satisfies
-// the query predicate.
-func zeroMatches(q PairQuery) bool {
-	if q.Range {
-		return q.Lo <= 0 && 0 <= q.Hi
+// sideTrivial reports whether one endpoint of the evaluation interval is
+// satisfied by every value inside the declared range (hiSide flips the
+// comparison direction).
+func sideTrivial(b interval.Bound, extreme float64, hiSide bool) bool {
+	if b.Unbounded {
+		return true
 	}
-	if q.Op == Above {
-		return 0 > q.Tau
+	if hiSide {
+		return b.Value > extreme || (b.Value == extreme && !b.Open)
 	}
-	return 0 < q.Tau
+	return b.Value < extreme || (b.Value == extreme && !b.Open)
+}
+
+// countWindow counts, for one node, the entries definitely inside the
+// predicate and the undecidable band, using the same (unpadded) geometry as
+// the scans: the conservative window minus the definite region.
+func (db derivedBounds) countWindow(sp *measure.Spec, eval interval.Interval, numSamples int) (definite, band int) {
+	from, to := eval.Lo, eval.Hi
+	fromExtreme, toExtreme := sp.RangeMin, sp.RangeMax
+	if sp.Decreasing {
+		from, to = eval.Hi, eval.Lo
+		fromExtreme, toExtreme = sp.RangeMax, sp.RangeMin
+	}
+	fromLo, fromHi := db.sideBounds(sp, from, fromExtreme, -1, numSamples)
+	toLo, toHi := db.sideBounds(sp, to, toExtreme, +1, numSamples)
+	edge := func(x float64, b interval.Bound) interval.Bound {
+		if math.IsInf(x, 0) {
+			// Plateau / unbounded sides place no constraint on the count.
+			return interval.Unbounded()
+		}
+		return interval.Bound{Value: x, Open: b.Open}
+	}
+	window := countInterval(db.pm.tree, interval.New(edge(fromLo, from), edge(toHi, to)))
+	definite = countInterval(db.pm.tree, interval.New(edge(fromHi, from), edge(toLo, to)))
+	if band = window - definite; band < 0 {
+		band = 0
+	}
+	return definite, band
 }

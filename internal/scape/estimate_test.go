@@ -4,20 +4,22 @@ import (
 	"errors"
 	"testing"
 
+	"affinity/internal/interval"
 	"affinity/internal/stats"
 )
 
-// estimateQueries spans both query forms over a spread of thresholds wide
-// enough to cover near-empty and near-full result sets.
+// estimateQueries spans both interval shapes (half-bounded MET and bounded
+// MER predicates) over a spread of thresholds wide enough to cover near-empty
+// and near-full result sets.
 func estimateQueries(m stats.Measure) []PairQuery {
 	return []PairQuery{
-		{Measure: m, Tau: 0.9, Op: Above},
-		{Measure: m, Tau: 0.2, Op: Above},
-		{Measure: m, Tau: -0.5, Op: Above},
-		{Measure: m, Tau: 0.6, Op: Below},
-		{Measure: m, Tau: -0.9, Op: Below},
-		{Measure: m, Range: true, Lo: -0.3, Hi: 0.7},
-		{Measure: m, Range: true, Lo: 0.95, Hi: 1.0},
+		{Measure: m, Interval: interval.GreaterThan(0.9)},
+		{Measure: m, Interval: interval.GreaterThan(0.2)},
+		{Measure: m, Interval: interval.GreaterThan(-0.5)},
+		{Measure: m, Interval: interval.LessThan(0.6)},
+		{Measure: m, Interval: interval.LessThan(-0.9)},
+		{Measure: m, Interval: interval.Between(-0.3, 0.7)},
+		{Measure: m, Interval: interval.Between(0.95, 1.0)},
 	}
 }
 
@@ -39,22 +41,12 @@ func TestEstimateSelectivityExactClasses(t *testing.T) {
 			if !sel.Exact || sel.Candidates != 0 {
 				t.Fatalf("%v %+v: T-measure estimate should be exact with no candidates: %+v", m, q, sel)
 			}
-			var got []interface{}
-			if q.Range {
-				pairs, err := idx.PairRange(m, q.Lo, q.Hi)
-				if err != nil {
-					t.Fatal(err)
-				}
-				got = make([]interface{}, len(pairs))
-			} else {
-				pairs, err := idx.PairThreshold(m, q.Tau, q.Op)
-				if err != nil {
-					t.Fatal(err)
-				}
-				got = make([]interface{}, len(pairs))
+			pairs, err := idx.PairInterval(m, q.Interval)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if sel.Rows != len(got) {
-				t.Errorf("%v %+v: estimated %d rows, actual %d", m, q, sel.Rows, len(got))
+			if sel.Rows != len(pairs) {
+				t.Errorf("%v %+v: estimated %d rows, actual %d", m, q, sel.Rows, len(pairs))
 			}
 		}
 	}
@@ -67,22 +59,12 @@ func TestEstimateSelectivityExactClasses(t *testing.T) {
 			if !sel.Exact {
 				t.Fatalf("%v: L-measure estimate should be exact", m)
 			}
-			var actual int
-			if q.Range {
-				ids, err := idx.SeriesRange(m, q.Lo, q.Hi)
-				if err != nil {
-					t.Fatal(err)
-				}
-				actual = len(ids)
-			} else {
-				ids, err := idx.SeriesThreshold(m, q.Tau, q.Op)
-				if err != nil {
-					t.Fatal(err)
-				}
-				actual = len(ids)
+			ids, err := idx.SeriesInterval(m, q.Interval)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if sel.Rows != actual {
-				t.Errorf("%v %+v: estimated %d rows, actual %d", m, q, sel.Rows, actual)
+			if sel.Rows != len(ids) {
+				t.Errorf("%v %+v: estimated %d rows, actual %d", m, q, sel.Rows, len(ids))
 			}
 		}
 	}
@@ -104,20 +86,11 @@ func TestEstimateSelectivityDerivedBounds(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v %+v: %v", m, q, err)
 			}
-			var actual int
-			if q.Range {
-				pairs, err := idx.PairRange(m, q.Lo, q.Hi)
-				if err != nil {
-					t.Fatal(err)
-				}
-				actual = len(pairs)
-			} else {
-				pairs, err := idx.PairThreshold(m, q.Tau, q.Op)
-				if err != nil {
-					t.Fatal(err)
-				}
-				actual = len(pairs)
+			pairs, err := idx.PairInterval(m, q.Interval)
+			if err != nil {
+				t.Fatal(err)
 			}
+			actual := len(pairs)
 			if actual < sel.Rows-sel.Candidates || actual > sel.Rows+sel.Candidates {
 				t.Errorf("%v %+v: actual %d outside estimate bracket [%d, %d] (sel %+v)",
 					m, q, actual, sel.Rows-sel.Candidates, sel.Rows+sel.Candidates, sel)
@@ -134,16 +107,13 @@ func TestEstimateSelectivityErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Jaccard, Tau: 0.5, Op: Above}); !errors.Is(err, ErrMeasureNotIndexed) {
+	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Jaccard, Interval: interval.GreaterThan(0.5)}); !errors.Is(err, ErrMeasureNotIndexed) {
 		t.Fatalf("jaccard estimate err = %v, want ErrMeasureNotIndexed", err)
 	}
-	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Correlation, Range: true, Lo: 1, Hi: -1}); !errors.Is(err, ErrBadQuery) {
-		t.Fatalf("empty range err = %v, want ErrBadQuery", err)
+	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Correlation, Interval: interval.Between(1, -1)}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("empty interval err = %v, want ErrBadQuery", err)
 	}
-	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Correlation, Op: ThresholdOp(7)}); !errors.Is(err, ErrBadQuery) {
-		t.Fatalf("bad op err = %v, want ErrBadQuery", err)
-	}
-	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Measure(99), Tau: 0, Op: Above}); err == nil {
+	if _, err := idx.EstimateSelectivity(PairQuery{Measure: stats.Measure(99), Interval: interval.GreaterThan(0)}); err == nil {
 		t.Fatal("unknown measure should error")
 	}
 }

@@ -4,17 +4,18 @@ import (
 	"math"
 	"testing"
 
+	"affinity/internal/interval"
 	"affinity/internal/measure"
 )
 
-// TestRangeXiBoundsPlateauEnds pins the clamp-plateau geometry of range
-// queries: a range bound sitting exactly at the value a clamped transform
-// plateaus to (distance 0, correlation ±1) is satisfied by arbitrarily large
-// |T|, so the matching end of the ξ window must be unbounded — otherwise an
-// index built from stale (drift-bounded) transforms whose propagated T
-// overshoots the node's parameter interval would silently drop plateau
-// entries that the unpruned scan and the affine method include.
-func TestRangeXiBoundsPlateauEnds(t *testing.T) {
+// TestIntervalWindowPlateauEnds pins the clamp-plateau geometry of bounded
+// interval queries: a closed endpoint sitting exactly at the value a clamped
+// transform plateaus to (distance 0, correlation ±1) is satisfied by
+// arbitrarily large |T|, so the matching end of the ξ window must be
+// unbounded — otherwise an index built from stale (drift-bounded) transforms
+// whose propagated T overshoots the node's parameter interval would silently
+// drop plateau entries that the unpruned scan and the affine method include.
+func TestIntervalWindowPlateauEnds(t *testing.T) {
 	db := derivedBounds{
 		pm:       &pivotMeasure{alphaNorm: 2},
 		canPrune: true,
@@ -22,46 +23,55 @@ func TestRangeXiBoundsPlateauEnds(t *testing.T) {
 		uMax:     9,
 	}
 	const m = 16
+	window := func(sp *measure.Spec, lo, hi float64) xiWindow {
+		return db.window(sp, interval.Between(lo, hi), m)
+	}
 
 	// Euclidean [0, x]: the lo bound is the decreasing transform's high-T
 	// plateau, so the high-T end must be +Inf while the low-T end stays the
 	// finite inversion of x.
 	eu := measure.Lookup(measure.EuclideanDistance)
-	fromLo, fromHi, toLo, toHi := db.rangeXiBounds(eu, 0, 1.5, m)
-	if math.IsInf(fromLo, 0) || math.IsInf(fromHi, 0) {
-		t.Fatalf("euclidean [0,1.5]: finite hi-bound end expected, got from=(%v,%v)", fromLo, fromHi)
+	w := window(eu, 0, 1.5)
+	if math.IsInf(w.scanLo, 0) || math.IsInf(w.defLo, 0) {
+		t.Fatalf("euclidean [0,1.5]: finite hi-bound end expected, got scanLo=%v defLo=%v", w.scanLo, w.defLo)
 	}
-	if !math.IsInf(toLo, 1) || !math.IsInf(toHi, 1) {
-		t.Fatalf("euclidean [0,1.5]: plateau end must be +Inf, got to=(%v,%v)", toLo, toHi)
+	if !math.IsInf(w.scanHi, 1) || !math.IsInf(w.defHi, 1) {
+		t.Fatalf("euclidean [0,1.5]: plateau end must be +Inf, got scanHi=%v defHi=%v", w.scanHi, w.defHi)
 	}
 	// Interior range: both ends finite.
-	_, _, toLo, toHi = db.rangeXiBounds(eu, 0.25, 1.5, m)
-	if math.IsInf(toLo, 0) || math.IsInf(toHi, 0) {
-		t.Fatalf("euclidean interior range: to=(%v,%v) should be finite", toLo, toHi)
+	w = window(eu, 0.25, 1.5)
+	if math.IsInf(w.scanHi, 0) || math.IsInf(w.defHi, 0) {
+		t.Fatalf("euclidean interior range: scanHi=%v defHi=%v should be finite", w.scanHi, w.defHi)
 	}
 
 	// Correlation [x, 1]: the hi bound is the increasing transform's high-T
 	// plateau (clamp at 1).
 	corr := measure.Lookup(measure.Correlation)
-	fromLo, fromHi, toLo, toHi = db.rangeXiBounds(corr, 0.5, 1, m)
-	if math.IsInf(fromLo, 0) || math.IsInf(fromHi, 0) {
-		t.Fatalf("correlation [0.5,1]: from=(%v,%v) should be finite", fromLo, fromHi)
+	w = window(corr, 0.5, 1)
+	if math.IsInf(w.scanLo, 0) || math.IsInf(w.defLo, 0) {
+		t.Fatalf("correlation [0.5,1]: scanLo=%v defLo=%v should be finite", w.scanLo, w.defLo)
 	}
-	if !math.IsInf(toLo, 1) || !math.IsInf(toHi, 1) {
-		t.Fatalf("correlation [0.5,1]: plateau end must be +Inf, got to=(%v,%v)", toLo, toHi)
+	if !math.IsInf(w.scanHi, 1) || !math.IsInf(w.defHi, 1) {
+		t.Fatalf("correlation [0.5,1]: plateau end must be +Inf, got scanHi=%v defHi=%v", w.scanHi, w.defHi)
 	}
 	// Correlation [-1, x]: the lo bound is the low-T plateau.
-	fromLo, fromHi, _, _ = db.rangeXiBounds(corr, -1, 0.5, m)
-	if !math.IsInf(fromLo, -1) || !math.IsInf(fromHi, -1) {
-		t.Fatalf("correlation [-1,0.5]: plateau end must be -Inf, got from=(%v,%v)", fromLo, fromHi)
+	w = window(corr, -1, 0.5)
+	if !math.IsInf(w.scanLo, -1) || !math.IsInf(w.defLo, -1) {
+		t.Fatalf("correlation [-1,0.5]: plateau end must be -Inf, got scanLo=%v defLo=%v", w.scanLo, w.defLo)
+	}
+	// An OPEN endpoint at the plateau value excludes the plateau itself, so
+	// the window must stay finite (old MET "value > extreme" semantics).
+	w = db.window(corr, interval.New(interval.Open(-1), interval.Closed(0.5)), m)
+	if math.IsInf(w.scanLo, 0) {
+		t.Fatalf("correlation (-1,0.5]: open plateau endpoint must invert finitely, got scanLo=%v", w.scanLo)
 	}
 
 	// Unbounded ratio transforms (cosine is not declared Bounded) keep
 	// finite inversions at any probe.
 	cos := measure.Lookup(measure.Cosine)
-	fromLo, _, _, toHi = db.rangeXiBounds(cos, -1, 1, m)
-	if math.IsInf(fromLo, 0) || math.IsInf(toHi, 0) {
-		t.Fatalf("cosine [-1,1]: bounds should stay finite, got %v..%v", fromLo, toHi)
+	w = window(cos, -1, 1)
+	if math.IsInf(w.scanLo, 0) || math.IsInf(w.scanHi, 0) {
+		t.Fatalf("cosine [-1,1]: bounds should stay finite, got %v..%v", w.scanLo, w.scanHi)
 	}
 }
 
@@ -90,11 +100,11 @@ func TestRangePlateauScanIncludesOvershoot(t *testing.T) {
 		{measure.Correlation, -1, -0.2},
 	}
 	for _, tc := range cases {
-		a, err := idx.PairRange(tc.m, tc.lo, tc.hi)
+		a, err := idx.PairInterval(tc.m, interval.Between(tc.lo, tc.hi))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := unpruned.PairRange(tc.m, tc.lo, tc.hi)
+		b, err := unpruned.PairInterval(tc.m, interval.Between(tc.lo, tc.hi))
 		if err != nil {
 			t.Fatal(err)
 		}

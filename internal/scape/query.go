@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"affinity/internal/btree"
+	"affinity/internal/interval"
 	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/stats"
@@ -12,7 +14,9 @@ import (
 
 // ThresholdOp selects the comparison direction of a measure threshold (MET)
 // query: Query 2 asks for entries whose measure is "greater or lesser than"
-// a user-defined threshold τ.
+// a user-defined threshold τ.  It is sugar over the canonical interval
+// predicate — the engine converts it with Interval and every scan below
+// consumes intervals only.
 type ThresholdOp int
 
 const (
@@ -22,12 +26,36 @@ const (
 	Below
 )
 
-// String renders the operator.
+// Valid reports whether op names a known comparison direction.
+func (op ThresholdOp) Valid() bool { return op == Above || op == Below }
+
+// String renders the operator; out-of-range values render as "unknown(N)"
+// instead of masquerading as a valid comparison.
 func (op ThresholdOp) String() string {
-	if op == Below {
+	switch op {
+	case Above:
+		return ">"
+	case Below:
 		return "<"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(op))
 	}
-	return ">"
+}
+
+// Interval returns the predicate form of "value op τ": the half-bounded open
+// interval (τ, +∞) or (−∞, τ).  An unknown operator converts to the
+// empty-matching degenerate interval, so a spec built from it fails interval
+// validation instead of silently running as one of the valid directions;
+// callers that want the dedicated bad-operator error Valid-check op first.
+func (op ThresholdOp) Interval(tau float64) interval.Interval {
+	switch op {
+	case Above:
+		return interval.GreaterThan(tau)
+	case Below:
+		return interval.LessThan(tau)
+	default:
+		return interval.New(interval.Open(tau), interval.Open(tau))
+	}
 }
 
 // pairSpec validates that m names a pairwise measure and returns its spec.
@@ -39,129 +67,59 @@ func pairSpec(m stats.Measure) (*measure.Spec, error) {
 	return sp, nil
 }
 
-// PairThreshold answers a MET query over a pairwise (T- or D-) measure: it
-// returns every sequence pair whose measure value, as represented by the
-// index, is above (or below) the threshold tau.
-func (idx *Index) PairThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.Pair, error) {
-	if op != Above && op != Below {
-		return nil, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(op))
-	}
-	sp, err := pairSpec(m)
+// PairQuery describes one pairwise interval query of a batch: every sequence
+// pair whose measure value lies in Interval.  MET and MER queries are the
+// half-bounded and bounded instances of the same predicate.
+type PairQuery struct {
+	Measure  stats.Measure
+	Interval interval.Interval
+}
+
+// PairInterval answers a pairwise interval query (the unified MET/MER scan):
+// every sequence pair whose measure value, as represented by the index, lies
+// in iv.
+func (idx *Index) PairInterval(m stats.Measure, iv interval.Interval) ([]timeseries.Pair, error) {
+	ps, err := idx.compilePair(PairQuery{Measure: m, Interval: iv})
 	if err != nil {
 		return nil, err
 	}
-	if !sp.Derived() {
-		return idx.baseThreshold(m, tau, op)
-	}
-	if !idx.derivedSet[m] {
-		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-	}
 	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
-		return idx.nodeDerivedThreshold(node, sp, tau, op, out)
+		return idx.scanNode(node, ps, out)
 	})
 }
 
-// PairRange answers a MER query over a pairwise measure: every sequence pair
-// whose measure value lies in [lo, hi].
-func (idx *Index) PairRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
-	if lo > hi {
-		return nil, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, lo, hi)
-	}
-	sp, err := pairSpec(m)
-	if err != nil {
-		return nil, err
-	}
-	if !sp.Derived() {
-		return idx.baseRange(m, lo, hi)
-	}
-	if !idx.derivedSet[m] {
-		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-	}
-	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
-		return idx.nodeDerivedRange(node, sp, lo, hi, out)
-	})
-}
-
-// SeriesThreshold answers a MET query over an L-measure: the series whose
-// measure value is above (or below) tau.
-func (idx *Index) SeriesThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.SeriesID, error) {
-	tree, ok := idx.location[m]
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-	}
-	var out []timeseries.SeriesID
-	switch op {
-	case Above:
-		tree.AscendGreaterOrEqual(tau, func(key float64, e seriesEntry) bool {
-			if key > tau {
-				out = append(out, e.id)
-			}
-			return true
-		})
-	case Below:
-		tree.AscendLessThan(tau, func(_ float64, e seriesEntry) bool {
-			out = append(out, e.id)
-			return true
-		})
-	default:
-		return nil, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(op))
-	}
-	return out, nil
-}
-
-// SeriesRange answers a MER query over an L-measure: the series whose measure
-// value lies in [lo, hi].
-func (idx *Index) SeriesRange(m stats.Measure, lo, hi float64) ([]timeseries.SeriesID, error) {
-	if lo > hi {
-		return nil, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, lo, hi)
+// SeriesInterval answers an interval query over an L-measure: the series whose
+// measure value lies in iv.
+func (idx *Index) SeriesInterval(m stats.Measure, iv interval.Interval) ([]timeseries.SeriesID, error) {
+	if iv.Empty() {
+		return nil, fmt.Errorf("%w: empty interval %v", ErrBadQuery, iv)
 	}
 	tree, ok := idx.location[m]
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
 	}
 	var out []timeseries.SeriesID
-	tree.AscendRange(lo, hi, func(_ float64, e seriesEntry) bool {
+	ascendInterval(tree, iv, func(_ float64, e seriesEntry) bool {
 		out = append(out, e.id)
 		return true
 	})
 	return out, nil
 }
 
-// PairQuery describes one pairwise MET or MER query of a batch.
-type PairQuery struct {
-	// Measure is the T- or D-measure queried.
-	Measure stats.Measure
-	// Range selects a MER query over [Lo, Hi]; otherwise the query is a MET
-	// query with threshold Tau and direction Op.
-	Range  bool
-	Op     ThresholdOp
-	Tau    float64
-	Lo, Hi float64
-}
-
-// PairBatch answers a batch of pairwise MET/MER queries in one pass over the
+// PairBatch answers a batch of pairwise interval queries in one pass over the
 // pivot nodes: every node is visited once and serves all queries from its
 // B-trees before the scan moves on, sharing the per-node α lookups and the
 // node traversal across the batch.  out[i] holds the result of qs[i] and is
 // identical — including order — to the result of the corresponding single
-// PairThreshold/PairRange call.
+// PairInterval call.
 func (idx *Index) PairBatch(qs []PairQuery) ([][]timeseries.Pair, error) {
-	specs := make([]*measure.Spec, len(qs))
+	scans := make([]pairScan, len(qs))
 	for i, q := range qs {
-		sp, err := pairSpec(q.Measure)
+		ps, err := idx.compilePair(q)
 		if err != nil {
 			return nil, err
 		}
-		if sp.Derived() && !idx.derivedSet[q.Measure] {
-			return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
-		}
-		specs[i] = sp
-		if q.Range && q.Lo > q.Hi {
-			return nil, fmt.Errorf("%w: empty range [%v, %v]", ErrBadQuery, q.Lo, q.Hi)
-		}
-		if !q.Range && q.Op != Above && q.Op != Below {
-			return nil, fmt.Errorf("%w: unknown threshold operator %d", ErrBadQuery, int(q.Op))
-		}
+		scans[i] = ps
 	}
 	// parts[block][query] — every worker walks a contiguous block of pivot
 	// nodes answering all queries per node, merged per query in block order
@@ -171,18 +129,9 @@ func (idx *Index) PairBatch(qs []PairQuery) ([][]timeseries.Pair, error) {
 	err := par.Do(len(blocks), idx.opts.Parallelism, func(b int) error {
 		local := make([][]timeseries.Pair, len(qs))
 		for _, node := range idx.pivots[blocks[b].Lo:blocks[b].Hi] {
-			for qi, q := range qs {
+			for qi := range scans {
 				var err error
-				switch {
-				case !specs[qi].Derived() && q.Range:
-					local[qi], err = nodeBaseRange(node, q.Measure, q.Lo, q.Hi, local[qi])
-				case !specs[qi].Derived():
-					local[qi], err = nodeBaseThreshold(node, q.Measure, q.Tau, q.Op, local[qi])
-				case q.Range:
-					local[qi], err = idx.nodeDerivedRange(node, specs[qi], q.Lo, q.Hi, local[qi])
-				default:
-					local[qi], err = idx.nodeDerivedThreshold(node, specs[qi], q.Tau, q.Op, local[qi])
-				}
+				local[qi], err = idx.scanNode(node, scans[qi], local[qi])
 				if err != nil {
 					return err
 				}
@@ -272,25 +221,55 @@ func (idx *Index) shardPivots(scan func(node *pivotNode, out []timeseries.Pair) 
 	return par.FlattenBlocks(parts), nil
 }
 
-// baseThreshold processes MET queries for T-measures by converting the
-// threshold into the scalar projection domain: τ' = τ/‖α_q‖ per pivot node,
-// followed by an ordered scan of the B-tree (Section 5.2).  Pivot nodes are
-// independent, so the scan shards across them.
-func (idx *Index) baseThreshold(m stats.Measure, tau float64, op ThresholdOp) ([]timeseries.Pair, error) {
-	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
-		return nodeBaseThreshold(node, m, tau, op, out)
-	})
+// pairScan is one compiled pairwise interval query: the validated spec plus
+// the derived-measure predicate shape, computed once and applied per node.
+type pairScan struct {
+	sp   *measure.Spec
+	iv   interval.Interval
+	pred derivedPredicate
 }
 
-// nodeBaseThreshold scans one pivot node for a T-measure MET query.
-func nodeBaseThreshold(node *pivotNode, m stats.Measure, tau float64, op ThresholdOp, out []timeseries.Pair) ([]timeseries.Pair, error) {
+// compilePair validates a pairwise interval query and precomputes its
+// query-level shape.
+func (idx *Index) compilePair(q PairQuery) (pairScan, error) {
+	if q.Interval.Empty() {
+		return pairScan{}, fmt.Errorf("%w: empty interval %v", ErrBadQuery, q.Interval)
+	}
+	sp, err := pairSpec(q.Measure)
+	if err != nil {
+		return pairScan{}, err
+	}
+	ps := pairScan{sp: sp, iv: q.Interval}
+	if sp.Derived() {
+		if !idx.derivedSet[q.Measure] {
+			return pairScan{}, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, q.Measure)
+		}
+		ps.pred = compileDerivedPredicate(sp, q.Interval)
+	}
+	return ps, nil
+}
+
+// scanNode answers one compiled pairwise query from one pivot node, appending
+// matching pairs to out in scalar-projection order.
+func (idx *Index) scanNode(node *pivotNode, ps pairScan, out []timeseries.Pair) ([]timeseries.Pair, error) {
+	if !ps.sp.Derived() {
+		return nodeBaseInterval(node, ps.sp.ID, ps.iv, out)
+	}
+	return idx.nodeDerivedInterval(node, ps.sp, ps.pred, out)
+}
+
+// nodeBaseInterval scans one pivot node for a T-measure interval query: the
+// value interval maps into the scalar projection domain through the modified
+// bounds τ' = τ/‖α_q‖ (Section 5.2), followed by an ordered scan of the
+// B-tree.
+func nodeBaseInterval(node *pivotNode, m stats.Measure, iv interval.Interval, out []timeseries.Pair) ([]timeseries.Pair, error) {
 	pm, ok := node.measures[m]
 	if !ok {
 		return out, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
 	}
 	if pm.alphaNorm == 0 {
 		// Degenerate pivot: every value it represents is 0.
-		if (op == Above && 0 > tau) || (op == Below && 0 < tau) {
+		if iv.Contains(0) {
 			pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
 				out = append(out, sn.pair)
 				return true
@@ -298,55 +277,63 @@ func nodeBaseThreshold(node *pivotNode, m stats.Measure, tau float64, op Thresho
 		}
 		return out, nil
 	}
-	modified := tau / pm.alphaNorm
-	switch op {
-	case Above:
-		pm.tree.AscendGreaterOrEqual(modified, func(key float64, sn *sequenceNode) bool {
-			if key > modified {
-				out = append(out, sn.pair)
-			}
-			return true
-		})
-	case Below:
-		pm.tree.AscendLessThan(modified, func(_ float64, sn *sequenceNode) bool {
-			out = append(out, sn.pair)
-			return true
-		})
-	}
-	return out, nil
-}
-
-// baseRange processes MER queries for T-measures with modified bounds
-// τ'l = τl/‖α_q‖ and τ'u = τu/‖α_q‖ per pivot node, sharded across pivot
-// nodes.
-func (idx *Index) baseRange(m stats.Measure, lo, hi float64) ([]timeseries.Pair, error) {
-	return idx.shardPivots(func(node *pivotNode, out []timeseries.Pair) ([]timeseries.Pair, error) {
-		return nodeBaseRange(node, m, lo, hi, out)
-	})
-}
-
-// nodeBaseRange scans one pivot node for a T-measure MER query.
-func nodeBaseRange(node *pivotNode, m stats.Measure, lo, hi float64, out []timeseries.Pair) ([]timeseries.Pair, error) {
-	pm, ok := node.measures[m]
-	if !ok {
-		return out, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-	}
-	if pm.alphaNorm == 0 {
-		if lo <= 0 && 0 <= hi {
-			pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
-				out = append(out, sn.pair)
-				return true
-			})
-		}
-		return out, nil
-	}
-	modLo := lo / pm.alphaNorm
-	modHi := hi / pm.alphaNorm
-	pm.tree.AscendRange(modLo, modHi, func(_ float64, sn *sequenceNode) bool {
+	ascendInterval(pm.tree, scaleInterval(iv, pm.alphaNorm), func(_ float64, sn *sequenceNode) bool {
 		out = append(out, sn.pair)
 		return true
 	})
 	return out, nil
+}
+
+// scaleInterval divides both finite endpoints by a positive norm, mapping a
+// value-space interval into ξ space for a T-measure tree.
+func scaleInterval(iv interval.Interval, norm float64) interval.Interval {
+	if !iv.Lo.Unbounded {
+		iv.Lo.Value /= norm
+	}
+	if !iv.Hi.Unbounded {
+		iv.Hi.Value /= norm
+	}
+	return iv
+}
+
+// ascendInterval visits the tree entries whose key lies in iv, in ascending
+// key order: the closed key window [Lo, Hi] restricted by skipping keys equal
+// to an open endpoint.
+func ascendInterval[V any](t *btree.Tree[V], iv interval.Interval, fn func(key float64, v V) bool) {
+	lo, hi := iv.Lo.Limit(-1), iv.Hi.Limit(1)
+	t.AscendRange(lo, hi, func(key float64, v V) bool {
+		if (iv.Lo.Open && key == lo) || (iv.Hi.Open && key == hi) {
+			return true
+		}
+		return fn(key, v)
+	})
+}
+
+// countInterval counts the tree entries whose key lies in iv in O(log n),
+// from the per-node subtree counts (Rank counts keys strictly below,
+// CountGreater strictly above).
+func countInterval[V any](t *btree.Tree[V], iv interval.Interval) int {
+	n := t.Len()
+	upTo := n // keys satisfying the upper bound
+	switch {
+	case iv.Hi.Unbounded:
+	case iv.Hi.Open:
+		upTo = t.Rank(iv.Hi.Value)
+	default:
+		upTo = n - t.CountGreater(iv.Hi.Value)
+	}
+	below := 0 // keys violating the lower bound
+	switch {
+	case iv.Lo.Unbounded:
+	case iv.Lo.Open:
+		below = n - t.CountGreater(iv.Lo.Value)
+	default:
+		below = t.Rank(iv.Lo.Value)
+	}
+	if c := upTo - below; c > 0 {
+		return c
+	}
+	return 0
 }
 
 // derivedBounds is the per-(node, spec) pruning geometry of Section 5.3,
@@ -387,34 +374,103 @@ func (db derivedBounds) xiBounds(sp *measure.Spec, v float64, numSamples int) (l
 	return tLo / db.pm.alphaNorm, tHi / db.pm.alphaNorm
 }
 
-// rangeXiBounds maps a clipped value interval [lo, hi] into the ξ geometry of
-// one node: the conservative and definite bounds of the low-T and high-T ends
-// of the matching T interval.  A bound that sits exactly at the clamp extreme
-// the transform plateaus to on that end is satisfied by the entire plateau —
-// arbitrarily large |T| — so that end is unbounded rather than inverted: a
-// stale transform whose propagated T overshoots the parameter interval still
-// lands inside the scan window and is resolved by exact evaluation.
-func (db derivedBounds) rangeXiBounds(sp *measure.Spec, lo, hi float64, numSamples int) (fromLo, fromHi, toLo, toHi float64) {
-	vFrom, vTo := lo, hi
+// derivedPredicate is the query-level shape of a derived interval query,
+// shared by every pivot node: the evaluation predicate with closed
+// out-of-range endpoints clipped to the declared value range, and whether an
+// open endpoint strictly outside the range defeats the inverse transform
+// (the clamp plateaus there), forcing exact evaluation of every entry.
+type derivedPredicate struct {
+	eval    interval.Interval
+	empty   bool
+	evalAll bool
+}
+
+// compileDerivedPredicate applies the spec's declared value range to the
+// query interval once, before any node is visited:
+//
+//   - an interval disjoint from [RangeMin, RangeMax] matches nothing;
+//   - a closed endpoint beyond the range clips to the extreme (every defined
+//     value satisfies that side), keeping the inverse transform inside its
+//     domain;
+//   - an open endpoint strictly beyond the range cannot be inverted (a strict
+//     predicate on the plateau side is decided only by exact evaluation,
+//     which still rejects pairs whose value is undefined).
+func compileDerivedPredicate(sp *measure.Spec, iv interval.Interval) derivedPredicate {
+	pred := derivedPredicate{eval: iv}
+	if !sp.Bounded {
+		return pred
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if !lo.Unbounded && (lo.Value > sp.RangeMax || (lo.Value == sp.RangeMax && lo.Open)) {
+		pred.empty = true
+		return pred
+	}
+	if !hi.Unbounded && (hi.Value < sp.RangeMin || (hi.Value == sp.RangeMin && hi.Open)) {
+		pred.empty = true
+		return pred
+	}
+	if !lo.Unbounded && lo.Value < sp.RangeMin {
+		if lo.Open {
+			pred.evalAll = true
+		} else {
+			pred.eval.Lo = interval.Closed(sp.RangeMin)
+		}
+	}
+	if !hi.Unbounded && hi.Value > sp.RangeMax {
+		if hi.Open {
+			pred.evalAll = true
+		} else {
+			pred.eval.Hi = interval.Closed(sp.RangeMax)
+		}
+	}
+	return pred
+}
+
+// xiWindow is the ξ-space geometry of one derived query on one pivot node:
+// the conservative scan window [scanLo, scanHi] outside which no parameter in
+// the node's interval can satisfy the predicate, and the definite region
+// (defLo, defHi) inside which every parameter does (case I of Fig. 8(b)) —
+// its entries are accepted without evaluating the exact value.
+type xiWindow struct {
+	scanLo, scanHi float64
+	defLo, defHi   float64
+}
+
+// window maps the evaluation interval into the ξ geometry of one node.  The
+// monotone-direction mirroring is applied here, once, to the interval: for
+// decreasing transforms the value interval's high end is the low-T end.  A
+// closed endpoint sitting at the clamp extreme the transform plateaus to on
+// its side is satisfied by the entire plateau — arbitrarily large |T| — so
+// that side is unbounded rather than inverted: a stale transform whose
+// propagated T overshoots the parameter interval still lands inside the scan
+// window and is resolved by exact evaluation.
+func (db derivedBounds) window(sp *measure.Spec, eval interval.Interval, numSamples int) xiWindow {
+	from, to := eval.Lo, eval.Hi
+	fromExtreme, toExtreme := sp.RangeMin, sp.RangeMax
 	if sp.Decreasing {
-		vFrom, vTo = hi, lo
+		from, to = eval.Hi, eval.Lo
+		fromExtreme, toExtreme = sp.RangeMax, sp.RangeMin
 	}
-	fromLo, fromHi = db.xiBounds(sp, vFrom, numSamples)
-	toLo, toHi = db.xiBounds(sp, vTo, numSamples)
-	if sp.Bounded {
-		// The value the transform plateaus to as T → −∞ / +∞.
-		lowExtreme, highExtreme := sp.RangeMin, sp.RangeMax
-		if sp.Decreasing {
-			lowExtreme, highExtreme = sp.RangeMax, sp.RangeMin
-		}
-		if vFrom == lowExtreme {
-			fromLo, fromHi = math.Inf(-1), math.Inf(-1)
-		}
-		if vTo == highExtreme {
-			toLo, toHi = math.Inf(1), math.Inf(1)
-		}
+	fromLo, fromHi := db.sideBounds(sp, from, fromExtreme, -1, numSamples)
+	toLo, toHi := db.sideBounds(sp, to, toExtreme, +1, numSamples)
+	return xiWindow{
+		scanLo: padBound(fromLo, -1),
+		scanHi: padBound(toHi, +1),
+		defLo:  padBound(fromHi, +1),
+		defHi:  padBound(toLo, -1),
 	}
-	return fromLo, fromHi, toLo, toHi
+}
+
+// sideBounds maps one endpoint of the evaluation interval into ξ space.
+// dir = −1 for the low-T end of the matching T interval, +1 for the high-T
+// end; unbounded endpoints and closed endpoints on the clamp plateau extend
+// their side without inversion.
+func (db derivedBounds) sideBounds(sp *measure.Spec, b interval.Bound, extreme float64, dir int, numSamples int) (lo, hi float64) {
+	if b.Unbounded || (sp.Bounded && !b.Open && b.Value == extreme) {
+		v := math.Inf(dir)
+		return v, v
+	}
+	return db.xiBounds(sp, b.Value, numSamples)
 }
 
 // padBound nudges a pruning boundary outward (dir = −1 toward smaller ξ,
@@ -433,126 +489,36 @@ func padBound(x float64, dir float64) float64 {
 	return x + dir*1e-9*(1+math.Abs(x))
 }
 
-// nodeDerivedThreshold scans one pivot node for a D-measure MET query.  The
-// spec's transform direction decides which side of the tree can be skipped:
-// for increasing transforms "value > τ" keeps large ξ, for decreasing ones it
-// keeps small ξ; the ξ region between the conservative and the definite bound
-// is the candidate band whose entries are resolved exactly.
-func (idx *Index) nodeDerivedThreshold(node *pivotNode, sp *measure.Spec, tau float64, op ThresholdOp, out []timeseries.Pair) ([]timeseries.Pair, error) {
-	db := idx.nodeBounds(node, sp)
-	if db.pm == nil {
-		return out, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, sp.Base)
-	}
-	if node.pairs == 0 {
-		return out, nil
-	}
-	include := func(sn *sequenceNode, xi float64) {
-		if idx.derivedCompare(db.pm, sn, sp, xi, tau, op) {
-			out = append(out, sn.pair)
-		}
-	}
-	evalAll := !db.canPrune
-	if sp.Bounded {
-		// Probes at or beyond a declared range extreme defeat the inverse
-		// transform (the clamp plateaus there): a strict predicate at the
-		// extreme matches nothing, and a probe outside the range on the
-		// other side is decided by exact evaluation (which still rejects
-		// pairs whose value is undefined).
-		if (op == Above && tau >= sp.RangeMax) || (op == Below && tau <= sp.RangeMin) {
-			return out, nil
-		}
-		if (op == Above && tau < sp.RangeMin) || (op == Below && tau > sp.RangeMax) {
-			evalAll = true
-		}
-	}
-	if evalAll {
-		// No pruning possible (or disabled): evaluate every node.
-		db.pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
-			include(sn, xi)
-			return true
-		})
-		return out, nil
-	}
-	xiLo, xiHi := db.xiBounds(sp, tau, idx.numSamples)
-	// keepHigh: the qualifying T (and hence ξ) side is the high side.
-	keepHigh := (op == Above) != sp.Decreasing
-	if keepHigh {
-		// Start the scan at the smallest ξ that could still qualify; beyond
-		// the definite bound the predicate holds for every possible parameter.
-		scanStart, definite := padBound(xiLo, -1), padBound(xiHi, +1)
-		db.pm.tree.AscendGreaterOrEqual(scanStart, func(xi float64, sn *sequenceNode) bool {
-			if xi > definite {
-				out = append(out, sn.pair)
-				return true
-			}
-			include(sn, xi)
-			return true
-		})
-	} else {
-		// Mirror image: scan from the bottom up to the largest ξ that could
-		// still qualify.
-		scanEnd, definite := padBound(xiHi, +1), padBound(xiLo, -1)
-		db.pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
-			if xi > scanEnd {
-				return false
-			}
-			if xi < definite {
-				out = append(out, sn.pair)
-				return true
-			}
-			include(sn, xi)
-			return true
-		})
-	}
-	return out, nil
-}
-
-// nodeDerivedRange scans one pivot node for a D-measure MER query: the scan
-// range in ξ is restricted with the parameter bounds, candidates inside the
-// band where membership cannot be decided from the bounds alone are resolved
+// nodeDerivedInterval scans one pivot node for a D-measure interval query:
+// the scan range in ξ is restricted with the parameter bounds, entries in the
+// definite region are accepted without evaluation, and candidates in the band
+// where membership cannot be decided from the bounds alone are resolved
 // exactly.
-func (idx *Index) nodeDerivedRange(node *pivotNode, sp *measure.Spec, lo, hi float64, out []timeseries.Pair) ([]timeseries.Pair, error) {
+func (idx *Index) nodeDerivedInterval(node *pivotNode, sp *measure.Spec, pred derivedPredicate, out []timeseries.Pair) ([]timeseries.Pair, error) {
 	db := idx.nodeBounds(node, sp)
 	if db.pm == nil {
 		return out, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, sp.Base)
 	}
-	if node.pairs == 0 {
+	if node.pairs == 0 || pred.empty {
 		return out, nil
 	}
 	evaluate := func(xi float64, sn *sequenceNode) {
 		v, ok := idx.derivedValue(db.pm, sn, sp, xi)
-		if ok && v >= lo && v <= hi {
+		if ok && pred.eval.Contains(v) {
 			out = append(out, sn.pair)
 		}
 	}
-	if sp.Bounded {
-		// Ranges entirely outside the declared value range match nothing;
-		// bounds beyond it clip to the extremes (every value satisfies the
-		// clipped side), which keeps the inverse transform inside its domain.
-		if hi < sp.RangeMin || lo > sp.RangeMax {
-			return out, nil
-		}
-		lo = math.Max(lo, sp.RangeMin)
-		hi = math.Min(hi, sp.RangeMax)
-	}
-	if !db.canPrune {
+	if pred.evalAll || !db.canPrune {
+		// No pruning possible (or disabled): evaluate every entry.
 		db.pm.tree.Ascend(func(xi float64, sn *sequenceNode) bool {
 			evaluate(xi, sn)
 			return true
 		})
 		return out, nil
 	}
-	// In T space the value interval [lo, hi] maps to [InvertT(lo), InvertT(hi)]
-	// for increasing transforms and to the mirrored interval for decreasing
-	// ones, with clamp-plateau ends unbounded (rangeXiBounds).
-	fromLo, fromHi, toLo, toHi := db.rangeXiBounds(sp, lo, hi, idx.numSamples)
-	scanStart, scanEnd := padBound(fromLo, -1), padBound(toHi, +1)
-	// Inside (definiteLo, definiteHi) the value is within [lo, hi] for every
-	// possible parameter (case I of Fig. 8(b)); such nodes are accepted
-	// without evaluating the exact value.
-	definiteLo, definiteHi := padBound(fromHi, +1), padBound(toLo, -1)
-	db.pm.tree.AscendRange(scanStart, scanEnd, func(xi float64, sn *sequenceNode) bool {
-		if xi > definiteLo && xi < definiteHi {
+	w := db.window(sp, pred.eval, idx.numSamples)
+	db.pm.tree.AscendRange(w.scanLo, w.scanHi, func(xi float64, sn *sequenceNode) bool {
+		if xi > w.defLo && xi < w.defHi {
 			out = append(out, sn.pair)
 			return true
 		}
@@ -575,18 +541,4 @@ func (idx *Index) derivedValue(pm *pivotMeasure, sn *sequenceNode, sp *measure.S
 		return 0, false
 	}
 	return v, true
-}
-
-// derivedCompare evaluates the exact derived value of a candidate node and
-// compares it against the threshold.
-func (idx *Index) derivedCompare(pm *pivotMeasure, sn *sequenceNode, sp *measure.Spec,
-	xi, tau float64, op ThresholdOp) bool {
-	v, ok := idx.derivedValue(pm, sn, sp, xi)
-	if !ok {
-		return false
-	}
-	if op == Above {
-		return v > tau
-	}
-	return v < tau
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"affinity/internal/cluster"
+	"affinity/internal/interval"
 	"affinity/internal/measure"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
@@ -174,7 +175,7 @@ func TestPairThresholdMatchesAffineEstimates(t *testing.T) {
 					want[e] = true
 				}
 			}
-			got, err := idx.PairThreshold(m, tau, Above)
+			got, err := idx.PairInterval(m, interval.GreaterThan(tau))
 			if err != nil {
 				t.Fatalf("%v threshold: %v", m, err)
 			}
@@ -193,7 +194,7 @@ func TestPairThresholdMatchesAffineEstimates(t *testing.T) {
 					wantBelow[e] = true
 				}
 			}
-			gotBelow, err := idx.PairThreshold(m, tau, Below)
+			gotBelow, err := idx.PairInterval(m, interval.LessThan(tau))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -243,7 +244,7 @@ func TestPairRangeMatchesAffineEstimates(t *testing.T) {
 				want[e] = true
 			}
 		}
-		got, err := idx.PairRange(m, lo, hi)
+		got, err := idx.PairInterval(m, interval.Between(lo, hi))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,11 +291,11 @@ func TestDerivedPruningAblationIdenticalResults(t *testing.T) {
 		// value) exercise the Bounded short-circuits for clamped transforms.
 		for _, tau := range []float64{pick(0.05), pick(0.3), pick(0.6), pick(0.95), pick(0) - 1, pick(1) + 1} {
 			for _, op := range []ThresholdOp{Above, Below} {
-				a, err := pruned.PairThreshold(m, tau, op)
+				a, err := pruned.PairInterval(m, op.Interval(tau))
 				if err != nil {
 					t.Fatal(err)
 				}
-				b, err := unpruned.PairThreshold(m, tau, op)
+				b, err := unpruned.PairInterval(m, op.Interval(tau))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -310,11 +311,11 @@ func TestDerivedPruningAblationIdenticalResults(t *testing.T) {
 			}
 		}
 		for _, r := range [][2]float64{{pick(0.1), pick(0.5)}, {pick(0.4), pick(0.9)}, {pick(0), pick(1)}} {
-			a, err := pruned.PairRange(m, r[0], r[1])
+			a, err := pruned.PairInterval(m, interval.Between(r[0], r[1]))
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := unpruned.PairRange(m, r[0], r[1])
+			b, err := unpruned.PairInterval(m, interval.Between(r[0], r[1]))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -334,7 +335,7 @@ func TestCorrelationThresholdAgainstGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := idx.PairThreshold(stats.Correlation, 0.95, Above)
+	got, err := idx.PairInterval(stats.Correlation, interval.GreaterThan(0.95))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestSeriesThresholdAndRange(t *testing.T) {
 	sort.Float64s(sorted)
 	tau := sorted[len(sorted)/2]
 
-	got, err := idx.SeriesThreshold(stats.Mean, tau, Above)
+	got, err := idx.SeriesInterval(stats.Mean, interval.GreaterThan(tau))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +394,7 @@ func TestSeriesThresholdAndRange(t *testing.T) {
 		}
 	}
 
-	below, err := idx.SeriesThreshold(stats.Mean, tau, Below)
+	below, err := idx.SeriesInterval(stats.Mean, interval.LessThan(tau))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +403,7 @@ func TestSeriesThresholdAndRange(t *testing.T) {
 	}
 
 	lo, hi := sorted[2], sorted[len(sorted)-3]
-	ranged, err := idx.SeriesRange(stats.Mean, lo, hi)
+	ranged, err := idx.SeriesInterval(stats.Mean, interval.Between(lo, hi))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,38 +452,68 @@ func TestQueryErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := idx.PairThreshold(stats.Mean, 0, Above); !errors.Is(err, ErrBadQuery) {
+	if _, err := idx.PairInterval(stats.Mean, interval.GreaterThan(0)); !errors.Is(err, ErrBadQuery) {
 		t.Fatalf("L-measure pair threshold err = %v", err)
 	}
-	if _, err := idx.PairThreshold(stats.Jaccard, 0, Above); !errors.Is(err, ErrMeasureNotIndexed) {
+	if _, err := idx.PairInterval(stats.Jaccard, interval.GreaterThan(0)); !errors.Is(err, ErrMeasureNotIndexed) {
 		t.Fatalf("Jaccard threshold err = %v", err)
 	}
-	if _, err := idx.PairThreshold(stats.Covariance, 0, ThresholdOp(9)); !errors.Is(err, ErrBadQuery) {
-		t.Fatalf("bad op err = %v", err)
-	}
-	if _, err := idx.PairRange(stats.Covariance, 2, 1); !errors.Is(err, ErrBadQuery) {
+	if _, err := idx.PairInterval(stats.Covariance, interval.Between(2, 1)); !errors.Is(err, ErrBadQuery) {
 		t.Fatalf("inverted range err = %v", err)
 	}
-	if _, err := idx.PairRange(stats.Mean, 0, 1); !errors.Is(err, ErrBadQuery) {
+	if _, err := idx.PairInterval(stats.Mean, interval.Between(0, 1)); !errors.Is(err, ErrBadQuery) {
 		t.Fatalf("L-measure range err = %v", err)
 	}
-	if _, err := idx.PairRange(stats.Jaccard, 0, 1); !errors.Is(err, ErrMeasureNotIndexed) {
+	if _, err := idx.PairInterval(stats.Jaccard, interval.Between(0, 1)); !errors.Is(err, ErrMeasureNotIndexed) {
 		t.Fatalf("Jaccard range err = %v", err)
 	}
-	if _, err := idx.SeriesThreshold(stats.Covariance, 0, Above); !errors.Is(err, ErrMeasureNotIndexed) {
+	if _, err := idx.SeriesInterval(stats.Covariance, interval.GreaterThan(0)); !errors.Is(err, ErrMeasureNotIndexed) {
 		t.Fatalf("series threshold on T-measure err = %v", err)
 	}
-	if _, err := idx.SeriesThreshold(stats.Mean, 0, ThresholdOp(7)); !errors.Is(err, ErrBadQuery) {
-		t.Fatalf("series threshold bad op err = %v", err)
-	}
-	if _, err := idx.SeriesRange(stats.Covariance, 0, 1); !errors.Is(err, ErrMeasureNotIndexed) {
+	if _, err := idx.SeriesInterval(stats.Covariance, interval.Between(0, 1)); !errors.Is(err, ErrMeasureNotIndexed) {
 		t.Fatalf("series range on T-measure err = %v", err)
 	}
-	if _, err := idx.SeriesRange(stats.Mean, 1, 0); !errors.Is(err, ErrBadQuery) {
+	if _, err := idx.SeriesInterval(stats.Mean, interval.Between(1, 0)); !errors.Is(err, ErrBadQuery) {
 		t.Fatalf("series inverted range err = %v", err)
 	}
-	if Above.String() != ">" || Below.String() != "<" {
-		t.Fatal("ThresholdOp.String is wrong")
+	if _, err := idx.SeriesInterval(stats.Mean, interval.New(interval.Open(1), interval.Closed(1))); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("empty point interval err = %v", err)
+	}
+}
+
+// TestThresholdOpSugar pins the operator sugar: String renders the known
+// operators and a stable "unknown(N)" form for anything else, Valid gates
+// conversion, and Interval produces the strict half-bounded predicates.
+func TestThresholdOpSugar(t *testing.T) {
+	cases := []struct {
+		op    ThresholdOp
+		str   string
+		valid bool
+	}{
+		{Above, ">", true},
+		{Below, "<", true},
+		{ThresholdOp(-1), "unknown(-1)", false},
+		{ThresholdOp(2), "unknown(2)", false},
+		{ThresholdOp(9), "unknown(9)", false},
+	}
+	for _, tc := range cases {
+		if got := tc.op.String(); got != tc.str {
+			t.Errorf("ThresholdOp(%d).String() = %q, want %q", int(tc.op), got, tc.str)
+		}
+		if got := tc.op.Valid(); got != tc.valid {
+			t.Errorf("ThresholdOp(%d).Valid() = %v, want %v", int(tc.op), got, tc.valid)
+		}
+	}
+	if iv := Above.Interval(0.5); !iv.Contains(0.6) || iv.Contains(0.5) || iv.Contains(0.4) {
+		t.Errorf("Above.Interval(0.5) = %v is not (0.5, +inf)", iv)
+	}
+	if iv := Below.Interval(0.5); !iv.Contains(0.4) || iv.Contains(0.5) || iv.Contains(0.6) {
+		t.Errorf("Below.Interval(0.5) = %v is not (-inf, 0.5)", iv)
+	}
+	// An unknown operator converts to the empty-matching degenerate interval
+	// so downstream validation rejects it instead of running it as Above.
+	if iv := ThresholdOp(9).Interval(0.5); !iv.Empty() {
+		t.Errorf("unknown op Interval = %v, want empty", iv)
 	}
 }
 
@@ -510,7 +541,7 @@ func TestConstantSeriesDoesNotBreakIndex(t *testing.T) {
 	}
 	// Queries must not blow up; pairs involving the constant series are
 	// simply absent from correlation results.
-	res, err := idx.PairThreshold(stats.Correlation, 0.5, Above)
+	res, err := idx.PairInterval(stats.Correlation, interval.GreaterThan(0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -519,7 +550,7 @@ func TestConstantSeriesDoesNotBreakIndex(t *testing.T) {
 			t.Fatalf("pair %v with a constant series should not appear in correlation results", e)
 		}
 	}
-	if _, err := idx.PairThreshold(stats.Covariance, 0, Above); err != nil {
+	if _, err := idx.PairInterval(stats.Covariance, interval.GreaterThan(0)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,376 @@
+// Top-k (MEK) queries over the SCAPE index: the k pairs with the most extreme
+// measure value, executed as a best-first traversal of the pivot nodes.
+//
+// Top-k is "adaptively discover the interval [v_k, best]": the per-node
+// derived bounds that prune interval scans also order the pivot nodes by the
+// best value they could possibly contain.  Nodes are visited best-first; each
+// visited node is scanned only inside the running interval [v_k, ·] (v_k =
+// the k-th best value found so far, tightening as the result heap fills), and
+// the traversal stops as soon as the next node's optimistic bound cannot beat
+// v_k — nodes beyond that point are never examined at all.
+package scape
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"affinity/internal/interval"
+	"affinity/internal/measure"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// TopHeap keeps the k best (value, pair) entries offered to it under the
+// deterministic total order shared by every top-k execution path: by value
+// (descending for largest, ascending for smallest), ties broken by ascending
+// canonical pair identity.  The worst retained entry sits at the heap root,
+// so a full heap replaces it in O(log k) when a better entry arrives.
+type TopHeap struct {
+	k       int
+	largest bool
+	entries []topEntry // binary heap, worst retained entry first
+}
+
+type topEntry struct {
+	pair  timeseries.Pair
+	value float64
+}
+
+// NewTopHeap returns a heap retaining the k best entries (largest selects the
+// direction: true keeps the greatest values, false the smallest).
+func NewTopHeap(k int, largest bool) *TopHeap {
+	return &TopHeap{k: k, largest: largest, entries: make([]topEntry, 0, k)}
+}
+
+// better reports whether a ranks strictly ahead of b in the result order.
+func (h *TopHeap) better(a, b topEntry) bool {
+	if a.value != b.value {
+		if h.largest {
+			return a.value > b.value
+		}
+		return a.value < b.value
+	}
+	return pairLess(a.pair, b.pair)
+}
+
+// Offer considers one entry; NaN values (undefined measures) never rank.
+func (h *TopHeap) Offer(p timeseries.Pair, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	e := topEntry{pair: p, value: v}
+	if len(h.entries) < h.k {
+		h.entries = append(h.entries, e)
+		h.siftUp(len(h.entries) - 1)
+		return
+	}
+	if !h.better(e, h.entries[0]) {
+		return
+	}
+	h.entries[0] = e
+	h.siftDown(0)
+}
+
+// Len returns the number of retained entries.
+func (h *TopHeap) Len() int { return len(h.entries) }
+
+// Full reports whether k entries are retained.
+func (h *TopHeap) Full() bool { return len(h.entries) >= h.k }
+
+// Threshold returns the running interval's moving endpoint: the value v_k of
+// the worst retained entry once the heap is full.  An entry can still enter a
+// full heap with value exactly v_k (winning the pair-id tie-break), so
+// pruning against it must keep the closed endpoint.
+func (h *TopHeap) Threshold() (float64, bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.entries[0].value, true
+}
+
+// Sorted returns the retained entries best-first.
+func (h *TopHeap) Sorted() ([]timeseries.Pair, []float64) {
+	es := append([]topEntry(nil), h.entries...)
+	sort.Slice(es, func(i, j int) bool { return h.better(es[i], es[j]) })
+	pairs := make([]timeseries.Pair, len(es))
+	values := make([]float64, len(es))
+	for i, e := range es {
+		pairs[i] = e.pair
+		values[i] = e.value
+	}
+	return pairs, values
+}
+
+// heap plumbing: entries[0] is the WORST retained entry, so the comparison is
+// inverted (parents rank behind their children).
+func (h *TopHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.better(h.entries[p], h.entries[i]) {
+			return
+		}
+		h.entries[p], h.entries[i] = h.entries[i], h.entries[p]
+		i = p
+	}
+}
+
+func (h *TopHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		worst := i
+		for c := 2*i + 1; c <= 2*i+2 && c < n; c++ {
+			if h.better(h.entries[worst], h.entries[c]) {
+				worst = c
+			}
+		}
+		if worst == i {
+			return
+		}
+		h.entries[i], h.entries[worst] = h.entries[worst], h.entries[i]
+		i = worst
+	}
+}
+
+// PairTopK answers a top-k (MEK) query over a pairwise measure from the
+// index: the k pairs with the greatest (largest) or smallest measure value as
+// represented by the index, best first with ties broken by pair identity.
+// It returns the aligned values and the number of sequence-node entries
+// examined — the work metric the pruning saves against a full sweep.
+func (idx *Index) PairTopK(m stats.Measure, k int, largest bool) ([]timeseries.Pair, []float64, int, error) {
+	if k <= 0 {
+		return nil, nil, 0, fmt.Errorf("%w: top-k needs k >= 1, got %d", ErrBadQuery, k)
+	}
+	sp, err := pairSpec(m)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if sp.Derived() && !idx.derivedSet[m] {
+		return nil, nil, 0, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+
+	// Order the pivot nodes by the best value they could possibly contain.
+	type nodeCand struct {
+		order int
+		node  *pivotNode
+		bound float64
+	}
+	cands := make([]nodeCand, 0, len(idx.pivots))
+	for i, node := range idx.pivots {
+		bound, ok, err := idx.nodeTopBound(node, sp, largest)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if !ok {
+			continue
+		}
+		cands = append(cands, nodeCand{order: i, node: node, bound: bound})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bound != cands[j].bound {
+			if largest {
+				return cands[i].bound > cands[j].bound
+			}
+			return cands[i].bound < cands[j].bound
+		}
+		return cands[i].order < cands[j].order
+	})
+
+	heap := NewTopHeap(k, largest)
+	examined := 0
+	for _, c := range cands {
+		// Pruning invariant: once the heap is full, a node whose optimistic
+		// bound is strictly worse than v_k cannot contribute — and the list is
+		// bound-sorted, so neither can any later node.  A bound equal to v_k
+		// must still be scanned: an entry at exactly v_k can win the pair-id
+		// tie-break.
+		if vk, full := heap.Threshold(); full {
+			if (largest && c.bound < vk) || (!largest && c.bound > vk) {
+				break
+			}
+		}
+		n, err := idx.scanNodeTopK(c.node, sp, largest, heap)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		examined += n
+	}
+	pairs, values := heap.Sorted()
+	return pairs, values, examined, nil
+}
+
+// runningInterval is the predicate "could still enter the heap": unbounded
+// until the heap fills, then closed at v_k on the moving side.  The endpoint
+// is padded outward by the scan epsilon so an entry whose value reconstructs
+// to exactly v_k through a differently-rounded ξ window is still examined
+// (the heap's exact comparison rejects anything genuinely worse).
+func runningInterval(heap *TopHeap, largest bool) interval.Interval {
+	vk, full := heap.Threshold()
+	if !full {
+		return interval.All()
+	}
+	if largest {
+		return interval.AtLeast(padBound(vk, -1))
+	}
+	return interval.AtMost(padBound(vk, +1))
+}
+
+// scanNodeTopK offers every entry of one pivot node that could still enter
+// the heap, restricting the scan to the running interval's ξ window, and
+// returns the number of entries examined.
+func (idx *Index) scanNodeTopK(node *pivotNode, sp *measure.Spec, largest bool, heap *TopHeap) (int, error) {
+	iv := runningInterval(heap, largest)
+	examined := 0
+	if !sp.Derived() {
+		pm := node.measures[sp.ID]
+		if pm == nil {
+			return 0, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, sp.ID)
+		}
+		if pm.alphaNorm == 0 {
+			if iv.Contains(0) {
+				pm.tree.Ascend(func(_ float64, sn *sequenceNode) bool {
+					examined++
+					heap.Offer(sn.pair, 0)
+					return true
+				})
+			}
+			return examined, nil
+		}
+		ascendInterval(pm.tree, scaleInterval(iv, pm.alphaNorm), func(xi float64, sn *sequenceNode) bool {
+			examined++
+			heap.Offer(sn.pair, pm.alphaNorm*xi)
+			return true
+		})
+		return examined, nil
+	}
+
+	db := idx.nodeBounds(node, sp)
+	if db.pm == nil {
+		return 0, fmt.Errorf("%w: base measure %v", ErrMeasureNotIndexed, sp.Base)
+	}
+	if node.pairs == 0 {
+		return 0, nil
+	}
+	pred := compileDerivedPredicate(sp, iv)
+	if pred.empty {
+		return 0, nil
+	}
+	offer := func(xi float64, sn *sequenceNode) bool {
+		examined++
+		if v, ok := idx.derivedValue(db.pm, sn, sp, xi); ok {
+			heap.Offer(sn.pair, v)
+		}
+		return true
+	}
+	if pred.evalAll || !db.canPrune {
+		db.pm.tree.Ascend(offer)
+		return examined, nil
+	}
+	// Unlike an interval scan there is no blind-accept region: the heap needs
+	// every candidate's exact value to rank it, so the whole conservative
+	// window is evaluated.
+	w := db.window(sp, pred.eval, idx.numSamples)
+	db.pm.tree.AscendRange(w.scanLo, w.scanHi, offer)
+	return examined, nil
+}
+
+// SeriesTopK answers a top-k query over an L-measure: the k series with the
+// greatest (largest) or smallest measure value in the global location tree,
+// best first with ties broken by ascending series identity.
+func (idx *Index) SeriesTopK(m stats.Measure, k int, largest bool) ([]timeseries.SeriesID, []float64, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("%w: top-k needs k >= 1, got %d", ErrBadQuery, k)
+	}
+	tree, ok := idx.location[m]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
+	}
+	type entry struct {
+		id    timeseries.SeriesID
+		value float64
+	}
+	entries := make([]entry, 0, tree.Len())
+	tree.Ascend(func(_ float64, e seriesEntry) bool {
+		if !math.IsNaN(e.value) {
+			entries = append(entries, entry{id: e.id, value: e.value})
+		}
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].value != entries[j].value {
+			if largest {
+				return entries[i].value > entries[j].value
+			}
+			return entries[i].value < entries[j].value
+		}
+		return entries[i].id < entries[j].id
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	ids := make([]timeseries.SeriesID, len(entries))
+	values := make([]float64, len(entries))
+	for i, e := range entries {
+		ids[i] = e.id
+		values[i] = e.value
+	}
+	return ids, values, nil
+}
+
+// nodeTopBound returns the optimistic bound on the best value a pivot node
+// can contain for the measure: exact tree extremes scaled by ‖α‖ for
+// T-measures; for D-measures the transform evaluated at the corners of the
+// [T_min, T_max] × [U^min, U^max] box (every registered transform is monotone
+// in T and, for fixed T, monotone in U, so the box extrema sit at corners).
+// Nodes whose parameter bounds cannot prune report an unbounded optimum and
+// are simply scanned before the traversal can stop.
+func (idx *Index) nodeTopBound(node *pivotNode, sp *measure.Spec, largest bool) (float64, bool, error) {
+	pm := node.measures[sp.Base]
+	if pm == nil {
+		return 0, false, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, sp.Base)
+	}
+	minXi, ok := pm.tree.MinKey()
+	if !ok {
+		return 0, false, nil
+	}
+	maxXi, _ := pm.tree.MaxKey()
+	if !sp.Derived() {
+		if pm.alphaNorm == 0 {
+			return 0, true, nil
+		}
+		if largest {
+			return pm.alphaNorm * maxXi, true, nil
+		}
+		return pm.alphaNorm * minXi, true, nil
+	}
+	db := idx.nodeBounds(node, sp)
+	unbounded := math.Inf(1)
+	if !largest {
+		unbounded = math.Inf(-1)
+	}
+	if !db.canPrune {
+		return unbounded, true, nil
+	}
+	bound := math.NaN()
+	for _, t := range [2]float64{pm.alphaNorm * minXi, pm.alphaNorm * maxXi} {
+		for _, u := range [2]float64{db.uMin, db.uMax} {
+			v, err := sp.Value(t, u, idx.numSamples)
+			if err != nil {
+				return unbounded, true, nil
+			}
+			if math.IsNaN(bound) || (largest && v > bound) || (!largest && v < bound) {
+				bound = v
+			}
+		}
+	}
+	if math.IsNaN(bound) {
+		return unbounded, true, nil
+	}
+	// Padded outward: corner and per-entry evaluations round differently, and
+	// an under-estimated bound would let the traversal stop before a node
+	// holding a boundary entry.  The pad only delays the stop marginally.
+	if largest {
+		return padBound(bound, +1), true, nil
+	}
+	return padBound(bound, -1), true, nil
+}

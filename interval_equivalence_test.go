@@ -1,0 +1,200 @@
+package affinity_test
+
+// Interval↔threshold equivalence suite: the unified interval predicate is the
+// single implementation behind Threshold and Range, and this property test
+// pins the contract byte-for-byte — every (tau, op) query equals its interval
+// form and every [lo, hi] query equals its Between form, across all measures,
+// all concrete methods, single and batched paths.  The probed thresholds
+// include exact measure values (boundary equality exercises the open/closed
+// endpoint handling) and probes outside a bounded measure's declared value
+// range (the clamp-plateau short-circuits).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"affinity"
+)
+
+func equivalenceEngine(t testing.TB) *affinity.Engine {
+	t.Helper()
+	data, err := affinity.GenerateSensorData(affinity.SensorDataConfig{
+		NumSeries: 30, NumSamples: 90, NumGroups: 3, Seed: 20260728,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := affinity.New(data, affinity.Options{Clusters: 3, Seed: 11, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// probeTaus returns thresholds spanning the measure's naive value
+// distribution — including EXACT observed values, which sit precisely on the
+// open/closed boundary — plus probes strictly outside the observed (and any
+// declared) range.
+func probeTaus(t testing.TB, eng *affinity.Engine, m affinity.Measure) []float64 {
+	t.Helper()
+	var vals []float64
+	if !m.Pairwise() {
+		vs, err := eng.ComputeLocation(m, eng.Data().IDs(), affinity.Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = vs
+	} else {
+		matrix, err := eng.ComputePairwise(m, eng.Data().IDs(), affinity.Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range matrix {
+			for j := i + 1; j < len(matrix[i]); j++ {
+				if !math.IsNaN(matrix[i][j]) {
+					vals = append(vals, matrix[i][j])
+				}
+			}
+		}
+	}
+	sort.Float64s(vals)
+	if len(vals) == 0 {
+		t.Fatalf("%v: no finite values", m)
+	}
+	return []float64{
+		vals[0],               // boundary equality at the extreme
+		vals[len(vals)/2],     // boundary equality at the median
+		vals[len(vals)-1],     // boundary equality at the other extreme
+		vals[0] - 2,           // below every value (out of declared range for clamped measures)
+		vals[len(vals)-1] + 2, // above every value
+	}
+}
+
+func renderResult(res affinity.Result, err error) string {
+	if err != nil {
+		return "err:" + err.Error()
+	}
+	return fmt.Sprintf("%v|%v|%v", res.Series, res.Pairs, res.Values)
+}
+
+// TestThresholdEqualsIntervalForm pins MET ≡ interval for every
+// (measure, tau, op, method), single and batched.
+func TestThresholdEqualsIntervalForm(t *testing.T) {
+	eng := equivalenceEngine(t)
+	methods := []affinity.Method{affinity.Naive, affinity.Affine, affinity.Index}
+	for _, m := range measuresUnderTest() {
+		taus := probeTaus(t, eng, m)
+		var tqs []affinity.ThresholdQuery
+		var ivqs []affinity.IntervalQuery
+		for _, tau := range taus {
+			for _, op := range []affinity.ThresholdOp{affinity.Above, affinity.Below} {
+				iv := affinity.GreaterThan(tau)
+				if op == affinity.Below {
+					iv = affinity.LessThan(tau)
+				}
+				tqs = append(tqs, affinity.ThresholdQuery{Measure: m, Tau: tau, Op: op})
+				ivqs = append(ivqs, affinity.IntervalQuery{Measure: m, Interval: iv})
+				for _, method := range methods {
+					thr, terr := eng.Threshold(m, tau, op, method)
+					ivr, ierr := eng.Interval(m, iv, method)
+					if got, want := renderResult(thr, terr), renderResult(ivr, ierr); got != want {
+						t.Errorf("%v %v %v via %v: threshold %.80q != interval %.80q", m, op, tau, method, got, want)
+					}
+				}
+			}
+		}
+		for _, method := range methods {
+			tb, terr := eng.ThresholdBatch(tqs, method)
+			ib, ierr := eng.IntervalBatch(ivqs, method)
+			if (terr == nil) != (ierr == nil) {
+				t.Fatalf("%v via %v: batch errors diverge: %v vs %v", m, method, terr, ierr)
+			}
+			if terr != nil {
+				if terr.Error() != ierr.Error() {
+					t.Errorf("%v via %v: batch error text diverges: %v vs %v", m, method, terr, ierr)
+				}
+				continue
+			}
+			for i := range tb {
+				if renderResult(tb[i], nil) != renderResult(ib[i], nil) {
+					t.Errorf("%v via %v: batched threshold %d != batched interval", m, method, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeEqualsIntervalForm pins MER ≡ closed interval for every measure
+// and method, including degenerate point ranges at exact observed values.
+func TestRangeEqualsIntervalForm(t *testing.T) {
+	eng := equivalenceEngine(t)
+	methods := []affinity.Method{affinity.Naive, affinity.Affine, affinity.Index}
+	for _, m := range measuresUnderTest() {
+		taus := probeTaus(t, eng, m)
+		ranges := [][2]float64{
+			{taus[0], taus[2]},
+			{taus[1], taus[1]}, // point range at an exact observed value
+			{taus[3], taus[1]}, // lo outside the observed/declared range
+			{taus[1], taus[4]}, // hi outside the observed/declared range
+		}
+		for _, r := range ranges {
+			for _, method := range methods {
+				rr, rerr := eng.Range(m, r[0], r[1], method)
+				ir, ierr := eng.Interval(m, affinity.Between(r[0], r[1]), method)
+				if got, want := renderResult(rr, rerr), renderResult(ir, ierr); got != want {
+					t.Errorf("%v [%v, %v] via %v: range != interval", m, r[0], r[1], method)
+				}
+			}
+		}
+	}
+}
+
+// measuresUnderTest returns every registered measure.
+func measuresUnderTest() []affinity.Measure {
+	infos := affinity.Measures()
+	out := make([]affinity.Measure, len(infos))
+	for i, info := range infos {
+		out[i] = info.Measure
+	}
+	return out
+}
+
+// TestIntervalOpenClosedSemantics pins the endpoint semantics the grammar
+// promises, using an exact observed value as the boundary: a closed endpoint
+// includes the boundary entries, the open endpoint excludes them, and their
+// difference is exactly the boundary set.
+func TestIntervalOpenClosedSemantics(t *testing.T) {
+	eng := equivalenceEngine(t)
+	for _, m := range []affinity.Measure{affinity.Covariance, affinity.Correlation, affinity.EuclideanDistance} {
+		taus := probeTaus(t, eng, m)
+		tau := taus[1]
+		for _, method := range []affinity.Method{affinity.Naive, affinity.Affine, affinity.Index} {
+			atLeast, err := eng.Interval(m, affinity.AtLeast(tau), method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			above, err := eng.Interval(m, affinity.GreaterThan(tau), method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			point, err := eng.Interval(m, affinity.Between(tau, tau), method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(atLeast.Pairs) != len(above.Pairs)+len(point.Pairs) {
+				t.Errorf("%v via %v: |[τ,∞)| = %d but |(τ,∞)| + |[τ,τ]| = %d + %d",
+					m, method, len(atLeast.Pairs), len(above.Pairs), len(point.Pairs))
+			}
+			if method == affinity.Naive && len(point.Pairs) == 0 {
+				t.Errorf("%v: naive point query at an exact observed value returned nothing", m)
+			}
+		}
+	}
+	// An empty interval is rejected with the shared typed error.
+	if _, err := eng.Interval(affinity.Correlation, affinity.Between(1, 0), affinity.Naive); !errors.Is(err, affinity.ErrEmptyRange) {
+		t.Fatalf("empty interval err = %v, want ErrEmptyRange", err)
+	}
+}

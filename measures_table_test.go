@@ -17,18 +17,29 @@ import (
 
 func renderMeasureTable() string {
 	var b strings.Builder
-	b.WriteString("| Measure | Class | Base | Indexable | Definition |\n")
-	b.WriteString("|---------|-------|------|-----------|------------|\n")
+	b.WriteString("| Measure | Class | Base | Indexable | TopK | Definition |\n")
+	b.WriteString("|---------|-------|------|-----------|------|------------|\n")
 	for _, mi := range affinity.Measures() {
 		idx := "yes"
 		if !mi.Indexable {
 			idx = "no"
 		}
+		// The TopK column is derived from the same capability flags the
+		// executor routes on: indexable pairwise measures run the best-first
+		// SCAPE traversal, L-measures rank from the location tree, and
+		// non-indexable measures fall back to the heap-over-sweep path.
+		topk := "heap sweep"
+		switch {
+		case mi.Class == "L":
+			topk = "location tree"
+		case mi.Indexable:
+			topk = "best-first"
+		}
 		base := "—"
 		if mi.Base != mi.Measure {
 			base = fmt.Sprintf("`%v`", mi.Base)
 		}
-		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n", mi.Name, mi.Class, base, idx, mi.Doc)
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s | %s |\n", mi.Name, mi.Class, base, idx, topk, mi.Doc)
 	}
 	return b.String()
 }
