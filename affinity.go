@@ -383,7 +383,17 @@ type StreamOptions struct {
 	// (drift scoring, refits, summary and index rebuilds).  Zero inherits
 	// Options.Parallelism.  Results are identical at any level.
 	Parallelism int
+	// IndexCrossover is the stale fraction above which Advance abandons the
+	// incremental SCAPE index update and rebuilds the index from scratch
+	// (both paths answer queries identically; this is purely a cost
+	// decision).  Zero selects the calibrated default.
+	IndexCrossover float64
 }
+
+// StreamStats reports the engine's cumulative incremental-maintenance
+// counters: index delta-updates vs rebuilds, sequence-store mutations,
+// scratch-pool behavior and the phase timings of the most recent Advance.
+type StreamStats = core.StreamStats
 
 // AdvanceInfo describes one streaming epoch transition.
 type AdvanceInfo = core.AdvanceInfo
@@ -444,6 +454,7 @@ func New(d *Dataset, opts Options) (*Engine, error) {
 			AutoAdvance:       opts.Stream.AutoAdvance,
 			StatsRefreshEvery: opts.Stream.StatsRefreshEvery,
 			Parallelism:       opts.Stream.Parallelism,
+			IndexCrossover:    opts.Stream.IndexCrossover,
 		},
 	})
 	if err != nil {
@@ -576,6 +587,10 @@ func (e *Engine) PendingSamples() int { return e.inner.PendingSamples() }
 // Epoch returns the number of Advance transitions applied so far.
 func (e *Engine) Epoch() int { return e.inner.Epoch() }
 
+// StreamStats returns a snapshot of the engine's incremental-maintenance
+// counters (see StreamStats).
+func (e *Engine) StreamStats() StreamStats { return e.inner.StreamStats() }
+
 // WriteSnapshot persists the engine's clustering and affine relationships so
 // a later process can rebuild the engine with NewFromSnapshot without paying
 // the SYMEX+ cost again.  The snapshot does not contain the raw samples; the
@@ -598,6 +613,7 @@ func NewFromSnapshot(d *Dataset, r io.Reader, opts Options) (*Engine, error) {
 			AutoAdvance:       opts.Stream.AutoAdvance,
 			StatsRefreshEvery: opts.Stream.StatsRefreshEvery,
 			Parallelism:       opts.Stream.Parallelism,
+			IndexCrossover:    opts.Stream.IndexCrossover,
 		},
 	})
 	if err != nil {

@@ -448,6 +448,58 @@ func BenchmarkStreamAdvanceExact(b *testing.B) { benchmarkAdvance(b, 0, 8) }
 // refitting (DriftBound 0.05) on a quiet stream.
 func BenchmarkStreamAdvanceDriftBounded(b *testing.B) { benchmarkAdvance(b, 0.05, 8) }
 
+// BenchmarkAdvance is the incremental-maintenance smoke row: a drift-bounded
+// Advance with a permissive index crossover, so every epoch exercises the
+// delta path (COW clone + stale delete/insert + recompute) end to end.  CI
+// tracks its allocs/op against a checked-in budget (BENCH_BUDGET.json) to
+// catch allocation regressions in the pooled per-epoch scratch machinery.
+func BenchmarkAdvance(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.Build(sensor, core.Config{
+		Clusters: 6, Seed: 42,
+		Stream: core.StreamConfig{DriftBound: 0.05, IndexCrossover: 0.999},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := sensor.NumSeries()
+	m := sensor.NumSamples()
+	ticks := make([][]float64, m)
+	for t := range ticks {
+		tick := make([]float64, n)
+		for v := 0; v < n; v++ {
+			s, err := sensor.Series(timeseries.SeriesID(v))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tick[v] = s[t] * (1 + 1e-3*float64(v%7))
+		}
+		ticks[t] = tick
+	}
+	const slide = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < slide; s++ {
+			if err := engine.Append(ticks[(i*slide+s)%len(ticks)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := engine.Advance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ss := engine.StreamStats()
+	if b.N > 0 {
+		b.ReportMetric(float64(ss.IndexUpdates)/float64(b.N), "delta-updates/epoch")
+		b.ReportMetric(ss.PoolHitRate(), "pool-hit-rate")
+	}
+}
+
 // BenchmarkColdRebuild measures the alternative the streaming path replaces:
 // a full Build (AFCLST + SYMEX+ + summaries + SCAPE) on the slid window.
 func BenchmarkColdRebuild(b *testing.B) {

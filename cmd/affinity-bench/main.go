@@ -21,7 +21,9 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"affinity/internal/core"
 	"affinity/internal/experiments"
+	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
@@ -29,7 +31,7 @@ import (
 var experimentOrder = []string{
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 	"fig15", "fig16", "table4", "ablation-pinv", "ablation-pruning",
-	"parallel", "planner", "measures", "topk",
+	"parallel", "planner", "measures", "topk", "advance",
 }
 
 func main() {
@@ -304,7 +306,13 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 				r.BatchTime.Round(time.Microsecond), r.SingleLoopTime.Round(time.Microsecond),
 				r.QueryResultSize)
 		}
-		return w.Flush()
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			printStreamStats(out, fmt.Sprintf("P=%d", r.Parallelism), r.Stream)
+		}
+		return nil
 
 	case "planner":
 		// The selectivity sweep behind the cost-based planner: a correlation
@@ -377,9 +385,64 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 		}
 		return w.Flush()
 
+	case "advance":
+		// Incremental SCAPE maintenance: a stale-fraction sweep locating the
+		// Update-vs-Build crossover, then end-to-end Advance throughput under
+		// both maintenance policies with latency and allocation counts.
+		sensor, err := experiments.GenerateSensorOnly(scale)
+		if err != nil {
+			return err
+		}
+		sweep, err := experiments.AdvanceStaleSweep(sensor, 6, scale.Seed, 8, nil)
+		if err != nil {
+			return err
+		}
+		w := newTable(out)
+		fmt.Fprintln(w, "stale\tdelta update\tfull build\tspeedup\tdeleted\tinserted\tshared\tcloned")
+		for _, r := range sweep {
+			fmt.Fprintf(w, "%.2f\t%v\t%v\t%.2fx\t%d\t%d\t%d\t%d\n",
+				r.StaleFraction, r.UpdateTime.Round(time.Microsecond), r.BuildTime.Round(time.Microsecond),
+				r.Speedup, r.EntriesDeleted, r.EntriesInserted, r.StoresShared, r.StoresCloned)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "measured crossover at stale fraction %.2f (fallback threshold %.2f)\n\n",
+			experiments.CrossoverPoint(sweep), scape.DefaultCrossover)
+
+		modes, err := experiments.AdvanceThroughput(sensor, 6, scale.Seed, 8, 8, 0)
+		if err != nil {
+			return err
+		}
+		w = newTable(out)
+		fmt.Fprintln(w, "policy\tappends/s\tmin\tmedian\tp95\tmax\tallocs/epoch\tKB/epoch\tcold rebuild\tspeedup")
+		for _, r := range modes {
+			fmt.Fprintf(w, "%s\t%.0f\t%v\t%v\t%v\t%v\t%.0f\t%.0f\t%v\t%.2fx\n",
+				r.Mode, r.AppendsPerSec,
+				r.MinLatency.Round(time.Microsecond), r.MedianLatency.Round(time.Microsecond),
+				r.P95Latency.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond),
+				r.AllocsPerEpoch, r.BytesPerEpoch/1024,
+				r.ColdRebuild.Round(time.Microsecond), r.RebuildSpeedup)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for _, r := range modes {
+			printStreamStats(out, r.Mode, r.Stats)
+		}
+		return nil
+
 	default:
 		return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experimentOrder, ", "))
 	}
+}
+
+// printStreamStats renders one engine's incremental-maintenance counters.
+func printStreamStats(out io.Writer, label string, ss core.StreamStats) {
+	fmt.Fprintf(out, "%s: %d advances (%d delta-updated, %d rebuilt), stores %d shared / %d cloned / %d rebuilt, entries -%d/+%d, pool hit rate %.0f%%, last stale %.2f\n",
+		label, ss.Advances, ss.IndexUpdates, ss.IndexRebuilds,
+		ss.StoresShared, ss.StoresCloned, ss.StoresRebuilt,
+		ss.EntriesDeleted, ss.EntriesInserted, 100*ss.PoolHitRate(), ss.LastStaleFraction)
 }
 
 func newTable(out io.Writer) *tabwriter.Writer {

@@ -1,0 +1,258 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkInvariants walks the whole tree and verifies the structural invariants
+// delete rebalancing and copy-on-write must preserve: per-node key ordering,
+// separator bounds, subtree totals, fill floor/ceiling, and uniform leaf
+// depth.
+func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
+	t.Helper()
+	leafDepth := -1
+	var walk func(n *node[V], depth int, root bool, min, max float64, hasMin, hasMax bool) int
+	walk = func(n *node[V], depth int, root bool, min, max float64, hasMin, hasMax bool) int {
+		t.Helper()
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i] < n.keys[i-1] {
+				t.Fatalf("node keys out of order: %v", n.keys)
+			}
+		}
+		if len(n.keys) > tr.order {
+			t.Fatalf("node overfull: %d keys > order %d", len(n.keys), tr.order)
+		}
+		if !root && len(n.keys) < tr.minItems() {
+			t.Fatalf("non-root node underfull: %d keys < floor %d", len(n.keys), tr.minItems())
+		}
+		if n.leaf() {
+			if len(n.values) != len(n.keys) {
+				t.Fatalf("leaf has %d values for %d keys", len(n.values), len(n.keys))
+			}
+			for _, k := range n.keys {
+				if hasMin && k < min {
+					t.Fatalf("leaf key %v below separator bound %v", k, min)
+				}
+				if hasMax && k > max {
+					t.Fatalf("leaf key %v above separator bound %v", k, max)
+				}
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			if n.total != len(n.keys) {
+				t.Fatalf("leaf total %d, want %d", n.total, len(n.keys))
+			}
+			return n.total
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("internal node has %d children for %d keys", len(n.children), len(n.keys))
+		}
+		sum := 0
+		for i, c := range n.children {
+			cmin, cmax := min, max
+			cHasMin, cHasMax := hasMin, hasMax
+			if i > 0 {
+				cmin, cHasMin = n.keys[i-1], true
+			}
+			if i < len(n.keys) {
+				cmax, cHasMax = n.keys[i], true
+			}
+			sum += walk(c, depth+1, false, cmin, cmax, cHasMin, cHasMax)
+		}
+		if n.total != sum {
+			t.Fatalf("internal total %d, want %d", n.total, sum)
+		}
+		return sum
+	}
+	total := walk(tr.root, 0, true, 0, 0, false, false)
+	if total != tr.size {
+		t.Fatalf("tree size %d, root total %d", tr.size, total)
+	}
+}
+
+// collect returns the tree's entries in scan order.
+func collect(tr *Tree[int]) []oracleEntry {
+	var out []oracleEntry
+	tr.Ascend(func(k float64, v int) bool {
+		out = append(out, oracleEntry{key: k, seq: v})
+		return true
+	})
+	return out
+}
+
+func assertEntries(t *testing.T, label string, tr *Tree[int], want []oracleEntry) {
+	t.Helper()
+	got := collect(tr)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: entry %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+	if tr.Len() != len(want) {
+		t.Fatalf("%s: Len = %d, want %d", label, tr.Len(), len(want))
+	}
+}
+
+func TestDeleteAcrossRebalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	tr := New[int]()
+	oracle := make([]oracleEntry, 0, n)
+	perm := rng.Perm(n)
+	for i, p := range perm {
+		k := float64(p % 97) // heavy duplicate pressure
+		tr.Insert(k, i)
+		oracle = append(oracle, oracleEntry{key: k, seq: i})
+	}
+	sort.SliceStable(oracle, func(i, j int) bool { return oracle[i].key < oracle[j].key })
+	checkInvariants(t, tr)
+
+	for len(oracle) > 0 {
+		i := rng.Intn(len(oracle))
+		e := oracle[i]
+		if !tr.Delete(e.key, func(v int) bool { return v == e.seq }) {
+			t.Fatalf("Delete(%v, seq=%d) reported missing", e.key, e.seq)
+		}
+		oracle = append(oracle[:i], oracle[i+1:]...)
+		if len(oracle)%500 == 0 {
+			checkInvariants(t, tr)
+			assertEntries(t, "after deletes", tr, oracle)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if _, ok := tr.MinKey(); ok {
+		t.Fatal("MinKey reported ok on emptied tree")
+	}
+	// The emptied tree must remain usable.
+	tr.Insert(1, 1)
+	tr.Insert(0, 2)
+	assertEntries(t, "reuse after drain", tr, []oracleEntry{{0, 2}, {1, 1}})
+}
+
+func TestDeleteMissingAndDuplicateSelection(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 5; i++ {
+		tr.Insert(2, i)
+	}
+	tr.Insert(1, 100)
+	tr.Insert(3, 200)
+
+	if tr.Delete(2.5, func(int) bool { return true }) {
+		t.Fatal("Delete of absent key reported success")
+	}
+	if tr.Delete(2, func(v int) bool { return v == 99 }) {
+		t.Fatal("Delete with never-matching predicate reported success")
+	}
+	// Remove the middle duplicate; the others keep insertion order.
+	if !tr.Delete(2, func(v int) bool { return v == 2 }) {
+		t.Fatal("Delete of middle duplicate failed")
+	}
+	assertEntries(t, "after duplicate delete", tr,
+		[]oracleEntry{{1, 100}, {2, 0}, {2, 1}, {2, 3}, {2, 4}, {3, 200}})
+	if got := tr.CountRange(2, 2); got != 4 {
+		t.Fatalf("CountRange(2,2) = %d, want 4", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	tr := New[int]()
+	var base []oracleEntry
+	for i := 0; i < 2000; i++ {
+		k := float64(i % 53)
+		tr.Insert(k, i)
+		base = append(base, oracleEntry{key: k, seq: i})
+	}
+	sort.SliceStable(base, func(i, j int) bool { return base[i].key < base[j].key })
+
+	cl := tr.Clone()
+	assertEntries(t, "clone right after Clone", cl, base)
+
+	// Diverge both sides.
+	origOracle := append([]oracleEntry(nil), base...)
+	for i := 0; i < 500; i++ {
+		e := origOracle[0]
+		if !tr.Delete(e.key, func(v int) bool { return v == e.seq }) {
+			t.Fatalf("original delete %+v failed", e)
+		}
+		origOracle = origOracle[1:]
+	}
+	tr.Insert(-1, 9999)
+	origOracle = append([]oracleEntry{{-1, 9999}}, origOracle...)
+
+	cloneOracle := append([]oracleEntry(nil), base...)
+	for i := 0; i < 300; i++ {
+		e := cloneOracle[len(cloneOracle)-1]
+		if !cl.Delete(e.key, func(v int) bool { return v == e.seq }) {
+			t.Fatalf("clone delete %+v failed", e)
+		}
+		cloneOracle = cloneOracle[:len(cloneOracle)-1]
+	}
+	cl.Insert(100, 8888)
+	cloneOracle = append(cloneOracle, oracleEntry{100, 8888})
+
+	assertEntries(t, "original after divergence", tr, origOracle)
+	assertEntries(t, "clone after divergence", cl, cloneOracle)
+	checkInvariants(t, tr)
+	checkInvariants(t, cl)
+
+	// A clone of a clone keeps sharing safely.
+	cl2 := cl.Clone()
+	cl2.Insert(50, 7777)
+	assertEntries(t, "clone after grandclone mutated", cl, cloneOracle)
+	checkInvariants(t, cl2)
+}
+
+func TestFromSortedMatchesInsertBuilt(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 31, 32, 33, 64, 100, 1056, 5000} {
+		keys := make([]float64, n)
+		values := make([]int, n)
+		for i := range keys {
+			keys[i] = float64(i / 3) // runs of duplicates
+			values[i] = i
+		}
+		bulk := FromSorted(keys, values)
+		ref := New[int]()
+		for i := range keys {
+			ref.Insert(keys[i], values[i])
+		}
+		assertEntries(t, "FromSorted", bulk, collect(ref))
+		checkInvariants(t, bulk)
+		if n > 0 {
+			if got := bulk.Rank(keys[n/2]); got != ref.Rank(keys[n/2]) {
+				t.Fatalf("n=%d: Rank mismatch %d vs %d", n, got, ref.Rank(keys[n/2]))
+			}
+		}
+		// Bulk-loaded trees must accept mutations.
+		if n >= 32 {
+			if !bulk.Delete(keys[0], func(v int) bool { return v == values[0] }) {
+				t.Fatalf("n=%d: delete from bulk-loaded tree failed", n)
+			}
+			bulk.Insert(keys[0], values[0])
+			checkInvariants(t, bulk)
+		}
+	}
+}
+
+func TestFromSortedRejectsBadInput(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("unsorted keys", func() { FromSorted([]float64{2, 1}, []int{0, 1}) })
+	mustPanic("length mismatch", func() { FromSorted([]float64{1}, []int{0, 1}) })
+}

@@ -188,6 +188,138 @@ func assertSame(t *testing.T, scan string, pivot float64, got, want []oracleEntr
 	}
 }
 
+// treeSnapshot pairs a cloned tree with the oracle state at clone time, so
+// later mutations of the live tree can be checked for copy-on-write leaks.
+type treeSnapshot struct {
+	tree   *Tree[int]
+	oracle []oracleEntry
+}
+
+// FuzzMutationsVsOracle drives an interleaved stream of Insert/Delete/Clone
+// operations decoded from the fuzz input and cross-checks scan order, rank
+// and count queries, structural invariants, and clone isolation against a
+// sorted-slice oracle.
+func FuzzMutationsVsOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 12, 1, 0, 2, 17, 0, 0, 3, 13, 2})
+	// Insert a pile of duplicates, clone, then drain.
+	seed := make([]byte, 0, 128)
+	for i := 0; i < 24; i++ {
+		seed = append(seed, 0, byte(i%5))
+	}
+	seed = append(seed, 17, 0)
+	for i := 0; i < 20; i++ {
+		seed = append(seed, 12, byte(i%5))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxOps = 256
+		tree := New[int]()
+		var oracle []oracleEntry
+		var snaps []treeSnapshot
+		seq := 0
+		ops := 0
+
+		for len(data) >= 2 && ops < maxOps {
+			op, kb := data[0], data[1]
+			data = data[2:]
+			ops++
+			// Fold the key byte into 33 buckets over [-8, 8] so duplicates
+			// are common.
+			key := float64(int(kb)%33-16) / 2
+
+			switch {
+			case op%20 < 12: // insert
+				tree.Insert(key, seq)
+				pos := len(oracle)
+				for pos > 0 && oracle[pos-1].key > key {
+					pos--
+				}
+				oracle = append(oracle, oracleEntry{})
+				copy(oracle[pos+1:], oracle[pos:])
+				oracle[pos] = oracleEntry{key: key, seq: seq}
+				seq++
+			case op%20 < 17: // delete one entry among the key's duplicates
+				var dups []int
+				for i, e := range oracle {
+					if e.key == key {
+						dups = append(dups, i)
+					}
+				}
+				if len(dups) == 0 {
+					if tree.Delete(key, func(int) bool { return true }) {
+						t.Fatalf("Delete(%v) succeeded on absent key", key)
+					}
+					continue
+				}
+				target := dups[int(op/20)%len(dups)]
+				want := oracle[target].seq
+				if !tree.Delete(key, func(v int) bool { return v == want }) {
+					t.Fatalf("Delete(%v, seq=%d) failed", key, want)
+				}
+				oracle = append(oracle[:target], oracle[target+1:]...)
+			default: // clone; alternate which side stays live
+				cl := tree.Clone()
+				frozen := cl
+				if op%2 == 0 {
+					frozen, tree = tree, cl
+				}
+				if len(snaps) < 8 {
+					snaps = append(snaps, treeSnapshot{
+						tree:   frozen,
+						oracle: append([]oracleEntry(nil), oracle...),
+					})
+				}
+			}
+		}
+
+		verify := func(label string, tr *Tree[int], want []oracleEntry) {
+			var got []oracleEntry
+			tr.Ascend(func(k float64, v int) bool {
+				got = append(got, oracleEntry{key: k, seq: v})
+				return true
+			})
+			assertSame(t, label, 0, got, want)
+			if tr.Len() != len(want) {
+				t.Fatalf("%s: Len = %d, want %d", label, tr.Len(), len(want))
+			}
+			checkInvariants(t, tr)
+			for _, p := range []float64{-8.5, -3, 0, 0.5, 4, 8.5} {
+				wantLT, wantGT := 0, 0
+				for _, e := range want {
+					if e.key < p {
+						wantLT++
+					}
+					if e.key > p {
+						wantGT++
+					}
+				}
+				if got := tr.Rank(p); got != wantLT {
+					t.Fatalf("%s: Rank(%v) = %d, want %d", label, p, got, wantLT)
+				}
+				if got := tr.CountGreater(p); got != wantGT {
+					t.Fatalf("%s: CountGreater(%v) = %d, want %d", label, p, got, wantGT)
+				}
+				wantRange := 0
+				for _, e := range want {
+					if e.key >= p && e.key <= p+3 {
+						wantRange++
+					}
+				}
+				if got := tr.CountRange(p, p+3); got != wantRange {
+					t.Fatalf("%s: CountRange(%v, %v) = %d, want %d", label, p, p+3, got, wantRange)
+				}
+			}
+		}
+
+		verify("live tree", tree, oracle)
+		for _, s := range snaps {
+			verify("snapshot", s.tree, s.oracle)
+		}
+	})
+}
+
 func mustBytes(values ...float64) []byte {
 	out := make([]byte, 0, len(values)*8)
 	for _, v := range values {

@@ -108,6 +108,11 @@ type StreamConfig struct {
 	// scoring, refits, summary and index rebuilds).  Zero inherits
 	// Config.Parallelism; results are identical at any level.
 	Parallelism int
+	// IndexCrossover is the stale fraction above which the incremental SCAPE
+	// index update (scape.Index.Update) abandons the delta path and rebuilds
+	// the index from scratch.  Zero selects scape.DefaultCrossover; query
+	// results are identical on either side of the threshold.
+	IndexCrossover float64
 }
 
 // Config parameterizes engine construction.
@@ -288,11 +293,20 @@ type Engine struct {
 	cfg Config
 	cur atomic.Pointer[engineState]
 
-	// streamMu serializes Append/Advance and guards pending.
+	// streamMu serializes Append/Advance and guards pending, stream and the
+	// scratch pools.
 	streamMu sync.Mutex
 	// pending buffers appended ticks (each of length n) until Advance folds
 	// them into the next epoch.
 	pending [][]float64
+	// stream accumulates incremental-maintenance observability counters.
+	stream StreamStats
+	// batchPool recycles the per-epoch tick-transpose buffers; flagPool
+	// recycles the drift-scoring flag slices.  Both only ever hold buffers
+	// released at the end of an Advance, so pooled memory is bounded by one
+	// epoch's scratch.
+	batchPool sync.Pool
+	flagPool  sync.Pool
 }
 
 // Build constructs the engine: AFCLST → SYMEX(+) → pivot summaries → SCAPE.
@@ -452,6 +466,62 @@ func (st *engineState) buildDerived(prev *engineState, parallelism int) error {
 			pivotOrder = append(pivotOrder, pivot)
 		}
 	}
+
+	// Location measures of the cluster centers (invariant across epochs while
+	// the clustering is frozen) and of every distinct common series, computed
+	// once up front.  Pivots share both sides heavily — a handful of clusters
+	// and a few pivots per common series — so memoizing turns O(|pivots|)
+	// ComputeLocation calls (the mode's bucketing sort dominated the Advance
+	// profile) into O(K + |commons|), with bit-identical values: the summaries
+	// below read the same ComputeLocation results they used to recompute.
+	if prev != nil && prev.centerLocation != nil && prev.rel.Clustering == clustering {
+		st.centerLocation = prev.centerLocation
+	} else {
+		st.centerLocation = make(map[stats.Measure][]float64, 3)
+		for _, m := range stats.LMeasures() {
+			centers := make([]float64, clustering.K())
+			for l, r := range clustering.Centers {
+				v, err := stats.ComputeLocation(m, r)
+				if err != nil {
+					return err
+				}
+				centers[l] = v
+			}
+			st.centerLocation[m] = centers
+		}
+	}
+	commonSet := make(map[timeseries.SeriesID]bool, len(pivotOrder))
+	commonOrder := make([]timeseries.SeriesID, 0, len(pivotOrder))
+	for _, pivot := range pivotOrder {
+		if !commonSet[pivot.Common] {
+			commonSet[pivot.Common] = true
+			commonOrder = append(commonOrder, pivot.Common)
+		}
+	}
+	lMeasures := stats.LMeasures()
+	commonLocs, err := par.Gather(len(commonOrder), parallelism, func(i int) (map[stats.Measure]float64, error) {
+		s, err := st.data.Series(commonOrder[i])
+		if err != nil {
+			return nil, err
+		}
+		locs := make(map[stats.Measure]float64, len(lMeasures))
+		for _, m := range lMeasures {
+			v, err := stats.ComputeLocation(m, s)
+			if err != nil {
+				return nil, err
+			}
+			locs[m] = v
+		}
+		return locs, nil
+	})
+	if err != nil {
+		return err
+	}
+	commonLocation := make(map[timeseries.SeriesID]map[stats.Measure]float64, len(commonOrder))
+	for i, id := range commonOrder {
+		commonLocation[id] = commonLocs[i]
+	}
+
 	summaries, err := par.Gather(len(pivotOrder), parallelism, func(i int) (*pivotSummary, error) {
 		pivot := pivotOrder[i]
 		if pivot.Cluster < 0 || pivot.Cluster >= clustering.K() {
@@ -478,16 +548,11 @@ func (st *engineState) buildDerived(prev *engineState, parallelism int) error {
 			cov:       cov,
 			locations: make(map[stats.Measure][2]float64, 3),
 		}
-		for _, m := range stats.LMeasures() {
-			lc, err := stats.ComputeLocation(m, common)
-			if err != nil {
-				return nil, err
+		for _, m := range lMeasures {
+			summary.locations[m] = [2]float64{
+				commonLocation[pivot.Common][m],
+				st.centerLocation[m][pivot.Cluster],
 			}
-			lr, err := stats.ComputeLocation(m, center)
-			if err != nil {
-				return nil, err
-			}
-			summary.locations[m] = [2]float64{lc, lr}
 		}
 		return summary, nil
 	})
@@ -535,24 +600,8 @@ func (st *engineState) buildDerived(prev *engineState, parallelism int) error {
 		}
 	}
 
-	// Location measures of the cluster centers (invariant across epochs while
-	// the clustering is frozen), then the per-series estimates.
-	if prev != nil && prev.centerLocation != nil && prev.rel.Clustering == clustering {
-		st.centerLocation = prev.centerLocation
-	} else {
-		st.centerLocation = make(map[stats.Measure][]float64, 3)
-		for _, m := range stats.LMeasures() {
-			centers := make([]float64, clustering.K())
-			for l, r := range clustering.Centers {
-				v, err := stats.ComputeLocation(m, r)
-				if err != nil {
-					return err
-				}
-				centers[l] = v
-			}
-			st.centerLocation[m] = centers
-		}
-	}
+	// Per-series location estimates propagated through the affine calibration
+	// against the (already computed) cluster-center locations.
 	st.seriesLocation = make(map[stats.Measure][]float64, 3)
 	for _, m := range stats.LMeasures() {
 		centers := st.centerLocation[m]

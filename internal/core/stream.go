@@ -121,14 +121,16 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 	n := old.data.NumSeries()
 	m := old.data.NumSamples()
 
-	// Transpose the buffered ticks into per-series batches.
-	batch := make([][]float64, n)
+	// Transpose the buffered ticks into per-series batches.  The buffer comes
+	// from the engine's pool: SlideCopy and the running-stat slide below both
+	// copy out of it, so it is recycled at the end of the epoch.
+	bs := e.getBatch()
+	defer e.putBatch(bs)
+	batch := bs.columns(n, slide)
 	for v := range batch {
-		b := make([]float64, slide)
 		for t, tick := range e.pending {
-			b[t] = tick[v]
+			batch[v][t] = tick[v]
 		}
-		batch[v] = b
 	}
 
 	newData, err := old.data.SlideCopy(batch)
@@ -164,23 +166,54 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 		}
 	}
 
-	if err := st.relAndDerived(old, e.cfg, slide, refresh); err != nil {
+	slideDone := time.Now()
+
+	stale, err := st.relAndDerived(old, e, slide, refresh)
+	if err != nil {
 		return AdvanceInfo{}, err
 	}
+	refitDone := time.Now()
 
 	if !e.cfg.SkipIndex {
-		idx, err := scape.Build(newData, st.rel, e.cfg.indexOptions(parallelism))
-		if err != nil {
-			return AdvanceInfo{}, fmt.Errorf("core: rebuilding SCAPE index: %w", err)
+		if old.index != nil {
+			// Incremental maintenance: clone the previous epoch's sequence
+			// stores copy-on-write and apply only the stale pairs' deltas.
+			// Update falls back to a full Build on its own above the
+			// crossover stale fraction (or when stale is nil, i.e. every
+			// relationship was refit); either way the resulting index answers
+			// queries byte-identically to a from-scratch Build.
+			idx, us, err := old.index.Update(newData, st.rel, stale, scape.UpdateOptions{
+				Parallelism: parallelism,
+				Crossover:   e.cfg.Stream.IndexCrossover,
+			})
+			if err != nil {
+				return AdvanceInfo{}, fmt.Errorf("core: updating SCAPE index: %w", err)
+			}
+			st.index = idx
+			e.stream.addUpdate(us)
+		} else {
+			idx, err := scape.Build(newData, st.rel, e.cfg.indexOptions(parallelism))
+			if err != nil {
+				return AdvanceInfo{}, fmt.Errorf("core: rebuilding SCAPE index: %w", err)
+			}
+			st.index = idx
+			e.stream.IndexRebuilds++
+			e.stream.ScratchGets += idx.Stats().ScratchGets
+			e.stream.ScratchHits += idx.Stats().ScratchHits
 		}
-		st.index = idx
 		st.info.IndexBuilt = true
-		st.info.IndexSequenceNodes = idx.Stats().SequenceNodes
-		st.info.IndexPivotNodes = idx.Stats().Pivots
+		st.info.IndexSequenceNodes = st.index.Stats().SequenceNodes
+		st.info.IndexPivotNodes = st.index.Stats().Pivots
 	}
+	indexDone := time.Now()
 
 	st.finishPlanner(e.cfg)
 	st.info.AdvanceDuration = time.Since(start)
+	e.stream.Advances++
+	e.stream.LastSlidePhase = slideDone.Sub(start)
+	e.stream.LastRefitPhase = refitDone.Sub(slideDone)
+	e.stream.LastIndexPhase = indexDone.Sub(refitDone)
+	e.stream.LastPlannerPhase = time.Since(indexDone)
 	info := AdvanceInfo{
 		Epoch:               st.epoch,
 		Slide:               slide,
@@ -200,14 +233,18 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 // re-fits the stale ones and installs the resulting relationship set.
 // refresh marks the periodic full-refresh epochs, on which previously pruned
 // pairs also get a refit attempt.
-func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, refresh bool) error {
+//
+// It returns the stale set handed to symex.Refit (nil when everything was
+// refit), which the caller threads into the incremental index update.
+func (st *engineState) relAndDerived(old *engineState, e *Engine, slide int, refresh bool) (map[timeseries.Pair]bool, error) {
+	cfg := e.cfg
 	parallelism := cfg.advanceParallelism()
 	// The pivot assignment is frozen, so every summary and per-series
 	// quantity can be rebuilt before the refit decision: none of them depend
 	// on the transforms.
 	st.rel = old.rel
 	if err := st.buildDerived(old, parallelism); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Select stale relationships by measuring each stale-candidate transform
@@ -231,7 +268,8 @@ func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, re
 		// assignment list, then collect — the stale set is identical at any
 		// parallelism.
 		assignments := old.rel.AssignmentList()
-		flags := make([]bool, len(assignments))
+		flags := e.getFlags(len(assignments))
+		defer e.putFlags(flags)
 		err := par.Do(len(assignments), parallelism, func(i int) error {
 			a := assignments[i]
 			rel, ok := old.rel.Relationships[a.Pair]
@@ -255,7 +293,7 @@ func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, re
 			return nil
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		stale = make(map[timeseries.Pair]bool)
 		for i, a := range assignments {
@@ -271,7 +309,7 @@ func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, re
 		MaxLSFD:     cfg.MaxLSFD,
 	})
 	if err != nil {
-		return fmt.Errorf("core: refitting relationships: %w", err)
+		return nil, fmt.Errorf("core: refitting relationships: %w", err)
 	}
 	st.rel = rel
 
@@ -285,7 +323,7 @@ func (st *engineState) relAndDerived(old *engineState, cfg Config, slide int, re
 	st.info.ReusedRelationships = rs.Reused
 	st.info.PseudoInverseCount = rs.PivotInverses
 	st.info.PseudoInverseHits = rel.Stats.PseudoInverseCacheHits
-	return nil
+	return stale, nil
 }
 
 // relationshipDrift returns the relative discrepancy between the variance of

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"affinity/internal/interval"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -118,6 +119,114 @@ func TestConcurrentQueriesDuringAdvance(t *testing.T) {
 	}
 	if queries.Load() == 0 {
 		t.Fatal("no queries executed concurrently")
+	}
+}
+
+// TestConcurrentQueriesDuringIncrementalAdvance pins the copy-on-write
+// contract of incremental index maintenance under -race: readers query both
+// the live engine AND retained previous-epoch indexes (whose sequence stores
+// share nodes with the live one) while Advance applies deltas and the pooled
+// per-epoch scratch buffers recycle underneath them.  StreamStats snapshots
+// race against the writer too.
+func TestConcurrentQueriesDuringIncrementalAdvance(t *testing.T) {
+	const n, window, slide, rounds = 16, 80, 5, 10
+	fx := makeStreamFixture(t, n, window, slide*rounds, 53)
+	e, err := Build(fx.window, Config{
+		Clusters:    4,
+		Seed:        13,
+		Parallelism: 4,
+		// A permissive crossover keeps the delta path engaged whenever the
+		// stale set is partial, so the clones genuinely share subtrees.
+		Stream: StreamConfig{DriftBound: 0.01, Parallelism: 4, IndexCrossover: 0.999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var queries atomic.Int64
+	errCh := make(chan error, 64)
+	report := func(err error) {
+		if err != nil {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+	}
+
+	// Retained epochs: the writer publishes each epoch's index here and
+	// readers keep querying old ones — COW isolation must keep every retained
+	// snapshot answering exactly as it did when it was current.
+	var retained sync.Map // epoch int -> *scape.Index
+	retained.Store(0, e.state().index)
+
+	var wg sync.WaitGroup
+	reader := func(body func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				report(body())
+				queries.Add(1)
+			}
+		}()
+	}
+
+	for i := 0; i < 2; i++ {
+		reader(func() error {
+			_, err := e.Threshold(stats.Correlation, 0.8, scape.Above, MethodIndex)
+			return err
+		})
+	}
+	reader(func() error {
+		_, err := e.Range(stats.Covariance, -0.5, 0.5, MethodIndex)
+		return err
+	})
+	reader(func() error {
+		var innerErr error
+		retained.Range(func(_, v any) bool {
+			idx := v.(*scape.Index)
+			if _, _, _, err := idx.PairTopK(stats.Correlation, 5, true); err != nil {
+				innerErr = err
+				return false
+			}
+			_, innerErr = idx.PairInterval(stats.Covariance, interval.AtLeast(0))
+			return innerErr == nil
+		})
+		return innerErr
+	})
+	reader(func() error {
+		ss := e.StreamStats()
+		if ss.IndexUpdates+ss.IndexRebuilds > ss.Advances {
+			t.Errorf("stats snapshot inconsistent: %d+%d > %d",
+				ss.IndexUpdates, ss.IndexRebuilds, ss.Advances)
+		}
+		return nil
+	})
+
+	for round := 0; round < rounds; round++ {
+		for _, tick := range fx.ticks[round*slide : (round+1)*slide] {
+			if err := e.Append(tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		retained.Store(round+1, e.state().index)
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent query failed: %v", err)
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries executed concurrently")
+	}
+	if ss := e.StreamStats(); ss.IndexUpdates == 0 {
+		t.Fatalf("delta path never engaged: %+v", ss)
 	}
 }
 

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"time"
+
+	"affinity/internal/scape"
+)
+
+// StreamStats accumulates incremental-maintenance observability over the
+// engine's lifetime: what the per-epoch SCAPE index updates did, how the
+// scratch pools behaved, and the phase timings of the most recent Advance.
+// All counters are cumulative unless prefixed Last.
+type StreamStats struct {
+	// Advances is the number of non-empty epoch transitions performed.
+	Advances int
+	// IndexUpdates counts epochs whose index was delta-updated incrementally;
+	// IndexRebuilds counts epochs that rebuilt the index from scratch (cold
+	// state, nil stale set, or crossover fallback).
+	IndexUpdates  int
+	IndexRebuilds int
+	// EntriesDeleted / EntriesInserted total the sequence-store mutations
+	// applied by incremental updates.
+	EntriesDeleted  int
+	EntriesInserted int
+	// StoresShared / StoresCloned / StoresRebuilt total the per-pivot
+	// sequence-store outcomes across incremental updates: carried over
+	// wholesale, delta-updated through a copy-on-write clone, or built fresh.
+	StoresShared  int
+	StoresCloned  int
+	StoresRebuilt int
+	// ScratchGets/ScratchHits track the SCAPE per-pivot scratch pool;
+	// PoolGets/PoolHits track the engine's own per-epoch buffer pools
+	// (tick transpose, drift flags).
+	ScratchGets int
+	ScratchHits int
+	PoolGets    int
+	PoolHits    int
+	// LastStaleFraction, LastCrossover and LastFellBack describe the most
+	// recent index maintenance decision.
+	LastStaleFraction float64
+	LastCrossover     float64
+	LastFellBack      bool
+	// Phase timings of the most recent Advance: window slide + running-stat
+	// maintenance, drift scoring + refit, index maintenance, planner refresh.
+	LastSlidePhase   time.Duration
+	LastRefitPhase   time.Duration
+	LastIndexPhase   time.Duration
+	LastPlannerPhase time.Duration
+}
+
+// PoolHitRate returns the combined hit rate of all scratch pools in [0, 1]
+// (1 when no pool was ever consulted).
+func (s StreamStats) PoolHitRate() float64 {
+	gets := s.ScratchGets + s.PoolGets
+	if gets == 0 {
+		return 1
+	}
+	return float64(s.ScratchHits+s.PoolHits) / float64(gets)
+}
+
+// addUpdate folds one incremental-update outcome into the counters.
+func (s *StreamStats) addUpdate(us scape.UpdateStats) {
+	if us.FellBack {
+		s.IndexRebuilds++
+	} else {
+		s.IndexUpdates++
+	}
+	s.EntriesDeleted += us.EntriesDeleted
+	s.EntriesInserted += us.EntriesInserted
+	s.StoresShared += us.StoresShared
+	s.StoresCloned += us.StoresCloned
+	s.StoresRebuilt += us.StoresRebuilt
+	s.ScratchGets += us.ScratchGets
+	s.ScratchHits += us.ScratchHits
+	s.LastStaleFraction = us.StaleFraction
+	s.LastCrossover = us.Crossover
+	s.LastFellBack = us.FellBack
+}
+
+// StreamStats returns a snapshot of the engine's incremental-maintenance
+// counters.
+func (e *Engine) StreamStats() StreamStats {
+	e.streamMu.Lock()
+	defer e.streamMu.Unlock()
+	return e.stream
+}
+
+// batchScratch is the pooled tick-transpose buffer: n column slices cut from
+// one backing array, regrown only when an epoch needs more room.
+type batchScratch struct {
+	cols [][]float64
+	buf  []float64
+}
+
+// columns returns n slices of length slide backed by the scratch buffer.
+func (b *batchScratch) columns(n, slide int) [][]float64 {
+	if cap(b.buf) < n*slide {
+		b.buf = make([]float64, n*slide)
+	}
+	buf := b.buf[:n*slide]
+	if cap(b.cols) < n {
+		b.cols = make([][]float64, n)
+	}
+	cols := b.cols[:n]
+	for v := range cols {
+		cols[v] = buf[v*slide : (v+1)*slide]
+	}
+	return cols
+}
+
+// getBatch returns a pooled transpose buffer, recording the pool outcome.
+// Callers hold streamMu.
+func (e *Engine) getBatch() *batchScratch {
+	e.stream.PoolGets++
+	if v := e.batchPool.Get(); v != nil {
+		e.stream.PoolHits++
+		return v.(*batchScratch)
+	}
+	return &batchScratch{}
+}
+
+func (e *Engine) putBatch(b *batchScratch) { e.batchPool.Put(b) }
+
+// getFlags returns a pooled, zeroed flag slice of length n for drift scoring.
+// Callers hold streamMu.
+func (e *Engine) getFlags(n int) []bool {
+	e.stream.PoolGets++
+	if v := e.flagPool.Get(); v != nil {
+		flags := v.([]bool)
+		if cap(flags) >= n {
+			e.stream.PoolHits++
+			flags = flags[:n]
+			for i := range flags {
+				flags[i] = false
+			}
+			return flags
+		}
+	}
+	return make([]bool, n)
+}
+
+func (e *Engine) putFlags(flags []bool) {
+	e.flagPool.Put(flags[:0]) //nolint:staticcheck // slice header allocation is amortized
+}

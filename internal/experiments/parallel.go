@@ -58,6 +58,10 @@ type ParallelRow struct {
 	// QueryResultSize is the index-method MET result size; the full
 	// result set is compared across levels before the rows are returned.
 	QueryResultSize int
+
+	// Stream holds the engine's incremental-maintenance counters after the
+	// Advance (index update/rebuild decisions, pool behavior, phase timings).
+	Stream core.StreamStats
 }
 
 // ParallelScaling runs the scaling experiment on the given dataset at each
@@ -97,6 +101,7 @@ func ParallelScaling(d *timeseries.DataMatrix, ticks [][]float64, clusters int, 
 				return nil, err
 			}
 			row.AdvanceTime = time.Since(advStart)
+			row.Stream = eng.StreamStats()
 		}
 
 		var res core.QueryResult

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"affinity/internal/btree"
 	"affinity/internal/measure"
@@ -123,13 +124,13 @@ func SeparableDerivedMeasures() []stats.Measure {
 }
 
 // sequenceNode is the per-relationship payload shared by all per-measure
-// trees of a pivot node.
+// trees of a pivot node.  It holds only window-independent state (the pair
+// and its affine β), so incremental updates can carry nodes of unchanged
+// relationships across epochs untouched; the separable D-measure parameters
+// U_e are derived at query time from the index's per-series statistics.
 type sequenceNode struct {
 	pair timeseries.Pair
 	beta [3]float64
-	// params holds the separable parameter U_e of every indexed D-measure,
-	// keyed by measure (spec.Param over the pair's per-series statistics).
-	params map[stats.Measure]float64
 }
 
 // pivotMeasure is the per-(pivot, measure) state: α, ‖α‖ and the sorted
@@ -144,14 +145,22 @@ type pivotMeasure struct {
 type pivotNode struct {
 	pivot    symex.Pivot
 	measures map[stats.Measure]*pivotMeasure
+	// seq is the pivot's sequence store: the canonical container of sequence
+	// nodes keyed by pair code (a total order over canonical pairs).  It holds
+	// the window-independent payloads the per-measure ξ-trees are derived
+	// from, and is the unit of cross-epoch sharing: Update clones it
+	// copy-on-write and applies only the stale pairs' deletions/insertions.
+	seq *btree.Tree[*sequenceNode]
 	// paramBounds[measure] = (U^min_q, U^max_q) across the pivot's sequence
 	// nodes, for every indexed D-measure; they drive the Section 5.3 pruning.
 	paramBounds map[stats.Measure][2]float64
 	pairs       int
-	// insertions counts the B-tree insertions performed while building this
+	// insertions counts the B-tree entries created while building this
 	// node; nodes are built in parallel, so the counter is per-node and summed
 	// into BuildStats afterwards.
 	insertions int
+	// scratchHit records whether the node's build scratch came from the pool.
+	scratchHit bool
 }
 
 // seriesEntry is the payload of the global location trees.
@@ -171,6 +180,10 @@ type BuildStats struct {
 	LocationComputed   int // series whose L-value was computed directly (fallback)
 	DerivedPruningOn   bool
 	TotalTreeInsertion int
+	// ScratchGets/ScratchHits count per-pivot scratch buffer requests and how
+	// many were satisfied from the shared pool (vs freshly allocated).
+	ScratchGets int
+	ScratchHits int
 }
 
 // Index is the SCAPE index.
@@ -185,7 +198,11 @@ type Index struct {
 	derivedSet   map[stats.Measure]bool
 	locationSet  map[stats.Measure]bool
 	numSamples   int
-	stats        BuildStats
+	numSeries    int
+	// perSeries holds the window's per-series variance and squared norm; the
+	// separable D-measure parameters U_e are computed from it at query time.
+	perSeries *seriesStats
+	stats     BuildStats
 }
 
 // Stats returns build statistics.
@@ -234,6 +251,7 @@ func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, e
 		derivedSet:   make(map[stats.Measure]bool),
 		locationSet:  make(map[stats.Measure]bool),
 		numSamples:   d.NumSamples(),
+		numSeries:    d.NumSeries(),
 	}
 	for _, m := range opts.PairMeasures {
 		idx.pairMeasures[m] = true
@@ -253,6 +271,7 @@ func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, e
 	if err != nil {
 		return nil, err
 	}
+	idx.perSeries = perSeries
 
 	// Build pivot nodes, one per pivot, in a deterministic (Common, Cluster)
 	// order.  The nodes are independent — each owns its B-trees — so they are
@@ -269,9 +288,13 @@ func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, e
 		}
 		return pivotOrder[i].Cluster < pivotOrder[j].Cluster
 	})
+	centers, err := computeCenterMoments(rel)
+	if err != nil {
+		return nil, err
+	}
 	nodes, err := par.Gather(len(pivotOrder), opts.buildParallelism(), func(i int) (*pivotNode, error) {
 		pivot := pivotOrder[i]
-		return idx.buildPivotNode(d, rel, pivot, rel.Pivots[pivot], perSeries)
+		return idx.buildPivotNode(d, rel, pivot, rel.Pivots[pivot], perSeries, centers)
 	})
 	if err != nil {
 		return nil, err
@@ -281,6 +304,10 @@ func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, e
 		idx.pivots = append(idx.pivots, node)
 		idx.byPivot[node.pivot] = node
 		treeInsertions += node.insertions
+		idx.stats.ScratchGets++
+		if node.scratchHit {
+			idx.stats.ScratchHits++
+		}
 	}
 	idx.stats.TotalTreeInsertion += treeInsertions
 
@@ -300,10 +327,11 @@ func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, e
 	return idx, nil
 }
 
-// seriesStats caches per-series variance and squared norm.
+// seriesStats caches per-series variance, squared norm and sum.
 type seriesStats struct {
 	variance []float64
 	sqNorm   []float64
+	sum      []float64
 }
 
 // stat returns the SeriesStat bundle of one series for spec parameters.
@@ -313,7 +341,11 @@ func (s *seriesStats) stat(id timeseries.SeriesID) measure.SeriesStat {
 
 func computeSeriesStats(d *timeseries.DataMatrix, parallelism int) (*seriesStats, error) {
 	n := d.NumSeries()
-	out := &seriesStats{variance: make([]float64, n), sqNorm: make([]float64, n)}
+	out := &seriesStats{
+		variance: make([]float64, n),
+		sqNorm:   make([]float64, n),
+		sum:      make([]float64, n),
+	}
 	ids := d.IDs()
 	err := par.Do(len(ids), parallelism, func(i int) error {
 		id := ids[i]
@@ -331,6 +363,7 @@ func computeSeriesStats(d *timeseries.DataMatrix, parallelism int) (*seriesStats
 		}
 		out.variance[id] = v
 		out.sqNorm[id] = sq
+		out.sum[id] = stats.SumOf(s)
 		return nil
 	})
 	if err != nil {
@@ -339,39 +372,151 @@ func computeSeriesStats(d *timeseries.DataMatrix, parallelism int) (*seriesStats
 	return out, nil
 }
 
-// buildPivotNode computes α per indexed measure for one pivot and inserts
-// every assigned sequence pair into the per-measure trees.
-func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
-	pivot symex.Pivot, pairs []timeseries.Pair, perSeries *seriesStats) (*pivotNode, error) {
+// centerMoments caches the self-moments of one cluster center: every pivot of
+// the same cluster shares them, so they are reduced once per epoch instead of
+// once per pivot.  The values come from the same slice primitives
+// finishPivotNode used to call per pivot, so they are bit-identical.
+type centerMoments struct {
+	variance float64 // VarianceOf(center)
+	sqNorm   float64 // DotProductOf(center, center)
+	sum      float64 // SumOf(center)
+}
 
-	op, err := rel.PivotMatrix(d, pivot)
+// computeCenterMoments reduces each cluster center once.
+func computeCenterMoments(rel *symex.Result) ([]centerMoments, error) {
+	out := make([]centerMoments, len(rel.Clustering.Centers))
+	for l, center := range rel.Clustering.Centers {
+		v, err := stats.VarianceOf(center)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := stats.DotProductOf(center, center)
+		if err != nil {
+			return nil, err
+		}
+		out[l] = centerMoments{variance: v, sqNorm: sq, sum: stats.SumOf(center)}
+	}
+	return out, nil
+}
+
+// pairCode maps a canonical pair to a float64 key that is strictly monotone
+// in (U, V) lexicographic order, so a sequence store's scan order is the
+// canonical pair order.  IDs are dense [0, numSeries), so U·numSeries+V stays
+// far below 2^53 and the encoding is exact.
+func pairCode(e timeseries.Pair, numSeries int) float64 {
+	return float64(int(e.U)*numSeries + int(e.V))
+}
+
+// newSequenceNode builds the window-independent payload of one relationship.
+func newSequenceNode(e timeseries.Pair, r *symex.Relationship) *sequenceNode {
+	return &sequenceNode{
+		pair: e,
+		beta: [3]float64{r.Transform.A.At(0, 1), r.Transform.A.At(1, 1), r.Transform.B[1]},
+	}
+}
+
+// buildPivotNode constructs one pivot node from scratch: the sequence store
+// in canonical pair order, then the window-dependent state on top of it.
+func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
+	pivot symex.Pivot, pairs []timeseries.Pair, perSeries *seriesStats, centers []centerMoments) (*pivotNode, error) {
+
+	seq, err := idx.makeSeqStore(rel, pivot, pairs)
 	if err != nil {
 		return nil, err
 	}
-	covOp, err := stats.PairMatrixCovariance(op)
+	return idx.finishPivotNode(d, rel, pivot, seq, perSeries, centers)
+}
+
+// makeSeqStore bulk-loads a pivot's sequence store with one node per assigned
+// pair, in canonical pair order.
+func (idx *Index) makeSeqStore(rel *symex.Result, pivot symex.Pivot, pairs []timeseries.Pair) (*btree.Tree[*sequenceNode], error) {
+	sorted := append(make([]timeseries.Pair, 0, len(pairs)), pairs...)
+	sort.Slice(sorted, func(i, j int) bool { return pairLess(sorted[i], sorted[j]) })
+	codes := make([]float64, len(sorted))
+	nodes := make([]*sequenceNode, len(sorted))
+	for i, e := range sorted {
+		r, ok := rel.Relationships[e]
+		if !ok {
+			return nil, fmt.Errorf("scape: pivot %v references unknown pair %v", pivot, e)
+		}
+		nodes[i] = newSequenceNode(e, r)
+		codes[i] = pairCode(e, idx.numSeries)
+	}
+	return btree.FromSorted(codes, nodes), nil
+}
+
+// xiEntry pairs a sequence node with its scalar projection while the
+// per-measure tree contents are being sorted.
+type xiEntry struct {
+	xi float64
+	sn *sequenceNode
+}
+
+// pivotScratch holds the reusable per-pivot build buffers.  The buffers grow
+// to the largest pivot they have served and are recycled through a pool
+// across pivots and epochs, keeping the per-epoch allocation count
+// independent of the number of relationships.
+type pivotScratch struct {
+	nodes   []*sequenceNode
+	entries []xiEntry
+	keys    []float64
+	vals    []*sequenceNode
+}
+
+var pivotScratchPool sync.Pool
+
+// getScratch returns a scratch buffer and whether it came from the pool.
+func getScratch() (*pivotScratch, bool) {
+	if v := pivotScratchPool.Get(); v != nil {
+		return v.(*pivotScratch), true
+	}
+	return &pivotScratch{}, false
+}
+
+func putScratch(sc *pivotScratch) { pivotScratchPool.Put(sc) }
+
+// finishPivotNode derives all window-dependent per-pivot state — α per
+// measure, the D-measure parameter bounds, and the per-measure ξ-trees — from
+// a pivot's sequence store.  It is the single code path shared by Build and
+// Update, which is what makes incrementally maintained indexes byte-identical
+// to freshly built ones: both sides feed the same sequence-node payloads, in
+// the same canonical pair order, through the same floating-point operations.
+func (idx *Index) finishPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
+	pivot symex.Pivot, seq *btree.Tree[*sequenceNode], perSeries *seriesStats, centers []centerMoments) (*pivotNode, error) {
+
+	// The pivot's second-moment terms are reduced straight off the two column
+	// slices of O_p = [s_common, r_cluster] — bit-identical to reducing a
+	// materialized pair matrix (stats.PairMatrix* delegate to these same slice
+	// primitives), but without the two column copies and the row-major matrix
+	// allocation per pivot, which dominated the build profile.  The self-moments
+	// of both columns are memoized (per series in perSeries, per cluster in
+	// centers), leaving only the two cross-column reductions per pivot.
+	common, center, err := rel.PivotColumns(d, pivot)
 	if err != nil {
 		return nil, err
 	}
-	dotOp, err := stats.PairMatrixDotProduct(op)
+	cov, err := stats.CovarianceOf(common, center)
 	if err != nil {
 		return nil, err
 	}
-	sums, err := stats.ColumnSums(op)
+	d01, err := stats.DotProductOf(common, center)
 	if err != nil {
 		return nil, err
 	}
+	cm := centers[pivot.Cluster]
 	terms := measure.PivotTerms{
-		Cov:        [3]float64{covOp.At(0, 0), covOp.At(0, 1), covOp.At(1, 1)},
-		Dot:        [3]float64{dotOp.At(0, 0), dotOp.At(0, 1), dotOp.At(1, 1)},
-		ColSums:    [2]float64{sums[0], sums[1]},
+		Cov:        [3]float64{perSeries.variance[pivot.Common], cov, cm.variance},
+		Dot:        [3]float64{perSeries.sqNorm[pivot.Common], d01, cm.sqNorm},
+		ColSums:    [2]float64{perSeries.sum[pivot.Common], cm.sum},
 		NumSamples: idx.numSamples,
 	}
 
 	node := &pivotNode{
 		pivot:       pivot,
+		seq:         seq,
 		measures:    make(map[stats.Measure]*pivotMeasure),
 		paramBounds: make(map[stats.Measure][2]float64),
-		pairs:       len(pairs),
+		pairs:       seq.Len(),
 	}
 
 	// α per indexed T-measure is the first row of the measure's augmented
@@ -381,45 +526,59 @@ func (idx *Index) buildPivotNode(d *timeseries.DataMatrix, rel *symex.Result,
 		node.measures[m] = &pivotMeasure{
 			alpha:     alpha,
 			alphaNorm: vec3Norm(alpha),
-			tree:      btree.New[*sequenceNode](),
 		}
 	}
 
-	// Parameter bounds start empty; they are extended as sequence nodes are
-	// inserted.
+	sc, hit := getScratch()
+	node.scratchHit = hit
+	defer putScratch(sc)
+
+	// Snapshot the store in canonical pair order once; every derived
+	// structure below walks this slice.
+	nodes := sc.nodes[:0]
+	seq.Ascend(func(_ float64, sn *sequenceNode) bool {
+		nodes = append(nodes, sn)
+		return true
+	})
+	sc.nodes = nodes
+
+	// Parameter bounds (U^min_q, U^max_q) per indexed D-measure over the
+	// pivot's pairs; the parameters depend on the window's per-series
+	// statistics and are therefore recomputed every epoch.
 	for m := range idx.derivedSet {
-		node.paramBounds[m] = [2]float64{math.Inf(1), math.Inf(-1)}
-	}
-
-	for _, e := range pairs {
-		r, ok := rel.Relationships[e]
-		if !ok {
-			return nil, fmt.Errorf("scape: pivot %v references unknown pair %v", pivot, e)
-		}
-		sn := &sequenceNode{
-			pair: e,
-			beta: [3]float64{r.Transform.A.At(0, 1), r.Transform.A.At(1, 1), r.Transform.B[1]},
-		}
-		if len(idx.derivedSet) > 0 {
-			sn.params = make(map[stats.Measure]float64, len(idx.derivedSet))
-			for m := range idx.derivedSet {
-				u := measure.Lookup(m).Param(perSeries.stat(e.U), perSeries.stat(e.V))
-				sn.params[m] = u
-				bounds := node.paramBounds[m]
-				if u < bounds[0] {
-					bounds[0] = u
-				}
-				if u > bounds[1] {
-					bounds[1] = u
-				}
-				node.paramBounds[m] = bounds
+		param := measure.Lookup(m).Param
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, sn := range nodes {
+			u := param(perSeries.stat(sn.pair.U), perSeries.stat(sn.pair.V))
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
 			}
 		}
-		for _, pm := range node.measures {
-			xi := scalarProjection(pm, sn.beta)
-			pm.tree.Insert(xi, sn)
-			node.insertions++
+		node.paramBounds[m] = [2]float64{lo, hi}
+	}
+
+	// ξ-trees: project every node, stable-sort (preserving canonical pair
+	// order among equal projections, matching sequential insertion), and
+	// bulk-load.  This replaces per-entry random inserts with O(k) tree
+	// construction from pooled buffers.
+	for _, pm := range node.measures {
+		entries := sc.entries[:0]
+		for _, sn := range nodes {
+			entries = append(entries, xiEntry{xi: scalarProjection(pm, sn.beta), sn: sn})
 		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].xi < entries[j].xi })
+		keys := sc.keys[:0]
+		vals := sc.vals[:0]
+		for _, e := range entries {
+			keys = append(keys, e.xi)
+			vals = append(vals, e.sn)
+		}
+		pm.tree = btree.FromSorted(keys, vals)
+		node.insertions += len(entries)
+		sc.entries, sc.keys, sc.vals = entries, keys, vals
 	}
 	return node, nil
 }
@@ -457,21 +616,47 @@ func (idx *Index) buildLocationTrees(d *timeseries.DataMatrix, rel *symex.Result
 			pivotOrder = append(pivotOrder, r.Pivot)
 		}
 	}
+	// Cluster-center locations are shared by every pivot of the same cluster;
+	// compute each distinct center once and let the per-pivot reduction below
+	// read the memo (bit-identical: the same ComputeLocation call on the same
+	// center slice).
+	centerLoc := make(map[int]map[stats.Measure]float64)
+	for _, p := range pivotOrder {
+		if _, ok := centerLoc[p.Cluster]; ok {
+			continue
+		}
+		_, center, err := rel.PivotColumns(d, p)
+		if err != nil {
+			return err
+		}
+		locs := make(map[stats.Measure]float64, len(measures))
+		for _, m := range measures {
+			v, err := stats.ComputeLocation(m, center)
+			if err != nil {
+				return err
+			}
+			locs[m] = v
+		}
+		centerLoc[p.Cluster] = locs
+	}
 	type pivotLoc struct {
 		values map[stats.Measure][2]float64
 	}
 	pivotLocs, err := par.Gather(len(pivotOrder), idx.opts.buildParallelism(), func(i int) (pivotLoc, error) {
-		op, err := rel.PivotMatrix(d, pivotOrder[i])
+		// L-measures straight off the common column slice of O_p
+		// (ComputeLocation never mutates its input; the median path copies
+		// before sorting).
+		common, _, err := rel.PivotColumns(d, pivotOrder[i])
 		if err != nil {
 			return pivotLoc{}, err
 		}
 		pl := pivotLoc{values: make(map[stats.Measure][2]float64, len(measures))}
 		for _, m := range measures {
-			vals, err := stats.PairMatrixLocation(m, op)
+			lc, err := stats.ComputeLocation(m, common)
 			if err != nil {
 				return pivotLoc{}, err
 			}
-			pl.values[m] = [2]float64{vals[0], vals[1]}
+			pl.values[m] = [2]float64{lc, centerLoc[pivotOrder[i].Cluster][m]}
 		}
 		return pl, nil
 	})

@@ -185,10 +185,10 @@ func (idx *Index) PairValue(m stats.Measure, e timeseries.Pair) (float64, error)
 		if !sp.Derived() {
 			return pm.alphaNorm * foundXi, nil
 		}
-		u, ok := found.params[m]
-		if !ok {
+		if !idx.derivedSet[m] {
 			return 0, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
 		}
+		u := sp.Param(idx.perSeries.stat(e.U), idx.perSeries.stat(e.V))
 		return sp.Value(pm.alphaNorm*foundXi, u, idx.numSamples)
 	}
 	return 0, fmt.Errorf("scape: pair %v not present in the index", e)
@@ -529,13 +529,13 @@ func (idx *Index) nodeDerivedInterval(node *pivotNode, sp *measure.Spec, pred de
 }
 
 // derivedValue computes the exact derived measure of a sequence node from
-// index-resident quantities: the spec transform of ‖α‖·ξ and the stored
-// parameter.
+// index-resident quantities: the spec transform of ‖α‖·ξ and the separable
+// parameter derived from the window's per-series statistics.
 func (idx *Index) derivedValue(pm *pivotMeasure, sn *sequenceNode, sp *measure.Spec, xi float64) (float64, bool) {
-	u, ok := sn.params[sp.ID]
-	if !ok {
+	if !idx.derivedSet[sp.ID] {
 		return 0, false
 	}
+	u := sp.Param(idx.perSeries.stat(sn.pair.U), idx.perSeries.stat(sn.pair.V))
 	v, err := sp.Value(pm.alphaNorm*xi, u, idx.numSamples)
 	if err != nil {
 		return 0, false

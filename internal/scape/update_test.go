@@ -1,0 +1,313 @@
+package scape
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"affinity/internal/cluster"
+	"affinity/internal/interval"
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// slidingDataset builds two overlapping windows of the same generated series
+// (the second slid forward by slide samples) plus the SYMEX+ result over the
+// first window.
+func slidingDataset(t testing.TB, seed int64, n, m, slide int) (d1, d2 *timeseries.DataMatrix, rel1 *symex.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const groups = 3
+	long := m + slide
+	bases := make([][]float64, groups)
+	for g := range bases {
+		b := make([]float64, long)
+		for i := range b {
+			b[i] = math.Sin(float64(i)*0.03*float64(g+1)) + 0.4*math.Cos(float64(i)*0.011*float64(g+2))
+		}
+		bases[g] = b
+	}
+	w1 := make([][]float64, n)
+	w2 := make([][]float64, n)
+	for s := range w1 {
+		g := s % groups
+		scale := 0.5 + rng.Float64()*2
+		offset := rng.NormFloat64() * 0.5
+		col := make([]float64, long)
+		for i := range col {
+			col[i] = scale*bases[g][i] + offset + rng.NormFloat64()*0.02
+		}
+		w1[s] = col[:m]
+		w2[s] = col[slide:]
+	}
+	var err error
+	d1, err = timeseries.NewDataMatrix(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err = timeseries.NewDataMatrix(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1, err = symex.Compute(d1, symex.Options{
+		Cluster:            cluster.Config{K: groups, MaxIterations: 10, MinChanges: 0, Seed: 1},
+		CachePseudoInverse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d1, d2, rel1
+}
+
+// assertIndexEquivalent runs the full query surface over both indexes and
+// requires byte-identical answers (same values, same order).
+func assertIndexEquivalent(t *testing.T, got, want *Index) {
+	t.Helper()
+	measures := []stats.Measure{
+		stats.Covariance, stats.DotProduct,
+		stats.Correlation, stats.Cosine,
+	}
+	intervals := []interval.Interval{
+		interval.AtLeast(0.1), interval.AtMost(-0.05),
+		interval.Between(-0.5, 0.5), interval.New(interval.Open(0), interval.Open(1)),
+	}
+	for _, m := range measures {
+		for _, iv := range intervals {
+			gp, err1 := got.PairInterval(m, iv)
+			wp, err2 := want.PairInterval(m, iv)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("PairInterval(%v, %v) error mismatch: %v vs %v", m, iv, err1, err2)
+			}
+			if len(gp) != len(wp) {
+				t.Fatalf("PairInterval(%v, %v): %d pairs vs %d", m, iv, len(gp), len(wp))
+			}
+			for i := range gp {
+				if gp[i] != wp[i] {
+					t.Fatalf("PairInterval(%v, %v)[%d] = %v, want %v", m, iv, i, gp[i], wp[i])
+				}
+			}
+		}
+		gtp, gtv, gScanned, err1 := got.PairTopK(m, 7, true)
+		wtp, wtv, _, err2 := want.PairTopK(m, 7, true)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("PairTopK(%v) error mismatch: %v vs %v", m, err1, err2)
+		}
+		_ = gScanned
+		if len(gtp) != len(wtp) {
+			t.Fatalf("PairTopK(%v): %d vs %d results", m, len(gtp), len(wtp))
+		}
+		for i := range gtp {
+			if gtp[i] != wtp[i] || gtv[i] != wtv[i] {
+				t.Fatalf("PairTopK(%v)[%d] = %v/%v, want %v/%v", m, i, gtp[i], gtv[i], wtp[i], wtv[i])
+			}
+		}
+	}
+	for _, m := range []stats.Measure{stats.Mean, stats.Median} {
+		gs, err1 := got.SeriesInterval(m, interval.AtLeast(-0.2))
+		ws, err2 := want.SeriesInterval(m, interval.AtLeast(-0.2))
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("SeriesInterval(%v) error mismatch: %v vs %v", m, err1, err2)
+		}
+		if len(gs) != len(ws) {
+			t.Fatalf("SeriesInterval(%v): %d vs %d", m, len(gs), len(ws))
+		}
+		for i := range gs {
+			if gs[i] != ws[i] {
+				t.Fatalf("SeriesInterval(%v)[%d] = %v, want %v", m, i, gs[i], ws[i])
+			}
+		}
+		gid, gv, err1 := got.SeriesTopK(m, 5, false)
+		wid, wv, err2 := want.SeriesTopK(m, 5, false)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("SeriesTopK(%v) error mismatch: %v vs %v", m, err1, err2)
+		}
+		for i := range gid {
+			if gid[i] != wid[i] || gv[i] != wv[i] {
+				t.Fatalf("SeriesTopK(%v)[%d] = %v/%v, want %v/%v", m, i, gid[i], gv[i], wid[i], wv[i])
+			}
+		}
+	}
+}
+
+// staleSubset deterministically picks a fraction of the assignments as stale.
+func staleSubset(rel *symex.Result, frac float64, seed int64) map[timeseries.Pair]bool {
+	list := rel.AssignmentList()
+	pairs := make([]timeseries.Pair, len(list))
+	for i, a := range list {
+		pairs[i] = a.Pair
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairLess(pairs[i], pairs[j]) })
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	k := int(frac * float64(len(pairs)))
+	out := make(map[timeseries.Pair]bool, k)
+	for _, p := range pairs[:k] {
+		out[p] = true
+	}
+	return out
+}
+
+func TestUpdateMatchesFullBuild(t *testing.T) {
+	d1, d2, rel1 := slidingDataset(t, 11, 36, 240, 24)
+	opts := Options{Parallelism: 2}
+	idx1, err := Build(d1, rel1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, frac := range []float64{0, 0.1, 0.3} {
+		stale := staleSubset(rel1, frac, 5)
+		rel2, _, err := symex.Refit(d2, rel1, symex.RefitOptions{Stale: stale, Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 8} {
+			upd, us, err := idx1.Update(d2, rel2, stale, UpdateOptions{Parallelism: p})
+			if err != nil {
+				t.Fatalf("frac=%v P=%d: %v", frac, p, err)
+			}
+			if us.FellBack {
+				t.Fatalf("frac=%v P=%d: unexpected fallback (stale fraction %v)", frac, p, us.StaleFraction)
+			}
+			if us.StoresShared+us.StoresCloned+us.StoresRebuilt != upd.NumPivots() {
+				t.Fatalf("store accounting %d+%d+%d != %d pivots",
+					us.StoresShared, us.StoresCloned, us.StoresRebuilt, upd.NumPivots())
+			}
+			if frac == 0 && us.StoresCloned != 0 {
+				t.Fatalf("frac=0 cloned %d stores", us.StoresCloned)
+			}
+			if frac > 0 && us.EntriesInserted == 0 {
+				t.Fatalf("frac=%v inserted no entries", frac)
+			}
+			full, err := Build(d2, rel2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIndexEquivalent(t, upd, full)
+		}
+	}
+}
+
+func TestUpdateCrossoverFallsBackToBuild(t *testing.T) {
+	d1, d2, rel1 := slidingDataset(t, 17, 24, 200, 20)
+	idx1, err := Build(d1, rel1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A nil stale set (everything stale) must fall back.
+	rel2, _, err := symex.Refit(d2, rel1, symex.RefitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, us, err := idx1.Update(d2, rel2, nil, UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !us.FellBack || us.StaleFraction != 1 {
+		t.Fatalf("nil stale set: FellBack=%v fraction=%v", us.FellBack, us.StaleFraction)
+	}
+	full, err := Build(d2, rel2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIndexEquivalent(t, upd, full)
+
+	// A stale fraction above an artificially low crossover must fall back too.
+	stale := staleSubset(rel1, 0.2, 3)
+	rel3, _, err := symex.Refit(d2, rel1, symex.RefitOptions{Stale: stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, us, err = idx1.Update(d2, rel3, stale, UpdateOptions{Crossover: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !us.FellBack {
+		t.Fatalf("stale fraction %v above crossover %v did not fall back", us.StaleFraction, us.Crossover)
+	}
+	// And below the default crossover it must not.
+	_, us, err = idx1.Update(d2, rel3, stale, UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us.FellBack {
+		t.Fatalf("stale fraction %v under default crossover fell back", us.StaleFraction)
+	}
+}
+
+func TestUpdateChainedEpochs(t *testing.T) {
+	// Three consecutive slides, each incrementally updated from the last,
+	// must still match a from-scratch build of the final window.
+	const n, m, slide, epochs = 30, 220, 16, 3
+	rng := rand.New(rand.NewSource(23))
+	const groups = 3
+	long := m + slide*epochs
+	series := make([][]float64, n)
+	for s := range series {
+		g := s % groups
+		scale := 0.5 + rng.Float64()*2
+		offset := rng.NormFloat64() * 0.5
+		col := make([]float64, long)
+		for i := range col {
+			base := math.Sin(float64(i)*0.03*float64(g+1)) + 0.4*math.Cos(float64(i)*0.011*float64(g+2))
+			col[i] = scale*base + offset + rng.NormFloat64()*0.02
+		}
+		series[s] = col
+	}
+	window := func(e int) *timeseries.DataMatrix {
+		w := make([][]float64, n)
+		for s := range w {
+			w[s] = series[s][e*slide : e*slide+m]
+		}
+		d, err := timeseries.NewDataMatrix(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	d0 := window(0)
+	rel, err := symex.Compute(d0, symex.Options{
+		Cluster:            cluster.Config{K: groups, MaxIterations: 10, MinChanges: 0, Seed: 1},
+		CachePseudoInverse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(d0, rel, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= epochs; e++ {
+		d := window(e)
+		stale := staleSubset(rel, 0.15, int64(e))
+		rel2, _, err := symex.Refit(d, rel, symex.RefitOptions{Stale: stale, Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx2, us, err := idx.Update(d, rel2, stale, UpdateOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if us.FellBack {
+			t.Fatalf("epoch %d fell back at stale fraction %v", e, us.StaleFraction)
+		}
+		// The previous epoch's index must remain intact and queryable after
+		// the delta was applied (copy-on-write isolation).
+		prevFull, err := Build(window(e-1), rel, Options{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIndexEquivalent(t, idx, prevFull)
+		rel, idx = rel2, idx2
+
+		full, err := Build(d, rel2, Options{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIndexEquivalent(t, idx, full)
+	}
+}

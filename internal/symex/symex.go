@@ -171,6 +171,26 @@ func (r *Result) PivotMatrix(d *timeseries.DataMatrix, p Pivot) (*mat.Matrix, er
 	return d.ColumnsMatrix(p.Common, r.Clustering.Centers[p.Cluster])
 }
 
+// PivotColumns returns the two columns of O_p = [s_common, r_cluster] as
+// read-only slice views, with the same validation as PivotMatrix but without
+// materializing (copying) the pair matrix.  Callers must not mutate either
+// slice: the first aliases the data matrix's backing storage and the second
+// the clustering's center vector.
+func (r *Result) PivotColumns(d *timeseries.DataMatrix, p Pivot) (common, center []float64, err error) {
+	if p.Cluster < 0 || p.Cluster >= r.Clustering.K() {
+		return nil, nil, fmt.Errorf("symex: pivot %v references unknown cluster", p)
+	}
+	common, err = d.Series(p.Common)
+	if err != nil {
+		return nil, nil, err
+	}
+	center = r.Clustering.Centers[p.Cluster]
+	if len(center) != len(common) {
+		return nil, nil, fmt.Errorf("symex: cluster center has %d samples, window has %d", len(center), len(common))
+	}
+	return common, center, nil
+}
+
 // Compute runs SYMEX (or SYMEX+ when opts.CachePseudoInverse is set) over the
 // data matrix: it clusters the series with AFCLST, systematically explores
 // the sequence pair set to assign a pivot pair to every sequence pair, and
