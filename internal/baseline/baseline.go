@@ -17,9 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"affinity/internal/dft"
 	"affinity/internal/interval"
+	"affinity/internal/kernel"
+	"affinity/internal/measure"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
@@ -27,14 +30,37 @@ import (
 // ErrNotPrecomputed is returned when a W_F query is issued before Precompute.
 var ErrNotPrecomputed = errors.New("baseline: DFT coefficients not precomputed")
 
-// Naive is the W_N method: it holds only a reference to the data matrix and
-// recomputes every requested measure from the raw series.
+// Naive is the W_N method: it holds a reference to the data matrix and
+// computes every requested measure from the raw series.  Full-dataset scans
+// run on the blocked columnar kernels (internal/kernel), built lazily once
+// per window and byte-identical to the scalar evaluation; single-pair lookups
+// stay scalar.
 type Naive struct {
 	data *timeseries.DataMatrix
+
+	kernOnce sync.Once
+	kern     *kernel.Matrix
+	kernMom  *kernel.Moments
+	kernErr  error
 }
 
 // NewNaive returns a W_N baseline over the data matrix.
 func NewNaive(d *timeseries.DataMatrix) *Naive { return &Naive{data: d} }
+
+// Kernel returns the lazily built columnar mirror of the window and its
+// hoisted per-series moments, shared by every blocked scan over this window
+// (the engine's sweep and batch executors call this too).  Safe for
+// concurrent use; the window is immutable for the lifetime of the Naive.
+func (n *Naive) Kernel() (*kernel.Matrix, *kernel.Moments, error) {
+	n.kernOnce.Do(func() {
+		n.kern, n.kernErr = kernel.FromData(n.data)
+		if n.kernErr != nil {
+			return
+		}
+		n.kernMom, n.kernErr = n.kern.Moments()
+	})
+	return n.kern, n.kernMom, n.kernErr
+}
 
 // Location computes an L-measure for the requested series from scratch.
 func (n *Naive) Location(m stats.Measure, ids []timeseries.SeriesID) ([]float64, error) {
@@ -56,34 +82,140 @@ func (n *Naive) Location(m stats.Measure, ids []timeseries.SeriesID) ([]float64,
 // Pairwise computes a T- or D-measure for every pair among the requested
 // series from scratch, returned as a symmetric |ids|-by-|ids| matrix in the
 // order given.  Pairs with an undefined derived value are reported as NaN.
+// The upper triangle (diagonal included) runs on the blocked kernels in
+// request order; results are byte-identical to per-pair scalar evaluation.
 func (n *Naive) Pairwise(m stats.Measure, ids []timeseries.SeriesID) ([][]float64, error) {
+	sp, ok := measure.Find(m)
+	if !ok || !sp.Pairwise() {
+		return nil, fmt.Errorf("%w: %v is not a pairwise measure", stats.ErrUnknownMeasure, m)
+	}
+	for _, id := range ids {
+		if _, err := n.data.Series(id); err != nil {
+			return nil, err
+		}
+	}
 	out := make([][]float64, len(ids))
 	for i := range out {
 		out[i] = make([]float64, len(ids))
 	}
-	for i, u := range ids {
-		su, err := n.data.Series(u)
-		if err != nil {
-			return nil, err
-		}
+	// The kernels are symmetric in (U, V) and accept U == V, so the triangle
+	// enumerates raw column index pairs without canonicalization.
+	pairs := make([]timeseries.Pair, 0, len(ids)*(len(ids)+1)/2)
+	for i := range ids {
 		for j := i; j < len(ids); j++ {
-			sv, err := n.data.Series(ids[j])
-			if err != nil {
-				return nil, err
-			}
-			v, err := stats.ComputePair(m, su, sv)
-			if err != nil {
-				if errors.Is(err, stats.ErrZeroNormalizer) {
-					v = math.NaN()
-				} else {
-					return nil, err
-				}
-			}
-			out[i][j] = v
-			out[j][i] = v
+			pairs = append(pairs, timeseries.Pair{U: ids[i], V: ids[j]})
+		}
+	}
+	values := make([]float64, len(pairs))
+	if err := n.SweepValues(sp, pairs, values); err != nil {
+		return nil, err
+	}
+	k := 0
+	for i := range ids {
+		for j := i; j < len(ids); j++ {
+			out[i][j] = values[k]
+			out[j][i] = values[k]
+			k++
 		}
 	}
 	return out, nil
+}
+
+// SweepValues fills values[i] with the naive evaluation of sp for pairs[i],
+// NaN where the measure is undefined, using the blocked kernels (bit-equal
+// to the scalar path); bases without a blocked kernel fall back to per-pair
+// scalar evaluation.  Pairs are raw column index pairs: U == V is allowed and
+// yields the measure of a series with itself.  len(values) must equal
+// len(pairs); callers shard pair ranges across workers by slicing both.
+func (n *Naive) SweepValues(sp *measure.Spec, pairs []timeseries.Pair, values []float64) error {
+	kern, mom, err := n.Kernel()
+	if err != nil {
+		return err
+	}
+	baseBlock := kern.BaseBlock(sp.Base)
+	if baseBlock == nil {
+		return n.sweepValuesScalar(sp, pairs, values)
+	}
+	numSamples := n.data.NumSamples()
+	for lo := 0; lo < len(pairs); lo += kernel.BlockPairs {
+		hi := lo + kernel.BlockPairs
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		chunk, out := pairs[lo:hi], values[lo:hi]
+		baseBlock(mom, chunk, out)
+		if !sp.Derived() {
+			continue
+		}
+		for i, p := range chunk {
+			u := sp.Param(mom.Stat(p.U), mom.Stat(p.V))
+			v, err := sp.EvalOrNaN(out[i], u, numSamples)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+	}
+	return nil
+}
+
+// SweepValues32 is SweepValues on the float32 kernel tier: base terms stream
+// the float32 mirror of the window (half the bytes) into float64 accumulators,
+// so results carry the documented kernel tolerance instead of byte-identity.
+// Per-series parameters (normalizers) stay float64.  Bases without a float32
+// kernel fall back to the float64 blocked path.
+func (n *Naive) SweepValues32(sp *measure.Spec, pairs []timeseries.Pair, values []float64) error {
+	kern, mom, err := n.Kernel()
+	if err != nil {
+		return err
+	}
+	baseBlock := kern.BaseBlock32(sp.Base)
+	if baseBlock == nil {
+		return n.SweepValues(sp, pairs, values)
+	}
+	numSamples := n.data.NumSamples()
+	for lo := 0; lo < len(pairs); lo += kernel.BlockPairs {
+		hi := lo + kernel.BlockPairs
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		chunk, out := pairs[lo:hi], values[lo:hi]
+		baseBlock(mom, chunk, out)
+		if !sp.Derived() {
+			continue
+		}
+		for i, p := range chunk {
+			u := sp.Param(mom.Stat(p.U), mom.Stat(p.V))
+			v, err := sp.EvalOrNaN(out[i], u, numSamples)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+	}
+	return nil
+}
+
+// sweepValuesScalar is the per-pair fallback for bases without a blocked
+// kernel; it is also the reference implementation the kernel parity tests
+// compare against.
+func (n *Naive) sweepValuesScalar(sp *measure.Spec, pairs []timeseries.Pair, values []float64) error {
+	for i, p := range pairs {
+		su, err := n.data.Series(p.U)
+		if err != nil {
+			return err
+		}
+		sv, err := n.data.Series(p.V)
+		if err != nil {
+			return err
+		}
+		v, err := stats.OrNaN(stats.ComputePair(sp.ID, su, sv))
+		if err != nil {
+			return err
+		}
+		values[i] = v
+	}
+	return nil
 }
 
 // PairValue computes a single pairwise measure from scratch.
@@ -91,25 +223,31 @@ func (n *Naive) PairValue(m stats.Measure, e timeseries.Pair) (float64, error) {
 	return stats.PairMeasure(m, n.data, e)
 }
 
-// PairInterval evaluates an interval (MET/MER) query by computing the
-// measure from scratch for every sequence pair and filtering; pairs with an
-// undefined derived value never match.
+// PairInterval evaluates an interval (MET/MER) query with one blocked sweep
+// over the sequence pairs: base values reduce block-at-a-time, undefined
+// derived values propagate as NaN, and the interval predicate compacts the
+// block branch-free (NaN never matches).
 func (n *Naive) PairInterval(m stats.Measure, iv interval.Interval) ([]timeseries.Pair, error) {
 	if iv.Empty() {
 		return nil, fmt.Errorf("baseline: empty interval %v", iv)
 	}
+	sp, ok := measure.Find(m)
+	if !ok || !sp.Pairwise() {
+		return nil, fmt.Errorf("%w: %v is not a pairwise measure", stats.ErrUnknownMeasure, m)
+	}
+	pairs := n.data.AllPairs()
 	var out []timeseries.Pair
-	for _, e := range n.data.AllPairs() {
-		v, err := stats.PairMeasure(m, n.data, e)
-		if err != nil {
-			if errors.Is(err, stats.ErrZeroNormalizer) {
-				continue
-			}
+	values := make([]float64, kernel.BlockPairs)
+	for lo := 0; lo < len(pairs); lo += kernel.BlockPairs {
+		hi := lo + kernel.BlockPairs
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		chunk := pairs[lo:hi]
+		if err := n.SweepValues(sp, chunk, values[:len(chunk)]); err != nil {
 			return nil, err
 		}
-		if iv.Contains(v) {
-			out = append(out, e)
-		}
+		out = kernel.CompactPairs(out, chunk, values, iv)
 	}
 	return out, nil
 }

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"affinity/internal/interval"
+	"affinity/internal/kernel"
 	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
@@ -295,11 +295,13 @@ func (e *engineState) locationQuery(it execItem) (QueryResult, error) {
 }
 
 // pairSweepItem is one sweep-method (naive/affine) pairwise query in
-// shared-pass form: an interval predicate, or a top-k heap when keep is nil.
+// shared-pass form: an interval predicate (compacted branch-free against each
+// value block), or a top-k heap when topk is set.
 type pairSweepItem struct {
 	measure stats.Measure
 	method  Method // MethodNaive or MethodAffine
-	keep    func(float64) bool
+	topk    bool
+	iv      interval.Interval
 	k       int
 	largest bool
 }
@@ -308,9 +310,9 @@ type pairSweepItem struct {
 func newSweepItem(it execItem) pairSweepItem {
 	s := pairSweepItem{measure: it.spec.Measure, method: it.method}
 	if it.spec.Kind == plan.KindTopK {
-		s.k, s.largest = it.spec.K, it.spec.Largest
+		s.topk, s.k, s.largest = true, it.spec.K, it.spec.Largest
 	} else {
-		s.keep = it.spec.Interval.Contains
+		s.iv = it.spec.Interval
 	}
 	return s
 }
@@ -373,92 +375,93 @@ func (e *engineState) pairMultiSweep(items []pairSweepItem) ([]QueryResult, erro
 
 	pairs := e.data.AllPairs()
 	numSamples := e.data.NumSamples()
+	kern, mom, err := e.naive.Kernel()
+	if err != nil {
+		return nil, err
+	}
 	blocks := par.Blocks(len(pairs), e.par)
 	type blockPart struct {
 		pairs [][]timeseries.Pair // per interval item
 		heaps []*scape.TopHeap    // per top-k item
 	}
 	parts := make([]blockPart, len(blocks))
-	err := par.Do(len(blocks), e.par, func(b int) error {
+	err = par.Do(len(blocks), e.par, func(b int) error {
 		local := blockPart{
 			pairs: make([][]timeseries.Pair, len(items)),
 			heaps: make([]*scape.TopHeap, len(items)),
 		}
 		for k, p := range items {
-			if p.keep == nil {
+			if p.topk {
 				local.heaps[k] = scape.NewTopHeap(p.k, p.largest)
 			}
 		}
-		// Per-worker cache of naive per-series statistics: deterministic
-		// functions of the series, so caching cannot change any value.
-		var naiveStats []map[measure.StatMask]measure.SeriesStat
-		naiveStat := func(id timeseries.SeriesID, mask measure.StatMask) (measure.SeriesStat, error) {
-			if naiveStats == nil {
-				naiveStats = make([]map[measure.StatMask]measure.SeriesStat, e.data.NumSeries())
+		// Two kernel-block buffers per row block — O(blocks) allocations for
+		// the whole sweep, never O(pairs): tbuf holds each group's shared base
+		// values, vbuf each derived measure's transformed values.  Undefined
+		// derived values flow as NaN (EvalOrNaN): interval compaction never
+		// matches NaN and the heaps never rank it, so degenerate pairs drop
+		// out of every result without per-pair control flow.
+		tbuf := make([]float64, kernel.BlockPairs)
+		vbuf := make([]float64, kernel.BlockPairs)
+		blockPairs := pairs[blocks[b].Lo:blocks[b].Hi]
+		for lo := 0; lo < len(blockPairs); lo += kernel.BlockPairs {
+			hi := lo + kernel.BlockPairs
+			if hi > len(blockPairs) {
+				hi = len(blockPairs)
 			}
-			if s, ok := naiveStats[id][mask]; ok {
-				return s, nil
-			}
-			raw, err := e.data.Series(id)
-			if err != nil {
-				return measure.SeriesStat{}, err
-			}
-			s, err := measure.NaiveSeriesStat(mask, raw)
-			if err != nil {
-				return measure.SeriesStat{}, err
-			}
-			if naiveStats[id] == nil {
-				naiveStats[id] = make(map[measure.StatMask]measure.SeriesStat, 2)
-			}
-			naiveStats[id][mask] = s
-			return s, nil
-		}
-		for _, pair := range pairs[blocks[b].Lo:blocks[b].Hi] {
+			chunk := blockPairs[lo:hi]
+			t := tbuf[:len(chunk)]
 			for _, key := range keyOrder {
 				baseSp := baseSpecs[key]
-				var t float64
-				var err error
 				if key.method == MethodNaive {
-					t, err = e.naive.PairValue(key.base, pair)
+					if baseBlock := kern.BaseBlock(key.base); baseBlock != nil {
+						baseBlock(mom, chunk, t)
+					} else {
+						// Extension base without a blocked kernel: scalar.
+						for i, pair := range chunk {
+							v, err := e.naive.PairValue(key.base, pair)
+							if err != nil {
+								return err
+							}
+							t[i] = v
+						}
+					}
 				} else {
-					t, err = e.affinePairBase(baseSp, pair)
-				}
-				if err != nil {
-					return err
+					for i, pair := range chunk {
+						v, err := e.affinePairBase(baseSp, pair)
+						if err != nil {
+							return err
+						}
+						t[i] = v
+					}
 				}
 				for _, mg := range groups[key] {
-					v := t
+					vals := t
 					if mg.sp.Derived() {
-						var u float64
-						if key.method == MethodNaive {
-							su, err := naiveStat(pair.U, mg.sp.ParamStats)
-							if err != nil {
-								return err
+						vals = vbuf[:len(chunk)]
+						for i, pair := range chunk {
+							var u float64
+							if key.method == MethodNaive {
+								// Hoisted kernel moments; bit-identical to
+								// NaiveSeriesStat on the raw series.
+								u = mg.sp.Param(mom.Stat(pair.U), mom.Stat(pair.V))
+							} else {
+								u = mg.sp.Param(e.seriesStat(pair.U), e.seriesStat(pair.V))
 							}
-							sv, err := naiveStat(pair.V, mg.sp.ParamStats)
-							if err != nil {
-								return err
+							v, verr := mg.sp.EvalOrNaN(t[i], u, numSamples)
+							if verr != nil {
+								return verr
 							}
-							u = mg.sp.Param(su, sv)
-						} else {
-							u = mg.sp.Param(e.seriesStat(pair.U), e.seriesStat(pair.V))
-						}
-						var verr error
-						v, verr = mg.sp.Value(t, u, numSamples)
-						if verr != nil {
-							if errors.Is(verr, stats.ErrZeroNormalizer) {
-								continue
-							}
-							return verr
+							vals[i] = v
 						}
 					}
 					for _, k := range mg.idxs {
-						if items[k].keep != nil {
-							if items[k].keep(v) {
-								local.pairs[k] = append(local.pairs[k], pair)
-							}
+						if !items[k].topk {
+							local.pairs[k] = kernel.CompactPairs(local.pairs[k], chunk, vals, items[k].iv)
 						} else {
-							local.heaps[k].Offer(pair, v)
+							for i := range chunk {
+								local.heaps[k].Offer(chunk[i], vals[i])
+							}
 						}
 					}
 				}
@@ -472,7 +475,7 @@ func (e *engineState) pairMultiSweep(items []pairSweepItem) ([]QueryResult, erro
 	}
 	out := make([]QueryResult, len(items))
 	for k, p := range items {
-		if p.keep != nil {
+		if !p.topk {
 			perBlock := make([][]timeseries.Pair, len(parts))
 			for b := range parts {
 				perBlock[b] = parts[b].pairs[k]

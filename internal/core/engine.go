@@ -460,7 +460,11 @@ func (st *engineState) buildDerived(prev *engineState, parallelism int) error {
 			pivotOrder = append(pivotOrder, a.Pivot)
 		}
 	}
-	for pivot := range st.rel.Pivots {
+	// Pivots with no surviving assignment are appended in the canonical
+	// (Common, Cluster) order — never Go's randomized map order — so the
+	// par.Gather work distribution below (and which pivot's error would
+	// surface) is deterministic run to run.
+	for _, pivot := range st.rel.SortedPivots() {
 		if !pivotSet[pivot] {
 			pivotSet[pivot] = true
 			pivotOrder = append(pivotOrder, pivot)

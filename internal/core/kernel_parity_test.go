@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+)
+
+// pairwiseMeasures returns every registered T- and D-measure — the full
+// surface the blocked kernels must reproduce.
+func pairwiseMeasures() []stats.Measure {
+	return append(stats.TMeasures(), stats.DMeasures()...)
+}
+
+// TestBlockedSweepBitIdenticalToScalar is the tentpole contract: the blocked
+// float64 kernels must reproduce the scalar W_N sweep bit for bit, for every
+// pairwise measure, at every parallelism level.
+func TestBlockedSweepBitIdenticalToScalar(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		e := buildTestEngine(t, Config{Clusters: 4, Seed: 31, Parallelism: p})
+		for _, m := range pairwiseMeasures() {
+			want, err := e.PairwiseSweepNaiveScalar(m)
+			if err != nil {
+				t.Fatalf("P=%d %v scalar sweep: %v", p, m, err)
+			}
+			got, err := e.PairwiseSweepNaive(m)
+			if err != nil {
+				t.Fatalf("P=%d %v blocked sweep: %v", p, m, err)
+			}
+			if len(got.Values) != len(want.Values) {
+				t.Fatalf("P=%d %v: %d values, want %d", p, m, len(got.Values), len(want.Values))
+			}
+			for i := range want.Values {
+				if math.Float64bits(got.Values[i]) != math.Float64bits(want.Values[i]) {
+					t.Fatalf("P=%d %v pair %v: blocked %x (%v) != scalar %x (%v)",
+						p, m, got.Pairs[i],
+						math.Float64bits(got.Values[i]), got.Values[i],
+						math.Float64bits(want.Values[i]), want.Values[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFloat32SweepWithinTolerance pins the float32 tier's contract: same NaN
+// positions as the float64 sweep and every finite value within the documented
+// relative tolerance.
+func TestFloat32SweepWithinTolerance(t *testing.T) {
+	const tol = 1e-4
+	e := buildTestEngine(t, Config{Clusters: 4, Seed: 32})
+	for _, m := range pairwiseMeasures() {
+		want, err := e.PairwiseSweepNaive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.PairwiseSweepNaive32(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Values {
+			w, g := want.Values[i], got.Values[i]
+			if math.IsNaN(w) != math.IsNaN(g) {
+				t.Fatalf("%v pair %v: f32 NaN-ness %v differs from f64 %v", m, want.Pairs[i], g, w)
+			}
+			if math.IsNaN(w) {
+				continue
+			}
+			denom := math.Abs(w)
+			if denom < 1 {
+				denom = 1
+			}
+			if math.Abs(g-w)/denom > tol {
+				t.Fatalf("%v pair %v: f32 %v vs f64 %v exceeds tolerance %g", m, want.Pairs[i], g, w, tol)
+			}
+		}
+	}
+}
+
+// TestAffineSweepStableErrorWithBadPivots is the regression test for the
+// map-iteration-order bug: when several pivots are broken, the affine sweep
+// must surface the error of the canonically-first bad pivot — the same one on
+// every run, at every parallelism level — not whichever pivot a goroutine
+// happened to report first.
+func TestAffineSweepStableErrorWithBadPivots(t *testing.T) {
+	const wantPivot = "(0, ω=99)" // sorts before (1, ω=98) in (Common, Cluster) order
+	for _, p := range []int{1, 2, 8} {
+		for run := 0; run < 5; run++ {
+			e := buildTestEngine(t, Config{Clusters: 4, Seed: 33, Parallelism: p})
+			rel := e.Relationships()
+			rel.Pivots[symex.Pivot{Common: 0, Cluster: 99}] = nil
+			rel.Pivots[symex.Pivot{Common: 1, Cluster: 98}] = nil
+			_, err := e.PairwiseSweepAffine(stats.Covariance)
+			if err == nil {
+				t.Fatalf("P=%d run %d: expected error from bad pivots", p, run)
+			}
+			if !strings.Contains(err.Error(), wantPivot) {
+				t.Fatalf("P=%d run %d: err = %q, want the canonically-first bad pivot %s",
+					p, run, err, wantPivot)
+			}
+		}
+	}
+}

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"math"
 
 	"affinity/internal/interval"
 	"affinity/internal/measure"
@@ -168,12 +166,9 @@ func (e *engineState) computePairwise(m stats.Measure, ids []timeseries.SeriesID
 					}
 					value, err = e.affinePairValue(m, pair)
 				}
+				value, err = measure.OrNaN(value, err)
 				if err != nil {
-					if errors.Is(err, stats.ErrZeroNormalizer) {
-						value = math.NaN()
-					} else {
-						return err
-					}
+					return err
 				}
 				out[i][j] = value
 				out[j][i] = value

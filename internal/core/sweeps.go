@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -16,6 +15,14 @@ import (
 // and the benchmarks: full-dataset MEC computations of one measure with the
 // naive (W_N) and the affine (W_A) methods, exposing exactly the work the
 // paper times in its efficiency/accuracy trade-off experiments (Figs. 9–11).
+//
+// The naive sweep runs on the blocked columnar kernels (internal/kernel):
+// per-series moments are hoisted out of the pair loop and base values reduce
+// a block of pairs per call, byte-identical to the scalar path at any
+// parallelism (values[i] depends only on pairs[i]).  The scalar path survives
+// as PairwiseSweepNaiveScalar — the parity-test oracle and the bench
+// baseline — and PairwiseSweepNaive32 exposes the float32 tier (documented
+// tolerance, not byte-identity).
 //
 // The affine sweeps deliberately re-derive the per-measure pivot-side
 // quantities from the raw pivot matrices instead of using the engine's cached
@@ -36,9 +43,28 @@ type LocationSweepResult struct {
 }
 
 // PairwiseSweepNaive computes a T- or D-measure for every sequence pair from
-// the raw series (W_N).  Pairs with an undefined derived value carry NaN.
+// the raw series (W_N) on the blocked kernels.  Pairs with an undefined
+// derived value carry NaN.
 func (e *Engine) PairwiseSweepNaive(m stats.Measure) (*PairSweepResult, error) {
 	return e.state().pairwiseSweepNaive(m)
+}
+
+// PairwiseSweepNaiveScalar is the scalar reference implementation of the W_N
+// sweep: one pair at a time through the measure registry, exactly as the
+// engine computed it before the blocked kernels.  It is kept as the oracle
+// the kernel parity tests compare against and as the pre-kernel baseline the
+// sweep-throughput experiment reports speedups over.
+func (e *Engine) PairwiseSweepNaiveScalar(m stats.Measure) (*PairSweepResult, error) {
+	return e.state().pairwiseSweepNaiveScalar(m)
+}
+
+// PairwiseSweepNaive32 computes the W_N sweep on the float32 kernel tier:
+// half the streamed bytes, float64 accumulators, results within the
+// documented tolerance of the float64 path (see internal/kernel) rather than
+// byte-identical.  Measures whose base has no float32 kernel fall back to the
+// float64 blocked path.
+func (e *Engine) PairwiseSweepNaive32(m stats.Measure) (*PairSweepResult, error) {
+	return e.state().pairwiseSweepNaive32(m)
 }
 
 // PairwiseSweepAffine computes a T- or D-measure for every sequence pair with
@@ -63,23 +89,46 @@ func (e *Engine) LocationSweepAffine(m stats.Measure) (*LocationSweepResult, err
 	return e.state().locationSweepAffine(m)
 }
 
-// pairwiseSweepNaive implements PairwiseSweepNaive for one epoch.
-func (e *engineState) pairwiseSweepNaive(m stats.Measure) (*PairSweepResult, error) {
-	if !m.Pairwise() {
+// pairwiseSpec resolves a pairwise measure to its spec with the shared typed
+// error.
+func pairwiseSpec(m stats.Measure) (*measure.Spec, error) {
+	sp, ok := measure.Find(m)
+	if !ok || !sp.Pairwise() {
 		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	}
+	return sp, nil
+}
+
+// pairwiseSweepNaive implements PairwiseSweepNaive for one epoch: row-block
+// sharded over the blocked kernels.  values[i] depends only on pairs[i], so
+// the sweep is identical at any parallelism.
+func (e *engineState) pairwiseSweepNaive(m stats.Measure) (*PairSweepResult, error) {
+	sp, err := pairwiseSpec(m)
+	if err != nil {
+		return nil, err
 	}
 	pairs := e.data.AllPairs()
 	values := make([]float64, len(pairs))
-	// Row-block sharded; values[i] depends only on pairs[i], so the sweep is
-	// identical at any parallelism.
+	err = par.DoBlocks(len(pairs), e.par, func(_ int, blk par.Block) error {
+		return e.naive.SweepValues(sp, pairs[blk.Lo:blk.Hi], values[blk.Lo:blk.Hi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PairSweepResult{Pairs: pairs, Values: values}, nil
+}
+
+// pairwiseSweepNaiveScalar implements PairwiseSweepNaiveScalar for one epoch.
+func (e *engineState) pairwiseSweepNaiveScalar(m stats.Measure) (*PairSweepResult, error) {
+	if _, err := pairwiseSpec(m); err != nil {
+		return nil, err
+	}
+	pairs := e.data.AllPairs()
+	values := make([]float64, len(pairs))
 	err := par.DoBlocks(len(pairs), e.par, func(_ int, blk par.Block) error {
 		for i := blk.Lo; i < blk.Hi; i++ {
-			v, err := e.naive.PairValue(m, pairs[i])
+			v, err := measure.OrNaN(e.naive.PairValue(m, pairs[i]))
 			if err != nil {
-				if errors.Is(err, stats.ErrZeroNormalizer) {
-					values[i] = math.NaN()
-					continue
-				}
 				return err
 			}
 			values[i] = v
@@ -92,22 +141,39 @@ func (e *engineState) pairwiseSweepNaive(m stats.Measure) (*PairSweepResult, err
 	return &PairSweepResult{Pairs: pairs, Values: values}, nil
 }
 
+// pairwiseSweepNaive32 implements PairwiseSweepNaive32 for one epoch.
+func (e *engineState) pairwiseSweepNaive32(m stats.Measure) (*PairSweepResult, error) {
+	sp, err := pairwiseSpec(m)
+	if err != nil {
+		return nil, err
+	}
+	pairs := e.data.AllPairs()
+	values := make([]float64, len(pairs))
+	err = par.DoBlocks(len(pairs), e.par, func(_ int, blk par.Block) error {
+		return e.naive.SweepValues32(sp, pairs[blk.Lo:blk.Hi], values[blk.Lo:blk.Hi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PairSweepResult{Pairs: pairs, Values: values}, nil
+}
+
 // pairwiseSweepAffine implements PairwiseSweepAffine for one epoch.
 func (e *engineState) pairwiseSweepAffine(m stats.Measure) (*PairSweepResult, error) {
-	sp, ok := measure.Find(m)
-	if !ok || !sp.Pairwise() {
-		return nil, fmt.Errorf("core: %v is not a pairwise measure: %w", m, stats.ErrUnknownMeasure)
+	sp, err := pairwiseSpec(m)
+	if err != nil {
+		return nil, err
 	}
 
 	// One-time cost: per-pivot base moments (the paper's O(n·k) step),
 	// computed directly from the common series and the cluster center through
 	// the base spec's term evaluator, so the cost per pivot is exactly the
-	// raw-sample passes the base T-measure needs.
+	// raw-sample passes the base T-measure needs.  The pivot order is the
+	// canonical (Common, Cluster) sort — never Go's randomized map order — so
+	// both the work distribution and which pivot's error surfaces when
+	// several fail are deterministic at any parallelism.
 	clustering := e.rel.Clustering
-	pivotOrder := make([]symex.Pivot, 0, len(e.rel.Pivots))
-	for pivot := range e.rel.Pivots {
-		pivotOrder = append(pivotOrder, pivot)
-	}
+	pivotOrder := e.rel.SortedPivots()
 	pivotMoments, err := par.Gather(len(pivotOrder), e.par, func(i int) (measure.Moment, error) {
 		pivot := pivotOrder[i]
 		common, err := e.data.Series(pivot.Common)
@@ -144,12 +210,8 @@ func (e *engineState) pairwiseSweepAffine(m stats.Measure) (*PairSweepResult, er
 			value := rel.Transform.PropagateMoment(moments[rel.Pivot])
 			if sp.Derived() {
 				u := sp.Param(e.seriesStat(pair.U), e.seriesStat(pair.V))
-				v, err := sp.Value(value, u, numSamples)
+				v, err := sp.EvalOrNaN(value, u, numSamples)
 				if err != nil {
-					if errors.Is(err, stats.ErrZeroNormalizer) {
-						values[i] = math.NaN()
-						continue
-					}
 					return err
 				}
 				value = v

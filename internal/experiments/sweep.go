@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"affinity/internal/core"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// SweepMeasures are the measures the sweep-throughput experiment times: one
+// raw T-measure (the covariance base kernel alone) and one derived measure
+// (the same kernel plus the hoisted-normalizer transform).
+var SweepMeasures = []stats.Measure{stats.Covariance, stats.Correlation}
+
+// SweepVariants are the W_N execution tiers compared by the experiment.
+const (
+	SweepScalar  = "scalar"  // pre-kernel reference: one pair at a time through the registry
+	SweepBlocked = "blocked" // blocked float64 kernels (byte-identical to scalar)
+	SweepFloat32 = "f32"     // float32 tier (documented tolerance)
+)
+
+// SweepRow is one (measure, variant) point of the sweep-throughput
+// experiment.
+type SweepRow struct {
+	Dataset string
+	Measure stats.Measure
+	Variant string
+	// Pairs and Samples give the sweep's logical size.
+	Pairs, Samples int
+	// Bytes is the pair data the sweep's base reduction must consume at the
+	// variant's element width: pairs × samples × 2 columns × element size.
+	// The scalar path re-reads the columns several times per pair; it is
+	// charged the same logical bytes, so BytesPerSec compares effective
+	// throughput of the same work, not memory traffic.
+	Bytes int64
+	// Time is the best-of-reps wall-clock time of one full sweep.
+	Time time.Duration
+	// BytesPerSec is Bytes/Time.
+	BytesPerSec float64
+	// Speedup is this variant's throughput relative to the scalar variant of
+	// the same measure (scalar rows carry 1).
+	Speedup float64
+}
+
+// SweepThroughput times a full W_N pairwise sweep of each measure in
+// SweepMeasures under the three execution tiers and reports effective
+// bytes/sec.  Each variant is warmed once (building the columnar mirror and
+// the float32 tier outside the timed region) and timed reps times, keeping
+// the best run — the usual convention for bandwidth numbers.
+func SweepThroughput(name string, d *timeseries.DataMatrix, seed int64, reps int) ([]SweepRow, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	engine, err := core.Build(d, core.Config{Clusters: 6, Seed: seed, SkipIndex: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building sweep engine: %w", err)
+	}
+	numPairs := d.NumPairs()
+	logicalBytes := func(elemSize int) int64 {
+		return int64(numPairs) * int64(d.NumSamples()) * 2 * int64(elemSize)
+	}
+	variants := []struct {
+		name  string
+		bytes int64
+		run   func(m stats.Measure) error
+	}{
+		{SweepScalar, logicalBytes(8), func(m stats.Measure) error {
+			_, err := engine.PairwiseSweepNaiveScalar(m)
+			return err
+		}},
+		{SweepBlocked, logicalBytes(8), func(m stats.Measure) error {
+			_, err := engine.PairwiseSweepNaive(m)
+			return err
+		}},
+		{SweepFloat32, logicalBytes(4), func(m stats.Measure) error {
+			_, err := engine.PairwiseSweepNaive32(m)
+			return err
+		}},
+	}
+	var rows []SweepRow
+	for _, m := range SweepMeasures {
+		var scalarThroughput float64
+		for _, v := range variants {
+			if err := v.run(m); err != nil { // warm-up: lazy kernel/f32 builds
+				return nil, err
+			}
+			best := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				t, err := timeOnce(func() error { return v.run(m) })
+				if err != nil {
+					return nil, err
+				}
+				if best == 0 || t < best {
+					best = t
+				}
+			}
+			row := SweepRow{
+				Dataset: name,
+				Measure: m,
+				Variant: v.name,
+				Pairs:   numPairs,
+				Samples: d.NumSamples(),
+				Bytes:   v.bytes,
+				Time:    best,
+			}
+			if best > 0 {
+				row.BytesPerSec = float64(v.bytes) / best.Seconds()
+			}
+			if v.name == SweepScalar {
+				scalarThroughput = row.BytesPerSec
+				row.Speedup = 1
+			} else if scalarThroughput > 0 {
+				// Throughput ratio normalized to f64 logical bytes so the f32
+				// tier's halved byte count does not inflate its speedup.
+				row.Speedup = (row.BytesPerSec * float64(logicalBytes(8)) / float64(v.bytes)) / scalarThroughput
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// SweepExperiment runs the sweep-throughput experiment on sensor-data at the
+// given scale.
+func SweepExperiment(s Scale, reps int) ([]SweepRow, error) {
+	sensor, err := GenerateSensorOnly(s)
+	if err != nil {
+		return nil, err
+	}
+	return SweepThroughput("sensor-data", sensor, s.Seed, reps)
+}

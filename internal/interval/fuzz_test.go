@@ -1,0 +1,66 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse asserts the grammar invariants for arbitrary input: whenever
+// Parse accepts a string, the resulting interval has finite endpoints, its
+// String rendering parses back to the identical interval, and Contains
+// behaves like a real set predicate (NaN never matches, Empty intervals match
+// nothing, and the round-tripped interval agrees with the original on every
+// probe).  Inputs Parse rejects are fine — the fuzzer is hunting for accepted
+// inputs that produce a misbehaving interval.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"*", "> 0.9", ">= -1", "< 2.5", "<= 0",
+		"[0, 1]", "(0, 1]", "[0, 1)", "(0, 1)",
+		"[-1e308, 1e308]", "(5, 5)", "[3, -3]",
+		"> NaN", "[NaN, 1]", "[-Inf, Inf]", "<= +Inf",
+		"[0.1, 0.30000000000000004)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		iv, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !iv.Lo.Unbounded && (math.IsNaN(iv.Lo.Value) || math.IsInf(iv.Lo.Value, 0)) {
+			t.Fatalf("Parse(%q) accepted non-finite lower bound %v", s, iv.Lo.Value)
+		}
+		if !iv.Hi.Unbounded && (math.IsNaN(iv.Hi.Value) || math.IsInf(iv.Hi.Value, 0)) {
+			t.Fatalf("Parse(%q) accepted non-finite upper bound %v", s, iv.Hi.Value)
+		}
+
+		rendered := iv.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) round-trip: String() = %q failed to parse: %v", s, rendered, err)
+		}
+		if back != iv {
+			t.Fatalf("Parse(%q) round-trip: Parse(String()) = %+v, want %+v", s, back, iv)
+		}
+
+		probes := []float64{
+			iv.Lo.Limit(-1), iv.Hi.Limit(1),
+			math.Nextafter(iv.Lo.Limit(-1), math.Inf(1)),
+			math.Nextafter(iv.Hi.Limit(1), math.Inf(-1)),
+			(iv.Lo.Limit(-1) + iv.Hi.Limit(1)) / 2,
+			0, 1, -1, math.NaN(), math.Inf(1), math.Inf(-1),
+		}
+		for _, v := range probes {
+			got := iv.Contains(v)
+			if back.Contains(v) != got {
+				t.Fatalf("Parse(%q): Contains(%v) disagrees after round-trip", s, v)
+			}
+			if math.IsNaN(v) && got {
+				t.Fatalf("Parse(%q): Contains(NaN) = true", s)
+			}
+			if iv.Empty() && got {
+				t.Fatalf("Parse(%q): empty interval contains %v", s, v)
+			}
+		}
+	})
+}

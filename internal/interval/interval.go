@@ -153,9 +153,30 @@ func Grammar() string {
 	return "* | > τ | >= τ | < τ | <= τ | [lo, hi] | (lo, hi] | [lo, hi) | (lo, hi)"
 }
 
+// parseBound reads one finite endpoint.  strconv.ParseFloat happily accepts
+// "NaN" and "±Inf", but neither is a usable endpoint: a NaN bound makes
+// Contains vacuously false or inconsistent under comparison, and an infinite
+// bound silently means "unbounded" while claiming to be a value — the grammar
+// spells that "*" or a half-bounded comparison instead.  Rejecting them here
+// keeps every Interval that Parse returns finite by construction.
+func parseBound(field, s, input string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("interval: bad %s in %q: %v", field, input, err)
+	}
+	if math.IsNaN(v) {
+		return 0, fmt.Errorf("interval: %s in %q is NaN; endpoints must be finite", field, input)
+	}
+	if math.IsInf(v, 0) {
+		return 0, fmt.Errorf("interval: %s in %q is infinite; use %q or a half-bounded form for an absent endpoint", field, input, "*")
+	}
+	return v, nil
+}
+
 // Parse reads an interval in the grammar String emits.  Comparison forms take
 // the operator and the threshold ("> 0.9", ">=0.9"); bracket forms take two
-// comma-separated bounds with (/[ and )/] selecting openness.
+// comma-separated bounds with (/[ and )/] selecting openness.  Endpoints must
+// be finite: NaN and ±Inf are rejected with explicit errors.
 func Parse(s string) (Interval, error) {
 	s = strings.TrimSpace(s)
 	if s == "*" {
@@ -163,9 +184,9 @@ func Parse(s string) (Interval, error) {
 	}
 	for _, op := range []string{">=", "<=", ">", "<"} {
 		if strings.HasPrefix(s, op) {
-			v, err := strconv.ParseFloat(strings.TrimSpace(s[len(op):]), 64)
+			v, err := parseBound("threshold", strings.TrimSpace(s[len(op):]), s)
 			if err != nil {
-				return Interval{}, fmt.Errorf("interval: bad threshold in %q: %v", s, err)
+				return Interval{}, err
 			}
 			switch op {
 			case ">":
@@ -184,13 +205,13 @@ func Parse(s string) (Interval, error) {
 		if len(parts) != 2 {
 			return Interval{}, fmt.Errorf("interval: %q needs two comma-separated bounds", s)
 		}
-		lo, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		lo, err := parseBound("lower bound", strings.TrimSpace(parts[0]), s)
 		if err != nil {
-			return Interval{}, fmt.Errorf("interval: bad lower bound in %q: %v", s, err)
+			return Interval{}, err
 		}
-		hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		hi, err := parseBound("upper bound", strings.TrimSpace(parts[1]), s)
 		if err != nil {
-			return Interval{}, fmt.Errorf("interval: bad upper bound in %q: %v", s, err)
+			return Interval{}, err
 		}
 		iv := Between(lo, hi)
 		iv.Lo.Open = s[0] == '('

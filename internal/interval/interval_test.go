@@ -94,6 +94,22 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseRejectsNonFinite(t *testing.T) {
+	// strconv.ParseFloat accepts all of these spellings; Parse must not.
+	cases := []string{
+		"> NaN", ">= nan", "< NaN", "<= -NaN",
+		"> Inf", ">= +Inf", "< -Inf", "<= Infinity",
+		"[NaN, 1]", "[1, NaN)", "(NaN, NaN)",
+		"[-Inf, Inf]", "[0, +Inf]", "(-Infinity, 0]",
+	}
+	for _, s := range cases {
+		iv, err := Parse(s)
+		if err == nil {
+			t.Errorf("Parse(%q) = %v, expected non-finite endpoint error", s, iv)
+		}
+	}
+}
+
 func TestLimit(t *testing.T) {
 	if got := Unbounded().Limit(-1); !math.IsInf(got, -1) {
 		t.Errorf("unbounded lower limit = %v", got)

@@ -1,0 +1,277 @@
+// Package kernel holds the blocked, branch-free sweep kernels behind the
+// engine's full-dataset W_N scans: a contiguous columnar mirror of the data
+// matrix (float64, with an optional float32 tier), hoisted per-series moments,
+// and base T-measure evaluators that reduce a whole block of sequence pairs
+// per call.
+//
+// The scalar W_N path evaluates one pair at a time through the measure
+// registry: a correlation costs two mean passes, one covariance pass and two
+// variance passes (each itself two passes) over the raw samples — roughly
+// seven sweeps of both series per pair — with the zero-normalizer condition
+// threaded through error-handling control flow.  The blocked kernels restore
+// mechanical sympathy without changing a single output bit:
+//
+//   - per-series moments (sum, mean, variance, squared norm) are hoisted out
+//     of the pair loop and computed once per series with exactly the scalar
+//     primitives (measure.MeanOf, measure.VarianceOf, measure.DotProductOf),
+//     so reusing them is bit-identical to recomputing them per pair;
+//   - the per-pair base reduction is a single pass over the two contiguous
+//     columns with one accumulator in sample order — the same expression
+//     shape as measure.CovarianceOf / measure.DotProductOf, so the compiler
+//     emits the same instruction sequence and the same bits come out;
+//   - undefined derived values propagate arithmetically as NaN (see
+//     measure.OrNaN) and interval predicates compact results branch-free
+//     (CompactPairs) instead of taking a data-dependent branch per pair.
+//
+// Blocks are sized so the working set of one call — two columns of samples
+// plus the output slot per pair, with consecutive pairs sharing their lower
+// column under the canonical lexicographic pair order — stays inside the L2
+// cache while the slab streams through at memory bandwidth.
+//
+// The float32 tier halves the streamed bytes for bandwidth-bound sweeps.  Its
+// accumulators stay float64, so the only precision loss is the one-time
+// rounding of each sample to float32: results match the float64 kernels to a
+// relative tolerance of about 1e-6 per sample magnitude (float32 has 24
+// mantissa bits), documented and enforced as 1e-4 on the engine's datasets —
+// it is an approximation tier, never used where byte-identity is promised.
+package kernel
+
+import (
+	"sync"
+
+	"affinity/internal/interval"
+	"affinity/internal/measure"
+	"affinity/internal/timeseries"
+)
+
+// BlockPairs is the number of sequence pairs a blocked kernel reduces per
+// call.  At the paper's window sizes (hundreds to a few thousand samples) a
+// block touches a handful of distinct columns — consecutive canonical pairs
+// (u,v), (u,v+1), … share the u column — so one call's working set fits in L2
+// while the output block still amortizes the call overhead.
+const BlockPairs = 256
+
+// Matrix is the columnar mirror of a data window: every series occupies one
+// contiguous stride of the slab, so blocked kernels stream it sequentially
+// instead of chasing per-series slice headers.  A Matrix is immutable after
+// FromData; the float32 tier is materialized lazily on first use.
+type Matrix struct {
+	vals []float64 // n contiguous columns of m samples each
+	n, m int
+
+	f32Once sync.Once
+	f32     []float32
+}
+
+// FromData builds the columnar mirror of a data matrix.
+func FromData(d *timeseries.DataMatrix) (*Matrix, error) {
+	n, m := d.NumSeries(), d.NumSamples()
+	k := &Matrix{vals: make([]float64, n*m), n: n, m: m}
+	for _, id := range d.IDs() {
+		s, err := d.Series(id)
+		if err != nil {
+			return nil, err
+		}
+		copy(k.vals[int(id)*m:], s)
+	}
+	return k, nil
+}
+
+// NumSeries returns n, the number of columns of the mirror.
+func (k *Matrix) NumSeries() int { return k.n }
+
+// NumSamples returns m, the column length.
+func (k *Matrix) NumSamples() int { return k.m }
+
+// Col returns series id's column of the slab.  The copy made by FromData
+// preserves every bit of the source series, so reductions over Col are
+// bit-identical to reductions over DataMatrix.Series.
+func (k *Matrix) Col(id timeseries.SeriesID) []float64 {
+	lo := int(id) * k.m
+	return k.vals[lo : lo+k.m : lo+k.m]
+}
+
+// col32 returns the float32 tier of series id's column, materializing the
+// tier on first use (safe for concurrent callers).
+func (k *Matrix) col32(id timeseries.SeriesID) []float32 {
+	k.f32Once.Do(func() {
+		f := make([]float32, len(k.vals))
+		for i, v := range k.vals {
+			f[i] = float32(v)
+		}
+		k.f32 = f
+	})
+	lo := int(id) * k.m
+	return k.f32[lo : lo+k.m : lo+k.m]
+}
+
+// Moments carries the hoisted per-series statistics of one window, indexed by
+// series identifier.  Each field is computed with the exact scalar primitive
+// the naive W_N path uses (MeanOf, VarianceOf, DotProductOf(x, x), SumOf), so
+// a kernel that reads a hoisted moment produces the same bits as a scalar
+// evaluation that recomputes it per pair.
+type Moments struct {
+	Sum      []float64 // Σx (SumOf)
+	Mean     []float64 // Σx/m (MeanOf)
+	Variance []float64 // Σ(x−mean)²/(m−1) (VarianceOf)
+	SqNorm   []float64 // ⟨x, x⟩ (DotProductOf(x, x))
+}
+
+// Moments computes the hoisted per-series statistics of the mirror.
+func (k *Matrix) Moments() (*Moments, error) {
+	mo := &Moments{
+		Sum:      make([]float64, k.n),
+		Mean:     make([]float64, k.n),
+		Variance: make([]float64, k.n),
+		SqNorm:   make([]float64, k.n),
+	}
+	for v := 0; v < k.n; v++ {
+		col := k.Col(timeseries.SeriesID(v))
+		mo.Sum[v] = measure.SumOf(col)
+		mean, err := measure.MeanOf(col)
+		if err != nil {
+			return nil, err
+		}
+		mo.Mean[v] = mean
+		variance, err := measure.VarianceOf(col)
+		if err != nil {
+			return nil, err
+		}
+		mo.Variance[v] = variance
+		sq, err := measure.DotProductOf(col, col)
+		if err != nil {
+			return nil, err
+		}
+		mo.SqNorm[v] = sq
+	}
+	return mo, nil
+}
+
+// Stat returns series id's statistics in measure.SeriesStat form —
+// bit-identical to measure.NaiveSeriesStat on the same series for every mask,
+// since both fields come from the same primitives over the same samples.
+func (mo *Moments) Stat(id timeseries.SeriesID) measure.SeriesStat {
+	return measure.SeriesStat{Variance: mo.Variance[id], SqNorm: mo.SqNorm[id]}
+}
+
+// BaseBlock returns the blocked evaluator of a base T-measure, or nil when
+// the base has no blocked kernel (an extension measure whose base is neither
+// covariance nor the dot product); callers fall back to the scalar path then.
+func (k *Matrix) BaseBlock(base measure.Measure) func(mo *Moments, pairs []timeseries.Pair, out []float64) {
+	switch base {
+	case measure.Covariance:
+		return k.CovBlock
+	case measure.DotProduct:
+		return k.DotBlock
+	default:
+		return nil
+	}
+}
+
+// BaseBlock32 is BaseBlock for the float32 tier.
+func (k *Matrix) BaseBlock32(base measure.Measure) func(mo *Moments, pairs []timeseries.Pair, out []float64) {
+	switch base {
+	case measure.Covariance:
+		return k.CovBlock32
+	case measure.DotProduct:
+		return k.DotBlock32
+	default:
+		return nil
+	}
+}
+
+// CovBlock fills out[i] with the sample covariance of pairs[i], hoisting the
+// two column means from mo.  The inner loop is a single accumulator in sample
+// order with the same expression shape as measure.CovarianceOf, and MeanOf
+// per pair equals the hoisted mean bit for bit, so out matches the scalar
+// path exactly.  Pairs with U == V are allowed (the covariance of a series
+// with itself, used for matrix diagonals).
+func (k *Matrix) CovBlock(mo *Moments, pairs []timeseries.Pair, out []float64) {
+	if k.m == 1 {
+		for i := range pairs {
+			out[i] = 0 // CovarianceOf of a single sample
+		}
+		return
+	}
+	for i, p := range pairs {
+		x, y := k.Col(p.U), k.Col(p.V)
+		mx, my := mo.Mean[p.U], mo.Mean[p.V]
+		var ss float64
+		for j := range x {
+			ss += (x[j] - mx) * (y[j] - my)
+		}
+		// CovarianceOf divides by m−1; a reciprocal multiply could differ in
+		// the last ulp, so the division stays.
+		out[i] = ss / float64(k.m-1)
+	}
+}
+
+// DotBlock fills out[i] with the inner product of pairs[i] — the same single
+// accumulator in sample order as measure.DotProductOf.
+func (k *Matrix) DotBlock(_ *Moments, pairs []timeseries.Pair, out []float64) {
+	for i, p := range pairs {
+		x, y := k.Col(p.U), k.Col(p.V)
+		var sum float64
+		for j := range x {
+			sum += x[j] * y[j]
+		}
+		out[i] = sum
+	}
+}
+
+// CovBlock32 is the float32 tier of CovBlock: float32 columns, float64 means
+// and accumulator.  Results are within the documented tolerance of the
+// float64 kernel, not byte-identical.
+func (k *Matrix) CovBlock32(mo *Moments, pairs []timeseries.Pair, out []float64) {
+	if k.m == 1 {
+		for i := range pairs {
+			out[i] = 0
+		}
+		return
+	}
+	for i, p := range pairs {
+		x, y := k.col32(p.U), k.col32(p.V)
+		mx, my := mo.Mean[p.U], mo.Mean[p.V]
+		var ss float64
+		for j := range x {
+			ss += (float64(x[j]) - mx) * (float64(y[j]) - my)
+		}
+		out[i] = ss / float64(k.m-1)
+	}
+}
+
+// DotBlock32 is the float32 tier of DotBlock.
+func (k *Matrix) DotBlock32(_ *Moments, pairs []timeseries.Pair, out []float64) {
+	for i, p := range pairs {
+		x, y := k.col32(p.U), k.col32(p.V)
+		var sum float64
+		for j := range x {
+			sum += float64(x[j]) * float64(y[j])
+		}
+		out[i] = sum
+	}
+}
+
+// Mask1 converts a predicate result to a 0/1 advance (compiled to a setcc,
+// not a branch, when inlined) — the building block of branch-free compaction.
+func Mask1(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CompactPairs appends to dst every pairs[i] whose values[i] satisfies the
+// interval predicate, in order.  The write is unconditional and the write
+// index advances by the predicate mask, so the loop carries no data-dependent
+// branch; NaN values never match (interval.Contains rejects them), which is
+// how undefined derived values drop out of interval results.
+func CompactPairs(dst []timeseries.Pair, pairs []timeseries.Pair, values []float64, iv interval.Interval) []timeseries.Pair {
+	w := len(dst)
+	dst = append(dst, pairs...) // reserve; surplus is trimmed below
+	for i, p := range pairs {
+		dst[w] = p
+		w += Mask1(iv.Contains(values[i]))
+	}
+	return dst[:w]
+}

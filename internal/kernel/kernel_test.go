@@ -1,0 +1,233 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"affinity/internal/interval"
+	"affinity/internal/measure"
+	"affinity/internal/timeseries"
+)
+
+// testMatrix builds a deterministic pseudo-random window with one constant
+// series (id 0) so degenerate normalizers are exercised too.
+func testMatrix(t *testing.T, n, m int) (*timeseries.DataMatrix, *Matrix, *Moments) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, m)
+		for j := range rows[i] {
+			if i == 0 {
+				rows[i][j] = 42 // constant series: zero variance
+			} else {
+				rows[i][j] = rng.NormFloat64()*10 + float64(i)
+			}
+		}
+	}
+	d, err := timeseries.NewDataMatrix(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := FromData(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, err := k.Moments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, k, mo
+}
+
+// allPairsWithDiagonal enumerates every (u, v) with u <= v, including the
+// diagonal the MEC matrices need.
+func allPairsWithDiagonal(n int) []timeseries.Pair {
+	var pairs []timeseries.Pair
+	for u := 0; u < n; u++ {
+		for v := u; v < n; v++ {
+			pairs = append(pairs, timeseries.Pair{U: timeseries.SeriesID(u), V: timeseries.SeriesID(v)})
+		}
+	}
+	return pairs
+}
+
+func TestMomentsMatchScalarPrimitives(t *testing.T) {
+	d, _, mo := testMatrix(t, 9, 137)
+	for _, id := range d.IDs() {
+		s, err := d.Series(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mo.Sum[id]; got != measure.SumOf(s) {
+			t.Errorf("Sum[%d] = %v, want SumOf = %v", id, got, measure.SumOf(s))
+		}
+		mean, _ := measure.MeanOf(s)
+		if mo.Mean[id] != mean {
+			t.Errorf("Mean[%d] = %v, want MeanOf = %v", id, mo.Mean[id], mean)
+		}
+		variance, _ := measure.VarianceOf(s)
+		if mo.Variance[id] != variance {
+			t.Errorf("Variance[%d] = %v, want VarianceOf = %v", id, mo.Variance[id], variance)
+		}
+		sq, _ := measure.DotProductOf(s, s)
+		if mo.SqNorm[id] != sq {
+			t.Errorf("SqNorm[%d] = %v, want DotProductOf = %v", id, mo.SqNorm[id], sq)
+		}
+		st := mo.Stat(id)
+		want, err := measure.NaiveSeriesStat(measure.NeedVariance|measure.NeedSqNorm, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != want {
+			t.Errorf("Stat(%d) = %+v, want NaiveSeriesStat = %+v", id, st, want)
+		}
+	}
+}
+
+// TestBlocksBitIdenticalToScalar is the kernel's core contract: CovBlock and
+// DotBlock must reproduce measure.CovarianceOf / measure.DotProductOf bit for
+// bit on every pair, the diagonal included.
+func TestBlocksBitIdenticalToScalar(t *testing.T) {
+	d, k, mo := testMatrix(t, 9, 137)
+	pairs := allPairsWithDiagonal(d.NumSeries())
+	cov := make([]float64, len(pairs))
+	dot := make([]float64, len(pairs))
+	k.CovBlock(mo, pairs, cov)
+	k.DotBlock(mo, pairs, dot)
+	for i, p := range pairs {
+		x, _ := d.Series(p.U)
+		y, _ := d.Series(p.V)
+		wantCov, err := measure.CovarianceOf(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(cov[i]) != math.Float64bits(wantCov) {
+			t.Errorf("CovBlock(%v) = %x, scalar = %x", p, math.Float64bits(cov[i]), math.Float64bits(wantCov))
+		}
+		wantDot, err := measure.DotProductOf(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(dot[i]) != math.Float64bits(wantDot) {
+			t.Errorf("DotBlock(%v) = %x, scalar = %x", p, math.Float64bits(dot[i]), math.Float64bits(wantDot))
+		}
+	}
+}
+
+func TestBlocksSingleSampleWindow(t *testing.T) {
+	d, k, mo := testMatrix(t, 4, 1)
+	pairs := allPairsWithDiagonal(d.NumSeries())
+	out := make([]float64, len(pairs))
+	k.CovBlock(mo, pairs, out)
+	for i := range out {
+		if out[i] != 0 {
+			t.Errorf("CovBlock m=1 out[%d] = %v, want 0 (CovarianceOf convention)", i, out[i])
+		}
+	}
+	k.CovBlock32(mo, pairs, out)
+	for i := range out {
+		if out[i] != 0 {
+			t.Errorf("CovBlock32 m=1 out[%d] = %v, want 0", i, out[i])
+		}
+	}
+}
+
+// Float32Tolerance is the relative error bound the float32 tier promises
+// against the float64 kernels on engine datasets (see the package comment).
+const Float32Tolerance = 1e-4
+
+func TestFloat32TierWithinTolerance(t *testing.T) {
+	d, k, mo := testMatrix(t, 9, 137)
+	pairs := allPairsWithDiagonal(d.NumSeries())
+	f64 := make([]float64, len(pairs))
+	f32 := make([]float64, len(pairs))
+
+	k.CovBlock(mo, pairs, f64)
+	k.CovBlock32(mo, pairs, f32)
+	assertWithinRelTol(t, "cov", pairs, f64, f32)
+
+	k.DotBlock(mo, pairs, f64)
+	k.DotBlock32(mo, pairs, f32)
+	assertWithinRelTol(t, "dot", pairs, f64, f32)
+}
+
+func assertWithinRelTol(t *testing.T, what string, pairs []timeseries.Pair, f64, f32 []float64) {
+	t.Helper()
+	for i := range f64 {
+		denom := math.Abs(f64[i])
+		if denom < 1 {
+			denom = 1 // absolute tolerance near zero
+		}
+		if rel := math.Abs(f32[i]-f64[i]) / denom; rel > Float32Tolerance {
+			t.Errorf("%s32(%v) = %v vs %v: relative error %.3g > %g", what, pairs[i], f32[i], f64[i], rel, Float32Tolerance)
+		}
+	}
+}
+
+func TestBaseBlockDispatch(t *testing.T) {
+	_, k, _ := testMatrix(t, 3, 8)
+	if k.BaseBlock(measure.Covariance) == nil || k.BaseBlock(measure.DotProduct) == nil {
+		t.Fatal("builtin bases must have blocked kernels")
+	}
+	if k.BaseBlock(measure.Mean) != nil {
+		t.Fatal("L-measure must not have a blocked kernel")
+	}
+	if k.BaseBlock32(measure.Covariance) == nil || k.BaseBlock32(measure.DotProduct) == nil {
+		t.Fatal("builtin bases must have float32 kernels")
+	}
+	if k.BaseBlock32(measure.Median) != nil {
+		t.Fatal("L-measure must not have a float32 kernel")
+	}
+}
+
+func TestCompactPairsMatchesFilterLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pairs := allPairsWithDiagonal(12)
+	values := make([]float64, len(pairs))
+	for i := range values {
+		switch rng.Intn(5) {
+		case 0:
+			values[i] = math.NaN()
+		default:
+			values[i] = rng.NormFloat64()
+		}
+	}
+	intervals := []interval.Interval{
+		interval.All(),
+		interval.GreaterThan(0),
+		interval.AtMost(-0.5),
+		interval.Between(-1, 1),
+		interval.New(interval.Open(0), interval.Open(0)), // empty
+	}
+	for _, iv := range intervals {
+		var want []timeseries.Pair
+		for i, p := range pairs {
+			if iv.Contains(values[i]) {
+				want = append(want, p)
+			}
+		}
+		got := CompactPairs(nil, pairs, values, iv)
+		if len(got) != len(want) {
+			t.Fatalf("CompactPairs(%v): %d pairs, want %d", iv, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("CompactPairs(%v)[%d] = %v, want %v", iv, i, got[i], want[i])
+			}
+		}
+		// Appending to a non-empty dst keeps the prefix intact.
+		prefix := []timeseries.Pair{{U: 100, V: 101}}
+		got = CompactPairs(prefix, pairs, values, iv)
+		if got[0] != (timeseries.Pair{U: 100, V: 101}) || len(got) != 1+len(want) {
+			t.Fatalf("CompactPairs with prefix: len %d, want %d", len(got), 1+len(want))
+		}
+	}
+}
+
+func TestMask1(t *testing.T) {
+	if Mask1(true) != 1 || Mask1(false) != 0 {
+		t.Fatal("Mask1 must map true→1, false→0")
+	}
+}

@@ -260,6 +260,29 @@ func (s *Spec) Eval(t, u float64, m int) (float64, error) {
 	return s.Value(t, u, m)
 }
 
+// OrNaN maps the "measure undefined for this pair" condition to NaN: a
+// result carrying ErrZeroNormalizer becomes (NaN, nil), every other error
+// passes through.  This is the single definition of the engine's NaN
+// semantics — sweeps and MEC matrices report the NaN, interval predicates
+// never match it (interval.Contains rejects NaN) and top-k heaps never rank
+// it — so every execution path that wraps an evaluation in OrNaN agrees on
+// degenerate pairs by construction.
+func OrNaN(v float64, err error) (float64, error) {
+	if err != nil {
+		if errors.Is(err, ErrZeroNormalizer) {
+			return math.NaN(), nil
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+// EvalOrNaN is Eval with OrNaN applied: undefined derived values come back
+// as NaN instead of ErrZeroNormalizer control flow.
+func (s *Spec) EvalOrNaN(t, u float64, m int) (float64, error) {
+	return OrNaN(s.Eval(t, u, m))
+}
+
 // TBounds returns the smallest and largest base-T thresholds InvertT attains
 // over the parameter interval [uMin, uMax].  Because InvertT is monotone in
 // u, the extrema sit at the endpoints; the pair brackets the true per-pair

@@ -10,12 +10,23 @@
 // given (data, seed, config), at any parallelism" hold end to end.
 package par
 
-import "sync"
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
 
 // Do executes fn(i) for i in [0, count) with up to `parallelism` goroutines
-// (sequentially when parallelism <= 1), returning the first error
-// encountered.  Work is handed out via a channel, so uneven item costs load-
-// balance automatically; fn must be safe to call concurrently for distinct i.
+// (sequentially when parallelism <= 1).  Work is handed out via a channel, so
+// uneven item costs load-balance automatically; fn must be safe to call
+// concurrently for distinct i.
+//
+// On failure Do returns the error of the LOWEST-INDEXED failing item — not
+// whichever failure a worker reported first — so the surfaced error is the
+// same at any parallelism and matches the sequential run (which stops at
+// exactly that item).  Items above an already-recorded failing index are
+// skipped; items below it still run, because one of them could fail and take
+// over as the lowest.
 func Do(count, parallelism int, fn func(i int) error) error {
 	if count == 0 {
 		return nil
@@ -31,26 +42,35 @@ func Do(count, parallelism int, fn func(i int) error) error {
 	if parallelism > count {
 		parallelism = count
 	}
-	var wg sync.WaitGroup
+	var (
+		wg sync.WaitGroup
+		// failIdx is the lowest failing index recorded so far; failErr is its
+		// error, guarded by mu (failIdx doubles as a lock-free skip hint).
+		failIdx atomic.Int64
+		mu      sync.Mutex
+		failErr error
+	)
+	failIdx.Store(math.MaxInt64)
 	next := make(chan int)
-	errCh := make(chan error, parallelism)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			failed := false
-			// Keep draining the channel after a failure so the producer never
-			// blocks; remaining work is skipped.
 			for i := range next {
-				if failed {
+				// A failure at a lower index already owns the result; skipping
+				// is safe because this item cannot displace it.  The lowest
+				// failing item L is never skipped: only failures set failIdx,
+				// and every failure has index >= L.
+				if int64(i) > failIdx.Load() {
 					continue
 				}
 				if err := fn(i); err != nil {
-					failed = true
-					select {
-					case errCh <- err:
-					default:
+					mu.Lock()
+					if int64(i) < failIdx.Load() {
+						failIdx.Store(int64(i))
+						failErr = err
 					}
+					mu.Unlock()
 				}
 			}
 		}()
@@ -60,12 +80,7 @@ func Do(count, parallelism int, fn func(i int) error) error {
 	}
 	close(next)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
-	}
+	return failErr
 }
 
 // Block is a half-open index interval [Lo, Hi) of a larger work list.

@@ -67,6 +67,27 @@ func TestDoErrorSkipsRemainingWork(t *testing.T) {
 	}
 }
 
+// TestDoLowestIndexErrorWins pins the deterministic error contract: when
+// several items fail, Do returns the error of the lowest-indexed one — the
+// same error a sequential run would stop at — regardless of parallelism or
+// scheduling.
+func TestDoLowestIndexErrorWins(t *testing.T) {
+	failAt := map[int]bool{3: true, 7: true, 11: true}
+	for _, p := range []int{1, 2, 8, 16} {
+		for run := 0; run < 20; run++ {
+			err := Do(64, p, func(i int) error {
+				if failAt[i] {
+					return fmt.Errorf("item %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "item 3 failed" {
+				t.Fatalf("parallelism %d run %d: err = %v, want item 3's error", p, run, err)
+			}
+		}
+	}
+}
+
 func TestBlocksCoverExactly(t *testing.T) {
 	for _, tc := range []struct{ count, parallelism int }{
 		{0, 4}, {1, 1}, {1, 8}, {7, 2}, {100, 1}, {100, 3}, {5, 16}, {1000, 8},

@@ -278,16 +278,7 @@ func Build(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, e
 	// built in parallel and gathered in index order; queries later scan
 	// idx.pivots in this same order, which is what makes result ordering
 	// independent of both map iteration and parallelism.
-	pivotOrder := make([]symex.Pivot, 0, len(rel.Pivots))
-	for pivot := range rel.Pivots {
-		pivotOrder = append(pivotOrder, pivot)
-	}
-	sort.Slice(pivotOrder, func(i, j int) bool {
-		if pivotOrder[i].Common != pivotOrder[j].Common {
-			return pivotOrder[i].Common < pivotOrder[j].Common
-		}
-		return pivotOrder[i].Cluster < pivotOrder[j].Cluster
-	})
+	pivotOrder := rel.SortedPivots()
 	centers, err := computeCenterMoments(rel)
 	if err != nil {
 		return nil, err

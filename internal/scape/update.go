@@ -152,16 +152,7 @@ func (prev *Index) Update(d *timeseries.DataMatrix, rel *symex.Result,
 		}
 	}
 
-	pivotOrder := make([]symex.Pivot, 0, len(rel.Pivots))
-	for pivot := range rel.Pivots {
-		pivotOrder = append(pivotOrder, pivot)
-	}
-	sort.Slice(pivotOrder, func(i, j int) bool {
-		if pivotOrder[i].Common != pivotOrder[j].Common {
-			return pivotOrder[i].Common < pivotOrder[j].Common
-		}
-		return pivotOrder[i].Cluster < pivotOrder[j].Cluster
-	})
+	pivotOrder := rel.SortedPivots()
 
 	type updNode struct {
 		node     *pivotNode

@@ -94,3 +94,7 @@ func TMeasures() []Measure { return measure.ByClass(measure.DispersionClass) }
 
 // DMeasures returns the registered derived measures.
 func DMeasures() []Measure { return measure.ByClass(measure.DerivedClass) }
+
+// OrNaN re-exports measure.OrNaN, the single definition of the engine's NaN
+// semantics for undefined (zero-normalizer) measure values.
+func OrNaN(v float64, err error) (float64, error) { return measure.OrNaN(v, err) }

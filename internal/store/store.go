@@ -142,8 +142,11 @@ func (s *Store) ReadDataset(name string) (*timeseries.DataMatrix, error) {
 	if magic != segmentMagic {
 		return nil, fmt.Errorf("%w: bad magic 0x%08x", ErrCorrupt, magic)
 	}
+	// A foreign version means the rest of the segment cannot be trusted with
+	// this decoder, so it is reported as corruption like every other header
+	// fault — callers branch on ErrCorrupt, not on message text.
 	if version != segmentVersion {
-		return nil, fmt.Errorf("store: unsupported segment version %d", version)
+		return nil, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, version)
 	}
 	payload := make([]byte, payloadLen)
 	if _, err := io.ReadFull(r, payload); err != nil {

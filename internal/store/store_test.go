@@ -196,6 +196,34 @@ func TestCorruptionDetection(t *testing.T) {
 	if _, err := s.ReadDataset("demo"); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("bad magic err = %v", err)
 	}
+
+	// Foreign version (byte 4 starts the little-endian version field).
+	bad = append([]byte(nil), raw...)
+	bad[4] ^= 0xff
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadDataset("demo"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad version err = %v", err)
+	}
+
+	// Flipped checksum byte (the CRC32 trails the payload).
+	bad = append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0xff
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadDataset("demo"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped checksum err = %v", err)
+	}
+
+	// Header cut off mid-field.
+	if err := os.WriteFile(path, raw[:7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadDataset("demo"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated header err = %v", err)
+	}
 }
 
 func TestReadMissingDataset(t *testing.T) {

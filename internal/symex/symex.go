@@ -20,6 +20,7 @@ package symex
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"affinity/internal/affine"
 	"affinity/internal/cluster"
@@ -160,6 +161,30 @@ type Result struct {
 func (r *Result) Relationship(e timeseries.Pair) (*Relationship, bool) {
 	rel, ok := r.Relationships[e]
 	return rel, ok
+}
+
+// SortPivots orders a pivot slice by the canonical (Common, Cluster) order —
+// the one total order every consumer of the Pivots map must use before
+// feeding pivots to parallel helpers, so that both work distribution and
+// error selection are independent of Go's randomized map iteration.
+func SortPivots(ps []Pivot) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Common != ps[j].Common {
+			return ps[i].Common < ps[j].Common
+		}
+		return ps[i].Cluster < ps[j].Cluster
+	})
+}
+
+// SortedPivots returns the keys of the Pivots map in canonical
+// (Common, Cluster) order.
+func (r *Result) SortedPivots() []Pivot {
+	out := make([]Pivot, 0, len(r.Pivots))
+	for p := range r.Pivots {
+		out = append(out, p)
+	}
+	SortPivots(out)
+	return out
 }
 
 // PivotMatrix rebuilds the pivot pair matrix O_p = [s_common, r_cluster] for
