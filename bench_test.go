@@ -20,6 +20,7 @@ import (
 	"affinity/internal/core"
 	"affinity/internal/experiments"
 	"affinity/internal/scape"
+	"affinity/internal/shard"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
@@ -339,6 +340,36 @@ func BenchmarkTopK(b *testing.B) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkShardTopK is the sharded-merge smoke row: one top-k (MEK) query
+// through a 4-shard coordinator's streaming merge — per-shard SCAPE cursors
+// polled best-first into one global k-heap with the running v_k broadcast
+// back.  CI tracks its allocs/op against BENCH_BUDGET.json: the merge state
+// is O(shards + k) — cursors, heap, and the merged result — and must never
+// degrade to O(pairs) transient garbage.
+func BenchmarkShardTopK(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord, err := shard.Build(sensor, shard.Config{
+		Shards: 4,
+		Engine: core.Config{Clusters: 6, Seed: 42},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := coord.TopK(stats.Correlation, 10, true, core.MethodIndex); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coord.TopK(stats.Correlation, 10, true, core.MethodIndex); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

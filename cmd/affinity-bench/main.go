@@ -31,7 +31,7 @@ import (
 var experimentOrder = []string{
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 	"fig15", "fig16", "table4", "ablation-pinv", "ablation-pruning",
-	"parallel", "planner", "measures", "topk", "advance", "sweep",
+	"parallel", "planner", "measures", "topk", "advance", "sweep", "shard",
 }
 
 func main() {
@@ -450,6 +450,38 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 		}
 		return w.Flush()
 
+	case "shard":
+		// The scatter-gather coordinator vs the single engine: S sweeping the
+		// shard count on interval and top-k queries after a zipfian update
+		// stream.  "critical" is the slowest shard's executor time — the wall
+		// time a multi-core box would see; "examined" lists the per-shard
+		// index entries the top-k merge evaluated against the single engine's
+		// count (the global v_k broadcast keeps the total within 2×).
+		rows, err := experiments.ShardScaling(scale, 6, nil)
+		if err != nil {
+			return err
+		}
+		w := newTable(out)
+		fmt.Fprintln(w, "query\tmeasure\tS\tresult\ttime\tsingle\tspeedup\tcritical\tcrit speedup\trows/shard\texamined/shard\texamined total\tsingle examined")
+		for _, r := range rows {
+			examined, total, single := "-", "-", "-"
+			critical, critSpeedup := "-", "-"
+			if r.Query == "topk" {
+				examined = intList(r.ExaminedPerShard)
+				total = strconv.Itoa(r.ExaminedTotal)
+				single = strconv.Itoa(r.ExaminedSingle)
+			} else {
+				critical = r.CriticalPath.Round(time.Microsecond).String()
+				critSpeedup = fmt.Sprintf("%.2fx", r.CriticalSpeedup)
+			}
+			fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%v\t%v\t%.2fx\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				r.Query, r.Measure, r.Shards, r.ResultSize,
+				r.Time.Round(time.Microsecond), r.SingleTime.Round(time.Microsecond), r.Speedup,
+				critical, critSpeedup,
+				intList(r.ShardRows), examined, total, single)
+		}
+		return w.Flush()
+
 	default:
 		return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experimentOrder, ", "))
 	}
@@ -461,6 +493,15 @@ func printStreamStats(out io.Writer, label string, ss core.StreamStats) {
 		label, ss.Advances, ss.IndexUpdates, ss.IndexRebuilds,
 		ss.StoresShared, ss.StoresCloned, ss.StoresRebuilt,
 		ss.EntriesDeleted, ss.EntriesInserted, 100*ss.PoolHitRate(), ss.LastStaleFraction)
+}
+
+// intList renders a per-shard int slice compactly ("3+5+4").
+func intList(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, "+")
 }
 
 func newTable(out io.Writer) *tabwriter.Writer {

@@ -9,7 +9,7 @@ import (
 func TestBenchSingleExperiments(t *testing.T) {
 	// A very small scale keeps this smoke test fast while exercising the
 	// printing path of several experiment kinds.
-	for _, exp := range []string{"table3", "fig14", "ablation-pruning"} {
+	for _, exp := range []string{"table3", "fig14", "ablation-pruning", "shard"} {
 		var out bytes.Buffer
 		err := run([]string{
 			"-experiment", exp, "-series-div", "40", "-sample-div", "10",

@@ -373,7 +373,7 @@ func (e *engineState) pairMultiSweep(items []pairSweepItem) ([]QueryResult, erro
 		mg.idxs = append(mg.idxs, k)
 	}
 
-	pairs := e.data.AllPairs()
+	pairs := e.pairUniverse()
 	numSamples := e.data.NumSamples()
 	kern, mom, err := e.naive.Kernel()
 	if err != nil {

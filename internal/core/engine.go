@@ -25,6 +25,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,6 +151,15 @@ type Config struct {
 	// affine method falls back to the naive computation for pruned pairs and
 	// the SCAPE index simply does not contain them.  Zero disables pruning.
 	MaxLSFD float64
+	// AssignedPairsOnly restricts the engine's pairwise query universe to the
+	// pairs carrying a SYMEX assignment in its relationship result, instead of
+	// all n·(n-1)/2 pairs of the data matrix.  A sharded coordinator builds
+	// each shard from a pivot-restricted relationship result: with this flag
+	// the shard's sweeps, planner statistics and fallback accounting all see
+	// only the shard's own pairs, so the disjoint union across shards covers
+	// every pair exactly once.  The universe is frozen at build time and
+	// carried across Advance (the pair→pivot assignment is frozen too).
+	AssignedPairsOnly bool
 	// CostModel overrides the planner's calibrated per-operation costs used
 	// by MethodAuto and Explain (the zero value selects
 	// plan.DefaultCostModel).  The model must stay deterministic in the epoch
@@ -251,6 +261,13 @@ type engineState struct {
 	naive *baseline.Naive
 	rel   *symex.Result
 	index *scape.Index
+
+	// pairs, when non-nil, is the engine's restricted pairwise query universe
+	// (Config.AssignedPairsOnly): the assigned pairs of rel in canonical
+	// (U, V) order — the same order AllPairs uses, so merging several
+	// restricted engines' sweep results by pair identity reconstructs the
+	// unrestricted scan order.  Nil means the full n·(n-1)/2 universe.
+	pairs []timeseries.Pair
 
 	summaries map[symex.Pivot]*pivotSummary
 	// Per-series incremental sufficient statistics (Σx, Σx²), carried across
@@ -367,6 +384,9 @@ func buildState(d *timeseries.DataMatrix, cfg Config) (*engineState, error) {
 	}
 	st.rel = rel
 	st.info.SymexDuration = time.Since(symexStart)
+	if cfg.AssignedPairsOnly {
+		st.pairs = assignedPairs(rel)
+	}
 
 	// Stage 3: pre-processing — fill the pivot summaries (the paper's
 	// "fill the values in the empty hash map pivotHash") and the per-series
@@ -655,4 +675,92 @@ func (st *engineState) calibrate(parallelism int) error {
 // measure-spec parameters.
 func (e *engineState) seriesStat(id timeseries.SeriesID) measure.SeriesStat {
 	return measure.SeriesStat{Variance: e.seriesVariance[id], SqNorm: e.seriesSqNorm[id]}
+}
+
+// pairUniverse returns the epoch's pairwise query universe: the restricted
+// assigned-pair set under Config.AssignedPairsOnly, all pairs otherwise.
+func (e *engineState) pairUniverse() []timeseries.Pair {
+	if e.pairs != nil {
+		return e.pairs
+	}
+	return e.data.AllPairs()
+}
+
+// numUniversePairs returns the size of the pairwise query universe without
+// materializing the unrestricted pair list.
+func (e *engineState) numUniversePairs() int {
+	if e.pairs != nil {
+		return len(e.pairs)
+	}
+	return e.data.NumPairs()
+}
+
+// assignedPairs extracts the assigned pairs of a relationship result in
+// canonical (U, V) order — the AllPairs order, restricted.
+func assignedPairs(rel *symex.Result) []timeseries.Pair {
+	as := rel.AssignmentList()
+	out := make([]timeseries.Pair, len(as))
+	for i, a := range as {
+		out[i] = a.Pair
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// ComputeRelationships runs only the clustering and relationship stages of a
+// build (AFCLST unless cfg.Clustering is set, then SYMEX/SYMEX+) and returns
+// the result without assembling an engine.  A sharded coordinator uses it to
+// compute one global relationship set, partition it by pivot, and hand each
+// shard its restriction through BuildFromRelationships — byte-identical to
+// the stages a single Build would run, because it is the same code path.
+func ComputeRelationships(d *timeseries.DataMatrix, cfg Config) (*symex.Result, error) {
+	cfg = cfg.withDefaults()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	clustering := cfg.Clustering
+	if clustering == nil {
+		var err error
+		clustering, err = cluster.Run(d, cluster.Config{
+			K:             cfg.Clusters,
+			MaxIterations: cfg.MaxIterations,
+			MinChanges:    cfg.MinChanges,
+			Seed:          cfg.Seed,
+			Parallelism:   cfg.Parallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering: %w", err)
+		}
+	}
+	rel, err := symex.Compute(d, symex.Options{
+		Clustering:         clustering,
+		CachePseudoInverse: !cfg.DisablePseudoInverseCache,
+		MaxRelationships:   cfg.MaxRelationships,
+		Parallelism:        cfg.Parallelism,
+		MaxLSFD:            cfg.MaxLSFD,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: symex: %w", err)
+	}
+	return rel, nil
+}
+
+// BuildFromRelationships assembles an engine from a pre-computed relationship
+// result, skipping the AFCLST and SYMEX stages: pivot summaries, per-series
+// statistics and (unless cfg.SkipIndex) the SCAPE index are built from rel as
+// given.  With cfg.AssignedPairsOnly set and a pivot-restricted rel this is
+// the shard construction path; it is also the load path of snapshots.
+func BuildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Result) (*Engine, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if rel == nil || rel.Clustering == nil {
+		return nil, fmt.Errorf("core: BuildFromRelationships needs a relationship result with clustering")
+	}
+	return buildFromRelationships(d, cfg.withDefaults(), rel)
 }

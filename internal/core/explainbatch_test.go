@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"affinity/internal/plan"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+)
+
+// TestExplainBatchParity pins the batch/single Explain contract: ExplainBatch
+// must return the same results and the same plans (estimates, chosen method,
+// actual rows) as issuing each Explain individually — only Duration differs,
+// because the batch execution is shared.  This is the regression test for the
+// bug where only the single-query path populated plan actuals.
+func TestExplainBatchParity(t *testing.T) {
+	fx := makeStreamFixture(t, 20, 90, 0, 7)
+	e, err := Build(fx.window, Config{Clusters: 4, Seed: 5, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []plan.QuerySpec{
+		plan.Threshold(stats.Correlation, 0.25, scape.Above),
+		plan.Range(stats.Covariance, -0.5, 0.9),
+		plan.TopK(stats.Correlation, 4, true),
+		plan.Threshold(stats.Mean, 0.1, scape.Below),
+		plan.TopK(stats.Cosine, 3, false),
+		plan.Range(stats.Jaccard, 0.2, 0.8),
+	}
+	for _, method := range []Method{MethodNaive, MethodAffine, MethodAuto} {
+		results, plans, err := e.ExplainBatch(specs, method)
+		if err != nil {
+			t.Fatalf("%v: ExplainBatch: %v", method, err)
+		}
+		if len(results) != len(specs) || len(plans) != len(specs) {
+			t.Fatalf("%v: got %d results, %d plans for %d specs", method, len(results), len(plans), len(specs))
+		}
+		for i, spec := range specs {
+			single, sp, err := e.Explain(spec, method)
+			if err != nil {
+				t.Fatalf("%v %v: Explain: %v", method, spec, err)
+			}
+			if got, want := fmt.Sprintf("%v", results[i]), fmt.Sprintf("%v", single); got != want {
+				t.Fatalf("%v %v: batch result %s != single %s", method, spec, got, want)
+			}
+			bp := plans[i]
+			if bp.ActualRows != results[i].Size() {
+				t.Fatalf("%v %v: batch plan ActualRows %d, result size %d", method, spec, bp.ActualRows, results[i].Size())
+			}
+			if bp.Duration <= 0 {
+				t.Fatalf("%v %v: batch plan Duration not populated", method, spec)
+			}
+			// Everything except the shared wall time must match the single
+			// Explain's plan.
+			bp.Duration, sp.Duration = 0, 0
+			if got, want := fmt.Sprintf("%+v", bp), fmt.Sprintf("%+v", sp); got != want {
+				t.Fatalf("%v %v: batch plan %s != single plan %s", method, spec, got, want)
+			}
+		}
+	}
+
+	if _, _, err := e.ExplainBatch(specs, Method(99)); err == nil {
+		t.Fatal("ExplainBatch accepted an invalid method")
+	}
+	bad := []plan.QuerySpec{plan.TopK(stats.Correlation, 0, true)}
+	if _, _, err := e.ExplainBatch(bad, MethodAuto); err == nil {
+		t.Fatal("ExplainBatch accepted k=0")
+	}
+}

@@ -19,12 +19,15 @@ import (
 // with identical epochs make identical plan choices at any Parallelism.
 func (st *engineState) finishPlanner(cfg Config) {
 	st.cost = cfg.CostModel
+	// Table statistics describe the epoch's pairwise query universe: the full
+	// pair set normally, the restricted assigned set for a sharded engine
+	// (AssignedPairsOnly), so per-shard plans price per-shard work.
 	st.table = plan.TableStats{
 		NumSeries:     st.data.NumSeries(),
 		NumSamples:    st.data.NumSamples(),
-		NumPairs:      st.data.NumPairs(),
+		NumPairs:      st.numUniversePairs(),
 		NumPivots:     st.rel.Stats.NumPivots,
-		FallbackPairs: st.data.NumPairs() - len(st.rel.Relationships),
+		FallbackPairs: st.numUniversePairs() - len(st.rel.Relationships),
 		HasIndex:      st.index != nil,
 	}
 }
@@ -103,4 +106,52 @@ func (e *engineState) explain(spec plan.QuerySpec, method Method) (QueryResult, 
 	p.Duration = time.Since(start)
 	p.ActualRows = out[0].Size()
 	return out[0], p, nil
+}
+
+// explainBatch implements Engine.ExplainBatch for one epoch: every spec is
+// planned exactly as explain would plan it alone, the whole batch executes
+// through the shared executor, and — unlike the historical batch path, which
+// dropped them — the actuals are filled per item.  ActualRows is per query;
+// Duration is the wall time of the shared batch execution, reported
+// identically on every plan because the scans are fused and cannot be
+// attributed per item.
+func (e *engineState) explainBatch(specs []plan.QuerySpec, method Method) ([]QueryResult, []plan.Plan, error) {
+	if method != MethodAuto && !method.Concrete() {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadMethod, method)
+	}
+	plans := make([]plan.Plan, len(specs))
+	items := make([]execItem, len(specs))
+	for i, spec := range specs {
+		if err := validateSpec(spec); err != nil {
+			return nil, nil, err
+		}
+		p, err := e.plan(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if method != MethodAuto {
+			p.Method = method
+			switch method {
+			case MethodNaive:
+				p.EstimatedCost = p.CostNaive
+			case MethodAffine:
+				p.EstimatedCost = p.CostAffine
+			case MethodIndex:
+				p.EstimatedCost = p.CostIndex
+			}
+		}
+		plans[i] = p
+		items[i] = buildItem(spec, p.Method)
+	}
+	start := time.Now()
+	out, err := e.runBatch(items)
+	if err != nil {
+		return nil, nil, err
+	}
+	dur := time.Since(start)
+	for i := range plans {
+		plans[i].Duration = dur
+		plans[i].ActualRows = out[i].Size()
+	}
+	return out, plans, nil
 }

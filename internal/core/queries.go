@@ -87,6 +87,15 @@ func (e *Engine) Explain(spec plan.QuerySpec, method Method) (QueryResult, plan.
 	return e.state().explain(spec, method)
 }
 
+// ExplainBatch plans and executes a batch of interval/top-k queries,
+// returning per-item plans with the actuals populated — the batch analogue of
+// Explain.  plans[i].ActualRows is the i-th result's size; plans[i].Duration
+// is the wall time of the shared batch execution (scans are fused across
+// items, so per-item attribution is not possible).
+func (e *Engine) ExplainBatch(specs []plan.QuerySpec, method Method) ([]QueryResult, []plan.Plan, error) {
+	return e.state().explainBatch(specs, method)
+}
+
 // singleQuery answers one interval/top-k query as a batch of one.
 func (e *engineState) singleQuery(spec plan.QuerySpec, method Method) (QueryResult, error) {
 	it, err := e.newItem(spec, method)

@@ -280,6 +280,9 @@ func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Res
 		rel:   rel,
 		par:   cfg.Parallelism,
 	}
+	if cfg.AssignedPairsOnly {
+		st.pairs = assignedPairs(rel)
+	}
 	summaryStart := time.Now()
 	if err := st.buildDerived(nil, cfg.Parallelism); err != nil {
 		return nil, err
@@ -301,7 +304,7 @@ func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Res
 
 	st.info.NumSeries = d.NumSeries()
 	st.info.NumSamples = d.NumSamples()
-	st.info.NumPairs = d.NumPairs()
+	st.info.NumPairs = st.numUniversePairs()
 	st.info.NumPivots = rel.Stats.NumPivots
 	st.info.NumRelationships = rel.Stats.NumRelationships
 	st.info.UsedPseudoInverseTag = "snapshot"

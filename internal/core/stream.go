@@ -117,9 +117,7 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 	if slide == 0 {
 		return AdvanceInfo{Epoch: old.epoch}, nil
 	}
-	start := time.Now()
 	n := old.data.NumSeries()
-	m := old.data.NumSamples()
 
 	// Transpose the buffered ticks into per-series batches.  The buffer comes
 	// from the engine's pool: SlideCopy and the running-stat slide below both
@@ -137,12 +135,63 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 	if err != nil {
 		return AdvanceInfo{}, err
 	}
+	info, err := e.advanceTo(old, newData, batch, slide)
+	if err != nil {
+		return AdvanceInfo{}, err
+	}
+	e.pending = nil
+	return info, nil
+}
+
+// AdvanceShared folds an externally prepared window slide into a new epoch:
+// the caller supplies the already-slid data matrix and the per-series batch
+// columns it was slid with.  A sharded coordinator uses this to transpose and
+// SlideCopy the incoming ticks exactly once and then advance every shard
+// engine in parallel against the same shared (read-only) inputs; each shard's
+// epoch assembly — running-statistics slide, drift scoring, refit, index
+// update — is identical to what its own Advance would have done with the same
+// ticks.  It must not be mixed with Append on the same engine: ticks buffered
+// through Append are ignored (and kept) by AdvanceShared.
+func (e *Engine) AdvanceShared(newData *timeseries.DataMatrix, batch [][]float64) (AdvanceInfo, error) {
+	e.streamMu.Lock()
+	defer e.streamMu.Unlock()
+	old := e.state()
+	n := old.data.NumSeries()
+	if len(batch) != n {
+		return AdvanceInfo{}, fmt.Errorf("%w: batch has %d series, want %d", ErrStreamShape, len(batch), n)
+	}
+	slide := len(batch[0])
+	for v := range batch {
+		if len(batch[v]) != slide {
+			return AdvanceInfo{}, fmt.Errorf("%w: ragged batch column %d", ErrStreamShape, v)
+		}
+	}
+	if slide == 0 {
+		return AdvanceInfo{Epoch: old.epoch}, nil
+	}
+	if newData.NumSeries() != n || newData.NumSamples() != old.data.NumSamples() {
+		return AdvanceInfo{}, fmt.Errorf("%w: slid window is %dx%d, want %dx%d", ErrStreamShape,
+			newData.NumSamples(), newData.NumSeries(), old.data.NumSamples(), n)
+	}
+	return e.advanceTo(old, newData, batch, slide)
+}
+
+// advanceTo assembles and publishes the next epoch from an already-slid
+// window: everything after the tick transpose and SlideCopy, shared by
+// Advance and AdvanceShared.  Callers hold streamMu.
+func (e *Engine) advanceTo(old *engineState, newData *timeseries.DataMatrix, batch [][]float64, slide int) (AdvanceInfo, error) {
+	start := time.Now()
+	n := old.data.NumSeries()
+	m := old.data.NumSamples()
 
 	st := &engineState{
 		data:  newData,
 		naive: baseline.NewNaive(newData),
 		par:   e.cfg.Parallelism,
 		epoch: old.epoch + 1,
+		// The restricted pair universe (if any) is frozen with the pair→pivot
+		// assignment it was derived from.
+		pairs: old.pairs,
 	}
 	parallelism := e.cfg.advanceParallelism()
 
@@ -223,7 +272,6 @@ func (e *Engine) advanceLocked() (AdvanceInfo, error) {
 		Duration:            st.info.AdvanceDuration,
 	}
 	e.cur.Store(st)
-	e.pending = nil
 	return info, nil
 }
 

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"affinity/internal/core"
+	"affinity/internal/plan"
+	"affinity/internal/scape"
+	"affinity/internal/shard"
+	"affinity/internal/stats"
+	"affinity/internal/workload"
+)
+
+// The shard experiment: the scatter-gather coordinator against the single
+// engine, S sweeping the shard count, on interval (MET) and top-k (MEK)
+// queries over three measures.  Two quantities matter.  For top-k, the total
+// index entries the per-shard best-first traversals examined versus the
+// single engine's count: the running-v_k broadcast must keep the union of
+// shard traversals within a small factor of the global one (acceptance bar:
+// 2x), otherwise sharding destroys SCAPE's pruning.  For intervals, the
+// critical path — the slowest shard's executor time — which is the wall time
+// a multi-core box would see and therefore the scaling headroom; the total
+// across shards stays flat because the work decomposes without overlap.
+// Before anything is timed, every sharded result is asserted byte-identical
+// to the single engine's.
+//
+// The update stream feeding the pre-measurement Advances is the zipfian
+// hot-series generator from internal/workload, so the shards carry
+// deliberately imbalanced refit load rather than a uniform one.
+
+// ShardRow is one (query, measure, shard count) cell of the shard experiment.
+type ShardRow struct {
+	Dataset string
+	Measure stats.Measure
+	Query   string // "interval" or "topk"
+	// Shards is the effective shard count (placement may lower it).
+	Shards     int
+	ResultSize int
+
+	// Time is the coordinator's wall time for the query; SingleTime the
+	// unsharded engine's; Speedup their ratio (on a single-core box this
+	// hovers around 1x minus fan-out overhead).
+	Time       time.Duration
+	SingleTime time.Duration
+	Speedup    float64
+	// CriticalPath is the slowest shard's executor time for one run — the
+	// lower bound a parallel box can reach — and CriticalSpeedup compares the
+	// single engine against it.  Zero for top-k: its merge is driven by the
+	// coordinator polling shard cursors, so per-shard wall time is not
+	// attributable.
+	CriticalPath    time.Duration
+	CriticalSpeedup float64
+
+	// ShardRows is the per-shard result contribution (actual rows).
+	ShardRows []int
+	// Top-k pruning: entries examined per shard, their total, and the single
+	// engine's count for the same query.
+	ExaminedPerShard []int
+	ExaminedTotal    int
+	ExaminedSingle   int
+}
+
+// DefaultShardCounts is the shard-count sweep of the shard experiment.
+var DefaultShardCounts = []int{1, 2, 4, 8}
+
+const (
+	shardAdvanceRounds = 2
+	shardSlide         = 5
+	shardTopKK         = 10
+)
+
+// shardQueryDef is one query template of the shard experiment.
+type shardQueryDef struct {
+	kind string // "interval" or "topk"
+	spec plan.QuerySpec
+}
+
+func shardQueries() []shardQueryDef {
+	return []shardQueryDef{
+		{"interval", plan.Threshold(stats.Correlation, 0.25, scape.Above)},
+		{"interval", plan.Range(stats.Covariance, -0.5, 0.9)},
+		{"interval", plan.Threshold(stats.Cosine, 0.7, scape.Above)},
+		{"topk", plan.TopK(stats.Correlation, shardTopKK, true)},
+		{"topk", plan.TopK(stats.Covariance, shardTopKK, true)},
+		{"topk", plan.TopK(stats.EuclideanDistance, shardTopKK, false)}, // nearest pairs
+	}
+}
+
+// ShardScaling runs the shard experiment on sensor-data.
+func ShardScaling(s Scale, clusters int, shardCounts []int) ([]ShardRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = DefaultShardCounts
+	}
+	sensor, err := GenerateSensorOnly(s)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Clusters: clusters, Seed: s.Seed}
+
+	// One deterministic zipfian tick stream, replayed identically into the
+	// baseline engine and every coordinator.
+	stream, err := workload.NewTickStream(workload.TickConfig{
+		NumSeries: sensor.NumSeries(),
+		Skew:      1.4,
+		Seed:      s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ticks := stream.Ticks(shardAdvanceRounds * shardSlide)
+
+	engine, err := core.Build(sensor, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard baseline build: %w", err)
+	}
+	for r := 0; r < shardAdvanceRounds; r++ {
+		for _, tick := range ticks[r*shardSlide : (r+1)*shardSlide] {
+			if err := engine.Append(tick); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := engine.Advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	coords := make([]*shard.Coordinator, len(shardCounts))
+	for i, S := range shardCounts {
+		c, err := shard.Build(sensor, shard.Config{Shards: S, Engine: cfg})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: shard S=%d build: %w", S, err)
+		}
+		for r := 0; r < shardAdvanceRounds; r++ {
+			for _, tick := range ticks[r*shardSlide : (r+1)*shardSlide] {
+				if err := c.Append(tick); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := c.Advance(); err != nil {
+				return nil, err
+			}
+		}
+		coords[i] = c
+	}
+
+	var rows []ShardRow
+	for _, q := range shardQueries() {
+		q := q
+		singleRes, _, err := engine.Explain(q.spec, core.MethodIndex)
+		if err != nil {
+			return nil, err
+		}
+		want := fmt.Sprintf("%v", singleRes)
+		singleTime, err := timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+			var err error
+			if q.kind == "topk" {
+				_, err = engine.TopK(q.spec.Measure, q.spec.K, q.spec.Largest, core.MethodIndex)
+			} else {
+				_, err = engine.Interval(q.spec.Measure, q.spec.Interval, core.MethodIndex)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		examinedSingle := 0
+		if q.kind == "topk" {
+			_, _, examinedSingle, err = engine.Index().PairTopK(q.spec.Measure, q.spec.K, q.spec.Largest)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		for _, c := range coords {
+			ex, err := c.Explain(q.spec, core.MethodIndex)
+			if err != nil {
+				return nil, err
+			}
+			if got := fmt.Sprintf("%v", ex.Result); got != want {
+				return nil, fmt.Errorf("experiments: shard S=%d %s %v diverged from the single engine",
+					c.NumShards(), q.kind, q.spec.Measure)
+			}
+			row := ShardRow{
+				Dataset:        "sensor-data",
+				Measure:        q.spec.Measure,
+				Query:          q.kind,
+				Shards:         c.NumShards(),
+				ResultSize:     ex.Result.Size(),
+				SingleTime:     singleTime,
+				ExaminedSingle: examinedSingle,
+			}
+			for _, sp := range ex.Shards {
+				row.ShardRows = append(row.ShardRows, sp.Plan.ActualRows)
+				if q.kind == "topk" {
+					row.ExaminedPerShard = append(row.ExaminedPerShard, sp.Examined)
+					row.ExaminedTotal += sp.Examined
+				}
+				if sp.Plan.Duration > row.CriticalPath {
+					row.CriticalPath = sp.Plan.Duration
+				}
+			}
+			c := c
+			row.Time, err = timeRepeated(queryTimingFloor, queryTimingReps, func() error {
+				var err error
+				if q.kind == "topk" {
+					_, err = c.TopK(q.spec.Measure, q.spec.K, q.spec.Largest, core.MethodIndex)
+				} else {
+					_, err = c.Interval(q.spec.Measure, q.spec.Interval, core.MethodIndex)
+				}
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup = speedup(singleTime, row.Time)
+			row.CriticalSpeedup = speedup(singleTime, row.CriticalPath)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,57 @@
+package scape
+
+import (
+	"fmt"
+
+	"affinity/internal/btree"
+	"affinity/internal/measure"
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// BuildLocationOnly constructs an index holding only the global per-series
+// location trees — no pivot nodes.  A sharded coordinator needs this because
+// location estimates are restriction-dependent: buildLocationTrees picks each
+// series' estimating relationship as the minimum canonical pair over the
+// WHOLE relationship set, so a shard's restricted set can pick a different
+// relationship than a single global engine would.  The coordinator therefore
+// answers L-measure index queries from one location-only index built over the
+// union of all shards' relationships, which is byte-identical to the
+// single-engine index's location trees, while the shards themselves index no
+// L-measures at all.
+func BuildLocationOnly(d *timeseries.DataMatrix, rel *symex.Result, opts Options) (*Index, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if rel == nil || len(rel.Relationships) == 0 {
+		return nil, fmt.Errorf("scape: no affine relationships to index")
+	}
+	opts = opts.withDefaults()
+	for _, m := range opts.LocationMeasures {
+		sp, ok := measure.Find(m)
+		if !ok || !sp.Location() {
+			return nil, fmt.Errorf("%w: %v is not an L-measure", ErrBadQuery, m)
+		}
+	}
+	idx := &Index{
+		opts:         opts,
+		byPivot:      make(map[symex.Pivot]*pivotNode),
+		location:     make(map[stats.Measure]*btree.Tree[seriesEntry]),
+		pairMeasures: make(map[stats.Measure]bool),
+		derivedSet:   make(map[stats.Measure]bool),
+		locationSet:  make(map[stats.Measure]bool),
+		numSamples:   d.NumSamples(),
+		numSeries:    d.NumSeries(),
+	}
+	for _, m := range opts.LocationMeasures {
+		idx.locationSet[m] = true
+	}
+	if len(opts.LocationMeasures) > 0 {
+		if err := idx.buildLocationTrees(d, rel); err != nil {
+			return nil, err
+		}
+	}
+	idx.stats.IndexedLMeasures = len(idx.locationSet)
+	return idx, nil
+}

@@ -9,6 +9,7 @@ import (
 	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/stats"
+	"affinity/internal/symex"
 	"affinity/internal/timeseries"
 )
 
@@ -103,6 +104,41 @@ func (idx *Index) SeriesInterval(m stats.Measure, iv interval.Interval) ([]times
 		out = append(out, e.id)
 		return true
 	})
+	return out, nil
+}
+
+// NodeResult is one pivot node's contribution to a pairwise interval query:
+// the pivot identity plus the matching pairs in scalar-projection order.
+type NodeResult struct {
+	Pivot symex.Pivot
+	Pairs []timeseries.Pair
+}
+
+// PairIntervalNodes answers a pairwise interval query like PairInterval but
+// keeps the per-pivot-node result blocks separate, in the index's canonical
+// (Common, Cluster) node order.  Concatenating the blocks reproduces
+// PairInterval exactly.  A sharded coordinator uses this to merge several
+// shards' results into the global node order: each shard's blocks are already
+// canonically sorted, so a k-way merge by pivot reconstructs the byte-exact
+// order a single unsharded index would produce.
+func (idx *Index) PairIntervalNodes(m stats.Measure, iv interval.Interval) ([]NodeResult, error) {
+	ps, err := idx.compilePair(PairQuery{Measure: m, Interval: iv})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeResult, len(idx.pivots))
+	err = par.Do(len(idx.pivots), idx.opts.Parallelism, func(i int) error {
+		node := idx.pivots[i]
+		pairs, err := idx.scanNode(node, ps, nil)
+		if err != nil {
+			return err
+		}
+		out[i] = NodeResult{Pivot: node.pivot, Pairs: pairs}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

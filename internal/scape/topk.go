@@ -132,34 +132,48 @@ func (h *TopHeap) siftDown(i int) {
 	}
 }
 
-// PairTopK answers a top-k (MEK) query over a pairwise measure from the
-// index: the k pairs with the greatest (largest) or smallest measure value as
-// represented by the index, best first with ties broken by pair identity.
-// It returns the aligned values and the number of sequence-node entries
-// examined — the work metric the pruning saves against a full sweep.
-func (idx *Index) PairTopK(m stats.Measure, k int, largest bool) ([]timeseries.Pair, []float64, int, error) {
-	if k <= 0 {
-		return nil, nil, 0, fmt.Errorf("%w: top-k needs k >= 1, got %d", ErrBadQuery, k)
-	}
+// TopKCursor walks one index's pivot nodes in best-first bound order, one
+// node per Step, against a caller-supplied result heap.  It is the resumable
+// form of PairTopK: the caller can peek the next unscanned node's optimistic
+// bound (NextBound) before deciding to scan it, which is what lets a
+// multi-index coordinator interleave several indexes into one global top-k —
+// each index is just a bound-ordered node source, and the shared heap's
+// running [v_k, ·) interval prunes every source against the global k-th
+// value.
+type TopKCursor struct {
+	idx      *Index
+	sp       *measure.Spec
+	largest  bool
+	cands    []nodeCand
+	next     int
+	examined int
+}
+
+// nodeCand is one pivot node with its optimistic bound, in traversal order.
+type nodeCand struct {
+	order int
+	node  *pivotNode
+	bound float64
+}
+
+// NewTopKCursor prepares a best-first traversal for a pairwise measure: every
+// pivot node's optimistic bound is evaluated and the nodes are sorted by
+// (bound best-first, node order).  The cursor itself holds no result state —
+// ranking lives in the TopHeap passed to Step — so several cursors can feed
+// one heap.
+func (idx *Index) NewTopKCursor(m stats.Measure, largest bool) (*TopKCursor, error) {
 	sp, err := pairSpec(m)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
 	if sp.Derived() && !idx.derivedSet[m] {
-		return nil, nil, 0, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
-	}
-
-	// Order the pivot nodes by the best value they could possibly contain.
-	type nodeCand struct {
-		order int
-		node  *pivotNode
-		bound float64
+		return nil, fmt.Errorf("%w: %v", ErrMeasureNotIndexed, m)
 	}
 	cands := make([]nodeCand, 0, len(idx.pivots))
 	for i, node := range idx.pivots {
 		bound, ok, err := idx.nodeTopBound(node, sp, largest)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, err
 		}
 		if !ok {
 			continue
@@ -175,28 +189,84 @@ func (idx *Index) PairTopK(m stats.Measure, k int, largest bool) ([]timeseries.P
 		}
 		return cands[i].order < cands[j].order
 	})
+	return &TopKCursor{idx: idx, sp: sp, largest: largest, cands: cands}, nil
+}
 
+// NextBound returns the optimistic bound of the next unscanned pivot node,
+// or false when the cursor is exhausted.  The bound is the best value the
+// node could possibly contribute; because nodes are bound-sorted it also
+// bounds everything the cursor has left.
+func (c *TopKCursor) NextBound() (float64, bool) {
+	if c.next >= len(c.cands) {
+		return 0, false
+	}
+	return c.cands[c.next].bound, true
+}
+
+// Step scans the next pivot node against the heap, restricted to the heap's
+// running [v_k, ·) interval, and returns the number of sequence-node entries
+// examined.  Callers decide when to stop by comparing NextBound against the
+// heap's Threshold.
+func (c *TopKCursor) Step(heap *TopHeap) (int, error) {
+	if c.next >= len(c.cands) {
+		return 0, nil
+	}
+	node := c.cands[c.next].node
+	c.next++
+	n, err := c.idx.scanNodeTopK(node, c.sp, c.largest, heap)
+	if err != nil {
+		return 0, err
+	}
+	c.examined += n
+	return n, nil
+}
+
+// Examined returns the total number of sequence-node entries the cursor's
+// Steps have evaluated.
+func (c *TopKCursor) Examined() int { return c.examined }
+
+// Exhausted reports whether every candidate node has been scanned.
+func (c *TopKCursor) Exhausted() bool { return c.next >= len(c.cands) }
+
+// BoundBeats reports whether an optimistic bound could still improve a full
+// heap with k-th value vk: true unless the bound is strictly worse.  A bound
+// equal to vk must still be scanned — an entry at exactly vk can win the
+// pair-id tie-break.
+func BoundBeats(bound, vk float64, largest bool) bool {
+	if largest {
+		return bound >= vk
+	}
+	return bound <= vk
+}
+
+// PairTopK answers a top-k (MEK) query over a pairwise measure from the
+// index: the k pairs with the greatest (largest) or smallest measure value as
+// represented by the index, best first with ties broken by pair identity.
+// It returns the aligned values and the number of sequence-node entries
+// examined — the work metric the pruning saves against a full sweep.
+func (idx *Index) PairTopK(m stats.Measure, k int, largest bool) ([]timeseries.Pair, []float64, int, error) {
+	if k <= 0 {
+		return nil, nil, 0, fmt.Errorf("%w: top-k needs k >= 1, got %d", ErrBadQuery, k)
+	}
+	cur, err := idx.NewTopKCursor(m, largest)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	heap := NewTopHeap(k, largest)
-	examined := 0
-	for _, c := range cands {
+	for !cur.Exhausted() {
 		// Pruning invariant: once the heap is full, a node whose optimistic
 		// bound is strictly worse than v_k cannot contribute — and the list is
-		// bound-sorted, so neither can any later node.  A bound equal to v_k
-		// must still be scanned: an entry at exactly v_k can win the pair-id
-		// tie-break.
-		if vk, full := heap.Threshold(); full {
-			if (largest && c.bound < vk) || (!largest && c.bound > vk) {
-				break
-			}
+		// bound-sorted, so neither can any later node.
+		bound, _ := cur.NextBound()
+		if vk, full := heap.Threshold(); full && !BoundBeats(bound, vk, largest) {
+			break
 		}
-		n, err := idx.scanNodeTopK(c.node, sp, largest, heap)
-		if err != nil {
+		if _, err := cur.Step(heap); err != nil {
 			return nil, nil, 0, err
 		}
-		examined += n
 	}
 	pairs, values := heap.Sorted()
-	return pairs, values, examined, nil
+	return pairs, values, cur.Examined(), nil
 }
 
 // runningInterval is the predicate "could still enter the heap": unbounded

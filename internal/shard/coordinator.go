@@ -1,0 +1,370 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affinity/internal/core"
+	"affinity/internal/par"
+	"affinity/internal/plan"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/symex"
+	"affinity/internal/timeseries"
+)
+
+// Config parameterizes a sharded coordinator.
+type Config struct {
+	// Shards is the requested shard count (0 or 1 builds a single shard; the
+	// effective count can be lower, see Placement.Shards).
+	Shards int
+	// Engine is the per-shard engine configuration.  Clustering and the SYMEX
+	// exploration run once, globally, before the shards are built, so the
+	// clustering/fit parameters here drive that global run.
+	Engine core.Config
+}
+
+// coordState is one coordinator epoch: the vector of shard views captured
+// behind one atomic pointer plus the global (merged) artifacts the
+// coordinator plans and routes with.  Queries pin one coordState for their
+// whole execution, so a multi-call scatter-gather never straddles an epoch.
+type coordState struct {
+	epoch int
+	data  *timeseries.DataMatrix
+	views []core.View
+	// rel is the global relationship result: the union of the shard results,
+	// equal to what a single unsharded engine holds at the same epoch.
+	rel *symex.Result
+	// locIndex answers L-measure index queries (location trees only); the
+	// shard indexes carry no location trees, because location estimates
+	// depend on the full relationship set, not a shard's restriction.  Nil
+	// under Config.Engine.SkipIndex.
+	locIndex *scape.Index
+	// owner maps each pivot to its shard (static across epochs).
+	owner map[symex.Pivot]int
+	// table and cost are the planner inputs of a single unsharded engine at
+	// this epoch: MethodAuto is resolved against the global table, so the
+	// chosen method — and therefore the result bytes — are identical at
+	// every shard count.
+	table plan.TableStats
+	cost  plan.CostModel
+}
+
+// Coordinator partitions the pairwise state of one data window across shard
+// engines (cluster-aligned placement, see ComputePlacement) and executes the
+// full query surface by scatter-gather:
+//
+//   - interval (MET/MER) queries fan out to every shard in parallel and the
+//     per-shard results are merged in a deterministic order — (U, V) pair
+//     order for sweeps, canonical pivot-node order for the index method —
+//     reproducing a single engine's result bytes;
+//   - top-k (MEK) queries stream per-shard optimistic bounds into one global
+//     k-heap: shards are polled best-first by the next SCAPE node bound, and
+//     the running k-th value prunes lagging shards (the interval broadcast
+//     back), with (value, pair-id) tie-breaks keeping the result identical
+//     to a single engine at any shard count;
+//   - MEC queries route per pair to the shard owning the pair's pivot;
+//   - Append/Advance run per-shard in parallel behind a cross-shard epoch
+//     barrier: the coordinator epoch is published only after every shard's
+//     atomic state pointer has swapped, preserving snapshot isolation.
+//
+// All shards share one immutable data window; only the O(n²) pairwise state
+// is partitioned.
+type Coordinator struct {
+	cfg       Config
+	engines   []*core.Engine
+	placement Placement
+	// assignments is the frozen global pair→pivot assignment list; shard
+	// refits keep it frozen too, so it stays the merge order for every epoch.
+	assignments []symex.Assignment
+	locOpts     scape.Options
+
+	cur atomic.Pointer[coordState]
+
+	mu      sync.Mutex
+	pending [][]float64
+}
+
+// Build runs clustering and SYMEX once globally, places the pivots onto
+// shards, and builds one restricted engine per shard in parallel.
+func Build(d *timeseries.DataMatrix, cfg Config) (*Coordinator, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	rel, err := core.ComputeRelationships(d, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := ComputePlacement(rel, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	shardCfg := cfg.Engine
+	shardCfg.AssignedPairsOnly = true
+	shardCfg.Clustering = rel.Clustering
+	// Location trees are the coordinator's job (they depend on the global
+	// relationship set); a non-nil empty list disables them on the shards.
+	shardCfg.Index.LocationMeasures = []stats.Measure{}
+
+	engines := make([]*core.Engine, pl.Shards)
+	err = par.Do(pl.Shards, pl.Shards, func(s int) error {
+		e, err := core.BuildFromRelationships(d, shardCfg, Restrict(rel, pl.Owner, s))
+		engines[s] = e
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	locOpts := cfg.Engine.Index
+	if locOpts.Parallelism == 0 {
+		locOpts.Parallelism = cfg.Engine.Parallelism
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		engines:     engines,
+		placement:   pl,
+		assignments: rel.AssignmentList(),
+		locOpts:     locOpts,
+	}
+	views := make([]core.View, len(engines))
+	for i, e := range engines {
+		views[i] = e.View()
+	}
+	st, err := c.makeState(views, d, rel, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.cur.Store(st)
+	return c, nil
+}
+
+// makeState assembles one coordinator epoch from the captured shard views.
+func (c *Coordinator) makeState(views []core.View, d *timeseries.DataMatrix,
+	rel *symex.Result, epoch int) (*coordState, error) {
+	var locIndex *scape.Index
+	if !c.cfg.Engine.SkipIndex {
+		idx, err := scape.BuildLocationOnly(d, rel, c.locOpts)
+		if err != nil {
+			return nil, err
+		}
+		locIndex = idx
+	}
+	return &coordState{
+		epoch:    epoch,
+		data:     d,
+		views:    views,
+		rel:      rel,
+		locIndex: locIndex,
+		owner:    c.placement.Owner,
+		table: plan.TableStats{
+			NumSeries:     d.NumSeries(),
+			NumSamples:    d.NumSamples(),
+			NumPairs:      d.NumPairs(),
+			NumPivots:     rel.Stats.NumPivots,
+			FallbackPairs: d.NumPairs() - len(rel.Relationships),
+			HasIndex:      !c.cfg.Engine.SkipIndex,
+		},
+		cost: c.cfg.Engine.CostModel,
+	}, nil
+}
+
+// state returns the current coordinator epoch.
+func (c *Coordinator) state() *coordState { return c.cur.Load() }
+
+// NumShards returns the effective shard count.
+func (c *Coordinator) NumShards() int { return len(c.engines) }
+
+// Placement returns the pivot→shard placement (static across epochs).
+func (c *Coordinator) Placement() Placement { return c.placement }
+
+// Epoch returns the coordinator's current epoch number.
+func (c *Coordinator) Epoch() int { return c.state().epoch }
+
+// Data returns the current epoch's shared data window.
+func (c *Coordinator) Data() *timeseries.DataMatrix { return c.state().data }
+
+// Relationships returns the current epoch's global (merged) SYMEX result.
+func (c *Coordinator) Relationships() *symex.Result { return c.state().rel }
+
+// Append buffers one tick for the next Advance, mirroring core.Engine.Append
+// (including StreamConfig.AutoAdvance).
+func (c *Coordinator) Append(tick []float64) error {
+	cs := c.state()
+	if len(tick) != cs.data.NumSeries() {
+		return fmt.Errorf("%w: got %d, want %d", core.ErrStreamShape, len(tick), cs.data.NumSeries())
+	}
+	for i, v := range tick {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("shard: tick value for series %d is NaN or Inf", i)
+		}
+	}
+	cp := make([]float64, len(tick))
+	copy(cp, tick)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(c.pending, cp)
+	if a := c.cfg.Engine.Stream.AutoAdvance; a > 0 && len(c.pending) >= a {
+		_, err := c.advanceLocked()
+		return err
+	}
+	return nil
+}
+
+// PendingSamples returns the number of buffered ticks.
+func (c *Coordinator) PendingSamples() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Advance folds the buffered ticks into a new epoch on every shard in
+// parallel, then publishes the new coordinator epoch.  The window is slid and
+// the tick batch transposed exactly once; each shard refits only its own
+// relationships against the shared slid window (core.Engine.AdvanceShared).
+//
+// The cross-shard epoch barrier preserves snapshot isolation: the new
+// coordState — and with it the new shard views — is stored only after every
+// shard's atomic state pointer has swapped, so a concurrent query pins either
+// S old views or S new views, never a mix.
+func (c *Coordinator) Advance() (core.AdvanceInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.advanceLocked()
+}
+
+func (c *Coordinator) advanceLocked() (core.AdvanceInfo, error) {
+	cs := c.state()
+	slide := len(c.pending)
+	if slide == 0 {
+		return core.AdvanceInfo{Epoch: cs.epoch}, nil
+	}
+	start := time.Now()
+
+	n := cs.data.NumSeries()
+	batch := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		col := make([]float64, slide)
+		for t := 0; t < slide; t++ {
+			col[t] = c.pending[t][v]
+		}
+		batch[v] = col
+	}
+	newData, err := cs.data.SlideCopy(batch)
+	if err != nil {
+		return core.AdvanceInfo{}, err
+	}
+
+	infos := make([]core.AdvanceInfo, len(c.engines))
+	err = par.Do(len(c.engines), len(c.engines), func(s int) error {
+		info, err := c.engines[s].AdvanceShared(newData, batch)
+		infos[s] = info
+		return err
+	})
+	if err != nil {
+		return core.AdvanceInfo{}, err
+	}
+
+	// Barrier crossed: every shard has swapped.  Capture the new views, merge
+	// the shard relationship results back into the global one, and publish.
+	views := make([]core.View, len(c.engines))
+	for i, e := range c.engines {
+		views[i] = e.View()
+	}
+	merged := c.mergeRelationships(views)
+	st, err := c.makeState(views, newData, merged, cs.epoch+1)
+	if err != nil {
+		return core.AdvanceInfo{}, err
+	}
+	c.cur.Store(st)
+	c.pending = nil
+
+	agg := core.AdvanceInfo{Epoch: st.epoch, Slide: slide, Duration: time.Since(start)}
+	for _, info := range infos {
+		agg.RefitRelationships += info.RefitRelationships
+		agg.ReusedRelationships += info.ReusedRelationships
+		agg.RefitPivots += info.RefitPivots
+	}
+	return agg, nil
+}
+
+// mergeRelationships rebuilds the global relationship result from the shard
+// epochs: relationships union (the pivot sets are disjoint), pivot lists in
+// the frozen global assignment order, shared clustering.  Because each shard
+// refits exactly the restriction of the global assignment list, the union is
+// byte-identical to a single engine's refit of the whole list.
+func (c *Coordinator) mergeRelationships(views []core.View) *symex.Result {
+	merged := &symex.Result{
+		Relationships: make(map[timeseries.Pair]*symex.Relationship),
+		Pivots:        make(map[symex.Pivot][]timeseries.Pair),
+		Assignments:   c.assignments,
+		Clustering:    views[0].Relationships().Clustering,
+	}
+	for _, v := range views {
+		sr := v.Relationships()
+		for p, r := range sr.Relationships {
+			merged.Relationships[p] = r
+		}
+		merged.Stats.PseudoInverseComputations += sr.Stats.PseudoInverseComputations
+		merged.Stats.PseudoInverseCacheHits += sr.Stats.PseudoInverseCacheHits
+		merged.Stats.PrunedRelationships += sr.Stats.PrunedRelationships
+	}
+	for _, a := range c.assignments {
+		if _, ok := merged.Relationships[a.Pair]; ok {
+			merged.Pivots[a.Pivot] = append(merged.Pivots[a.Pivot], a.Pair)
+		}
+	}
+	merged.Stats.NumRelationships = len(merged.Relationships)
+	merged.Stats.NumPivots = len(merged.Pivots)
+	return merged
+}
+
+// StreamStats aggregates the shard engines' maintenance counters: cumulative
+// counters sum across shards; the Last* phase timings report the slowest
+// shard (the shards run in parallel, so the maximum is the coordinator's
+// critical path); LastFellBack is true when any shard fell back to a rebuild.
+func (c *Coordinator) StreamStats() core.StreamStats {
+	var agg core.StreamStats
+	for i, e := range c.engines {
+		s := e.StreamStats()
+		if i == 0 {
+			agg.Advances = s.Advances
+		}
+		agg.IndexUpdates += s.IndexUpdates
+		agg.IndexRebuilds += s.IndexRebuilds
+		agg.EntriesDeleted += s.EntriesDeleted
+		agg.EntriesInserted += s.EntriesInserted
+		agg.StoresShared += s.StoresShared
+		agg.StoresCloned += s.StoresCloned
+		agg.StoresRebuilt += s.StoresRebuilt
+		agg.ScratchGets += s.ScratchGets
+		agg.ScratchHits += s.ScratchHits
+		agg.PoolGets += s.PoolGets
+		agg.PoolHits += s.PoolHits
+		if s.LastStaleFraction > agg.LastStaleFraction {
+			agg.LastStaleFraction = s.LastStaleFraction
+		}
+		if s.LastCrossover > agg.LastCrossover {
+			agg.LastCrossover = s.LastCrossover
+		}
+		agg.LastFellBack = agg.LastFellBack || s.LastFellBack
+		if s.LastSlidePhase > agg.LastSlidePhase {
+			agg.LastSlidePhase = s.LastSlidePhase
+		}
+		if s.LastRefitPhase > agg.LastRefitPhase {
+			agg.LastRefitPhase = s.LastRefitPhase
+		}
+		if s.LastIndexPhase > agg.LastIndexPhase {
+			agg.LastIndexPhase = s.LastIndexPhase
+		}
+		if s.LastPlannerPhase > agg.LastPlannerPhase {
+			agg.LastPlannerPhase = s.LastPlannerPhase
+		}
+	}
+	return agg
+}

@@ -1,0 +1,323 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"affinity/internal/core"
+	"affinity/internal/dataset"
+	"affinity/internal/measure"
+	"affinity/internal/plan"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// This file pins the coordinator's central contract: at any shard count and
+// any parallelism, every query — interval, top-k, batch and MEC, under every
+// method including MethodAuto — returns byte-identical results to a single
+// unsharded engine, across a cold build plus streaming Advances.  Results are
+// compared with %v formatting, which preserves order, tie-breaks and exact
+// float bits.
+
+// shardCounts × parallelismLevels are the grid every run is compared across.
+var (
+	shardCounts       = []int{1, 2, 4}
+	parallelismLevels = []int{1, 2, 8}
+)
+
+type shardFixture struct {
+	window *timeseries.DataMatrix
+	ticks  [][]float64
+}
+
+func makeShardFixture(t testing.TB, n, window, streamLen int, seed int64) *shardFixture {
+	t.Helper()
+	full, err := dataset.GenerateSensor(dataset.SensorConfig{
+		NumSeries:  n,
+		NumSamples: window + streamLen,
+		NumGroups:  4,
+		Noise:      0.02,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := full.Window(0, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := make([][]float64, streamLen)
+	for s := 0; s < streamLen; s++ {
+		tick := make([]float64, n)
+		for v := 0; v < n; v++ {
+			series, err := full.Series(timeseries.SeriesID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tick[v] = series[window+s]
+		}
+		ticks[s] = tick
+	}
+	return &shardFixture{window: init, ticks: ticks}
+}
+
+// render collapses a result/error pair into one comparable string.
+func render(res any, err error) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return fmt.Sprintf("%v", res)
+}
+
+// shardQueryCase is one table entry of the sharded determinism harness.
+type shardQueryCase struct {
+	name   string
+	engine func(e *core.Engine) (any, error)
+	coord  func(c *Coordinator) (any, error)
+}
+
+// shardDeterminismCases enumerates the full query surface across all
+// registered measures and methods.
+func shardDeterminismCases() []shardQueryCase {
+	var cases []shardQueryCase
+	methods := []core.Method{core.MethodNaive, core.MethodAffine, core.MethodIndex, core.MethodAuto}
+	mecIDs := []timeseries.SeriesID{3, 1, 7, 0, 12}
+	for _, m := range stats.AllMeasures() {
+		m := m
+		for _, method := range methods {
+			method := method
+			cases = append(cases,
+				shardQueryCase{
+					name: fmt.Sprintf("threshold/%v/%v", m, method),
+					engine: func(e *core.Engine) (any, error) {
+						return e.Threshold(m, 0.25, scape.Above, method)
+					},
+					coord: func(c *Coordinator) (any, error) {
+						return c.Threshold(m, 0.25, scape.Above, method)
+					},
+				},
+				shardQueryCase{
+					name: fmt.Sprintf("range/%v/%v", m, method),
+					engine: func(e *core.Engine) (any, error) {
+						return e.Range(m, -0.5, 0.9, method)
+					},
+					coord: func(c *Coordinator) (any, error) {
+						return c.Range(m, -0.5, 0.9, method)
+					},
+				},
+				shardQueryCase{
+					name: fmt.Sprintf("topk-largest/%v/%v", m, method),
+					engine: func(e *core.Engine) (any, error) {
+						return e.TopK(m, 4, true, method)
+					},
+					coord: func(c *Coordinator) (any, error) {
+						return c.TopK(m, 4, true, method)
+					},
+				},
+				shardQueryCase{
+					name: fmt.Sprintf("topk-smallest/%v/%v", m, method),
+					engine: func(e *core.Engine) (any, error) {
+						return e.TopK(m, 3, false, method)
+					},
+					coord: func(c *Coordinator) (any, error) {
+						return c.TopK(m, 3, false, method)
+					},
+				},
+			)
+		}
+		for _, method := range []core.Method{core.MethodNaive, core.MethodAffine, core.MethodAuto} {
+			method := method
+			if sp, ok := measure.Find(m); ok && sp.Location() {
+				cases = append(cases, shardQueryCase{
+					name: fmt.Sprintf("mec-location/%v/%v", m, method),
+					engine: func(e *core.Engine) (any, error) {
+						return e.ComputeLocation(m, mecIDs, method)
+					},
+					coord: func(c *Coordinator) (any, error) {
+						return c.ComputeLocation(m, mecIDs, method)
+					},
+				})
+			} else {
+				cases = append(cases, shardQueryCase{
+					name: fmt.Sprintf("mec-pairwise/%v/%v", m, method),
+					engine: func(e *core.Engine) (any, error) {
+						return e.ComputePairwise(m, mecIDs, method)
+					},
+					coord: func(c *Coordinator) (any, error) {
+						return c.ComputePairwise(m, mecIDs, method)
+					},
+				})
+			}
+		}
+	}
+	// Batched queries: per-item results must equal their single-query twins,
+	// so comparing the whole batch against the engine's batch suffices.
+	batchMeasures := []stats.Measure{stats.Correlation, stats.Covariance, stats.Mean, stats.Cosine}
+	for _, method := range []core.Method{core.MethodNaive, core.MethodAffine, core.MethodAuto} {
+		method := method
+		cases = append(cases,
+			shardQueryCase{
+				name: fmt.Sprintf("batch-interval/%v", method),
+				engine: func(e *core.Engine) (any, error) {
+					var qs []core.ThresholdQuery
+					for _, m := range batchMeasures {
+						qs = append(qs, core.ThresholdQuery{Measure: m, Tau: 0.3, Op: scape.Above})
+					}
+					return e.ThresholdBatch(qs, method)
+				},
+				coord: func(c *Coordinator) (any, error) {
+					var qs []core.ThresholdQuery
+					for _, m := range batchMeasures {
+						qs = append(qs, core.ThresholdQuery{Measure: m, Tau: 0.3, Op: scape.Above})
+					}
+					return c.ThresholdBatch(qs, method)
+				},
+			},
+			shardQueryCase{
+				name: fmt.Sprintf("batch-topk/%v", method),
+				engine: func(e *core.Engine) (any, error) {
+					var qs []core.TopKQuery
+					for _, m := range batchMeasures {
+						qs = append(qs, core.TopKQuery{Measure: m, K: 5, Largest: true})
+					}
+					return e.TopKBatch(qs, method)
+				},
+				coord: func(c *Coordinator) (any, error) {
+					var qs []core.TopKQuery
+					for _, m := range batchMeasures {
+						qs = append(qs, core.TopKQuery{Measure: m, K: 5, Largest: true})
+					}
+					return c.TopKBatch(qs, method)
+				},
+			},
+		)
+	}
+	// Auto plan parity: the coordinator's global plan must make the same
+	// choice with the same estimates as the single engine at any shard count.
+	for _, m := range []stats.Measure{stats.Correlation, stats.Covariance, stats.Mean, stats.Jaccard} {
+		m := m
+		cases = append(cases, shardQueryCase{
+			name: fmt.Sprintf("plan/%v", m),
+			engine: func(e *core.Engine) (any, error) {
+				_, p, err := e.Explain(plan.Threshold(m, 0.25, scape.Above), core.MethodAuto)
+				if err != nil {
+					return nil, err
+				}
+				p.Duration = 0
+				return p, nil
+			},
+			coord: func(c *Coordinator) (any, error) {
+				res, err := c.Explain(plan.Threshold(m, 0.25, scape.Above), core.MethodAuto)
+				if err != nil {
+					return nil, err
+				}
+				p := res.Plan
+				p.Duration = 0
+				return p, nil
+			},
+		})
+	}
+	return cases
+}
+
+// runShardDeterminism builds the baseline engine plus the S×P coordinator
+// grid on identical data, advances everything in lockstep (cold build + 3
+// Advances), and asserts every query case agrees at every epoch.
+func runShardDeterminism(t *testing.T, cfg core.Config) {
+	t.Helper()
+	const n, window, rounds, slide = 20, 90, 3, 5
+
+	type coordEntry struct {
+		name string
+		c    *Coordinator
+	}
+
+	// Baseline: one unsharded engine.
+	fx := makeShardFixture(t, n, window, rounds*slide, 7)
+	baseCfg := cfg
+	baseCfg.Parallelism = 1
+	baseline, err := core.Build(fx.window, baseCfg)
+	if err != nil {
+		t.Fatalf("baseline build: %v", err)
+	}
+
+	var coords []coordEntry
+	for _, s := range shardCounts {
+		for _, p := range parallelismLevels {
+			cFx := makeShardFixture(t, n, window, rounds*slide, 7)
+			eCfg := cfg
+			eCfg.Parallelism = p
+			c, err := Build(cFx.window, Config{Shards: s, Engine: eCfg})
+			if err != nil {
+				t.Fatalf("S=%d P=%d build: %v", s, p, err)
+			}
+			coords = append(coords, coordEntry{name: fmt.Sprintf("S=%d/P=%d", s, p), c: c})
+		}
+	}
+
+	cases := shardDeterminismCases()
+	check := func(epochName string) {
+		t.Helper()
+		for _, qc := range cases {
+			want := render(qc.engine(baseline))
+			for _, ce := range coords {
+				got := render(qc.coord(ce.c))
+				if got != want {
+					t.Fatalf("%s %s: %s diverged from baseline\nbaseline: %.300s\n%s: %.300s",
+						epochName, qc.name, ce.name, want, ce.name, got)
+				}
+			}
+		}
+	}
+
+	check("epoch0")
+	for r := 0; r < rounds; r++ {
+		ticks := fx.ticks[r*slide : (r+1)*slide]
+		for _, tick := range ticks {
+			if err := baseline.Append(tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := baseline.Advance(); err != nil {
+			t.Fatalf("baseline advance %d: %v", r, err)
+		}
+		for _, ce := range coords {
+			for _, tick := range ticks {
+				if err := ce.c.Append(tick); err != nil {
+					t.Fatal(err)
+				}
+			}
+			info, err := ce.c.Advance()
+			if err != nil {
+				t.Fatalf("%s advance %d: %v", ce.name, r, err)
+			}
+			if info.Epoch != r+1 || info.Slide != slide {
+				t.Fatalf("%s advance %d: info %+v", ce.name, r, info)
+			}
+			if ce.c.Epoch() != baseline.Epoch() {
+				t.Fatalf("%s epoch %d != baseline %d", ce.name, ce.c.Epoch(), baseline.Epoch())
+			}
+		}
+		check(fmt.Sprintf("epoch%d", r+1))
+	}
+}
+
+func TestShardedDeterminism(t *testing.T) {
+	runShardDeterminism(t, core.Config{Clusters: 4, Seed: 5})
+}
+
+func TestShardedDeterminismPruned(t *testing.T) {
+	// MaxLSFD pruning exercises the fallback routing: pruned pairs have no
+	// pivot owner and must still be answered identically (naively) everywhere.
+	runShardDeterminism(t, core.Config{Clusters: 4, Seed: 5, MaxLSFD: 0.5})
+}
+
+func TestShardedDeterminismDrift(t *testing.T) {
+	// A positive drift bound makes shard refits partial (per-shard stale
+	// sets); their union must still equal the baseline's refit.
+	runShardDeterminism(t, core.Config{
+		Clusters: 4, Seed: 5,
+		Stream: core.StreamConfig{DriftBound: 0.05},
+	})
+}

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"affinity/internal/core"
+	"affinity/internal/measure"
+	"affinity/internal/plan"
+)
+
+// ShardPlan is one shard's contribution to an explained query.
+type ShardPlan struct {
+	// Shard is the shard index.
+	Shard int
+	// Plan prices the chosen method against the shard's own table statistics
+	// (its restricted pair universe), with the shard's observed actuals:
+	// ActualRows is the number of result rows this shard contributed and
+	// Duration its scan time.  For the streaming top-k merge the per-shard
+	// scans interleave on the coordinator, so Duration stays zero and
+	// Examined carries the pruning actual instead.
+	Plan plan.Plan
+	// Examined is the number of index entries this shard's top-k cursor
+	// examined (zero for non-top-k or non-index queries).
+	Examined int
+}
+
+// ExplainResult is the coordinator's explain output: the result, the global
+// plan (identical to a single unsharded engine's), the sharded cost estimate,
+// and the per-shard fan-out actuals.
+type ExplainResult struct {
+	Result core.QueryResult
+	// Plan is the coordinator-level plan: estimates against the global table
+	// (byte-identical to a single engine's plan for the same query), with
+	// ActualRows and Duration observed on the sharded execution.
+	Plan plan.Plan
+	// ShardedCost is plan.CostModel.ShardedCost over the per-shard estimates
+	// of the chosen method: max per-shard cost plus fan-out overhead.
+	// Observability only — it never feeds the method choice.
+	ShardedCost float64
+	// Shards holds the per-shard plans and actuals; nil for L-measure
+	// queries, which do not fan out.
+	Shards []ShardPlan
+}
+
+// Explain plans a query against the global table, executes it by
+// scatter-gather, and reports the global plan plus each shard's estimated
+// cost, contributed rows and — for index top-k — examined entries.
+func (c *Coordinator) Explain(spec plan.QuerySpec, method core.Method) (ExplainResult, error) {
+	cs := c.state()
+	if err := validateSpec(spec); err != nil {
+		return ExplainResult{}, err
+	}
+	if method != core.MethodAuto && !method.Concrete() {
+		return ExplainResult{}, fmt.Errorf("%w: %v", core.ErrBadMethod, method)
+	}
+	p, err := cs.plan(spec)
+	if err != nil {
+		return ExplainResult{}, err
+	}
+	if method != core.MethodAuto {
+		p.Method = method
+		p.EstimatedCost = methodCost(p, method)
+	}
+
+	start := time.Now()
+	res, actuals, err := cs.execute(spec, p.Method, true)
+	if err != nil {
+		return ExplainResult{}, err
+	}
+	p.Duration = time.Since(start)
+	p.ActualRows = res.Size()
+	out := ExplainResult{Result: res, Plan: p}
+
+	if sp, known := measure.Find(spec.Measure); known && sp.Location() {
+		// L-measure queries run on the coordinator's location index or on
+		// shard 0's replicated per-series state; there is no fan-out to
+		// attribute.
+		return out, nil
+	}
+	perShardCost := make([]float64, len(cs.views))
+	for s, v := range cs.views {
+		shp, err := v.Plan(spec)
+		if err != nil {
+			return ExplainResult{}, err
+		}
+		shp.Method = p.Method
+		shp.EstimatedCost = methodCost(shp, p.Method)
+		perShardCost[s] = shp.EstimatedCost
+		entry := ShardPlan{Shard: s, Plan: shp}
+		if actuals != nil {
+			entry.Plan.ActualRows = actuals[s].rows
+			entry.Plan.Duration = actuals[s].dur
+			entry.Examined = actuals[s].examined
+		}
+		out.Shards = append(out.Shards, entry)
+	}
+	out.ShardedCost = cs.cost.ShardedCost(perShardCost)
+	return out, nil
+}
+
+// methodCost picks the plan's cost column for the given concrete method.
+func methodCost(p plan.Plan, method core.Method) float64 {
+	switch method {
+	case core.MethodNaive:
+		return p.CostNaive
+	case core.MethodAffine:
+		return p.CostAffine
+	case core.MethodIndex:
+		return p.CostIndex
+	}
+	return p.EstimatedCost
+}

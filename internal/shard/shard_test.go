@@ -1,0 +1,397 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"affinity/internal/core"
+	"affinity/internal/plan"
+	"affinity/internal/scape"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+func buildFixturePair(t *testing.T, shards int, cfg core.Config) (*core.Engine, *Coordinator) {
+	t.Helper()
+	fx := makeShardFixture(t, 24, 90, 0, 7)
+	e, err := core.Build(fx.window, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFx := makeShardFixture(t, 24, 90, 0, 7)
+	c, err := Build(cFx.window, Config{Shards: shards, Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, c
+}
+
+func TestComputePlacement(t *testing.T) {
+	fx := makeShardFixture(t, 24, 90, 0, 7)
+	rel, err := core.ComputeRelationships(fx.window, core.Config{Clusters: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := ComputePlacement(rel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Shards < 1 || pl.Shards > 3 {
+		t.Fatalf("effective shards %d", pl.Shards)
+	}
+	// Every assigned pivot must have an owner in range.
+	for _, a := range rel.AssignmentList() {
+		s, ok := pl.Owner[a.Pivot]
+		if !ok {
+			t.Fatalf("pivot %v unplaced", a.Pivot)
+		}
+		if s < 0 || s >= pl.Shards {
+			t.Fatalf("pivot %v on shard %d of %d", a.Pivot, s, pl.Shards)
+		}
+	}
+	// Placement is deterministic.
+	pl2, err := ComputePlacement(rel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%v", pl.Loads) != fmt.Sprintf("%v", pl2.Loads) {
+		t.Fatalf("loads diverged: %v vs %v", pl.Loads, pl2.Loads)
+	}
+	for p, s := range pl.Owner {
+		if pl2.Owner[p] != s {
+			t.Fatalf("owner of %v diverged", p)
+		}
+	}
+	// Without splits, cluster alignment holds: pivots of one cluster share a
+	// shard.
+	if pl.SplitClusters == 0 {
+		byCluster := make(map[int]int)
+		for p, s := range pl.Owner {
+			if prev, ok := byCluster[p.Cluster]; ok && prev != s {
+				t.Fatalf("cluster %d spans shards %d and %d", p.Cluster, prev, s)
+			}
+			byCluster[p.Cluster] = s
+		}
+	}
+
+	// More shards than clusters forces the oversized-cluster fallback (the
+	// budget shrinks below every cluster's weight) or a lowered count; either
+	// way every shard must end up owning work.
+	plWide, err := ComputePlacement(rel, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make(map[int]bool)
+	for _, s := range plWide.Owner {
+		owned[s] = true
+	}
+	if len(owned) != plWide.Shards {
+		t.Fatalf("only %d of %d shards own pivots", len(owned), plWide.Shards)
+	}
+	if plWide.Shards > 4 && plWide.SplitClusters == 0 {
+		t.Fatalf("expected cluster splits at S=%d with 4 clusters", plWide.Shards)
+	}
+
+	// Restriction partitions the assignment list exactly.
+	total := 0
+	seen := make(map[timeseries.Pair]bool)
+	for s := 0; s < pl.Shards; s++ {
+		r := Restrict(rel, pl.Owner, s)
+		total += len(r.Assignments)
+		for _, a := range r.Assignments {
+			if seen[a.Pair] {
+				t.Fatalf("pair %v on two shards", a.Pair)
+			}
+			seen[a.Pair] = true
+		}
+		if len(r.Relationships) == 0 {
+			t.Fatalf("shard %d has no relationships", s)
+		}
+		if r.Clustering != rel.Clustering {
+			t.Fatal("restriction copied the clustering")
+		}
+	}
+	if total != len(rel.AssignmentList()) {
+		t.Fatalf("restrictions cover %d of %d assignments", total, len(rel.AssignmentList()))
+	}
+
+	// Error paths.
+	if _, err := ComputePlacement(nil, 2); err == nil {
+		t.Fatal("accepted nil result")
+	}
+	if _, err := ComputePlacement(rel, 0); err == nil {
+		t.Fatal("accepted zero shards")
+	}
+}
+
+func TestCoordinatorExplain(t *testing.T) {
+	cfg := core.Config{Clusters: 4, Seed: 5, Parallelism: 2}
+	e, c := buildFixturePair(t, 3, cfg)
+	S := c.NumShards()
+
+	// Index interval: per-shard actuals must decompose the global result.
+	spec := plan.Threshold(stats.Correlation, 0.25, scape.Above)
+	res, err := c.Explain(spec, core.MethodIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Method != core.MethodIndex {
+		t.Fatalf("plan method %v", res.Plan.Method)
+	}
+	if res.Plan.ActualRows != res.Result.Size() {
+		t.Fatalf("ActualRows %d, result %d", res.Plan.ActualRows, res.Result.Size())
+	}
+	if len(res.Shards) != S {
+		t.Fatalf("got %d shard plans, want %d", len(res.Shards), S)
+	}
+	rows := 0
+	for _, sp := range res.Shards {
+		rows += sp.Plan.ActualRows
+		if sp.Plan.Method != core.MethodIndex {
+			t.Fatalf("shard %d plan method %v", sp.Shard, sp.Plan.Method)
+		}
+	}
+	if rows != res.Result.Size() {
+		t.Fatalf("shard rows %d do not decompose result %d", rows, res.Result.Size())
+	}
+	if res.ShardedCost <= 0 {
+		t.Fatalf("ShardedCost %v", res.ShardedCost)
+	}
+	// The sharded price includes the fan-out overhead.
+	worst := 0.0
+	for _, sp := range res.Shards {
+		if sp.Plan.EstimatedCost > worst {
+			worst = sp.Plan.EstimatedCost
+		}
+	}
+	if want := worst + float64(S)*plan.DefaultFanOutCost; math.Abs(res.ShardedCost-want) > 1e-9 {
+		t.Fatalf("ShardedCost %v, want %v", res.ShardedCost, want)
+	}
+
+	// Top-k via the streaming merge: pruning actuals per shard, and the total
+	// entries examined must stay within 2× of the single-engine traversal.
+	tkSpec := plan.TopK(stats.Correlation, 5, true)
+	tk, err := c.Explain(tkSpec, core.MethodIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	examined := 0
+	tkRows := 0
+	for _, sp := range tk.Shards {
+		examined += sp.Examined
+		tkRows += sp.Plan.ActualRows
+	}
+	if tkRows != tk.Result.Size() {
+		t.Fatalf("top-k shard rows %d != result %d", tkRows, tk.Result.Size())
+	}
+	_, _, singleExamined, err := e.Index().PairTopK(stats.Correlation, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if examined == 0 || examined > 2*singleExamined {
+		t.Fatalf("sharded merge examined %d entries, single engine %d (budget 2x)", examined, singleExamined)
+	}
+
+	// The global plan must match the unsharded engine's.
+	_, ep, err := e.Explain(spec, core.MethodIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.Plan
+	cp.Duration, ep.Duration = 0, 0
+	if fmt.Sprintf("%+v", cp) != fmt.Sprintf("%+v", ep) {
+		t.Fatalf("coordinator plan %+v != engine plan %+v", cp, ep)
+	}
+
+	// L-measure explain: no fan-out to attribute.
+	lres, err := c.Explain(plan.Threshold(stats.Mean, 0.1, scape.Above), core.MethodAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Shards != nil {
+		t.Fatalf("L-measure explain reported %d shard plans", len(lres.Shards))
+	}
+
+	// Error paths.
+	if _, err := c.Explain(plan.TopK(stats.Correlation, 0, true), core.MethodAuto); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := c.Explain(spec, core.Method(99)); err == nil {
+		t.Fatal("accepted invalid method")
+	}
+}
+
+func TestCoordinatorStreaming(t *testing.T) {
+	cfg := core.Config{Clusters: 4, Seed: 5, Parallelism: 2}
+	fx := makeShardFixture(t, 24, 90, 10, 7)
+	c, err := Build(fx.window, Config{Shards: 2, Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No-op advance.
+	info, err := c.Advance()
+	if err != nil || info.Epoch != 0 || info.Slide != 0 {
+		t.Fatalf("no-op advance: %+v, %v", info, err)
+	}
+
+	// Shape errors.
+	if err := c.Append([]float64{1, 2}); !errors.Is(err, core.ErrStreamShape) {
+		t.Fatalf("short tick: %v", err)
+	}
+	bad := make([]float64, 24)
+	bad[3] = math.NaN()
+	if err := c.Append(bad); err == nil {
+		t.Fatal("accepted NaN tick")
+	}
+
+	for _, tick := range fx.ticks[:5] {
+		if err := c.Append(tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.PendingSamples() != 5 {
+		t.Fatalf("pending %d", c.PendingSamples())
+	}
+	info, err = c.Advance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 1 || info.Slide != 5 {
+		t.Fatalf("advance info %+v", info)
+	}
+	if info.RefitRelationships+info.ReusedRelationships == 0 {
+		t.Fatal("advance touched no relationships")
+	}
+	if c.PendingSamples() != 0 {
+		t.Fatalf("pending after advance: %d", c.PendingSamples())
+	}
+	if c.Epoch() != 1 || c.Data() == nil || c.Relationships() == nil {
+		t.Fatal("epoch accessors inconsistent after advance")
+	}
+
+	ss := c.StreamStats()
+	if ss.Advances != 1 {
+		t.Fatalf("Advances %d", ss.Advances)
+	}
+	if ss.IndexUpdates+ss.IndexRebuilds < c.NumShards() {
+		t.Fatalf("index maintenance count %d below shard count", ss.IndexUpdates+ss.IndexRebuilds)
+	}
+	if ss.LastSlidePhase <= 0 {
+		t.Fatal("phase timings not aggregated")
+	}
+
+	// AutoAdvance through the coordinator.
+	autoCfg := cfg
+	autoCfg.Stream.AutoAdvance = 3
+	aFx := makeShardFixture(t, 24, 90, 3, 7)
+	ac, err := Build(aFx.window, Config{Shards: 2, Engine: autoCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tick := range aFx.ticks {
+		if err := ac.Append(tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ac.Epoch() != 1 || ac.PendingSamples() != 0 {
+		t.Fatalf("auto-advance: epoch %d pending %d", ac.Epoch(), ac.PendingSamples())
+	}
+}
+
+func TestCoordinatorSkipIndex(t *testing.T) {
+	cfg := core.Config{Clusters: 4, Seed: 5, SkipIndex: true}
+	e, c := buildFixturePair(t, 2, cfg)
+
+	if _, err := c.Threshold(stats.Correlation, 0.25, scape.Above, core.MethodIndex); !errors.Is(err, core.ErrNoIndex) {
+		t.Fatal("index interval without index should fail with ErrNoIndex")
+	}
+	if _, err := c.TopK(stats.Correlation, 3, true, core.MethodIndex); !errors.Is(err, core.ErrNoIndex) {
+		t.Fatal("index top-k without index should fail with ErrNoIndex")
+	}
+	if _, err := c.Threshold(stats.Mean, 0.1, scape.Above, core.MethodIndex); !errors.Is(err, core.ErrNoIndex) {
+		t.Fatal("L-measure index query without index should fail with ErrNoIndex")
+	}
+	// Auto falls back to sweeps, identically to the engine.
+	want := render(e.Threshold(stats.Correlation, 0.25, scape.Above, core.MethodAuto))
+	got := render(c.Threshold(stats.Correlation, 0.25, scape.Above, core.MethodAuto))
+	if got != want {
+		t.Fatalf("SkipIndex auto diverged: %s vs %s", got, want)
+	}
+}
+
+func TestCoordinatorComputeSurface(t *testing.T) {
+	cfg := core.Config{Clusters: 4, Seed: 5}
+	e, c := buildFixturePair(t, 3, cfg)
+	ids := []timeseries.SeriesID{2, 9, 4, 17}
+
+	for _, method := range []core.Method{core.MethodNaive, core.MethodAffine, core.MethodAuto} {
+		qs := []core.ComputeQuery{
+			{Measure: stats.Correlation, IDs: ids},
+			{Measure: stats.Mean, IDs: ids},
+		}
+		want := render(e.ComputeBatch(qs, method))
+		got := render(c.ComputeBatch(qs, method))
+		if got != want {
+			t.Fatalf("%v ComputeBatch diverged:\n%s\n%s", method, got, want)
+		}
+
+		pair, err := timeseries.NewPair(2, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV := render(e.PairValue(stats.Covariance, pair, method))
+		gotV := render(c.PairValue(stats.Covariance, pair, method))
+		if gotV != wantV {
+			t.Fatalf("%v PairValue diverged: %s vs %s", method, gotV, wantV)
+		}
+	}
+	// Non-canonical pair orders are canonicalized like the engine's.
+	flipped := timeseries.Pair{U: 9, V: 2}
+	want := render(e.PairValue(stats.Covariance, flipped, core.MethodAffine))
+	got := render(c.PairValue(stats.Covariance, flipped, core.MethodAffine))
+	if got != want {
+		t.Fatalf("flipped PairValue diverged: %s vs %s", got, want)
+	}
+
+	// Type guards.
+	if _, err := c.ComputeLocation(stats.Correlation, ids, core.MethodAuto); !errors.Is(err, stats.ErrUnknownMeasure) {
+		t.Fatal("ComputeLocation accepted a pairwise measure")
+	}
+	if _, err := c.ComputePairwise(stats.Mean, ids, core.MethodAuto); !errors.Is(err, stats.ErrUnknownMeasure) {
+		t.Fatal("ComputePairwise accepted an L-measure")
+	}
+	if _, err := c.PairValue(stats.Mean, timeseries.Pair{U: 0, V: 1}, core.MethodAuto); !errors.Is(err, stats.ErrUnknownMeasure) {
+		t.Fatal("PairValue accepted an L-measure")
+	}
+	if _, err := c.ComputePairwise(stats.Correlation, ids, core.MethodIndex); !errors.Is(err, core.ErrBadMethod) {
+		t.Fatal("pairwise MEC accepted MethodIndex")
+	}
+	if _, err := c.ThresholdBatch([]core.ThresholdQuery{{Measure: stats.Correlation, Tau: 0, Op: scape.ThresholdOp(9)}}, core.MethodAuto); !errors.Is(err, core.ErrBadThresholdOp) {
+		t.Fatal("batch accepted bad threshold op")
+	}
+	if _, err := c.Threshold(stats.Correlation, 0, scape.ThresholdOp(9), core.MethodAuto); !errors.Is(err, core.ErrBadThresholdOp) {
+		t.Fatal("accepted bad threshold op")
+	}
+}
+
+func TestCoordinatorSingleShardAccessors(t *testing.T) {
+	fx := makeShardFixture(t, 24, 90, 0, 7)
+	c, err := Build(fx.window, Config{Shards: 0, Engine: core.Config{Clusters: 4, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 1 {
+		t.Fatalf("S=0 built %d shards", c.NumShards())
+	}
+	pl := c.Placement()
+	if pl.Shards != 1 || pl.Groups < 1 {
+		t.Fatalf("placement %+v", pl)
+	}
+	if c.Epoch() != 0 {
+		t.Fatalf("epoch %d", c.Epoch())
+	}
+}

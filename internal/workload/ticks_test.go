@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTickStreamDeterministic(t *testing.T) {
+	cfg := TickConfig{NumSeries: 16, Skew: 1.4, Seed: 11}
+	a, err := NewTickStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTickStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := a.Ticks(50), b.Ticks(50)
+	for i := range ta {
+		for v := range ta[i] {
+			if ta[i][v] != tb[i][v] {
+				t.Fatalf("tick %d series %d: %v != %v", i, v, ta[i][v], tb[i][v])
+			}
+			if math.IsNaN(ta[i][v]) || math.IsInf(ta[i][v], 0) {
+				t.Fatalf("tick %d series %d: non-finite %v", i, v, ta[i][v])
+			}
+		}
+	}
+}
+
+func TestTickStreamSkew(t *testing.T) {
+	s, err := NewTickStream(TickConfig{NumSeries: 64, Skew: 1.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hottest series' amplitude must dominate the median one by the Zipf
+	// decay, and HotSeries must order by amplitude.
+	amps := s.Amplitudes()
+	hot := s.HotSeries()
+	if len(hot) != 64 {
+		t.Fatalf("HotSeries returned %d ids", len(hot))
+	}
+	for i := 1; i < len(hot); i++ {
+		if amps[hot[i]] > amps[hot[i-1]] {
+			t.Fatalf("HotSeries not sorted at %d: %v > %v", i, amps[hot[i]], amps[hot[i-1]])
+		}
+	}
+	if amps[hot[0]] < 8*amps[hot[31]] {
+		t.Fatalf("insufficient skew: hottest %v vs median %v", amps[hot[0]], amps[hot[31]])
+	}
+	// Observed movement must follow the skew: the hottest series' total
+	// variation dominates the coldest's.
+	ticks := s.Ticks(200)
+	variation := make([]float64, 64)
+	for i := 1; i < len(ticks); i++ {
+		for v := range ticks[i] {
+			variation[v] += math.Abs(ticks[i][v] - ticks[i-1][v])
+		}
+	}
+	if variation[hot[0]] <= variation[hot[63]] {
+		t.Fatalf("hottest series moved less than coldest: %v vs %v",
+			variation[hot[0]], variation[hot[63]])
+	}
+
+	if _, err := NewTickStream(TickConfig{}); err == nil {
+		t.Fatal("NewTickStream accepted zero series")
+	}
+}
