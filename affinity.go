@@ -82,6 +82,7 @@ import (
 	"affinity/internal/interval"
 	"affinity/internal/measure"
 	"affinity/internal/plan"
+	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -390,9 +391,34 @@ type StreamOptions struct {
 	IndexCrossover float64
 }
 
+// CacheOptions configures the engine's epoch-aware semantic result cache.
+//
+// The cache sits behind every interval (MET/MER) and top-k query path and
+// serves repeated queries from three reuse tiers: an exact hit returns the
+// stored result with zero allocations; a query semantically contained in a
+// cached one (a narrower interval, or top-k with smaller k in the same
+// direction) is answered by filtering the cached rows; and across an Advance a
+// cached interval result is delta-repaired — only the rows plus the epochs'
+// drift-stale pairs are re-evaluated, verified complete against the index's
+// exact selectivity count.  Every cached answer is byte-identical to a cold
+// execution of the same query, so enabling the cache changes latency only.
+// Explain reports the serving tier on QueryPlan.CacheTier, and StreamStats
+// carries the hit/miss/repair counters.
+type CacheOptions struct {
+	// Enabled turns the cache on (the zero value keeps it off).
+	Enabled bool
+	// MaxBytes is the deterministic LRU eviction budget over the entries'
+	// estimated memory footprint (default 32 MiB).
+	MaxBytes int64
+	// EpochHistory is how many trailing Advances' stale sets are retained for
+	// delta repair; entries older than the window are expired (default 8).
+	EpochHistory int
+}
+
 // StreamStats reports the engine's cumulative incremental-maintenance
 // counters: index delta-updates vs rebuilds, sequence-store mutations,
-// scratch-pool behavior and the phase timings of the most recent Advance.
+// scratch-pool behavior, the phase timings of the most recent Advance, and
+// the result cache's hit/miss/repair counters.
 type StreamStats = core.StreamStats
 
 // AdvanceInfo describes one streaming epoch transition.
@@ -428,6 +454,10 @@ type Options struct {
 	CostModel CostModel
 	// Stream configures the streaming update path (Append/Advance).
 	Stream StreamOptions
+	// Cache configures the epoch-aware result cache (off by default; cached
+	// results are byte-identical to cold executions, so enabling it changes
+	// latency only).
+	Cache CacheOptions
 }
 
 // Engine is a built AFFINITY instance over one dataset.
@@ -455,6 +485,11 @@ func New(d *Dataset, opts Options) (*Engine, error) {
 			StatsRefreshEvery: opts.Stream.StatsRefreshEvery,
 			Parallelism:       opts.Stream.Parallelism,
 			IndexCrossover:    opts.Stream.IndexCrossover,
+		},
+		Cache: qcache.Options{
+			Enabled:      opts.Cache.Enabled,
+			MaxBytes:     opts.Cache.MaxBytes,
+			EpochHistory: opts.Cache.EpochHistory,
 		},
 	})
 	if err != nil {
@@ -614,6 +649,11 @@ func NewFromSnapshot(d *Dataset, r io.Reader, opts Options) (*Engine, error) {
 			StatsRefreshEvery: opts.Stream.StatsRefreshEvery,
 			Parallelism:       opts.Stream.Parallelism,
 			IndexCrossover:    opts.Stream.IndexCrossover,
+		},
+		Cache: qcache.Options{
+			Enabled:      opts.Cache.Enabled,
+			MaxBytes:     opts.Cache.MaxBytes,
+			EpochHistory: opts.Cache.EpochHistory,
 		},
 	})
 	if err != nil {

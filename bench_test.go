@@ -19,6 +19,7 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/experiments"
+	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/shard"
 	"affinity/internal/stats"
@@ -731,4 +732,39 @@ func BenchmarkThresholdBatchVsSingles(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCachedInterval is the query-cache smoke row: one covariance MER
+// query served repeatedly from the result cache's exact-hit tier.  CI tracks
+// its allocs/op against BENCH_BUDGET.json: an exact hit resolves entirely on
+// the lookup map plus a slice-header view of the stored rows, so the hit path
+// must stay within two allocations per query and never re-run the sweep.
+func BenchmarkCachedInterval(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.Build(sensor, core.Config{
+		Clusters: 6, Seed: 42,
+		Cache: qcache.Options{Enabled: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the entry: the first issue misses, runs cold and stores.
+	if _, err := engine.Range(stats.Covariance, -0.5, 0.9, core.MethodAffine); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Range(stats.Covariance, -0.5, 0.9, core.MethodAffine); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ss := engine.StreamStats()
+	if ss.CacheExactHits < b.N {
+		b.Fatalf("exact hits %d < %d iterations: the hit path was not exercised", ss.CacheExactHits, b.N)
+	}
 }

@@ -32,6 +32,7 @@ var experimentOrder = []string{
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 	"fig15", "fig16", "table4", "ablation-pinv", "ablation-pruning",
 	"parallel", "planner", "measures", "topk", "advance", "sweep", "shard",
+	"cache",
 }
 
 func main() {
@@ -479,6 +480,45 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 				r.Time.Round(time.Microsecond), r.SingleTime.Round(time.Microsecond), r.Speedup,
 				critical, critSpeedup,
 				intList(r.ShardRows), examined, total, single)
+		}
+		return w.Flush()
+
+	case "cache":
+		// The epoch-aware result cache under the zipfian update stream: every
+		// query classified by the tier that served it (miss, exact hit,
+		// containment, delta repair) with per-tier latency percentiles against
+		// the cache-off twin's re-execution time, then the hit-rate sweep over
+		// the query popularity skew.  Every cached answer is asserted
+		// byte-identical to the twin's before timing.
+		rows, err := experiments.CacheLatency(scale, 6)
+		if err != nil {
+			return err
+		}
+		w := newTable(out)
+		fmt.Fprintln(w, "query\ttier\tsamples\tp50\tp95\tcold p50\tspeedup\trepaired pairs")
+		for _, r := range rows {
+			repaired := "-"
+			if r.Tier == "repaired" {
+				repaired = strconv.Itoa(r.RepairedPairs)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%v\t%v\t%.1fx\t%s\n",
+				r.Query, r.Tier, r.Samples,
+				r.P50.Round(time.Nanosecond), r.P95.Round(time.Nanosecond),
+				r.ColdP50.Round(time.Microsecond), r.Speedup, repaired)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		skewRows, err := experiments.CacheHitRateSweep(scale, 6, nil, 0)
+		if err != nil {
+			return err
+		}
+		w = newTable(out)
+		fmt.Fprintln(w, "skew\tqueries\texact\tcontained\trepaired\tmisses\thit rate\tmean stale")
+		for _, r := range skewRows {
+			fmt.Fprintf(w, "%.1f\t%d\t%d\t%d\t%d\t%d\t%.1f%%\t%.1f%%\n",
+				r.Skew, r.Queries, r.ExactHits, r.ContainedHits, r.RepairHits, r.Misses,
+				100*r.HitRate, 100*r.StaleFraction)
 		}
 		return w.Flush()
 

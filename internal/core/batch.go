@@ -8,6 +8,7 @@ import (
 	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
+	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -207,12 +208,38 @@ func buildItem(spec plan.QuerySpec, concrete Method) execItem {
 // top-k alike — share one multi-predicate pass, with results scattered back
 // into request order.
 func (e *engineState) runBatch(items []execItem) ([]QueryResult, error) {
+	return e.runBatchEx(items, nil)
+}
+
+// runBatchEx is runBatch with per-item cache observability: when actuals is
+// non-nil (the Explain paths) it records, index-aligned with items, which
+// cache tier served each item.  Every cacheable item consults the semantic
+// result cache before execution — this is the single choke point all entry
+// points flow through, so single queries, batches, Views and the shard
+// coordinator's per-shard scans share one cache story.
+func (e *engineState) runBatchEx(items []execItem, actuals []cacheActual) ([]QueryResult, error) {
 	out := make([]QueryResult, len(items))
 	var indexQueries []scape.PairQuery
 	var indexIdx []int
 	var sweeps []pairSweepItem
 	var sweepIdx []int
+	var storeKeys []qcache.Key
+	var storeIdx []int
 	for i, it := range items {
+		if e.cache != nil {
+			if key, ok := cacheKey(it); ok {
+				if res, act, ok := e.cacheServe(it, key); ok {
+					out[i] = res
+					if actuals != nil {
+						actuals[i] = act
+					}
+					continue
+				}
+				e.cache.Miss()
+				storeKeys = append(storeKeys, key)
+				storeIdx = append(storeIdx, i)
+			}
+		}
 		switch {
 		case it.location:
 			res, err := e.locationQuery(it)
@@ -256,6 +283,9 @@ func (e *engineState) runBatch(items []execItem) ([]QueryResult, error) {
 		for k, i := range sweepIdx {
 			out[i] = results[k]
 		}
+	}
+	for k, i := range storeIdx {
+		e.cacheStore(items[i], storeKeys[k], out[i])
 	}
 	return out, nil
 }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"affinity/internal/plan"
+	"affinity/internal/qcache"
+	"affinity/internal/scape"
+	"affinity/internal/timeseries"
+)
+
+// This file glues the semantic result cache (internal/qcache) into the
+// unified executor.  The cache package owns keys, entries, eviction and the
+// per-epoch stale-set ring; this file owns everything that needs the engine:
+// evaluating pairs for post-hoc value capture, the delta-repair execution with
+// its exact-count verification, and the cost-model decision between repairing
+// and re-scanning.
+//
+// Correctness contract (pinned by the cache determinism harnesses): every
+// result served from the cache is byte-identical to the cold execution of the
+// same query at the same epoch.
+//
+//   - Exact hits return the stored slices unchanged.
+//   - Containment filters stored rows by their stored values — the same
+//     values the execution methods decide membership by — and filtering
+//     preserves the method's canonical result order, of which the narrower
+//     result is a subsequence.
+//   - Delta repair re-evaluates the candidate set (cached rows ∪ stale pairs
+//     of the crossed epochs) with the same affine evaluator the sweep uses,
+//     in canonical pair order, and only commits when the repaired row count
+//     equals the index's exact selectivity: a subset of the true result with
+//     the true result's cardinality is the true result.  Any disagreement
+//     falls back to a cold run.
+type cacheActual struct {
+	tier     qcache.Tier
+	repaired int
+}
+
+// cacheKey builds the cache key of an executor item; ok is false for items
+// the cache does not serve.  Location (L-measure) queries are excluded: their
+// results are cheap per-series reads with no pairwise scan to save, and their
+// series-shaped results would complicate the entry format for no win.
+func cacheKey(it execItem) (qcache.Key, bool) {
+	if it.location {
+		return qcache.Key{}, false
+	}
+	switch it.spec.Kind {
+	case plan.KindInterval:
+		return qcache.IntervalKey(it.spec.Measure, it.method, it.spec.Interval), true
+	case plan.KindTopK:
+		return qcache.TopKKey(it.spec.Measure, it.method, it.spec.K, it.spec.Largest), true
+	}
+	return qcache.Key{}, false
+}
+
+// cacheServe answers one item from the cache if any reuse tier applies:
+// exact/containment through Lookup, then delta repair.  The returned
+// QueryResult shares the cache's backing arrays (read-only by contract).
+func (e *engineState) cacheServe(it execItem, key qcache.Key) (QueryResult, cacheActual, bool) {
+	if r, tier, ok := e.cache.Lookup(key, e.epoch); ok {
+		if it.spec.Kind == plan.KindTopK {
+			return QueryResult{Pairs: r.Pairs, Values: r.Values}, cacheActual{tier: tier}, true
+		}
+		// Interval results carry nil Values by contract.
+		return QueryResult{Pairs: r.Pairs}, cacheActual{tier: tier}, true
+	}
+	if pairs, candidates, ok := e.tryRepair(it, key); ok {
+		return QueryResult{Pairs: pairs}, cacheActual{tier: qcache.TierRepaired, repaired: candidates}, true
+	}
+	return QueryResult{}, cacheActual{}, false
+}
+
+// tryRepair carries a cached interval result across Advances by delta repair.
+// Eligibility: an affine-method interval entry (the repair evaluator and the
+// canonical result order are the affine sweep's), an index whose selectivity
+// count is exact for the measure (the completeness oracle), and a universe
+// with no fallback pairs (the oracle must count the same universe the sweep
+// scans).  The cost model arbitrates repair vs re-scan, and a repaired row
+// count that disagrees with the oracle — a pair outside the candidate set
+// drifted across the interval boundary without being refit — abandons the
+// repair for a cold run.
+func (e *engineState) tryRepair(it execItem, key qcache.Key) ([]timeseries.Pair, int, bool) {
+	if it.spec.Kind != plan.KindInterval || it.method != MethodAffine ||
+		e.index == nil || e.table.FallbackPairs != 0 {
+		return nil, 0, false
+	}
+	rp, ok := e.cache.PlanRepair(key, e.epoch)
+	if !ok {
+		return nil, 0, false
+	}
+	rows, exact, err := e.index.ExactRows(it.spec.PairQuery())
+	if err != nil || !exact {
+		return nil, 0, false
+	}
+	p := e.cost.Plan(it.spec, e.table, &scape.Selectivity{Rows: rows, Exact: true})
+	if e.cost.RepairCost(len(rp.Candidates), rows, e.table) >= p.CostAffine {
+		return nil, 0, false
+	}
+	pairs := make([]timeseries.Pair, 0, rows)
+	values := make([]float64, 0, rows)
+	for _, pair := range rp.Candidates {
+		v, err := e.affinePairValue(it.spec.Measure, pair)
+		if err != nil {
+			return nil, 0, false
+		}
+		if it.spec.Interval.Contains(v) {
+			pairs = append(pairs, pair)
+			values = append(values, v)
+		}
+	}
+	if len(pairs) != rows {
+		e.cache.NoteRepairFallback()
+		return nil, 0, false
+	}
+	e.cache.CommitRepair(key, e.epoch, pairs, values, len(rp.Candidates))
+	return pairs, len(rp.Candidates), true
+}
+
+// cacheStore installs a cold execution's result.  Interval entries need the
+// result rows' measure values (containment filtering and repair seeding read
+// them), which interval executions do not produce — they are captured post
+// hoc with the scalar evaluator of the item's method, off the query's own
+// latency path only in the sense that a hit never pays it: the store happens
+// once per cold query.  Top-k entries store their ranking values directly.
+func (e *engineState) cacheStore(it execItem, key qcache.Key, res QueryResult) {
+	if it.spec.Kind == plan.KindTopK {
+		e.cache.Put(key, e.epoch, res.Pairs, res.Values)
+		return
+	}
+	values := make([]float64, len(res.Pairs))
+	for i, pair := range res.Pairs {
+		var v float64
+		var err error
+		if it.method == MethodNaive {
+			v, err = e.naive.PairValue(it.spec.Measure, pair)
+		} else {
+			// Affine and index entries both store the affine evaluator's
+			// values: index and affine results are byte-identical by the
+			// engine's W_A ≡ SCAPE invariant, so one evaluator serves both.
+			v, err = e.affinePairValue(it.spec.Measure, pair)
+		}
+		if err != nil {
+			return // not storable; the returned result is unaffected
+		}
+		values[i] = v
+	}
+	e.cache.Put(key, e.epoch, res.Pairs, values)
+}

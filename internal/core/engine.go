@@ -36,6 +36,7 @@ import (
 	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
+	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
@@ -167,6 +168,11 @@ type Config struct {
 	CostModel plan.CostModel
 	// Stream configures the incremental maintenance path.
 	Stream StreamConfig
+	// Cache configures the epoch-aware semantic result cache consulted by the
+	// unified executor (internal/qcache).  The zero value disables caching;
+	// cached results are byte-identical to cold execution at every tier, so
+	// enabling it changes latency only.
+	Cache qcache.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -299,6 +305,13 @@ type engineState struct {
 	table plan.TableStats
 	cost  plan.CostModel
 
+	// cache is the engine-wide semantic result cache (nil when disabled).  The
+	// same cache object is threaded through every epoch state — entries
+	// survive Advance via delta repair rather than a flush — and it tracks the
+	// engine's newest epoch itself, so queries against older pinned states
+	// simply miss.
+	cache *qcache.Cache
+
 	epoch int
 	info  BuildInfo
 }
@@ -333,6 +346,7 @@ func Build(d *timeseries.DataMatrix, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.cache = qcache.New(cfg.Cache)
 	e := &Engine{cfg: cfg}
 	e.cur.Store(st)
 	return e, nil

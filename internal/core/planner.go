@@ -99,12 +99,17 @@ func (e *engineState) explain(spec plan.QuerySpec, method Method) (QueryResult, 
 		}
 	}
 	start := time.Now()
-	out, err := e.runBatch([]execItem{buildItem(spec, p.Method)})
+	acts := make([]cacheActual, 1)
+	out, err := e.runBatchEx([]execItem{buildItem(spec, p.Method)}, acts)
 	if err != nil {
 		return QueryResult{}, plan.Plan{}, err
 	}
 	p.Duration = time.Since(start)
 	p.ActualRows = out[0].Size()
+	// A repeated query reports what actually happened — the cache tier that
+	// served it and the delta's size — instead of pretending a full execution.
+	p.CacheTier = acts[0].tier.String()
+	p.CacheRepairedPairs = acts[0].repaired
 	return out[0], p, nil
 }
 
@@ -144,7 +149,8 @@ func (e *engineState) explainBatch(specs []plan.QuerySpec, method Method) ([]Que
 		items[i] = buildItem(spec, p.Method)
 	}
 	start := time.Now()
-	out, err := e.runBatch(items)
+	acts := make([]cacheActual, len(items))
+	out, err := e.runBatchEx(items, acts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -152,6 +158,8 @@ func (e *engineState) explainBatch(specs []plan.QuerySpec, method Method) ([]Que
 	for i := range plans {
 		plans[i].Duration = dur
 		plans[i].ActualRows = out[i].Size()
+		plans[i].CacheTier = acts[i].tier.String()
+		plans[i].CacheRepairedPairs = acts[i].repaired
 	}
 	return out, plans, nil
 }

@@ -13,6 +13,7 @@ import (
 	"affinity/internal/baseline"
 	"affinity/internal/cluster"
 	"affinity/internal/mat"
+	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/symex"
 	"affinity/internal/timeseries"
@@ -310,6 +311,7 @@ func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Res
 	st.info.UsedPseudoInverseTag = "snapshot"
 	st.info.TotalDuration = time.Since(start)
 	st.finishPlanner(cfg)
+	st.cache = qcache.New(cfg.Cache)
 	e := &Engine{cfg: cfg}
 	e.cur.Store(st)
 	return e, nil

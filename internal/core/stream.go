@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"affinity/internal/baseline"
@@ -59,6 +60,15 @@ type AdvanceInfo struct {
 	ReusedRelationships int
 	// RefitPivots is the number of pivot pseudo-inverses recomputed.
 	RefitPivots int
+	// Stale is the drift-selected stale pair set handed to the refit (nil on
+	// full-refit epochs).  A sharded coordinator unions the per-shard sets to
+	// feed its own result cache's delta-repair bookkeeping.
+	Stale map[timeseries.Pair]bool
+	// FullRefit reports that every relationship was re-fitted this epoch
+	// (DriftBound <= 0 or a whole-window slide): no stale set bounds the
+	// changes, so cached results from earlier epochs cannot be delta-repaired
+	// across it.
+	FullRefit bool
 	// Duration is the wall time of the epoch build.
 	Duration time.Duration
 }
@@ -257,6 +267,14 @@ func (e *Engine) advanceTo(old *engineState, newData *timeseries.DataMatrix, bat
 	indexDone := time.Now()
 
 	st.finishPlanner(e.cfg)
+
+	// The result cache is shared across epochs — entries survive the swap and
+	// are carried forward by delta repair.  Telling it about the stale set
+	// before the swap means no query can observe the new epoch without the
+	// cache knowing which pairs changed beyond the refit bound.
+	st.cache = old.cache
+	st.cache.OnAdvance(st.epoch, sortedStalePairs(stale), stale == nil)
+
 	st.info.AdvanceDuration = time.Since(start)
 	e.stream.Advances++
 	e.stream.LastSlidePhase = slideDone.Sub(start)
@@ -269,10 +287,31 @@ func (e *Engine) advanceTo(old *engineState, newData *timeseries.DataMatrix, bat
 		RefitRelationships:  st.info.RefitRelationships,
 		ReusedRelationships: st.info.ReusedRelationships,
 		RefitPivots:         st.info.PseudoInverseCount,
+		Stale:               stale,
+		FullRefit:           stale == nil,
 		Duration:            st.info.AdvanceDuration,
 	}
 	e.cur.Store(st)
 	return info, nil
+}
+
+// sortedStalePairs flattens a stale set into canonical (U,V) order, the order
+// every repair evaluation and determinism check relies on.  nil in, nil out.
+func sortedStalePairs(stale map[timeseries.Pair]bool) []timeseries.Pair {
+	if stale == nil {
+		return nil
+	}
+	out := make([]timeseries.Pair, 0, len(stale))
+	for p := range stale {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
 }
 
 // relAndDerived performs the epoch's relationship maintenance: it rebuilds

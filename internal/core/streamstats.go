@@ -46,6 +46,32 @@ type StreamStats struct {
 	LastRefitPhase   time.Duration
 	LastIndexPhase   time.Duration
 	LastPlannerPhase time.Duration
+	// Result-cache counters (zero when the cache is disabled).  Hits split by
+	// reuse tier: exact key match, semantic containment (narrower interval /
+	// smaller k served from a wider entry), and delta repair across Advances.
+	// CacheRepairedPairs totals the candidate pairs re-evaluated by repairs;
+	// CacheRepairFallbacks counts repairs abandoned by the exact-count check.
+	CacheExactHits       int
+	CacheContainmentHits int
+	CacheRepairHits      int
+	CacheMisses          int
+	CacheRepairedPairs   int
+	CacheRepairFallbacks int
+	CacheEvictions       int
+	CacheExpired         int
+	// CacheEntries and CacheBytes are the cache's current occupancy.
+	CacheEntries int
+	CacheBytes   int64
+}
+
+// CacheHitRate returns the fraction of cache-eligible queries served from the
+// cache, in [0, 1] (0 when none were seen).
+func (s StreamStats) CacheHitRate() float64 {
+	total := s.CacheExactHits + s.CacheContainmentHits + s.CacheRepairHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheExactHits+s.CacheContainmentHits+s.CacheRepairHits) / float64(total)
 }
 
 // PoolHitRate returns the combined hit rate of all scratch pools in [0, 1]
@@ -78,11 +104,23 @@ func (s *StreamStats) addUpdate(us scape.UpdateStats) {
 }
 
 // StreamStats returns a snapshot of the engine's incremental-maintenance
-// counters.
+// counters, with the result cache's counters merged in.
 func (e *Engine) StreamStats() StreamStats {
 	e.streamMu.Lock()
-	defer e.streamMu.Unlock()
-	return e.stream
+	s := e.stream
+	e.streamMu.Unlock()
+	cs := e.state().cache.Stats()
+	s.CacheExactHits = cs.ExactHits
+	s.CacheContainmentHits = cs.ContainmentHits
+	s.CacheRepairHits = cs.RepairHits
+	s.CacheMisses = cs.Misses
+	s.CacheRepairedPairs = cs.RepairedPairs
+	s.CacheRepairFallbacks = cs.RepairFallbacks
+	s.CacheEvictions = cs.Evictions
+	s.CacheExpired = cs.Expired
+	s.CacheEntries = cs.Entries
+	s.CacheBytes = cs.Bytes
+	return s
 }
 
 // batchScratch is the pooled tick-transpose buffer: n column slices cut from

@@ -1,0 +1,125 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBound draws a bound over the full representation space, including the
+// junk-field spellings Canonical exists to normalize: unbounded endpoints with
+// leftover Value/Open fields, and closed infinite endpoints.
+func randBound(rng *rand.Rand) Bound {
+	switch rng.Intn(6) {
+	case 0:
+		return Unbounded()
+	case 1: // unbounded with junk in the ignored fields
+		return Bound{Value: rng.NormFloat64() * 10, Open: rng.Intn(2) == 0, Unbounded: true}
+	case 2:
+		return Closed(rng.NormFloat64() * 10)
+	case 3:
+		return Open(rng.NormFloat64() * 10)
+	case 4: // closed infinity: equivalent to unbounded
+		return Bound{Value: math.Inf(2*rng.Intn(2) - 1)}
+	default:
+		return Bound{Value: math.Inf(2*rng.Intn(2) - 1), Open: true}
+	}
+}
+
+// TestCanonicalProperties drives random intervals through Canonical and checks
+// the three properties the cache key depends on: Canonical never changes the
+// predicate, it is idempotent, and two representations that agree on Contains
+// everywhere map to one canonical form (so they collide as map keys).
+func TestCanonicalProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	probes := []float64{math.Inf(-1), -1e300, -3, -0.5, 0, 0.5, 3, 1e300, math.Inf(1), math.NaN()}
+	sameSet := func(a, b Interval) bool {
+		for _, v := range probes {
+			if a.Contains(v) != b.Contains(v) {
+				return false
+			}
+		}
+		// Probe around both intervals' own endpoints too, where open/closed
+		// spellings differ.
+		for _, bnd := range []Bound{a.Lo, a.Hi, b.Lo, b.Hi} {
+			if bnd.Unbounded {
+				continue
+			}
+			for _, v := range []float64{bnd.Value, math.Nextafter(bnd.Value, math.Inf(-1)), math.Nextafter(bnd.Value, math.Inf(1))} {
+				if a.Contains(v) != b.Contains(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	intervals := make([]Interval, 0, 400)
+	for i := 0; i < 400; i++ {
+		intervals = append(intervals, Interval{Lo: randBound(rng), Hi: randBound(rng)})
+	}
+	for _, iv := range intervals {
+		c := iv.Canonical()
+		if !sameSet(iv, c) {
+			t.Fatalf("Canonical changed the predicate: %+v -> %+v", iv, c)
+		}
+		if cc := c.Canonical(); cc != c {
+			t.Fatalf("Canonical not idempotent: %+v -> %+v", c, cc)
+		}
+		if c.Lo.Unbounded && (c.Lo.Value != 0 || c.Lo.Open) {
+			t.Fatalf("canonical unbounded lower bound carries junk fields: %+v", c)
+		}
+		if c.Hi.Unbounded && (c.Hi.Value != 0 || c.Hi.Open) {
+			t.Fatalf("canonical unbounded upper bound carries junk fields: %+v", c)
+		}
+	}
+	// Cross-check: equal non-empty predicates must collide as keys.  (Empty
+	// intervals are excluded — "[3, 1]" and "(5, 4)" denote the same empty set
+	// with genuinely different endpoints, and the executor rejects empty
+	// predicates before any cache key is built.)
+	isEmpty := func(iv Interval) bool {
+		if iv.Contains(0) || iv.Contains(math.Inf(1)) || iv.Contains(math.Inf(-1)) {
+			return false
+		}
+		for _, bnd := range []Bound{iv.Lo, iv.Hi} {
+			if !bnd.Unbounded && (iv.Contains(bnd.Value) ||
+				iv.Contains(math.Nextafter(bnd.Value, math.Inf(-1))) ||
+				iv.Contains(math.Nextafter(bnd.Value, math.Inf(1)))) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, a := range intervals {
+		for _, b := range intervals[i+1:] {
+			if isEmpty(a) && isEmpty(b) {
+				continue
+			}
+			if sameSet(a, b) && a.Canonical() != b.Canonical() {
+				t.Fatalf("equal predicates, distinct canonical forms: %+v vs %+v", a, b)
+			}
+		}
+	}
+}
+
+// TestCanonicalRoundTrip pins the satellite's concrete requirement: ">= τ" and
+// "[τ, +∞)" are one cache key, and the grammar round-trips through the
+// canonical form.
+func TestCanonicalRoundTrip(t *testing.T) {
+	atLeast := AtLeast(0.9)
+	bracket := Interval{Lo: Closed(0.9), Hi: Bound{Value: math.Inf(1)}}
+	junk := Interval{Lo: Closed(0.9), Hi: Bound{Value: 42, Open: true, Unbounded: true}}
+	if atLeast.Canonical() != bracket.Canonical() || atLeast.Canonical() != junk.Canonical() {
+		t.Fatalf("equivalent spellings of >= 0.9 did not canonicalize to one key: %+v %+v %+v",
+			atLeast.Canonical(), bracket.Canonical(), junk.Canonical())
+	}
+	for _, iv := range []Interval{atLeast, LessThan(2), GreaterThan(-1), AtMost(0), Between(-1, 1), All(), junk} {
+		c := iv.Canonical()
+		parsed, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.String(), err)
+		}
+		if parsed != c {
+			t.Fatalf("grammar round-trip moved the canonical form: %+v -> %q -> %+v", c, c.String(), parsed)
+		}
+	}
+}

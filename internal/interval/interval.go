@@ -105,6 +105,28 @@ func (iv Interval) Contains(v float64) bool {
 	return true
 }
 
+// Canonical returns the normal form of the interval: the representation every
+// equal-meaning spelling maps to.  An unbounded endpoint ignores its Value and
+// Open fields, so ">= τ" written as {Closed(τ), Unbounded} and "[τ, +∞)"
+// written as {Closed(τ), Bound{Value: +Inf, Unbounded: true}} describe exactly
+// the same value set while comparing unequal with ==.  Canonical zeroes the
+// ignored fields, making == on canonical intervals coincide with predicate
+// equality for every interval whose bounded endpoints are finite — which is
+// what lets them serve as comparable map keys (the query cache keys on
+// canonical intervals).  A closed −Inf lower or +Inf upper endpoint is folded
+// into its unbounded equivalent — "v >= −Inf" constrains nothing — while the
+// open spellings are left alone: "v < +Inf" excludes +Inf itself, which
+// "unbounded" does not.
+func (iv Interval) Canonical() Interval {
+	if iv.Lo.Unbounded || (!iv.Lo.Open && math.IsInf(iv.Lo.Value, -1)) {
+		iv.Lo = Bound{Unbounded: true}
+	}
+	if iv.Hi.Unbounded || (!iv.Hi.Open && math.IsInf(iv.Hi.Value, 1)) {
+		iv.Hi = Bound{Unbounded: true}
+	}
+	return iv
+}
+
 // Empty reports whether no value can satisfy the predicate: both sides bounded
 // with lo above hi, or meeting at a point at least one side excludes.
 func (iv Interval) Empty() bool {

@@ -199,6 +199,21 @@ func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) P
 	return p
 }
 
+// RepairCost prices the delta repair of a cached interval result across an
+// Advance: one closed-form affine propagation per candidate pair (the cached
+// rows plus the epochs' stale sets), the exact-selectivity verification probe
+// (one B-tree rank descent per pivot), and the emit term.  The executor
+// repairs only when this undercuts the stored plan's CostAffine — the price
+// of re-running the sweep the entry came from — so a mostly-stale epoch falls
+// back to a cold scan exactly like the ROADMAP's standing-query item asks.
+func (c CostModel) RepairCost(candidates, rows int, st TableStats) float64 {
+	c = c.withDefaults()
+	perPivot := log2(divCeil(st.NumPairs, st.NumPivots))
+	return float64(candidates)*c.AffinePairCost +
+		float64(st.NumPivots)*c.TreeStepCost*perPivot +
+		float64(rows)*c.RowCost
+}
+
 // DefaultFanOutCost is the per-shard coordination overhead of a scatter-gather
 // execution (dispatch, per-shard result collection, merge bookkeeping), in the
 // same abstract units as the CostModel coefficients.  It is of the order of a

@@ -199,11 +199,26 @@ type Plan struct {
 	// Actuals, filled by the executor when the query ran through Explain.
 	ActualRows int
 	Duration   time.Duration
+	// CacheTier names the result-cache tier that served the query ("exact",
+	// "contained" or "repaired"; empty when the query executed in full), so a
+	// repeated Explain reports what actually happened instead of pretending a
+	// cold run.  CacheRepairedPairs is the number of candidate pairs the delta
+	// repair re-evaluated (zero outside the repaired tier).
+	CacheTier          string
+	CacheRepairedPairs int
 }
 
 // String renders the plan for diagnostics and EXPLAIN-style output.
 func (p Plan) String() string {
-	return fmt.Sprintf("%v → %v (est %d rows, cost %.3g; WN %.3g, WA %.3g, SCAPE %.3g)",
+	s := fmt.Sprintf("%v → %v (est %d rows, cost %.3g; WN %.3g, WA %.3g, SCAPE %.3g)",
 		p.Spec, p.Method, p.EstimatedRows, p.EstimatedCost,
 		p.CostNaive, p.CostAffine, p.CostIndex)
+	if p.CacheTier != "" {
+		s += fmt.Sprintf(" [cache %s", p.CacheTier)
+		if p.CacheRepairedPairs > 0 {
+			s += fmt.Sprintf(", %d pairs repaired", p.CacheRepairedPairs)
+		}
+		s += "]"
+	}
+	return s
 }

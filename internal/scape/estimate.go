@@ -56,6 +56,22 @@ func (idx *Index) EstimateSelectivity(q PairQuery) (Selectivity, error) {
 	}
 }
 
+// ExactRows returns the exact result cardinality of an interval query when
+// the index can certify it (T- and L-measure estimates come from subtree
+// counts over the same modified bounds the scans use, so they equal the scan's
+// result size entry for entry), with ok=false when the count is only a band
+// estimate (D-measures) or the measure is not indexed.  The query cache's
+// delta repair uses this as its completeness oracle: a repaired row set that
+// is a subset of the true result and matches the exact count is the true
+// result.
+func (idx *Index) ExactRows(q PairQuery) (int, bool, error) {
+	sel, err := idx.EstimateSelectivity(q)
+	if err != nil {
+		return 0, false, err
+	}
+	return sel.Rows, sel.Exact, nil
+}
+
 // estimateSeries counts L-measure query results exactly from the global
 // location tree.
 func (idx *Index) estimateSeries(q PairQuery) (Selectivity, error) {

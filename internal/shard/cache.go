@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"affinity/internal/core"
+	"affinity/internal/measure"
+	"affinity/internal/plan"
+	"affinity/internal/qcache"
+	"affinity/internal/scape"
+	"affinity/internal/timeseries"
+)
+
+// Coordinator-side glue for the semantic result cache (internal/qcache).  The
+// cache lives at the global merge layer: one entry per merged scatter-gather
+// result, so a hit skips the whole fan-out, not just one shard's scan.  The
+// shard engines run with their own caches disabled — caching both layers would
+// double the memory for results the coordinator already holds merged.
+//
+// The reuse tiers and their correctness arguments are the single-engine ones
+// (see internal/core/cache.go); only the evaluators differ.  The repair
+// evaluator routes each candidate pair to the shard owning its pivot — the
+// same summary a single engine would propagate from — and the completeness
+// oracle sums the per-shard exact selectivities (the shard pivot sets are
+// disjoint, so per-node counts are additive).
+type cacheActual struct {
+	tier     qcache.Tier
+	repaired int
+}
+
+// coordCacheKey builds the coordinator cache key of a resolved query; ok is
+// false for queries the cache does not serve (L-measure queries — per-series
+// reads with no fan-out to save).
+func coordCacheKey(spec plan.QuerySpec, concrete core.Method) (qcache.Key, bool) {
+	if sp, known := measure.Find(spec.Measure); known && sp.Location() {
+		return qcache.Key{}, false
+	}
+	switch spec.Kind {
+	case plan.KindInterval:
+		return qcache.IntervalKey(spec.Measure, concrete, spec.Interval), true
+	case plan.KindTopK:
+		return qcache.TopKKey(spec.Measure, concrete, spec.K, spec.Largest), true
+	}
+	return qcache.Key{}, false
+}
+
+// cacheServe answers one resolved query from the cache if any reuse tier
+// applies.  The caller records the miss and the post-execution store.
+func (cs *coordState) cacheServe(spec plan.QuerySpec, concrete core.Method, key qcache.Key) (core.QueryResult, cacheActual, bool) {
+	if r, tier, ok := cs.cache.Lookup(key, cs.epoch); ok {
+		if spec.Kind == plan.KindTopK {
+			return core.QueryResult{Pairs: r.Pairs, Values: r.Values}, cacheActual{tier: tier}, true
+		}
+		return core.QueryResult{Pairs: r.Pairs}, cacheActual{tier: tier}, true
+	}
+	if pairs, candidates, ok := cs.tryRepair(spec, concrete, key); ok {
+		return core.QueryResult{Pairs: pairs}, cacheActual{tier: qcache.TierRepaired, repaired: candidates}, true
+	}
+	return core.QueryResult{}, cacheActual{}, false
+}
+
+// tryRepair is the coordinator's delta repair, mirroring the single-engine
+// gates: an affine interval entry, exact per-shard selectivities (summed into
+// the global completeness count), no fallback pairs in the global universe,
+// and a cost-model win over the re-scan.  Candidates are evaluated in
+// canonical order against the owning shard's pivot summary.
+func (cs *coordState) tryRepair(spec plan.QuerySpec, concrete core.Method, key qcache.Key) ([]timeseries.Pair, int, bool) {
+	if spec.Kind != plan.KindInterval || concrete != core.MethodAffine ||
+		!cs.table.HasIndex || cs.table.FallbackPairs != 0 {
+		return nil, 0, false
+	}
+	rp, ok := cs.cache.PlanRepair(key, cs.epoch)
+	if !ok {
+		return nil, 0, false
+	}
+	rows := 0
+	for _, v := range cs.views {
+		idx := v.Index()
+		if idx == nil {
+			return nil, 0, false
+		}
+		r, exact, err := idx.ExactRows(spec.PairQuery())
+		if err != nil || !exact {
+			return nil, 0, false
+		}
+		rows += r
+	}
+	p := cs.cost.Plan(spec, cs.table, &scape.Selectivity{Rows: rows, Exact: true})
+	if cs.cost.RepairCost(len(rp.Candidates), rows, cs.table) >= p.CostAffine {
+		return nil, 0, false
+	}
+	pairs := make([]timeseries.Pair, 0, rows)
+	values := make([]float64, 0, rows)
+	for _, pair := range rp.Candidates {
+		v, err := cs.views[cs.pairOwner(pair)].PairValue(spec.Measure, pair, core.MethodAffine)
+		if err != nil {
+			return nil, 0, false
+		}
+		if spec.Interval.Contains(v) {
+			pairs = append(pairs, pair)
+			values = append(values, v)
+		}
+	}
+	if len(pairs) != rows {
+		cs.cache.NoteRepairFallback()
+		return nil, 0, false
+	}
+	cs.cache.CommitRepair(key, cs.epoch, pairs, values, len(rp.Candidates))
+	return pairs, len(rp.Candidates), true
+}
+
+// cacheStore installs a cold scatter-gather result, capturing interval row
+// values with the per-pair evaluator of the resolved method (naive on shard 0,
+// which reads only the shared window; affine at the pair's owning shard —
+// index results are byte-identical to affine by the engine invariant).
+func (cs *coordState) cacheStore(spec plan.QuerySpec, concrete core.Method, key qcache.Key, res core.QueryResult) {
+	if spec.Kind == plan.KindTopK {
+		cs.cache.Put(key, cs.epoch, res.Pairs, res.Values)
+		return
+	}
+	values := make([]float64, len(res.Pairs))
+	for i, pair := range res.Pairs {
+		var v float64
+		var err error
+		if concrete == core.MethodNaive {
+			v, err = cs.views[0].PairValue(spec.Measure, pair, core.MethodNaive)
+		} else {
+			v, err = cs.views[cs.pairOwner(pair)].PairValue(spec.Measure, pair, core.MethodAffine)
+		}
+		if err != nil {
+			return // not storable; the returned result is unaffected
+		}
+		values[i] = v
+	}
+	cs.cache.Put(key, cs.epoch, res.Pairs, values)
+}
+
+// cachedExecute wraps execute with the cache consult and post-execution store;
+// query and Explain both run through it.  A served query reports nil shard
+// actuals — no fan-out happened.
+func (cs *coordState) cachedExecute(spec plan.QuerySpec, concrete core.Method, wantActuals bool) (core.QueryResult, []shardActual, cacheActual, error) {
+	key, cacheable := coordCacheKey(spec, concrete)
+	if !cacheable || cs.cache == nil {
+		res, acts, err := cs.execute(spec, concrete, wantActuals)
+		return res, acts, cacheActual{}, err
+	}
+	if res, act, ok := cs.cacheServe(spec, concrete, key); ok {
+		return res, nil, act, nil
+	}
+	cs.cache.Miss()
+	res, acts, err := cs.execute(spec, concrete, wantActuals)
+	if err != nil {
+		return core.QueryResult{}, nil, cacheActual{}, err
+	}
+	cs.cacheStore(spec, concrete, key, res)
+	return res, acts, cacheActual{}, nil
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"affinity/internal/core"
 	"affinity/internal/par"
 	"affinity/internal/plan"
+	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
@@ -51,6 +53,10 @@ type coordState struct {
 	// every shard count.
 	table plan.TableStats
 	cost  plan.CostModel
+	// cache is the coordinator's global result cache (nil when disabled),
+	// shared across epochs like the single engine's; the shard engines run
+	// cache-disabled underneath it.
+	cache *qcache.Cache
 }
 
 // Coordinator partitions the pairwise state of one data window across shard
@@ -81,6 +87,9 @@ type Coordinator struct {
 	// refits keep it frozen too, so it stays the merge order for every epoch.
 	assignments []symex.Assignment
 	locOpts     scape.Options
+	// cache is the global result cache, caching merged scatter-gather results
+	// at the coordinator (Config.Engine.Cache; nil when disabled).
+	cache *qcache.Cache
 
 	cur atomic.Pointer[coordState]
 
@@ -109,6 +118,10 @@ func Build(d *timeseries.DataMatrix, cfg Config) (*Coordinator, error) {
 	// Location trees are the coordinator's job (they depend on the global
 	// relationship set); a non-nil empty list disables them on the shards.
 	shardCfg.Index.LocationMeasures = []stats.Measure{}
+	// Result caching happens once, at the coordinator's merge layer, where a
+	// hit saves the whole fan-out; per-shard caches would only duplicate the
+	// merged results' memory.
+	shardCfg.Cache = qcache.Options{}
 
 	engines := make([]*core.Engine, pl.Shards)
 	err = par.Do(pl.Shards, pl.Shards, func(s int) error {
@@ -130,6 +143,7 @@ func Build(d *timeseries.DataMatrix, cfg Config) (*Coordinator, error) {
 		placement:   pl,
 		assignments: rel.AssignmentList(),
 		locOpts:     locOpts,
+		cache:       qcache.New(cfg.Engine.Cache),
 	}
 	views := make([]core.View, len(engines))
 	for i, e := range engines {
@@ -169,7 +183,8 @@ func (c *Coordinator) makeState(views []core.View, d *timeseries.DataMatrix,
 			FallbackPairs: d.NumPairs() - len(rel.Relationships),
 			HasIndex:      !c.cfg.Engine.SkipIndex,
 		},
-		cost: c.cfg.Engine.CostModel,
+		cost:  c.cfg.Engine.CostModel,
+		cache: c.cache,
 	}, nil
 }
 
@@ -281,16 +296,60 @@ func (c *Coordinator) advanceLocked() (core.AdvanceInfo, error) {
 	if err != nil {
 		return core.AdvanceInfo{}, err
 	}
+
+	// The coordinator's stale set is the union of the per-shard sets (the
+	// shard universes are disjoint); a full refit on any shard makes the
+	// global epoch unrepairable.  The cache learns about the transition
+	// before the new epoch is published, like the single engine.
+	var stale map[timeseries.Pair]bool
+	fullRefit := false
+	for _, info := range infos {
+		if info.FullRefit {
+			fullRefit = true
+		}
+	}
+	if !fullRefit {
+		stale = make(map[timeseries.Pair]bool)
+		for _, info := range infos {
+			for p := range info.Stale {
+				stale[p] = true
+			}
+		}
+	}
+	c.cache.OnAdvance(st.epoch, sortedStalePairs(stale), fullRefit)
+
 	c.cur.Store(st)
 	c.pending = nil
 
-	agg := core.AdvanceInfo{Epoch: st.epoch, Slide: slide, Duration: time.Since(start)}
+	agg := core.AdvanceInfo{
+		Epoch: st.epoch, Slide: slide, Duration: time.Since(start),
+		Stale: stale, FullRefit: fullRefit,
+	}
 	for _, info := range infos {
 		agg.RefitRelationships += info.RefitRelationships
 		agg.ReusedRelationships += info.ReusedRelationships
 		agg.RefitPivots += info.RefitPivots
 	}
 	return agg, nil
+}
+
+// sortedStalePairs flattens a stale set into canonical (U, V) order; nil in,
+// nil out.
+func sortedStalePairs(stale map[timeseries.Pair]bool) []timeseries.Pair {
+	if stale == nil {
+		return nil
+	}
+	out := make([]timeseries.Pair, 0, len(stale))
+	for p := range stale {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
 }
 
 // mergeRelationships rebuilds the global relationship result from the shard
@@ -366,5 +425,18 @@ func (c *Coordinator) StreamStats() core.StreamStats {
 			agg.LastPlannerPhase = s.LastPlannerPhase
 		}
 	}
+	// The result cache lives on the coordinator, not the shards (whose own
+	// caches are disabled), so its counters come from here.
+	cst := c.cache.Stats()
+	agg.CacheExactHits = cst.ExactHits
+	agg.CacheContainmentHits = cst.ContainmentHits
+	agg.CacheRepairHits = cst.RepairHits
+	agg.CacheMisses = cst.Misses
+	agg.CacheRepairedPairs = cst.RepairedPairs
+	agg.CacheRepairFallbacks = cst.RepairFallbacks
+	agg.CacheEvictions = cst.Evictions
+	agg.CacheExpired = cst.Expired
+	agg.CacheEntries = cst.Entries
+	agg.CacheBytes = cst.Bytes
 	return agg
 }

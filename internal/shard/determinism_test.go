@@ -8,6 +8,7 @@ import (
 	"affinity/internal/dataset"
 	"affinity/internal/measure"
 	"affinity/internal/plan"
+	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
@@ -204,7 +205,12 @@ func shardDeterminismCases() []shardQueryCase {
 				if err != nil {
 					return nil, err
 				}
+				// Duration and the cache actuals are run-dependent (the cached
+				// harness legitimately reports a tier on repeat passes); plan
+				// parity modulo those fields is what this case pins.
 				p.Duration = 0
+				p.CacheTier = ""
+				p.CacheRepairedPairs = 0
 				return p, nil
 			},
 			coord: func(c *Coordinator) (any, error) {
@@ -214,6 +220,8 @@ func shardDeterminismCases() []shardQueryCase {
 				}
 				p := res.Plan
 				p.Duration = 0
+				p.CacheTier = ""
+				p.CacheRepairedPairs = 0
 				return p, nil
 			},
 		})
@@ -226,6 +234,16 @@ func shardDeterminismCases() []shardQueryCase {
 // Advances), and asserts every query case agrees at every epoch.
 func runShardDeterminism(t *testing.T, cfg core.Config) {
 	t.Helper()
+	runShardDeterminismSplit(t, cfg, cfg, 1)
+}
+
+// runShardDeterminismSplit is the harness core: the baseline engine runs
+// baseCfg, the coordinators run coordCfg, and every epoch's battery is issued
+// `passes` times against each coordinator.  A second pass turns every query
+// into a cache-hit candidate when coordCfg enables the result cache, so the
+// cached answers are compared against the cold baseline too.
+func runShardDeterminismSplit(t *testing.T, baseCfg, coordCfg core.Config, passes int) {
+	t.Helper()
 	const n, window, rounds, slide = 20, 90, 3, 5
 
 	type coordEntry struct {
@@ -235,7 +253,6 @@ func runShardDeterminism(t *testing.T, cfg core.Config) {
 
 	// Baseline: one unsharded engine.
 	fx := makeShardFixture(t, n, window, rounds*slide, 7)
-	baseCfg := cfg
 	baseCfg.Parallelism = 1
 	baseline, err := core.Build(fx.window, baseCfg)
 	if err != nil {
@@ -246,7 +263,7 @@ func runShardDeterminism(t *testing.T, cfg core.Config) {
 	for _, s := range shardCounts {
 		for _, p := range parallelismLevels {
 			cFx := makeShardFixture(t, n, window, rounds*slide, 7)
-			eCfg := cfg
+			eCfg := coordCfg
 			eCfg.Parallelism = p
 			c, err := Build(cFx.window, Config{Shards: s, Engine: eCfg})
 			if err != nil {
@@ -262,10 +279,12 @@ func runShardDeterminism(t *testing.T, cfg core.Config) {
 		for _, qc := range cases {
 			want := render(qc.engine(baseline))
 			for _, ce := range coords {
-				got := render(qc.coord(ce.c))
-				if got != want {
-					t.Fatalf("%s %s: %s diverged from baseline\nbaseline: %.300s\n%s: %.300s",
-						epochName, qc.name, ce.name, want, ce.name, got)
+				for pass := 0; pass < passes; pass++ {
+					got := render(qc.coord(ce.c))
+					if got != want {
+						t.Fatalf("%s %s: %s pass %d diverged from baseline\nbaseline: %.300s\n%s: %.300s",
+							epochName, qc.name, ce.name, pass, want, ce.name, got)
+					}
 				}
 			}
 		}
@@ -320,4 +339,19 @@ func TestShardedDeterminismDrift(t *testing.T) {
 		Clusters: 4, Seed: 5,
 		Stream: core.StreamConfig{DriftBound: 0.05},
 	})
+}
+
+func TestShardedDeterminismCached(t *testing.T) {
+	// The coordinators enable the result cache while the baseline stays cold;
+	// every query runs twice per epoch so the second pass is served from the
+	// cache (exact hit, containment, or post-Advance repair) and must still be
+	// byte-identical to the cold baseline.  The drift bound keeps the stale
+	// sets partial so the repair path is reachable across Advances.
+	cold := core.Config{
+		Clusters: 4, Seed: 5,
+		Stream: core.StreamConfig{DriftBound: 0.5},
+	}
+	cached := cold
+	cached.Cache = qcache.Options{Enabled: true}
+	runShardDeterminismSplit(t, cold, cached, 2)
 }

@@ -64,12 +64,17 @@ func (c *Coordinator) Explain(spec plan.QuerySpec, method core.Method) (ExplainR
 	}
 
 	start := time.Now()
-	res, actuals, err := cs.execute(spec, p.Method, true)
+	res, actuals, act, err := cs.cachedExecute(spec, p.Method, true)
 	if err != nil {
 		return ExplainResult{}, err
 	}
 	p.Duration = time.Since(start)
 	p.ActualRows = res.Size()
+	// A repeated query reports the cache tier that served it and the delta's
+	// size; a cache-served query has no fan-out, so the per-shard entries
+	// below carry estimates only (zero actuals).
+	p.CacheTier = act.tier.String()
+	p.CacheRepairedPairs = act.repaired
 	out := ExplainResult{Result: res, Plan: p}
 
 	if sp, known := measure.Find(spec.Measure); known && sp.Location() {

@@ -11,6 +11,7 @@ import (
 	"affinity/internal/measure"
 	"affinity/internal/par"
 	"affinity/internal/plan"
+	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
@@ -116,7 +117,7 @@ func (cs *coordState) query(spec plan.QuerySpec, method core.Method) (core.Query
 	if err != nil {
 		return core.QueryResult{}, err
 	}
-	res, _, err := cs.execute(spec, concrete, false)
+	res, _, _, err := cs.cachedExecute(spec, concrete, false)
 	return res, err
 }
 
@@ -491,6 +492,10 @@ func (cs *coordState) batch(specs []plan.QuerySpec, method core.Method) ([]core.
 	}
 	out := make([]core.QueryResult, len(specs))
 	sweepGroups := make(map[core.Method][]int)
+	// Cache-missed items remember their keys so the merged results are stored
+	// after execution; cache-served items skip their execution path entirely.
+	var storeKeys []qcache.Key
+	var storeIdx []int
 	for i, spec := range specs {
 		if sp, known := measure.Find(spec.Measure); known && sp.Location() {
 			r, err := cs.locationQuery(spec, concrete[i])
@@ -499,6 +504,17 @@ func (cs *coordState) batch(specs []plan.QuerySpec, method core.Method) ([]core.
 			}
 			out[i] = r
 			continue
+		}
+		if cs.cache != nil {
+			if key, ok := coordCacheKey(spec, concrete[i]); ok {
+				if r, _, served := cs.cacheServe(spec, concrete[i], key); served {
+					out[i] = r
+					continue
+				}
+				cs.cache.Miss()
+				storeKeys = append(storeKeys, key)
+				storeIdx = append(storeIdx, i)
+			}
 		}
 		if concrete[i] == core.MethodIndex {
 			r, _, err := cs.execute(spec, concrete[i], false)
@@ -547,6 +563,9 @@ func (cs *coordState) batch(specs []plan.QuerySpec, method core.Method) ([]core.
 				out[i] = core.QueryResult{Pairs: mergePairLists(perShard)}
 			}
 		}
+	}
+	for k, i := range storeIdx {
+		cs.cacheStore(specs[i], concrete[i], storeKeys[k], out[i])
 	}
 	return out, nil
 }

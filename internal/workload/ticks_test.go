@@ -66,3 +66,75 @@ func TestTickStreamSkew(t *testing.T) {
 		t.Fatal("NewTickStream accepted zero series")
 	}
 }
+
+func TestTickStreamRankDecay(t *testing.T) {
+	// The amplitude of the rank-r series follows the exact Zipf decay law
+	// HotAmplitude/(r+1)^Skew, so the sequence is strictly decreasing in rank.
+	cfg := TickConfig{NumSeries: 32, Skew: 1.3, HotAmplitude: 2.5, Seed: 9}
+	s, err := NewTickStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amps := s.Amplitudes()
+	hot := s.HotSeries()
+	for rank, id := range hot {
+		want := cfg.HotAmplitude / math.Pow(float64(rank+1), cfg.Skew)
+		if amps[id] != want {
+			t.Fatalf("rank %d (series %d): amplitude %v, want %v", rank, id, amps[id], want)
+		}
+		if rank > 0 && amps[id] >= amps[hot[rank-1]] {
+			t.Fatalf("rank %d amplitude %v not strictly below rank %d's %v",
+				rank, amps[id], rank-1, amps[hot[rank-1]])
+		}
+	}
+}
+
+func TestTickStreamDefaults(t *testing.T) {
+	// Zero/invalid Skew and HotAmplitude fall back to the documented defaults:
+	// the hottest series gets amplitude HotAmplitude=1 and the decay exponent
+	// is DefaultTickSkew.
+	s, err := NewTickStream(TickConfig{NumSeries: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amps := s.Amplitudes()
+	hot := s.HotSeries()
+	if amps[hot[0]] != 1.0 {
+		t.Fatalf("default hottest amplitude %v, want 1.0", amps[hot[0]])
+	}
+	for rank, id := range hot {
+		want := 1.0 / math.Pow(float64(rank+1), DefaultTickSkew)
+		if amps[id] != want {
+			t.Fatalf("rank %d: default-decay amplitude %v, want %v", rank, amps[id], want)
+		}
+	}
+}
+
+func TestTickStreamTicksContinuity(t *testing.T) {
+	// Ticks(n) returns n ticks of NumSeries samples, and consecutive calls
+	// continue the stream: 5+5 ticks equal a fresh stream's first 10.
+	cfg := TickConfig{NumSeries: 12, Skew: 1.2, Seed: 21}
+	split, err := NewTickStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := NewTickStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(split.Ticks(5), split.Ticks(5)...)
+	want := whole.Ticks(10)
+	if len(got) != 10 {
+		t.Fatalf("got %d ticks, want 10", len(got))
+	}
+	for i := range got {
+		if len(got[i]) != cfg.NumSeries {
+			t.Fatalf("tick %d has %d samples, want %d", i, len(got[i]), cfg.NumSeries)
+		}
+		for v := range got[i] {
+			if got[i][v] != want[i][v] {
+				t.Fatalf("tick %d series %d: split %v != whole %v", i, v, got[i][v], want[i][v])
+			}
+		}
+	}
+}
