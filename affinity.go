@@ -84,6 +84,7 @@ import (
 	"affinity/internal/plan"
 	"affinity/internal/qcache"
 	"affinity/internal/scape"
+	"affinity/internal/sketch"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
@@ -139,6 +140,10 @@ type MeasureInfo struct {
 	Base      Measure
 	Doc       string
 	Indexable bool
+	// Sketchable reports whether the coefficient-sketch prescreen tier
+	// (SketchOptions) can filter sweeps on this measure; others simply take
+	// the plain exact sweep.
+	Sketchable bool
 }
 
 // Measures returns every registered measure in registration order.
@@ -147,12 +152,13 @@ func Measures() []MeasureInfo {
 	out := make([]MeasureInfo, len(specs))
 	for i, sp := range specs {
 		out[i] = MeasureInfo{
-			Measure:   sp.ID,
-			Name:      sp.Name,
-			Class:     sp.Class.String(),
-			Base:      sp.Base,
-			Doc:       sp.Doc,
-			Indexable: sp.Indexable,
+			Measure:    sp.ID,
+			Name:       sp.Name,
+			Class:      sp.Class.String(),
+			Base:       sp.Base,
+			Doc:        sp.Doc,
+			Indexable:  sp.Indexable,
+			Sketchable: sp.SketchBoundable(),
 		}
 	}
 	return out
@@ -415,6 +421,32 @@ type CacheOptions struct {
 	EpochHistory int
 }
 
+// SketchOptions configures the DFT coefficient-sketch filter-and-refine tier
+// for sweep queries (StatStream-style, refs [1–3] of the paper).
+//
+// When enabled, the engine keeps a per-series sketch of the d largest-
+// magnitude DFT coefficients of the centered window, maintained incrementally
+// across Advance (series in the drift-stale set are rebuilt; everything else
+// slides its kept coefficients in O(slide·d)).  Naive-method sweeps over
+// measures whose base is covariance or the dot product — Measures reports
+// them as Sketchable — first classify every pair against the query from
+// definite Parseval bounds: definite-in pairs are emitted without touching a
+// raw sample, definite-out pairs are dropped, and only the ambiguous
+// remainder reaches the exact kernels; top-k sweeps visit pair blocks
+// best-first by their optimistic bounds.  Prescreened results are
+// byte-identical to the plain exact sweep by construction, so enabling
+// sketches changes latency only.  Explain reports the filtered/refined pair
+// counts on QueryPlan, and StreamStats carries the prescreen counters.
+type SketchOptions struct {
+	// Enabled turns the sketch tier on (the zero value keeps it off).
+	Enabled bool
+	// Coefficients is the sketch width d — DFT coefficients kept per series
+	// (default 16, clamped to the window's m−1 non-DC bins).  Wider sketches
+	// tighten the bounds (fewer exact evaluations) at O(n·d) extra memory and
+	// O(d) extra prescreen work per pair.
+	Coefficients int
+}
+
 // StreamStats reports the engine's cumulative incremental-maintenance
 // counters: index delta-updates vs rebuilds, sequence-store mutations,
 // scratch-pool behavior, the phase timings of the most recent Advance, and
@@ -458,6 +490,10 @@ type Options struct {
 	// results are byte-identical to cold executions, so enabling it changes
 	// latency only).
 	Cache CacheOptions
+	// Sketch configures the coefficient-sketch filter-and-refine sweep tier
+	// (off by default; prescreened results are byte-identical to the plain
+	// exact sweep, so enabling it changes latency only).
+	Sketch SketchOptions
 }
 
 // Engine is a built AFFINITY instance over one dataset.
@@ -490,6 +526,10 @@ func New(d *Dataset, opts Options) (*Engine, error) {
 			Enabled:      opts.Cache.Enabled,
 			MaxBytes:     opts.Cache.MaxBytes,
 			EpochHistory: opts.Cache.EpochHistory,
+		},
+		Sketch: sketch.Options{
+			Enabled:      opts.Sketch.Enabled,
+			Coefficients: opts.Sketch.Coefficients,
 		},
 	})
 	if err != nil {
@@ -654,6 +694,10 @@ func NewFromSnapshot(d *Dataset, r io.Reader, opts Options) (*Engine, error) {
 			Enabled:      opts.Cache.Enabled,
 			MaxBytes:     opts.Cache.MaxBytes,
 			EpochHistory: opts.Cache.EpochHistory,
+		},
+		Sketch: sketch.Options{
+			Enabled:      opts.Sketch.Enabled,
+			Coefficients: opts.Sketch.Coefficients,
 		},
 	})
 	if err != nil {

@@ -19,9 +19,11 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/experiments"
+	"affinity/internal/interval"
 	"affinity/internal/qcache"
 	"affinity/internal/scape"
 	"affinity/internal/shard"
+	"affinity/internal/sketch"
 	"affinity/internal/stats"
 	"affinity/internal/timeseries"
 )
@@ -422,6 +424,51 @@ func BenchmarkSweep(b *testing.B) {
 		if _, err := engine.PairwiseSweepNaive(stats.Correlation); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSketchSweep times an interval sweep through the coefficient-sketch
+// filter-and-refine tier at a selective predicate (the 90th percentile of the
+// correlation distribution).  CI tracks its allocs/op against
+// BENCH_BUDGET.json: the prescreen allocates the pair list, the compacted
+// result and O(blocks) per-worker scratch — like BenchmarkSweep, never
+// O(pairs) transient garbage.  The sketch set itself is built per epoch, so
+// the warm-up query keeps it and the columnar mirror out of the timed region.
+func BenchmarkSketchSweep(b *testing.B) {
+	sensor, err := experiments.GenerateSensorOnly(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.Build(sensor, core.Config{
+		Clusters: 6, Seed: 42, SkipIndex: true,
+		Sketch: sketch.Options{Enabled: true, Coefficients: 16},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep, err := engine.PairwiseSweepNaive(stats.Correlation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := append([]float64(nil), sweep.Values...)
+	sort.Float64s(vals)
+	iv := interval.GreaterThan(vals[int(0.9*float64(len(vals)-1))])
+	if _, err := engine.Interval(stats.Correlation, iv, core.MethodNaive); err != nil {
+		b.Fatal(err)
+	}
+	info := engine.Info()
+	b.SetBytes(int64(info.NumPairs) * int64(info.NumSamples) * 2 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Interval(stats.Correlation, iv, core.MethodNaive); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ss := engine.StreamStats()
+	if total := ss.SketchDefiniteIn + ss.SketchDefiniteOut + ss.SketchAmbiguous; total > 0 {
+		b.ReportMetric(100*float64(ss.SketchAmbiguous)/float64(total), "ambiguous-%")
 	}
 }
 

@@ -32,7 +32,7 @@ var experimentOrder = []string{
 	"table3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 	"fig15", "fig16", "table4", "ablation-pinv", "ablation-pruning",
 	"parallel", "planner", "measures", "topk", "advance", "sweep", "shard",
-	"cache",
+	"cache", "sketch",
 }
 
 func main() {
@@ -448,6 +448,27 @@ func runExperiment(id string, scale experiments.Scale, levels []int, out io.Writ
 			fmt.Fprintf(w, "%s\t%v\t%s\t%d\t%d\t%v\t%.1f\t%.2fx\n",
 				r.Dataset, r.Measure, r.Variant, r.Pairs, r.Samples,
 				r.Time.Round(time.Microsecond), r.BytesPerSec/(1<<20), r.Speedup)
+		}
+		return w.Flush()
+
+	case "sketch":
+		// The DFT coefficient-sketch filter-and-refine tier vs the plain
+		// blocked kernels: interval predicates placed at quantiles of each
+		// measure's value distribution, sweeping sketch width d and target
+		// selectivity.  "ambiguous" is the fraction of pairs the prescreen
+		// could not classify definitively — the only pairs that paid an exact
+		// evaluation; results are asserted byte-identical before timing.
+		rows, err := experiments.SketchExperiment(scale, 3)
+		if err != nil {
+			return err
+		}
+		w := newTable(out)
+		fmt.Fprintln(w, "dataset\tmeasure\td\tsel\trows\tpairs\tambiguous\texact\tsketch\tspeedup")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%v\t%d\t%.2f\t%d\t%d\t%.1f%%\t%v\t%v\t%.2fx\n",
+				r.Dataset, r.Measure, r.Coefficients, r.TargetSel, r.Rows, r.Pairs,
+				100*r.AmbiguousFrac, r.ExactTime.Round(time.Microsecond),
+				r.SketchTime.Round(time.Microsecond), r.Speedup)
 		}
 		return w.Flush()
 

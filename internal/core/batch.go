@@ -262,6 +262,23 @@ func (e *engineState) runBatchEx(items []execItem, actuals []cacheActual) ([]Que
 			indexQueries = append(indexQueries, it.spec.PairQuery())
 			indexIdx = append(indexIdx, i)
 		default:
+			if e.sketchUsable(it) {
+				// Filter-and-refine sweep: prescreen against the epoch's
+				// coefficient sketches, exact kernels only for ambiguous
+				// pairs.  Byte-identical to the shared scan below by
+				// construction, so which path an item takes never shows in
+				// results — only in latency and counters.
+				res, act, err := e.sketchSweep(it)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = res
+				if actuals != nil {
+					actuals[i].sketched = act.sketched
+					actuals[i].refined = act.refined
+				}
+				continue
+			}
 			sweeps = append(sweeps, newSweepItem(it))
 			sweepIdx = append(sweepIdx, i)
 		}

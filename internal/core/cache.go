@@ -32,6 +32,11 @@ import (
 type cacheActual struct {
 	tier     qcache.Tier
 	repaired int
+	// Sketch-prescreen observability (Explain): pairs classified by the
+	// filter tier and pairs that reached the exact kernels.  Zero when the
+	// item did not take the sketch path.
+	sketched int
+	refined  int
 }
 
 // cacheKey builds the cache key of an executor item; ok is false for items

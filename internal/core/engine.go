@@ -38,6 +38,7 @@ import (
 	"affinity/internal/plan"
 	"affinity/internal/qcache"
 	"affinity/internal/scape"
+	"affinity/internal/sketch"
 	"affinity/internal/stats"
 	"affinity/internal/symex"
 	"affinity/internal/timeseries"
@@ -173,6 +174,11 @@ type Config struct {
 	// cached results are byte-identical to cold execution at every tier, so
 	// enabling it changes latency only.
 	Cache qcache.Options
+	// Sketch configures the DFT coefficient-sketch prescreen tier
+	// (internal/sketch) used by naive-method pairwise sweeps.  The zero value
+	// disables it; prescreened results are byte-identical to the plain exact
+	// sweep by construction, so enabling it changes latency only.
+	Sketch sketch.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -312,6 +318,12 @@ type engineState struct {
 	// simply miss.
 	cache *qcache.Cache
 
+	// sketch is the epoch's coefficient-sketch set (nil when Config.Sketch is
+	// disabled): the filter half of the filter-and-refine sweep tier.  Like the
+	// index it is immutable per epoch; Advance derives the next epoch's set
+	// incrementally (stale series rebuild, everything else slides).
+	sketch *sketch.Set
+
 	epoch int
 	info  BuildInfo
 }
@@ -437,6 +449,14 @@ func buildState(d *timeseries.DataMatrix, cfg Config) (*engineState, error) {
 	} else {
 		st.info.UsedPseudoInverseTag = "SYMEX+"
 	}
+	// Stage 5: the coefficient-sketch prescreen tier (before finishPlanner so
+	// the table statistics can describe it).
+	if cfg.Sketch.Enabled {
+		if err := st.buildSketch(cfg.Sketch, cfg.Parallelism, &sketch.Counters{}); err != nil {
+			return nil, err
+		}
+	}
+
 	st.info.TotalDuration = time.Since(start)
 	st.finishPlanner(cfg)
 	return st, nil

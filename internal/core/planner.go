@@ -30,6 +30,10 @@ func (st *engineState) finishPlanner(cfg Config) {
 		FallbackPairs: st.numUniversePairs() - len(st.rel.Relationships),
 		HasIndex:      st.index != nil,
 	}
+	if st.sketch != nil {
+		st.table.SketchCoefficients = st.sketch.Coefficients()
+		st.table.SketchAmbiguity = st.sketch.Ambiguity()
+	}
 }
 
 // resolve maps a requested method to the concrete one that will run:
@@ -110,6 +114,8 @@ func (e *engineState) explain(spec plan.QuerySpec, method Method) (QueryResult, 
 	// served it and the delta's size — instead of pretending a full execution.
 	p.CacheTier = acts[0].tier.String()
 	p.CacheRepairedPairs = acts[0].repaired
+	p.SketchedPairs = acts[0].sketched
+	p.SketchRefinedPairs = acts[0].refined
 	return out[0], p, nil
 }
 
@@ -160,6 +166,8 @@ func (e *engineState) explainBatch(specs []plan.QuerySpec, method Method) ([]Que
 		plans[i].ActualRows = out[i].Size()
 		plans[i].CacheTier = acts[i].tier.String()
 		plans[i].CacheRepairedPairs = acts[i].repaired
+		plans[i].SketchedPairs = acts[i].sketched
+		plans[i].SketchRefinedPairs = acts[i].refined
 	}
 	return out, plans, nil
 }

@@ -15,6 +15,7 @@ import (
 	"affinity/internal/mat"
 	"affinity/internal/qcache"
 	"affinity/internal/scape"
+	"affinity/internal/sketch"
 	"affinity/internal/symex"
 	"affinity/internal/timeseries"
 )
@@ -309,6 +310,11 @@ func buildFromRelationships(d *timeseries.DataMatrix, cfg Config, rel *symex.Res
 	st.info.NumPivots = rel.Stats.NumPivots
 	st.info.NumRelationships = rel.Stats.NumRelationships
 	st.info.UsedPseudoInverseTag = "snapshot"
+	if cfg.Sketch.Enabled {
+		if err := st.buildSketch(cfg.Sketch, cfg.Parallelism, &sketch.Counters{}); err != nil {
+			return nil, err
+		}
+	}
 	st.info.TotalDuration = time.Since(start)
 	st.finishPlanner(cfg)
 	st.cache = qcache.New(cfg.Cache)

@@ -266,6 +266,32 @@ func (e *Engine) advanceTo(old *engineState, newData *timeseries.DataMatrix, bat
 	}
 	indexDone := time.Now()
 
+	// Sketch maintenance mirrors the index update's delta discipline: series
+	// in the refit/stale set are rebuilt from a full FFT of their new column,
+	// everything else slides its kept coefficients with the sliding-DFT
+	// recurrence.  Full-refit epochs (stale == nil) and the periodic
+	// statistics refreshes rebuild every sketch, bounding the recurrence's
+	// rounding drift exactly like the running statistics' refresh does.
+	if old.sketch != nil {
+		kern, mom, err := st.naive.Kernel()
+		if err != nil {
+			return AdvanceInfo{}, err
+		}
+		var staleSeries []bool
+		if stale != nil {
+			staleSeries = make([]bool, n)
+			for p := range stale {
+				staleSeries[p.U] = true
+				staleSeries[p.V] = true
+			}
+		}
+		oldCol := func(v int) []float64 {
+			col, _ := old.data.Series(timeseries.SeriesID(v)) // ids are in range by construction
+			return col
+		}
+		st.sketch = old.sketch.Advance(kern, mom, oldCol, batch, slide, refresh || stale == nil, staleSeries, parallelism)
+	}
+
 	st.finishPlanner(e.cfg)
 
 	// The result cache is shared across epochs — entries survive the swap and

@@ -38,14 +38,23 @@ func TestConcurrentQueriesDuringAdvance(t *testing.T) {
 		}
 	}
 
-	var wg sync.WaitGroup
+	// The writer waits for every reader's first query before streaming, so
+	// the overlap the test exists for cannot be lost to scheduling luck on a
+	// single-core box (readers keep looping until stop).
+	var wg, ready sync.WaitGroup
 	reader := func(body func() error) {
 		wg.Add(1)
+		ready.Add(1)
 		go func() {
 			defer wg.Done()
+			first := true
 			for !stop.Load() {
 				report(body())
 				queries.Add(1)
+				if first {
+					ready.Done()
+					first = false
+				}
 			}
 		}()
 	}
@@ -98,6 +107,7 @@ func TestConcurrentQueriesDuringAdvance(t *testing.T) {
 	})
 
 	// Writer: stream all ticks, advancing after every `slide` appends.
+	ready.Wait()
 	for round := 0; round < rounds; round++ {
 		for _, tick := range fx.ticks[round*slide : (round+1)*slide] {
 			if err := e.Append(tick); err != nil {
@@ -161,14 +171,23 @@ func TestConcurrentQueriesDuringIncrementalAdvance(t *testing.T) {
 	var retained sync.Map // epoch int -> *scape.Index
 	retained.Store(0, e.state().index)
 
-	var wg sync.WaitGroup
+	// The writer waits for every reader's first query before streaming, so
+	// the overlap the test exists for cannot be lost to scheduling luck on a
+	// single-core box (readers keep looping until stop).
+	var wg, ready sync.WaitGroup
 	reader := func(body func() error) {
 		wg.Add(1)
+		ready.Add(1)
 		go func() {
 			defer wg.Done()
+			first := true
 			for !stop.Load() {
 				report(body())
 				queries.Add(1)
+				if first {
+					ready.Done()
+					first = false
+				}
 			}
 		}()
 	}
@@ -205,6 +224,7 @@ func TestConcurrentQueriesDuringIncrementalAdvance(t *testing.T) {
 		return nil
 	})
 
+	ready.Wait()
 	for round := 0; round < rounds; round++ {
 		for _, tick := range fx.ticks[round*slide : (round+1)*slide] {
 			if err := e.Append(tick); err != nil {
@@ -297,14 +317,23 @@ func TestConcurrentBatchedQueriesDuringParallelAdvance(t *testing.T) {
 		}
 	}
 
-	var wg sync.WaitGroup
+	// The writer waits for every reader's first query before streaming, so
+	// the overlap the test exists for cannot be lost to scheduling luck on a
+	// single-core box (readers keep looping until stop).
+	var wg, ready sync.WaitGroup
 	reader := func(body func() error) {
 		wg.Add(1)
+		ready.Add(1)
 		go func() {
 			defer wg.Done()
+			first := true
 			for !stop.Load() {
 				report(body())
 				queries.Add(1)
+				if first {
+					ready.Done()
+					first = false
+				}
 			}
 		}()
 	}
@@ -357,6 +386,7 @@ func TestConcurrentBatchedQueriesDuringParallelAdvance(t *testing.T) {
 		return err
 	})
 
+	ready.Wait()
 	for round := 0; round < rounds; round++ {
 		for _, tick := range fx.ticks[round*slide : (round+1)*slide] {
 			if err := e.Append(tick); err != nil {

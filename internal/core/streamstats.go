@@ -62,6 +62,21 @@ type StreamStats struct {
 	// CacheEntries and CacheBytes are the cache's current occupancy.
 	CacheEntries int
 	CacheBytes   int64
+	// Sketch-prescreen counters (zero when the sketch tier is disabled).
+	// SketchRebuilt/SketchSlid split the per-series maintenance outcomes:
+	// full-FFT rebuilds (stale series, refresh epochs, the initial build)
+	// versus sliding-DFT updates sharing the previous epoch's kept-index
+	// structure.  SketchSweeps counts prescreened sweep executions, and the
+	// DefiniteIn/DefiniteOut/Ambiguous triple their interval classifications —
+	// only ambiguous pairs paid an exact evaluation.  SketchTopKSkippedPairs
+	// counts pairs pruned by best-first top-k bound ordering.
+	SketchRebuilt          int64
+	SketchSlid             int64
+	SketchSweeps           int64
+	SketchDefiniteIn       int64
+	SketchDefiniteOut      int64
+	SketchAmbiguous        int64
+	SketchTopKSkippedPairs int64
 }
 
 // CacheHitRate returns the fraction of cache-eligible queries served from the
@@ -120,6 +135,16 @@ func (e *Engine) StreamStats() StreamStats {
 	s.CacheExpired = cs.Expired
 	s.CacheEntries = cs.Entries
 	s.CacheBytes = cs.Bytes
+	if sk := e.state().sketch; sk != nil {
+		ss := sk.Counters().Snapshot()
+		s.SketchRebuilt = ss.Rebuilt
+		s.SketchSlid = ss.Slid
+		s.SketchSweeps = ss.Sweeps
+		s.SketchDefiniteIn = ss.DefiniteIn
+		s.SketchDefiniteOut = ss.DefiniteOut
+		s.SketchAmbiguous = ss.Ambiguous
+		s.SketchTopKSkippedPairs = ss.TopKSkippedPairs
+	}
 	return s
 }
 

@@ -1,0 +1,60 @@
+package dft
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTransformIntoAllocs pins the pooled transform paths: with a caller-kept
+// destination buffer, TransformInto must not allocate in steady state for
+// either the radix-2 (power-of-two) or the Bluestein (arbitrary-length) path.
+func TestTransformIntoAllocs(t *testing.T) {
+	for _, n := range []int{64, 390, 720, 1950} {
+		p := PlanFor(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(0.37*float64(i)) + 0.2*float64(i%7)
+		}
+		dst := make([]complex128, n)
+		// Warm the scratch pool before measuring.
+		p.TransformInto(dst, x)
+		allocs := testing.AllocsPerRun(50, func() {
+			p.TransformInto(dst, x)
+		})
+		if allocs > 0 {
+			t.Errorf("n=%d: TransformInto allocated %.1f allocs/op, want 0", n, allocs)
+		}
+	}
+}
+
+// TestTransformAllocs bounds the convenience wrapper: one output slice, no
+// per-call chirp/convolution garbage.
+func TestTransformAllocs(t *testing.T) {
+	for _, n := range []int{64, 390} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%13) - 5
+		}
+		if _, err := Transform(x); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := Transform(x); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 1 {
+			t.Errorf("n=%d: Transform allocated %.1f allocs/op, want <= 1", n, allocs)
+		}
+	}
+}
+
+// TestPlanReuse verifies plans are cached per length and reused.
+func TestPlanReuse(t *testing.T) {
+	if PlanFor(100) != PlanFor(100) {
+		t.Fatal("PlanFor(100) returned distinct plans for the same length")
+	}
+	if PlanFor(128) == PlanFor(100) {
+		t.Fatal("PlanFor returned the same plan for different lengths")
+	}
+}

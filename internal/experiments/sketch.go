@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"affinity/internal/core"
+	"affinity/internal/interval"
+	"affinity/internal/plan"
+	"affinity/internal/sketch"
+	"affinity/internal/stats"
+	"affinity/internal/timeseries"
+)
+
+// SketchWidths are the sketch widths d the prescreen experiment sweeps — the
+// StatStream ballpark, bracketing DefaultCoefficients.
+var SketchWidths = []int{8, 16, 32}
+
+// SketchMeasures are the measures the prescreen experiment times: the raw
+// covariance base, a covariance-derived measure (correlation) and a
+// dot-product-derived one (cosine), so both base kernels and the
+// monotone-transform lifting are on the clock.
+var SketchMeasures = []stats.Measure{stats.Covariance, stats.Correlation, stats.Cosine}
+
+// SketchSelectivities are the target result fractions of the interval
+// predicates: the prescreen should win at selective predicates and gracefully
+// approach parity as the predicate admits everything.
+var SketchSelectivities = []float64{0.01, 0.05, 0.10, 0.25, 0.50}
+
+// SketchRow is one (measure, d, selectivity) point of the filter-and-refine
+// experiment.
+type SketchRow struct {
+	Dataset      string
+	Measure      stats.Measure
+	Coefficients int
+	// TargetSel is the requested result fraction; Rows the actual result size
+	// of the quantile-placed predicate over Pairs pairs.
+	TargetSel   float64
+	Rows, Pairs int
+	// AmbiguousFrac is the fraction of pairs the prescreen could not classify
+	// definitively — the pairs that paid an exact evaluation.
+	AmbiguousFrac float64
+	// ExactTime is the best-of-reps wall time of the plain blocked-kernel
+	// sweep (the PR 7 tier); SketchTime of the prescreened sweep; Speedup
+	// their ratio.
+	ExactTime, SketchTime time.Duration
+	Speedup               float64
+}
+
+// SketchPrescreen runs the filter-and-refine experiment on one dataset: for
+// every sketch width and measure it places interval predicates at quantiles
+// of the exact value distribution and times the prescreened sweep against the
+// plain blocked-kernel sweep, asserting byte-identical results before any
+// timing is reported.
+func SketchPrescreen(name string, d *timeseries.DataMatrix, seed int64, reps int) ([]SketchRow, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	exact, err := core.Build(d, core.Config{Clusters: 6, Seed: seed, SkipIndex: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building exact engine: %w", err)
+	}
+	numPairs := d.NumPairs()
+	var rows []SketchRow
+	for _, width := range SketchWidths {
+		eng, err := core.Build(d, core.Config{
+			Clusters: 6, Seed: seed, SkipIndex: true,
+			Sketch: sketch.Options{Enabled: true, Coefficients: width},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building sketch engine (d=%d): %w", width, err)
+		}
+		for _, m := range SketchMeasures {
+			sweep, err := exact.PairwiseSweepNaive(m)
+			if err != nil {
+				return nil, err
+			}
+			var finite []float64
+			for _, v := range sweep.Values {
+				if !math.IsNaN(v) {
+					finite = append(finite, v)
+				}
+			}
+			sort.Float64s(finite)
+			if len(finite) < 4 {
+				continue
+			}
+			for _, sel := range SketchSelectivities {
+				q := finite[int((1-sel)*float64(len(finite)-1))]
+				iv := interval.GreaterThan(q)
+				want, err := exact.Interval(m, iv, core.MethodNaive)
+				if err != nil {
+					return nil, err
+				}
+				// The prescreen's contract before its clock is trusted:
+				// byte-identical results, checked on an untimed run.
+				_, p, err := eng.Explain(plan.Interval(m, iv), core.MethodNaive)
+				if err != nil {
+					return nil, err
+				}
+				got, err := eng.Interval(m, iv, core.MethodNaive)
+				if err != nil {
+					return nil, err
+				}
+				if len(got.Pairs) != len(want.Pairs) {
+					return nil, fmt.Errorf("experiments: sketch sweep of %v in %v returned %d pairs, exact %d",
+						m, iv, len(got.Pairs), len(want.Pairs))
+				}
+				for i := range want.Pairs {
+					if got.Pairs[i] != want.Pairs[i] {
+						return nil, fmt.Errorf("experiments: sketch sweep of %v in %v differs at pair %d", m, iv, i)
+					}
+				}
+				row := SketchRow{
+					Dataset: name, Measure: m, Coefficients: width,
+					TargetSel: sel, Rows: len(want.Pairs), Pairs: numPairs,
+				}
+				if p.SketchedPairs > 0 {
+					row.AmbiguousFrac = float64(p.SketchRefinedPairs) / float64(p.SketchedPairs)
+				}
+				for r := 0; r < reps; r++ {
+					t, err := timeOnce(func() error {
+						_, err := exact.Interval(m, iv, core.MethodNaive)
+						return err
+					})
+					if err != nil {
+						return nil, err
+					}
+					if row.ExactTime == 0 || t < row.ExactTime {
+						row.ExactTime = t
+					}
+					t, err = timeOnce(func() error {
+						_, err := eng.Interval(m, iv, core.MethodNaive)
+						return err
+					})
+					if err != nil {
+						return nil, err
+					}
+					if row.SketchTime == 0 || t < row.SketchTime {
+						row.SketchTime = t
+					}
+				}
+				if row.SketchTime > 0 {
+					row.Speedup = float64(row.ExactTime) / float64(row.SketchTime)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// SketchExperiment runs the filter-and-refine experiment on sensor-data at
+// the given scale.
+func SketchExperiment(s Scale, reps int) ([]SketchRow, error) {
+	sensor, err := GenerateSensorOnly(s)
+	if err != nil {
+		return nil, err
+	}
+	return SketchPrescreen("sensor-data", sensor, s.Seed, reps)
+}

@@ -40,6 +40,13 @@ func SquaredDistance(x, y *mat.Matrix) (float64, error) {
 	if err := validatePair(x, y); err != nil {
 		return 0, err
 	}
+	// NaN inputs propagate arithmetically — the engine's zero-normalizer
+	// convention (undefined in, NaN out), made explicit here because the SVD
+	// iteration otherwise treats NaN asymmetrically in its arguments: a NaN in
+	// X could converge to a silently wrong finite distance.
+	if hasNaN(x) || hasNaN(y) {
+		return math.NaN(), nil
+	}
 	concat, err := x.CenterColumns().HConcat(y.CenterColumns())
 	if err != nil {
 		return 0, err
@@ -71,6 +78,19 @@ func DistanceToCenter(common, other, center []float64) (float64, error) {
 		return 0, fmt.Errorf("lsfd: %w", err)
 	}
 	return Distance(x, y)
+}
+
+// hasNaN reports whether any entry of the pair matrix is NaN.
+func hasNaN(a *mat.Matrix) bool {
+	r, c := a.Dims()
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if math.IsNaN(a.At(i, j)) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func validatePair(x, y *mat.Matrix) error {

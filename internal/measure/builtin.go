@@ -189,6 +189,24 @@ func init() {
 			}
 			return t / denom, nil
 		},
+		// t/(u−t) is increasing in t on either side of its pole at t = u
+		// (derivative u/(u−t)² with u = ‖u‖²+‖v‖² ≥ 0), so a T-interval
+		// confined to one branch is bounded by its endpoints; an interval
+		// touching the pole has no finite bound and stays ambiguous.
+		ValueBounds: func(tLo, tHi, u float64, m int) (float64, float64, bool) {
+			if !(tLo <= tHi) || math.IsNaN(u) || u <= 0 {
+				return 0, 0, false
+			}
+			if !(tHi < u) && !(tLo > u) {
+				return 0, 0, false
+			}
+			lo := tLo / (u - tLo)
+			hi := tHi / (u - tHi)
+			if math.IsNaN(lo) || math.IsNaN(hi) {
+				return 0, 0, false
+			}
+			return lo, hi, true
+		},
 		SelfValue:   unitSelfValue,
 		NaivePasses: 2,
 	}))

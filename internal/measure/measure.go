@@ -228,6 +228,14 @@ type Spec struct {
 	// index pruning is disabled on pivot nodes whose parameter bounds
 	// include non-positive values.
 	ParamPositive bool
+	// ValueBounds, when non-nil, maps a definite base-T interval [tLo, tHi]
+	// onto a definite value interval for a pair with parameter u and m
+	// samples, for transforms where endpoint evaluation alone is unsound
+	// (e.g. Jaccard, whose t/(u−t) has a pole at t = u inside the reachable
+	// T range).  ok = false reports that no definite bound exists for the
+	// input — the caller must fall back to exact evaluation.  Specs without
+	// ValueBounds get the monotone endpoint lift through Spec.BoundValue.
+	ValueBounds func(tLo, tHi, u float64, m int) (lo, hi float64, ok bool)
 	// Bounded declares that Value's output is confined to the closed
 	// interval [RangeMin, RangeMax] (by clamping or by construction).  Index
 	// scans use it to short-circuit probes outside the range: the clamp
@@ -294,6 +302,59 @@ func (s *Spec) TBounds(v, uMin, uMax float64, m int) (lo, hi float64) {
 		return a, b
 	}
 	return b, a
+}
+
+// BoundValue lifts a definite base-T interval [tLo, tHi] (tLo <= tHi) to a
+// definite interval of measure values for a pair with parameter u and m
+// samples: every t in [tLo, tHi] satisfies lo <= Value(t, u, m) <= hi.  For
+// T-measures the lift is the identity.  D-measures with a custom ValueBounds
+// delegate to it; otherwise indexable D-measures declare Value monotone in t,
+// so the extrema sit at the interval endpoints and evaluating Value there
+// brackets every reachable value.  ok = false reports that no definite bound
+// exists (the transform errors at an endpoint, produces NaN, or the measure
+// declares no usable monotonicity): callers must treat the pair as ambiguous
+// and evaluate it exactly — a fallback that affects cost, never results.
+func (s *Spec) BoundValue(tLo, tHi, u float64, m int) (lo, hi float64, ok bool) {
+	if !(tLo <= tHi) { // also rejects NaN endpoints
+		return 0, 0, false
+	}
+	if s.Value == nil {
+		return tLo, tHi, true
+	}
+	if s.ValueBounds != nil {
+		return s.ValueBounds(tLo, tHi, u, m)
+	}
+	if !s.Indexable {
+		return 0, 0, false
+	}
+	a, err := s.Value(tLo, u, m)
+	if err != nil {
+		return 0, 0, false
+	}
+	b, err := s.Value(tHi, u, m)
+	if err != nil {
+		return 0, 0, false
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return 0, 0, false
+	}
+	if s.Decreasing {
+		return b, a, true
+	}
+	return a, b, true
+}
+
+// SketchBoundable reports whether the coefficient-sketch prescreen tier
+// (internal/sketch) can derive definite value bounds for this measure: a
+// pairwise measure whose base T-measure has a Parseval sketch bound
+// (covariance or the dot product) and whose value transform, if any, is
+// liftable through BoundValue (identity, declared monotone, or a custom
+// ValueBounds).  Measures outside this set simply take the exact sweep path.
+func (s *Spec) SketchBoundable() bool {
+	if !s.Pairwise() || (s.Base != Covariance && s.Base != DotProduct) {
+		return false
+	}
+	return s.Value == nil || s.ValueBounds != nil || s.Indexable
 }
 
 // registry state.  Registration happens in package init functions (builtin.go

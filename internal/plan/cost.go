@@ -3,6 +3,7 @@ package plan
 import (
 	"math"
 
+	"affinity/internal/interval"
 	"affinity/internal/measure"
 	"affinity/internal/scape"
 )
@@ -24,6 +25,14 @@ type TableStats struct {
 	FallbackPairs int
 	// HasIndex reports whether the epoch carries a SCAPE index.
 	HasIndex bool
+	// SketchCoefficients is the width d of the epoch's coefficient sketches
+	// (zero when the sketch tier is disabled), and SketchAmbiguity the
+	// epoch's deterministic estimate of the prescreen's ambiguous fraction —
+	// the mean relative bound width across series, which is the chance a
+	// pair's bound straddles a query endpoint.  Both derive from the epoch
+	// state alone, so sketch-aware plans stay identical at any parallelism.
+	SketchCoefficients int
+	SketchAmbiguity    float64
 }
 
 // CostModel prices a query per execution method.  The coefficients are
@@ -96,6 +105,7 @@ func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) P
 		CostNaive:  math.Inf(1),
 		CostAffine: math.Inf(1),
 		CostIndex:  math.Inf(1),
+		CostSketch: math.Inf(1),
 	}
 	sp, known := measure.Find(spec.Measure)
 	if sel != nil {
@@ -141,6 +151,17 @@ func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) P
 			}
 		} else {
 			p.CostNaive = float64(st.NumPairs)*float64(st.NumSamples)*c.SampleCost*passes + rows*c.RowCost
+			// A sketch-enabled epoch executes the naive route through the
+			// filter-and-refine prescreen, so the naive price IS the sketch
+			// price: the O(d)-per-pair bound pass plus the ambiguous
+			// fraction's exact evaluations.  A half-bounded (MET) predicate
+			// has one endpoint to straddle instead of two, halving the
+			// ambiguous estimate.
+			if st.SketchCoefficients > 0 && sp.SketchBoundable() {
+				amb := st.SketchAmbiguity * boundedEndpoints(spec.Interval) / 2
+				p.CostSketch = c.sketchCost(st, passes, amb, rows)
+				p.CostNaive = p.CostSketch
+			}
 			// Pruned pairs fall back to a raw scan plus the failed relationship
 			// lookup, so a mostly-pruned epoch prices affine above naive.
 			if sp.AffinePropagatable {
@@ -174,6 +195,13 @@ func (c CostModel) Plan(spec QuerySpec, st TableStats, sel *scape.Selectivity) P
 			p.EstimatedRows = min(spec.K, st.NumPairs)
 			rows = float64(p.EstimatedRows)
 			p.CostNaive = float64(st.NumPairs)*float64(st.NumSamples)*c.SampleCost*passes + rows*c.RowCost
+			// The sketch-enabled naive route scans best-first and stops when
+			// the optimistic bounds cannot beat v_k; the examined fraction is
+			// governed by the same bound width the ambiguity estimates.
+			if st.SketchCoefficients > 0 && sp.SketchBoundable() {
+				p.CostSketch = c.sketchCost(st, passes, st.SketchAmbiguity, rows)
+				p.CostNaive = p.CostSketch
+			}
 			if sp.AffinePropagatable {
 				p.CostAffine = float64(st.NumPairs-st.FallbackPairs)*c.AffinePairCost +
 					float64(st.FallbackPairs)*(c.LookupCost+c.naivePairCost(st, passes)) + rows*c.RowCost
@@ -243,6 +271,32 @@ func (c CostModel) ShardedCost(perShard []float64) float64 {
 		}
 	}
 	return worst + float64(len(perShard))*DefaultFanOutCost
+}
+
+// sketchCost prices the filter-and-refine naive sweep: the prescreen touches
+// d sketched coefficients per pair (the merge-intersection bound), the
+// estimated ambiguous fraction pays the full exact evaluation, and emission
+// is per row as everywhere else.
+func (c CostModel) sketchCost(st TableStats, passes, ambFrac, rows float64) float64 {
+	if ambFrac > 1 {
+		ambFrac = 1
+	}
+	return float64(st.NumPairs)*float64(st.SketchCoefficients)*c.SampleCost +
+		ambFrac*float64(st.NumPairs)*c.naivePairCost(st, passes) +
+		rows*c.RowCost
+}
+
+// boundedEndpoints counts an interval predicate's finite endpoints (0–2): the
+// boundaries a sketched bound can straddle.
+func boundedEndpoints(iv interval.Interval) float64 {
+	n := 0.0
+	if !iv.Lo.Unbounded {
+		n++
+	}
+	if !iv.Hi.Unbounded {
+		n++
+	}
+	return n
 }
 
 // heuristicRows is the result-size guess without an index estimate.

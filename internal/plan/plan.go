@@ -190,11 +190,15 @@ type Plan struct {
 
 	// EstimatedCost is the cost of the chosen method in the model's abstract
 	// units; CostNaive/CostAffine/CostIndex are the per-method estimates
-	// (+Inf for methods not applicable to this query).
+	// (+Inf for methods not applicable to this query).  CostSketch is the
+	// price of the filter-and-refine prescreen the naive route executes
+	// through on sketch-enabled epochs (+Inf when inapplicable); when finite
+	// it IS the naive route's price, so CostNaive equals it.
 	EstimatedCost float64
 	CostNaive     float64
 	CostAffine    float64
 	CostIndex     float64
+	CostSketch    float64
 
 	// Actuals, filled by the executor when the query ran through Explain.
 	ActualRows int
@@ -206,6 +210,13 @@ type Plan struct {
 	// repair re-evaluated (zero outside the repaired tier).
 	CacheTier          string
 	CacheRepairedPairs int
+	// SketchedPairs is the number of pairs the coefficient-sketch prescreen
+	// classified for this query, and SketchRefinedPairs the number that
+	// reached the exact kernels (ambiguous pairs of an interval sweep; pairs
+	// in examined chunks of a best-first top-k sweep).  Zero when the query
+	// did not execute through the sketch tier.
+	SketchedPairs      int
+	SketchRefinedPairs int
 }
 
 // String renders the plan for diagnostics and EXPLAIN-style output.
@@ -219,6 +230,9 @@ func (p Plan) String() string {
 			s += fmt.Sprintf(", %d pairs repaired", p.CacheRepairedPairs)
 		}
 		s += "]"
+	}
+	if p.SketchedPairs > 0 {
+		s += fmt.Sprintf(" [sketch %d pairs, %d refined]", p.SketchedPairs, p.SketchRefinedPairs)
 	}
 	return s
 }

@@ -405,6 +405,13 @@ func (c *Coordinator) StreamStats() core.StreamStats {
 		agg.ScratchHits += s.ScratchHits
 		agg.PoolGets += s.PoolGets
 		agg.PoolHits += s.PoolHits
+		agg.SketchRebuilt += s.SketchRebuilt
+		agg.SketchSlid += s.SketchSlid
+		agg.SketchSweeps += s.SketchSweeps
+		agg.SketchDefiniteIn += s.SketchDefiniteIn
+		agg.SketchDefiniteOut += s.SketchDefiniteOut
+		agg.SketchAmbiguous += s.SketchAmbiguous
+		agg.SketchTopKSkippedPairs += s.SketchTopKSkippedPairs
 		if s.LastStaleFraction > agg.LastStaleFraction {
 			agg.LastStaleFraction = s.LastStaleFraction
 		}

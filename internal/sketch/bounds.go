@@ -1,0 +1,135 @@
+package sketch
+
+import (
+	"math"
+
+	"affinity/internal/interval"
+	"affinity/internal/kernel"
+	"affinity/internal/measure"
+	"affinity/internal/timeseries"
+)
+
+// epsRel is the relative padding applied to every sketched bound.  It
+// dominates the floating-point error of the FFT (~log₂(m)·2⁻⁵²), of up to
+// StatsRefreshEvery sliding updates, and of the exact kernels' accumulation
+// order by many orders of magnitude, so a value the padded bound classifies
+// as definite really is on that side of the exact kernel's computed value.
+// Padding errs toward "ambiguous": too-wide bounds cost exact evaluations,
+// never correctness.
+const epsRel = 1e-7
+
+// BlockPairs is the prescreen kernels' block width, matching the exact sweep
+// kernels' (kernel.BlockPairs) so the two tiers chunk the pair universe
+// identically.
+const BlockPairs = kernel.BlockPairs
+
+// pairCore runs the merge-intersection over two series' kept coefficient
+// lists (both ascending): sum accumulates Σ(Re·Re + Im·Im) over the
+// intersection, and kuE/kvE the intersection energies Σ|X[k]|² per side —
+// everything the Parseval bound needs, in O(d).
+func (s *Set) pairCore(u, v int) (sum, kuE, kvE float64) {
+	d := s.d
+	ub, vb := u*d, v*d
+	i, j := 0, 0
+	for i < d && j < d {
+		ku, kv := s.idx[ub+i], s.idx[vb+j]
+		switch {
+		case ku == kv:
+			ru, iu := s.re[ub+i], s.im[ub+i]
+			rv, iv := s.re[vb+j], s.im[vb+j]
+			sum += ru*rv + iu*iv
+			kuE += ru*ru + iu*iu
+			kvE += rv*rv + iv*iv
+			i++
+			j++
+		case ku < kv:
+			i++
+		default:
+			j++
+		}
+	}
+	return sum, kuE, kvE
+}
+
+// centeredBounds returns the padded definite interval of the centered inner
+// product ⟨x̂, ŷ⟩ for the pair (u, v).
+func (s *Set) centeredBounds(u, v int) (lo, hi float64) {
+	sum, kuE, kvE := s.pairCore(u, v)
+	fm := float64(s.m)
+	sm := sum / fm
+	eu, ev := s.energy[u], s.energy[v]
+	ru := math.Sqrt(math.Max(0, eu-kuE/fm))
+	rv := math.Sqrt(math.Max(0, ev-kvE/fm))
+	rad := ru * rv
+	pad := epsRel * (math.Abs(sm) + rad + math.Sqrt(eu*ev))
+	return sm - rad - pad, sm + rad + pad
+}
+
+// BoundBlock fills tLo/tHi (len(pairs) each) with padded definite bounds on
+// the base T-measure for every pair, reading the exact hoisted moments the
+// sweep kernels use.  It returns false when the base has no sketch bound
+// (an extension measure whose base is neither covariance nor the dot
+// product); callers fall back to the exact path then.
+func (s *Set) BoundBlock(base measure.Measure, mom *kernel.Moments, pairs []timeseries.Pair, tLo, tHi []float64) bool {
+	switch base {
+	case measure.Covariance:
+		if s.m <= 1 {
+			for i := range pairs {
+				tLo[i], tHi[i] = 0, 0 // CovBlock of a single sample
+			}
+			return true
+		}
+		den := float64(s.m - 1)
+		for i, p := range pairs {
+			lo, hi := s.centeredBounds(int(p.U), int(p.V))
+			tLo[i], tHi[i] = lo/den, hi/den
+		}
+		return true
+	case measure.DotProduct:
+		fm := float64(s.m)
+		for i, p := range pairs {
+			lo, hi := s.centeredBounds(int(p.U), int(p.V))
+			mean := fm * mom.Mean[p.U] * mom.Mean[p.V]
+			pad := epsRel * (math.Abs(mean) + math.Sqrt(mom.SqNorm[p.U]*mom.SqNorm[p.V]))
+			tLo[i], tHi[i] = lo+mean-pad, hi+mean+pad
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Class is the prescreen verdict for one pair against a query interval.
+type Class uint8
+
+// The three prescreen outcomes.
+const (
+	// Ambiguous means the bound straddles an interval endpoint (or no
+	// definite bound exists): the pair needs exact evaluation.
+	Ambiguous Class = iota
+	// DefiniteIn means every value the bound admits satisfies the predicate.
+	DefiniteIn
+	// DefiniteOut means no value the bound admits satisfies the predicate.
+	DefiniteOut
+)
+
+// Classify compares a definite value interval [lo, hi] against the query
+// predicate.  Invalid bounds (lo > hi, NaN) classify as Ambiguous, so
+// degenerate inputs always take the exact path.  DefiniteIn follows from the
+// predicate's convexity: an interval containing both endpoints contains
+// everything between them.
+func Classify(iv interval.Interval, lo, hi float64) Class {
+	if !(lo <= hi) {
+		return Ambiguous
+	}
+	if iv.Contains(lo) && iv.Contains(hi) {
+		return DefiniteIn
+	}
+	if !iv.Lo.Unbounded && (hi < iv.Lo.Value || (hi == iv.Lo.Value && iv.Lo.Open)) {
+		return DefiniteOut
+	}
+	if !iv.Hi.Unbounded && (lo > iv.Hi.Value || (lo == iv.Hi.Value && iv.Hi.Open)) {
+		return DefiniteOut
+	}
+	return Ambiguous
+}

@@ -1,0 +1,342 @@
+// Package sketch maintains per-epoch, per-series top-d DFT coefficient
+// sketches over the engine's window and derives definite lower/upper bounds
+// on every base T-measure from them — the filter half of the engine's
+// filter-and-refine sweep tier (StatStream-style, refs [1–3] of the paper).
+//
+// # The sketch
+//
+// For a series x of m samples with DFT X, the constant (mean) shift lives
+// entirely in bin 0, so for every k ≥ 1 the coefficient X[k] equals the DFT
+// of the centered series x̂ = x − x̄.  The sketch keeps, per series, the d
+// coefficients of largest magnitude among k = 1..m−1 (ties to the smaller
+// index), stored sorted by index for merge-intersection, together with the
+// centered window energy ‖x̂‖² = (m−1)·Var(x) taken from the exact per-series
+// moments the sweep kernels already hoist.
+//
+// # The bound
+//
+// By Parseval, the centered inner product of two series is
+//
+//	⟨x̂, ŷ⟩ = (1/m)·Σ_{k≥1} X[k]·conj(Y[k]).
+//
+// Splitting the sum at A = K_x ∩ K_y (the intersection of the kept index
+// sets) gives a computed part S = (1/m)·Σ_{k∈A}(Re X·Re Y + Im X·Im Y) and a
+// tail over k ∉ A whose magnitude Cauchy–Schwarz bounds by R_x·R_y, where
+// R_x² = ‖x̂‖² − (1/m)·Σ_{k∈A}|X[k]|² is the energy the intersection misses.
+// Hence ⟨x̂, ŷ⟩ ∈ [S − R_x·R_y, S + R_x·R_y], definitely.  Covariance divides
+// by m−1; the dot product adds back m·x̄·ȳ from the exact hoisted means.  A
+// small relative padding (epsRel) absorbs the floating-point error of the
+// FFT, the sliding updates and the exact kernels' own accumulation order, so
+// classification against the padded bounds errs toward "ambiguous" — which
+// costs an exact evaluation, never a wrong answer.
+//
+// # Maintenance
+//
+// On Advance every kept coefficient is slid with the standard sliding-DFT
+// recurrence X'[k] = (X[k] − evicted + appended)·e^{2πik/m} per slide step
+// (O(slide·d) per series, sharing the previous epoch's kept-index structure),
+// while series in the symex refit/stale set — and every series on refresh or
+// full-refit epochs — are rebuilt from a full pooled FFT that re-picks the
+// top-d set.  Energies always come from the new epoch's exact moments.
+package sketch
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"affinity/internal/dft"
+	"affinity/internal/kernel"
+	"affinity/internal/par"
+	"affinity/internal/timeseries"
+)
+
+// DefaultCoefficients is the default sketch width d (coefficients kept per
+// series), the middle of the bench sweep d ∈ {8, 16, 32}.
+const DefaultCoefficients = 16
+
+// Options configures the engine's sketch tier.
+type Options struct {
+	// Enabled turns coefficient sketches on (the zero value keeps the engine
+	// on the plain exact sweep kernels).
+	Enabled bool
+	// Coefficients is the sketch width d (default DefaultCoefficients),
+	// clamped to the m−1 non-DC bins the window has.
+	Coefficients int
+}
+
+// WithDefaults returns o with the calibrated defaults filled in.
+func (o Options) WithDefaults() Options {
+	if o.Coefficients <= 0 {
+		o.Coefficients = DefaultCoefficients
+	}
+	return o
+}
+
+// Counters accumulates the sketch tier's lifetime counters.  One Counters
+// object is shared by every epoch's Set (threaded through Advance, like the
+// result cache), so the totals survive epoch swaps; all fields are atomic and
+// safe for concurrent queries.
+type Counters struct {
+	rebuilt     atomic.Int64
+	slid        atomic.Int64
+	sweeps      atomic.Int64
+	definiteIn  atomic.Int64
+	definiteOut atomic.Int64
+	ambiguous   atomic.Int64
+	topkSkipped atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of Counters.
+type Stats struct {
+	// Rebuilt counts series sketches recomputed by a full FFT (stale series,
+	// refresh and full-refit epochs, and the initial build).
+	Rebuilt int64
+	// Slid counts series sketches delta-updated by the sliding-DFT
+	// recurrence, sharing the previous epoch's kept-index structure.
+	Slid int64
+	// Sweeps counts sketch-prescreened sweep executions.
+	Sweeps int64
+	// DefiniteIn/DefiniteOut/Ambiguous count interval prescreen
+	// classifications; only ambiguous pairs reach the exact kernels.
+	DefiniteIn  int64
+	DefiniteOut int64
+	Ambiguous   int64
+	// TopKSkippedPairs counts pairs in top-k sweep blocks pruned by the
+	// best-first optimistic-bound ordering.
+	TopKSkippedPairs int64
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Rebuilt:          c.rebuilt.Load(),
+		Slid:             c.slid.Load(),
+		Sweeps:           c.sweeps.Load(),
+		DefiniteIn:       c.definiteIn.Load(),
+		DefiniteOut:      c.definiteOut.Load(),
+		Ambiguous:        c.ambiguous.Load(),
+		TopKSkippedPairs: c.topkSkipped.Load(),
+	}
+}
+
+// CountSweep records one prescreened sweep with its classification counts.
+func (c *Counters) CountSweep(in, out, ambiguous int64) {
+	c.sweeps.Add(1)
+	c.definiteIn.Add(in)
+	c.definiteOut.Add(out)
+	c.ambiguous.Add(ambiguous)
+}
+
+// CountTopK records one best-first top-k sweep: refined pairs offered to the
+// heap and pairs skipped by the optimistic-bound pruning.
+func (c *Counters) CountTopK(refined, skipped int64) {
+	c.sweeps.Add(1)
+	c.ambiguous.Add(refined)
+	c.topkSkipped.Add(skipped)
+}
+
+// Set is one epoch's sketches: an immutable slab of n·d kept coefficients
+// (indices ascending per series) plus per-series energies.  Sets are built
+// once per epoch and read concurrently by queries.
+type Set struct {
+	n, m, d int
+
+	idx    []int32   // n·d kept coefficient indices, ascending per series
+	re, im []float64 // n·d kept coefficient values
+	energy []float64 // n: centered window energy ‖x̂‖² = (m−1)·Var
+
+	// twiddle[k] = e^{+2πik/m}, the per-step sliding-DFT rotation; computed
+	// once and shared by every epoch's Set of this engine.
+	twiddle []complex128
+
+	ambiguity float64 // deterministic planner estimate, see Ambiguity
+
+	counters *Counters
+}
+
+// Coefficients returns the effective sketch width d (after clamping to the
+// window's m−1 non-DC bins).
+func (s *Set) Coefficients() int { return s.d }
+
+// NumSeries returns the number of sketched series.
+func (s *Set) NumSeries() int { return s.n }
+
+// Counters returns the shared lifetime counters.
+func (s *Set) Counters() *Counters { return s.counters }
+
+// Ambiguity is the planner's deterministic estimate of the prescreen's
+// ambiguous fraction: twice the mean residual-energy fraction across series
+// (the relative half-width of the typical bound), clamped to [0, 1].  It
+// depends only on the epoch's sketch content, so plan choices built on it are
+// identical at any parallelism.
+func (s *Set) Ambiguity() float64 { return s.ambiguity }
+
+// buildScratch is the pooled per-goroutine FFT/selection scratch of full
+// sketch rebuilds.
+type buildScratch struct {
+	spec  []complex128
+	order []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// Build computes the sketch set of a window from its mirrored columns and
+// exact moments.  parallelism shards the per-series FFTs; the result is
+// identical at any level.
+func Build(kern *kernel.Matrix, mom *kernel.Moments, opts Options, parallelism int, counters *Counters) *Set {
+	opts = opts.WithDefaults()
+	n, m := kern.NumSeries(), kern.NumSamples()
+	s := newSet(n, m, opts.Coefficients, counters)
+	s.twiddle = make([]complex128, m)
+	for k := 0; k < m; k++ {
+		angle := 2 * math.Pi * float64(k) / float64(m)
+		s.twiddle[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	plan := dft.PlanFor(m)
+	_ = par.Do(n, parallelism, func(v int) error {
+		s.rebuild(v, kern.Col(timeseries.SeriesID(v)), mom, plan)
+		return nil
+	})
+	counters.rebuilt.Add(int64(n))
+	s.finish(mom)
+	return s
+}
+
+func newSet(n, m, d int, counters *Counters) *Set {
+	if d > m-1 {
+		d = m - 1
+	}
+	if d < 0 {
+		d = 0
+	}
+	return &Set{
+		n: n, m: m, d: d,
+		idx:      make([]int32, n*d),
+		re:       make([]float64, n*d),
+		im:       make([]float64, n*d),
+		energy:   make([]float64, n),
+		counters: counters,
+	}
+}
+
+// rebuild recomputes series v's sketch from a full FFT of its raw column,
+// re-picking the top-d coefficients by magnitude (ties to the smaller index).
+func (s *Set) rebuild(v int, col []float64, mom *kernel.Moments, plan *dft.Plan) {
+	if s.d == 0 {
+		return
+	}
+	sc := scratchPool.Get().(*buildScratch)
+	sc.spec = plan.TransformInto(sc.spec, col)
+	if cap(sc.order) < s.m-1 {
+		sc.order = make([]int32, s.m-1)
+	}
+	order := sc.order[:s.m-1]
+	for k := range order {
+		order[k] = int32(k + 1)
+	}
+	spec := sc.spec
+	mag := func(k int32) float64 {
+		c := spec[k]
+		return real(c)*real(c) + imag(c)*imag(c)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		mi, mj := mag(order[i]), mag(order[j])
+		if mi != mj {
+			return mi > mj
+		}
+		return order[i] < order[j]
+	})
+	kept := order[:s.d]
+	sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+	base := v * s.d
+	for i, k := range kept {
+		s.idx[base+i] = k
+		s.re[base+i] = real(spec[k])
+		s.im[base+i] = imag(spec[k])
+	}
+	scratchPool.Put(sc)
+}
+
+// finish fills the per-series energies from the epoch's exact moments and
+// recomputes the planner's ambiguity estimate.
+func (s *Set) finish(mom *kernel.Moments) {
+	fm := float64(s.m)
+	var resSum float64
+	for v := 0; v < s.n; v++ {
+		e := float64(s.m-1) * mom.Variance[v]
+		s.energy[v] = e
+		if e > 0 {
+			var keep float64
+			base := v * s.d
+			for i := 0; i < s.d; i++ {
+				keep += s.re[base+i]*s.re[base+i] + s.im[base+i]*s.im[base+i]
+			}
+			res := e - keep/fm
+			if res > 0 {
+				resSum += math.Sqrt(res / e)
+			}
+		}
+	}
+	amb := 0.0
+	if s.n > 0 {
+		amb = 2 * resSum / float64(s.n)
+	}
+	if amb > 1 {
+		amb = 1
+	}
+	s.ambiguity = amb
+}
+
+// Advance derives the next epoch's sketch set.  Every series' kept
+// coefficients are slid by the per-step sliding-DFT recurrence over the
+// evicted (old window prefix) and appended (batch) samples; series with
+// stale[v] set — and every series when rebuildAll is true or slide >= m —
+// are instead rebuilt from a full FFT of the new column, re-picking the
+// top-d set.  kern and mom describe the new window.
+func (s *Set) Advance(kern *kernel.Matrix, mom *kernel.Moments, oldCols func(v int) []float64, batch [][]float64, slide int, rebuildAll bool, stale []bool, parallelism int) *Set {
+	n, m := kern.NumSeries(), kern.NumSamples()
+	next := newSet(n, m, s.d, s.counters)
+	next.twiddle = s.twiddle
+	if m != s.m || n != s.n || slide >= m {
+		rebuildAll = true
+	}
+	plan := dft.PlanFor(m)
+	var rebuilt, slid atomic.Int64
+	_ = par.Do(n, parallelism, func(v int) error {
+		if rebuildAll || (stale != nil && stale[v]) {
+			next.rebuild(v, kern.Col(timeseries.SeriesID(v)), mom, plan)
+			rebuilt.Add(1)
+			return nil
+		}
+		next.slide(s, v, oldCols(v)[:slide], batch[v])
+		slid.Add(1)
+		return nil
+	})
+	s.counters.rebuilt.Add(rebuilt.Load())
+	s.counters.slid.Add(slid.Load())
+	next.finish(mom)
+	return next
+}
+
+// slide carries series v's kept coefficients from the previous epoch through
+// the sliding-DFT recurrence, one step per slid sample.
+func (next *Set) slide(prev *Set, v int, evicted, appended []float64) {
+	d := next.d
+	base := v * d
+	copy(next.idx[base:base+d], prev.idx[base:base+d])
+	for i := 0; i < d; i++ {
+		k := prev.idx[base+i]
+		tw := next.twiddle[k]
+		val := complex(prev.re[base+i], prev.im[base+i])
+		for j := range evicted {
+			val = (val + complex(appended[j]-evicted[j], 0)) * tw
+		}
+		next.re[base+i] = real(val)
+		next.im[base+i] = imag(val)
+	}
+}
